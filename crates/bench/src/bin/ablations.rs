@@ -1,0 +1,123 @@
+//! Design-space ablations called out in DESIGN.md §6.
+//!
+//! ```text
+//! ablations [l2|cores|window|all] [--quick]
+//! ```
+//!
+//! - `l2`: off-chip miss-class mix vs multi-chip L2 capacity (the paper's
+//!   choice of 8 MB, and \[3\]'s coherence-dominates-at-large-caches);
+//! - `cores`: single-chip intra-chip coherence share vs core count;
+//! - `window`: measured stream fraction vs analysis-window length (how
+//!   much history SEQUITUR needs before recurrences become visible).
+
+use tempstream_cache::CacheConfig;
+use tempstream_coherence::{MultiChipConfig, MultiChipSim, SingleChipConfig, SingleChipSim};
+use tempstream_core::streams::StreamAnalysis;
+use tempstream_trace::{IntraChipClass, MissClass};
+use tempstream_workloads::{Workload, WorkloadSession};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let ops = if quick { 700 } else { 6_000 };
+    match cmd {
+        "l2" => l2_sweep(ops),
+        "cores" => core_sweep(ops),
+        "window" => window_sweep(ops),
+        "all" => {
+            l2_sweep(ops);
+            core_sweep(ops);
+            window_sweep(ops);
+        }
+        other => {
+            eprintln!("unknown ablation {other}; use l2|cores|window|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn l2_sweep(ops: u64) {
+    println!("== Ablation: OLTP multi-chip miss-class mix vs per-node L2 capacity ==");
+    println!(
+        "{:<8} {:>12} {:>14} {:>13} {:>11}",
+        "L2", "Compulsory", "I/O Coherence", "Replacement", "Coherence"
+    );
+    for l2_kb in [256u64, 1024, 4096, 8192, 16384] {
+        let mut config = MultiChipConfig::paper();
+        config.l2 = CacheConfig::new(l2_kb * 1024, 16);
+        let mut session = WorkloadSession::new(Workload::Oltp, config.nodes, 1);
+        let mut sim = MultiChipSim::new(config);
+        sim.set_recording(false);
+        session.run(&mut sim, ops / 6);
+        sim.set_recording(true);
+        session.run(&mut sim, ops);
+        let trace = sim.finish(1);
+        let total = trace.len().max(1) as f64;
+        let pct = |c| trace.count_class(c) as f64 * 100.0 / total;
+        println!(
+            "{:<8} {:>11.1}% {:>13.1}% {:>12.1}% {:>10.1}%",
+            if l2_kb >= 1024 {
+                format!("{}MB", l2_kb / 1024)
+            } else {
+                format!("{l2_kb}KB")
+            },
+            pct(MissClass::Compulsory),
+            pct(MissClass::IoCoherence),
+            pct(MissClass::Replacement),
+            pct(MissClass::Coherence),
+        );
+    }
+    println!();
+}
+
+fn core_sweep(ops: u64) {
+    println!("== Ablation: Apache intra-chip coherence share vs core count ==");
+    println!("{:<8} {:>16} {:>18}", "cores", "coherence (L1+L2)", "of intra misses");
+    for cores in [1u32, 2, 4, 8] {
+        let mut config = SingleChipConfig::paper();
+        config.cores = cores;
+        let mut session = WorkloadSession::new(Workload::Apache, cores, 1);
+        let mut sim = SingleChipSim::new(config);
+        sim.set_recording(false);
+        session.run(&mut sim, ops / 6);
+        sim.set_recording(true);
+        session.run(&mut sim, ops);
+        let traces = sim.finish(1);
+        let coh = traces.intra_chip.count_class(IntraChipClass::CoherencePeerL1)
+            + traces.intra_chip.count_class(IntraChipClass::CoherenceL2);
+        println!(
+            "{:<8} {:>16} {:>17.1}%",
+            cores,
+            coh,
+            coh as f64 * 100.0 / traces.intra_chip.len().max(1) as f64
+        );
+    }
+    println!();
+}
+
+fn window_sweep(ops: u64) {
+    println!("== Ablation: OLTP multi-chip stream fraction vs analysis window ==");
+    println!("{:<12} {:>14}", "window", "% in streams");
+    let config = MultiChipConfig::paper();
+    let mut session = WorkloadSession::new(Workload::Oltp, config.nodes, 1);
+    let mut sim = MultiChipSim::new(config);
+    sim.set_recording(false);
+    session.run(&mut sim, ops / 6);
+    sim.set_recording(true);
+    session.run(&mut sim, ops);
+    let trace = sim.finish(1);
+    for window in [5_000usize, 20_000, 80_000, 320_000, trace.len()] {
+        let window = window.min(trace.len());
+        let analysis = StreamAnalysis::of_records(&trace.records()[..window], trace.num_cpus());
+        println!("{:<12} {:>13.1}%", window, analysis.stream_fraction() * 100.0);
+        if window == trace.len() {
+            break;
+        }
+    }
+    println!();
+}

@@ -1,0 +1,402 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [all|table1|table2|fig1|fig2|fig3|fig4|table3|table4|table5]
+//!           [--quick] [--seed N]
+//! ```
+//!
+//! `--quick` runs reduced systems and smoke-scale workloads (seconds);
+//! the default runs the paper configuration (16-node DSM + 4-core CMP,
+//! 64 KB L1 / 8 MB L2) at full measurement scale.
+
+use std::collections::HashMap;
+use std::time::Instant;
+use tempstream_core::experiment::{Experiment, ExperimentConfig, WorkloadResults};
+use tempstream_core::functions::format_function_table;
+use tempstream_core::report::{format_length_cdf, format_origin_table, format_reuse_pdf};
+use tempstream_trace::{AppClass, IntraChipClass, MissCategory, MissClass};
+use tempstream_workloads::{spec, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != seed.map(|_| ""))
+        .map(|s| s.as_str())
+        .filter(|s| s.parse::<u64>().is_err())
+        .unwrap_or("all");
+
+    let mut cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+    if let Some(s) = seed {
+        cfg = cfg.with_seed(s);
+    }
+
+    let mut runner = Runner::new(cfg);
+    match cmd {
+        "table1" => print_table1(),
+        "table2" => print_table2(),
+        "fig1" => print_fig1(&mut runner),
+        "fig2" => print_fig2(&mut runner),
+        "fig3" => print_fig3(&mut runner),
+        "fig4" => print_fig4(&mut runner),
+        "table3" => print_table3(&mut runner),
+        "table4" => print_table4(&mut runner),
+        "table5" => print_table5(&mut runner),
+        "stats" => print_stats(&mut runner),
+        "functions" => print_functions(&mut runner),
+        "spatial" => print_spatial(&cfg),
+        "stability" => print_stability(&cfg),
+        "all" => {
+            print_table1();
+            print_table2();
+            print_fig1(&mut runner);
+            print_fig2(&mut runner);
+            print_fig3(&mut runner);
+            print_fig4(&mut runner);
+            print_table3(&mut runner);
+            print_table4(&mut runner);
+            print_table5(&mut runner);
+            print_stats(&mut runner);
+            print_functions(&mut runner);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!(
+            "commands: all table1 table2 fig1 fig2 fig3 fig4 table3 table4 table5 stats functions spatial stability"
+        );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Caches per-workload results so `all` runs each workload once.
+struct Runner {
+    experiment: Experiment,
+    cache: HashMap<Workload, WorkloadResults>,
+}
+
+impl Runner {
+    fn new(cfg: ExperimentConfig) -> Self {
+        Runner {
+            experiment: Experiment::new(cfg),
+            cache: HashMap::new(),
+        }
+    }
+
+    fn results(&mut self, w: Workload) -> &WorkloadResults {
+        if !self.cache.contains_key(&w) {
+            let t = Instant::now();
+            eprintln!("[reproduce] running {w} ...");
+            let r = self.experiment.run_workload(w);
+            eprintln!(
+                "[reproduce] {w}: mc={} sc={} intra={} misses in {:.1}s",
+                r.multi_chip.total_misses,
+                r.single_chip.total_misses,
+                r.intra_chip.total_misses,
+                t.elapsed().as_secs_f64()
+            );
+            self.cache.insert(w, r);
+        }
+        &self.cache[&w]
+    }
+}
+
+fn rule(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn print_table1() {
+    rule("Table 1: Application parameters");
+    for s in spec::table1() {
+        println!("{:<7} [{}]", s.name, s.app_class);
+        println!("    paper: {}", s.paper_config);
+        println!("    model: {}", s.model_config);
+    }
+}
+
+fn print_table2() {
+    rule("Table 2: Miss categories");
+    for (title, cats) in [
+        ("Cross-application categories", MissCategory::CROSS_APP.to_vec()),
+        ("Web-specific categories", MissCategory::WEB.to_vec()),
+        ("DB2-specific categories", MissCategory::DB2.to_vec()),
+    ] {
+        println!("-- {title}");
+        for c in cats {
+            println!("  {:<34} {}", c.label(), c.description());
+        }
+    }
+}
+
+fn print_fig1(r: &mut Runner) {
+    rule("Figure 1 (left): off-chip read misses per 1000 instructions");
+    println!(
+        "{:<8} {:<12} {:>11} {:>13} {:>12} {:>11} {:>8}",
+        "workload", "context", "Compulsory", "I/O Coherence", "Replacement", "Coherence", "total"
+    );
+    for w in Workload::ALL {
+        let res = r.results(w);
+        for (ctx, b) in [
+            ("multi-chip", &res.multi_chip.breakdown),
+            ("single-chip", &res.single_chip.breakdown),
+        ] {
+            println!(
+                "{:<8} {:<12} {:>11.4} {:>13.4} {:>12.4} {:>11.4} {:>8.3}",
+                w.name(),
+                ctx,
+                b.mpki(MissClass::Compulsory),
+                b.mpki(MissClass::IoCoherence),
+                b.mpki(MissClass::Replacement),
+                b.mpki(MissClass::Coherence),
+                b.total_mpki()
+            );
+        }
+    }
+    rule("Figure 1 (right): intra-chip (L1) read misses per 1000 instructions");
+    println!(
+        "{:<8} {:>9} {:>15} {:>14} {:>18}",
+        "workload", "Off-chip", "Replacement:L2", "Coherence:L2", "Coherence:Peer-L1"
+    );
+    for w in Workload::ALL {
+        let b = &r.results(w).intra_chip.breakdown;
+        println!(
+            "{:<8} {:>9.4} {:>15.4} {:>14.4} {:>18.4}",
+            w.name(),
+            b.mpki(IntraChipClass::OffChip),
+            b.mpki(IntraChipClass::ReplacementL2),
+            b.mpki(IntraChipClass::CoherenceL2),
+            b.mpki(IntraChipClass::CoherencePeerL1)
+        );
+    }
+}
+
+fn for_each_context(
+    r: &mut Runner,
+    mut f: impl FnMut(Workload, &'static str, &tempstream_core::experiment::StreamResults),
+) {
+    for w in Workload::ALL {
+        let res = r.results(w);
+        f(w, "multi-chip", &res.multi_chip.streams);
+        f(w, "single-chip", &res.single_chip.streams);
+        f(w, "intra-chip", &res.intra_chip.streams);
+    }
+}
+
+fn print_fig2(r: &mut Runner) {
+    rule("Figure 2: fraction of misses in temporal streams");
+    println!(
+        "{:<8} {:<12} {:>15} {:>12} {:>18}",
+        "workload", "context", "non-repetitive", "new stream", "recurring stream"
+    );
+    for_each_context(r, |w, ctx, s| {
+        let t = s.stream_fraction.total().max(1) as f64;
+        println!(
+            "{:<8} {:<12} {:>14.1}% {:>11.1}% {:>17.1}%",
+            w.name(),
+            ctx,
+            s.stream_fraction.non_repetitive as f64 * 100.0 / t,
+            s.stream_fraction.new_stream as f64 * 100.0 / t,
+            s.stream_fraction.recurring_stream as f64 * 100.0 / t
+        );
+    });
+}
+
+fn print_fig3(r: &mut Runner) {
+    rule("Figure 3: strides and temporal streams (joint breakdown)");
+    println!(
+        "{:<8} {:<12} {:>13} {:>13} {:>13} {:>13}",
+        "workload", "context", "rep+strided", "rep+nonstr", "nonrep+strided", "nonrep+nonstr"
+    );
+    for_each_context(r, |w, ctx, s| {
+        let j = &s.stride_joint;
+        let t = j.total().max(1) as f64;
+        println!(
+            "{:<8} {:<12} {:>12.1}% {:>12.1}% {:>12.1}% {:>12.1}%",
+            w.name(),
+            ctx,
+            j.repetitive_strided as f64 * 100.0 / t,
+            j.repetitive_non_strided as f64 * 100.0 / t,
+            j.non_repetitive_strided as f64 * 100.0 / t,
+            j.non_repetitive_non_strided as f64 * 100.0 / t
+        );
+    });
+}
+
+fn print_fig4(r: &mut Runner) {
+    rule("Figure 4 (left): temporal stream length CDFs");
+    for_each_context(r, |w, ctx, s| {
+        println!("{} / {ctx}:", w.name());
+        print!("{}", format_length_cdf(&s.length_cdf));
+    });
+    rule("Figure 4 (right): stream reuse distance PDFs");
+    for_each_context(r, |w, ctx, s| {
+        println!("{} / {ctx}:", w.name());
+        print!("{}", format_reuse_pdf(&s.reuse_pdf));
+    });
+}
+
+fn print_origin_tables(r: &mut Runner, title: &str, workloads: &[Workload]) {
+    rule(title);
+    for &w in workloads {
+        let res = r.results(w);
+        for (ctx, s) in [
+            ("multi-chip", &res.multi_chip.streams),
+            ("single-chip", &res.single_chip.streams),
+            ("intra-chip", &res.intra_chip.streams),
+        ] {
+            println!("{} / {ctx}:", w.name());
+            print!("{}", format_origin_table(&s.origins));
+        }
+    }
+}
+
+/// Spatial-pattern predictability (SMS-style companion analysis).
+fn print_spatial(cfg: &ExperimentConfig) {
+    use tempstream_core::spatial::SpatialAnalysis;
+    rule("Spatial-pattern predictability (SMS-style, multi-chip traces)");
+    println!(
+        "{:<8} {:>12} {:>14} {:>16} {:>14}",
+        "workload", "generations", "% predicted", "% misses pred.", "mean density"
+    );
+    for w in Workload::ALL {
+        let exp = Experiment::new(*cfg);
+        // Re-collect traces (cheaper than caching records in Runner).
+        let scale = cfg.scale_override.unwrap_or_else(|| w.default_scale());
+        let mut session = tempstream_workloads::WorkloadSession::new(
+            w,
+            cfg.multi_chip.nodes,
+            cfg.seed,
+        );
+        let mut sim = tempstream_coherence::MultiChipSim::new(cfg.multi_chip);
+        sim.set_recording(false);
+        session.run(&mut sim, scale.warmup_ops);
+        sim.set_recording(true);
+        session.run(&mut sim, scale.ops);
+        let trace = sim.finish(1);
+        let a = SpatialAnalysis::of_trace(&trace);
+        println!(
+            "{:<8} {:>12} {:>13.1}% {:>15.1}% {:>14.1}",
+            w.name(),
+            a.generations,
+            a.prediction_rate() * 100.0,
+            a.predicted_miss_fraction() * 100.0,
+            a.mean_density()
+        );
+        drop(exp);
+    }
+}
+
+/// Seed-stability check: headline metrics across three seeds.
+fn print_stability(cfg: &ExperimentConfig) {
+    rule("Seed stability: multi-chip stream fraction across seeds");
+    println!("{:<8} {:>10} {:>10} {:>10} {:>8}", "workload", "seed A", "seed B", "seed C", "spread");
+    for w in Workload::ALL {
+        let mut fractions = Vec::new();
+        for (i, seed) in [1u64, 0xBEEF, 0x715C_2008].iter().enumerate() {
+            let exp = Experiment::new(cfg.with_seed(*seed));
+            eprintln!("[reproduce] stability {w} seed {i}...");
+            let r = exp.run_workload(w);
+            fractions.push(r.multi_chip.streams.stream_fraction.in_streams());
+        }
+        let max = fractions.iter().cloned().fold(f64::MIN, f64::max);
+        let min = fractions.iter().cloned().fold(f64::MAX, f64::min);
+        println!(
+            "{:<8} {:>9.1}% {:>9.1}% {:>9.1}% {:>7.1}%",
+            w.name(),
+            fractions[0] * 100.0,
+            fractions[1] * 100.0,
+            fractions[2] * 100.0,
+            (max - min) * 100.0
+        );
+    }
+}
+
+fn print_functions(r: &mut Runner) {
+    rule("Per-function stream origins (top 12, multi-chip)");
+    for w in Workload::ALL {
+        let res = r.results(w);
+        println!("{}:", w.name());
+        print!(
+            "{}",
+            format_function_table(&res.multi_chip.streams.functions, 12)
+        );
+        if let Some(most) = res.multi_chip.streams.functions.most_repetitive(500) {
+            println!(
+                "  most repetitive function: {} ({:.1}% of its misses in streams)",
+                most.name,
+                most.stream_fraction() * 100.0
+            );
+        }
+        println!(
+            "  dispatcher (disp*) share of all misses: {:.1}%",
+            res.multi_chip.streams.functions.share_of_prefix("disp") * 100.0
+        );
+    }
+}
+
+fn print_stats(r: &mut Runner) {
+    rule("Trace statistics (collection summary)");
+    println!(
+        "{:<8} {:<12} {:>10} {:>14} {:>12} {:>8}",
+        "workload", "context", "misses", "analyzed", "in streams", "streams"
+    );
+    for w in Workload::ALL {
+        let res = r.results(w);
+        // Stream counts come from the analysis; the analyzed column shows
+        // how many misses fed SEQUITUR (capped for the largest traces).
+        for (ctx, s, total) in [
+            ("multi-chip", &res.multi_chip.streams, res.multi_chip.total_misses),
+            ("single-chip", &res.single_chip.streams, res.single_chip.total_misses),
+            ("intra-chip", &res.intra_chip.streams, res.intra_chip.total_misses),
+        ] {
+            println!(
+                "{:<8} {:<12} {:>10} {:>14} {:>11.1}% {:>8}",
+                w.name(),
+                ctx,
+                total,
+                s.analyzed_misses,
+                s.stream_fraction.in_streams() * 100.0,
+                s.distinct_streams
+            );
+        }
+    }
+}
+
+fn print_table3(r: &mut Runner) {
+    print_origin_tables(
+        r,
+        "Table 3: Temporal stream origins in Web applications",
+        &[Workload::Apache, Workload::Zeus],
+    );
+}
+
+fn print_table4(r: &mut Runner) {
+    print_origin_tables(
+        r,
+        "Table 4: Temporal stream origins in OLTP (DB2)",
+        &[Workload::Oltp],
+    );
+}
+
+fn print_table5(r: &mut Runner) {
+    print_origin_tables(
+        r,
+        "Table 5: Temporal stream origins in DSS (DB2)",
+        &[Workload::DssQ1, Workload::DssQ2, Workload::DssQ17],
+    );
+}
+
+// Silence the unused warning for AppClass (used implicitly via origin
+// tables' app classes in output).
+#[allow(dead_code)]
+fn _app(_: AppClass) {}

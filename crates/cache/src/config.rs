@@ -1,0 +1,113 @@
+//! Cache geometry configuration and the paper's presets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tempstream_trace::BLOCK_BYTES;
+
+/// Geometry of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of ways per set.
+    pub associativity: u32,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate: zero capacity or associativity,
+    /// capacity not a multiple of `associativity * 64 B`, or a non-power-of-
+    /// two set count (required for index extraction).
+    pub fn new(capacity_bytes: u64, associativity: u32) -> Self {
+        assert!(capacity_bytes > 0, "cache capacity must be non-zero");
+        assert!(associativity > 0, "associativity must be non-zero");
+        let way_bytes = associativity as u64 * BLOCK_BYTES;
+        assert!(
+            capacity_bytes.is_multiple_of(way_bytes),
+            "capacity must be a multiple of associativity * block size"
+        );
+        let sets = capacity_bytes / way_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig {
+            capacity_bytes,
+            associativity,
+        }
+    }
+
+    /// The paper's L1 data cache: 64 KB, 2-way (both system organizations).
+    pub fn paper_l1() -> Self {
+        CacheConfig::new(64 * 1024, 2)
+    }
+
+    /// The paper's L2 cache: 8 MB, 16-way (per-node in multi-chip, shared in
+    /// single-chip).
+    pub fn paper_l2() -> Self {
+        CacheConfig::new(8 * 1024 * 1024, 16)
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.capacity_bytes / (self.associativity as u64 * BLOCK_BYTES)
+    }
+
+    /// Number of cache blocks this cache can hold.
+    pub fn num_blocks(&self) -> u64 {
+        self.capacity_bytes / BLOCK_BYTES
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kb = self.capacity_bytes / 1024;
+        if kb >= 1024 {
+            write!(f, "{}MB {}-way", kb / 1024, self.associativity)
+        } else {
+            write!(f, "{}KB {}-way", kb, self.associativity)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets() {
+        let l1 = CacheConfig::paper_l1();
+        assert_eq!(l1.num_sets(), 512);
+        assert_eq!(l1.num_blocks(), 1024);
+        assert_eq!(l1.to_string(), "64KB 2-way");
+
+        let l2 = CacheConfig::paper_l2();
+        assert_eq!(l2.num_sets(), 8192);
+        assert_eq!(l2.num_blocks(), 131072);
+        assert_eq!(l2.to_string(), "8MB 16-way");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be a multiple")]
+    fn rejects_misaligned_capacity() {
+        CacheConfig::new(1000, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        CacheConfig::new(3 * 64 * 2, 2); // 3 sets
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_assoc() {
+        CacheConfig::new(64, 0);
+    }
+
+    #[test]
+    fn fully_associative_single_set() {
+        let c = CacheConfig::new(64 * 16, 16);
+        assert_eq!(c.num_sets(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Set-associative cache model for the temporal-streams simulators.
+//!
+//! The coherence simulators in `tempstream-coherence` are built from
+//! [`SetAssocCache`]s: true-LRU, set-associative, generic over a per-line
+//! payload (the coherence state). Geometry presets for the paper's two
+//! system organizations live in [`config`].
+//!
+//! # Example
+//!
+//! ```
+//! use tempstream_cache::{CacheConfig, SetAssocCache};
+//! use tempstream_trace::Block;
+//!
+//! let mut l1: SetAssocCache<()> = SetAssocCache::new(CacheConfig::paper_l1());
+//! assert!(l1.touch(Block::new(7)).is_none()); // cold miss
+//! l1.insert(Block::new(7), ());
+//! assert!(l1.touch(Block::new(7)).is_some()); // hit
+//! ```
+
+pub mod config;
+pub mod set_assoc;
+pub mod stats;
+
+pub use config::CacheConfig;
+pub use set_assoc::SetAssocCache;
+pub use stats::CacheStats;

@@ -1,0 +1,75 @@
+//! Cache access statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hit/miss/eviction counters accumulated by a
+/// [`SetAssocCache`](crate::SetAssocCache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// `touch` calls that found the block.
+    pub hits: u64,
+    /// `touch` calls that did not find the block.
+    pub misses: u64,
+    /// Lines displaced by `insert` into a full set.
+    pub evictions: u64,
+    /// Lines removed by `invalidate`.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total `touch` accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1]; 0.0 when no accesses were recorded.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%), {} evictions, {} invalidations",
+            self.accesses(),
+            self.misses,
+            self.miss_ratio() * 100.0,
+            self.evictions,
+            self.invalidations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            invalidations: 0,
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CacheStats::default().to_string().is_empty());
+    }
+}

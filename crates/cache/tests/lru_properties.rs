@@ -1,0 +1,117 @@
+//! Property tests: the set-associative cache against a brute-force LRU
+//! reference model.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use tempstream_cache::{CacheConfig, SetAssocCache};
+use tempstream_trace::Block;
+
+/// Reference model: per-set LRU lists, most recent first.
+struct Reference {
+    sets: Vec<VecDeque<u64>>,
+    assoc: usize,
+    mask: u64,
+}
+
+impl Reference {
+    fn new(num_sets: u64, assoc: usize) -> Self {
+        Reference {
+            sets: (0..num_sets).map(|_| VecDeque::new()).collect(),
+            assoc,
+            mask: num_sets - 1,
+        }
+    }
+
+    fn touch(&mut self, block: u64) -> bool {
+        let set = &mut self.sets[(block & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            set.remove(pos);
+            set.push_front(block);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, block: u64) -> Option<u64> {
+        let set = &mut self.sets[(block & self.mask) as usize];
+        let victim = if set.len() == self.assoc {
+            set.pop_back()
+        } else {
+            None
+        };
+        set.push_front(block);
+        victim
+    }
+
+    fn invalidate(&mut self, block: u64) -> bool {
+        let set = &mut self.sets[(block & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Operation: 0-5 = touch-or-insert (read), 6 = invalidate.
+type Op = (u8, u64);
+
+fn run_both(config: CacheConfig, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut cache: SetAssocCache<u64> = SetAssocCache::new(config);
+    let mut reference = Reference::new(config.num_sets(), config.associativity as usize);
+    for &(kind, raw) in ops {
+        let block = Block::new(raw);
+        if kind % 7 == 6 {
+            let c = cache.invalidate(block).is_some();
+            let r = reference.invalidate(raw);
+            prop_assert_eq!(c, r, "invalidate({}) mismatch", raw);
+        } else {
+            let c_hit = cache.touch(block).is_some();
+            let r_hit = reference.touch(raw);
+            prop_assert_eq!(c_hit, r_hit, "touch({}) hit mismatch", raw);
+            if !c_hit {
+                let c_victim = cache.insert(block, raw).map(|(b, _)| b.raw());
+                let r_victim = reference.insert(raw);
+                prop_assert_eq!(c_victim, r_victim, "insert({}) victim mismatch", raw);
+            }
+        }
+        prop_assert_eq!(
+            cache.len(),
+            reference.sets.iter().map(VecDeque::len).sum::<usize>()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// 2-way (L1 geometry): hits, victims, and sizes match exact LRU.
+    #[test]
+    fn two_way_matches_reference(ops in proptest::collection::vec((0u8..8, 0u64..64), 0..500)) {
+        run_both(CacheConfig::new(8 * 64 * 2, 2), &ops)?;
+    }
+
+    /// 16-way (L2 geometry): same, with a single-set (fully associative)
+    /// configuration to stress replacement ordering.
+    #[test]
+    fn fully_associative_matches_reference(ops in proptest::collection::vec((0u8..8, 0u64..40), 0..500)) {
+        run_both(CacheConfig::new(16 * 64, 16), &ops)?;
+    }
+
+    /// Occupancy never exceeds capacity, for any op sequence.
+    #[test]
+    fn never_over_capacity(ops in proptest::collection::vec((0u8..8, 0u64..1000), 0..400)) {
+        let config = CacheConfig::new(4 * 64 * 4, 4);
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(config);
+        for &(kind, raw) in &ops {
+            let block = Block::new(raw);
+            if kind % 7 == 6 {
+                cache.invalidate(block);
+            } else if cache.touch(block).is_none() {
+                cache.insert(block, ());
+            }
+            prop_assert!(cache.len() as u64 <= config.num_blocks());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Cache-independent per-block access history for miss classification.
+//!
+//! The paper's classification (§4.1) is defined in terms of *history*, not
+//! cache state: a miss is Coherence "if the cache block was written by
+//! another processor since last read at this processor", I/O Coherence "if
+//! the block was written by a DMA transfer or OS-to-user bulk memory copy",
+//! and Compulsory "if the corresponding cache block has never previously
+//! been accessed". [`HistoryTracker`] records exactly that per-block
+//! history, parameterized by the *agent* granularity:
+//!
+//! - multi-chip off-chip classification: one agent per node;
+//! - single-chip off-chip classification: a single agent (the chip) — which
+//!   is why non-I/O coherence misses never appear off chip in a CMP;
+//! - single-chip intra-chip classification: one agent per core.
+
+use std::collections::HashMap;
+use tempstream_trace::{Block, MissClass};
+
+/// The most recent writer of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Writer {
+    /// A processor-agent store.
+    Agent(u32),
+    /// A DMA transfer from an I/O device.
+    Dma,
+    /// A bulk kernel-to-user copy with non-allocating stores.
+    Copyout,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BlockHistory {
+    last_writer: Option<Writer>,
+    /// Bit `a` set: agent `a` has read the block since the last write.
+    read_since_write: u64,
+    /// A processor has ever loaded or stored the block. Blocks only ever
+    /// written by devices are still *compulsory* on first read: the
+    /// paper's I/O-coherence category covers previously-used blocks
+    /// invalidated by DMA or bulk copies, not first touches of fresh I/O
+    /// data.
+    cpu_accessed: bool,
+}
+
+/// Tracks per-block read/write history and classifies read misses.
+#[derive(Debug, Clone)]
+pub struct HistoryTracker {
+    num_agents: u32,
+    blocks: HashMap<Block, BlockHistory>,
+}
+
+impl HistoryTracker {
+    /// Creates a tracker for `num_agents` coherence agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents` is zero or greater than 64 (the read-bit
+    /// mask width).
+    pub fn new(num_agents: u32) -> Self {
+        assert!(
+            (1..=64).contains(&num_agents),
+            "agent count must be in 1..=64"
+        );
+        HistoryTracker {
+            num_agents,
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Number of coherence agents.
+    pub fn num_agents(&self) -> u32 {
+        self.num_agents
+    }
+
+    /// Number of distinct blocks ever accessed.
+    pub fn footprint_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Classifies a read *miss* by `agent` to `block`.
+    ///
+    /// Call before [`record_read`](Self::record_read) for the same access.
+    /// Classification priority: Compulsory, then I/O Coherence, then
+    /// Coherence, then Replacement.
+    pub fn classify_read(&self, agent: u32, block: Block) -> MissClass {
+        debug_assert!(agent < self.num_agents);
+        let Some(h) = self.blocks.get(&block) else {
+            return MissClass::Compulsory;
+        };
+        if !h.cpu_accessed {
+            return MissClass::Compulsory;
+        }
+        if h.read_since_write & (1 << agent) == 0 {
+            match h.last_writer {
+                Some(Writer::Dma) | Some(Writer::Copyout) => return MissClass::IoCoherence,
+                Some(Writer::Agent(w)) if w != agent => return MissClass::Coherence,
+                _ => {}
+            }
+        }
+        MissClass::Replacement
+    }
+
+    /// Records a read by `agent`.
+    pub fn record_read(&mut self, agent: u32, block: Block) {
+        debug_assert!(agent < self.num_agents);
+        let h = self.blocks.entry(block).or_insert(BlockHistory {
+            last_writer: None,
+            read_since_write: 0,
+            cpu_accessed: false,
+        });
+        h.read_since_write |= 1 << agent;
+        h.cpu_accessed = true;
+    }
+
+    /// Records a store by `agent`: all other agents' read marks are
+    /// cleared; the writer itself holds the current data.
+    pub fn record_write(&mut self, agent: u32, block: Block) {
+        debug_assert!(agent < self.num_agents);
+        let h = self.blocks.entry(block).or_insert(BlockHistory {
+            last_writer: None,
+            read_since_write: 0,
+            cpu_accessed: false,
+        });
+        h.last_writer = Some(Writer::Agent(agent));
+        h.read_since_write = 1 << agent;
+        h.cpu_accessed = true;
+    }
+
+    /// Records a DMA write: every agent's read mark is cleared.
+    pub fn record_dma_write(&mut self, block: Block) {
+        let h = self.blocks.entry(block).or_insert(BlockHistory {
+            last_writer: None,
+            read_since_write: 0,
+            cpu_accessed: false,
+        });
+        h.last_writer = Some(Writer::Dma);
+        h.read_since_write = 0;
+    }
+
+    /// Records a non-allocating bulk-copy (copyout) store: every agent's
+    /// read mark is cleared.
+    pub fn record_copyout_write(&mut self, block: Block) {
+        let h = self.blocks.entry(block).or_insert(BlockHistory {
+            last_writer: None,
+            read_since_write: 0,
+            cpu_accessed: false,
+        });
+        h.last_writer = Some(Writer::Copyout);
+        h.read_since_write = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: Block = Block::new(42);
+
+    #[test]
+    fn first_access_is_compulsory() {
+        let t = HistoryTracker::new(4);
+        assert_eq!(t.classify_read(0, B), MissClass::Compulsory);
+    }
+
+    #[test]
+    fn reread_after_own_read_is_replacement() {
+        let mut t = HistoryTracker::new(4);
+        t.record_read(0, B);
+        assert_eq!(t.classify_read(0, B), MissClass::Replacement);
+    }
+
+    #[test]
+    fn remote_write_makes_coherence() {
+        let mut t = HistoryTracker::new(4);
+        t.record_read(0, B);
+        t.record_write(1, B);
+        assert_eq!(t.classify_read(0, B), MissClass::Coherence);
+        // The writer itself re-reading is not a coherence miss.
+        assert_eq!(t.classify_read(1, B), MissClass::Replacement);
+    }
+
+    #[test]
+    fn cold_sharing_is_coherence() {
+        // First access by this agent to a block another agent created is a
+        // coherence miss per the paper's rule (the block *has* been
+        // accessed, and was written by another processor).
+        let mut t = HistoryTracker::new(4);
+        t.record_write(1, B);
+        assert_eq!(t.classify_read(0, B), MissClass::Coherence);
+    }
+
+    #[test]
+    fn read_clears_coherence_for_that_agent_only() {
+        let mut t = HistoryTracker::new(4);
+        t.record_write(1, B);
+        t.record_read(0, B);
+        assert_eq!(t.classify_read(0, B), MissClass::Replacement);
+        assert_eq!(t.classify_read(2, B), MissClass::Coherence);
+    }
+
+    #[test]
+    fn dma_and_copyout_are_io_coherence() {
+        let mut t = HistoryTracker::new(2);
+        t.record_read(0, B);
+        t.record_dma_write(B);
+        assert_eq!(t.classify_read(0, B), MissClass::IoCoherence);
+        t.record_read(0, B);
+        t.record_copyout_write(B);
+        assert_eq!(t.classify_read(0, B), MissClass::IoCoherence);
+        assert_eq!(t.classify_read(1, B), MissClass::IoCoherence);
+    }
+
+    #[test]
+    fn first_read_of_fresh_io_data_is_compulsory() {
+        // A block only ever written by a device has never been processor-
+        // accessed: its first read is a cold miss, not I/O coherence.
+        let mut t = HistoryTracker::new(2);
+        t.record_dma_write(B);
+        assert_eq!(t.classify_read(0, B), MissClass::Compulsory);
+        t.record_read(0, B);
+        t.record_dma_write(B);
+        assert_eq!(t.classify_read(0, B), MissClass::IoCoherence);
+    }
+
+    #[test]
+    fn io_write_then_read_then_reread_is_replacement() {
+        let mut t = HistoryTracker::new(2);
+        t.record_dma_write(B);
+        t.record_read(0, B);
+        assert_eq!(t.classify_read(0, B), MissClass::Replacement);
+        // Agent 1 never read since the write, and the block has been
+        // processor-accessed: I/O coherence.
+        assert_eq!(t.classify_read(1, B), MissClass::IoCoherence);
+    }
+
+    #[test]
+    fn single_agent_never_sees_cpu_coherence() {
+        // Chip-granularity classification: with one agent, only Compulsory,
+        // IoCoherence, and Replacement are reachable.
+        let mut t = HistoryTracker::new(1);
+        assert_eq!(t.classify_read(0, B), MissClass::Compulsory);
+        t.record_write(0, B);
+        assert_eq!(t.classify_read(0, B), MissClass::Replacement);
+        t.record_dma_write(B);
+        assert_eq!(t.classify_read(0, B), MissClass::IoCoherence);
+    }
+
+    #[test]
+    fn write_after_io_supersedes() {
+        let mut t = HistoryTracker::new(2);
+        t.record_read(0, B);
+        t.record_dma_write(B);
+        t.record_write(1, B);
+        assert_eq!(t.classify_read(0, B), MissClass::Coherence);
+    }
+
+    #[test]
+    fn footprint_counts_unique_blocks() {
+        let mut t = HistoryTracker::new(2);
+        t.record_read(0, Block::new(1));
+        t.record_read(1, Block::new(1));
+        t.record_write(0, Block::new(2));
+        assert_eq!(t.footprint_blocks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "agent count")]
+    fn rejects_too_many_agents() {
+        HistoryTracker::new(65);
+    }
+}

@@ -1,0 +1,26 @@
+//! Memory-system simulators producing the paper's classified read-miss
+//! traces.
+//!
+//! Three *system contexts* are modeled (paper §3):
+//!
+//! - [`multi_chip::MultiChipSim`] — a 16-node distributed-shared-memory
+//!   multiprocessor (per node: 64 KB 2-way L1, 8 MB 16-way L2, MSI
+//!   write-invalidate coherence). Every local L2 miss is an **off-chip**
+//!   miss.
+//! - [`single_chip::SingleChipSim`] — a 4-core CMP (per core 64 KB 2-way
+//!   L1, shared 8 MB 16-way L2, MOSI intra-chip protocol modeled on
+//!   Piranha, non-inclusive hierarchy). It produces two traces: **off-chip**
+//!   misses (L2 misses) and **intra-chip** misses (L1 misses satisfied on
+//!   chip, classified by cause and responder).
+//!
+//! Miss-cause classification implements the paper's "4 C's"-style rules via
+//! a cache-independent [`history::HistoryTracker`]; see
+//! [`MissClass`](tempstream_trace::MissClass) for the rules.
+
+pub mod history;
+pub mod multi_chip;
+pub mod single_chip;
+
+pub use history::HistoryTracker;
+pub use multi_chip::{MultiChipConfig, MultiChipSim};
+pub use single_chip::{SingleChipConfig, SingleChipSim};

@@ -1,0 +1,354 @@
+//! The 16-node distributed-shared-memory multiprocessor model.
+//!
+//! Each node has a private 64 KB 2-way L1 and a private 8 MB 16-way L2; an
+//! MSI write-invalidate protocol keeps them coherent (paper §3). Because
+//! every cache is private to its node, every local L2 miss crosses the
+//! interconnect — it is an **off-chip** miss, classified by the
+//! [`HistoryTracker`] rules and appended to the output trace.
+
+use crate::history::HistoryTracker;
+use std::collections::HashMap;
+use tempstream_cache::{CacheConfig, SetAssocCache};
+use tempstream_trace::{
+    AccessKind, Block, MemoryAccess, MissClass, MissRecord, MissTrace,
+};
+
+/// Configuration of the multi-chip system.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiChipConfig {
+    /// Number of single-processor nodes.
+    pub nodes: u32,
+    /// Per-node L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// Per-node L2 cache geometry.
+    pub l2: CacheConfig,
+}
+
+impl MultiChipConfig {
+    /// The paper's system: 16 nodes, 64 KB 2-way L1, 8 MB 16-way L2.
+    pub fn paper() -> Self {
+        MultiChipConfig {
+            nodes: 16,
+            l1: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+        }
+    }
+
+    /// A reduced-scale configuration for fast tests.
+    pub fn small(nodes: u32) -> Self {
+        MultiChipConfig {
+            nodes,
+            l1: CacheConfig::new(4 * 1024, 2),
+            l2: CacheConfig::new(64 * 1024, 16),
+        }
+    }
+}
+
+struct Node {
+    l1: SetAssocCache<()>,
+    l2: SetAssocCache<()>,
+}
+
+/// Trace-driven simulator of the multi-chip system.
+///
+/// Feed accesses with [`access`](Self::access); collect the off-chip miss
+/// trace with [`finish`](Self::finish).
+///
+/// # Example
+///
+/// ```
+/// use tempstream_coherence::{MultiChipConfig, MultiChipSim};
+/// use tempstream_trace::prelude::*;
+///
+/// let mut sim = MultiChipSim::new(MultiChipConfig::small(2));
+/// let f = FunctionId::new(0);
+/// sim.access(&MemoryAccess::read(Address::new(0x100), CpuId::new(0), f));
+/// sim.access(&MemoryAccess::read(Address::new(0x100), CpuId::new(0), f));
+/// let trace = sim.finish(1000);
+/// assert_eq!(trace.len(), 1); // second read hits in L1
+/// assert_eq!(trace.records()[0].class, MissClass::Compulsory);
+/// ```
+pub struct MultiChipSim {
+    config: MultiChipConfig,
+    nodes: Vec<Node>,
+    history: HistoryTracker,
+    /// Performance hint: bit `n` set means node `n` *may* hold the block.
+    presence: HashMap<Block, u32>,
+    trace: MissTrace<MissClass>,
+    recording: bool,
+}
+
+impl MultiChipSim {
+    /// Creates a simulator with cold caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes` is zero or greater than 32.
+    pub fn new(config: MultiChipConfig) -> Self {
+        assert!(
+            (1..=32).contains(&config.nodes),
+            "node count must be in 1..=32"
+        );
+        MultiChipSim {
+            nodes: (0..config.nodes)
+                .map(|_| Node {
+                    l1: SetAssocCache::new(config.l1),
+                    l2: SetAssocCache::new(config.l2),
+                })
+                .collect(),
+            history: HistoryTracker::new(config.nodes),
+            presence: HashMap::new(),
+            trace: MissTrace::new(config.nodes),
+            recording: true,
+            config,
+        }
+    }
+
+    /// Enables or disables miss recording. With recording off, accesses
+    /// still update caches and history (cache warmup, matching the paper's
+    /// warm-before-trace methodology), but no records are appended.
+    pub fn set_recording(&mut self, recording: bool) {
+        self.recording = recording;
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &MultiChipConfig {
+        &self.config
+    }
+
+    /// Number of off-chip read misses recorded so far.
+    pub fn miss_count(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Simulates one memory access.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the access names a CPU outside the
+    /// configured node range.
+    pub fn access(&mut self, a: &MemoryAccess) {
+        let block = a.block();
+        match a.kind {
+            AccessKind::Read => self.read(a, block),
+            AccessKind::Write => self.write(a.cpu.raw(), block),
+            AccessKind::DmaWrite => {
+                self.invalidate_all(block);
+                self.history.record_dma_write(block);
+            }
+            AccessKind::CopyoutWrite => {
+                self.invalidate_all(block);
+                self.history.record_copyout_write(block);
+            }
+        }
+    }
+
+    /// Simulates every access of `iter`.
+    pub fn run<'a, I: IntoIterator<Item = &'a MemoryAccess>>(&mut self, iter: I) {
+        for a in iter {
+            self.access(a);
+        }
+    }
+
+    /// Finalizes the off-chip miss trace, attaching the instruction count
+    /// over which it was collected.
+    pub fn finish(mut self, instructions: u64) -> MissTrace<MissClass> {
+        self.trace.set_instructions(instructions);
+        self.trace
+    }
+
+    fn read(&mut self, a: &MemoryAccess, block: Block) {
+        let n = a.cpu.index();
+        debug_assert!(n < self.nodes.len(), "cpu {n} out of range");
+        let node = &mut self.nodes[n];
+        if node.l1.touch(block).is_some() {
+            self.history.record_read(a.cpu.raw(), block);
+            return;
+        }
+        if node.l2.touch(block).is_some() {
+            // L2 hit: fill L1. Not an off-chip miss.
+            if node.l1.insert(block, ()).is_some() {
+                // L1 victim remains in (inclusive-ish) L2; nothing to do.
+            }
+            self.history.record_read(a.cpu.raw(), block);
+            return;
+        }
+        // Off-chip miss: classify from history, then fill both levels.
+        if self.recording {
+            let class = self.history.classify_read(a.cpu.raw(), block);
+            self.trace.push(MissRecord {
+                block,
+                cpu: a.cpu,
+                thread: a.thread,
+                function: a.function,
+                class,
+            });
+        }
+        node.l2.insert(block, ());
+        node.l1.insert(block, ());
+        *self.presence.entry(block).or_insert(0) |= 1 << n;
+        self.history.record_read(a.cpu.raw(), block);
+    }
+
+    fn write(&mut self, node_id: u32, block: Block) {
+        // MSI write-invalidate: remove every other node's copies.
+        let mask = self.presence.get(&block).copied().unwrap_or(0);
+        if mask & !(1 << node_id) != 0 {
+            for n in 0..self.nodes.len() as u32 {
+                if n != node_id && mask & (1 << n) != 0 {
+                    self.nodes[n as usize].l1.invalidate(block);
+                    self.nodes[n as usize].l2.invalidate(block);
+                }
+            }
+        }
+        // Write-allocate in the writer's hierarchy.
+        let node = &mut self.nodes[node_id as usize];
+        if node.l1.touch(block).is_none() {
+            node.l1.insert(block, ());
+        }
+        if node.l2.touch(block).is_none() {
+            node.l2.insert(block, ());
+        }
+        self.presence.insert(block, 1 << node_id);
+        self.history.record_write(node_id, block);
+    }
+
+    fn invalidate_all(&mut self, block: Block) {
+        if let Some(mask) = self.presence.remove(&block) {
+            for n in 0..self.nodes.len() as u32 {
+                if mask & (1 << n) != 0 {
+                    self.nodes[n as usize].l1.invalidate(block);
+                    self.nodes[n as usize].l2.invalidate(block);
+                }
+            }
+        }
+    }
+}
+
+impl tempstream_trace::sink::AccessSink for MultiChipSim {
+    fn access(&mut self, access: &MemoryAccess) {
+        MultiChipSim::access(self, access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::{Address, CpuId, FunctionId};
+
+    fn read(cpu: u32, addr: u64) -> MemoryAccess {
+        MemoryAccess::read(Address::new(addr), CpuId::new(cpu), FunctionId::new(0))
+    }
+
+    fn write(cpu: u32, addr: u64) -> MemoryAccess {
+        MemoryAccess::write(Address::new(addr), CpuId::new(cpu), FunctionId::new(0))
+    }
+
+    fn dma(addr: u64) -> MemoryAccess {
+        MemoryAccess::new(
+            Address::new(addr),
+            AccessKind::DmaWrite,
+            CpuId::new(0),
+            tempstream_trace::ThreadId::new(0),
+            FunctionId::new(0),
+        )
+    }
+
+    #[test]
+    fn cold_miss_then_hits() {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(2));
+        sim.access(&read(0, 0x1000));
+        sim.access(&read(0, 0x1000));
+        sim.access(&read(0, 0x1010)); // same block
+        let t = sim.finish(100);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records()[0].class, MissClass::Compulsory);
+    }
+
+    #[test]
+    fn remote_write_invalidates_and_classifies_coherence() {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(2));
+        sim.access(&read(0, 0x1000)); // compulsory at node 0
+        sim.access(&write(1, 0x1000)); // node 1 takes ownership
+        sim.access(&read(0, 0x1000)); // coherence miss at node 0
+        let t = sim.finish(100);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[1].class, MissClass::Coherence);
+    }
+
+    #[test]
+    fn producer_reread_is_not_coherence() {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(2));
+        sim.access(&write(1, 0x1000));
+        sim.access(&read(1, 0x1000)); // hits: write-allocated
+        let t = sim.finish(100);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn dma_invalidate_gives_io_coherence() {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(2));
+        sim.access(&read(0, 0x2000));
+        sim.access(&dma(0x2000));
+        sim.access(&read(0, 0x2000));
+        let t = sim.finish(100);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[1].class, MissClass::IoCoherence);
+    }
+
+    #[test]
+    fn capacity_eviction_gives_replacement() {
+        // Small config: L2 = 64KB = 1024 blocks. Touch 2048 distinct blocks
+        // then re-touch the first: it must have been evicted.
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(1));
+        for i in 0..2048u64 {
+            sim.access(&read(0, i * 64));
+        }
+        sim.access(&read(0, 0));
+        let t = sim.finish(100);
+        assert_eq!(t.len(), 2049);
+        let last = t.records().last().unwrap();
+        assert_eq!(last.class, MissClass::Replacement);
+    }
+
+    #[test]
+    fn sharing_readers_all_miss_once() {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(4));
+        for cpu in 0..4 {
+            sim.access(&read(cpu, 0x4000));
+        }
+        let t = sim.finish(100);
+        // One compulsory then three coherence-or-replacement misses: the
+        // block was never written, so reads by other nodes are replacement
+        // (remote fetch of clean data).
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.records()[0].class, MissClass::Compulsory);
+        for r in &t.records()[1..] {
+            assert_eq!(r.class, MissClass::Replacement);
+        }
+    }
+
+    #[test]
+    fn migratory_sharing_pattern() {
+        // A lock-like block bouncing between nodes: every handoff is a
+        // coherence miss.
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(4));
+        sim.access(&write(0, 0x8000));
+        for round in 1..=6u32 {
+            let cpu = round % 4;
+            sim.access(&read(cpu, 0x8000));
+            sim.access(&write(cpu, 0x8000));
+        }
+        let t = sim.finish(100);
+        assert_eq!(t.len(), 6);
+        assert!(t.records().iter().all(|r| r.class == MissClass::Coherence));
+    }
+
+    #[test]
+    fn mpki_uses_instruction_count() {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(1));
+        sim.access(&read(0, 0));
+        let t = sim.finish(2000);
+        assert!((t.misses_per_kilo_instruction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,470 @@
+//! The 4-core single-chip (CMP) model.
+//!
+//! Per-core 64 KB 2-way L1s and a shared 8 MB 16-way L2 are kept coherent
+//! with a MOSI protocol modeled on Piranha (paper §3): a dirty line lives in
+//! its owner's L1 and is supplied core-to-core on a peer read; the hierarchy
+//! is non-inclusive (L1 victims are installed into the L2).
+//!
+//! The simulator produces the paper's two traces at once:
+//!
+//! - **off-chip** misses — L1+L2 misses, classified at *chip* granularity
+//!   (so non-I/O coherence never appears off chip, matching the paper's
+//!   observation that a CMP captures all communication on chip);
+//! - **intra-chip** misses — L1 misses satisfied on chip, classified by
+//!   cause (core-granularity history) and responder: `Coherence:Peer-L1`,
+//!   `Coherence:L2`, or `Replacement:L2`. An L1 miss that also misses the
+//!   L2 appears in the intra-chip trace as `Off-chip` *and* in the off-chip
+//!   trace, mirroring Figure 1 (right)'s "Off-chip" segment.
+
+use crate::history::HistoryTracker;
+use std::collections::HashMap;
+use tempstream_cache::{CacheConfig, SetAssocCache};
+use tempstream_trace::{
+    AccessKind, Block, IntraChipClass, MemoryAccess, MissClass, MissRecord, MissTrace,
+};
+
+/// Configuration of the single-chip system.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleChipConfig {
+    /// Number of cores.
+    pub cores: u32,
+    /// Per-core L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+}
+
+impl SingleChipConfig {
+    /// The paper's system: 4 cores, 64 KB 2-way L1s, shared 8 MB 16-way L2.
+    pub fn paper() -> Self {
+        SingleChipConfig {
+            cores: 4,
+            l1: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+        }
+    }
+
+    /// A reduced-scale configuration for fast tests.
+    pub fn small(cores: u32) -> Self {
+        SingleChipConfig {
+            cores,
+            l1: CacheConfig::new(4 * 1024, 2),
+            l2: CacheConfig::new(64 * 1024, 16),
+        }
+    }
+}
+
+/// Both traces produced by a single-chip simulation.
+#[derive(Debug, Clone)]
+pub struct SingleChipTraces {
+    /// Off-chip read misses (Figure 1 left, "single-chip" bars).
+    pub off_chip: MissTrace<MissClass>,
+    /// Intra-chip L1 read misses (Figure 1 right).
+    pub intra_chip: MissTrace<IntraChipClass>,
+}
+
+/// Trace-driven simulator of the single-chip system.
+///
+/// # Example
+///
+/// ```
+/// use tempstream_coherence::{SingleChipConfig, SingleChipSim};
+/// use tempstream_trace::prelude::*;
+///
+/// let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+/// let f = FunctionId::new(0);
+/// sim.access(&MemoryAccess::write(Address::new(0x40), CpuId::new(0), f));
+/// sim.access(&MemoryAccess::read(Address::new(0x40), CpuId::new(1), f));
+/// let traces = sim.finish(1000);
+/// // Core 1's read was supplied dirty by core 0's L1: on-chip coherence.
+/// assert_eq!(traces.intra_chip.records()[0].class, IntraChipClass::CoherencePeerL1);
+/// assert!(traces.off_chip.is_empty());
+/// ```
+pub struct SingleChipSim {
+    config: SingleChipConfig,
+    l1s: Vec<SetAssocCache<()>>,
+    l2: SetAssocCache<()>,
+    /// Core whose L1 holds the block dirty (MOSI M or O state).
+    owner: HashMap<Block, u32>,
+    /// Chip-granularity history (off-chip classification).
+    chip_history: HistoryTracker,
+    /// Core-granularity history (intra-chip cause classification).
+    core_history: HistoryTracker,
+    off_chip: MissTrace<MissClass>,
+    intra_chip: MissTrace<IntraChipClass>,
+    recording: bool,
+}
+
+impl SingleChipSim {
+    /// Creates a simulator with cold caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cores` is zero or greater than 32.
+    pub fn new(config: SingleChipConfig) -> Self {
+        assert!(
+            (1..=32).contains(&config.cores),
+            "core count must be in 1..=32"
+        );
+        SingleChipSim {
+            l1s: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1))
+                .collect(),
+            l2: SetAssocCache::new(config.l2),
+            owner: HashMap::new(),
+            chip_history: HistoryTracker::new(1),
+            core_history: HistoryTracker::new(config.cores),
+            off_chip: MissTrace::new(config.cores),
+            intra_chip: MissTrace::new(config.cores),
+            recording: true,
+            config,
+        }
+    }
+
+    /// Enables or disables miss recording. With recording off, accesses
+    /// still warm caches and history but no records are appended.
+    pub fn set_recording(&mut self, recording: bool) {
+        self.recording = recording;
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SingleChipConfig {
+        &self.config
+    }
+
+    /// Simulates one memory access.
+    pub fn access(&mut self, a: &MemoryAccess) {
+        let block = a.block();
+        match a.kind {
+            AccessKind::Read => self.read(a, block),
+            AccessKind::Write => self.write(a.cpu.raw(), block),
+            AccessKind::DmaWrite => {
+                self.invalidate_chip(block);
+                self.chip_history.record_dma_write(block);
+                self.core_history.record_dma_write(block);
+            }
+            AccessKind::CopyoutWrite => {
+                self.invalidate_chip(block);
+                self.chip_history.record_copyout_write(block);
+                self.core_history.record_copyout_write(block);
+            }
+        }
+    }
+
+    /// Simulates every access of `iter`.
+    pub fn run<'a, I: IntoIterator<Item = &'a MemoryAccess>>(&mut self, iter: I) {
+        for a in iter {
+            self.access(a);
+        }
+    }
+
+    /// Finalizes both traces, attaching the instruction count.
+    pub fn finish(mut self, instructions: u64) -> SingleChipTraces {
+        self.off_chip.set_instructions(instructions);
+        self.intra_chip.set_instructions(instructions);
+        SingleChipTraces {
+            off_chip: self.off_chip,
+            intra_chip: self.intra_chip,
+        }
+    }
+
+    fn record_reads(&mut self, core: u32, block: Block) {
+        self.chip_history.record_read(0, block);
+        self.core_history.record_read(core, block);
+    }
+
+    fn read(&mut self, a: &MemoryAccess, block: Block) {
+        let core = a.cpu.raw();
+        debug_assert!((core as usize) < self.l1s.len(), "core {core} out of range");
+        if self.l1s[core as usize].touch(block).is_some() {
+            self.record_reads(core, block);
+            return;
+        }
+
+        // L1 miss: classify the cause at core granularity, then find the
+        // responder.
+        let cause = self.core_history.classify_read(core, block);
+        let coherence_cause = cause == MissClass::Coherence;
+
+        let peer_owner = self
+            .owner
+            .get(&block)
+            .copied()
+            .filter(|&o| o != core && self.l1s[o as usize].contains(block));
+        let in_l2 = self.l2.touch(block).is_some();
+        let clean_peer = !in_l2
+            && peer_owner.is_none()
+            && (0..self.config.cores)
+                .any(|c| c != core && self.l1s[c as usize].contains(block));
+
+        let on_chip = peer_owner.is_some() || in_l2 || clean_peer;
+        let intra_class = if !on_chip {
+            IntraChipClass::OffChip
+        } else if coherence_cause {
+            if peer_owner.is_some() {
+                IntraChipClass::CoherencePeerL1
+            } else {
+                IntraChipClass::CoherenceL2
+            }
+        } else {
+            IntraChipClass::ReplacementL2
+        };
+        if self.recording {
+            self.intra_chip.push(MissRecord {
+                block,
+                cpu: a.cpu,
+                thread: a.thread,
+                function: a.function,
+                class: intra_class,
+            });
+        }
+
+        if !on_chip {
+            // Off-chip miss, classified at chip granularity.
+            if self.recording {
+                let class = self.chip_history.classify_read(0, block);
+                debug_assert_ne!(
+                    class,
+                    MissClass::Coherence,
+                    "chip-granularity history produced an off-chip coherence miss"
+                );
+                self.off_chip.push(MissRecord {
+                    block,
+                    cpu: a.cpu,
+                    thread: a.thread,
+                    function: a.function,
+                    class,
+                });
+            }
+            // Fill L2 and the requesting L1.
+            self.l2.insert(block, ());
+        }
+
+        // Fill the requesting L1 (data came from a peer, the L2, or
+        // memory); install the L1 victim into the non-inclusive L2.
+        self.fill_l1(core, block);
+        self.record_reads(core, block);
+    }
+
+    fn fill_l1(&mut self, core: u32, block: Block) {
+        if let Some((victim, ())) = self.l1s[core as usize].insert(block, ()) {
+            // Non-inclusive hierarchy: L1 victims are installed in the L2.
+            // A dirty victim (this core owns it) is written back; ownership
+            // moves to the L2 (plain data in our model).
+            if self.owner.get(&victim) == Some(&core) {
+                self.owner.remove(&victim);
+            }
+            if self.l2.peek_mut(victim).is_none() {
+                self.l2.insert(victim, ());
+            }
+        }
+    }
+
+    fn write(&mut self, core: u32, block: Block) {
+        // Invalidate every other L1 copy; the writer's L1 takes the block
+        // in M state. The L2 copy is stale after the write: ownership lives
+        // in the L1 (non-inclusive), so drop it.
+        for c in 0..self.config.cores {
+            if c != core {
+                self.l1s[c as usize].invalidate(block);
+            }
+        }
+        self.l2.invalidate(block);
+        if self.l1s[core as usize].touch(block).is_none() {
+            self.fill_l1(core, block);
+        }
+        self.owner.insert(block, core);
+        self.chip_history.record_write(0, block);
+        self.core_history.record_write(core, block);
+    }
+
+    fn invalidate_chip(&mut self, block: Block) {
+        for c in 0..self.config.cores {
+            self.l1s[c as usize].invalidate(block);
+        }
+        self.l2.invalidate(block);
+        self.owner.remove(&block);
+    }
+}
+
+impl tempstream_trace::sink::AccessSink for SingleChipSim {
+    fn access(&mut self, access: &MemoryAccess) {
+        SingleChipSim::access(self, access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::{Address, CpuId, FunctionId, ThreadId};
+
+    fn read(cpu: u32, addr: u64) -> MemoryAccess {
+        MemoryAccess::read(Address::new(addr), CpuId::new(cpu), FunctionId::new(0))
+    }
+
+    fn write(cpu: u32, addr: u64) -> MemoryAccess {
+        MemoryAccess::write(Address::new(addr), CpuId::new(cpu), FunctionId::new(0))
+    }
+
+    fn dma(addr: u64) -> MemoryAccess {
+        MemoryAccess::new(
+            Address::new(addr),
+            AccessKind::DmaWrite,
+            CpuId::new(0),
+            ThreadId::new(0),
+            FunctionId::new(0),
+        )
+    }
+
+    fn copyout(addr: u64) -> MemoryAccess {
+        MemoryAccess::new(
+            Address::new(addr),
+            AccessKind::CopyoutWrite,
+            CpuId::new(0),
+            ThreadId::new(0),
+            FunctionId::new(0),
+        )
+    }
+
+    #[test]
+    fn cold_read_goes_off_chip() {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        sim.access(&read(0, 0x40));
+        let t = sim.finish(100);
+        assert_eq!(t.off_chip.len(), 1);
+        assert_eq!(t.off_chip.records()[0].class, MissClass::Compulsory);
+        assert_eq!(t.intra_chip.len(), 1);
+        assert_eq!(t.intra_chip.records()[0].class, IntraChipClass::OffChip);
+    }
+
+    #[test]
+    fn dirty_peer_supplies_on_chip() {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        sim.access(&write(0, 0x40));
+        sim.access(&read(1, 0x40));
+        let t = sim.finish(100);
+        assert!(t.off_chip.is_empty(), "communication must stay on chip");
+        assert_eq!(t.intra_chip.len(), 1);
+        assert_eq!(
+            t.intra_chip.records()[0].class,
+            IntraChipClass::CoherencePeerL1
+        );
+    }
+
+    #[test]
+    fn l2_supplies_replacement_miss() {
+        // Fill core 0's tiny L1 (4KB = 64 blocks) past capacity; re-read an
+        // early block: L1 miss, L2 hit, no coherence involved.
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        for i in 0..128u64 {
+            sim.access(&read(0, i * 64));
+        }
+        sim.access(&read(0, 0));
+        let t = sim.finish(100);
+        let last = t.intra_chip.records().last().unwrap();
+        assert_eq!(last.class, IntraChipClass::ReplacementL2);
+        // Off-chip trace saw only the 128 compulsory fills.
+        assert_eq!(t.off_chip.len(), 128);
+    }
+
+    #[test]
+    fn coherence_after_owner_eviction_is_coherence_l2() {
+        // Core 1 writes, core 1's L1 evicts the dirty block into L2; core
+        // 0's subsequent read is coherence-caused but supplied by L2.
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        sim.access(&read(0, 0x40)); // core 0 has read the block
+        sim.access(&write(1, 0x40)); // core 1 dirties it
+        for i in 1..=128u64 {
+            // Evict core 1's dirty copy into the L2.
+            sim.access(&read(1, 0x40 + i * 64));
+        }
+        sim.access(&read(0, 0x40));
+        let t = sim.finish(100);
+        let last = t.intra_chip.records().last().unwrap();
+        assert_eq!(last.class, IntraChipClass::CoherenceL2);
+        // Still nothing coherence-related off chip.
+        assert!(t
+            .off_chip
+            .records()
+            .iter()
+            .all(|r| r.class != MissClass::Coherence));
+    }
+
+    #[test]
+    fn off_chip_never_coherence() {
+        // Random-ish mix of reads and writes by both cores over a footprint
+        // larger than the small L2.
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        for i in 0..4000u64 {
+            let cpu = (i % 2) as u32;
+            let addr = (i * 97 % 3000) * 64;
+            if i % 3 == 0 {
+                sim.access(&write(cpu, addr));
+            } else {
+                sim.access(&read(cpu, addr));
+            }
+        }
+        let t = sim.finish(100);
+        assert!(t
+            .off_chip
+            .records()
+            .iter()
+            .all(|r| r.class != MissClass::Coherence));
+    }
+
+    #[test]
+    fn dma_then_read_is_io_coherence_off_chip() {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        sim.access(&read(0, 0x40));
+        sim.access(&dma(0x40));
+        sim.access(&read(0, 0x40));
+        let t = sim.finish(100);
+        assert_eq!(t.off_chip.len(), 2);
+        assert_eq!(t.off_chip.records()[1].class, MissClass::IoCoherence);
+    }
+
+    #[test]
+    fn copyout_then_read_is_io_coherence() {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        sim.access(&read(1, 0x80));
+        sim.access(&copyout(0x80));
+        sim.access(&read(1, 0x80));
+        let t = sim.finish(100);
+        assert_eq!(t.off_chip.records()[1].class, MissClass::IoCoherence);
+    }
+
+    #[test]
+    fn l1_victims_land_in_l2() {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(1));
+        // Touch 65 blocks mapping everywhere; block 0 gets evicted from the
+        // 64-block L1 eventually but must hit in L2.
+        for i in 0..128u64 {
+            sim.access(&read(0, i * 64));
+        }
+        sim.access(&read(0, 0));
+        let t = sim.finish(100);
+        assert_eq!(t.off_chip.len(), 128, "re-read must not go off chip");
+    }
+
+    #[test]
+    fn write_hit_keeps_ownership() {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        sim.access(&write(0, 0x40));
+        sim.access(&write(0, 0x40));
+        sim.access(&read(1, 0x40));
+        let t = sim.finish(100);
+        assert_eq!(
+            t.intra_chip.records()[0].class,
+            IntraChipClass::CoherencePeerL1
+        );
+    }
+
+    #[test]
+    fn traces_share_instruction_count() {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(1));
+        sim.access(&read(0, 0));
+        let t = sim.finish(5000);
+        assert_eq!(t.off_chip.instructions(), 5000);
+        assert_eq!(t.intra_chip.instructions(), 5000);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests of the memory-system simulators over random
+//! access streams.
+
+use proptest::prelude::*;
+use tempstream_coherence::{MultiChipConfig, MultiChipSim, SingleChipConfig, SingleChipSim};
+use tempstream_trace::{
+    AccessKind, Address, CpuId, FunctionId, IntraChipClass, MemoryAccess, MissClass, ThreadId,
+};
+
+/// A compact random-access description: (kind, cpu, block).
+type Op = (u8, u8, u64);
+
+fn to_access(op: Op, cpus: u32) -> MemoryAccess {
+    let (kind, cpu, block) = op;
+    let cpu = u32::from(cpu) % cpus;
+    let kind = match kind % 8 {
+        0..=3 => AccessKind::Read,
+        4 | 5 => AccessKind::Write,
+        6 => AccessKind::DmaWrite,
+        _ => AccessKind::CopyoutWrite,
+    };
+    MemoryAccess::new(
+        Address::new(block * 64),
+        kind,
+        CpuId::new(cpu),
+        ThreadId::new(cpu),
+        FunctionId::new(0),
+    )
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..8, 0u8..4, 0u64..200), 0..600)
+}
+
+proptest! {
+    /// The single-chip system never reports a (non-I/O) coherence miss off
+    /// chip, for any access stream.
+    #[test]
+    fn single_chip_has_no_off_chip_coherence(ops in ops_strategy()) {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(4));
+        for op in &ops {
+            sim.access(&to_access(*op, 4));
+        }
+        let t = sim.finish(1);
+        prop_assert!(t
+            .off_chip
+            .records()
+            .iter()
+            .all(|r| r.class != MissClass::Coherence));
+    }
+
+    /// Every off-chip miss of the single-chip system also appears as an
+    /// `OffChip` intra-chip record; intra-chip misses are a superset.
+    #[test]
+    fn intra_chip_superset_of_off_chip(ops in ops_strategy()) {
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(4));
+        for op in &ops {
+            sim.access(&to_access(*op, 4));
+        }
+        let t = sim.finish(1);
+        let intra_offchip = t
+            .intra_chip
+            .records()
+            .iter()
+            .filter(|r| r.class == IntraChipClass::OffChip)
+            .count();
+        prop_assert_eq!(intra_offchip, t.off_chip.len());
+        prop_assert!(t.intra_chip.len() >= t.off_chip.len());
+    }
+
+    /// Two consecutive reads by the same cpu to the same block never miss
+    /// twice in a row (the first fill must stick until something else
+    /// intervenes).
+    #[test]
+    fn back_to_back_reads_hit(block in 0u64..1000, cpu in 0u32..4) {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(4));
+        let a = MemoryAccess::read(
+            Address::new(block * 64),
+            CpuId::new(cpu),
+            FunctionId::new(0),
+        );
+        sim.access(&a);
+        let before = sim.miss_count();
+        sim.access(&a);
+        prop_assert_eq!(sim.miss_count(), before);
+    }
+
+    /// The first read miss of any block is Compulsory unless a processor
+    /// wrote it first.
+    #[test]
+    fn first_read_classification(ops in ops_strategy()) {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(4));
+        let mut cpu_written: std::collections::HashSet<u64> = Default::default();
+        let mut read_blocks: std::collections::HashSet<u64> = Default::default();
+        let mut io_written: std::collections::HashSet<u64> = Default::default();
+        let mut firsts: Vec<(u64, bool, bool)> = Vec::new(); // block, cpu_touched, io
+        for op in &ops {
+            let a = to_access(*op, 4);
+            let block = a.addr.block().raw();
+            if a.kind == AccessKind::Read && !read_blocks.contains(&block) {
+                firsts.push((
+                    block,
+                    cpu_written.contains(&block),
+                    io_written.contains(&block),
+                ));
+                read_blocks.insert(block);
+            }
+            match a.kind {
+                AccessKind::Write => {
+                    cpu_written.insert(block);
+                }
+                AccessKind::DmaWrite | AccessKind::CopyoutWrite => {
+                    io_written.insert(block);
+                }
+                AccessKind::Read => {}
+            }
+            sim.access(&a);
+        }
+        let trace = sim.finish(1);
+        // For each block's first-ever read: find its (necessarily first)
+        // trace record and check the class.
+        let mut seen: std::collections::HashSet<u64> = Default::default();
+        let mut first_class = std::collections::HashMap::new();
+        for r in trace.records() {
+            if seen.insert(r.block.raw()) {
+                first_class.insert(r.block.raw(), r.class);
+            }
+        }
+        for (block, cpu_touched, _io) in firsts {
+            let Some(&class) = first_class.get(&block) else { continue };
+            if !cpu_touched {
+                prop_assert_eq!(
+                    class,
+                    MissClass::Compulsory,
+                    "first read of never-cpu-written block {} must be cold",
+                    block
+                );
+            }
+        }
+    }
+
+    /// Simulators are deterministic functions of the access stream.
+    #[test]
+    fn simulators_are_deterministic(ops in ops_strategy()) {
+        let run = |ops: &[Op]| {
+            let mut m = MultiChipSim::new(MultiChipConfig::small(4));
+            let mut s = SingleChipSim::new(SingleChipConfig::small(4));
+            for op in ops {
+                m.access(&to_access(*op, 4));
+                s.access(&to_access(*op, 4));
+            }
+            let mt = m.finish(1);
+            let st = s.finish(1);
+            (
+                mt.records().to_vec(),
+                st.off_chip.records().to_vec(),
+                st.intra_chip.records().to_vec(),
+            )
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    /// A remote write always invalidates: the previous reader's next read
+    /// of that block misses.
+    #[test]
+    fn write_invalidates_remote_copies(block in 0u64..100) {
+        let mut sim = MultiChipSim::new(MultiChipConfig::small(4));
+        let addr = Address::new(block * 64);
+        let f = FunctionId::new(0);
+        sim.access(&MemoryAccess::read(addr, CpuId::new(0), f));
+        sim.access(&MemoryAccess::write(addr, CpuId::new(1), f));
+        let before = sim.miss_count();
+        sim.access(&MemoryAccess::read(addr, CpuId::new(0), f));
+        let trace = sim.finish(1);
+        prop_assert_eq!(trace.len(), before + 1, "read after remote write must miss");
+        prop_assert_eq!(
+            trace.records().last().unwrap().class,
+            MissClass::Coherence
+        );
+    }
+
+    /// Recording toggles trace capture without changing simulator state:
+    /// the visible (recorded) suffix is identical whether or not a prefix
+    /// was recorded.
+    #[test]
+    fn recording_toggle_is_transparent(ops in ops_strategy()) {
+        let split = ops.len() / 2;
+        let run = |record_prefix: bool| {
+            let mut sim = MultiChipSim::new(MultiChipConfig::small(4));
+            sim.set_recording(record_prefix);
+            for op in &ops[..split] {
+                sim.access(&to_access(*op, 4));
+            }
+            sim.set_recording(true);
+            let skip = sim.miss_count();
+            for op in &ops[split..] {
+                sim.access(&to_access(*op, 4));
+            }
+            let t = sim.finish(1);
+            t.records()[skip..].to_vec()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

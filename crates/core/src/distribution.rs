@@ -1,0 +1,260 @@
+//! Distribution helpers for Figure 4: a weighted stream-length CDF and a
+//! log-decade-binned reuse-distance PDF.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Reuse distances beyond this are dropped, as in the paper ("such
+/// distances ... are unlikely to be exploited by prefetching").
+pub const REUSE_TRUNCATION: u64 = 10_000_000;
+
+/// A cumulative distribution of stream lengths, weighted by each length's
+/// total miss contribution (Figure 4, left).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LengthCdf {
+    weights: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl LengthCdf {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `weight` misses contributed by streams of length `len`.
+    pub fn add(&mut self, len: u64, weight: u64) {
+        *self.weights.entry(len).or_insert(0) += weight;
+        self.total += weight;
+    }
+
+    /// Total weighted misses.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// The cumulative fraction of weight at lengths `<= len`.
+    pub fn cumulative_at(&self, len: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .weights
+            .range(..=len)
+            .map(|(_, w)| *w)
+            .sum();
+        below as f64 / self.total as f64
+    }
+
+    /// The weighted percentile length: smallest length with cumulative
+    /// fraction `>= q` (`0.0 < q <= 1.0`). `None` if empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (&len, &w) in &self.weights {
+            acc += w;
+            if acc >= target {
+                return Some(len);
+            }
+        }
+        self.weights.keys().next_back().copied()
+    }
+
+    /// The weighted median stream length (the paper's headline statistic).
+    pub fn median(&self) -> Option<u64> {
+        self.percentile(0.5)
+    }
+
+    /// CDF samples at logarithmically spaced lengths `1, 2, 5, 10, 20,
+    /// 50, ...` up to the maximum observed length, as `(length,
+    /// cumulative_fraction)` pairs.
+    pub fn log_samples(&self) -> Vec<(u64, f64)> {
+        let Some(&max) = self.weights.keys().next_back() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut decade = 1u64;
+        'outer: loop {
+            for m in [1, 2, 5] {
+                let x = decade * m;
+                out.push((x, self.cumulative_at(x)));
+                if x >= max {
+                    break 'outer;
+                }
+            }
+            decade *= 10;
+        }
+        out
+    }
+
+    /// Maximum observed stream length.
+    pub fn max_len(&self) -> Option<u64> {
+        self.weights.keys().next_back().copied()
+    }
+}
+
+/// A probability density over reuse distances, log-decade binned (Figure
+/// 4, right: bins 1, 10, 10^2, ..., 10^7).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReuseDistancePdf {
+    /// `bins[k]` holds weight for distances in `[10^k, 10^(k+1))`;
+    /// distance 0 lands in bin 0.
+    bins: [u64; 8],
+    total: u64,
+    truncated: u64,
+}
+
+impl ReuseDistancePdf {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `weight` misses whose stream recurred at `distance`.
+    /// Distances at or beyond [`REUSE_TRUNCATION`] are counted as
+    /// truncated and excluded from the density.
+    pub fn add(&mut self, distance: u64, weight: u64) {
+        if distance >= REUSE_TRUNCATION {
+            self.truncated += weight;
+            return;
+        }
+        let bin = if distance == 0 {
+            0
+        } else {
+            (distance as f64).log10().floor() as usize
+        };
+        self.bins[bin.min(7)] += weight;
+        self.total += weight;
+    }
+
+    /// Total (non-truncated) weight.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// Weight dropped by truncation.
+    pub fn truncated_weight(&self) -> u64 {
+        self.truncated
+    }
+
+    /// The density as `(decade_lower_bound, fraction)` pairs: `(1, f0)`,
+    /// `(10, f1)`, ..., `(10^7, f7)`.
+    pub fn decades(&self) -> Vec<(u64, f64)> {
+        (0..8)
+            .map(|k| {
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    self.bins[k] as f64 / self.total as f64
+                };
+                (10u64.pow(k as u32), frac)
+            })
+            .collect()
+    }
+
+    /// The decade (lower bound) holding the most weight, if any.
+    pub fn mode_decade(&self) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let (k, _) = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, w)| *w)
+            .expect("8 bins");
+        Some(10u64.pow(k as u32))
+    }
+
+    /// Fraction of weight at distances below `bound`.
+    ///
+    /// `bound` is rounded down to a decade boundary.
+    pub fn fraction_below(&self, bound: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let cutoff = if bound == 0 {
+            0
+        } else {
+            ((bound as f64).log10().floor() as usize).min(8)
+        };
+        let below: u64 = self.bins[..cutoff].iter().sum();
+        below as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_percentiles() {
+        let mut c = LengthCdf::new();
+        c.add(2, 10);
+        c.add(8, 10);
+        c.add(100, 10);
+        assert_eq!(c.total_weight(), 30);
+        assert_eq!(c.median(), Some(8));
+        assert_eq!(c.percentile(0.9), Some(100));
+        assert_eq!(c.percentile(0.1), Some(2));
+        assert!((c.cumulative_at(8) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let c = LengthCdf::new();
+        assert_eq!(c.median(), None);
+        assert_eq!(c.cumulative_at(10), 0.0);
+        assert!(c.log_samples().is_empty());
+    }
+
+    #[test]
+    fn cdf_log_samples_cover_max() {
+        let mut c = LengthCdf::new();
+        c.add(3, 1);
+        c.add(40, 1);
+        let samples = c.log_samples();
+        assert_eq!(samples.first().unwrap().0, 1);
+        assert!(samples.last().unwrap().0 >= 40);
+        assert!((samples.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_binning() {
+        let mut p = ReuseDistancePdf::new();
+        p.add(0, 1); // bin 0
+        p.add(5, 1); // bin 0
+        p.add(10, 1); // bin 1
+        p.add(99, 1); // bin 1
+        p.add(1_000_000, 4); // bin 6
+        let d = p.decades();
+        assert!((d[0].1 - 0.25).abs() < 1e-12);
+        assert!((d[1].1 - 0.25).abs() < 1e-12);
+        assert!((d[6].1 - 0.5).abs() < 1e-12);
+        assert_eq!(p.mode_decade(), Some(1_000_000));
+    }
+
+    #[test]
+    fn pdf_truncation() {
+        let mut p = ReuseDistancePdf::new();
+        p.add(REUSE_TRUNCATION, 5);
+        p.add(REUSE_TRUNCATION * 10, 1);
+        p.add(3, 1);
+        assert_eq!(p.truncated_weight(), 6);
+        assert_eq!(p.total_weight(), 1);
+    }
+
+    #[test]
+    fn pdf_fraction_below() {
+        let mut p = ReuseDistancePdf::new();
+        p.add(5, 1); // decade 1 (bin 0)
+        p.add(500, 1); // bin 2
+        p.add(50_000, 2); // bin 4
+        assert!((p.fraction_below(1_000) - 0.5).abs() < 1e-12);
+        assert!((p.fraction_below(10) - 0.25).abs() < 1e-12);
+        assert_eq!(p.fraction_below(1), 0.0);
+    }
+}

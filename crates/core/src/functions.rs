@@ -1,0 +1,246 @@
+//! Function-granularity stream origins.
+//!
+//! The paper's §5 narrative makes *function-level* claims on top of the
+//! category tables: the dispatcher functions "account for an astounding
+//! number of misses ... as much as 12% of all off-chip misses", and
+//! `Perl_sv_gets` is "the single most repetitive function we have
+//! identified, with just under 99% of its misses repeating a prior
+//! temporal stream". This module produces that per-function view.
+
+use crate::streams::StreamLabel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::{FunctionId, MissCategory, SymbolTable};
+
+/// Per-function miss and stream counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionRow {
+    /// The function.
+    pub function: FunctionId,
+    /// Its name.
+    pub name: String,
+    /// Its Table-2 category.
+    pub category: MissCategory,
+    /// Misses attributed to the function.
+    pub misses: u64,
+    /// Of those, misses inside temporal streams.
+    pub misses_in_streams: u64,
+}
+
+impl FunctionRow {
+    /// Within-function stream fraction.
+    pub fn stream_fraction(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.misses_in_streams as f64 / self.misses as f64
+        }
+    }
+}
+
+/// A per-function origin table, sorted by miss count descending.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionTable {
+    rows: Vec<FunctionRow>,
+    total_misses: u64,
+}
+
+impl FunctionTable {
+    /// Builds the table by joining records, stream labels, and the symbol
+    /// table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is not index-aligned with `records`.
+    pub fn build<C: Copy>(
+        records: &[MissRecord<C>],
+        labels: &[StreamLabel],
+        symbols: &SymbolTable,
+    ) -> Self {
+        assert_eq!(records.len(), labels.len(), "labels must align with records");
+        let mut counts: HashMap<FunctionId, (u64, u64)> = HashMap::new();
+        for (r, &label) in records.iter().zip(labels) {
+            let e = counts.entry(r.function).or_insert((0, 0));
+            e.0 += 1;
+            if label != StreamLabel::NonRepetitive {
+                e.1 += 1;
+            }
+        }
+        let mut rows: Vec<FunctionRow> = counts
+            .into_iter()
+            .map(|(function, (misses, in_streams))| FunctionRow {
+                function,
+                name: symbols.name(function).to_owned(),
+                category: symbols.category(function),
+                misses,
+                misses_in_streams: in_streams,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.misses.cmp(&a.misses).then(a.name.cmp(&b.name)));
+        FunctionTable {
+            rows,
+            total_misses: records.len() as u64,
+        }
+    }
+
+    /// Rows sorted by miss count (descending).
+    pub fn rows(&self) -> &[FunctionRow] {
+        &self.rows
+    }
+
+    /// Total misses in the analyzed trace.
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses
+    }
+
+    /// The `n` heaviest functions.
+    pub fn top(&self, n: usize) -> &[FunctionRow] {
+        &self.rows[..n.min(self.rows.len())]
+    }
+
+    /// The row for a function name, if it missed at all.
+    pub fn by_name(&self, name: &str) -> Option<&FunctionRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// The most repetitive function among those with at least `min_misses`
+    /// (guards against tiny-sample artifacts).
+    pub fn most_repetitive(&self, min_misses: u64) -> Option<&FunctionRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.misses >= min_misses)
+            .max_by(|a, b| {
+                a.stream_fraction()
+                    .partial_cmp(&b.stream_fraction())
+                    .expect("fractions are finite")
+            })
+    }
+
+    /// Combined miss share of all functions whose names start with
+    /// `prefix` (e.g. `disp` for the dispatcher family).
+    pub fn share_of_prefix(&self, prefix: &str) -> f64 {
+        if self.total_misses == 0 {
+            return 0.0;
+        }
+        let n: u64 = self
+            .rows
+            .iter()
+            .filter(|r| r.name.starts_with(prefix))
+            .map(|r| r.misses)
+            .sum();
+        n as f64 / self.total_misses as f64
+    }
+}
+
+/// Renders the top-`n` rows as text.
+pub fn format_function_table(table: &FunctionTable, n: usize) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "  {:<28} {:<34} {:>9} {:>10}",
+        "function", "category", "% misses", "% in strm"
+    );
+    for row in table.top(n) {
+        let _ = writeln!(
+            s,
+            "  {:<28} {:<34} {:>8.1}% {:>9.1}%",
+            row.name,
+            row.category.label(),
+            row.misses as f64 * 100.0 / table.total_misses().max(1) as f64,
+            row.stream_fraction() * 100.0
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::{Block, CpuId, MissClass, ThreadId};
+
+    fn rec(function: FunctionId) -> MissRecord<MissClass> {
+        MissRecord {
+            block: Block::new(0),
+            cpu: CpuId::new(0),
+            thread: ThreadId::new(0),
+            function,
+            class: MissClass::Replacement,
+        }
+    }
+
+    fn setup() -> (Vec<MissRecord<MissClass>>, Vec<StreamLabel>, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        let a = sym.intern("disp_getwork", MissCategory::KernelScheduler);
+        let b = sym.intern("Perl_sv_gets", MissCategory::CgiPerlInput);
+        let records = vec![rec(a), rec(a), rec(a), rec(b), rec(b)];
+        let labels = vec![
+            StreamLabel::RecurringStream,
+            StreamLabel::NonRepetitive,
+            StreamLabel::NewStream,
+            StreamLabel::RecurringStream,
+            StreamLabel::RecurringStream,
+        ];
+        (records, labels, sym)
+    }
+
+    #[test]
+    fn rows_sorted_by_misses() {
+        let (records, labels, sym) = setup();
+        let t = FunctionTable::build(&records, &labels, &sym);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[0].name, "disp_getwork");
+        assert_eq!(t.rows()[0].misses, 3);
+        assert_eq!(t.total_misses(), 5);
+    }
+
+    #[test]
+    fn stream_fractions_per_function() {
+        let (records, labels, sym) = setup();
+        let t = FunctionTable::build(&records, &labels, &sym);
+        let perl = t.by_name("Perl_sv_gets").unwrap();
+        assert!((perl.stream_fraction() - 1.0).abs() < 1e-12);
+        let disp = t.by_name("disp_getwork").unwrap();
+        assert!((disp.stream_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_repetitive_respects_min_misses() {
+        let (records, labels, sym) = setup();
+        let t = FunctionTable::build(&records, &labels, &sym);
+        assert_eq!(t.most_repetitive(1).unwrap().name, "Perl_sv_gets");
+        // With a floor of 3, only disp_getwork qualifies.
+        assert_eq!(t.most_repetitive(3).unwrap().name, "disp_getwork");
+        assert!(t.most_repetitive(100).is_none());
+    }
+
+    #[test]
+    fn prefix_share() {
+        let (records, labels, sym) = setup();
+        let t = FunctionTable::build(&records, &labels, &sym);
+        assert!((t.share_of_prefix("disp") - 0.6).abs() < 1e-12);
+        assert!((t.share_of_prefix("Perl") - 0.4).abs() < 1e-12);
+        assert_eq!(t.share_of_prefix("sql"), 0.0);
+    }
+
+    #[test]
+    fn top_and_format() {
+        let (records, labels, sym) = setup();
+        let t = FunctionTable::build(&records, &labels, &sym);
+        assert_eq!(t.top(1).len(), 1);
+        assert_eq!(t.top(10).len(), 2);
+        let text = format_function_table(&t, 5);
+        assert!(text.contains("disp_getwork"));
+        assert!(text.contains("Perl_sv_gets"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let sym = SymbolTable::new();
+        let t = FunctionTable::build::<MissClass>(&[], &[], &sym);
+        assert!(t.rows().is_empty());
+        assert_eq!(t.share_of_prefix("x"), 0.0);
+        assert!(t.most_repetitive(0).is_none());
+    }
+}

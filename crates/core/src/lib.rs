@@ -1,0 +1,48 @@
+//! Temporal-stream characterization of commercial server applications.
+//!
+//! This crate is the top of the reproduction stack for Wenisch et al.,
+//! *Temporal Streams in Commercial Server Applications* (IISWC 2008). It
+//! turns classified read-miss traces (produced by `tempstream-coherence`
+//! from `tempstream-workloads` access streams) into the paper's analyses:
+//!
+//! - [`streams`] — SEQUITUR-based temporal-stream identification: which
+//!   misses belong to the first (*New*) or a later (*Recurring*)
+//!   occurrence of a repeated miss sequence, stream-length distributions,
+//!   and reuse distances measured in intervening misses on the first
+//!   processor;
+//! - [`stride`] — constant-stride run detection, orthogonal to
+//!   repetitiveness (Figure 3's joint breakdown);
+//! - [`distribution`] — weighted CDF / log-binned PDF helpers used by
+//!   Figure 4;
+//! - [`origins`] — code-module attribution (Tables 3-5) and
+//!   [`functions`] — the finer per-function view behind §5's narrative;
+//! - [`spatial`] — spatial-pattern (SMS-style) predictability, the
+//!   companion phenomenon the intro contrasts streams with;
+//! - [`report`] — typed report structures with `Display` impls that print
+//!   the paper's figures and tables;
+//! - [`experiment`] — the end-to-end runner: workload × system context →
+//!   full characterization.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use tempstream_core::experiment::{Experiment, ExperimentConfig};
+//! use tempstream_workloads::Workload;
+//!
+//! let cfg = ExperimentConfig::quick();
+//! let results = Experiment::new(cfg).run_workload(Workload::Apache);
+//! println!("{}", results.multi_chip.streams.stream_fraction);
+//! ```
+
+pub mod distribution;
+pub mod experiment;
+pub mod functions;
+pub mod origins;
+pub mod report;
+pub mod spatial;
+pub mod streams;
+pub mod stride;
+
+pub use experiment::{Experiment, ExperimentConfig, WorkloadResults};
+pub use streams::{StreamAnalysis, StreamLabel};
+pub use stride::StrideDetector;

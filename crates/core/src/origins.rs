@@ -1,0 +1,189 @@
+//! Code-module origin analysis (Tables 3-5).
+//!
+//! Every miss carries the function active at the miss; the symbol table
+//! maps functions to the paper's Table-2 categories. Joining the per-miss
+//! category with the per-miss stream label yields, per category: its share
+//! of all misses and the share of all misses that are both in this
+//! category *and* in a temporal stream — the two columns of Tables 3-5.
+
+use crate::streams::StreamLabel;
+use serde::{Deserialize, Serialize};
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::{AppClass, MissCategory, SymbolTable};
+
+/// One row of an origin table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OriginRow {
+    /// The category.
+    pub category: MissCategory,
+    /// Misses attributed to the category.
+    pub misses: u64,
+    /// Of those, misses inside temporal streams (new or recurring).
+    pub misses_in_streams: u64,
+}
+
+impl OriginRow {
+    /// Share of all misses (`% misses` column), given the trace total.
+    pub fn miss_share(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Share of all misses that are in this category and in streams
+    /// (`% in streams` column), given the trace total.
+    pub fn stream_share(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.misses_in_streams as f64 / total as f64
+        }
+    }
+
+    /// Within-category stream fraction.
+    pub fn stream_fraction(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.misses_in_streams as f64 / self.misses as f64
+        }
+    }
+}
+
+/// An origin table for one workload/context pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OriginTable {
+    /// Application class (selects the category row set).
+    pub app_class: AppClass,
+    /// Rows in Tables 3-5 order.
+    pub rows: Vec<OriginRow>,
+    /// Total misses in the analyzed trace.
+    pub total_misses: u64,
+}
+
+impl OriginTable {
+    /// Builds the table by joining records, stream labels, and the symbol
+    /// table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is not index-aligned with `records`.
+    pub fn build<C: Copy>(
+        records: &[MissRecord<C>],
+        labels: &[StreamLabel],
+        symbols: &SymbolTable,
+        app_class: AppClass,
+    ) -> Self {
+        assert_eq!(records.len(), labels.len(), "labels must align with records");
+        let categories = MissCategory::for_app(app_class);
+        let index_of = |c: MissCategory| categories.iter().position(|&x| x == c);
+        let mut rows: Vec<OriginRow> = categories
+            .iter()
+            .map(|&category| OriginRow {
+                category,
+                misses: 0,
+                misses_in_streams: 0,
+            })
+            .collect();
+        for (r, &label) in records.iter().zip(labels) {
+            let cat = symbols.category(r.function);
+            // Functions from categories outside this app class's row set
+            // (shouldn't happen in practice) are counted as Uncategorized.
+            let idx = index_of(cat).unwrap_or(0);
+            rows[idx].misses += 1;
+            if label != StreamLabel::NonRepetitive {
+                rows[idx].misses_in_streams += 1;
+            }
+        }
+        OriginTable {
+            app_class,
+            rows,
+            total_misses: records.len() as u64,
+        }
+    }
+
+    /// Overall fraction of misses in streams (the tables' bottom line).
+    pub fn overall_stream_fraction(&self) -> f64 {
+        if self.total_misses == 0 {
+            return 0.0;
+        }
+        let in_streams: u64 = self.rows.iter().map(|r| r.misses_in_streams).sum();
+        in_streams as f64 / self.total_misses as f64
+    }
+
+    /// The row for `category`, if present in this app class's row set.
+    pub fn row(&self, category: MissCategory) -> Option<&OriginRow> {
+        self.rows.iter().find(|r| r.category == category)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::{Block, CpuId, FunctionId, MissClass, ThreadId};
+
+    fn record(function: FunctionId) -> MissRecord<MissClass> {
+        MissRecord {
+            block: Block::new(0),
+            cpu: CpuId::new(0),
+            thread: ThreadId::new(0),
+            function,
+            class: MissClass::Replacement,
+        }
+    }
+
+    #[test]
+    fn rows_and_shares() {
+        let mut sym = SymbolTable::new();
+        let f_copy = sym.intern("memcpy", MissCategory::BulkMemoryCopy);
+        let f_poll = sym.intern("poll", MissCategory::SystemCall);
+        let records = vec![record(f_copy), record(f_copy), record(f_poll), record(f_poll)];
+        let labels = vec![
+            StreamLabel::NewStream,
+            StreamLabel::RecurringStream,
+            StreamLabel::NonRepetitive,
+            StreamLabel::RecurringStream,
+        ];
+        let t = OriginTable::build(&records, &labels, &sym, AppClass::Web);
+        assert_eq!(t.total_misses, 4);
+        let copy_row = t.row(MissCategory::BulkMemoryCopy).unwrap();
+        assert_eq!(copy_row.misses, 2);
+        assert_eq!(copy_row.misses_in_streams, 2);
+        assert!((copy_row.miss_share(4) - 0.5).abs() < 1e-12);
+        let poll_row = t.row(MissCategory::SystemCall).unwrap();
+        assert_eq!(poll_row.misses_in_streams, 1);
+        assert!((poll_row.stream_fraction() - 0.5).abs() < 1e-12);
+        assert!((t.overall_stream_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_class_category_falls_to_uncategorized() {
+        let mut sym = SymbolTable::new();
+        // A DB2 function appearing in a Web-class table.
+        let f = sym.intern("sqliFetch", MissCategory::Db2IndexPageTuple);
+        let records = vec![record(f)];
+        let labels = vec![StreamLabel::NonRepetitive];
+        let t = OriginTable::build(&records, &labels, &sym, AppClass::Web);
+        assert_eq!(t.row(MissCategory::Uncategorized).unwrap().misses, 1);
+        assert!(t.row(MissCategory::Db2IndexPageTuple).is_none());
+    }
+
+    #[test]
+    fn empty_trace_table() {
+        let sym = SymbolTable::new();
+        let t = OriginTable::build::<MissClass>(&[], &[], &sym, AppClass::Oltp);
+        assert_eq!(t.total_misses, 0);
+        assert_eq!(t.overall_stream_fraction(), 0.0);
+        assert_eq!(t.rows.len(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must align")]
+    fn misaligned_labels_panic() {
+        let sym = SymbolTable::new();
+        let records = vec![record(FunctionId::new(0))];
+        OriginTable::build(&records, &[], &sym, AppClass::Web);
+    }
+}

@@ -1,0 +1,353 @@
+//! Temporal-stream identification via SEQUITUR.
+//!
+//! A temporal stream is a sequence of two or more misses that occurs at
+//! least twice (paper §2). Running SEQUITUR over the block-address miss
+//! sequence yields a grammar whose non-root rules are exactly the distinct
+//! repeated subsequences. Walking the root rule segments the trace into
+//! stream occurrences (root-level rule references) and non-repetitive
+//! misses (root-level terminals); an occurrence is *New* if no rule in its
+//! expansion has been emitted before, else *Recurring*.
+
+use crate::distribution::{LengthCdf, ReuseDistancePdf};
+use tempstream_sequitur::{GrammarSymbol, RuleId, Sequitur};
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::MissTrace;
+
+/// Per-miss stream label (Figure 2's three segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamLabel {
+    /// Not part of any repeated sequence.
+    NonRepetitive,
+    /// Part of the first occurrence of a temporal stream.
+    NewStream,
+    /// Part of the second or a later occurrence of a temporal stream.
+    RecurringStream,
+}
+
+/// One root-level stream occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOccurrence {
+    /// Grammar rule identifying the stream.
+    pub rule: RuleId,
+    /// Trace position of the occurrence's first miss.
+    pub start: usize,
+    /// Occurrence length in misses.
+    pub len: u64,
+    /// `true` for the stream's first occurrence.
+    pub new: bool,
+    /// Reuse distance from the previous occurrence: intervening misses
+    /// observed by the previous occurrence's processor (paper §4.5).
+    /// `None` for first occurrences.
+    pub reuse_distance: Option<u64>,
+}
+
+/// The result of stream analysis over one miss trace.
+#[derive(Debug, Clone)]
+pub struct StreamAnalysis {
+    labels: Vec<StreamLabel>,
+    occurrences: Vec<StreamOccurrence>,
+    rule_count: usize,
+}
+
+impl StreamAnalysis {
+    /// Analyzes a miss trace (any classification type).
+    ///
+    /// Cost is linear-ish in trace length; the SEQUITUR grammar and all
+    /// per-position labels are materialized.
+    pub fn of_trace<C: Copy>(trace: &MissTrace<C>) -> Self {
+        Self::of_records(trace.records(), trace.num_cpus())
+    }
+
+    /// Analyzes a raw record slice.
+    pub fn of_records<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> Self {
+        // 1. Grammar inference over the block sequence.
+        let mut seq = Sequitur::with_capacity(records.len());
+        for r in records {
+            seq.push(r.block.raw());
+        }
+        let grammar = seq.into_grammar();
+
+        // 2. Root walk: label positions, collect occurrences, measure
+        // reuse distances with per-cpu miss counters.
+        let mut labels = vec![StreamLabel::NonRepetitive; records.len()];
+        let mut occurrences = Vec::new();
+        // seen[r]: rule r's expansion has already been emitted somewhere.
+        let mut seen = vec![false; grammar.rule_count()];
+        // last_occ[r]: (cpu of last occurrence, that cpu's miss count at
+        // the occurrence's end).
+        let mut last_occ: Vec<Option<(u32, u64)>> = vec![None; grammar.rule_count()];
+        let mut cpu_counts = vec![0u64; num_cpus.max(1) as usize];
+        let mut pos = 0usize;
+
+        for sym in grammar.rule_body(RuleId::ROOT) {
+            match *sym {
+                GrammarSymbol::Terminal(_) => {
+                    cpu_counts[records[pos].cpu.index()] += 1;
+                    pos += 1;
+                }
+                GrammarSymbol::Rule(rule) => {
+                    let len = grammar.expansion_len(rule);
+                    let new = !seen[rule.index()];
+                    if new {
+                        mark_seen(&grammar, rule, &mut seen);
+                    }
+                    let occ_cpu = records[pos].cpu.raw();
+                    let reuse_distance = last_occ[rule.index()]
+                        .map(|(pcpu, pcount)| cpu_counts[pcpu as usize] - pcount);
+                    let label = if new {
+                        StreamLabel::NewStream
+                    } else {
+                        StreamLabel::RecurringStream
+                    };
+                    for l in &mut labels[pos..pos + len as usize] {
+                        *l = label;
+                    }
+                    for r in &records[pos..pos + len as usize] {
+                        cpu_counts[r.cpu.index()] += 1;
+                    }
+                    occurrences.push(StreamOccurrence {
+                        rule,
+                        start: pos,
+                        len,
+                        new,
+                        reuse_distance,
+                    });
+                    last_occ[rule.index()] = Some((occ_cpu, cpu_counts[occ_cpu as usize]));
+                    pos += len as usize;
+                }
+            }
+        }
+        debug_assert_eq!(pos, records.len(), "root walk must cover the trace");
+
+        StreamAnalysis {
+            labels,
+            occurrences,
+            rule_count: grammar.rule_count(),
+        }
+    }
+
+    /// Per-miss labels, index-aligned with the analyzed trace.
+    pub fn labels(&self) -> &[StreamLabel] {
+        &self.labels
+    }
+
+    /// All root-level stream occurrences in trace order.
+    pub fn occurrences(&self) -> &[StreamOccurrence] {
+        &self.occurrences
+    }
+
+    /// Number of grammar rules (including the root): distinct streams + 1.
+    pub fn distinct_streams(&self) -> usize {
+        self.rule_count.saturating_sub(1)
+    }
+
+    /// Trace length analyzed.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the analyzed trace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Counts of (non-repetitive, new, recurring) misses.
+    pub fn label_counts(&self) -> (u64, u64, u64) {
+        let mut n = (0, 0, 0);
+        for l in &self.labels {
+            match l {
+                StreamLabel::NonRepetitive => n.0 += 1,
+                StreamLabel::NewStream => n.1 += 1,
+                StreamLabel::RecurringStream => n.2 += 1,
+            }
+        }
+        n
+    }
+
+    /// Fraction of misses in temporal streams (new + recurring).
+    pub fn stream_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let (_, new, rec) = self.label_counts();
+        (new + rec) as f64 / self.labels.len() as f64
+    }
+
+    /// Stream-length distribution weighted by contribution to temporal
+    /// streams (Figure 4, left).
+    pub fn length_cdf(&self) -> LengthCdf {
+        let mut cdf = LengthCdf::new();
+        for occ in &self.occurrences {
+            cdf.add(occ.len, occ.len);
+        }
+        cdf
+    }
+
+    /// Reuse-distance distribution, log-decade binned and truncated at
+    /// 10^7 (Figure 4, right), weighted by occurrence length.
+    pub fn reuse_distance_pdf(&self) -> ReuseDistancePdf {
+        let mut pdf = ReuseDistancePdf::new();
+        for occ in &self.occurrences {
+            if let Some(d) = occ.reuse_distance {
+                pdf.add(d, occ.len);
+            }
+        }
+        pdf
+    }
+}
+
+/// Marks `rule` and every rule reachable from it as seen.
+fn mark_seen(
+    grammar: &tempstream_sequitur::Grammar,
+    rule: RuleId,
+    seen: &mut [bool],
+) {
+    let mut stack = vec![rule];
+    while let Some(r) = stack.pop() {
+        if seen[r.index()] {
+            continue;
+        }
+        seen[r.index()] = true;
+        for sym in grammar.rule_body(r) {
+            if let GrammarSymbol::Rule(sub) = sym {
+                if !seen[sub.index()] {
+                    stack.push(*sub);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::{Block, CpuId, FunctionId, MissClass, ThreadId};
+
+    fn trace_of(blocks: &[(u64, u32)]) -> MissTrace<MissClass> {
+        let cpus = blocks.iter().map(|&(_, c)| c).max().unwrap_or(0) + 1;
+        let mut t = MissTrace::new(cpus);
+        for &(b, c) in blocks {
+            t.push(MissRecord {
+                block: Block::new(b),
+                cpu: CpuId::new(c),
+                thread: ThreadId::new(c),
+                function: FunctionId::new(0),
+                class: MissClass::Replacement,
+            });
+        }
+        t
+    }
+
+    fn seq(blocks: &[u64]) -> MissTrace<MissClass> {
+        let v: Vec<(u64, u32)> = blocks.iter().map(|&b| (b, 0)).collect();
+        trace_of(&v)
+    }
+
+    #[test]
+    fn empty_trace() {
+        let a = StreamAnalysis::of_trace(&seq(&[]));
+        assert!(a.is_empty());
+        assert_eq!(a.stream_fraction(), 0.0);
+        assert_eq!(a.distinct_streams(), 0);
+    }
+
+    #[test]
+    fn no_repetition_all_non_repetitive() {
+        let a = StreamAnalysis::of_trace(&seq(&[1, 2, 3, 4, 5]));
+        assert_eq!(a.label_counts(), (5, 0, 0));
+        assert!(a.occurrences().is_empty());
+    }
+
+    #[test]
+    fn repeated_pair_new_then_recurring() {
+        let a = StreamAnalysis::of_trace(&seq(&[1, 2, 9, 1, 2]));
+        assert_eq!(a.label_counts(), (1, 2, 2));
+        assert_eq!(a.occurrences().len(), 2);
+        assert!(a.occurrences()[0].new);
+        assert!(!a.occurrences()[1].new);
+        assert_eq!(a.occurrences()[1].reuse_distance, Some(1)); // the "9"
+        assert_eq!(a.labels()[2], StreamLabel::NonRepetitive);
+    }
+
+    #[test]
+    fn back_to_back_repetition_has_zero_distance() {
+        let a = StreamAnalysis::of_trace(&seq(&[1, 2, 3, 1, 2, 3]));
+        assert_eq!(a.occurrences().len(), 2);
+        assert_eq!(a.occurrences()[1].reuse_distance, Some(0));
+        assert_eq!(a.occurrences()[0].len, 3);
+    }
+
+    #[test]
+    fn reuse_distance_counts_first_processor_only() {
+        // Stream [1,2] on cpu 0; between its occurrences, 3 misses by cpu
+        // 1 and 2 by cpu 0.
+        let a = StreamAnalysis::of_trace(&trace_of(&[
+            (1, 0),
+            (2, 0),
+            (10, 1),
+            (11, 0),
+            (12, 1),
+            (13, 0),
+            (14, 1),
+            (1, 0),
+            (2, 0),
+        ]));
+        let occ: Vec<_> = a.occurrences().iter().filter(|o| o.len == 2).collect();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(
+            occ[1].reuse_distance,
+            Some(2),
+            "only cpu 0's intervening misses count"
+        );
+    }
+
+    #[test]
+    fn three_occurrences_chain_distances() {
+        let a = StreamAnalysis::of_trace(&seq(&[1, 2, 7, 1, 2, 8, 9, 1, 2]));
+        let occ = a.occurrences();
+        assert_eq!(occ.len(), 3);
+        assert_eq!(occ[1].reuse_distance, Some(1));
+        assert_eq!(occ[2].reuse_distance, Some(2));
+        assert_eq!(a.label_counts(), (3, 2, 4));
+    }
+
+    #[test]
+    fn stream_fraction_matches_labels() {
+        let a = StreamAnalysis::of_trace(&seq(&[1, 2, 3, 1, 2, 3, 9, 9]));
+        let (non, new, rec) = a.label_counts();
+        assert_eq!(non + new + rec, 8);
+        assert!((a.stream_fraction() - (new + rec) as f64 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_rule_first_emission_counts_as_new() {
+        // "abab" then later "ab" alone: the "ab" rule was already emitted
+        // inside the bigger stream, so its standalone occurrence recurs.
+        let a = StreamAnalysis::of_trace(&seq(&[
+            1, 2, 1, 2, 5, 1, 2, 1, 2, 6, 1, 2,
+        ]));
+        // The final [1,2] occurrence must be Recurring, not New.
+        let last = a.occurrences().last().unwrap();
+        assert_eq!(last.start, 10);
+        assert!(!last.new, "nested emission already seen");
+    }
+
+    #[test]
+    fn length_cdf_weights_by_contribution() {
+        let a = StreamAnalysis::of_trace(&seq(&[1, 2, 3, 1, 2, 3]));
+        let cdf = a.length_cdf();
+        // One stream of length 3 occurring twice: 6 weighted misses at 3.
+        assert_eq!(cdf.total_weight(), 6);
+        assert_eq!(cdf.median(), Some(3));
+    }
+
+    #[test]
+    fn labels_align_with_trace_positions() {
+        let t = seq(&[4, 1, 2, 5, 1, 2]);
+        let a = StreamAnalysis::of_trace(&t);
+        assert_eq!(a.len(), t.len());
+        assert_eq!(a.labels()[0], StreamLabel::NonRepetitive);
+        assert_eq!(a.labels()[1], StreamLabel::NewStream);
+        assert_eq!(a.labels()[4], StreamLabel::RecurringStream);
+    }
+}

@@ -1,0 +1,217 @@
+//! Constant-stride run detection.
+//!
+//! Whether a miss is stride-predictable is orthogonal to whether it is in
+//! a temporal stream (paper §4.3). This detector scans each processor's
+//! miss sub-sequence: a run of misses with a constant non-zero
+//! block-granularity delta of at least [`MIN_RUN`] misses marks every
+//! miss in the run as strided — the set a conventional stride prefetcher
+//! could cover.
+
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::{Block, MissTrace};
+
+/// Minimum misses in a constant-stride run for it to count as strided
+/// (detect + 1 confirm + 1 covered).
+pub const MIN_RUN: usize = 3;
+
+/// Maximum absolute stride, in blocks, the detector tracks (covers unit
+/// and page-sized strides; larger deltas defeat real stride prefetchers'
+/// distance fields).
+pub const MAX_STRIDE: i64 = 64;
+
+/// Per-CPU constant-stride run detection over a miss trace.
+#[derive(Debug, Clone)]
+pub struct StrideDetector {
+    strided: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CpuState {
+    last_block: Option<Block>,
+    last_delta: Option<i64>,
+    last_index: usize,
+}
+
+impl StrideDetector {
+    /// Labels every miss of `trace` as strided or not.
+    pub fn of_trace<C: Copy>(trace: &MissTrace<C>) -> Self {
+        Self::of_records(trace.records(), trace.num_cpus())
+    }
+
+    /// Labels a raw record slice.
+    pub fn of_records<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> Self {
+        let mut strided = vec![false; records.len()];
+        let mut states = vec![CpuState::default(); num_cpus.max(1) as usize];
+        // Per-cpu indices of the current candidate run's misses.
+        let mut runs: Vec<Vec<usize>> = vec![Vec::new(); num_cpus.max(1) as usize];
+
+        for (i, r) in records.iter().enumerate() {
+            let c = r.cpu.index();
+            let st = &mut states[c];
+            let run = &mut runs[c];
+            let delta = st.last_block.map(|lb| r.block.stride_from(lb));
+            let usable = |d: i64| d != 0 && d.abs() <= MAX_STRIDE;
+            let continues = matches!((delta, st.last_delta),
+                (Some(d), Some(ld)) if d == ld && usable(d));
+            if continues {
+                run.push(i);
+                if run.len() == MIN_RUN {
+                    // Mark the whole run (earlier members retroactively).
+                    for &j in run.iter() {
+                        strided[j] = true;
+                    }
+                } else if run.len() > MIN_RUN {
+                    strided[i] = true;
+                }
+            } else {
+                // This miss may begin a new run seeded by the previous
+                // miss on the same cpu.
+                run.clear();
+                if let Some(d) = delta {
+                    if usable(d) {
+                        run.push(st.last_index);
+                        run.push(i);
+                    }
+                }
+            }
+            st.last_delta = delta;
+            st.last_block = Some(r.block);
+            st.last_index = i;
+        }
+
+        StrideDetector { strided }
+    }
+
+    /// Per-miss strided flags, aligned with the trace.
+    pub fn flags(&self) -> &[bool] {
+        &self.strided
+    }
+
+    /// Returns `true` if miss `i` is stride-predictable.
+    pub fn is_strided(&self, i: usize) -> bool {
+        self.strided[i]
+    }
+
+    /// Number of strided misses.
+    pub fn strided_count(&self) -> u64 {
+        self.strided.iter().filter(|&&b| b).count() as u64
+    }
+
+    /// Fraction of misses that are strided.
+    pub fn strided_fraction(&self) -> f64 {
+        if self.strided.is_empty() {
+            0.0
+        } else {
+            self.strided_count() as f64 / self.strided.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::{CpuId, FunctionId, MissClass, ThreadId};
+
+    fn trace(blocks: &[(u64, u32)]) -> MissTrace<MissClass> {
+        let cpus = blocks.iter().map(|&(_, c)| c).max().unwrap_or(0) + 1;
+        let mut t = MissTrace::new(cpus);
+        for &(b, c) in blocks {
+            t.push(MissRecord {
+                block: Block::new(b),
+                cpu: CpuId::new(c),
+                thread: ThreadId::new(c),
+                function: FunctionId::new(0),
+                class: MissClass::Replacement,
+            });
+        }
+        t
+    }
+
+    fn seq(blocks: &[u64]) -> MissTrace<MissClass> {
+        let v: Vec<(u64, u32)> = blocks.iter().map(|&b| (b, 0)).collect();
+        trace(&v)
+    }
+
+    #[test]
+    fn unit_stride_run_detected() {
+        let d = StrideDetector::of_trace(&seq(&[10, 11, 12, 13]));
+        assert_eq!(d.flags(), &[true, true, true, true]);
+    }
+
+    #[test]
+    fn two_misses_are_not_a_run() {
+        let d = StrideDetector::of_trace(&seq(&[10, 11, 50, 90]));
+        // 10->11 is a candidate pair but never confirmed; 50->90 exceeds
+        // MAX_STRIDE.
+        assert_eq!(d.strided_count(), 0);
+    }
+
+    #[test]
+    fn negative_stride_detected() {
+        let d = StrideDetector::of_trace(&seq(&[30, 28, 26, 24]));
+        assert_eq!(d.strided_count(), 4);
+    }
+
+    #[test]
+    fn random_sequence_not_strided() {
+        let d = StrideDetector::of_trace(&seq(&[5, 90, 2, 77, 31, 8]));
+        assert_eq!(d.strided_count(), 0);
+    }
+
+    #[test]
+    fn run_break_resets() {
+        let d = StrideDetector::of_trace(&seq(&[1, 2, 3, 100, 200, 300]));
+        // The 100/200/300 deltas exceed MAX_STRIDE.
+        assert_eq!(d.flags(), &[true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn repeated_same_block_is_not_strided() {
+        let d = StrideDetector::of_trace(&seq(&[7, 7, 7, 7, 7]));
+        assert_eq!(d.strided_count(), 0);
+    }
+
+    #[test]
+    fn per_cpu_streams_are_independent() {
+        // cpu0 strides 1,2,3,4; cpu1 interleaves random blocks.
+        let d = StrideDetector::of_trace(&trace(&[
+            (1, 0),
+            (50, 1),
+            (2, 0),
+            (9, 1),
+            (3, 0),
+            (70, 1),
+            (4, 0),
+        ]));
+        assert!(d.is_strided(0));
+        assert!(d.is_strided(2));
+        assert!(d.is_strided(4));
+        assert!(d.is_strided(6));
+        assert!(!d.is_strided(1));
+        assert!(!d.is_strided(3));
+        assert!(!d.is_strided(5));
+    }
+
+    #[test]
+    fn page_stride_detected() {
+        // 64-block (4 KB) stride — page-sized copies.
+        let d = StrideDetector::of_trace(&seq(&[0, 64, 128, 192]));
+        assert_eq!(d.strided_count(), 4);
+    }
+
+    #[test]
+    fn stride_change_starts_new_run() {
+        let d = StrideDetector::of_trace(&seq(&[0, 1, 2, 4, 6, 8]));
+        // 0,1,2 is a unit run; 2->4,4->6,6->8 is a stride-2 run; the miss
+        // at 2 belongs to the first run, misses 4,6,8 plus the pair seed
+        // are the second.
+        assert!(d.is_strided(0) && d.is_strided(1) && d.is_strided(2));
+        assert!(d.is_strided(4) && d.is_strided(5));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let d = StrideDetector::of_trace(&seq(&[]));
+        assert_eq!(d.strided_fraction(), 0.0);
+    }
+}

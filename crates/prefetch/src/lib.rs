@@ -1,0 +1,75 @@
+//! Prefetchers over miss traces.
+//!
+//! The paper characterizes temporal streams because "over a decade of
+//! research" builds prefetchers on them (§1-2). This crate closes the
+//! loop: it implements the three predictor families the paper contrasts
+//! and evaluates them on the suite's miss traces:
+//!
+//! - [`stride::StridePrefetcher`] — the widely-deployed baseline; covers
+//!   bulk copies and table scans, "only limited benefit" elsewhere;
+//! - [`markov::MarkovPrefetcher`] — pair-wise address correlation (Joseph
+//!   & Grunwald style), the pre-stream correlating design;
+//! - [`temporal::TemporalPrefetcher`] — temporal streaming (Wenisch et
+//!   al. \[25\] style): a global miss log plus a head index; on a miss that
+//!   hits the index, the recorded stream is replayed either to a fixed
+//!   depth or adaptively while predictions keep hitting.
+//!
+//! [`eval::evaluate`] measures coverage and accuracy with a simple
+//! prefetch-buffer model; `reproduce`-style output lives in the bench
+//! crate's `prefetch_eval` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use tempstream_prefetch::prelude::*;
+//! use tempstream_trace::prelude::*;
+//!
+//! // A miss trace where the sequence [8, 9, 10] recurs.
+//! let mut t: MissTrace<MissClass> = MissTrace::new(1);
+//! for b in [8u64, 9, 10, 50, 8, 9, 10] {
+//!     t.push(MissRecord {
+//!         block: Block::new(b),
+//!         cpu: CpuId::new(0),
+//!         thread: ThreadId::new(0),
+//!         function: FunctionId::new(0),
+//!         class: MissClass::Replacement,
+//!     });
+//! }
+//! let mut p = TemporalPrefetcher::fixed(4);
+//! let e = evaluate(&mut p, t.records(), 64);
+//! assert!(e.covered > 0, "the second occurrence is predicted");
+//! ```
+
+pub mod eval;
+pub mod markov;
+pub mod stride;
+pub mod temporal;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::eval::{evaluate, Evaluation};
+    pub use crate::markov::MarkovPrefetcher;
+    pub use crate::stride::StridePrefetcher;
+    pub use crate::temporal::TemporalPrefetcher;
+    pub use crate::Prefetcher;
+}
+
+pub use eval::{evaluate, Evaluation};
+pub use markov::MarkovPrefetcher;
+pub use stride::StridePrefetcher;
+pub use temporal::TemporalPrefetcher;
+
+use tempstream_trace::{Block, CpuId};
+
+/// A miss-stream-driven prefetcher.
+///
+/// The evaluation harness calls [`on_miss`](Prefetcher::on_miss) for every
+/// demand miss in trace order; the prefetcher returns the blocks it would
+/// fetch.
+pub trait Prefetcher {
+    /// Observes a demand miss and returns the predicted future blocks.
+    fn on_miss(&mut self, cpu: CpuId, block: Block) -> Vec<Block>;
+
+    /// Short display name.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,122 @@
+//! Pair-wise address-correlation ("Markov") prefetcher.
+//!
+//! Joseph & Grunwald style: a table maps each miss block to the blocks
+//! most recently observed to follow it; on a miss, the remembered
+//! successors are fetched. Correlates *pairs* only — the design temporal
+//! streams generalize to arbitrary-length sequences.
+
+use crate::Prefetcher;
+use std::collections::HashMap;
+use tempstream_trace::{Block, CpuId};
+
+/// The Markov prefetcher.
+#[derive(Debug, Clone)]
+pub struct MarkovPrefetcher {
+    /// block -> up to `ways` successors, most recent first.
+    table: HashMap<Block, Vec<Block>>,
+    ways: usize,
+    max_entries: usize,
+    last: Option<Block>,
+}
+
+impl MarkovPrefetcher {
+    /// Creates a prefetcher remembering up to `ways` successors per block,
+    /// bounded at `max_entries` table entries (FIFO-ish reset when full:
+    /// real designs bound their correlation tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` or `max_entries` is zero.
+    pub fn new(ways: usize, max_entries: usize) -> Self {
+        assert!(ways > 0 && max_entries > 0, "degenerate markov table");
+        MarkovPrefetcher {
+            table: HashMap::new(),
+            ways,
+            max_entries,
+            last: None,
+        }
+    }
+
+    /// Table entries currently populated.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl Prefetcher for MarkovPrefetcher {
+    fn on_miss(&mut self, _cpu: CpuId, block: Block) -> Vec<Block> {
+        // Learn: the previous miss is followed by this one.
+        if let Some(prev) = self.last {
+            if self.table.len() >= self.max_entries && !self.table.contains_key(&prev) {
+                self.table.clear();
+            }
+            let succ = self.table.entry(prev).or_default();
+            if let Some(pos) = succ.iter().position(|&s| s == block) {
+                succ.remove(pos);
+            }
+            succ.insert(0, block);
+            succ.truncate(self.ways);
+        }
+        self.last = Some(block);
+        // Predict: this block's remembered successors.
+        self.table.get(&block).cloned().unwrap_or_default()
+    }
+
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x: u64) -> Block {
+        Block::new(x)
+    }
+
+    #[test]
+    fn learns_pairs() {
+        let mut p = MarkovPrefetcher::new(2, 1024);
+        p.on_miss(CpuId::new(0), b(1));
+        p.on_miss(CpuId::new(0), b(2));
+        p.on_miss(CpuId::new(0), b(9));
+        // Revisit 1: successor 2 is predicted.
+        assert_eq!(p.on_miss(CpuId::new(0), b(1)), vec![b(2)]);
+    }
+
+    #[test]
+    fn most_recent_successor_first() {
+        let mut p = MarkovPrefetcher::new(2, 1024);
+        for pair in [(1, 2), (1, 3)] {
+            p.on_miss(CpuId::new(0), b(pair.0));
+            p.on_miss(CpuId::new(0), b(pair.1));
+        }
+        assert_eq!(p.on_miss(CpuId::new(0), b(1)), vec![b(3), b(2)]);
+    }
+
+    #[test]
+    fn ways_bound_successors() {
+        let mut p = MarkovPrefetcher::new(1, 1024);
+        for pair in [(1, 2), (1, 3), (1, 4)] {
+            p.on_miss(CpuId::new(0), b(pair.0));
+            p.on_miss(CpuId::new(0), b(pair.1));
+        }
+        assert_eq!(p.on_miss(CpuId::new(0), b(1)), vec![b(4)]);
+    }
+
+    #[test]
+    fn capacity_reset() {
+        let mut p = MarkovPrefetcher::new(1, 2);
+        for x in 0..10u64 {
+            p.on_miss(CpuId::new(0), b(x));
+        }
+        assert!(p.entries() <= 2);
+    }
+
+    #[test]
+    fn cold_block_predicts_nothing() {
+        let mut p = MarkovPrefetcher::new(2, 16);
+        assert!(p.on_miss(CpuId::new(0), b(77)).is_empty());
+    }
+}

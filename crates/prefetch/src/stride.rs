@@ -1,0 +1,130 @@
+//! Per-processor stride prefetcher.
+//!
+//! A reference-prediction-table-style detector over the miss stream: when
+//! a processor's last two miss deltas agree (and are non-zero and
+//! bounded), the next `degree` blocks along that stride are fetched. This
+//! is the "widely-deployed" baseline the paper says provides only limited
+//! benefit for pointer-chasing server workloads — but it *can* eliminate
+//! compulsory misses on copies and scans, which temporal streaming cannot.
+
+use crate::Prefetcher;
+use tempstream_trace::{Block, CpuId};
+
+/// Maximum tracked stride in blocks (matches the analysis detector).
+const MAX_STRIDE: i64 = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CpuState {
+    last_block: Option<Block>,
+    last_delta: Option<i64>,
+    confident: bool,
+}
+
+/// The stride prefetcher.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    states: Vec<CpuState>,
+    degree: u32,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher issuing `degree` blocks ahead once a stride is
+    /// confirmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: u32) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        StridePrefetcher {
+            states: Vec::new(),
+            degree,
+        }
+    }
+
+    /// The configured prefetch degree.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn on_miss(&mut self, cpu: CpuId, block: Block) -> Vec<Block> {
+        if self.states.len() <= cpu.index() {
+            self.states.resize(cpu.index() + 1, CpuState::default());
+        }
+        let st = &mut self.states[cpu.index()];
+        let delta = st.last_block.map(|lb| block.stride_from(lb));
+        let usable = delta.is_some_and(|d| d != 0 && d.abs() <= MAX_STRIDE);
+        st.confident = usable && delta == st.last_delta;
+        let out = if st.confident {
+            let d = delta.expect("confident implies delta");
+            (1..=i64::from(self.degree))
+                .map(|k| block.offset(d * k))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        st.last_delta = delta;
+        st.last_block = Some(block);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x: u64) -> Block {
+        Block::new(x)
+    }
+
+    #[test]
+    fn confirmed_stride_prefetches_ahead() {
+        let mut p = StridePrefetcher::new(2);
+        assert!(p.on_miss(CpuId::new(0), b(10)).is_empty());
+        assert!(p.on_miss(CpuId::new(0), b(11)).is_empty()); // first delta
+        assert_eq!(p.on_miss(CpuId::new(0), b(12)), vec![b(13), b(14)]);
+        assert_eq!(p.on_miss(CpuId::new(0), b(13)), vec![b(14), b(15)]);
+    }
+
+    #[test]
+    fn negative_and_page_strides_work() {
+        let mut p = StridePrefetcher::new(1);
+        p.on_miss(CpuId::new(0), b(300));
+        p.on_miss(CpuId::new(0), b(236));
+        assert_eq!(p.on_miss(CpuId::new(0), b(172)), vec![b(108)]);
+    }
+
+    #[test]
+    fn broken_stride_resets_confidence() {
+        let mut p = StridePrefetcher::new(1);
+        p.on_miss(CpuId::new(0), b(1));
+        p.on_miss(CpuId::new(0), b(2));
+        assert!(p.on_miss(CpuId::new(0), b(100)).is_empty());
+        assert!(p.on_miss(CpuId::new(0), b(5)).is_empty());
+    }
+
+    #[test]
+    fn cpus_tracked_independently() {
+        let mut p = StridePrefetcher::new(1);
+        p.on_miss(CpuId::new(0), b(10));
+        p.on_miss(CpuId::new(1), b(500));
+        p.on_miss(CpuId::new(0), b(11));
+        p.on_miss(CpuId::new(1), b(600));
+        assert_eq!(p.on_miss(CpuId::new(0), b(12)), vec![b(13)]);
+        assert!(p.on_miss(CpuId::new(1), b(700)).is_empty()); // delta 100 > MAX
+    }
+
+    #[test]
+    fn zero_delta_never_confirms() {
+        let mut p = StridePrefetcher::new(4);
+        for _ in 0..5 {
+            assert!(p.on_miss(CpuId::new(0), b(7)).is_empty());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Temporal-streaming prefetcher.
+//!
+//! Modeled on Wenisch et al. \[25\]: all misses are appended to a global
+//! circular log; an index maps each block to its most recent log
+//! position. A miss that hits the index locates the previous occurrence
+//! of (what may be) a stream and replays the blocks recorded after it.
+//!
+//! Two retrieval policies, matching the paper's §4.4 discussion:
+//!
+//! - **fixed depth** — replay exactly `depth` blocks per lookup, like the
+//!   fixed-degree proposals the paper criticizes ("there is no one size
+//!   that fits all temporal streams");
+//! - **adaptive** — start with a small burst and keep streaming further
+//!   ahead while the program's misses keep following the log, as
+//!   temporal streaming's stream engines do.
+
+use crate::Prefetcher;
+use std::collections::HashMap;
+use tempstream_trace::{Block, CpuId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    Fixed(u32),
+    Adaptive { burst: u32, max_ahead: u32 },
+}
+
+/// Per-CPU replay state for the adaptive policy.
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamEngine {
+    /// Log position the replay cursor has reached (next to fetch).
+    cursor: usize,
+    /// Log position the demand stream has confirmed up to.
+    confirmed: usize,
+    active: bool,
+}
+
+/// The temporal-streaming prefetcher.
+#[derive(Debug, Clone)]
+pub struct TemporalPrefetcher {
+    log: Vec<Block>,
+    /// block -> most recent log index.
+    index: HashMap<Block, usize>,
+    capacity: usize,
+    policy: Policy,
+    engines: Vec<StreamEngine>,
+}
+
+impl TemporalPrefetcher {
+    /// Fixed-depth retrieval: replay `depth` blocks per index hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn fixed(depth: u32) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        Self::with_policy(Policy::Fixed(depth))
+    }
+
+    /// Adaptive retrieval: an index hit starts a stream engine that
+    /// fetches `burst` blocks and keeps running up to `max_ahead` blocks
+    /// past the last confirmed miss while the demand stream follows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` or `max_ahead` is zero.
+    pub fn adaptive(burst: u32, max_ahead: u32) -> Self {
+        assert!(burst > 0 && max_ahead > 0, "degenerate adaptive policy");
+        Self::with_policy(Policy::Adaptive { burst, max_ahead })
+    }
+
+    fn with_policy(policy: Policy) -> Self {
+        TemporalPrefetcher {
+            log: Vec::new(),
+            index: HashMap::new(),
+            capacity: 4_000_000,
+            policy,
+        engines: Vec::new(),
+        }
+    }
+
+    /// Bounds the miss log (default 4M entries; the paper sizes stream
+    /// storage against reuse distances).
+    pub fn with_log_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 1, "log too small");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Misses recorded so far (capped at the log capacity).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    fn replay(&self, from: usize, n: u32) -> Vec<Block> {
+        let end = (from + n as usize).min(self.log.len());
+        self.log[from.min(end)..end].to_vec()
+    }
+}
+
+impl Prefetcher for TemporalPrefetcher {
+    fn on_miss(&mut self, cpu: CpuId, block: Block) -> Vec<Block> {
+        if self.engines.len() <= cpu.index() {
+            self.engines.resize(cpu.index() + 1, StreamEngine::default());
+        }
+
+        // Locate the previous occurrence before logging this miss.
+        let hit = self.index.get(&block).copied();
+
+        let out = match self.policy {
+            Policy::Fixed(depth) => match hit {
+                Some(pos) => self.replay(pos + 1, depth),
+                None => Vec::new(),
+            },
+            Policy::Adaptive { burst, max_ahead } => {
+                let eng = self.engines[cpu.index()];
+                let mut next = StreamEngine::default();
+                let mut out = Vec::new();
+                // Does this miss follow the active stream?
+                let follows = eng.active
+                    && eng.confirmed < self.log.len()
+                    && self.log.get(eng.confirmed) == Some(&block);
+                if follows {
+                    next = eng;
+                    next.confirmed += 1;
+                    // Stream further ahead, up to max_ahead unconfirmed.
+                    let ahead = next.cursor.saturating_sub(next.confirmed) as u32;
+                    let fetch = max_ahead.saturating_sub(ahead);
+                    out = self.replay(next.cursor, fetch.max(1));
+                    next.cursor += out.len();
+                    next.active = true;
+                } else if let Some(pos) = hit {
+                    // (Re)start an engine at the previous occurrence.
+                    out = self.replay(pos + 1, burst);
+                    next = StreamEngine {
+                        confirmed: pos + 1,
+                        cursor: pos + 1 + out.len(),
+                        active: !out.is_empty(),
+                    };
+                }
+                self.engines[cpu.index()] = next;
+                out
+            }
+        };
+
+        // Append to the (bounded) log and index the new position.
+        if self.log.len() >= self.capacity {
+            // Wholesale reset models the bounded history of real designs
+            // without the complexity of a true circular index.
+            self.log.clear();
+            self.index.clear();
+            for e in &mut self.engines {
+                *e = StreamEngine::default();
+            }
+        }
+        self.index.insert(block, self.log.len());
+        self.log.push(block);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            Policy::Fixed(_) => "temporal-fixed",
+            Policy::Adaptive { .. } => "temporal-adaptive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x: u64) -> Block {
+        Block::new(x)
+    }
+
+    fn c0() -> CpuId {
+        CpuId::new(0)
+    }
+
+    #[test]
+    fn fixed_replays_previous_occurrence() {
+        let mut p = TemporalPrefetcher::fixed(3);
+        for x in [1u64, 2, 3, 4, 99] {
+            p.on_miss(c0(), b(x));
+        }
+        // Revisiting 1 replays what followed it last time.
+        assert_eq!(p.on_miss(c0(), b(1)), vec![b(2), b(3), b(4)]);
+    }
+
+    #[test]
+    fn fixed_depth_truncates_at_log_end() {
+        let mut p = TemporalPrefetcher::fixed(8);
+        p.on_miss(c0(), b(5));
+        p.on_miss(c0(), b(6));
+        assert_eq!(p.on_miss(c0(), b(5)), vec![b(6)]);
+    }
+
+    #[test]
+    fn adaptive_streams_while_followed() {
+        let mut p = TemporalPrefetcher::adaptive(2, 4);
+        let stream: Vec<u64> = (10..30).collect();
+        for &x in &stream {
+            p.on_miss(c0(), b(x));
+        }
+        p.on_miss(c0(), b(1000)); // break
+        // Second occurrence: the engine keeps supplying as we follow.
+        let mut covered = 0;
+        let mut predicted: std::collections::HashSet<Block> = Default::default();
+        for &x in &stream {
+            if predicted.contains(&b(x)) {
+                covered += 1;
+            }
+            for f in p.on_miss(c0(), b(x)) {
+                predicted.insert(f);
+            }
+        }
+        assert!(
+            covered >= stream.len() - 3,
+            "adaptive engine must cover nearly the whole stream, got {covered}"
+        );
+    }
+
+    #[test]
+    fn adaptive_stops_when_divergent() {
+        let mut p = TemporalPrefetcher::adaptive(2, 4);
+        for x in [1u64, 2, 3, 4, 5] {
+            p.on_miss(c0(), b(x));
+        }
+        // Revisit 1 (starts engine), then diverge; the engine must not
+        // keep issuing along the stale path.
+        p.on_miss(c0(), b(1));
+        let out = p.on_miss(c0(), b(777));
+        assert!(out.is_empty(), "divergent miss must stop the engine: {out:?}");
+    }
+
+    #[test]
+    fn log_capacity_bounds_memory() {
+        let mut p = TemporalPrefetcher::fixed(2).with_log_capacity(100);
+        for x in 0..1000u64 {
+            p.on_miss(c0(), b(x));
+        }
+        assert!(p.log_len() <= 100);
+    }
+
+    #[test]
+    fn per_cpu_engines_do_not_interfere() {
+        let mut p = TemporalPrefetcher::adaptive(2, 4);
+        for x in [1u64, 2, 3, 9, 9, 9] {
+            p.on_miss(c0(), b(x));
+        }
+        // CPU 1 replays the stream; CPU 0's engine state is separate.
+        let out = p.on_miss(CpuId::new(1), b(1));
+        assert!(!out.is_empty());
+        let out0 = p.on_miss(c0(), b(555));
+        assert!(out0.is_empty());
+    }
+}

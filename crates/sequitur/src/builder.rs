@@ -1,0 +1,600 @@
+//! The incremental SEQUITUR builder.
+//!
+//! The implementation follows the canonical C++ implementation by
+//! Nevill-Manning (symbol nodes in doubly-linked rule bodies, one guard node
+//! per rule, and a digram hash table), including the subtle re-indexing
+//! fix-ups for runs of identical symbols ("triples") in `join`.
+
+use crate::grammar::{Grammar, GrammarSymbol, RuleId};
+use std::collections::HashMap;
+
+type NodeId = u32;
+const NIL: NodeId = u32::MAX;
+
+/// The payload of a symbol node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Payload {
+    /// A terminal input symbol.
+    Terminal(u64),
+    /// A reference to a rule.
+    NonTerminal(u32),
+    /// The guard node of a rule's circular body list; `u32` is the rule id.
+    Guard(u32),
+}
+
+/// A digram hash key: the payloads of two adjacent non-guard symbols.
+type DigramKey = (Payload, Payload);
+
+#[derive(Debug, Clone)]
+struct Node {
+    prev: NodeId,
+    next: NodeId,
+    payload: Payload,
+    alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct RuleData {
+    guard: NodeId,
+    /// Number of non-terminal symbols referencing this rule.
+    refcount: u32,
+    alive: bool,
+}
+
+/// Incremental SEQUITUR grammar builder.
+///
+/// Feed the input with [`push`](Sequitur::push), then call
+/// [`into_grammar`](Sequitur::into_grammar) to obtain the final, immutable
+/// [`Grammar`].
+#[derive(Debug, Clone, Default)]
+pub struct Sequitur {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    rules: Vec<RuleData>,
+    index: HashMap<DigramKey, NodeId>,
+    input_len: u64,
+}
+
+impl Sequitur {
+    /// Creates a builder with an empty root rule.
+    pub fn new() -> Self {
+        let mut s = Sequitur {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rules: Vec::new(),
+            index: HashMap::new(),
+            input_len: 0,
+        };
+        s.new_rule(); // rule 0 = root
+        s
+    }
+
+    /// Creates a builder with node capacity preallocated for an input of
+    /// roughly `len` symbols.
+    pub fn with_capacity(len: usize) -> Self {
+        let mut s = Self::new();
+        s.nodes.reserve(len + len / 2);
+        s.index.reserve(len);
+        s
+    }
+
+    /// Number of symbols pushed so far.
+    pub fn input_len(&self) -> u64 {
+        self.input_len
+    }
+
+    /// Appends one input symbol, restoring both grammar invariants.
+    pub fn push(&mut self, symbol: u64) {
+        self.input_len += 1;
+        let node = self.alloc(Payload::Terminal(symbol));
+        let root_guard = self.rules[0].guard;
+        let last = self.nodes[root_guard as usize].prev;
+        self.insert_after(last, node);
+        let prev = self.nodes[node as usize].prev;
+        if prev != root_guard {
+            self.check(prev);
+        }
+    }
+
+    /// Appends every symbol of `input`.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, input: I) {
+        for s in input {
+            self.push(s);
+        }
+    }
+
+    /// Consumes the builder and produces the final immutable grammar with
+    /// contiguously renumbered rules (root first).
+    pub fn into_grammar(self) -> Grammar {
+        // Map live internal rule ids -> contiguous output ids, root first.
+        let mut mapping: Vec<Option<RuleId>> = vec![None; self.rules.len()];
+        let mut next = 0usize;
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.alive {
+                mapping[i] = Some(RuleId::new(next));
+                next += 1;
+            }
+        }
+        let mut bodies: Vec<Vec<GrammarSymbol>> = Vec::with_capacity(next);
+        for (i, r) in self.rules.iter().enumerate() {
+            if !r.alive {
+                continue;
+            }
+            let mut body = Vec::new();
+            let mut cur = self.nodes[r.guard as usize].next;
+            while cur != r.guard {
+                let n = &self.nodes[cur as usize];
+                body.push(match n.payload {
+                    Payload::Terminal(t) => GrammarSymbol::Terminal(t),
+                    Payload::NonTerminal(rid) => GrammarSymbol::Rule(
+                        mapping[rid as usize].expect("reference to dead rule"),
+                    ),
+                    Payload::Guard(_) => unreachable!("guard inside rule body"),
+                });
+                cur = n.next;
+            }
+            bodies.push(body);
+            debug_assert_eq!(mapping[i], Some(RuleId::new(bodies.len() - 1)));
+        }
+        Grammar::from_bodies(bodies)
+    }
+
+    // --- node & rule management ------------------------------------------
+
+    fn alloc(&mut self, payload: Payload) -> NodeId {
+        if let Payload::NonTerminal(r) = payload {
+            self.rules[r as usize].refcount += 1;
+        }
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = Node {
+                prev: NIL,
+                next: NIL,
+                payload,
+                alive: true,
+            };
+            id
+        } else {
+            let id = u32::try_from(self.nodes.len()).expect("node arena overflow");
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                payload,
+                alive: true,
+            });
+            id
+        }
+    }
+
+    fn new_rule(&mut self) -> u32 {
+        let rule_id = u32::try_from(self.rules.len()).expect("rule id overflow");
+        let guard = self.alloc(Payload::Guard(rule_id));
+        // The guard closes the circular list on itself while the body is
+        // empty.
+        self.nodes[guard as usize].prev = guard;
+        self.nodes[guard as usize].next = guard;
+        self.rules.push(RuleData {
+            guard,
+            refcount: 0,
+            alive: true,
+        });
+        rule_id
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        let n = &self.nodes[id as usize];
+        debug_assert!(n.alive, "access to freed node {id}");
+        n
+    }
+
+    /// The digram key starting at `first`, or `None` if either symbol is a
+    /// guard.
+    fn digram_key(&self, first: NodeId) -> Option<DigramKey> {
+        let n = self.node(first);
+        if matches!(n.payload, Payload::Guard(_)) {
+            return None;
+        }
+        let second = self.node(n.next);
+        if matches!(second.payload, Payload::Guard(_)) {
+            return None;
+        }
+        Some((n.payload, second.payload))
+    }
+
+    /// Removes the digram starting at `first` from the index, if the index
+    /// entry points at `first`.
+    fn delete_digram(&mut self, first: NodeId) {
+        if let Some(key) = self.digram_key(first) {
+            if self.index.get(&key) == Some(&first) {
+                self.index.remove(&key);
+            }
+        }
+    }
+
+    /// Links `left -> right`, removing `left`'s old digram from the index
+    /// and re-indexing overlapping digrams in runs of identical symbols.
+    fn join(&mut self, left: NodeId, right: NodeId) {
+        if self.nodes[left as usize].next != NIL {
+            self.delete_digram(left);
+
+            // Triple fix-ups (see canonical implementation): when digrams
+            // overlap in a run of equal symbols only the later one is
+            // indexed; on deletion of the later one, restore the earlier.
+            let rp = self.nodes[right as usize].prev;
+            let rn = self.nodes[right as usize].next;
+            if rp != NIL && rn != NIL {
+                let v = self.nodes[right as usize].payload;
+                if !matches!(v, Payload::Guard(_))
+                    && self.nodes[rp as usize].payload == v
+                    && self.nodes[rn as usize].payload == v
+                {
+                    self.index.insert((v, v), right);
+                }
+            }
+            let lp = self.nodes[left as usize].prev;
+            let ln = self.nodes[left as usize].next;
+            if lp != NIL && ln != NIL {
+                let v = self.nodes[left as usize].payload;
+                if !matches!(v, Payload::Guard(_))
+                    && self.nodes[lp as usize].payload == v
+                    && self.nodes[ln as usize].payload == v
+                {
+                    self.index.insert((v, v), lp);
+                }
+            }
+        }
+        self.nodes[left as usize].next = right;
+        self.nodes[right as usize].prev = left;
+    }
+
+    /// Inserts `new` immediately after `node`.
+    fn insert_after(&mut self, node: NodeId, new: NodeId) {
+        let next = self.nodes[node as usize].next;
+        self.join(new, next);
+        self.join(node, new);
+    }
+
+    /// Unlinks and frees `node` (canonical symbol destructor): relinks its
+    /// neighbors, removes its digram from the index, and drops a rule
+    /// reference if it was a non-terminal.
+    fn delete_symbol(&mut self, node: NodeId) {
+        let prev = self.nodes[node as usize].prev;
+        let next = self.nodes[node as usize].next;
+        self.join(prev, next);
+        // Own digram removal uses the *old* neighbor, which `join` left
+        // intact in this node's link fields.
+        self.delete_digram(node);
+        if let Payload::NonTerminal(r) = self.nodes[node as usize].payload {
+            self.rules[r as usize].refcount -= 1;
+        }
+        self.nodes[node as usize].alive = false;
+        self.free.push(node);
+    }
+
+    /// Checks the digram starting at `first` against the index, performing a
+    /// reduction if it already occurs elsewhere. Returns `true` if the
+    /// digram was already in the index (at this or another position).
+    fn check(&mut self, first: NodeId) -> bool {
+        let Some(key) = self.digram_key(first) else {
+            return false;
+        };
+        match self.index.get(&key) {
+            None => {
+                self.index.insert(key, first);
+                false
+            }
+            Some(&found) => {
+                // Skip self-hits and overlapping occurrences (runs like
+                // "aaa", where found's second symbol is our first).
+                if found != first && self.nodes[found as usize].next != first {
+                    self.match_digrams(first, found);
+                }
+                true
+            }
+        }
+    }
+
+    /// Handles a repeated digram: `new_d` just formed, `found` is the
+    /// indexed earlier occurrence.
+    fn match_digrams(&mut self, new_d: NodeId, found: NodeId) {
+        let found_prev = self.nodes[found as usize].prev;
+        let found_next = self.nodes[found as usize].next;
+        let found_next_next = self.nodes[found_next as usize].next;
+
+        let rule_id;
+        if let (Payload::Guard(r1), Payload::Guard(r2)) = (
+            self.nodes[found_prev as usize].payload,
+            self.nodes[found_next_next as usize].payload,
+        ) {
+            // `found`'s digram is the entire body of an existing rule:
+            // reuse it.
+            debug_assert_eq!(r1, r2, "rule body bounded by two different guards");
+            rule_id = r1;
+            self.substitute(new_d, rule_id);
+        } else {
+            // Create a new rule from the digram and substitute both
+            // occurrences.
+            rule_id = self.new_rule();
+            let guard = self.rules[rule_id as usize].guard;
+            let c1 = self.alloc(self.nodes[new_d as usize].payload);
+            let second = self.nodes[new_d as usize].next;
+            let second_payload = self.nodes[second as usize].payload;
+            let last = self.nodes[guard as usize].prev;
+            self.insert_after(last, c1);
+            let c2 = self.alloc(second_payload);
+            let last = self.nodes[guard as usize].prev;
+            self.insert_after(last, c2);
+            self.substitute(found, rule_id);
+            self.substitute(new_d, rule_id);
+            // Index the digram inside the new rule body.
+            let first_body = self.nodes[guard as usize].next;
+            if let Some(key) = self.digram_key(first_body) {
+                self.index.insert(key, first_body);
+            }
+        }
+
+        // Rule utility: if the first symbol of the (re)used rule is a
+        // non-terminal whose rule is now referenced only once, inline it.
+        if !self.rules[rule_id as usize].alive {
+            return;
+        }
+        let guard = self.rules[rule_id as usize].guard;
+        let first_body = self.nodes[guard as usize].next;
+        if let Payload::NonTerminal(inner) = self.nodes[first_body as usize].payload {
+            if self.rules[inner as usize].refcount == 1 {
+                self.expand(first_body);
+            }
+        }
+    }
+
+    /// Replaces the digram starting at `first` with a non-terminal for
+    /// `rule`, then re-checks the digrams formed on either side.
+    fn substitute(&mut self, first: NodeId, rule: u32) {
+        let prev = self.nodes[first as usize].prev;
+        let a = self.nodes[prev as usize].next;
+        self.delete_symbol(a);
+        let b = self.nodes[prev as usize].next;
+        self.delete_symbol(b);
+        let nt = self.alloc(Payload::NonTerminal(rule));
+        self.insert_after(prev, nt);
+        if !self.check(prev) {
+            let pn = self.nodes[prev as usize].next;
+            self.check(pn);
+        }
+    }
+
+    /// Rule utility repair: inlines the single-use rule referenced by the
+    /// non-terminal `node` into its surrounding body and deletes the rule.
+    fn expand(&mut self, node: NodeId) {
+        let Payload::NonTerminal(rule) = self.nodes[node as usize].payload else {
+            unreachable!("expand on non-non-terminal");
+        };
+        let left = self.nodes[node as usize].prev;
+        let right = self.nodes[node as usize].next;
+        let guard = self.rules[rule as usize].guard;
+        let body_first = self.nodes[guard as usize].next;
+        let body_last = self.nodes[guard as usize].prev;
+        debug_assert_ne!(body_first, guard, "expanding an empty rule");
+
+        // Remove the digram starting at `node`, splice the body in place of
+        // `node`, and only then free `node` and the rule's guard (the joins
+        // read through the old links, so the frees must come last).
+        self.delete_digram(node);
+        self.join(left, body_first);
+        self.join(body_last, right);
+        if let Some(key) = self.digram_key(body_last) {
+            self.index.insert(key, body_last);
+        }
+
+        self.rules[rule as usize].refcount -= 1;
+        debug_assert_eq!(self.rules[rule as usize].refcount, 0);
+        self.nodes[node as usize].alive = false;
+        self.free.push(node);
+        self.nodes[guard as usize].alive = false;
+        self.free.push(guard);
+        self.rules[rule as usize].alive = false;
+    }
+
+    // --- verification (testing aid) --------------------------------------
+
+    /// Exhaustively verifies both SEQUITUR invariants plus index/link/
+    /// refcount consistency.
+    ///
+    /// Intended for tests; cost is linear in grammar size.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn verify_invariants(&self) {
+        let mut digrams_seen: HashMap<DigramKey, (usize, usize)> = HashMap::new();
+        let mut refcounts: Vec<u32> = vec![0; self.rules.len()];
+
+        for (rid, rule) in self.rules.iter().enumerate() {
+            if !rule.alive {
+                continue;
+            }
+            // Walk the body; verify links and collect digrams.
+            let guard = rule.guard;
+            assert!(
+                matches!(self.nodes[guard as usize].payload, Payload::Guard(g) if g as usize == rid),
+                "rule {rid}: guard payload mismatch"
+            );
+            let mut cur = self.nodes[guard as usize].next;
+            let mut pos = 0usize;
+            let mut body_len = 0usize;
+            while cur != guard {
+                let n = &self.nodes[cur as usize];
+                assert!(n.alive, "rule {rid}: dead node {cur} in body");
+                assert_eq!(
+                    self.nodes[n.next as usize].prev, cur,
+                    "rule {rid}: broken back-link at node {cur}"
+                );
+                if let Payload::NonTerminal(r) = n.payload {
+                    assert!(
+                        self.rules[r as usize].alive,
+                        "rule {rid}: reference to dead rule {r}"
+                    );
+                    refcounts[r as usize] += 1;
+                }
+                if let Some(key) = self.digram_key(cur) {
+                    if let Some(&(orid, opos)) = digrams_seen.get(&key) {
+                        // Digram uniqueness allows overlapping repetitions
+                        // within a run of identical symbols (aaa): adjacent
+                        // positions in the same rule.
+                        let overlapping = orid == rid && (pos == opos + 1);
+                        assert!(
+                            overlapping,
+                            "digram uniqueness violated: {key:?} at rule {orid} pos {opos} \
+                             and rule {rid} pos {pos}"
+                        );
+                    } else {
+                        digrams_seen.insert(key, (rid, pos));
+                    }
+                    assert!(
+                        self.index.contains_key(&key),
+                        "digram {key:?} (rule {rid} pos {pos}) missing from index"
+                    );
+                }
+                cur = n.next;
+                pos += 1;
+                body_len += 1;
+                assert!(body_len <= self.nodes.len(), "cycle without guard in rule {rid}");
+            }
+            assert!(
+                rid == 0 || body_len >= 2,
+                "rule {rid} has body length {body_len} < 2"
+            );
+        }
+
+        for (rid, rule) in self.rules.iter().enumerate() {
+            if !rule.alive {
+                continue;
+            }
+            assert_eq!(
+                rule.refcount, refcounts[rid],
+                "rule {rid}: stored refcount {} != actual {}",
+                rule.refcount, refcounts[rid]
+            );
+            if rid != 0 {
+                assert!(
+                    rule.refcount >= 2,
+                    "rule utility violated: rule {rid} referenced {} time(s)",
+                    rule.refcount
+                );
+            }
+        }
+
+        // Every index entry must point at a live node whose current digram
+        // matches its key.
+        for (key, &node) in &self.index {
+            let n = &self.nodes[node as usize];
+            assert!(n.alive, "index entry {key:?} points at dead node {node}");
+            assert_eq!(
+                self.digram_key(node),
+                Some(*key),
+                "index entry {key:?} points at node {node} with different digram"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(input: &[u64]) -> Grammar {
+        let mut s = Sequitur::new();
+        for &x in input {
+            s.push(x);
+            s.verify_invariants();
+        }
+        s.into_grammar()
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = build(&[]);
+        assert_eq!(g.reconstruct(), Vec::<u64>::new());
+        assert_eq!(g.rule_count(), 1);
+    }
+
+    #[test]
+    fn no_repetition() {
+        let g = build(&[1, 2, 3, 4, 5]);
+        assert_eq!(g.reconstruct(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(g.rule_count(), 1);
+    }
+
+    #[test]
+    fn single_repeated_digram() {
+        let g = build(&[1, 2, 7, 1, 2]);
+        assert_eq!(g.reconstruct(), vec![1, 2, 7, 1, 2]);
+        assert_eq!(g.rule_count(), 2);
+    }
+
+    #[test]
+    fn repeated_triple_forms_hierarchy() {
+        // "abcabc" -> root: A A, A -> a b c (via nested digram rules
+        // collapsed by utility).
+        let g = build(&[1, 2, 3, 1, 2, 3]);
+        assert_eq!(g.reconstruct(), vec![1, 2, 3, 1, 2, 3]);
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(g.expansion_len(RuleId::new(1)), 3);
+    }
+
+    #[test]
+    fn run_of_identical_symbols() {
+        for n in 2..=40 {
+            let input = vec![9u64; n];
+            let g = build(&input);
+            assert_eq!(g.reconstruct(), input, "aaa-run length {n}");
+        }
+    }
+
+    #[test]
+    fn alternation() {
+        let input: Vec<u64> = (0..40).map(|i| (i % 2) as u64).collect();
+        let g = build(&input);
+        assert_eq!(g.reconstruct(), input);
+    }
+
+    #[test]
+    fn canonical_paper_example() {
+        // From Nevill-Manning & Witten: "abcdbcabcdbc".
+        let input: Vec<u64> = "abcdbcabcdbc".bytes().map(u64::from).collect();
+        let g = build(&input);
+        assert_eq!(g.reconstruct(), input);
+        // Rules: root + "bc" + "a bc d bc" (exact count depends on utility
+        // collapsing; reconstruction is the hard guarantee).
+        assert!(g.rule_count() >= 3);
+    }
+
+    #[test]
+    fn triple_overlap_stress() {
+        // The comment in the canonical source cites "abbbabcbb".
+        let input: Vec<u64> = "abbbabcbb".bytes().map(u64::from).collect();
+        let g = build(&input);
+        assert_eq!(g.reconstruct(), input);
+    }
+
+    #[test]
+    fn long_periodic_input() {
+        let pattern = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let input: Vec<u64> = pattern.iter().cycle().take(800).copied().collect();
+        let g = build(&input);
+        assert_eq!(g.reconstruct(), input);
+        // High compression: few root symbols relative to input.
+        assert!(g.rule_body(RuleId::ROOT).len() < 50);
+    }
+
+    #[test]
+    fn extend_matches_push() {
+        let mut a = Sequitur::new();
+        a.extend([1, 2, 1, 2, 3]);
+        let mut b = Sequitur::new();
+        for x in [1, 2, 1, 2, 3] {
+            b.push(x);
+        }
+        assert_eq!(a.input_len(), b.input_len());
+        assert_eq!(a.into_grammar().reconstruct(), b.into_grammar().reconstruct());
+    }
+}

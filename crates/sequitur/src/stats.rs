@@ -1,0 +1,163 @@
+//! Grammar statistics: structural summaries of a finished SEQUITUR run.
+
+use crate::grammar::{Grammar, GrammarSymbol, RuleId};
+use std::fmt;
+
+/// Structural summary of a grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarStats {
+    /// Rules including the root.
+    pub rule_count: usize,
+    /// Symbols across all rule bodies (compressed size).
+    pub grammar_size: usize,
+    /// Terminals the root expands to (input length).
+    pub input_len: u64,
+    /// Longest rule expansion (excluding the root).
+    pub max_expansion: u64,
+    /// Deepest rule nesting (root at depth 0).
+    pub max_depth: u32,
+    /// Distinct terminal symbols.
+    pub alphabet: usize,
+}
+
+impl GrammarStats {
+    /// Computes the summary in one pass over the grammar.
+    pub fn of(grammar: &Grammar) -> Self {
+        let mut alphabet = std::collections::HashSet::new();
+        let mut max_expansion = 0;
+        for rule in grammar.rule_ids() {
+            if !rule.is_root() {
+                max_expansion = max_expansion.max(grammar.expansion_len(rule));
+            }
+            for sym in grammar.rule_body(rule) {
+                if let GrammarSymbol::Terminal(t) = sym {
+                    alphabet.insert(*t);
+                }
+            }
+        }
+        GrammarStats {
+            rule_count: grammar.rule_count(),
+            grammar_size: grammar.grammar_size(),
+            input_len: grammar.expansion_len(RuleId::ROOT),
+            max_expansion,
+            max_depth: depth_of(grammar),
+            alphabet: alphabet.len(),
+        }
+    }
+
+    /// Compression ratio (input length over grammar size).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.grammar_size == 0 {
+            0.0
+        } else {
+            self.input_len as f64 / self.grammar_size as f64
+        }
+    }
+}
+
+impl fmt::Display for GrammarStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rules / {} symbols over {} input terminals \
+             ({:.2}x compression), max expansion {}, depth {}, alphabet {}",
+            self.rule_count,
+            self.grammar_size,
+            self.input_len,
+            self.compression_ratio(),
+            self.max_expansion,
+            self.max_depth,
+            self.alphabet
+        )
+    }
+}
+
+/// Maximum nesting depth of rule references (root = 0). Iterative
+/// (memoized) to handle deep hierarchies.
+fn depth_of(grammar: &Grammar) -> u32 {
+    let n = grammar.rule_count();
+    let mut depth: Vec<Option<u32>> = vec![None; n];
+    let mut stack: Vec<(usize, bool)> = vec![(RuleId::ROOT.index(), false)];
+    while let Some((r, expanded)) = stack.pop() {
+        if depth[r].is_some() {
+            continue;
+        }
+        if expanded {
+            let mut d = 0;
+            for sym in grammar.rule_body(RuleId::new(r)) {
+                if let GrammarSymbol::Rule(sub) = sym {
+                    d = d.max(1 + depth[sub.index()].expect("children resolved"));
+                }
+            }
+            depth[r] = Some(d);
+        } else {
+            stack.push((r, true));
+            for sym in grammar.rule_body(RuleId::new(r)) {
+                if let GrammarSymbol::Rule(sub) = sym {
+                    if depth[sub.index()].is_none() {
+                        stack.push((sub.index(), false));
+                    }
+                }
+            }
+        }
+    }
+    depth[RuleId::ROOT.index()].unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sequitur;
+
+    fn stats_of(input: &[u64]) -> GrammarStats {
+        let mut s = Sequitur::new();
+        s.extend(input.iter().copied());
+        GrammarStats::of(&s.into_grammar())
+    }
+
+    #[test]
+    fn flat_input() {
+        let s = stats_of(&[1, 2, 3, 4]);
+        assert_eq!(s.rule_count, 1);
+        assert_eq!(s.grammar_size, 4);
+        assert_eq!(s.input_len, 4);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.max_expansion, 0);
+        assert_eq!(s.alphabet, 4);
+        assert!((s.compression_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_repetition_has_depth() {
+        // abcabc -> rules nest at least one level.
+        let s = stats_of(&[1, 2, 3, 1, 2, 3]);
+        assert!(s.rule_count >= 2);
+        assert!(s.max_depth >= 1);
+        assert_eq!(s.input_len, 6);
+        assert_eq!(s.max_expansion, 3);
+        assert_eq!(s.alphabet, 3);
+    }
+
+    #[test]
+    fn high_compression_on_periodic_input() {
+        let input: Vec<u64> = [7u64, 8, 9, 10].repeat(64).to_vec();
+        let s = stats_of(&input);
+        assert!(s.compression_ratio() > 5.0, "ratio {:.2}", s.compression_ratio());
+        assert!(s.max_depth >= 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = stats_of(&[1, 2, 1, 2]);
+        let text = s.to_string();
+        assert!(text.contains("rules"));
+        assert!(text.contains("compression"));
+    }
+
+    #[test]
+    fn empty_input_stats() {
+        let s = stats_of(&[]);
+        assert_eq!(s.input_len, 0);
+        assert_eq!(s.compression_ratio(), 0.0);
+    }
+}

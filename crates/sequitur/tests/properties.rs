@@ -1,0 +1,133 @@
+//! Property-based tests for the SEQUITUR implementation.
+//!
+//! The lossless-reconstruction property plus the two grammar invariants
+//! (digram uniqueness, rule utility) fully characterize a correct SEQUITUR;
+//! small alphabets maximize repetition and stress the reduction machinery.
+
+use proptest::prelude::*;
+use tempstream_sequitur::{GrammarSymbol, RuleId, Sequitur};
+
+proptest! {
+    /// Reconstruction is lossless for arbitrary inputs over a tiny alphabet
+    /// (alphabet size 2-4 forces heavy rule churn, including runs and
+    /// overlapping digrams).
+    #[test]
+    fn reconstruct_tiny_alphabet(input in proptest::collection::vec(0u64..3, 0..400)) {
+        let mut s = Sequitur::new();
+        s.extend(input.iter().copied());
+        prop_assert_eq!(s.into_grammar().reconstruct(), input);
+    }
+
+    /// Reconstruction is lossless for a mid-size alphabet.
+    #[test]
+    fn reconstruct_mid_alphabet(input in proptest::collection::vec(0u64..50, 0..600)) {
+        let mut s = Sequitur::new();
+        s.extend(input.iter().copied());
+        prop_assert_eq!(s.into_grammar().reconstruct(), input);
+    }
+
+    /// Both grammar invariants hold after every single push.
+    #[test]
+    fn invariants_after_every_push(input in proptest::collection::vec(0u64..4, 0..120)) {
+        let mut s = Sequitur::new();
+        for x in input {
+            s.push(x);
+            s.verify_invariants();
+        }
+    }
+
+    /// Every non-root rule expands to at least two symbols and is referenced
+    /// at least twice in the final grammar.
+    #[test]
+    fn final_rules_are_useful(input in proptest::collection::vec(0u64..5, 0..300)) {
+        let mut s = Sequitur::new();
+        s.extend(input.iter().copied());
+        let g = s.into_grammar();
+        let mut refs = vec![0u32; g.rule_count()];
+        for r in g.rule_ids() {
+            for sym in g.rule_body(r) {
+                if let GrammarSymbol::Rule(sub) = sym {
+                    prop_assert!(!sub.is_root(), "root referenced from a body");
+                    refs[sub.index()] += 1;
+                }
+            }
+        }
+        for r in g.rule_ids().skip(1) {
+            prop_assert!(g.rule_body(r).len() >= 2, "rule {r} body too short");
+            prop_assert!(g.expansion_len(r) >= 2, "rule {r} expands to < 2");
+            prop_assert!(refs[r.index()] >= 2, "rule {r} used {} times", refs[r.index()]);
+        }
+    }
+
+    /// Pushing a sequence twice yields a grammar whose root contains a rule
+    /// covering the repetition (compression actually happens).
+    #[test]
+    fn doubled_sequence_compresses(
+        base in proptest::collection::vec(0u64..1000, 2..100),
+    ) {
+        let mut s = Sequitur::new();
+        s.extend(base.iter().copied());
+        s.extend(base.iter().copied());
+        let g = s.into_grammar();
+        prop_assert!(
+            g.rule_count() >= 2,
+            "doubled sequence of len {} produced no rules",
+            base.len()
+        );
+        let mut out = g.reconstruct();
+        let second = out.split_off(base.len());
+        prop_assert_eq!(&out, &base);
+        prop_assert_eq!(&second, &base);
+    }
+
+    /// The root expansion length always equals the input length.
+    #[test]
+    fn root_length_matches_input(input in proptest::collection::vec(0u64..8, 0..500)) {
+        let mut s = Sequitur::new();
+        s.extend(input.iter().copied());
+        let expected = s.input_len();
+        let g = s.into_grammar();
+        prop_assert_eq!(g.expansion_len(RuleId::ROOT), expected);
+    }
+}
+
+/// Deterministic regression corpus for shapes that broke draft
+/// implementations of SEQUITUR (overlapping digrams, nested utility
+/// collapses, alternations).
+#[test]
+fn regression_corpus() {
+    let cases: &[&[u64]] = &[
+        &[1, 1, 1, 1],
+        &[1, 1, 1, 1, 1],
+        &[1, 1, 1, 1, 1, 1, 1, 1, 1],
+        &[1, 2, 2, 2, 1, 2, 3, 2, 2], // "abbbabcbb"
+        &[1, 2, 1, 2, 1, 2, 1, 2],
+        &[1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4],
+        &[1, 1, 2, 1, 1, 2, 1, 1, 2],
+        &[2, 1, 1, 1, 2, 1, 1, 1, 2],
+        &[1, 2, 1, 1, 2, 1, 1, 2, 1, 1],
+        &[5, 5, 4, 5, 5, 4, 4, 5, 5, 5, 4],
+    ];
+    for &case in cases {
+        let mut s = Sequitur::new();
+        for &x in case {
+            s.push(x);
+            s.verify_invariants();
+        }
+        assert_eq!(s.into_grammar().reconstruct(), case, "case {case:?}");
+    }
+}
+
+/// A long pseudo-random walk over a small alphabet exercises millions of
+/// digram operations without pathological memory use.
+#[test]
+fn long_random_walk() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xfeed);
+    let input: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..16)).collect();
+    let mut s = Sequitur::with_capacity(input.len());
+    s.extend(input.iter().copied());
+    s.verify_invariants();
+    let g = s.into_grammar();
+    assert_eq!(g.reconstruct(), input);
+}

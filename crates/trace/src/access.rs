@@ -1,0 +1,115 @@
+//! The memory-access record emitted by workload generators.
+
+use crate::addr::{Address, Block};
+use crate::ids::{CpuId, FunctionId, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// The kind of a memory access.
+///
+/// The paper traces *read* misses only, but writes, DMA transfers, and
+/// Solaris `default_copyout`-style non-allocating stores all update coherence
+/// state and drive the miss classification, so the generators emit them too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An ordinary processor load.
+    Read,
+    /// An ordinary processor store.
+    Write,
+    /// A DMA write from an I/O device; invalidates all cached copies.
+    DmaWrite,
+    /// A bulk kernel-to-user copy store using non-allocating (block-store)
+    /// instructions, as in the Solaris `default_copyout` family.
+    CopyoutWrite,
+}
+
+impl AccessKind {
+    /// Returns `true` for processor-initiated accesses (read/write).
+    pub fn is_cpu(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::Write)
+    }
+
+    /// Returns `true` for any access that mutates memory.
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+}
+
+/// One memory access, annotated with its execution context.
+///
+/// `function` identifies the enclosing function (the paper inspects the call
+/// stack at each miss and picks the innermost recognizable function); the
+/// symbol table maps it to a Table-2
+/// [`MissCategory`](crate::category::MissCategory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// Byte address accessed.
+    pub addr: Address,
+    /// Kind of access.
+    pub kind: AccessKind,
+    /// Issuing processor. For DMA writes, the convention is the processor
+    /// that programmed the transfer (it does not affect classification).
+    pub cpu: CpuId,
+    /// Issuing software thread.
+    pub thread: ThreadId,
+    /// Enclosing function at the time of the access.
+    pub function: FunctionId,
+}
+
+impl MemoryAccess {
+    /// Creates an access record.
+    pub fn new(
+        addr: Address,
+        kind: AccessKind,
+        cpu: CpuId,
+        thread: ThreadId,
+        function: FunctionId,
+    ) -> Self {
+        MemoryAccess {
+            addr,
+            kind,
+            cpu,
+            thread,
+            function,
+        }
+    }
+
+    /// Convenience constructor for a read on thread 0 of `cpu`.
+    pub fn read(addr: Address, cpu: CpuId, function: FunctionId) -> Self {
+        Self::new(addr, AccessKind::Read, cpu, ThreadId::new(cpu.raw()), function)
+    }
+
+    /// Convenience constructor for a write on thread 0 of `cpu`.
+    pub fn write(addr: Address, cpu: CpuId, function: FunctionId) -> Self {
+        Self::new(addr, AccessKind::Write, cpu, ThreadId::new(cpu.raw()), function)
+    }
+
+    /// The cache block this access touches.
+    pub fn block(&self) -> Block {
+        self.addr.block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert!(AccessKind::Read.is_cpu());
+        assert!(AccessKind::Write.is_cpu());
+        assert!(!AccessKind::DmaWrite.is_cpu());
+        assert!(!AccessKind::CopyoutWrite.is_cpu());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::DmaWrite.is_write());
+        assert!(AccessKind::CopyoutWrite.is_write());
+    }
+
+    #[test]
+    fn block_of_access() {
+        let a = MemoryAccess::read(Address::new(130), CpuId::new(1), FunctionId::new(0));
+        assert_eq!(a.block(), Block::new(2));
+        assert_eq!(a.kind, AccessKind::Read);
+        assert_eq!(a.cpu, CpuId::new(1));
+    }
+}

@@ -1,0 +1,89 @@
+//! Identifier newtypes for CPUs, threads and functions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from its raw index.
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as a `usize`, for table lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A logical processor (core in the single-chip model, node in the
+    /// multi-chip model).
+    CpuId,
+    "cpu"
+);
+
+id_newtype!(
+    /// A software thread, as recorded by the tracing infrastructure.
+    ThreadId,
+    "thr"
+);
+
+id_newtype!(
+    /// An interned function name; resolve through a
+    /// [`SymbolTable`](crate::symbol::SymbolTable).
+    FunctionId,
+    "fn"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        assert_eq!(CpuId::new(3).raw(), 3);
+        assert_eq!(ThreadId::from(9u32).index(), 9);
+        assert_eq!(FunctionId::new(0).index(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CpuId::new(2).to_string(), "cpu2");
+        assert_eq!(ThreadId::new(5).to_string(), "thr5");
+        assert_eq!(FunctionId::new(7).to_string(), "fn7");
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(CpuId::new(1) < CpuId::new(2));
+        assert_eq!(FunctionId::new(4), FunctionId::new(4));
+    }
+}

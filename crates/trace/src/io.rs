@@ -1,0 +1,384 @@
+//! Compact binary (de)serialization of miss traces.
+//!
+//! Full traces run to millions of records; this module provides a simple
+//! little-endian binary format so traces can be collected once and re-analyzed
+//! many times (the paper's collect-then-analyze workflow). The format is:
+//!
+//! ```text
+//! magic  "TSMT"            4 bytes
+//! version u16              currently 1
+//! class_tag u8             0 = MissClass, 1 = IntraChipClass
+//! num_cpus u32
+//! instructions u64
+//! record_count u64
+//! records: { block u64, cpu u32, thread u32, function u32, class u8 } *
+//! ```
+
+use crate::category::{IntraChipClass, MissClass};
+use crate::ids::{CpuId, FunctionId, ThreadId};
+use crate::miss::{MissRecord, MissTrace};
+use crate::Block;
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"TSMT";
+const VERSION: u16 = 1;
+
+/// Errors produced when reading a serialized miss trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The class tag does not match the requested trace type.
+    ClassMismatch { expected: u8, found: u8 },
+    /// A record contained an invalid class byte.
+    BadClass(u8),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::BadMagic => write!(f, "input is not a serialized miss trace"),
+            ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            ReadTraceError::ClassMismatch { expected, found } => write!(
+                f,
+                "trace class tag {found} does not match requested type (tag {expected})"
+            ),
+            ReadTraceError::BadClass(b) => write!(f, "invalid class byte {b} in record"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// A miss classification that can be encoded in the binary trace format.
+///
+/// This trait is sealed; it is implemented exactly for [`MissClass`] and
+/// [`IntraChipClass`].
+pub trait TraceClass: sealed::Sealed + Copy {
+    /// Distinguishes off-chip from intra-chip traces in the header.
+    const TAG: u8;
+
+    /// Encodes the class as a byte.
+    fn to_byte(self) -> u8;
+
+    /// Decodes the class from a byte.
+    fn from_byte(b: u8) -> Option<Self>;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::MissClass {}
+    impl Sealed for super::IntraChipClass {}
+}
+
+impl TraceClass for MissClass {
+    const TAG: u8 = 0;
+
+    fn to_byte(self) -> u8 {
+        match self {
+            MissClass::Compulsory => 0,
+            MissClass::IoCoherence => 1,
+            MissClass::Coherence => 2,
+            MissClass::Replacement => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => MissClass::Compulsory,
+            1 => MissClass::IoCoherence,
+            2 => MissClass::Coherence,
+            3 => MissClass::Replacement,
+            _ => return None,
+        })
+    }
+}
+
+impl TraceClass for IntraChipClass {
+    const TAG: u8 = 1;
+
+    fn to_byte(self) -> u8 {
+        match self {
+            IntraChipClass::CoherencePeerL1 => 0,
+            IntraChipClass::CoherenceL2 => 1,
+            IntraChipClass::ReplacementL2 => 2,
+            IntraChipClass::OffChip => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => IntraChipClass::CoherencePeerL1,
+            1 => IntraChipClass::CoherenceL2,
+            2 => IntraChipClass::ReplacementL2,
+            3 => IntraChipClass::OffChip,
+            _ => return None,
+        })
+    }
+}
+
+/// Writes `trace` to `writer` in the binary trace format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace<C: TraceClass, W: Write>(
+    trace: &MissTrace<C>,
+    mut writer: W,
+) -> std::io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&[C::TAG])?;
+    writer.write_all(&trace.num_cpus().to_le_bytes())?;
+    writer.write_all(&trace.instructions().to_le_bytes())?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(trace.len().min(1 << 16) * 21);
+    for r in trace.records() {
+        buf.extend_from_slice(&r.block.raw().to_le_bytes());
+        buf.extend_from_slice(&r.cpu.raw().to_le_bytes());
+        buf.extend_from_slice(&r.thread.raw().to_le_bytes());
+        buf.extend_from_slice(&r.function.raw().to_le_bytes());
+        buf.push(r.class.to_byte());
+        if buf.len() >= 1 << 20 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on malformed input, a class-type mismatch, or
+/// an underlying I/O error.
+pub fn read_trace<C: TraceClass, R: Read>(mut reader: R) -> Result<MissTrace<C>, ReadTraceError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let version = read_u16(&mut reader)?;
+    if version != VERSION {
+        return Err(ReadTraceError::BadVersion(version));
+    }
+    let tag = read_u8(&mut reader)?;
+    if tag != C::TAG {
+        return Err(ReadTraceError::ClassMismatch {
+            expected: C::TAG,
+            found: tag,
+        });
+    }
+    let num_cpus = read_u32(&mut reader)?;
+    let instructions = read_u64(&mut reader)?;
+    let count = read_u64(&mut reader)?;
+    let mut trace = MissTrace::new(num_cpus);
+    trace.set_instructions(instructions);
+    for _ in 0..count {
+        let block = Block::new(read_u64(&mut reader)?);
+        let cpu = CpuId::new(read_u32(&mut reader)?);
+        let thread = ThreadId::new(read_u32(&mut reader)?);
+        let function = FunctionId::new(read_u32(&mut reader)?);
+        let class_byte = read_u8(&mut reader)?;
+        let class = C::from_byte(class_byte).ok_or(ReadTraceError::BadClass(class_byte))?;
+        trace.push(MissRecord {
+            block,
+            cpu,
+            thread,
+            function,
+            class,
+        });
+    }
+    Ok(trace)
+}
+
+/// Writes `trace` as CSV (`seq,block,cpu,thread,function,class`), with the
+/// class rendered through its byte encoding. Intended for external
+/// analysis tools (pandas, gnuplot); the binary format is the round-trip
+/// format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace_csv<C: TraceClass, W: Write>(
+    trace: &MissTrace<C>,
+    symbols: Option<&crate::symbol::SymbolTable>,
+    mut writer: W,
+) -> std::io::Result<()> {
+    writeln!(writer, "seq,block,cpu,thread,function,class")?;
+    for (i, r) in trace.records().iter().enumerate() {
+        let function: std::borrow::Cow<'_, str> = match symbols {
+            Some(s) if r.function.index() < s.len() => s.name(r.function).into(),
+            _ => r.function.raw().to_string().into(),
+        };
+        writeln!(
+            writer,
+            "{},{:#x},{},{},{},{}",
+            i,
+            r.block.raw(),
+            r.cpu.raw(),
+            r.thread.raw(),
+            function,
+            r.class.to_byte()
+        )?;
+    }
+    Ok(())
+}
+
+fn read_u8<R: Read>(r: &mut R) -> std::io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u16<R: Read>(r: &mut R) -> std::io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> MissTrace<MissClass> {
+        let mut t = MissTrace::new(4);
+        t.set_instructions(123_456);
+        for i in 0..100u64 {
+            t.push(MissRecord {
+                block: Block::new(i * 3),
+                cpu: CpuId::new((i % 4) as u32),
+                thread: ThreadId::new((i % 7) as u32),
+                function: FunctionId::new((i % 11) as u32),
+                class: MissClass::from_byte((i % 4) as u8).unwrap(),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_offchip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back: MissTrace<MissClass> = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.num_cpus(), t.num_cpus());
+        assert_eq!(back.instructions(), t.instructions());
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn roundtrip_intrachip() {
+        let mut t: MissTrace<IntraChipClass> = MissTrace::new(2);
+        t.push(MissRecord {
+            block: Block::new(9),
+            cpu: CpuId::new(1),
+            thread: ThreadId::new(1),
+            function: FunctionId::new(2),
+            class: IntraChipClass::CoherencePeerL1,
+        });
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back: MissTrace<IntraChipClass> = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn class_tag_mismatch_detected() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let err = read_trace::<IntraChipClass, _>(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::ClassMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let err = read_trace::<MissClass, _>(&b"NOPE0000"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_input_is_io_error() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = read_trace::<MissClass, _>(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Io(_)));
+    }
+
+    #[test]
+    fn csv_export_renders_names_and_rows() {
+        let mut sym = crate::symbol::SymbolTable::new();
+        sym.intern("memcpy", crate::category::MissCategory::BulkMemoryCopy);
+        let mut t: MissTrace<MissClass> = MissTrace::new(1);
+        t.push(MissRecord {
+            block: Block::new(0x10),
+            cpu: CpuId::new(0),
+            thread: ThreadId::new(0),
+            function: FunctionId::new(0),
+            class: MissClass::Coherence,
+        });
+        let mut buf = Vec::new();
+        write_trace_csv(&t, Some(&sym), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("seq,block,cpu"));
+        assert!(text.contains("0,0x10,0,0,memcpy,2"));
+    }
+
+    #[test]
+    fn csv_export_without_symbols_uses_ids() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_csv(&t, None, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 101);
+        assert!(text.lines().nth(1).unwrap().contains(",0,"));
+    }
+
+    #[test]
+    fn class_byte_roundtrip() {
+        for c in MissClass::ALL {
+            assert_eq!(MissClass::from_byte(c.to_byte()), Some(c));
+        }
+        for c in IntraChipClass::ALL {
+            assert_eq!(IntraChipClass::from_byte(c.to_byte()), Some(c));
+        }
+        assert_eq!(MissClass::from_byte(99), None);
+        assert_eq!(IntraChipClass::from_byte(99), None);
+    }
+}

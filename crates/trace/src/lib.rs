@@ -1,0 +1,50 @@
+//! Base types shared by every crate in the temporal-streams suite.
+//!
+//! This crate models the *artifact* the paper's analysis consumes: labeled
+//! memory-access streams and read-miss traces. It defines:
+//!
+//! - physical [`Address`]es and cache-[`Block`] addresses ([`addr`]),
+//! - identifier newtypes for CPUs, threads and functions ([`ids`]),
+//! - the [`access::MemoryAccess`] record emitted by workload generators,
+//! - the "4 C's"-style miss classes and the paper's Table-2 code-module
+//!   taxonomy ([`category`]),
+//! - a [`symbol::SymbolTable`] interning function names and mapping them to
+//!   categories,
+//! - the [`miss::MissRecord`] / [`miss::MissTrace`] containers produced by the
+//!   memory-system simulators and consumed by the stream analysis,
+//! - a compact binary (de)serialization of miss traces ([`io`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tempstream_trace::prelude::*;
+//!
+//! let mut symbols = SymbolTable::new();
+//! let f = symbols.intern("disp_getwork", MissCategory::KernelScheduler);
+//! let access = MemoryAccess::read(Address::new(0x1000), CpuId::new(0), f);
+//! assert_eq!(access.block(), Block::containing(Address::new(0x1000)));
+//! ```
+
+pub mod access;
+pub mod addr;
+pub mod category;
+pub mod ids;
+pub mod io;
+pub mod miss;
+pub mod sink;
+pub mod stats;
+pub mod symbol;
+
+/// Convenient re-exports of the types used by nearly every downstream crate.
+pub mod prelude {
+    pub use crate::access::{AccessKind, MemoryAccess};
+    pub use crate::addr::{Address, Block, BLOCK_BYTES, PAGE_BYTES};
+    pub use crate::category::{AppClass, IntraChipClass, MissCategory, MissClass};
+    pub use crate::ids::{CpuId, FunctionId, ThreadId};
+    pub use crate::miss::{MissRecord, MissTrace};
+    pub use crate::sink::AccessSink;
+    pub use crate::stats::TraceStats;
+    pub use crate::symbol::SymbolTable;
+}
+
+pub use prelude::*;

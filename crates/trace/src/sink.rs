@@ -1,0 +1,88 @@
+//! Streaming access consumption.
+//!
+//! Workload generators produce tens of millions of accesses; rather than
+//! materializing them, generators push each access into an [`AccessSink`]
+//! (a memory-system simulator, a collector, or a tee).
+
+use crate::access::MemoryAccess;
+
+/// A consumer of a memory-access stream.
+pub trait AccessSink {
+    /// Consumes one access.
+    fn access(&mut self, access: &MemoryAccess);
+}
+
+impl AccessSink for Vec<MemoryAccess> {
+    fn access(&mut self, access: &MemoryAccess) {
+        self.push(*access);
+    }
+}
+
+impl<S: AccessSink + ?Sized> AccessSink for &mut S {
+    fn access(&mut self, access: &MemoryAccess) {
+        (**self).access(access);
+    }
+}
+
+/// Duplicates a stream into two sinks (e.g. feeding the multi-chip and
+/// single-chip simulators from one generator run).
+#[derive(Debug)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: AccessSink, B: AccessSink> AccessSink for Tee<A, B> {
+    fn access(&mut self, access: &MemoryAccess) {
+        self.0.access(access);
+        self.1.access(access);
+    }
+}
+
+/// A sink that counts accesses and otherwise discards them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    /// Number of accesses consumed.
+    pub count: u64,
+}
+
+impl AccessSink for CountingSink {
+    fn access(&mut self, _access: &MemoryAccess) {
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn acc(addr: u64) -> MemoryAccess {
+        MemoryAccess::read(Address::new(addr), CpuId::new(0), FunctionId::new(0))
+    }
+
+    #[test]
+    fn vec_collects() {
+        let mut v: Vec<MemoryAccess> = Vec::new();
+        v.access(&acc(64));
+        v.access(&acc(128));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].addr, Address::new(128));
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut tee = Tee(Vec::new(), CountingSink::default());
+        tee.access(&acc(0));
+        tee.access(&acc(64));
+        assert_eq!(tee.0.len(), 2);
+        assert_eq!(tee.1.count, 2);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut counter = CountingSink::default();
+        {
+            let r: &mut CountingSink = &mut counter;
+            r.access(&acc(0));
+        }
+        assert_eq!(counter.count, 1);
+    }
+}

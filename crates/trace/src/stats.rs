@@ -1,0 +1,138 @@
+//! Summary statistics over miss traces.
+//!
+//! Used by the reporting binaries to describe a trace before analysis:
+//! footprint, per-CPU balance, and per-class counts in one pass.
+
+use crate::addr::{Block, BLOCK_BYTES};
+use crate::miss::MissTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One-pass summary of a miss trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total misses.
+    pub misses: u64,
+    /// Distinct cache blocks missed on.
+    pub unique_blocks: u64,
+    /// Instructions the trace covers.
+    pub instructions: u64,
+    /// Per-CPU miss counts.
+    pub per_cpu: Vec<u64>,
+    /// Lowest and highest block touched (address-space extent).
+    pub block_range: Option<(Block, Block)>,
+}
+
+impl TraceStats {
+    /// Computes the summary.
+    pub fn of_trace<C: Copy>(trace: &MissTrace<C>) -> Self {
+        let mut unique: HashSet<Block> = HashSet::new();
+        let mut lo: Option<Block> = None;
+        let mut hi: Option<Block> = None;
+        for r in trace.records() {
+            unique.insert(r.block);
+            lo = Some(lo.map_or(r.block, |b| b.min(r.block)));
+            hi = Some(hi.map_or(r.block, |b| b.max(r.block)));
+        }
+        TraceStats {
+            misses: trace.len() as u64,
+            unique_blocks: unique.len() as u64,
+            instructions: trace.instructions(),
+            per_cpu: trace.per_cpu_counts(),
+            block_range: lo.zip(hi),
+        }
+    }
+
+    /// Missed footprint in bytes (unique blocks × block size).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_blocks * BLOCK_BYTES
+    }
+
+    /// Average times each missed block recurs in the trace.
+    pub fn reuse_factor(&self) -> f64 {
+        if self.unique_blocks == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.unique_blocks as f64
+        }
+    }
+
+    /// Imbalance across CPUs: max per-CPU share over the ideal share
+    /// (1.0 = perfectly balanced).
+    pub fn cpu_imbalance(&self) -> f64 {
+        let total: u64 = self.per_cpu.iter().sum();
+        if total == 0 || self.per_cpu.is_empty() {
+            return 1.0;
+        }
+        let max = *self.per_cpu.iter().max().expect("non-empty") as f64;
+        max * self.per_cpu.len() as f64 / total as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} misses over {} unique blocks ({:.1} MB footprint), \
+             reuse x{:.1}, cpu imbalance {:.2}",
+            self.misses,
+            self.unique_blocks,
+            self.footprint_bytes() as f64 / (1024.0 * 1024.0),
+            self.reuse_factor(),
+            self.cpu_imbalance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miss::MissRecord;
+    use crate::{CpuId, FunctionId, MissClass, ThreadId};
+
+    fn trace(blocks: &[(u64, u32)]) -> MissTrace<MissClass> {
+        let cpus = blocks.iter().map(|&(_, c)| c).max().unwrap_or(0) + 1;
+        let mut t = MissTrace::new(cpus);
+        for &(b, c) in blocks {
+            t.push(MissRecord {
+                block: Block::new(b),
+                cpu: CpuId::new(c),
+                thread: ThreadId::new(c),
+                function: FunctionId::new(0),
+                class: MissClass::Replacement,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn counts_and_footprint() {
+        let t = trace(&[(1, 0), (2, 0), (1, 1), (5, 1)]);
+        let s = TraceStats::of_trace(&t);
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.unique_blocks, 3);
+        assert_eq!(s.footprint_bytes(), 3 * 64);
+        assert!((s.reuse_factor() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.block_range, Some((Block::new(1), Block::new(5))));
+        assert_eq!(s.per_cpu, vec![2, 2]);
+        assert!((s.cpu_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let t = trace(&[(1, 0), (2, 0), (3, 0), (4, 1)]);
+        let s = TraceStats::of_trace(&t);
+        assert!((s.cpu_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = trace(&[]);
+        let s = TraceStats::of_trace(&t);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.block_range, None);
+        assert_eq!(s.reuse_factor(), 0.0);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Function-name interning and category mapping.
+//!
+//! The paper ties misses to code modules through function names embedded in
+//! the application binaries and the Solaris kernel. Our generators intern
+//! their model functions here; the table carries the (function → Table-2
+//! category) assignment that Section 5 of the paper builds by hand.
+
+use crate::category::MissCategory;
+use crate::ids::FunctionId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An interning table mapping function names to [`FunctionId`]s and each
+/// function to its [`MissCategory`].
+///
+/// # Example
+///
+/// ```
+/// use tempstream_trace::prelude::*;
+///
+/// let mut t = SymbolTable::new();
+/// let f = t.intern("Perl_sv_gets", MissCategory::CgiPerlInput);
+/// assert_eq!(t.name(f), "Perl_sv_gets");
+/// assert_eq!(t.category(f), MissCategory::CgiPerlInput);
+/// assert_eq!(t.intern("Perl_sv_gets", MissCategory::CgiPerlInput), f);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    categories: Vec<MissCategory>,
+    by_name: HashMap<String, FunctionId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, assigning it `category` if new.
+    ///
+    /// Re-interning an existing name returns its existing id; the category is
+    /// left unchanged (first assignment wins), mirroring the paper's
+    /// iterative-refinement workflow where each function has one category.
+    pub fn intern(&mut self, name: &str, category: MissCategory) -> FunctionId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = FunctionId::new(
+            u32::try_from(self.names.len()).expect("more than u32::MAX interned functions"),
+        );
+        self.names.push(name.to_owned());
+        self.categories.push(category);
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a function id by exact name.
+    pub fn lookup(&self, name: &str) -> Option<FunctionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: FunctionId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Returns the category of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn category(&self, id: FunctionId) -> MissCategory {
+        self.categories[id.index()]
+    }
+
+    /// Number of interned functions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no functions are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name, category)` triples in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &str, MissCategory)> + '_ {
+        self.names.iter().zip(&self.categories).enumerate().map(
+            |(i, (name, &cat))| (FunctionId::new(i as u32), name.as_str(), cat),
+        )
+    }
+
+    /// All function ids assigned to `category`.
+    pub fn functions_in(&self, category: MissCategory) -> Vec<FunctionId> {
+        self.iter()
+            .filter(|&(_, _, c)| c == category)
+            .map(|(id, _, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::MissCategory as C;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("memcpy", C::BulkMemoryCopy);
+        let b = t.intern("memcpy", C::BulkMemoryCopy);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn first_category_wins() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("poll", C::SystemCall);
+        let b = t.intern("poll", C::KernelOther);
+        assert_eq!(a, b);
+        assert_eq!(t.category(a), C::SystemCall);
+    }
+
+    #[test]
+    fn lookup_and_iter() {
+        let mut t = SymbolTable::new();
+        let f1 = t.intern("disp_getwork", C::KernelScheduler);
+        let f2 = t.intern("dispdeq", C::KernelScheduler);
+        let f3 = t.intern("mutex_enter", C::KernelSynchronization);
+        assert_eq!(t.lookup("dispdeq"), Some(f2));
+        assert_eq!(t.lookup("nonexistent"), None);
+        assert_eq!(t.functions_in(C::KernelScheduler), vec![f1, f2]);
+        assert_eq!(t.functions_in(C::KernelSynchronization), vec![f3]);
+        let items: Vec<_> = t.iter().collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].1, "disp_getwork");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup("x"), None);
+    }
+}

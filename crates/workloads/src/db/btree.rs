@@ -1,0 +1,340 @@
+//! A B+-tree index with sibling-linked leaves.
+//!
+//! The paper's first motivating example (§2.1): overlapping range scans
+//! follow the horizontal sibling links along the leaf level. Leaves are
+//! deliberately *not* contiguous in memory (nodes are scatter-allocated),
+//! so the leaf access sequence cannot be captured by stride prefetchers —
+//! but a second overlapping scan touches the same leaves in the same
+//! order, forming a temporal stream. The tree is shared, so the streams
+//! recur across processors.
+
+use crate::emitter::Emitter;
+use crate::layout::AddressSpace;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
+
+/// Keys per leaf node.
+const LEAF_KEYS: u64 = 32;
+/// Children per internal node.
+const FANOUT: usize = 32;
+/// Node size in bytes (a quarter of a DB2 4 KB index page; four blocks).
+const NODE_BYTES: u64 = 256;
+
+#[derive(Debug)]
+enum NodeKind {
+    /// `children` are node indices.
+    Internal { children: Vec<u32> },
+    /// `next` is the right sibling (the horizontal link).
+    Leaf { next: Option<u32> },
+}
+
+#[derive(Debug)]
+struct Node {
+    addr: Address,
+    /// Key range `[lo, hi)` covered by this subtree.
+    lo: u64,
+    hi: u64,
+    kind: NodeKind,
+}
+
+/// A shared B+-tree index over keys `0..num_keys`.
+#[derive(Debug)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: u32,
+    num_keys: u64,
+    f_fetch: FunctionId,
+    f_scan: FunctionId,
+    f_insert: FunctionId,
+}
+
+impl BPlusTree {
+    /// Bulk-builds a tree over `num_keys` keys with scatter-allocated
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_keys == 0`.
+    pub fn build(
+        num_keys: u64,
+        symbols: &mut SymbolTable,
+        space: &mut AddressSpace,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(num_keys > 0, "tree needs at least one key");
+        let num_leaves = num_keys.div_ceil(LEAF_KEYS);
+        // Generous region so scatter allocation stays sparse.
+        let region = space.region("btree", num_leaves * NODE_BYTES * 4 + (1 << 20));
+        let mut nodes: Vec<Node> = Vec::new();
+
+        // Leaf level, left to right, linked by `next`.
+        let mut level: Vec<u32> = Vec::new();
+        for i in 0..num_leaves {
+            let lo = i * LEAF_KEYS;
+            let hi = ((i + 1) * LEAF_KEYS).min(num_keys);
+            nodes.push(Node {
+                addr: region.alloc_scattered(rng, NODE_BYTES),
+                lo,
+                hi,
+                kind: NodeKind::Leaf { next: None },
+            });
+            level.push((nodes.len() - 1) as u32);
+        }
+        for w in 0..level.len().saturating_sub(1) {
+            let next = level[w + 1];
+            if let NodeKind::Leaf { next: n } = &mut nodes[level[w] as usize].kind {
+                *n = Some(next);
+            }
+        }
+
+        // Internal levels bottom-up.
+        while level.len() > 1 {
+            let mut upper = Vec::new();
+            for chunk in level.chunks(FANOUT) {
+                let lo = nodes[chunk[0] as usize].lo;
+                let hi = nodes[*chunk.last().expect("non-empty chunk") as usize].hi;
+                nodes.push(Node {
+                    addr: region.alloc_scattered(rng, NODE_BYTES),
+                    lo,
+                    hi,
+                    kind: NodeKind::Internal {
+                        children: chunk.to_vec(),
+                    },
+                });
+                upper.push((nodes.len() - 1) as u32);
+            }
+            level = upper;
+        }
+
+        BPlusTree {
+            root: level[0],
+            nodes,
+            num_keys,
+            f_fetch: symbols.intern("sqliFetch", MissCategory::Db2IndexPageTuple),
+            f_scan: symbols.intern("sqliScanNext", MissCategory::Db2IndexPageTuple),
+            f_insert: symbols.intern("sqliInsert", MissCategory::Db2IndexPageTuple),
+        }
+    }
+
+    /// Number of keys indexed.
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    /// Tree height (levels from root to leaf, inclusive).
+    pub fn height(&self) -> u32 {
+        let mut h = 1;
+        let mut n = self.root;
+        while let NodeKind::Internal { children } = &self.nodes[n as usize].kind {
+            n = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Emits the header + search-portion reads for visiting one node.
+    fn visit_node(&self, em: &mut Emitter<'_>, node: u32, key: u64) {
+        let a = self.nodes[node as usize].addr;
+        em.read(a); // header block
+        // Binary search lands in one of the key blocks.
+        let blk = 1 + (key % (NODE_BYTES / BLOCK_BYTES - 1));
+        em.read(a.offset(blk * BLOCK_BYTES));
+        em.work(25);
+    }
+
+    fn descend(&self, em: &mut Emitter<'_>, key: u64) -> u32 {
+        let mut n = self.root;
+        loop {
+            self.visit_node(em, n, key);
+            match &self.nodes[n as usize].kind {
+                NodeKind::Leaf { .. } => return n,
+                NodeKind::Internal { children } => {
+                    n = *children
+                        .iter()
+                        .find(|&&c| {
+                            let node = &self.nodes[c as usize];
+                            key >= node.lo && key < node.hi
+                        })
+                        .unwrap_or_else(|| children.last().expect("non-empty internal"));
+                }
+            }
+        }
+    }
+
+    /// Root-to-leaf search for `key` (`sqliFetch`).
+    pub fn search(&self, em: &mut Emitter<'_>, key: u64) {
+        let key = key % self.num_keys;
+        em.in_function(self.f_fetch, |em| {
+            self.descend(em, key);
+        });
+    }
+
+    /// Range scan: locate `start_key`, then follow sibling links until
+    /// `count` keys are covered (`sqliScanNext`). Returns the number of
+    /// leaves visited.
+    pub fn range_scan(&self, em: &mut Emitter<'_>, start_key: u64, count: u64) -> u64 {
+        let start_key = start_key % self.num_keys;
+        em.in_function(self.f_scan, |em| {
+            let mut leaf = self.descend(em, start_key);
+            let mut visited = 1;
+            let mut covered = self.nodes[leaf as usize].hi - start_key;
+            while covered < count {
+                let NodeKind::Leaf { next } = &self.nodes[leaf as usize].kind else {
+                    unreachable!("descend returns a leaf");
+                };
+                let Some(next) = *next else { break };
+                leaf = next;
+                visited += 1;
+                let n = &self.nodes[leaf as usize];
+                // Walk the leaf's entries: header + all key blocks.
+                em.read(n.addr);
+                em.read(n.addr.offset(BLOCK_BYTES));
+                em.read(n.addr.offset(2 * BLOCK_BYTES));
+                em.work(40);
+                covered += n.hi - n.lo;
+            }
+            visited
+        })
+    }
+
+    /// Inserts `key`: a search plus a leaf write; occasionally a modeled
+    /// split that also writes the parent (`sqliInsert`).
+    pub fn insert(&self, em: &mut Emitter<'_>, key: u64, rng: &mut SmallRng) {
+        let key = key % self.num_keys;
+        em.in_function(self.f_insert, |em| {
+            let leaf = self.descend(em, key);
+            let a = self.nodes[leaf as usize].addr;
+            let blk = 1 + (key % (NODE_BYTES / BLOCK_BYTES - 1));
+            em.write(a.offset(blk * BLOCK_BYTES));
+            em.write(a); // header (entry count)
+            if rng.gen_ratio(1, 64) {
+                // Split: rewrite the whole node (it is redistributed).
+                for b in 0..NODE_BYTES / BLOCK_BYTES {
+                    em.write(a.offset(b * BLOCK_BYTES));
+                }
+            }
+        });
+    }
+
+    /// The leaf-level addresses in key order (used by tests to check
+    /// scatter and linkage).
+    pub fn leaf_addresses(&self) -> Vec<Address> {
+        let mut out = Vec::new();
+        // Find the leftmost leaf.
+        let mut n = self.root;
+        while let NodeKind::Internal { children } = &self.nodes[n as usize].kind {
+            n = children[0];
+        }
+        loop {
+            out.push(self.nodes[n as usize].addr);
+            match &self.nodes[n as usize].kind {
+                NodeKind::Leaf { next: Some(next) } => n = *next,
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tempstream_trace::MemoryAccess;
+
+    fn setup(keys: u64) -> (BPlusTree, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        sym.intern("root", MissCategory::Uncategorized);
+        let mut space = AddressSpace::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        (
+            BPlusTree::build(keys, &mut sym, &mut space, &mut rng),
+            sym,
+        )
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let (t1, _) = setup(32);
+        assert_eq!(t1.height(), 1);
+        let (t2, _) = setup(32 * 32);
+        assert_eq!(t2.height(), 2);
+        let (t3, _) = setup(32 * 32 * 32);
+        assert_eq!(t3.height(), 3);
+    }
+
+    #[test]
+    fn leaf_chain_covers_all_leaves() {
+        let (t, _) = setup(10_000);
+        let leaves = t.leaf_addresses();
+        assert_eq!(leaves.len() as u64, 10_000u64.div_ceil(LEAF_KEYS));
+    }
+
+    #[test]
+    fn leaves_are_not_contiguous() {
+        let (t, _) = setup(10_000);
+        let leaves = t.leaf_addresses();
+        let strided = leaves
+            .windows(2)
+            .filter(|w| w[1].raw().wrapping_sub(w[0].raw()) == NODE_BYTES)
+            .count();
+        assert!(
+            strided < leaves.len() / 10,
+            "scatter allocation must break contiguity ({strided} strided pairs)"
+        );
+    }
+
+    #[test]
+    fn search_touches_height_nodes() {
+        let (t, _) = setup(32 * 32 * 32);
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        t.search(&mut em, 12345);
+        assert_eq!(a.len() as u32, t.height() * 2);
+    }
+
+    #[test]
+    fn overlapping_scans_repeat_leaf_sequence() {
+        let (t, _) = setup(32 * 32 * 8);
+        let scan = |t: &BPlusTree| {
+            let mut a: Vec<MemoryAccess> = Vec::new();
+            let mut em = Emitter::new(&mut a);
+            t.range_scan(&mut em, 640, 320);
+            a.iter().map(|x| x.addr).collect::<Vec<_>>()
+        };
+        assert_eq!(scan(&t), scan(&t), "overlapping scans repeat exactly");
+    }
+
+    #[test]
+    fn scan_visits_enough_leaves() {
+        let (t, _) = setup(32 * 32 * 8);
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let visited = t.range_scan(&mut em, 0, 320);
+        assert_eq!(visited, 10); // 320 keys / 32 per leaf
+    }
+
+    #[test]
+    fn search_key_wraps() {
+        let (t, _) = setup(100);
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        t.search(&mut em, u64::MAX); // must not panic
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn insert_writes_leaf() {
+        let (t, sym) = setup(1000);
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let mut rng = SmallRng::seed_from_u64(3);
+        t.insert(&mut em, 17, &mut rng);
+        assert!(a.iter().any(|x| x.kind == tempstream_trace::AccessKind::Write));
+        assert_eq!(sym.name(a[0].function), "sqliInsert");
+        for x in &a {
+            assert_eq!(sym.category(x.function), MissCategory::Db2IndexPageTuple);
+        }
+    }
+}

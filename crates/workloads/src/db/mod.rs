@@ -1,0 +1,23 @@
+//! DB2-analogue database substrates.
+//!
+//! The paper's DB2-specific categories (Table 2) map onto these modules:
+//!
+//! - `sqli`/`sqld`/`sqlpg` (index, row, page) → [`btree`], [`table`],
+//!   [`bufpool`];
+//! - `sqlrr`/`sqlra` (request control) and client IPC → [`txn`];
+//! - `sqlri` (runtime interpreter) → [`interp`];
+//! - the log manager → [`log`].
+
+pub mod btree;
+pub mod bufpool;
+pub mod interp;
+pub mod log;
+pub mod table;
+pub mod txn;
+
+pub use btree::BPlusTree;
+pub use bufpool::BufferPool;
+pub use interp::PlanInterpreter;
+pub use log::LogManager;
+pub use table::HeapTable;
+pub use txn::{Db2Ipc, RequestControl, TransactionTable};

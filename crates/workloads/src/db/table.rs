@@ -1,0 +1,188 @@
+//! Heap tables: pages of tuples accessed through the buffer pool.
+//!
+//! Models DB2's `sqld` row layer (`sqldRowFetch`, `sqldRowUpdate`) on top
+//! of `sqlpg` pages. Table scans touch tuple blocks sequentially within
+//! each page (strided); random fetches touch one or two blocks.
+
+use crate::db::bufpool::BufferPool;
+use crate::emitter::Emitter;
+use crate::kernel::{BlockDev, CopyEngine};
+use tempstream_trace::{FunctionId, MissCategory, SymbolTable, BLOCK_BYTES, PAGE_BYTES};
+
+/// A heap table: a contiguous range of page ids.
+#[derive(Debug, Clone)]
+pub struct HeapTable {
+    first_page: u64,
+    num_pages: u64,
+    f_fetch: FunctionId,
+    f_update: FunctionId,
+    f_scan: FunctionId,
+}
+
+impl HeapTable {
+    /// Defines a table over `num_pages` pages starting at `first_page`
+    /// (page-id space is shared with the buffer pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pages == 0`.
+    pub fn new(first_page: u64, num_pages: u64, symbols: &mut SymbolTable) -> Self {
+        assert!(num_pages > 0, "table needs pages");
+        HeapTable {
+            first_page,
+            num_pages,
+            f_fetch: symbols.intern("sqldRowFetch", MissCategory::Db2IndexPageTuple),
+            f_update: symbols.intern("sqldRowUpdate", MissCategory::Db2IndexPageTuple),
+            f_scan: symbols.intern("sqldScan", MissCategory::Db2IndexPageTuple),
+        }
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// The page id of the `i`-th page (wrapping).
+    pub fn page_id(&self, i: u64) -> u64 {
+        self.first_page + (i % self.num_pages)
+    }
+
+    /// Fetches one tuple: pin the page, read its slot blocks.
+    pub fn fetch_tuple(
+        &self,
+        em: &mut Emitter<'_>,
+        pool: &mut BufferPool,
+        copy: &CopyEngine,
+        disk: &mut BlockDev,
+        page_index: u64,
+        slot: u64,
+    ) {
+        let page = self.page_id(page_index);
+        let frame = pool.get_page(em, copy, disk, page);
+        em.in_function(self.f_fetch, |em| {
+            let blocks = PAGE_BYTES / BLOCK_BYTES;
+            let b = slot % (blocks - 1);
+            em.read(frame.offset(b * BLOCK_BYTES));
+            em.read(frame.offset((b + 1) * BLOCK_BYTES));
+            em.work(30);
+        });
+    }
+
+    /// Updates one tuple: fetch plus a slot write; the page becomes dirty.
+    pub fn update_tuple(
+        &self,
+        em: &mut Emitter<'_>,
+        pool: &mut BufferPool,
+        copy: &CopyEngine,
+        disk: &mut BlockDev,
+        page_index: u64,
+        slot: u64,
+    ) {
+        let page = self.page_id(page_index);
+        let frame = pool.get_page(em, copy, disk, page);
+        em.in_function(self.f_update, |em| {
+            let blocks = PAGE_BYTES / BLOCK_BYTES;
+            let b = slot % blocks;
+            em.read(frame.offset(b * BLOCK_BYTES));
+            em.write(frame.offset(b * BLOCK_BYTES));
+            em.work(45);
+        });
+        pool.mark_dirty(page);
+    }
+
+    /// Scans `num` consecutive pages starting at `from`, reading every
+    /// `step`-th tuple block of each page.
+    #[allow(clippy::too_many_arguments)] // emitter + 3 substrates + 3 scan params
+    pub fn scan_pages(
+        &self,
+        em: &mut Emitter<'_>,
+        pool: &mut BufferPool,
+        copy: &CopyEngine,
+        disk: &mut BlockDev,
+        from: u64,
+        num: u64,
+        step: u64,
+    ) {
+        let step = step.max(1);
+        for i in 0..num {
+            let page = self.page_id(from + i);
+            let frame = pool.get_page(em, copy, disk, page);
+            em.in_function(self.f_scan, |em| {
+                let blocks = PAGE_BYTES / BLOCK_BYTES;
+                let mut b = 0;
+                while b < blocks {
+                    em.read(frame.offset(b * BLOCK_BYTES));
+                    em.work(12);
+                    b += step;
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::AddressSpace;
+    use tempstream_trace::{AccessKind, MemoryAccess};
+
+    fn setup() -> (HeapTable, BufferPool, CopyEngine, BlockDev, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        sym.intern("root", MissCategory::Uncategorized);
+        let mut space = AddressSpace::new();
+        let pool = BufferPool::new(8, &mut sym, &mut space);
+        let copy = CopyEngine::new(&mut sym);
+        let disk = BlockDev::new(&mut sym, &mut space);
+        let table = HeapTable::new(100, 50, &mut sym);
+        (table, pool, copy, disk, sym)
+    }
+
+    #[test]
+    fn fetch_pins_page_and_reads_slot() {
+        let (t, mut pool, copy, mut disk, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        t.fetch_tuple(&mut em, &mut pool, &copy, &mut disk, 3, 5);
+        assert!(pool.is_resident(103));
+        assert_eq!(pool.faults(), 1);
+        // Second fetch of the same page hits the pool.
+        t.fetch_tuple(&mut em, &mut pool, &copy, &mut disk, 3, 9);
+        assert_eq!(pool.faults(), 1);
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn update_dirties_page() {
+        let (t, mut pool, copy, mut disk, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        t.update_tuple(&mut em, &mut pool, &copy, &mut disk, 0, 0);
+        assert!(a.iter().any(|x| x.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn scan_reads_blocks_with_stride() {
+        let (t, mut pool, copy, mut disk, sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        t.scan_pages(&mut em, &mut pool, &copy, &mut disk, 0, 1, 1);
+        let scan_reads: Vec<_> = a
+            .iter()
+            .filter(|x| sym.name(x.function) == "sqldScan")
+            .collect();
+        assert_eq!(scan_reads.len() as u64, PAGE_BYTES / BLOCK_BYTES);
+        // Consecutive scan reads are block-strided.
+        assert_eq!(
+            scan_reads[1].addr.raw() - scan_reads[0].addr.raw(),
+            BLOCK_BYTES
+        );
+    }
+
+    #[test]
+    fn page_index_wraps() {
+        let (t, _, _, _, _) = setup();
+        assert_eq!(t.page_id(0), 100);
+        assert_eq!(t.page_id(49), 149);
+        assert_eq!(t.page_id(50), 100);
+    }
+}

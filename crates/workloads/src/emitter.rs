@@ -1,0 +1,254 @@
+//! The access emitter: execution context, function labels, and instruction
+//! accounting.
+//!
+//! Substrate models receive an [`Emitter`] and call [`read`](Emitter::read)
+//! / [`write`](Emitter::write) (plus [`dma_write`](Emitter::dma_write) and
+//! [`copyout`](Emitter::copyout) for I/O); the emitter stamps each access
+//! with the current CPU, thread, and enclosing function — the same
+//! annotations the paper's FLEXUS tracing collects at each miss — and
+//! maintains the executed-instruction counter that Figure 1 normalizes by.
+
+use tempstream_trace::{
+    AccessKind, AccessSink, Address, CpuId, FunctionId, MemoryAccess, ThreadId,
+};
+
+/// Instructions charged per emitted memory access (a rough commercial-code
+/// ratio of one memory reference every few instructions).
+pub const INSTRUCTIONS_PER_ACCESS: u64 = 4;
+
+/// Emits labeled accesses into an [`AccessSink`] while tracking execution
+/// context.
+///
+/// The function *stack* mirrors the paper's call-stack inspection: the
+/// innermost function is attached to each access. Pushing/popping is the
+/// substrate models' responsibility via [`call`](Emitter::call) /
+/// [`ret`](Emitter::ret) (or the scoped [`in_function`](Emitter::in_function)).
+pub struct Emitter<'a> {
+    sink: &'a mut dyn AccessSink,
+    instructions: u64,
+    accesses: u64,
+    cpu: CpuId,
+    thread: ThreadId,
+    stack: Vec<FunctionId>,
+}
+
+impl<'a> Emitter<'a> {
+    /// Creates an emitter feeding `sink`, initially on CPU 0 / thread 0
+    /// with an anonymous root function.
+    pub fn new(sink: &'a mut dyn AccessSink) -> Self {
+        Emitter {
+            sink,
+            instructions: 0,
+            accesses: 0,
+            cpu: CpuId::new(0),
+            thread: ThreadId::new(0),
+            stack: vec![FunctionId::new(0)],
+        }
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Accesses emitted so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Switches the execution context (scheduler dispatch).
+    pub fn set_context(&mut self, cpu: CpuId, thread: ThreadId) {
+        self.cpu = cpu;
+        self.thread = thread;
+    }
+
+    /// The current CPU.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// The current thread.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Enters `function` (pushes it on the label stack).
+    pub fn call(&mut self, function: FunctionId) {
+        self.stack.push(function);
+        self.instructions += 2; // call overhead
+    }
+
+    /// Leaves the innermost function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more times than [`call`](Emitter::call).
+    pub fn ret(&mut self) {
+        assert!(self.stack.len() > 1, "ret without matching call");
+        self.stack.pop();
+        self.instructions += 2;
+    }
+
+    /// Runs `body` with `function` as the innermost label.
+    pub fn in_function<R>(&mut self, function: FunctionId, body: impl FnOnce(&mut Self) -> R) -> R {
+        self.call(function);
+        let r = body(self);
+        self.ret();
+        r
+    }
+
+    /// The innermost function label.
+    pub fn current_function(&self) -> FunctionId {
+        *self.stack.last().expect("label stack never empty")
+    }
+
+    /// Advances the instruction counter by `n` without memory traffic
+    /// (register-only computation).
+    pub fn work(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    fn emit(&mut self, addr: Address, kind: AccessKind) {
+        self.instructions += INSTRUCTIONS_PER_ACCESS;
+        self.accesses += 1;
+        let access = MemoryAccess::new(addr, kind, self.cpu, self.thread, self.current_function());
+        self.sink.access(&access);
+    }
+
+    /// Emits a load.
+    pub fn read(&mut self, addr: Address) {
+        self.emit(addr, AccessKind::Read);
+    }
+
+    /// Emits a store.
+    pub fn write(&mut self, addr: Address) {
+        self.emit(addr, AccessKind::Write);
+    }
+
+    /// Emits a DMA write (device-to-memory; invalidates caches, charged no
+    /// CPU instructions).
+    pub fn dma_write(&mut self, addr: Address) {
+        self.accesses += 1;
+        let access = MemoryAccess::new(
+            addr,
+            AccessKind::DmaWrite,
+            self.cpu,
+            self.thread,
+            self.current_function(),
+        );
+        self.sink.access(&access);
+    }
+
+    /// Emits a non-allocating bulk-copy store (Solaris `default_copyout`).
+    pub fn copyout(&mut self, addr: Address) {
+        self.emit(addr, AccessKind::CopyoutWrite);
+    }
+
+    /// Emits sequential reads over `[addr, addr+len)`, one per cache block.
+    pub fn read_range(&mut self, addr: Address, len: u64) {
+        let mut b = addr.block();
+        let end = addr.offset(len.max(1) - 1).block();
+        loop {
+            self.read(b.base_address());
+            if b == end {
+                break;
+            }
+            b = b.offset(1);
+        }
+    }
+
+    /// Emits sequential writes over `[addr, addr+len)`, one per cache block.
+    pub fn write_range(&mut self, addr: Address, len: u64) {
+        let mut b = addr.block();
+        let end = addr.offset(len.max(1) - 1).block();
+        loop {
+            self.write(b.base_address());
+            if b == end {
+                break;
+            }
+            b = b.offset(1);
+        }
+    }
+}
+
+impl std::fmt::Debug for Emitter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Emitter")
+            .field("instructions", &self.instructions)
+            .field("accesses", &self.accesses)
+            .field("cpu", &self.cpu)
+            .field("thread", &self.thread)
+            .field("stack_depth", &self.stack.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_follow_call_stack() {
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        let f1 = FunctionId::new(1);
+        let f2 = FunctionId::new(2);
+        em.call(f1);
+        em.read(Address::new(64));
+        em.in_function(f2, |em| em.write(Address::new(128)));
+        em.read(Address::new(192));
+        em.ret();
+        assert_eq!(out[0].function, f1);
+        assert_eq!(out[1].function, f2);
+        assert_eq!(out[2].function, f1);
+    }
+
+    #[test]
+    fn context_is_stamped() {
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        em.set_context(CpuId::new(3), ThreadId::new(9));
+        em.read(Address::new(0x40));
+        assert_eq!(out[0].cpu, CpuId::new(3));
+        assert_eq!(out[0].thread, ThreadId::new(9));
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        em.read(Address::new(0));
+        em.work(100);
+        em.write(Address::new(64));
+        assert_eq!(em.instructions(), 2 * INSTRUCTIONS_PER_ACCESS + 100);
+        assert_eq!(em.accesses(), 2);
+    }
+
+    #[test]
+    fn dma_charges_no_instructions() {
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        em.dma_write(Address::new(0));
+        assert_eq!(em.instructions(), 0);
+        assert_eq!(out[0].kind, AccessKind::DmaWrite);
+    }
+
+    #[test]
+    fn ranges_touch_every_block_once() {
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        em.read_range(Address::new(32), 64); // spans blocks 0 and 1
+        em.write_range(Address::new(4096), 4096); // exactly one page
+        assert_eq!(em.accesses(), 2 + 64);
+        drop(em);
+        assert_eq!(out.len(), 2 + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "ret without matching call")]
+    fn unbalanced_ret_panics() {
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        em.ret();
+    }
+}

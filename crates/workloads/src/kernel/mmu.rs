@@ -1,0 +1,187 @@
+//! Software TLB fills and register-window traps.
+//!
+//! Models the paper's "Kernel MMU & trap handlers" category. SPARC/Solaris
+//! fills MMU translations in software: a `data_access_MMU_miss` trap walks
+//! a hashed page table (the TSB/HME hash chains) in memory. Because the
+//! same virtual pages are translated again and again, the walk misses
+//! repeat — the paper highlights these as a large stream source in OLTP.
+//! Register-window spill/fill traps touch the per-thread kernel stack.
+
+use crate::emitter::Emitter;
+use crate::kernel::KernelConfig;
+use crate::layout::AddressSpace;
+use tempstream_trace::{Address, CpuId, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
+
+/// Per-CPU TLB entries (direct-mapped on page number).
+const TLB_ENTRIES: usize = 512;
+
+/// The MMU substrate.
+#[derive(Debug)]
+pub struct MmuModel {
+    /// Hashed page table: an array of bucket blocks.
+    table_base: Address,
+    buckets: u64,
+    /// Per-thread kernel stacks for window spill/fill.
+    stack_base: Address,
+    stacks: u64,
+    /// Direct-mapped TLB per CPU: `tlb[cpu][idx] = page+1` (0 = empty).
+    tlb: Vec<Vec<u64>>,
+    f_dmmu: FunctionId,
+    f_immu: FunctionId,
+    f_winspill: FunctionId,
+}
+
+impl MmuModel {
+    /// Lays out the hashed page table (4 MB) and kernel stacks.
+    pub fn new(
+        config: &KernelConfig,
+        symbols: &mut SymbolTable,
+        space: &mut AddressSpace,
+    ) -> Self {
+        // 16 MB of hash buckets: translation walks regularly miss the L2,
+        // as they do on the paper's systems (large page working sets).
+        let buckets = 262_144u64;
+        let table = space.region("page-table", buckets * BLOCK_BYTES);
+        let stacks = u64::from(config.num_threads.max(1));
+        let stack_region = space.region("kernel-stacks", stacks * 1024);
+        MmuModel {
+            table_base: table.base(),
+            buckets,
+            stack_base: stack_region.base(),
+            stacks,
+            tlb: vec![vec![0; TLB_ENTRIES]; config.num_cpus as usize],
+            f_dmmu: symbols.intern("data_access_MMU_miss", MissCategory::KernelMmuTrap),
+            f_immu: symbols.intern("instruction_access_MMU_miss", MissCategory::KernelMmuTrap),
+            f_winspill: symbols.intern("winfix_trap", MissCategory::KernelMmuTrap),
+        }
+    }
+
+    /// Translates the page of `addr` on `cpu`; on a TLB miss, emits the
+    /// hashed-page-table walk. Returns `true` if a walk happened.
+    pub fn translate(&mut self, em: &mut Emitter<'_>, cpu: CpuId, addr: Address) -> bool {
+        let page = addr.page();
+        let c = cpu.index() % self.tlb.len();
+        let idx = (page as usize) % TLB_ENTRIES;
+        if self.tlb[c][idx] == page + 1 {
+            return false;
+        }
+        self.tlb[c][idx] = page + 1;
+        em.in_function(self.f_dmmu, |em| {
+            // Hash-chain walk: primary bucket, then one chained bucket
+            // (different hash), then the TSB update store.
+            let h1 = page.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.buckets;
+            let h2 = (page.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (page >> 7)) % self.buckets;
+            em.read(self.table_base.offset(h1 * BLOCK_BYTES));
+            em.read(self.table_base.offset(h2 * BLOCK_BYTES));
+            em.write(self.table_base.offset(h1 * BLOCK_BYTES));
+            em.work(40);
+        });
+        true
+    }
+
+    /// An instruction-side TLB fill for a code page (same walk under the
+    /// I-side trap label).
+    pub fn translate_code(&mut self, em: &mut Emitter<'_>, cpu: CpuId, addr: Address) -> bool {
+        let page = addr.page();
+        let c = cpu.index() % self.tlb.len();
+        let idx = (page as usize) % TLB_ENTRIES;
+        if self.tlb[c][idx] == page + 1 {
+            return false;
+        }
+        self.tlb[c][idx] = page + 1;
+        em.in_function(self.f_immu, |em| {
+            let h1 = page.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.buckets;
+            em.read(self.table_base.offset(h1 * BLOCK_BYTES));
+            em.write(self.table_base.offset(h1 * BLOCK_BYTES));
+            em.work(40);
+        });
+        true
+    }
+
+    /// A register-window spill/fill trap: eight registers move to/from the
+    /// thread's kernel stack (two blocks).
+    pub fn window_trap(&self, em: &mut Emitter<'_>, thread: u32) {
+        let t = u64::from(thread) % self.stacks;
+        let stack = self.stack_base.offset(t * 1024);
+        em.in_function(self.f_winspill, |em| {
+            em.write(stack);
+            em.write(stack.offset(BLOCK_BYTES));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::MemoryAccess;
+
+    fn setup() -> (MmuModel, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        sym.intern("root", MissCategory::Uncategorized);
+        let mut space = AddressSpace::new();
+        (
+            MmuModel::new(&KernelConfig::default(), &mut sym, &mut space),
+            sym,
+        )
+    }
+
+    #[test]
+    fn tlb_hit_after_fill() {
+        let (mut m, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let addr = Address::new(123 * 4096 + 17);
+        assert!(m.translate(&mut em, CpuId::new(0), addr));
+        assert!(!m.translate(&mut em, CpuId::new(0), addr));
+        // Different CPU has its own TLB.
+        assert!(m.translate(&mut em, CpuId::new(1), addr));
+    }
+
+    #[test]
+    fn walk_is_repeatable_per_page() {
+        let (mut m, _) = setup();
+        let addr = Address::new(55 * 4096);
+        let walk = |m: &mut MmuModel, cpu: u32| {
+            let mut a: Vec<MemoryAccess> = Vec::new();
+            let mut em = Emitter::new(&mut a);
+            m.translate(&mut em, CpuId::new(cpu), addr);
+            a.iter().map(|x| x.addr).collect::<Vec<_>>()
+        };
+        let w0 = walk(&mut m, 0);
+        let w1 = walk(&mut m, 1);
+        assert_eq!(w0, w1, "same page walks the same chain on every cpu");
+        assert_eq!(w0.len(), 3);
+    }
+
+    #[test]
+    fn conflicting_pages_evict() {
+        let (mut m, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let p1 = Address::new(7 * 4096);
+        let p2 = Address::new((7 + TLB_ENTRIES as u64) * 4096); // same TLB index
+        assert!(m.translate(&mut em, CpuId::new(0), p1));
+        assert!(m.translate(&mut em, CpuId::new(0), p2));
+        assert!(m.translate(&mut em, CpuId::new(0), p1), "p1 evicted by p2");
+    }
+
+    #[test]
+    fn window_trap_touches_thread_stack() {
+        let (m, sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        m.window_trap(&mut em, 3);
+        m.window_trap(&mut em, 3);
+        assert_eq!(a[0].addr, a[2].addr);
+        assert_eq!(sym.category(a[0].function), MissCategory::KernelMmuTrap);
+    }
+
+    #[test]
+    fn code_walk_uses_immu_label() {
+        let (mut m, sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        m.translate_code(&mut em, CpuId::new(0), Address::new(0x800000));
+        assert_eq!(sym.name(a[0].function), "instruction_access_MMU_miss");
+    }
+}

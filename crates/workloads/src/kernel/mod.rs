@@ -1,0 +1,105 @@
+//! Solaris-kernel behavioural substrates.
+//!
+//! Each module models one kernel mechanism the paper identifies as a miss
+//! source (Table 2): the emitted access patterns come from real data
+//! structures (queues, locks, hash tables, rings) laid out in the synthetic
+//! address space.
+
+pub mod blockdev;
+pub mod copy;
+pub mod ip;
+pub mod mmu;
+pub mod sched;
+pub mod streams_ipc;
+pub mod sync;
+pub mod syscall;
+
+use crate::layout::AddressSpace;
+use rand::rngs::SmallRng;
+use tempstream_trace::SymbolTable;
+
+pub use blockdev::BlockDev;
+pub use copy::CopyEngine;
+pub use ip::IpStack;
+pub use mmu::MmuModel;
+pub use sched::Scheduler;
+pub use streams_ipc::StreamsSubsystem;
+pub use sync::SyncPrimitives;
+pub use syscall::SyscallModel;
+
+/// Kernel sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// Number of processors.
+    pub num_cpus: u32,
+    /// Kernel threads backing the dispatch queues and sleep queues.
+    pub num_threads: u32,
+    /// STREAMS channels (one per CGI process pair in the web workloads).
+    pub num_streams_channels: u32,
+    /// Mutexes in the global mutex table.
+    pub num_mutexes: u32,
+    /// Condition variables.
+    pub num_condvars: u32,
+    /// Processes with file-descriptor tables.
+    pub num_processes: u32,
+    /// Open file descriptors per process.
+    pub fds_per_process: u32,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            num_cpus: 4,
+            num_threads: 64,
+            num_streams_channels: 8,
+            num_mutexes: 64,
+            num_condvars: 64,
+            num_processes: 8,
+            fds_per_process: 256,
+        }
+    }
+}
+
+/// A facade bundling every kernel substrate, so workload compositions can
+/// pass one `&mut Kernel` around.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The dispatcher (per-CPU run queues + work stealing).
+    pub sched: Scheduler,
+    /// Mutexes, condition variables, and sleep queues.
+    pub sync: SyncPrimitives,
+    /// Software TLB and hashed page table.
+    pub mmu: MmuModel,
+    /// System-call state machines (poll/read/write/open/stat).
+    pub syscalls: SyscallModel,
+    /// Bulk memory copies, DMA fills, and copyout stores.
+    pub copy: CopyEngine,
+    /// Block-device (disk) driver.
+    pub blockdev: BlockDev,
+    /// STREAMS message queues (stdio between server and CGI processes).
+    pub streams: StreamsSubsystem,
+    /// IP packet assembly.
+    pub ip: IpStack,
+}
+
+impl Kernel {
+    /// Builds every kernel substrate, carving regions from `space` and
+    /// interning function names in `symbols`.
+    pub fn new(
+        config: &KernelConfig,
+        symbols: &mut SymbolTable,
+        space: &mut AddressSpace,
+        rng: &mut SmallRng,
+    ) -> Self {
+        Kernel {
+            sched: Scheduler::new(config, symbols, space),
+            sync: SyncPrimitives::new(config, symbols, space),
+            mmu: MmuModel::new(config, symbols, space),
+            syscalls: SyscallModel::new(config, symbols, space, rng),
+            copy: CopyEngine::new(symbols),
+            blockdev: BlockDev::new(symbols, space),
+            streams: StreamsSubsystem::new(config, symbols, space),
+            ip: IpStack::new(config, symbols, space, rng),
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Solaris STREAMS message queues.
+//!
+//! Models the paper's "Kernel STREAMS subsystem" category: the web server
+//! and its FastCGI perl processes communicate over stdio implemented in
+//! STREAMS. Data written to a stream is broken into messages (`msgb` +
+//! `datab` descriptor pairs) that pass through thread-safe queues; both
+//! the queue locks and the message-pointer manipulation are highly
+//! repetitive (~80% of these misses are in temporal streams), because
+//! message descriptors are allocated from pools that are aggressively
+//! reused.
+
+use crate::emitter::Emitter;
+use crate::kernel::KernelConfig;
+use crate::layout::AddressSpace;
+use std::collections::VecDeque;
+use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
+
+/// Message descriptors per channel direction (the reuse pool).
+const MSGS_PER_POOL: u32 = 16;
+
+/// Handle to one STREAMS channel (a bidirectional queue pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelId(pub u32);
+
+/// Direction within a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Server-to-CGI (downstream).
+    Down,
+    /// CGI-to-server (upstream).
+    Up,
+}
+
+#[derive(Debug)]
+struct StreamQueue {
+    lock: Address,
+    header: Address,
+    /// msgb+datab descriptor pairs (2 blocks each), reused round-robin.
+    msg_pool: Vec<Address>,
+    next_msg: u32,
+    /// Messages currently queued (indices into `msg_pool`).
+    queued: VecDeque<u32>,
+}
+
+/// The STREAMS substrate: a set of channels.
+#[derive(Debug)]
+pub struct StreamsSubsystem {
+    /// `2 * num_channels` queues: `[down0, up0, down1, up1, ...]`.
+    queues: Vec<StreamQueue>,
+    f_putq: FunctionId,
+    f_getq: FunctionId,
+    f_canput: FunctionId,
+    f_strwrite: FunctionId,
+    f_strread: FunctionId,
+}
+
+impl StreamsSubsystem {
+    /// Lays out `config.num_streams_channels` channels.
+    pub fn new(
+        config: &KernelConfig,
+        symbols: &mut SymbolTable,
+        space: &mut AddressSpace,
+    ) -> Self {
+        let channels = config.num_streams_channels.max(1);
+        let per_queue = 2 + u64::from(MSGS_PER_POOL) * 2; // blocks
+        let mut region = space.region(
+            "streams",
+            u64::from(channels) * 2 * per_queue * BLOCK_BYTES + 4096,
+        );
+        let queues = (0..channels * 2)
+            .map(|_| StreamQueue {
+                lock: region.alloc(64),
+                header: region.alloc(64),
+                msg_pool: (0..MSGS_PER_POOL).map(|_| region.alloc(128)).collect(),
+                next_msg: 0,
+                queued: VecDeque::new(),
+            })
+            .collect();
+        StreamsSubsystem {
+            queues,
+            f_putq: symbols.intern("putq", MissCategory::KernelStreams),
+            f_getq: symbols.intern("getq", MissCategory::KernelStreams),
+            f_canput: symbols.intern("canput", MissCategory::KernelStreams),
+            f_strwrite: symbols.intern("strwrite", MissCategory::KernelStreams),
+            f_strread: symbols.intern("strread", MissCategory::KernelStreams),
+        }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> u32 {
+        (self.queues.len() / 2) as u32
+    }
+
+    fn queue_index(&self, ch: ChannelId, dir: Dir) -> usize {
+        let c = (ch.0 % self.num_channels()) as usize;
+        c * 2 + usize::from(matches!(dir, Dir::Up))
+    }
+
+    /// `strwrite` + `putq`: enqueue `msgs` messages onto the channel's
+    /// `dir` queue, taking descriptors from the reuse pool. Returns the
+    /// descriptor addresses written (for payload emission by the caller).
+    pub fn put(
+        &mut self,
+        em: &mut Emitter<'_>,
+        ch: ChannelId,
+        dir: Dir,
+        msgs: u32,
+    ) -> Vec<Address> {
+        let qi = self.queue_index(ch, dir);
+        let (f_strwrite, f_canput, f_putq) = (self.f_strwrite, self.f_canput, self.f_putq);
+        let q = &mut self.queues[qi];
+        let mut written = Vec::with_capacity(msgs as usize);
+        em.in_function(f_strwrite, |em| {
+            em.in_function(f_canput, |em| em.read(q.header));
+            em.in_function(f_putq, |em| {
+                em.read(q.lock);
+                em.write(q.lock);
+                for _ in 0..msgs {
+                    let m = q.next_msg % MSGS_PER_POOL;
+                    q.next_msg = q.next_msg.wrapping_add(1);
+                    let desc = q.msg_pool[m as usize];
+                    // Link the descriptor: previous tail's b_next, then the
+                    // new msgb+datab pair, then the queue header.
+                    if let Some(&tail) = q.queued.back() {
+                        em.read(q.msg_pool[tail as usize]);
+                    }
+                    em.write(desc);
+                    em.write(desc.offset(BLOCK_BYTES));
+                    q.queued.push_back(m);
+                    written.push(desc);
+                }
+                em.write(q.header);
+                em.write(q.lock);
+            });
+        });
+        written
+    }
+
+    /// `strread` + `getq`: dequeue up to `max` messages. Returns the
+    /// descriptor addresses read.
+    pub fn get(
+        &mut self,
+        em: &mut Emitter<'_>,
+        ch: ChannelId,
+        dir: Dir,
+        max: u32,
+    ) -> Vec<Address> {
+        let qi = self.queue_index(ch, dir);
+        let (f_strread, f_getq) = (self.f_strread, self.f_getq);
+        let q = &mut self.queues[qi];
+        let mut taken = Vec::new();
+        em.in_function(f_strread, |em| {
+            em.in_function(f_getq, |em| {
+                em.read(q.lock);
+                em.write(q.lock);
+                em.read(q.header);
+                for _ in 0..max {
+                    let Some(m) = q.queued.pop_front() else { break };
+                    let desc = q.msg_pool[m as usize];
+                    em.read(desc);
+                    em.read(desc.offset(BLOCK_BYTES));
+                    taken.push(desc);
+                }
+                em.write(q.header);
+                em.write(q.lock);
+            });
+        });
+        taken
+    }
+
+    /// Messages currently queued on `(ch, dir)`.
+    pub fn depth(&self, ch: ChannelId, dir: Dir) -> usize {
+        self.queues[self.queue_index(ch, dir)].queued.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::MemoryAccess;
+
+    fn setup() -> (StreamsSubsystem, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        sym.intern("root", MissCategory::Uncategorized);
+        let mut space = AddressSpace::new();
+        (
+            StreamsSubsystem::new(&KernelConfig::default(), &mut sym, &mut space),
+            sym,
+        )
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (mut s, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let ch = ChannelId(0);
+        let sent = s.put(&mut em, ch, Dir::Down, 3);
+        assert_eq!(s.depth(ch, Dir::Down), 3);
+        let got = s.get(&mut em, ch, Dir::Down, 10);
+        assert_eq!(sent, got);
+        assert_eq!(s.depth(ch, Dir::Down), 0);
+    }
+
+    #[test]
+    fn descriptor_pool_is_reused() {
+        let (mut s, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let ch = ChannelId(1);
+        let first = s.put(&mut em, ch, Dir::Up, 1)[0];
+        s.get(&mut em, ch, Dir::Up, 1);
+        // After MSGS_PER_POOL more messages, the pool wraps to `first`.
+        for _ in 0..MSGS_PER_POOL - 1 {
+            s.put(&mut em, ch, Dir::Up, 1);
+            s.get(&mut em, ch, Dir::Up, 1);
+        }
+        let wrapped = s.put(&mut em, ch, Dir::Up, 1)[0];
+        assert_eq!(first, wrapped);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let (mut s, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.put(&mut em, ChannelId(0), Dir::Down, 2);
+        assert_eq!(s.depth(ChannelId(0), Dir::Up), 0);
+        assert!(s.get(&mut em, ChannelId(0), Dir::Up, 1).is_empty());
+    }
+
+    #[test]
+    fn lock_and_header_addresses_are_fixed() {
+        let (mut s, _) = setup();
+        let trace = |s: &mut StreamsSubsystem| {
+            let mut a: Vec<MemoryAccess> = Vec::new();
+            let mut em = Emitter::new(&mut a);
+            s.put(&mut em, ChannelId(2), Dir::Down, 1);
+            s.get(&mut em, ChannelId(2), Dir::Down, 1);
+            a.iter().map(|x| x.addr).collect::<Vec<_>>()
+        };
+        // Queue empty before and after each round: identical access
+        // sequences (the repetitive streams the paper observes).
+        let t1 = trace(&mut s);
+        // Skip one pool slot so descriptors differ, then compare lock and
+        // header positions only.
+        let t2 = trace(&mut s);
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1[0], t2[0]); // canput header read
+        assert_eq!(t1[1], t2[1]); // putq lock
+    }
+
+    #[test]
+    fn labels_are_streams_functions() {
+        let (mut s, sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.put(&mut em, ChannelId(0), Dir::Down, 1);
+        s.get(&mut em, ChannelId(0), Dir::Down, 1);
+        for x in &a {
+            assert_eq!(sym.category(x.function), MissCategory::KernelStreams);
+        }
+        let names: Vec<_> = a.iter().map(|x| sym.name(x.function)).collect();
+        assert!(names.contains(&"putq"));
+        assert!(names.contains(&"getq"));
+        assert!(names.contains(&"canput"));
+    }
+
+    #[test]
+    fn channel_id_wraps() {
+        let (mut s, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.put(&mut em, ChannelId(1_000), Dir::Down, 1);
+        assert_eq!(s.depth(ChannelId(1_000 % s.num_channels()), Dir::Down), 1);
+    }
+}

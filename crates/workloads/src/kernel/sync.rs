@@ -1,0 +1,230 @@
+//! Mutexes, condition variables, and sleep queues.
+//!
+//! Models the paper's "Kernel synchronization primitives" category:
+//! Solaris adaptive mutexes at fixed addresses (lock words bounce between
+//! processors — classic coherence temporal streams) and condition
+//! variables whose waiting threads form linked lists of sleep-queue nodes
+//! that are repeatedly walked in the same order.
+
+use crate::emitter::Emitter;
+use crate::layout::{AddressSpace, Region};
+use crate::kernel::KernelConfig;
+use std::collections::VecDeque;
+use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, ThreadId};
+
+/// Handle to one mutex in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutexId(u32);
+
+/// Handle to one condition variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CondvarId(u32);
+
+/// The synchronization-primitive substrate.
+#[derive(Debug)]
+pub struct SyncPrimitives {
+    mutex_addrs: Vec<Address>,
+    cv_addrs: Vec<Address>,
+    /// One sleep-queue node per kernel thread.
+    sleepq_nodes: Vec<Address>,
+    /// Waiting-thread queues per condvar (thread ids, FIFO).
+    waiters: Vec<VecDeque<u32>>,
+    f_mutex_enter: FunctionId,
+    f_mutex_exit: FunctionId,
+    f_cv_wait: FunctionId,
+    f_cv_signal: FunctionId,
+    f_sleepq: FunctionId,
+}
+
+impl SyncPrimitives {
+    /// Lays out the mutex/condvar tables and sleep-queue nodes.
+    pub fn new(
+        config: &KernelConfig,
+        symbols: &mut SymbolTable,
+        space: &mut AddressSpace,
+    ) -> Self {
+        let mut region: Region = space.region(
+            "sync",
+            u64::from(config.num_mutexes + config.num_condvars + config.num_threads) * 64 + 4096,
+        );
+        let mutex_addrs = (0..config.num_mutexes).map(|_| region.alloc(64)).collect();
+        let cv_addrs = (0..config.num_condvars).map(|_| region.alloc(64)).collect();
+        let sleepq_nodes = (0..config.num_threads).map(|_| region.alloc(64)).collect();
+        SyncPrimitives {
+            mutex_addrs,
+            cv_addrs,
+            sleepq_nodes,
+            waiters: vec![VecDeque::new(); config.num_condvars as usize],
+            f_mutex_enter: symbols.intern("mutex_enter", MissCategory::KernelSynchronization),
+            f_mutex_exit: symbols.intern("mutex_exit", MissCategory::KernelSynchronization),
+            f_cv_wait: symbols.intern("cv_wait", MissCategory::KernelSynchronization),
+            f_cv_signal: symbols.intern("cv_signal", MissCategory::KernelSynchronization),
+            f_sleepq: symbols.intern("sleepq_insert", MissCategory::KernelSynchronization),
+        }
+    }
+
+    /// Number of mutexes in the table.
+    pub fn num_mutexes(&self) -> u32 {
+        self.mutex_addrs.len() as u32
+    }
+
+    /// Number of condition variables.
+    pub fn num_condvars(&self) -> u32 {
+        self.cv_addrs.len() as u32
+    }
+
+    /// Returns the mutex handle for slot `i` (wrapping).
+    pub fn mutex(&self, i: u32) -> MutexId {
+        MutexId(i % self.mutex_addrs.len() as u32)
+    }
+
+    /// Returns the condvar handle for slot `i` (wrapping).
+    pub fn condvar(&self, i: u32) -> CondvarId {
+        CondvarId(i % self.cv_addrs.len() as u32)
+    }
+
+    /// Acquires `m`: test-and-set on the lock word.
+    pub fn mutex_enter(&self, em: &mut Emitter<'_>, m: MutexId) {
+        let a = self.mutex_addrs[m.0 as usize];
+        em.in_function(self.f_mutex_enter, |em| {
+            em.read(a);
+            em.write(a);
+        });
+    }
+
+    /// Releases `m`.
+    pub fn mutex_exit(&self, em: &mut Emitter<'_>, m: MutexId) {
+        let a = self.mutex_addrs[m.0 as usize];
+        em.in_function(self.f_mutex_exit, |em| em.write(a));
+    }
+
+    /// Runs `body` holding `m`.
+    pub fn with_mutex<R>(
+        &self,
+        em: &mut Emitter<'_>,
+        m: MutexId,
+        body: impl FnOnce(&mut Emitter<'_>) -> R,
+    ) -> R {
+        self.mutex_enter(em, m);
+        let r = body(em);
+        self.mutex_exit(em, m);
+        r
+    }
+
+    /// Blocks `thread` on `cv`: links its sleep-queue node onto the
+    /// condvar's waiter list.
+    pub fn cv_wait(&mut self, em: &mut Emitter<'_>, cv: CondvarId, thread: ThreadId) {
+        let cv_addr = self.cv_addrs[cv.0 as usize];
+        let tid = thread.raw() % self.sleepq_nodes.len() as u32;
+        let node = self.sleepq_nodes[tid as usize];
+        em.in_function(self.f_cv_wait, |em| {
+            em.read(cv_addr);
+            em.in_function(self.f_sleepq, |em| {
+                // Link at tail: read current tail node, write links.
+                if let Some(&last) = self.waiters[cv.0 as usize].back() {
+                    em.read(self.sleepq_nodes[last as usize]);
+                }
+                em.write(node);
+                em.write(cv_addr);
+            });
+        });
+        self.waiters[cv.0 as usize].push_back(tid);
+    }
+
+    /// Wakes the longest-waiting thread on `cv`, walking the sleep queue
+    /// head. Returns the woken thread id, if any.
+    pub fn cv_signal(&mut self, em: &mut Emitter<'_>, cv: CondvarId) -> Option<ThreadId> {
+        let cv_addr = self.cv_addrs[cv.0 as usize];
+        
+        em.in_function(self.f_cv_signal, |em| {
+            em.read(cv_addr);
+            if let Some(first) = self.waiters[cv.0 as usize].pop_front() {
+                em.read(self.sleepq_nodes[first as usize]);
+                em.write(self.sleepq_nodes[first as usize]);
+                em.write(cv_addr);
+                Some(ThreadId::new(first))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of threads waiting on `cv`.
+    pub fn waiter_count(&self, cv: CondvarId) -> usize {
+        self.waiters[cv.0 as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tempstream_trace::MemoryAccess;
+
+    fn setup() -> (SyncPrimitives, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        sym.intern("root", MissCategory::Uncategorized);
+        let mut space = AddressSpace::new();
+        let cfg = KernelConfig::default();
+        let _ = rand::rngs::SmallRng::seed_from_u64(0);
+        (SyncPrimitives::new(&cfg, &mut sym, &mut space), sym)
+    }
+
+    #[test]
+    fn mutex_lock_word_is_stable() {
+        let (s, _sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.mutex_enter(&mut em, s.mutex(3));
+        s.mutex_exit(&mut em, s.mutex(3));
+        s.mutex_enter(&mut em, s.mutex(3));
+        // Same lock word address every time.
+        assert_eq!(a[0].addr, a[2].addr);
+        assert_eq!(a[0].addr, a[3].addr);
+    }
+
+    #[test]
+    fn with_mutex_brackets_body() {
+        let (s, sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.with_mutex(&mut em, s.mutex(0), |em| em.read(Address::new(0x99940)));
+        assert_eq!(sym.name(a[0].function), "mutex_enter");
+        assert_eq!(sym.name(a.last().unwrap().function), "mutex_exit");
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn cv_wait_then_signal_fifo() {
+        let (mut s, _sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let cv = s.condvar(1);
+        s.cv_wait(&mut em, cv, ThreadId::new(5));
+        s.cv_wait(&mut em, cv, ThreadId::new(9));
+        assert_eq!(s.waiter_count(cv), 2);
+        assert_eq!(s.cv_signal(&mut em, cv), Some(ThreadId::new(5)));
+        assert_eq!(s.cv_signal(&mut em, cv), Some(ThreadId::new(9)));
+        assert_eq!(s.cv_signal(&mut em, cv), None);
+    }
+
+    #[test]
+    fn signal_empty_cv_touches_only_header() {
+        let (mut s, _sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.cv_signal(&mut em, s.condvar(0));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn categories_are_kernel_sync() {
+        let (mut s, sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.cv_wait(&mut em, s.condvar(0), ThreadId::new(0));
+        for acc in &a {
+            assert_eq!(sym.category(acc.function), MissCategory::KernelSynchronization);
+        }
+    }
+}

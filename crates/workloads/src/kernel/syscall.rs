@@ -1,0 +1,251 @@
+//! System-call implementation accesses.
+//!
+//! Models the paper's "System call implementation" category, dominated by
+//! I/O calls: `poll` (the web server's connection multiplexing — a scan
+//! over pollfd entries and their file/vnode structures), `read`/`write`
+//! (file structure, vnode, offset update), `open` and `stat`.
+
+use crate::emitter::Emitter;
+use crate::kernel::KernelConfig;
+use crate::layout::AddressSpace;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
+
+/// A process handle for syscall purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcId(pub u32);
+
+/// The syscall substrate.
+#[derive(Debug)]
+pub struct SyscallModel {
+    /// Per-process fd table: `fds_per_process` contiguous entry blocks.
+    fd_tables: Vec<Address>,
+    fds_per_process: u32,
+    /// file_t structures, one per (process, fd), scattered.
+    file_structs: Vec<Address>,
+    /// vnodes shared across processes (fewer vnodes than files).
+    vnodes: Vec<Address>,
+    /// pollcache header per process.
+    pollcaches: Vec<Address>,
+    f_poll: FunctionId,
+    f_read: FunctionId,
+    f_write: FunctionId,
+    f_open: FunctionId,
+    f_stat: FunctionId,
+}
+
+impl SyscallModel {
+    /// Lays out fd tables, file structures, and vnodes.
+    pub fn new(
+        config: &KernelConfig,
+        symbols: &mut SymbolTable,
+        space: &mut AddressSpace,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let procs = config.num_processes.max(1);
+        let fds = config.fds_per_process.max(1);
+        let mut fd_region = space.region("fd-tables", u64::from(procs) * u64::from(fds) * 64);
+        let fd_tables = (0..procs)
+            .map(|_| fd_region.alloc(u64::from(fds) * 64))
+            .collect();
+        let file_region = space.region("file-structs", u64::from(procs) * u64::from(fds) * 128);
+        let file_structs = (0..procs * fds)
+            .map(|_| file_region.alloc_scattered(rng, 64))
+            .collect();
+        let num_vnodes = (procs * fds / 4).max(1);
+        let vnode_region = space.region("vnodes", u64::from(num_vnodes) * 192);
+        let mut vnode_region = vnode_region;
+        let vnodes = (0..num_vnodes).map(|_| vnode_region.alloc(128)).collect();
+        let mut poll_region = space.region("pollcache", u64::from(procs) * 64);
+        let pollcaches = (0..procs).map(|_| poll_region.alloc(64)).collect();
+        SyscallModel {
+            fd_tables,
+            fds_per_process: fds,
+            file_structs,
+            vnodes,
+            pollcaches,
+            f_poll: symbols.intern("poll", MissCategory::SystemCall),
+            f_read: symbols.intern("read", MissCategory::SystemCall),
+            f_write: symbols.intern("write", MissCategory::SystemCall),
+            f_open: symbols.intern("open", MissCategory::SystemCall),
+            f_stat: symbols.intern("stat", MissCategory::SystemCall),
+        }
+    }
+
+    fn fd_entry(&self, proc_: ProcId, fd: u32) -> Address {
+        let p = proc_.0 as usize % self.fd_tables.len();
+        let fd = u64::from(fd % self.fds_per_process);
+        self.fd_tables[p].offset(fd * BLOCK_BYTES)
+    }
+
+    fn file_struct(&self, proc_: ProcId, fd: u32) -> Address {
+        let p = proc_.0 % self.fd_tables.len() as u32;
+        let idx = (p * self.fds_per_process + fd % self.fds_per_process) as usize;
+        self.file_structs[idx % self.file_structs.len()]
+    }
+
+    fn vnode(&self, proc_: ProcId, fd: u32) -> Address {
+        let p = proc_.0 % self.fd_tables.len() as u32;
+        let idx = ((p * self.fds_per_process + fd % self.fds_per_process) / 4) as usize;
+        self.vnodes[idx % self.vnodes.len()]
+    }
+
+    /// `poll(2)`: scan `nfds` consecutive pollfd entries starting at
+    /// `first_fd`, reading each fd entry and (for a subset) the backing
+    /// file structure.
+    pub fn poll(&self, em: &mut Emitter<'_>, proc_: ProcId, first_fd: u32, nfds: u32) {
+        em.in_function(self.f_poll, |em| {
+            let p = proc_.0 as usize % self.pollcaches.len();
+            em.read(self.pollcaches[p]);
+            em.write(self.pollcaches[p]);
+            for i in 0..nfds {
+                let fd = first_fd + i;
+                em.read(self.fd_entry(proc_, fd));
+                if i % 2 == 0 {
+                    em.read(self.file_struct(proc_, fd));
+                }
+            }
+            em.work(u64::from(nfds) * 6);
+        });
+    }
+
+    /// `read(2)` bookkeeping (file struct, vnode, offset update). The data
+    /// transfer itself is emitted by the caller (copy engine / STREAMS).
+    pub fn sys_read(&self, em: &mut Emitter<'_>, proc_: ProcId, fd: u32) {
+        em.in_function(self.f_read, |em| {
+            em.read(self.fd_entry(proc_, fd));
+            em.read(self.file_struct(proc_, fd));
+            em.read(self.vnode(proc_, fd));
+            em.write(self.file_struct(proc_, fd));
+            em.work(60);
+        });
+    }
+
+    /// `write(2)` bookkeeping.
+    pub fn sys_write(&self, em: &mut Emitter<'_>, proc_: ProcId, fd: u32) {
+        em.in_function(self.f_write, |em| {
+            em.read(self.fd_entry(proc_, fd));
+            em.read(self.file_struct(proc_, fd));
+            em.read(self.vnode(proc_, fd));
+            em.write(self.file_struct(proc_, fd));
+            em.write(self.vnode(proc_, fd));
+            em.work(60);
+        });
+    }
+
+    /// `open(2)`: fd allocation scan plus vnode lookup.
+    pub fn sys_open(&self, em: &mut Emitter<'_>, proc_: ProcId, rng: &mut SmallRng) -> u32 {
+        let fd = rng.gen_range(0..self.fds_per_process);
+        em.in_function(self.f_open, |em| {
+            for probe in 0..4u32 {
+                em.read(self.fd_entry(proc_, fd.wrapping_add(probe)));
+            }
+            em.read(self.vnode(proc_, fd));
+            em.write(self.fd_entry(proc_, fd));
+            em.work(120);
+        });
+        fd
+    }
+
+    /// `stat(2)`: vnode attribute read.
+    pub fn sys_stat(&self, em: &mut Emitter<'_>, proc_: ProcId, fd: u32) {
+        em.in_function(self.f_stat, |em| {
+            em.read(self.vnode(proc_, fd));
+            em.read(self.vnode(proc_, fd).offset(BLOCK_BYTES));
+            em.work(80);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tempstream_trace::MemoryAccess;
+
+    fn setup() -> (SyscallModel, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        sym.intern("root", MissCategory::Uncategorized);
+        let mut space = AddressSpace::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        (
+            SyscallModel::new(&KernelConfig::default(), &mut sym, &mut space, &mut rng),
+            sym,
+        )
+    }
+
+    #[test]
+    fn poll_scans_fd_entries_in_order() {
+        let (s, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.poll(&mut em, ProcId(0), 0, 8);
+        // pollcache r/w + 8 entries + 4 file structs.
+        assert_eq!(a.len(), 2 + 8 + 4);
+        // fd entries are contiguous blocks (strided scan); a[3] is the
+        // file-struct read injected after entry 0.
+        let fd0 = a[2].addr.raw();
+        assert_eq!(a[4].addr.raw(), fd0 + 64); // entry 1 right after entry 0
+        assert_eq!(a[5].addr.raw(), fd0 + 128);
+    }
+
+    #[test]
+    fn poll_repeats_identically() {
+        let (s, _) = setup();
+        let run = || {
+            let mut a: Vec<MemoryAccess> = Vec::new();
+            let mut em = Emitter::new(&mut a);
+            s.poll(&mut em, ProcId(1), 4, 16);
+            a.iter().map(|x| x.addr).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn read_write_touch_shared_vnode() {
+        let (s, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.sys_read(&mut em, ProcId(0), 0);
+        s.sys_read(&mut em, ProcId(0), 1); // fds 0-3 share a vnode
+        let vnode_reads: Vec<_> = a.iter().filter(|x| x.addr == a[2].addr).collect();
+        assert!(vnode_reads.len() >= 2);
+    }
+
+    #[test]
+    fn open_returns_valid_fd() {
+        let (s, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let fd = s.sys_open(&mut em, ProcId(2), &mut rng);
+        assert!(fd < KernelConfig::default().fds_per_process);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn all_labels_are_system_calls() {
+        let (s, sym) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        let mut rng = SmallRng::seed_from_u64(4);
+        s.poll(&mut em, ProcId(0), 0, 4);
+        s.sys_read(&mut em, ProcId(0), 1);
+        s.sys_write(&mut em, ProcId(0), 1);
+        s.sys_open(&mut em, ProcId(0), &mut rng);
+        s.sys_stat(&mut em, ProcId(0), 1);
+        for x in &a {
+            assert_eq!(sym.category(x.function), MissCategory::SystemCall);
+        }
+    }
+
+    #[test]
+    fn out_of_range_process_wraps() {
+        let (s, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        s.sys_read(&mut em, ProcId(10_000), 9_999);
+        assert_eq!(a.len(), 4);
+    }
+}

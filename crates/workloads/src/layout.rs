@@ -1,0 +1,189 @@
+//! Synthetic physical address-space layout.
+//!
+//! Every workload lays its data structures out in one [`AddressSpace`]:
+//! named [`Region`]s are carved out sequentially (kernel structures, buffer
+//! pool, heaps, I/O buffers, ...), and fine-grained objects are
+//! bump-allocated inside a region. A pseudo-random *scatter* allocation is
+//! provided for heap-like structures whose nodes are deliberately
+//! non-contiguous (B+-tree nodes, perl op nodes), which is what defeats
+//! stride prefetchers in the paper's motivating examples.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use tempstream_trace::{Address, BLOCK_BYTES, PAGE_BYTES};
+
+/// A named, contiguous range of the synthetic address space.
+#[derive(Debug, Clone)]
+pub struct Region {
+    name: &'static str,
+    base: u64,
+    size: u64,
+    bump: u64,
+}
+
+impl Region {
+    /// The region's name (diagnostic only).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// First byte address of the region.
+    pub fn base(&self) -> Address {
+        Address::new(self.base)
+    }
+
+    /// Region size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The address at `offset` bytes into the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= size`.
+    pub fn addr(&self, offset: u64) -> Address {
+        assert!(offset < self.size, "offset {offset} outside region {}", self.name);
+        Address::new(self.base + offset)
+    }
+
+    /// Bump-allocates `bytes` (block-aligned) inside the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted.
+    pub fn alloc(&mut self, bytes: u64) -> Address {
+        let aligned = bytes.div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+        assert!(
+            self.bump + aligned <= self.size,
+            "region {} exhausted ({} of {} bytes used)",
+            self.name,
+            self.bump,
+            self.size
+        );
+        let a = Address::new(self.base + self.bump);
+        self.bump += aligned;
+        a
+    }
+
+    /// Allocates `bytes` at a pseudo-random block-aligned offset, modeling
+    /// heap fragmentation (objects are *not* laid out in allocation order).
+    ///
+    /// Collisions are allowed: two scatter allocations may overlap. That is
+    /// harmless for access-pattern modeling (it only merges two objects'
+    /// blocks) and keeps allocation O(1).
+    pub fn alloc_scattered(&self, rng: &mut SmallRng, bytes: u64) -> Address {
+        let aligned = bytes.div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+        assert!(aligned <= self.size, "object larger than region {}", self.name);
+        let max_block = (self.size - aligned) / BLOCK_BYTES;
+        let off = rng.gen_range(0..=max_block) * BLOCK_BYTES;
+        Address::new(self.base + off)
+    }
+
+    /// Bytes currently bump-allocated.
+    pub fn used(&self) -> u64 {
+        self.bump
+    }
+}
+
+/// The whole synthetic address space: a sequence of page-aligned regions.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    next_base: u64,
+    total: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space starting at a non-zero base (so that
+    /// address 0 never aliases a real object).
+    pub fn new() -> Self {
+        AddressSpace {
+            next_base: PAGE_BYTES,
+            total: 0,
+        }
+    }
+
+    /// Carves out a page-aligned region of `size` bytes.
+    pub fn region(&mut self, name: &'static str, size: u64) -> Region {
+        let size = size.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        let base = self.next_base;
+        self.next_base += size + PAGE_BYTES; // guard page between regions
+        self.total += size;
+        Region {
+            name,
+            base,
+            size,
+            bump: 0,
+        }
+    }
+
+    /// Total bytes across all regions (the workload's nominal footprint).
+    pub fn footprint(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut s = AddressSpace::new();
+        let a = s.region("a", 10_000);
+        let b = s.region("b", 4096);
+        assert!(a.base().raw() + a.size() <= b.base().raw());
+        assert_eq!(a.size() % PAGE_BYTES, 0);
+    }
+
+    #[test]
+    fn bump_alloc_is_block_aligned_and_disjoint() {
+        let mut s = AddressSpace::new();
+        let mut r = s.region("r", 4096);
+        let x = r.alloc(10);
+        let y = r.alloc(100);
+        assert_eq!(x.raw() % BLOCK_BYTES, 0);
+        assert_eq!(y.raw() % BLOCK_BYTES, 0);
+        assert!(y.raw() >= x.raw() + BLOCK_BYTES);
+        assert_eq!(r.used(), 64 + 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn bump_alloc_respects_capacity() {
+        let mut s = AddressSpace::new();
+        let mut r = s.region("r", 4096);
+        r.alloc(4096);
+        r.alloc(1);
+    }
+
+    #[test]
+    fn scatter_alloc_stays_inside() {
+        let mut s = AddressSpace::new();
+        let r = s.region("r", 64 * 1024);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let a = r.alloc_scattered(&mut rng, 256);
+            assert!(a.raw() >= r.base().raw());
+            assert!(a.raw() + 256 <= r.base().raw() + r.size());
+            assert_eq!(a.raw() % BLOCK_BYTES, 0);
+        }
+    }
+
+    #[test]
+    fn footprint_sums_regions() {
+        let mut s = AddressSpace::new();
+        s.region("a", PAGE_BYTES);
+        s.region("b", 3 * PAGE_BYTES);
+        assert_eq!(s.footprint(), 4 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn addr_offset_checked() {
+        let mut s = AddressSpace::new();
+        let r = s.region("r", PAGE_BYTES);
+        assert_eq!(r.addr(0), r.base());
+        assert_eq!(r.addr(100).raw(), r.base().raw() + 100);
+    }
+}

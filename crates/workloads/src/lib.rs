@@ -1,0 +1,43 @@
+//! Synthetic commercial-server workload models.
+//!
+//! The paper characterizes Apache, Zeus, DB2 OLTP (TPC-C), and three DB2
+//! DSS (TPC-H) queries running on Solaris 8. Those binaries and datasets
+//! are unavailable, so this crate implements *behavioural models* of the
+//! mechanisms the paper names as the sources of memory activity (its
+//! Table 2 and Section 5), each emitting a labeled access stream:
+//!
+//! - Solaris kernel substrates ([`kernel`]): per-processor dispatch queues
+//!   with work stealing, mutex/condvar sleep queues, STREAMS message
+//!   queues, IP packet assembly, a software-TLB page-table walker, syscall
+//!   state machines, a block-device driver, and a bulk-copy engine with
+//!   DMA and non-allocating `default_copyout` stores;
+//! - database substrates ([`db`]): a B+-tree index with sibling-linked
+//!   leaves, a hashed buffer pool, heap tables, a log manager, a
+//!   transaction table, and a plan interpreter (the `sqlri` analogue);
+//! - web substrates ([`web`]): a perl-like bytecode interpreter with a
+//!   control-flow graph of heap-allocated op nodes, `Perl_sv_gets` input
+//!   parsing, and server worker structures.
+//!
+//! The six paper workloads are composed from these substrates in
+//! [`workload::Workload`]; every emitted access carries a function label
+//! interned in a [`SymbolTable`](tempstream_trace::SymbolTable) so the
+//! Section-5 code-module analysis can be reproduced.
+//!
+//! Miss *behaviour* (repetitiveness, strided-ness, sharing) is emergent
+//! from the data structures — e.g. overlapping B+-tree range scans produce
+//! temporal streams over sibling leaves exactly as the paper's §2.1
+//! example describes — not hard-coded.
+
+pub mod db;
+pub mod emitter;
+pub mod kernel;
+pub mod layout;
+pub mod misc;
+pub mod spec;
+pub mod web;
+pub mod workload;
+
+pub use emitter::Emitter;
+pub use layout::{AddressSpace, Region};
+pub use spec::WorkloadSpec;
+pub use workload::{DriveResult, RunStats, Scale, Workload, WorkloadSession};

@@ -1,0 +1,170 @@
+//! Generic residual-activity pools.
+//!
+//! The paper's origin tables contain rows like "Kernel - other activity",
+//! "DB2 - other activity", and "Uncategorized / Unknown" — broad
+//! collections of functions with mixed behaviour. [`MiscPool`] models such
+//! a row honestly: a set of fixed pointer *chains* (scattered but stable
+//! addresses, so re-walks produce temporal streams) plus a cold region of
+//! one-touch reads (non-repetitive). The hot/cold mix a workload chooses
+//! determines the category's emergent stream fraction.
+
+use crate::emitter::Emitter;
+use crate::layout::AddressSpace;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
+
+/// A pool of miscellaneous activity under one Table-2 category.
+#[derive(Debug)]
+pub struct MiscPool {
+    functions: Vec<FunctionId>,
+    /// Fixed pointer chains through a scattered region.
+    chains: Vec<Vec<Address>>,
+    cold_base: Address,
+    cold_blocks: u64,
+    cold_cursor: u64,
+}
+
+impl MiscPool {
+    /// Builds a pool named `name` under `category`.
+    ///
+    /// `chain_count` chains of `chain_len` blocks are carved from a hot
+    /// region; `cold_bytes` of one-touch data back the cold reads. The
+    /// function labels are `name_0 .. name_{n}`.
+    #[allow(clippy::too_many_arguments)] // construction-time sizing knobs
+    pub fn new(
+        name: &str,
+        category: MissCategory,
+        symbols: &mut SymbolTable,
+        space: &mut AddressSpace,
+        rng: &mut SmallRng,
+        chain_count: usize,
+        chain_len: usize,
+        cold_bytes: u64,
+    ) -> Self {
+        assert!(chain_count > 0 && chain_len > 0, "pool needs at least one chain");
+        let hot = space.region("misc-hot", (chain_count * chain_len) as u64 * 4 * BLOCK_BYTES);
+        let chains = (0..chain_count)
+            .map(|_| {
+                (0..chain_len)
+                    .map(|_| hot.alloc_scattered(rng, 64))
+                    .collect()
+            })
+            .collect();
+        let cold = space.region("misc-cold", cold_bytes.max(BLOCK_BYTES));
+        let functions = (0..4)
+            .map(|i| symbols.intern(&format!("{name}_{i}"), category))
+            .collect();
+        MiscPool {
+            functions,
+            chains,
+            cold_base: cold.base(),
+            cold_blocks: cold.size() / BLOCK_BYTES,
+            cold_cursor: 0,
+        }
+    }
+
+    /// Walks a prefix of one fixed chain (repetitive activity).
+    ///
+    /// Re-walking the same chain produces the same miss sequence — a
+    /// temporal stream.
+    pub fn hot_walk(&self, em: &mut Emitter<'_>, rng: &mut SmallRng, len: usize) {
+        let chain = &self.chains[rng.gen_range(0..self.chains.len())];
+        let f = self.functions[rng.gen_range(0..self.functions.len())];
+        em.in_function(f, |em| {
+            for addr in chain.iter().take(len.max(1)) {
+                em.read(*addr);
+                em.work(10);
+            }
+        });
+    }
+
+    /// Reads `n` never-revisited cold blocks (compulsory, non-repetitive).
+    pub fn cold_reads(&mut self, em: &mut Emitter<'_>, n: u64) {
+        let f = self.functions[0];
+        em.in_function(f, |em| {
+            for _ in 0..n {
+                let b = self.cold_cursor % self.cold_blocks;
+                self.cold_cursor += 1;
+                em.read(self.cold_base.offset(b * BLOCK_BYTES));
+                em.work(10);
+            }
+        });
+    }
+
+    /// Reads `n` random blocks from the cold region (low-locality but
+    /// revisitable — replacement misses without stream structure).
+    pub fn random_reads(&self, em: &mut Emitter<'_>, rng: &mut SmallRng, n: u64) {
+        let f = self.functions[self.functions.len() - 1];
+        em.in_function(f, |em| {
+            for _ in 0..n {
+                let b = rng.gen_range(0..self.cold_blocks);
+                em.read(self.cold_base.offset(b * BLOCK_BYTES));
+                em.work(14);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tempstream_trace::MemoryAccess;
+
+    fn setup() -> (MiscPool, SymbolTable, SmallRng) {
+        let mut sym = SymbolTable::new();
+        sym.intern("root", MissCategory::Uncategorized);
+        let mut space = AddressSpace::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let p = MiscPool::new(
+            "kmem",
+            MissCategory::KernelOther,
+            &mut sym,
+            &mut space,
+            &mut rng,
+            4,
+            32,
+            1 << 20,
+        );
+        (p, sym, rng)
+    }
+
+    #[test]
+    fn hot_walks_repeat() {
+        let (p, _, _) = setup();
+        let walk = |p: &MiscPool| {
+            let mut a: Vec<MemoryAccess> = Vec::new();
+            let mut em = Emitter::new(&mut a);
+            let mut r = SmallRng::seed_from_u64(9);
+            p.hot_walk(&mut em, &mut r, 16);
+            a.iter().map(|x| x.addr).collect::<Vec<_>>()
+        };
+        assert_eq!(walk(&p), walk(&p));
+    }
+
+    #[test]
+    fn cold_reads_never_repeat_until_wrap() {
+        let (mut p, _, _) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        p.cold_reads(&mut em, 100);
+        let mut addrs: Vec<_> = a.iter().map(|x| x.addr).collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 100);
+    }
+
+    #[test]
+    fn labels_carry_category() {
+        let (mut p, sym, mut rng) = setup();
+        let mut a: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut a);
+        p.hot_walk(&mut em, &mut rng, 4);
+        p.cold_reads(&mut em, 2);
+        p.random_reads(&mut em, &mut rng, 2);
+        for x in &a {
+            assert_eq!(sym.category(x.function), MissCategory::KernelOther);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Application parameters (the paper's Table 1) and their scaled-down
+//! model equivalents.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tempstream_trace::AppClass;
+
+/// One row of Table 1, plus the model's scaled substitution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Short workload name ("Apache", "Qry1", ...).
+    pub name: &'static str,
+    /// Application class row grouping.
+    pub app_class: AppClass,
+    /// The paper's configuration text.
+    pub paper_config: &'static str,
+    /// What this reproduction models instead (scaled to the same
+    /// footprint-to-cache ratios).
+    pub model_config: &'static str,
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<8} {:<5} {}", self.name, self.app_class, self.paper_config)
+    }
+}
+
+/// All Table-1 rows in paper order.
+pub fn table1() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "OLTP",
+            app_class: AppClass::Oltp,
+            paper_config: "TPC-C on DB2: 100 warehouses (10 GB), 64 clients, 450 MB buffer pool",
+            model_config: "1M-key shared B+-tree + 96 MB heap table, 64 clients, \
+                           16 MB buffer pool (same pool:data ratio class)",
+        },
+        WorkloadSpec {
+            name: "Qry1",
+            app_class: AppClass::Dss,
+            paper_config: "TPC-H query 1 on DB2: scan-dominated, 450 MB buffer pool",
+            model_config: "partitioned one-pass scan of a 64 MB fact table through an \
+                           8 MB buffer pool (page-sized kernel-to-user copies)",
+        },
+        WorkloadSpec {
+            name: "Qry2",
+            app_class: AppClass::Dss,
+            paper_config: "TPC-H query 2 on DB2: join-dominated, 450 MB buffer pool",
+            model_config: "nested-loop join: outer scan over the fact table, inner \
+                           loops over a 2 MB dimension table (fits L2, exceeds L1)",
+        },
+        WorkloadSpec {
+            name: "Qry17",
+            app_class: AppClass::Dss,
+            paper_config: "TPC-H query 17 on DB2: balanced scan-join, 450 MB buffer pool",
+            model_config: "alternating scan batches and join batches over the same tables",
+        },
+        WorkloadSpec {
+            name: "Apache",
+            app_class: AppClass::Web,
+            paper_config: "SPECweb99 on Apache 2.0: 16K connections, FastCGI, worker threading",
+            model_config: "16K-entry connection table, FastCGI perl pool over STREAMS, \
+                           worker-thread dispatch per request, 16 MB static file set",
+        },
+        WorkloadSpec {
+            name: "Zeus",
+            app_class: AppClass::Web,
+            paper_config: "SPECweb99 on Zeus 4.3: 16K connections, FastCGI",
+            model_config: "event-driven poll loop over the same connection/CGI substrate",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_in_three_classes() {
+        let t = table1();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.iter().filter(|s| s.app_class == AppClass::Web).count(), 2);
+        assert_eq!(t.iter().filter(|s| s.app_class == AppClass::Oltp).count(), 1);
+        assert_eq!(t.iter().filter(|s| s.app_class == AppClass::Dss).count(), 3);
+    }
+
+    #[test]
+    fn rows_have_both_configs() {
+        for s in table1() {
+            assert!(!s.paper_config.is_empty());
+            assert!(!s.model_config.is_empty());
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! HTTP server worker structures (Apache / Zeus).
+//!
+//! The paper's surprising finding: the server binaries themselves account
+//! for only ~3% of off-chip misses — most work happens in the kernel on
+//! the server's behalf. This model therefore emits modest traffic: the
+//! connection table, a small set of hot configuration blocks, and a
+//! static-file cache whose entries back the kernel's response copies.
+
+use crate::emitter::Emitter;
+use crate::layout::AddressSpace;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES, PAGE_BYTES};
+
+/// The server flavor, matching Table 1's two web configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFlavor {
+    /// Apache HTTP Server v2.0 (worker threading model).
+    Apache,
+    /// Zeus Web Server v4.3 (event-driven).
+    Zeus,
+}
+
+/// The web-server substrate.
+#[derive(Debug)]
+pub struct WebServer {
+    flavor: ServerFlavor,
+    conn_table: Address,
+    num_conns: u32,
+    config_blocks: Vec<Address>,
+    file_cache: Address,
+    file_cache_pages: u64,
+    f_process: FunctionId,
+    f_parse: FunctionId,
+    f_sendfile: FunctionId,
+}
+
+impl WebServer {
+    /// Lays out the connection table (`num_conns` one-block entries), hot
+    /// config blocks, and a static-file cache of `file_cache_pages` pages.
+    pub fn new(
+        flavor: ServerFlavor,
+        num_conns: u32,
+        file_cache_pages: u64,
+        symbols: &mut SymbolTable,
+        space: &mut AddressSpace,
+    ) -> Self {
+        let conn_region = space.region("conn-table", u64::from(num_conns.max(1)) * BLOCK_BYTES);
+        let mut cfg_region = space.region("server-config", 8 * BLOCK_BYTES);
+        let config_blocks = (0..8).map(|_| cfg_region.alloc(64)).collect();
+        let cache_region = space.region("file-cache", file_cache_pages.max(1) * PAGE_BYTES);
+        let (f_process, f_parse, f_sendfile) = match flavor {
+            ServerFlavor::Apache => (
+                symbols.intern("ap_process_connection", MissCategory::WebServerWorker),
+                symbols.intern("ap_read_request", MissCategory::WebServerWorker),
+                symbols.intern("default_handler", MissCategory::WebServerWorker),
+            ),
+            ServerFlavor::Zeus => (
+                symbols.intern("zeus_event_dispatch", MissCategory::WebServerWorker),
+                symbols.intern("zeus_parse_request", MissCategory::WebServerWorker),
+                symbols.intern("zeus_send_static", MissCategory::WebServerWorker),
+            ),
+        };
+        WebServer {
+            flavor,
+            conn_table: conn_region.base(),
+            num_conns: num_conns.max(1),
+            config_blocks,
+            file_cache: cache_region.base(),
+            file_cache_pages: file_cache_pages.max(1),
+            f_process,
+            f_parse,
+            f_sendfile,
+        }
+    }
+
+    /// The server flavor.
+    pub fn flavor(&self) -> ServerFlavor {
+        self.flavor
+    }
+
+    /// Request bookkeeping for `conn`: connection entry + config reads.
+    pub fn handle_connection(&self, em: &mut Emitter<'_>, conn: u32) {
+        let entry = self
+            .conn_table
+            .offset(u64::from(conn % self.num_conns) * BLOCK_BYTES);
+        em.in_function(self.f_process, |em| {
+            em.read(entry);
+            em.write(entry);
+            em.in_function(self.f_parse, |em| {
+                em.read(self.config_blocks[(conn % 8) as usize]);
+                em.read(self.config_blocks[0]);
+                em.work(80);
+            });
+        });
+    }
+
+    /// Picks a static file page for `sendfile`-style delivery. Returns its
+    /// address; the kernel copy engine emits the actual data movement.
+    pub fn static_file_page(&self, em: &mut Emitter<'_>, rng: &mut SmallRng) -> Address {
+        // SPECweb99's Zipf-ish popularity: most hits in a small hot set.
+        let page = if rng.gen_ratio(4, 5) {
+            rng.gen_range(0..self.file_cache_pages.div_ceil(20).max(1))
+        } else {
+            rng.gen_range(0..self.file_cache_pages)
+        };
+        let addr = self.file_cache.offset(page * PAGE_BYTES);
+        em.in_function(self.f_sendfile, |em| {
+            em.read(addr); // cache directory entry / first block
+            em.work(40);
+        });
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tempstream_trace::MemoryAccess;
+
+    fn setup(flavor: ServerFlavor) -> (WebServer, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        sym.intern("root", MissCategory::Uncategorized);
+        let mut space = AddressSpace::new();
+        (
+            WebServer::new(flavor, 1024, 256, &mut sym, &mut space),
+            sym,
+        )
+    }
+
+    #[test]
+    fn connection_entries_are_distinct() {
+        let (s, _) = setup(ServerFlavor::Apache);
+        let entry = |conn: u32| {
+            let mut a: Vec<MemoryAccess> = Vec::new();
+            let mut em = Emitter::new(&mut a);
+            s.handle_connection(&mut em, conn);
+            a[0].addr
+        };
+        assert_ne!(entry(1), entry(2));
+        assert_eq!(entry(1), entry(1 + 1024)); // wraps
+    }
+
+    #[test]
+    fn flavors_use_distinct_symbols() {
+        let (a, sym_a) = setup(ServerFlavor::Apache);
+        let (z, sym_z) = setup(ServerFlavor::Zeus);
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        a.handle_connection(&mut em, 0);
+        assert_eq!(sym_a.name(out[0].function), "ap_process_connection");
+        out.clear();
+        let mut em = Emitter::new(&mut out);
+        z.handle_connection(&mut em, 0);
+        assert_eq!(sym_z.name(out[0].function), "zeus_event_dispatch");
+    }
+
+    #[test]
+    fn static_pages_are_zipf_hot() {
+        let (s, _) = setup(ServerFlavor::Zeus);
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hot_limit = s.file_cache.raw() + (256u64.div_ceil(20)) * PAGE_BYTES;
+        let mut hot = 0;
+        for _ in 0..200 {
+            let p = s.static_file_page(&mut em, &mut rng);
+            if p.raw() < hot_limit {
+                hot += 1;
+            }
+        }
+        assert!(hot > 120, "hot set must dominate ({hot}/200)");
+    }
+
+    #[test]
+    fn worker_category() {
+        let (s, sym) = setup(ServerFlavor::Apache);
+        let mut out: Vec<MemoryAccess> = Vec::new();
+        let mut em = Emitter::new(&mut out);
+        s.handle_connection(&mut em, 7);
+        for x in &out {
+            assert_eq!(sym.category(x.function), MissCategory::WebServerWorker);
+        }
+    }
+}

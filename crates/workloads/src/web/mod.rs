@@ -1,0 +1,8 @@
+//! Web-serving substrates: the HTTP server worker structures and the
+//! perl CGI engine.
+
+pub mod http;
+pub mod perl;
+
+pub use http::WebServer;
+pub use perl::PerlEngine;

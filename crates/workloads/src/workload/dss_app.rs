@@ -1,0 +1,248 @@
+//! TPC-H-style decision-support composition (DB2).
+//!
+//! One op is a page *batch*. Query 1 scans the fact table once —
+//! partitioned across CPUs, every page faulted through the buffer pool
+//! with a page-sized kernel-to-user copy (the copies that dominate Table
+//! 5), tuples visited exactly once (compulsory). Query 2 nested-loop
+//! joins against a dimension table that fits in the L2 but not in an L1
+//! (intra-chip repetition). Query 17 alternates scan and join batches.
+
+use crate::db::{BPlusTree, BufferPool, HeapTable, PlanInterpreter};
+use crate::emitter::Emitter;
+use crate::kernel::{Kernel, KernelConfig};
+use crate::layout::AddressSpace;
+use crate::misc::MiscPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tempstream_trace::{CpuId, MissCategory, SymbolTable, ThreadId, PAGE_BYTES};
+
+/// Fact-table pages (64 MB).
+const FACT_PAGES: u64 = 16_384;
+
+/// Dimension-table pages (2 MB: fits the 8 MB L2, exceeds a 64 KB L1).
+const DIM_PAGES: u64 = 512;
+
+/// Buffer-pool frames (48 MB): scaled so that frames recycle at most
+/// about once within a measurement window, as the paper's 450 MB pool
+/// does relative to its trace lengths — copies stay mostly
+/// non-repetitive.
+const POOL_FRAMES: u32 = 12_288;
+
+/// Staging-ring slots (no in-window source reuse).
+const STAGING_SLOTS: u64 = 20_480;
+
+/// Fact pages per scan batch.
+const BATCH_PAGES: u64 = 4;
+
+/// Which TPC-H query shape to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DssQuery {
+    /// Scan-dominated (query 1).
+    Q1,
+    /// Join-dominated (query 2).
+    Q2,
+    /// Balanced scan-join (query 17).
+    Q17,
+}
+
+pub struct DssApp {
+    query: DssQuery,
+    kern: Kernel,
+    fact: HeapTable,
+    dim: HeapTable,
+    dim_index: BPlusTree,
+    pool: BufferPool,
+    interp: PlanInterpreter,
+    db2_other: MiscPool,
+    kern_other: MiscPool,
+    uncat: MiscPool,
+    /// Per-CPU scan cursors (partitioned scan).
+    cursors: Vec<u64>,
+    /// Per-CPU aggregation state block index.
+    agg_state: Vec<tempstream_trace::Address>,
+    rng: SmallRng,
+    num_cpus: u32,
+}
+
+impl DssApp {
+    pub fn new(query: DssQuery, num_cpus: u32, seed: u64, symbols: &mut SymbolTable) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD5_5000);
+        let mut space = AddressSpace::new();
+        let config = KernelConfig {
+            num_cpus,
+            num_threads: 32,
+            num_streams_channels: 2,
+            num_mutexes: 32,
+            num_condvars: 16,
+            num_processes: 4,
+            fds_per_process: 128,
+        };
+        let kern = Kernel::new(&config, symbols, &mut space, &mut rng);
+        let fact = HeapTable::new(0, FACT_PAGES, symbols);
+        let dim = HeapTable::new(FACT_PAGES, DIM_PAGES, symbols);
+        let dim_index = BPlusTree::build(DIM_PAGES * 64, symbols, &mut space, &mut rng);
+        let pool = BufferPool::with_staging_reuse(POOL_FRAMES, STAGING_SLOTS, 30, symbols, &mut space);
+        let interp = PlanInterpreter::new(3, 64, symbols, &mut space, &mut rng);
+        let db2_other = MiscPool::new(
+            "sqlo_dss",
+            MissCategory::Db2Other,
+            symbols,
+            &mut space,
+            &mut rng,
+            512,
+            96,
+            16 << 20,
+        );
+        let kern_other = MiscPool::new(
+            "kmem_dss",
+            MissCategory::KernelOther,
+            symbols,
+            &mut space,
+            &mut rng,
+            512,
+            96,
+            48 << 20,
+        );
+        let uncat = MiscPool::new(
+            "unknown_dss",
+            MissCategory::Uncategorized,
+            symbols,
+            &mut space,
+            &mut rng,
+            256,
+            64,
+            8 << 20,
+        );
+        let mut agg_region = space.region("agg-state", u64::from(num_cpus) * 128);
+        let agg_state = (0..num_cpus).map(|_| agg_region.alloc(128)).collect();
+        DssApp {
+            query,
+            kern,
+            fact,
+            dim,
+            dim_index,
+            pool,
+            interp,
+            db2_other,
+            kern_other,
+            uncat,
+            cursors: vec![0; num_cpus as usize],
+            agg_state,
+            rng,
+            num_cpus,
+        }
+    }
+
+    /// Runs one page batch.
+    pub fn op(&mut self, em: &mut Emitter<'_>, op: u64) {
+        let cpu = CpuId::new((op % u64::from(self.num_cpus)) as u32);
+        let thread = ThreadId::new(cpu.raw());
+        em.set_context(cpu, thread);
+
+        let join_batch = match self.query {
+            DssQuery::Q1 => false,
+            DssQuery::Q2 => true,
+            DssQuery::Q17 => op % 2 == 1,
+        };
+        if join_batch {
+            self.join_batch(em, cpu);
+        } else {
+            self.scan_batch(em, cpu);
+        }
+
+        // Light residual activity; DSS has little scheduling or
+        // synchronization (few long-running threads).
+        if op.is_multiple_of(16) {
+            self.kern.sched.dispatch(em, cpu);
+        }
+        if op.is_multiple_of(4) {
+            self.kern.mmu.window_trap(em, thread.raw());
+        }
+        self.db2_other.hot_walk(em, &mut self.rng, 10);
+        self.kern_other.hot_walk(em, &mut self.rng, 12);
+        self.kern_other.cold_reads(em, 5);
+        if op.is_multiple_of(9) {
+            self.uncat.hot_walk(em, &mut self.rng, 4);
+        }
+        em.work(500);
+    }
+
+    /// A partitioned sequential scan batch over the fact table: every page
+    /// faults (one-touch), incurring the disk-DMA-copyout path, then all
+    /// tuple blocks are read once.
+    fn scan_batch(&mut self, em: &mut Emitter<'_>, cpu: CpuId) {
+        let c = cpu.index();
+        let partition = FACT_PAGES / u64::from(self.num_cpus);
+        let base = u64::from(cpu.raw()) * partition;
+        for _ in 0..BATCH_PAGES {
+            let page_index = base + (self.cursors[c] % partition);
+            self.cursors[c] += 1;
+            let page_va = tempstream_trace::Address::new(page_index * PAGE_BYTES);
+            self.kern.mmu.translate(em, cpu, page_va);
+            self.fact.scan_pages(
+                em,
+                &mut self.pool,
+                &self.kern.copy,
+                &mut self.kern.blockdev,
+                page_index,
+                1,
+                4,
+            );
+            // Per-page interpreter work + aggregation state update (hot).
+            self.interp.execute_with_stats(em, 0, 10);
+            for t in 0..8u64 {
+                self.interp.per_tuple_ops(em, 0, page_index * 64 + t);
+            }
+            em.read(self.agg_state[c]);
+            em.write(self.agg_state[c]);
+            // Predicate evaluation and aggregation arithmetic over the
+            // page's tuples (MPKI calibration).
+            em.work(4_500);
+        }
+    }
+
+    /// A nested-loop join batch: one outer fact page drives repeated inner
+    /// index probes and dimension-tuple reads. The dimension working set
+    /// fits in the L2 but not in an L1, so the repetition is intra-chip.
+    fn join_batch(&mut self, em: &mut Emitter<'_>, cpu: CpuId) {
+        let c = cpu.index();
+        let partition = FACT_PAGES / u64::from(self.num_cpus);
+        let base = u64::from(cpu.raw()) * partition;
+        let page_index = base + (self.cursors[c] % partition);
+        self.cursors[c] += 1;
+        self.kern.mmu.translate(
+            em,
+            cpu,
+            tempstream_trace::Address::new(page_index * PAGE_BYTES),
+        );
+        // Outer page: scan a quarter of its blocks.
+        self.fact.scan_pages(
+            em,
+            &mut self.pool,
+            &self.kern.copy,
+            &mut self.kern.blockdev,
+            page_index,
+            1,
+            4,
+        );
+        // Inner loop: probe the dimension index and read matching tuples.
+        for _ in 0..12 {
+            let key = self.rng.gen_range(0..DIM_PAGES * 64);
+            self.dim_index.search(em, key);
+            self.dim.fetch_tuple(
+                em,
+                &mut self.pool,
+                &self.kern.copy,
+                &mut self.kern.blockdev,
+                key / 64,
+                key % 60,
+            );
+            self.interp.per_tuple_ops(em, 1, key);
+        }
+        self.interp.execute(em, 1, 12);
+        em.read(self.agg_state[c]);
+        em.write(self.agg_state[c]);
+        // Join predicate work per outer tuple (MPKI calibration).
+        em.work(4_500);
+    }
+}

@@ -1,0 +1,333 @@
+//! The six paper workloads, composed from the substrate models.
+
+mod dss_app;
+mod oltp_app;
+mod web_app;
+
+use crate::emitter::Emitter;
+use dss_app::{DssApp, DssQuery};
+use oltp_app::OltpApp;
+use tempstream_trace::{AccessSink, AppClass, SymbolTable};
+use web_app::WebApp;
+
+pub use crate::web::http::ServerFlavor;
+
+/// One of the paper's six workloads (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// SPECweb99 on Apache (worker threading).
+    Apache,
+    /// SPECweb99 on Zeus (event-driven).
+    Zeus,
+    /// TPC-C on DB2.
+    Oltp,
+    /// TPC-H query 1 (scan-dominated).
+    DssQ1,
+    /// TPC-H query 2 (join-dominated).
+    DssQ2,
+    /// TPC-H query 17 (balanced).
+    DssQ17,
+}
+
+impl Workload {
+    /// All workloads in the paper's figure order.
+    pub const ALL: [Workload; 6] = [
+        Workload::Apache,
+        Workload::Zeus,
+        Workload::Oltp,
+        Workload::DssQ1,
+        Workload::DssQ2,
+        Workload::DssQ17,
+    ];
+
+    /// Short display name matching the figures' x-axis labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Apache => "Apache",
+            Workload::Zeus => "Zeus",
+            Workload::Oltp => "DB2",
+            Workload::DssQ1 => "Qry1",
+            Workload::DssQ2 => "Qry2",
+            Workload::DssQ17 => "Qry17",
+        }
+    }
+
+    /// The application class this workload belongs to.
+    pub fn app_class(self) -> AppClass {
+        match self {
+            Workload::Apache | Workload::Zeus => AppClass::Web,
+            Workload::Oltp => AppClass::Oltp,
+            Workload::DssQ1 | Workload::DssQ2 | Workload::DssQ17 => AppClass::Dss,
+        }
+    }
+
+    /// The Table-1 spec row for this workload.
+    pub fn spec(self) -> crate::spec::WorkloadSpec {
+        let name = self.name();
+        crate::spec::table1()
+            .into_iter()
+            .find(|s| s.name == name || (name == "DB2" && s.name == "OLTP"))
+            .expect("every workload has a spec row")
+    }
+
+    /// Default measurement scale: operations that yield a statistically
+    /// useful miss trace at the paper's cache sizes.
+    pub fn default_scale(self) -> Scale {
+        match self {
+            Workload::Apache | Workload::Zeus => Scale {
+                warmup_ops: 4_000,
+                ops: 24_000,
+            },
+            Workload::Oltp => Scale {
+                warmup_ops: 2_000,
+                ops: 14_000,
+            },
+            // One DSS op = one page batch; the scan passes over the table
+            // once, so warmup is minimal.
+            Workload::DssQ1 | Workload::DssQ2 | Workload::DssQ17 => Scale {
+                warmup_ops: 200,
+                ops: 3_800,
+            },
+        }
+    }
+
+    /// A fast scale for tests.
+    pub fn smoke_scale(self) -> Scale {
+        Scale {
+            warmup_ops: 20,
+            ops: 150,
+        }
+    }
+
+    /// Convenience: builds a session and drives `scale` through `sink`.
+    /// Returns the measured-phase statistics and the symbol table.
+    ///
+    /// Warmup accesses also pass through `sink`; callers that distinguish
+    /// warmup (the simulators' `set_recording`) should build a
+    /// [`WorkloadSession`] and run the phases themselves.
+    pub fn drive(
+        self,
+        sink: &mut dyn AccessSink,
+        num_cpus: u32,
+        scale: Scale,
+        seed: u64,
+    ) -> DriveResult {
+        let mut session = WorkloadSession::new(self, num_cpus, seed);
+        session.run(sink, scale.warmup_ops);
+        let stats = session.run(sink, scale.ops);
+        DriveResult {
+            instructions: stats.instructions,
+            accesses: stats.accesses,
+            symbols: session.into_symbols(),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How much work to run: warmup operations (not normally recorded) and
+/// measured operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Operations run to warm caches before measurement.
+    pub warmup_ops: u64,
+    /// Measured operations (requests / transactions / page batches).
+    pub ops: u64,
+}
+
+/// Statistics for one [`WorkloadSession::run`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions executed in this run.
+    pub instructions: u64,
+    /// Accesses emitted in this run.
+    pub accesses: u64,
+}
+
+/// Result of [`Workload::drive`].
+#[derive(Debug)]
+pub struct DriveResult {
+    /// Instructions executed during the measured phase.
+    pub instructions: u64,
+    /// Accesses emitted during the measured phase.
+    pub accesses: u64,
+    /// Function-name table for code-module attribution.
+    pub symbols: SymbolTable,
+}
+
+enum AppInner {
+    Web(WebApp),
+    Oltp(OltpApp),
+    Dss(DssApp),
+}
+
+/// A constructed workload instance whose operations can be driven in
+/// phases (warmup vs. measurement) into different sinks.
+pub struct WorkloadSession {
+    app: AppInner,
+    symbols: SymbolTable,
+    next_op: u64,
+}
+
+impl WorkloadSession {
+    /// Builds the workload's data structures for a `num_cpus`-processor
+    /// system, deterministically from `seed`.
+    pub fn new(workload: Workload, num_cpus: u32, seed: u64) -> Self {
+        let mut symbols = SymbolTable::new();
+        // Function id 0 is the anonymous root label.
+        symbols.intern("_start", tempstream_trace::MissCategory::Uncategorized);
+        let app = match workload {
+            Workload::Apache => AppInner::Web(WebApp::new(
+                ServerFlavor::Apache,
+                num_cpus,
+                seed,
+                &mut symbols,
+            )),
+            Workload::Zeus => {
+                AppInner::Web(WebApp::new(ServerFlavor::Zeus, num_cpus, seed, &mut symbols))
+            }
+            Workload::Oltp => AppInner::Oltp(OltpApp::new(num_cpus, seed, &mut symbols)),
+            Workload::DssQ1 => {
+                AppInner::Dss(DssApp::new(DssQuery::Q1, num_cpus, seed, &mut symbols))
+            }
+            Workload::DssQ2 => {
+                AppInner::Dss(DssApp::new(DssQuery::Q2, num_cpus, seed, &mut symbols))
+            }
+            Workload::DssQ17 => {
+                AppInner::Dss(DssApp::new(DssQuery::Q17, num_cpus, seed, &mut symbols))
+            }
+        };
+        WorkloadSession {
+            app,
+            symbols,
+            next_op: 0,
+        }
+    }
+
+    /// The function-name table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Consumes the session, yielding the symbol table.
+    pub fn into_symbols(self) -> SymbolTable {
+        self.symbols
+    }
+
+    /// Operations run so far.
+    pub fn ops_run(&self) -> u64 {
+        self.next_op
+    }
+
+    /// Runs `ops` operations, emitting their accesses into `sink`.
+    pub fn run(&mut self, sink: &mut dyn AccessSink, ops: u64) -> RunStats {
+        let mut em = Emitter::new(sink);
+        for _ in 0..ops {
+            let op = self.next_op;
+            self.next_op += 1;
+            match &mut self.app {
+                AppInner::Web(a) => a.op(&mut em, op),
+                AppInner::Oltp(a) => a.op(&mut em, op),
+                AppInner::Dss(a) => a.op(&mut em, op),
+            }
+        }
+        RunStats {
+            instructions: em.instructions(),
+            accesses: em.accesses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::MemoryAccess;
+
+    #[test]
+    fn all_workloads_emit_deterministically() {
+        for w in Workload::ALL {
+            let gen = || {
+                let mut out: Vec<MemoryAccess> = Vec::new();
+                let mut s = WorkloadSession::new(w, 4, 42);
+                s.run(&mut out, 30);
+                out
+            };
+            let a = gen();
+            let b = gen();
+            assert_eq!(a.len(), b.len(), "{w}: nondeterministic length");
+            assert_eq!(a, b, "{w}: nondeterministic content");
+            assert!(!a.is_empty(), "{w}: no accesses");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = |seed| {
+            let mut out: Vec<MemoryAccess> = Vec::new();
+            let mut s = WorkloadSession::new(Workload::Oltp, 4, seed);
+            s.run(&mut out, 30);
+            out
+        };
+        assert_ne!(gen(1), gen(2));
+    }
+
+    #[test]
+    fn accesses_use_configured_cpus() {
+        for cpus in [1u32, 4, 16] {
+            let mut out: Vec<MemoryAccess> = Vec::new();
+            let mut s = WorkloadSession::new(Workload::Apache, cpus, 7);
+            s.run(&mut out, 64);
+            assert!(out.iter().all(|a| a.cpu.raw() < cpus), "{cpus} cpus");
+            if cpus > 1 {
+                let used: std::collections::HashSet<_> =
+                    out.iter().map(|a| a.cpu.raw()).collect();
+                assert!(used.len() > 1, "work must spread across cpus");
+            }
+        }
+    }
+
+    #[test]
+    fn every_access_has_valid_symbol() {
+        for w in Workload::ALL {
+            let mut out: Vec<MemoryAccess> = Vec::new();
+            let mut s = WorkloadSession::new(w, 4, 9);
+            s.run(&mut out, 40);
+            let symbols = s.symbols();
+            for a in &out {
+                assert!(a.function.index() < symbols.len(), "{w}: dangling symbol");
+            }
+        }
+    }
+
+    #[test]
+    fn drive_runs_both_phases() {
+        let mut sink = tempstream_trace::sink::CountingSink::default();
+        let r = Workload::Zeus.drive(
+            &mut sink,
+            4,
+            Scale {
+                warmup_ops: 5,
+                ops: 20,
+            },
+            3,
+        );
+        assert!(r.instructions > 0);
+        assert!(r.accesses > 0);
+        assert!(sink.count > r.accesses, "warmup accesses also hit the sink");
+    }
+
+    #[test]
+    fn names_and_classes() {
+        assert_eq!(Workload::Oltp.name(), "DB2");
+        assert_eq!(Workload::DssQ17.app_class(), tempstream_trace::AppClass::Dss);
+        assert_eq!(Workload::ALL.len(), 6);
+        for w in Workload::ALL {
+            let _ = w.spec();
+            assert!(w.default_scale().ops > 0);
+        }
+    }
+}

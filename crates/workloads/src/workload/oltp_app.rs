@@ -1,0 +1,280 @@
+//! TPC-C-style OLTP composition (DB2).
+//!
+//! Per transaction: client IPC, request-context touch, transaction-table
+//! begin, plan interpretation, a handful of B+-tree index probes (with
+//! occasional range scans — the paper's first motivating example), tuple
+//! fetches/updates through the buffer pool, a log append, and commit.
+//! Scheduler, synchronization, and MMU activity surround every
+//! transaction, following the paper's Table 4 category mix: shared
+//! metadata is hot and read-write (coherence in multi-chip), while index
+//! and tuple data exceed the L2 (replacement + I/O off chip).
+
+use crate::db::{
+    BPlusTree, BufferPool, Db2Ipc, HeapTable, LogManager, PlanInterpreter, RequestControl,
+    TransactionTable,
+};
+use crate::emitter::Emitter;
+use crate::kernel::{Kernel, KernelConfig};
+use crate::layout::AddressSpace;
+use crate::misc::MiscPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tempstream_trace::{CpuId, MissCategory, SymbolTable, ThreadId};
+
+/// Client connections (Table 1: 64 clients).
+const CLIENTS: u32 = 64;
+
+/// Keys in the shared primary index.
+const INDEX_KEYS: u64 = 1_000_000;
+
+/// Hot keys probed with extra frequency (popular warehouses/items);
+/// repeated probes walk the same root-to-leaf paths, forming streams.
+/// The hot leaves span ~8 MB — larger than the L2, so the repetition is
+/// visible off chip in the single-chip context too.
+const HOT_KEYS: u64 = 65_536;
+
+/// Popular range-scan start keys (e.g. recent-order scans); overlapping
+/// scans along sibling leaves are the paper's first motivating example.
+const HOT_RANGES: u64 = 64;
+
+/// Heap-table pages (96 MB of data).
+const DATA_PAGES: u64 = 24_576;
+
+/// Hot data pages that stay pool-resident (TPC-C's high buffer hit
+/// rate); the remainder fault through the disk-DMA-copyout path.
+const HOT_PAGES: u64 = 3_200;
+
+/// Buffer-pool frames (16 MB — well above the 8 MB L2, far below the
+/// data size, preserving the paper's pool:data ratio class).
+const POOL_FRAMES: u32 = 4_096;
+
+/// Staging-ring slots: large enough that copy sources do not recur
+/// within a measurement window.
+const STAGING_SLOTS: u64 = 65_536;
+
+pub struct OltpApp {
+    kern: Kernel,
+    index: BPlusTree,
+    table: HeapTable,
+    pool: BufferPool,
+    interp: PlanInterpreter,
+    txns: TransactionTable,
+    reqctl: RequestControl,
+    ipc: Db2Ipc,
+    log: LogManager,
+    db2_other: MiscPool,
+    kern_other: MiscPool,
+    uncat: MiscPool,
+    /// Per-connection request-unmarshalling scratch buffers (reused).
+    scratch: Vec<tempstream_trace::Address>,
+    rng: SmallRng,
+    num_cpus: u32,
+}
+
+impl OltpApp {
+    pub fn new(num_cpus: u32, seed: u64, symbols: &mut SymbolTable) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x01_7001);
+        let mut space = AddressSpace::new();
+        let config = KernelConfig {
+            num_cpus,
+            num_threads: 128,
+            num_streams_channels: 2,
+            num_mutexes: 96,
+            num_condvars: 64,
+            num_processes: 64,
+            fds_per_process: 1024,
+        };
+        let kern = Kernel::new(&config, symbols, &mut space, &mut rng);
+        let index = BPlusTree::build(INDEX_KEYS, symbols, &mut space, &mut rng);
+        let table = HeapTable::new(0, DATA_PAGES, symbols);
+        let pool = BufferPool::with_staging_reuse(POOL_FRAMES, STAGING_SLOTS, 25, symbols, &mut space);
+        let interp = PlanInterpreter::new(8, 48, symbols, &mut space, &mut rng);
+        let txns = TransactionTable::new(CLIENTS, symbols, &mut space);
+        let reqctl = RequestControl::new(CLIENTS, symbols, &mut space);
+        let ipc = Db2Ipc::new(CLIENTS, symbols, &mut space);
+        let log = LogManager::new(1 << 20, symbols, &mut space);
+        let db2_other = MiscPool::new(
+            "sqlo_misc",
+            MissCategory::Db2Other,
+            symbols,
+            &mut space,
+            &mut rng,
+            1536,
+            96,
+            24 << 20,
+        );
+        let kern_other = MiscPool::new(
+            "kmem_oltp",
+            MissCategory::KernelOther,
+            symbols,
+            &mut space,
+            &mut rng,
+            1024,
+            96,
+            16 << 20,
+        );
+        let uncat = MiscPool::new(
+            "unknown_oltp",
+            MissCategory::Uncategorized,
+            symbols,
+            &mut space,
+            &mut rng,
+            1024,
+            96,
+            32 << 20,
+        );
+        let mut scratch_region = space.region("agent-scratch", u64::from(CLIENTS) * 1024);
+        let scratch = (0..CLIENTS).map(|_| scratch_region.alloc(1024)).collect();
+        OltpApp {
+            kern,
+            index,
+            table,
+            pool,
+            interp,
+            txns,
+            reqctl,
+            ipc,
+            log,
+            db2_other,
+            kern_other,
+            uncat,
+            scratch,
+            rng,
+            num_cpus,
+        }
+    }
+
+    /// Picks a data page: mostly the pool-resident hot set, occasionally
+    /// a cold page that faults through the disk path.
+    fn pick_page(&mut self) -> u64 {
+        if self.rng.gen_ratio(63, 64) {
+            self.rng.gen_range(0..HOT_PAGES)
+        } else {
+            self.rng.gen_range(0..DATA_PAGES)
+        }
+    }
+
+    /// Runs one transaction.
+    pub fn op(&mut self, em: &mut Emitter<'_>, op: u64) {
+        let cpu = CpuId::new((op % u64::from(self.num_cpus)) as u32);
+        let conn = (self.rng.gen_range(0..CLIENTS) + (op as u32 % CLIENTS)) % CLIENTS;
+        let thread = ThreadId::new(conn);
+        em.set_context(cpu, thread);
+
+        // Agent wakeup: a runnable agent lands on a random processor's
+        // queue, so the dispatching processor often finds its own queue
+        // empty and runs the disp_getwork/disp_getbest steal scan — the
+        // paper's second motivating example.
+        let target = CpuId::new(self.rng.gen_range(0..self.num_cpus));
+        self.kern.sched.enqueue(em, target, thread);
+        let cv = self.kern.sync.condvar(conn % 64);
+        self.kern.sync.cv_signal(em, cv);
+        self.kern.sched.dispatch(em, cpu);
+        self.kern.mmu.window_trap(em, thread.raw());
+
+        // Request arrival: the agent polls its connection, then reads the
+        // IPC request.
+        let agent = crate::kernel::syscall::ProcId(conn);
+        let fd = self.rng.gen_range(0..1024u32);
+        self.kern.syscalls.poll(em, agent, fd.saturating_sub(8), 8);
+        self.kern.syscalls.sys_read(em, agent, fd);
+        self.ipc.recv(em, conn, &mut self.rng);
+        // Unmarshal the request: a small copy between reused per-connection
+        // buffers (the repetitive slice of OLTP's bulk-copy activity).
+        let scratch = self.scratch[conn as usize % self.scratch.len()];
+        self.kern.copy.bcopy(em, scratch, scratch.offset(512), 256);
+        self.reqctl.touch(em, conn);
+        let slot = self.txns.begin(em);
+
+        // Interpret the (cached, statistics-updating) plan.
+        self.interp.execute_with_stats(em, conn % 8, 24);
+
+        // Index probes over the shared B+-tree: half go to popular keys
+        // (repeating root-to-leaf paths), half are uniform. A TPC-C
+        // transaction touches a few dozen index entries.
+        let probes = self.rng.gen_range(9..=15);
+        for p in 0..probes {
+            let key = if self.rng.gen_ratio(3, 5) {
+                self.rng.gen_range(0..HOT_KEYS) * (INDEX_KEYS / HOT_KEYS)
+            } else {
+                self.rng.gen_range(0..INDEX_KEYS)
+            };
+            if p % 4 == 0 {
+                // Record clusters share pages; one fill covers several
+                // probes.
+                self.kern.mmu.translate(
+                    em,
+                    cpu,
+                    tempstream_trace::Address::new(key * 64), // va of key's record
+                );
+            }
+            self.index.search(em, key);
+            let m = self.kern.sync.mutex(96 - 1 - (key % 16) as u32);
+            self.kern.sync.with_mutex(em, m, |em| em.work(20));
+        }
+        // Range scans start from a popular key (order-status style), so
+        // successive scans overlap and walk the same sibling leaves.
+        if self.rng.gen_ratio(1, 5) {
+            let hot = self.rng.gen_range(0..HOT_RANGES);
+            let start = hot * (INDEX_KEYS / HOT_RANGES);
+            self.index.range_scan(em, start, 192);
+        }
+
+        // Tuple accesses through the buffer pool: TPC-C hit rates are
+        // high, so most land in the resident hot set; rare cold fetches
+        // take the disk-DMA-copyout path.
+        let fetches = self.rng.gen_range(2..=4);
+        for _ in 0..fetches {
+            let page = self.pick_page();
+            self.table.fetch_tuple(
+                em,
+                &mut self.pool,
+                &self.kern.copy,
+                &mut self.kern.blockdev,
+                page,
+                self.rng.gen_range(0..60),
+            );
+            self.interp.per_tuple_ops(em, conn % 8, page);
+        }
+        // One update + WAL append.
+        let upage = self.pick_page();
+        self.table.update_tuple(
+            em,
+            &mut self.pool,
+            &self.kern.copy,
+            &mut self.kern.blockdev,
+            upage,
+            self.rng.gen_range(0..60),
+        );
+        self.log.append(em, 192);
+
+        if self.rng.gen_ratio(1, 4) {
+            let key = self.rng.gen_range(0..INDEX_KEYS);
+            self.index.insert(em, key, &mut self.rng);
+        }
+
+        // Cursor advance, commit, reply.
+        self.reqctl.cursor_step(em, conn);
+        self.txns.commit(em, slot);
+        self.ipc.send(em, conn, &mut self.rng);
+        self.kern
+            .syscalls
+            .sys_write(em, agent, self.rng.gen_range(0..1024u32));
+
+        // Residual activity.
+        self.db2_other.hot_walk(em, &mut self.rng, 14);
+        if op.is_multiple_of(7) {
+            self.db2_other.random_reads(em, &mut self.rng, 5);
+        }
+        self.kern_other.hot_walk(em, &mut self.rng, 10);
+        if op.is_multiple_of(9) {
+            self.kern_other.random_reads(em, &mut self.rng, 4);
+        }
+        self.uncat.hot_walk(em, &mut self.rng, 10);
+        if op.is_multiple_of(8) {
+            self.uncat.random_reads(em, &mut self.rng, 4);
+        }
+        // Transaction logic between memory references (MPKI calibration).
+        em.work(4_000);
+    }
+}

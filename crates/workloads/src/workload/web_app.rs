@@ -1,0 +1,266 @@
+//! SPECweb99-style web serving composition (Apache / Zeus).
+//!
+//! Per request: network receive (DMA into a small reused per-CPU ring),
+//! `poll`, connection bookkeeping, then either static-file delivery
+//! (kernel copyout from the file cache into reused user buffers + IP
+//! packet assembly) or FastCGI dynamic content (STREAMS hand-off to a
+//! perl process, `Perl_sv_gets`, script execution, STREAMS reply). Worker
+//! dispatch, condvar hand-offs, TLB fills, and residual kernel activity
+//! round out the profile, following the paper's Table 3 category mix.
+
+use crate::emitter::Emitter;
+use crate::kernel::streams_ipc::{ChannelId, Dir};
+use crate::kernel::syscall::ProcId;
+use crate::kernel::{ip::ConnId, Kernel, KernelConfig};
+use crate::layout::AddressSpace;
+use crate::misc::MiscPool;
+use crate::web::http::{ServerFlavor, WebServer};
+use crate::web::perl::PerlEngine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tempstream_trace::{
+    Address, CpuId, MissCategory, SymbolTable, ThreadId, BLOCK_BYTES, PAGE_BYTES,
+};
+
+/// Receive-ring slots per CPU (aggressively reused network buffers).
+const RX_SLOTS: u64 = 4;
+
+/// Perl FastCGI processes in the pool.
+const PERL_PROCS: u32 = 12;
+
+/// Per-connection socket STREAMS channels (hashed connection buckets).
+const SOCKET_CHANNELS: u32 = 4096;
+
+pub struct WebApp {
+    kern: Kernel,
+    server: WebServer,
+    perl: PerlEngine,
+    kern_other: MiscPool,
+    uncat: MiscPool,
+    rng: SmallRng,
+    num_cpus: u32,
+    /// Per-CPU network receive rings (RX_SLOTS pages each).
+    rx_rings: Vec<Address>,
+    /// Per-CPU user-space response staging buffers (reused).
+    user_bufs: Vec<Address>,
+}
+
+impl WebApp {
+    pub fn new(
+        flavor: ServerFlavor,
+        num_cpus: u32,
+        seed: u64,
+        symbols: &mut SymbolTable,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EB0_57EB);
+        let mut space = AddressSpace::new();
+        let config = KernelConfig {
+            num_cpus,
+            num_threads: 96,
+            num_streams_channels: PERL_PROCS + SOCKET_CHANNELS,
+            num_mutexes: 48,
+            num_condvars: 32,
+            num_processes: PERL_PROCS + 1,
+            fds_per_process: 16384,
+        };
+        let kern = Kernel::new(&config, symbols, &mut space, &mut rng);
+        // 16K connections, 4096-page (16 MB) static file set: larger than
+        // the 8 MB L2, so static serving produces replacement misses.
+        let server = WebServer::new(flavor, 16 * 1024, 4096, symbols, &mut space);
+        let perl = PerlEngine::new(PERL_PROCS, 3, 256, symbols, &mut space, &mut rng);
+        let kern_other = MiscPool::new(
+            "kmem_web",
+            MissCategory::KernelOther,
+            symbols,
+            &mut space,
+            &mut rng,
+            768,
+            96,
+            24 << 20,
+        );
+        let uncat = MiscPool::new(
+            "unknown_web",
+            MissCategory::Uncategorized,
+            symbols,
+            &mut space,
+            &mut rng,
+            768,
+            96,
+            24 << 20,
+        );
+        let mut rx_region = space.region("rx-rings", u64::from(num_cpus) * RX_SLOTS * PAGE_BYTES);
+        let rx_rings = (0..num_cpus)
+            .map(|_| rx_region.alloc(RX_SLOTS * PAGE_BYTES))
+            .collect();
+        let mut user_region = space.region("user-io", u64::from(num_cpus) * 2 * PAGE_BYTES);
+        let user_bufs = (0..num_cpus).map(|_| user_region.alloc(2 * PAGE_BYTES)).collect();
+        WebApp {
+            kern,
+            server,
+            perl,
+            kern_other,
+            uncat,
+            rng,
+            num_cpus,
+            rx_rings,
+            user_bufs,
+        }
+    }
+
+    /// Handles one HTTP request.
+    pub fn op(&mut self, em: &mut Emitter<'_>, op: u64) {
+        let cpu = CpuId::new((op % u64::from(self.num_cpus)) as u32);
+        let conn = self.rng.gen_range(0..16 * 1024u32);
+        let worker_thread = ThreadId::new(16 + (conn % 96));
+        em.set_context(cpu, worker_thread);
+
+        let apache = self.server.flavor() == ServerFlavor::Apache;
+
+        // Incoming request data: DMA into this CPU's receive ring, then a
+        // copy into the server's address space.
+        let rx = self.rx_rings[cpu.index()]
+            .offset((op / u64::from(self.num_cpus) % RX_SLOTS) * PAGE_BYTES);
+        self.kern.copy.dma_fill(em, rx, 1024);
+        self.kern.mmu.translate(em, cpu, rx);
+
+        // Event loop: poll over a window of the fd table. Zeus (single
+        // event loop) polls wider than Apache's per-worker accept.
+        let nfds = if apache { 48 } else { 96 };
+        let window = ((op % (16384 / u64::from(nfds))) as u32) * nfds;
+        self.kern.syscalls.poll(em, ProcId(0), window, nfds);
+        self.kern.syscalls.sys_read(em, ProcId(0), conn);
+        // Socket-side STREAMS: the TCP stream head queues inbound data on
+        // this connection's (hashed) queue pair.
+        let sock = ChannelId(PERL_PROCS + conn % SOCKET_CHANNELS);
+        self.kern.streams.put(em, sock, Dir::Up, 1);
+        self.kern.streams.get(em, sock, Dir::Up, 2);
+        let user = self.user_bufs[cpu.index()];
+        self.kern.copy.bcopy(em, user, rx, 512);
+
+        self.server.handle_connection(em, conn);
+        self.kern.mmu.translate(em, cpu, user);
+        // Connection table spans hundreds of pages; entries regularly
+        // need translations.
+        self.kern.mmu.translate(
+            em,
+            cpu,
+            Address::new(0x7000_0000 + u64::from(conn) * BLOCK_BYTES),
+        );
+
+        // Worker hand-off: Apache's worker model dispatches per request;
+        // Zeus dispatches occasionally (event loop stays on-CPU).
+        if apache || op.is_multiple_of(4) {
+            // Affinity keeps most wakeups local; some land elsewhere and
+            // trigger the steal scan.
+            let target = if self.rng.gen_ratio(3, 5) {
+                cpu
+            } else {
+                CpuId::new(self.rng.gen_range(0..self.num_cpus))
+            };
+            self.kern.sched.enqueue(em, target, worker_thread);
+            let cv = self.kern.sync.condvar(conn % 32);
+            self.kern.sync.cv_signal(em, cv);
+            self.kern.sched.dispatch(em, cpu);
+        }
+        if apache && op.is_multiple_of(8) {
+            // A worker blocks waiting for its next request.
+            let cv = self.kern.sync.condvar((conn + 7) % 32);
+            self.kern.sync.cv_wait(em, cv, worker_thread);
+        }
+        self.kern.mmu.window_trap(em, worker_thread.raw());
+
+        // SPECweb99 mix: ~30% dynamic (CGI), ~70% static.
+        if self.rng.gen_ratio(3, 10) {
+            self.dynamic_request(em, op, cpu, conn);
+        } else {
+            self.static_request(em, cpu, conn);
+        }
+
+        // Residual kernel + unknown activity: a mix of repetitive chains
+        // and irregular reads (kernel memory/resource management touches
+        // different objects per request).
+        self.kern_other.hot_walk(em, &mut self.rng, 10);
+        if op.is_multiple_of(3) {
+            self.kern_other.random_reads(em, &mut self.rng, 2);
+        }
+        if op.is_multiple_of(5) {
+            self.kern_other.cold_reads(em, 2);
+        }
+        self.uncat.hot_walk(em, &mut self.rng, 8);
+        if op.is_multiple_of(3) {
+            self.uncat.random_reads(em, &mut self.rng, 2);
+        }
+        if op.is_multiple_of(7) {
+            self.uncat.cold_reads(em, 2);
+        }
+        // Request parsing, TCP processing, logging, and script compute
+        // between memory references (calibrates Figure 1's per-1000-
+        // instruction axis to the paper's range).
+        em.work(22_000);
+    }
+
+    fn static_request(&mut self, em: &mut Emitter<'_>, cpu: CpuId, conn: u32) {
+        // Locate the file, stat it, copy it out of the (kernel) file cache
+        // into the reused user buffer, then packetize.
+        let page = self.server.static_file_page(em, &mut self.rng);
+        self.kern.mmu.translate(em, cpu, page);
+        self.kern.syscalls.sys_stat(em, ProcId(0), conn % 512);
+        let user = self.user_bufs[cpu.index()];
+        let bytes = 1024 + u64::from(conn % 4) * 512;
+        self.kern.copy.copyout(em, user, page, bytes);
+        self.kern.syscalls.sys_write(em, ProcId(0), conn % 512);
+        let sock = ChannelId(PERL_PROCS + conn % SOCKET_CHANNELS);
+        self.kern.streams.put(em, sock, Dir::Down, 2);
+        self.kern.ip.send(em, cpu.raw(), ConnId(conn), bytes);
+        self.kern.streams.get(em, sock, Dir::Down, 4);
+    }
+
+    fn dynamic_request(&mut self, em: &mut Emitter<'_>, op: u64, cpu: CpuId, conn: u32) {
+        let proc_idx = conn % PERL_PROCS;
+        let ch = ChannelId(proc_idx);
+        let perl_proc = ProcId(1 + proc_idx);
+
+        // Server -> perl over STREAMS stdio.
+        self.kern.syscalls.sys_write(em, ProcId(0), conn % 512);
+        let descs = self.kern.streams.put(em, ch, Dir::Down, 2);
+        let user = self.user_bufs[cpu.index()];
+        self.kern
+            .copy
+            .bcopy(em, self.perl.input_buffer(proc_idx), user, 512);
+        drop(descs);
+
+        // The perl process runs on another CPU (its own process context).
+        let perl_cpu = CpuId::new(((op + 1 + u64::from(proc_idx)) % u64::from(self.num_cpus)) as u32);
+        let perl_thread = ThreadId::new(128 + proc_idx);
+        em.set_context(perl_cpu, perl_thread);
+        self.kern.sched.enqueue(em, perl_cpu, perl_thread);
+        self.kern.sched.dispatch(em, perl_cpu);
+        self.kern.streams.get(em, ch, Dir::Down, 4);
+        self.kern.streams.put(em, ch, Dir::Down, 1);
+        self.kern.streams.get(em, ch, Dir::Down, 2);
+        self.kern.syscalls.sys_read(em, perl_proc, 0);
+        self.kern.mmu.translate(em, perl_cpu, self.perl.input_buffer(proc_idx));
+        self.perl.sv_gets(em, proc_idx, 512);
+        self.perl.run_script(em, proc_idx, conn % 3);
+        for _ in 0..2 {
+            self.perl
+                .touch_arena(em, proc_idx, self.rng.gen_range(0..64), 48);
+        }
+        // Reply path.
+        self.kern.syscalls.sys_write(em, perl_proc, 1);
+        let reply = self.kern.streams.put(em, ch, Dir::Up, 4);
+        self.kern.mmu.window_trap(em, perl_thread.raw());
+
+        // Back on the server CPU: read the reply, copy it out, send it.
+        em.set_context(cpu, ThreadId::new(16 + (conn % 96)));
+        let got = self.kern.streams.get(em, ch, Dir::Up, 8);
+        let src = got.first().or(reply.first()).copied().unwrap_or(user);
+        let bytes = 3 * 1024;
+        self.kern.copy.copyout(em, user, src, BLOCK_BYTES * 2);
+        self.kern.syscalls.sys_write(em, ProcId(0), conn % 512);
+        let sock = ChannelId(PERL_PROCS + conn % SOCKET_CHANNELS);
+        self.kern.streams.put(em, sock, Dir::Down, 2);
+        self.kern.ip.send(em, cpu.raw(), ConnId(conn), bytes);
+        self.kern.streams.get(em, sock, Dir::Down, 4);
+    }
+}

@@ -1,0 +1,76 @@
+//! The paper's first motivating example (§2.1): overlapping B+-tree range
+//! scans form temporal streams along the sibling-linked leaves.
+//!
+//! Two processors scan overlapping key ranges of a shared index through
+//! the multi-chip memory system; the analysis shows that the second scan's
+//! leaf misses repeat the first scan's sequence — and that the leaves are
+//! not stride-predictable.
+//!
+//! ```text
+//! cargo run --release --example btree_range_scan
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tempstream_coherence::{MultiChipConfig, MultiChipSim};
+use tempstream_core::streams::StreamAnalysis;
+use tempstream_core::stride::StrideDetector;
+use tempstream_trace::{CpuId, SymbolTable, ThreadId};
+use tempstream_workloads::db::BPlusTree;
+use tempstream_workloads::{AddressSpace, Emitter};
+
+fn main() {
+    let mut symbols = SymbolTable::new();
+    symbols.intern("_start", tempstream_trace::MissCategory::Uncategorized);
+    let mut space = AddressSpace::new();
+    let mut rng = SmallRng::seed_from_u64(42);
+
+    // A shared index over one million keys; leaves are scatter-allocated,
+    // so the leaf chain is not contiguous in memory.
+    let tree = BPlusTree::build(1_000_000, &mut symbols, &mut space, &mut rng);
+    println!(
+        "built a {}-level B+-tree over {} keys",
+        tree.height(),
+        tree.num_keys()
+    );
+
+    // Drive two overlapping range scans (plus a prefix of unrelated
+    // probes) through the multi-chip memory system.
+    let mut sim = MultiChipSim::new(MultiChipConfig::paper());
+    {
+        let mut em = Emitter::new(&mut sim);
+        // CPU 0 runs the first range scan.
+        em.set_context(CpuId::new(0), ThreadId::new(0));
+        tree.range_scan(&mut em, 500_000, 2_000);
+        // Unrelated index probes intervene.
+        for k in 0..200 {
+            tree.search(&mut em, k * 4_099);
+        }
+        // CPU 1 runs an overlapping scan: same leaves, same order.
+        em.set_context(CpuId::new(1), ThreadId::new(1));
+        tree.range_scan(&mut em, 500_000, 2_000);
+    }
+    let trace = sim.finish(1_000_000);
+    println!("collected {} off-chip read misses", trace.len());
+
+    let analysis = StreamAnalysis::of_trace(&trace);
+    let (non, new, rec) = analysis.label_counts();
+    println!(
+        "stream labels: {non} non-repetitive, {new} new-stream, {rec} recurring"
+    );
+    println!(
+        "the overlapping scan repeats the leaf sequence: {:.1}% of misses \
+         are in temporal streams",
+        analysis.stream_fraction() * 100.0
+    );
+    if let Some(longest) = analysis.occurrences().iter().map(|o| o.len).max() {
+        println!("longest stream: {longest} misses");
+    }
+
+    let strides = StrideDetector::of_trace(&trace);
+    println!(
+        "stride-predictable misses: {:.1}% (scattered leaves defeat stride \
+         prefetching)",
+        strides.strided_fraction() * 100.0
+    );
+}

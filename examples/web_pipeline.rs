@@ -1,0 +1,63 @@
+//! The collect-then-analyze workflow: trace a web workload once, persist
+//! the classified miss trace to disk, and re-analyze it offline — the way
+//! the paper's FLEXUS traces were handled.
+//!
+//! ```text
+//! cargo run --release --example web_pipeline
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use tempstream_coherence::{SingleChipConfig, SingleChipSim};
+use tempstream_core::origins::OriginTable;
+use tempstream_core::report::format_origin_table;
+use tempstream_core::streams::StreamAnalysis;
+use tempstream_trace::io::{read_trace, write_trace};
+use tempstream_trace::{AppClass, IntraChipClass, MissTrace};
+use tempstream_workloads::{Workload, WorkloadSession};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase 1: collect. Warm the CMP, then record ~2k requests.
+    println!("collecting Zeus on the 4-core CMP...");
+    let mut session = WorkloadSession::new(Workload::Zeus, 4, 99);
+    let mut sim = SingleChipSim::new(SingleChipConfig::paper());
+    sim.set_recording(false);
+    session.run(&mut sim, 400);
+    sim.set_recording(true);
+    let stats = session.run(&mut sim, 2_000);
+    let traces = sim.finish(stats.instructions);
+    let symbols = session.into_symbols();
+    println!(
+        "  {} off-chip misses, {} intra-chip misses over {} instructions",
+        traces.off_chip.len(),
+        traces.intra_chip.len(),
+        stats.instructions
+    );
+
+    // Phase 2: persist the intra-chip trace.
+    let path = std::env::temp_dir().join("tempstream_web_intra.trace");
+    write_trace(&traces.intra_chip, BufWriter::new(File::create(&path)?))?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("  wrote {} ({} bytes)", path.display(), bytes);
+
+    // Phase 3: reload and analyze offline.
+    let reloaded: MissTrace<IntraChipClass> =
+        read_trace(BufReader::new(File::open(&path)?))?;
+    assert_eq!(reloaded.len(), traces.intra_chip.len());
+    let analysis = StreamAnalysis::of_trace(&reloaded);
+    println!(
+        "\nintra-chip stream fraction: {:.1}%",
+        analysis.stream_fraction() * 100.0
+    );
+    let table = OriginTable::build(
+        reloaded.records(),
+        analysis.labels(),
+        &symbols,
+        AppClass::Web,
+    );
+    println!("\nintra-chip stream origins (Table 3 layout):");
+    print!("{}", format_origin_table(&table));
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

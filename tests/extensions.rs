@@ -1,0 +1,110 @@
+//! Integration tests for the extension analyses (prefetchers, spatial
+//! patterns, per-function origins) on real workload traces.
+
+use tempstream_coherence::{MultiChipConfig, MultiChipSim};
+use tempstream_core::functions::FunctionTable;
+use tempstream_core::spatial::SpatialAnalysis;
+use tempstream_core::streams::StreamAnalysis;
+use tempstream_prefetch::{evaluate, Prefetcher, StridePrefetcher, TemporalPrefetcher};
+use tempstream_trace::{MissClass, MissTrace, SymbolTable};
+use tempstream_workloads::{Workload, WorkloadSession};
+
+fn collect(w: Workload, ops: u64) -> (MissTrace<MissClass>, SymbolTable) {
+    let config = MultiChipConfig::small(8);
+    let mut session = WorkloadSession::new(w, config.nodes, 5);
+    let mut sim = MultiChipSim::new(config);
+    sim.set_recording(false);
+    session.run(&mut sim, 150);
+    sim.set_recording(true);
+    session.run(&mut sim, ops);
+    (sim.finish(1), session.into_symbols())
+}
+
+fn coverage(p: &mut dyn Prefetcher, trace: &MissTrace<MissClass>) -> f64 {
+    evaluate(p, trace.records(), 1024).coverage()
+}
+
+/// The paper's motivation: temporal streaming covers the pointer-chasing
+/// web workload far better than stride prefetching...
+#[test]
+fn temporal_beats_stride_on_web() {
+    let (trace, _) = collect(Workload::Zeus, 500);
+    let stride = coverage(&mut StridePrefetcher::new(4), &trace);
+    let temporal = coverage(&mut TemporalPrefetcher::fixed(8), &trace);
+    assert!(
+        temporal > 2.0 * stride,
+        "temporal {temporal:.3} must dwarf stride {stride:.3} on web"
+    );
+    assert!(temporal > 0.3, "temporal coverage too low: {temporal:.3}");
+}
+
+/// ...and the reverse holds on the scan-dominated DSS query.
+#[test]
+fn stride_beats_temporal_on_dss_scan() {
+    let (trace, _) = collect(Workload::DssQ1, 400);
+    let stride = coverage(&mut StridePrefetcher::new(4), &trace);
+    let temporal = coverage(&mut TemporalPrefetcher::fixed(8), &trace);
+    assert!(
+        stride > 2.0 * temporal,
+        "stride {stride:.3} must dwarf temporal {temporal:.3} on Q1"
+    );
+    assert!(stride > 0.5, "stride coverage too low: {stride:.3}");
+}
+
+/// Deeper fixed replay never loses coverage on stream-heavy traces (the
+/// §4.4 depth argument), and the adaptive engine is competitive with the
+/// deepest fixed setting.
+#[test]
+fn replay_depth_monotonicity() {
+    let (trace, _) = collect(Workload::Apache, 500);
+    let d1 = coverage(&mut TemporalPrefetcher::fixed(1), &trace);
+    let d8 = coverage(&mut TemporalPrefetcher::fixed(8), &trace);
+    let adaptive = coverage(&mut TemporalPrefetcher::adaptive(4, 32), &trace);
+    assert!(d8 >= d1, "depth 8 ({d8:.3}) must not lose to depth 1 ({d1:.3})");
+    assert!(
+        adaptive >= d8 * 0.9,
+        "adaptive ({adaptive:.3}) must be competitive with fixed-8 ({d8:.3})"
+    );
+}
+
+/// DSS scans are far more spatially predictable than web serving — the
+/// complementary phenomenon to temporal streams.
+#[test]
+fn spatial_predictability_ordering() {
+    let (dss, _) = collect(Workload::DssQ1, 400);
+    let (web, _) = collect(Workload::Apache, 500);
+    let dss_spatial = SpatialAnalysis::of_trace(&dss);
+    let web_spatial = SpatialAnalysis::of_trace(&web);
+    assert!(
+        dss_spatial.predicted_miss_fraction() > web_spatial.predicted_miss_fraction(),
+        "DSS ({:.3}) must be more spatially predictable than web ({:.3})",
+        dss_spatial.predicted_miss_fraction(),
+        web_spatial.predicted_miss_fraction()
+    );
+    assert!(dss_spatial.mean_density() > web_spatial.mean_density());
+}
+
+/// The per-function table reproduces §5's function-level claims on a real
+/// trace: `Perl_sv_gets` is near-perfectly repetitive and the dispatcher
+/// family is visible in OLTP.
+#[test]
+fn function_table_supports_section5_claims() {
+    let (web, web_sym) = collect(Workload::Apache, 500);
+    let a = StreamAnalysis::of_trace(&web);
+    let t = FunctionTable::build(web.records(), a.labels(), &web_sym);
+    let perl = t.by_name("Perl_sv_gets").expect("perl input missed");
+    assert!(
+        perl.stream_fraction() > 0.9,
+        "Perl_sv_gets only {:.3} repetitive",
+        perl.stream_fraction()
+    );
+
+    let (oltp, oltp_sym) = collect(Workload::Oltp, 500);
+    let a = StreamAnalysis::of_trace(&oltp);
+    let t = FunctionTable::build(oltp.records(), a.labels(), &oltp_sym);
+    let disp = t.share_of_prefix("disp");
+    assert!(disp > 0.01, "dispatcher share too small: {disp:.4}");
+    // Totals are consistent.
+    let sum: u64 = t.rows().iter().map(|r| r.misses).sum();
+    assert_eq!(sum, t.total_misses());
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the analysis pipeline, validated against
+//! brute-force reference implementations on randomly generated miss
+//! traces.
+
+use proptest::prelude::*;
+use tempstream_core::streams::{StreamAnalysis, StreamLabel};
+use tempstream_core::stride::{StrideDetector, MAX_STRIDE, MIN_RUN};
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::{Block, CpuId, FunctionId, MissClass, MissTrace, ThreadId};
+
+fn trace_from(blocks: &[(u64, u8)]) -> MissTrace<MissClass> {
+    let cpus = u32::from(blocks.iter().map(|&(_, c)| c).max().unwrap_or(0)) + 1;
+    let mut t = MissTrace::new(cpus);
+    for &(b, c) in blocks {
+        t.push(MissRecord {
+            block: Block::new(b),
+            cpu: CpuId::new(u32::from(c)),
+            thread: ThreadId::new(u32::from(c)),
+            function: FunctionId::new(0),
+            class: MissClass::Replacement,
+        });
+    }
+    t
+}
+
+/// Brute-force stride reference mirroring the detector's contract: runs of
+/// same-cpu misses with a constant usable delta; runs of >= MIN_RUN misses
+/// are strided.
+fn reference_strided(blocks: &[(u64, u8)]) -> Vec<bool> {
+    let mut out = vec![false; blocks.len()];
+    let cpus: std::collections::BTreeSet<u8> = blocks.iter().map(|&(_, c)| c).collect();
+    for c in cpus {
+        let idx: Vec<usize> = (0..blocks.len()).filter(|&i| blocks[i].1 == c).collect();
+        let mut run: Vec<usize> = Vec::new();
+        let mut last_delta: Option<i64> = None;
+        for w in 1..idx.len() {
+            let d = blocks[idx[w]].0 as i64 - blocks[idx[w - 1]].0 as i64;
+            let usable = d != 0 && d.abs() <= MAX_STRIDE;
+            if usable && last_delta == Some(d) {
+                run.push(idx[w]);
+            } else if usable {
+                run = vec![idx[w - 1], idx[w]];
+            } else {
+                run = Vec::new();
+            }
+            last_delta = if usable || w == 0 { Some(d) } else { None };
+            if !usable {
+                last_delta = None;
+            }
+            if run.len() >= MIN_RUN {
+                for &j in &run {
+                    out[j] = true;
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Labels always align one-to-one with the trace and partition it.
+    #[test]
+    fn labels_partition_trace(
+        blocks in proptest::collection::vec((0u64..12, 0u8..3), 0..250),
+    ) {
+        let t = trace_from(&blocks);
+        let a = StreamAnalysis::of_trace(&t);
+        prop_assert_eq!(a.labels().len(), t.len());
+        let (non, new, rec) = a.label_counts();
+        prop_assert_eq!(non + new + rec, t.len() as u64);
+        prop_assert!(a.stream_fraction() >= 0.0 && a.stream_fraction() <= 1.0);
+    }
+
+    /// Occurrences tile exactly the positions labeled as stream misses,
+    /// without overlap.
+    #[test]
+    fn occurrences_tile_stream_positions(
+        blocks in proptest::collection::vec((0u64..8, 0u8..2), 0..250),
+    ) {
+        let t = trace_from(&blocks);
+        let a = StreamAnalysis::of_trace(&t);
+        let mut covered = vec![false; t.len()];
+        for occ in a.occurrences() {
+            prop_assert!(occ.len >= 2, "streams are >= 2 misses");
+            let span = occ.start..occ.start + occ.len as usize;
+            for (i, c) in covered[span.clone()].iter_mut().enumerate() {
+                prop_assert!(!*c, "overlapping occurrences at {}", occ.start + i);
+                *c = true;
+                prop_assert_ne!(
+                    a.labels()[occ.start + i],
+                    StreamLabel::NonRepetitive
+                );
+            }
+        }
+        for ((i, &cov), &label) in covered.iter().enumerate().zip(a.labels()) {
+            prop_assert_eq!(
+                cov,
+                label != StreamLabel::NonRepetitive,
+                "position {} label/occurrence mismatch", i
+            );
+        }
+    }
+
+    /// New occurrences carry no reuse distance; repeats always do.
+    #[test]
+    fn first_occurrence_is_new(
+        blocks in proptest::collection::vec((0u64..6, 0u8..2), 0..200),
+    ) {
+        let t = trace_from(&blocks);
+        let a = StreamAnalysis::of_trace(&t);
+        let mut seen = std::collections::HashSet::new();
+        for occ in a.occurrences() {
+            if seen.insert(occ.rule) {
+                if occ.new {
+                    prop_assert_eq!(occ.reuse_distance, None);
+                }
+            } else {
+                prop_assert!(!occ.new, "repeat occurrence flagged new");
+                prop_assert!(occ.reuse_distance.is_some());
+            }
+        }
+    }
+
+    /// Reuse distance never exceeds the total misses between occurrences.
+    #[test]
+    fn reuse_distance_bounded(
+        blocks in proptest::collection::vec((0u64..6, 0u8..3), 0..200),
+    ) {
+        let t = trace_from(&blocks);
+        let a = StreamAnalysis::of_trace(&t);
+        let mut last_end: std::collections::HashMap<_, usize> = Default::default();
+        for occ in a.occurrences() {
+            if let Some(d) = occ.reuse_distance {
+                let prev_end = last_end[&occ.rule];
+                prop_assert!(
+                    (d as usize) <= occ.start - prev_end,
+                    "distance {} exceeds gap {}",
+                    d,
+                    occ.start - prev_end
+                );
+            }
+            last_end.insert(occ.rule, occ.start + occ.len as usize);
+        }
+    }
+
+    /// Stride detector agrees with the brute-force reference.
+    #[test]
+    fn stride_matches_reference(
+        blocks in proptest::collection::vec((0u64..40, 0u8..2), 0..120),
+    ) {
+        let t = trace_from(&blocks);
+        let d = StrideDetector::of_trace(&t);
+        let reference = reference_strided(&blocks);
+        prop_assert_eq!(d.flags(), &reference[..]);
+    }
+
+    /// A doubled random sequence is mostly covered by streams.
+    #[test]
+    fn doubled_trace_is_repetitive(
+        base in proptest::collection::vec(0u64..1000, 4..80),
+    ) {
+        let doubled: Vec<(u64, u8)> =
+            base.iter().chain(base.iter()).map(|&b| (b, 0)).collect();
+        let t = trace_from(&doubled);
+        let a = StreamAnalysis::of_trace(&t);
+        prop_assert!(
+            a.stream_fraction() > 0.5,
+            "doubled sequence only {:.2} in streams",
+            a.stream_fraction()
+        );
+    }
+
+    /// Single-occurrence content yields no recurring labels.
+    #[test]
+    fn unique_blocks_never_recur(n in 1usize..200) {
+        let blocks: Vec<(u64, u8)> = (0..n as u64).map(|b| (b * 7 + 1, 0)).collect();
+        let t = trace_from(&blocks);
+        let a = StreamAnalysis::of_trace(&t);
+        let (_, _, rec) = a.label_counts();
+        prop_assert_eq!(rec, 0);
+    }
+
+    /// Length CDF total weight equals the stream-labeled miss count.
+    #[test]
+    fn length_cdf_weight_matches_labels(
+        blocks in proptest::collection::vec((0u64..10, 0u8..2), 0..250),
+    ) {
+        let t = trace_from(&blocks);
+        let a = StreamAnalysis::of_trace(&t);
+        let (_, new, rec) = a.label_counts();
+        prop_assert_eq!(a.length_cdf().total_weight(), new + rec);
+    }
+}
+
+/// A hand-checked reuse-distance scenario with interleaved CPUs, verifying
+/// the "misses on the first processor" rule end to end.
+#[test]
+fn reuse_distance_first_processor_rule() {
+    // cpu0: A B ... A B (stream [A,B]); cpu1 interleaves 5 misses and cpu0
+    // interleaves 3 between the occurrences.
+    let blocks = [
+        (100, 0),
+        (101, 0),
+        (1, 1),
+        (200, 0),
+        (2, 1),
+        (201, 0),
+        (3, 1),
+        (202, 0),
+        (4, 1),
+        (5, 1),
+        (100, 0),
+        (101, 0),
+    ];
+    let t = trace_from(&blocks);
+    let a = StreamAnalysis::of_trace(&t);
+    let occ: Vec<_> = a
+        .occurrences()
+        .iter()
+        .filter(|o| o.len == 2 && t.records()[o.start].block == Block::new(100))
+        .collect();
+    assert_eq!(occ.len(), 2);
+    assert_eq!(occ[1].reuse_distance, Some(3), "three cpu0 misses intervene");
+}
