@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate for the tempstream workspace. Runs entirely offline:
+#   1. formatting check
+#   2. clippy, warnings denied (workspace lint set in Cargo.toml)
+#   3. exhaustive protocol model check (tables proved before simulation)
+#   4. tier-1 build + test suite
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== protocol model check =="
+cargo test -q -p tempstream-checker
+cargo run -q -p tempstream-checker --bin check-protocols
+
+echo "== tier-1: build + tests =="
+cargo build --release
+cargo test -q
+
+echo "CI OK"

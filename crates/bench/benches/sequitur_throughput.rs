@@ -1,11 +1,10 @@
 //! SEQUITUR core throughput on synthetic inputs with known repetition
 //! structure (the analysis's asymptotic cost driver).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use tempstream_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use tempstream_sequitur::Sequitur;
+use tempstream_trace::rng::SmallRng;
 
 fn inputs() -> Vec<(&'static str, Vec<u64>)> {
     let n = 100_000usize;

@@ -1,8 +1,8 @@
 //! Memory-system simulator throughput (accesses per second) on a
 //! pre-generated access stream.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use tempstream_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use tempstream_coherence::{MultiChipConfig, MultiChipSim, SingleChipConfig, SingleChipSim};
 use tempstream_trace::MemoryAccess;
 use tempstream_workloads::{Workload, WorkloadSession};

@@ -22,8 +22,7 @@ fn main() {
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+        .map_or("all", String::as_str);
     let ops = if quick { 700 } else { 6_000 };
     match cmd {
         "l2" => l2_sweep(ops),
@@ -77,7 +76,10 @@ fn l2_sweep(ops: u64) {
 
 fn core_sweep(ops: u64) {
     println!("== Ablation: Apache intra-chip coherence share vs core count ==");
-    println!("{:<8} {:>16} {:>18}", "cores", "coherence (L1+L2)", "of intra misses");
+    println!(
+        "{:<8} {:>16} {:>18}",
+        "cores", "coherence (L1+L2)", "of intra misses"
+    );
     for cores in [1u32, 2, 4, 8] {
         let mut config = SingleChipConfig::paper();
         config.cores = cores;
@@ -88,7 +90,9 @@ fn core_sweep(ops: u64) {
         sim.set_recording(true);
         session.run(&mut sim, ops);
         let traces = sim.finish(1);
-        let coh = traces.intra_chip.count_class(IntraChipClass::CoherencePeerL1)
+        let coh = traces
+            .intra_chip
+            .count_class(IntraChipClass::CoherencePeerL1)
             + traces.intra_chip.count_class(IntraChipClass::CoherenceL2);
         println!(
             "{:<8} {:>16} {:>17.1}%",
@@ -114,7 +118,11 @@ fn window_sweep(ops: u64) {
     for window in [5_000usize, 20_000, 80_000, 320_000, trace.len()] {
         let window = window.min(trace.len());
         let analysis = StreamAnalysis::of_records(&trace.records()[..window], trace.num_cpus());
-        println!("{:<12} {:>13.1}%", window, analysis.stream_fraction() * 100.0);
+        println!(
+            "{:<12} {:>13.1}%",
+            window,
+            analysis.stream_fraction() * 100.0
+        );
         if window == trace.len() {
             break;
         }

@@ -87,7 +87,12 @@ fn main() {
     }
 }
 
-fn collect(w: Workload, config: MultiChipConfig, scale_div: u64, seed: u64) -> MissTrace<MissClass> {
+fn collect(
+    w: Workload,
+    config: MultiChipConfig,
+    scale_div: u64,
+    seed: u64,
+) -> MissTrace<MissClass> {
     let scale = w.default_scale();
     let scale = Scale {
         warmup_ops: scale.warmup_ops / scale_div,

@@ -28,7 +28,7 @@ fn main() {
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--") && Some(a.as_str()) != seed.map(|_| ""))
-        .map(|s| s.as_str())
+        .map(String::as_str)
         .filter(|s| s.parse::<u64>().is_err())
         .unwrap_or("all");
 
@@ -127,7 +127,10 @@ fn print_table1() {
 fn print_table2() {
     rule("Table 2: Miss categories");
     for (title, cats) in [
-        ("Cross-application categories", MissCategory::CROSS_APP.to_vec()),
+        (
+            "Cross-application categories",
+            MissCategory::CROSS_APP.to_vec(),
+        ),
         ("Web-specific categories", MissCategory::WEB.to_vec()),
         ("DB2-specific categories", MissCategory::DB2.to_vec()),
     ] {
@@ -269,14 +272,10 @@ fn print_spatial(cfg: &ExperimentConfig) {
         "workload", "generations", "% predicted", "% misses pred.", "mean density"
     );
     for w in Workload::ALL {
-        let exp = Experiment::new(*cfg);
         // Re-collect traces (cheaper than caching records in Runner).
         let scale = cfg.scale_override.unwrap_or_else(|| w.default_scale());
-        let mut session = tempstream_workloads::WorkloadSession::new(
-            w,
-            cfg.multi_chip.nodes,
-            cfg.seed,
-        );
+        let mut session =
+            tempstream_workloads::WorkloadSession::new(w, cfg.multi_chip.nodes, cfg.seed);
         let mut sim = tempstream_coherence::MultiChipSim::new(cfg.multi_chip);
         sim.set_recording(false);
         session.run(&mut sim, scale.warmup_ops);
@@ -292,14 +291,16 @@ fn print_spatial(cfg: &ExperimentConfig) {
             a.predicted_miss_fraction() * 100.0,
             a.mean_density()
         );
-        drop(exp);
     }
 }
 
 /// Seed-stability check: headline metrics across three seeds.
 fn print_stability(cfg: &ExperimentConfig) {
     rule("Seed stability: multi-chip stream fraction across seeds");
-    println!("{:<8} {:>10} {:>10} {:>10} {:>8}", "workload", "seed A", "seed B", "seed C", "spread");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>8}",
+        "workload", "seed A", "seed B", "seed C", "spread"
+    );
     for w in Workload::ALL {
         let mut fractions = Vec::new();
         for (i, seed) in [1u64, 0xBEEF, 0x715C_2008].iter().enumerate() {
@@ -308,8 +309,8 @@ fn print_stability(cfg: &ExperimentConfig) {
             let r = exp.run_workload(w);
             fractions.push(r.multi_chip.streams.stream_fraction.in_streams());
         }
-        let max = fractions.iter().cloned().fold(f64::MIN, f64::max);
-        let min = fractions.iter().cloned().fold(f64::MAX, f64::min);
+        let max = fractions.iter().copied().fold(f64::MIN, f64::max);
+        let min = fractions.iter().copied().fold(f64::MAX, f64::min);
         println!(
             "{:<8} {:>9.1}% {:>9.1}% {:>9.1}% {:>7.1}%",
             w.name(),
@@ -355,9 +356,21 @@ fn print_stats(r: &mut Runner) {
         // Stream counts come from the analysis; the analyzed column shows
         // how many misses fed SEQUITUR (capped for the largest traces).
         for (ctx, s, total) in [
-            ("multi-chip", &res.multi_chip.streams, res.multi_chip.total_misses),
-            ("single-chip", &res.single_chip.streams, res.single_chip.total_misses),
-            ("intra-chip", &res.intra_chip.streams, res.intra_chip.total_misses),
+            (
+                "multi-chip",
+                &res.multi_chip.streams,
+                res.multi_chip.total_misses,
+            ),
+            (
+                "single-chip",
+                &res.single_chip.streams,
+                res.single_chip.total_misses,
+            ),
+            (
+                "intra-chip",
+                &res.intra_chip.streams,
+                res.intra_chip.total_misses,
+            ),
         ] {
             println!(
                 "{:<8} {:<12} {:>10} {:>14} {:>11.1}% {:>8}",

@@ -1,0 +1,153 @@
+//! A dependency-free micro-benchmark harness with a criterion-shaped API.
+//!
+//! The workspace builds fully offline, so the benches cannot pull the
+//! `criterion` crate from a registry. This module provides the small slice
+//! of criterion's surface the benches actually use — [`Criterion`],
+//! benchmark groups, [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple
+//! warmup-then-sample timing loop. Porting a bench file is a one-line
+//! import change.
+//!
+//! Reported numbers are wall-clock medians over `sample_size` samples,
+//! with elements/second derived from [`Throughput::Elements`] when set.
+//! They are indicative, not statistically rigorous; the point of keeping
+//! the benches alive is catching order-of-magnitude regressions.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Per-benchmark throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured closure processes this many logical elements.
+    Elements(u64),
+}
+
+/// A named group of benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark: a warmup run, then `sample_size` samples.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { elapsed_ns: 0 };
+        // Warmup (untimed for reporting, but the closure still runs).
+        f(&mut b);
+        let mut samples: Vec<u128> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed_ns = 0;
+            f(&mut b);
+            samples.push(b.elapsed_ns);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let line = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0 => {
+                let eps = (n as f64) * 1e9 / median as f64;
+                format!("{name:<40} {median:>12} ns/iter {eps:>14.0} elem/s")
+            }
+            _ => format!("{name:<40} {median:>12} ns/iter"),
+        };
+        println!("  {line}");
+        self
+    }
+
+    /// Ends the group (prints nothing; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the measured closure; times the inner workload.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `f` once under the timer, accumulating its wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        let mut runs = 0u32;
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        g.finish();
+        // warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

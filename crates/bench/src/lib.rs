@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark harness and the `reproduce` binary.
 
+pub mod harness;
+
 use tempstream_core::experiment::{Experiment, ExperimentConfig, WorkloadResults};
 use tempstream_workloads::Workload;
 

@@ -1,11 +1,10 @@
 //! Cache geometry configuration and the paper's presets.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tempstream_trace::BLOCK_BYTES;
 
 /// Geometry of one set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,

@@ -1,11 +1,10 @@
 //! Cache access statistics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Hit/miss/eviction counters accumulated by a
 /// [`SetAssocCache`](crate::SetAssocCache).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// `touch` calls that found the block.
     pub hits: u64,

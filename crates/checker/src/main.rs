@@ -1,0 +1,19 @@
+//! CI gate: exhaustively model-checks every coherence-protocol table and
+//! exits nonzero if any invariant fails.
+//!
+//! Run as `cargo run -p tempstream-checker --bin check-protocols` (wired
+//! into `ci.sh`).
+
+fn main() {
+    let reports = tempstream_checker::check_all();
+    let mut failed = false;
+    for r in &reports {
+        print!("{r}");
+        failed |= !r.passed();
+    }
+    if failed {
+        eprintln!("protocol verification FAILED");
+        std::process::exit(1);
+    }
+    println!("all protocol tables verified");
+}

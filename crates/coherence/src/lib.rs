@@ -13,14 +13,28 @@
 //!   misses (L2 misses) and **intra-chip** misses (L1 misses satisfied on
 //!   chip, classified by cause and responder).
 //!
+//! Both protocols are *declarative*: [`protocol::MSI`] and
+//! [`protocol::MOSI`] express states, events, and guarded transitions as
+//! static tables, and the simulators advance coherence state only through
+//! the table-driven [`protocol::ProtocolEngine`]. The `tempstream-checker`
+//! crate model-checks the same tables exhaustively (SWMR, single owner,
+//! inclusion/non-inclusion consistency, no stuck states, total coverage),
+//! and `debug_assert!` hooks in the simulators cross-check cache residency
+//! against the table state on every access.
+//!
 //! Miss-cause classification implements the paper's "4 C's"-style rules via
 //! a cache-independent [`history::HistoryTracker`]; see
 //! [`MissClass`](tempstream_trace::MissClass) for the rules.
 
 pub mod history;
 pub mod multi_chip;
+pub mod protocol;
 pub mod single_chip;
 
 pub use history::HistoryTracker;
 pub use multi_chip::{MultiChipConfig, MultiChipSim};
+pub use protocol::{
+    Action, ApplyOutcome, Event, MosiState, MsiState, ProtocolEngine, ProtocolSpec, ProtocolState,
+    Transition, MOSI, MSI,
+};
 pub use single_chip::{SingleChipConfig, SingleChipSim};

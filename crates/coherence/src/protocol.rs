@@ -1,0 +1,559 @@
+//! Declarative coherence-protocol transition tables and the table-driven
+//! engine both simulators run on.
+//!
+//! The MSI (multi-chip, paper §3) and MOSI (single-chip Piranha-style,
+//! paper §3) protocols are expressed as *data*: per-block cache states,
+//! events, and guarded transitions in [`ProtocolSpec`] tables ([`MSI`],
+//! [`MOSI`]). The simulators do not hard-code any state logic — they feed
+//! events into a [`ProtocolEngine`] that looks every step up in the table,
+//! and they act on the returned [`Action`]s (who to invalidate, who
+//! supplies data, whether a victim writes back). The `tempstream-checker`
+//! crate model-checks the same tables exhaustively, so the traces the
+//! paper's figures are built from and the statically verified protocol can
+//! never drift apart.
+//!
+//! Every `(state, event)` pair is either an explicit [`Transition`] or an
+//! explicit entry in [`ProtocolSpec::impossible`]; the engine panics on a
+//! table hole, and the checker proves reachable executions never hit an
+//! impossible pair.
+//!
+//! # Example
+//!
+//! ```
+//! use tempstream_coherence::protocol::{Event, MosiState, MOSI};
+//!
+//! // A modified line snooped by a peer read degrades to Owned.
+//! let t = MOSI.transition(MosiState::M, Event::RemoteRead).unwrap();
+//! assert_eq!(t.to, MosiState::O);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use tempstream_trace::Block;
+
+/// Coherence events, from the perspective of one cache and one block.
+///
+/// `Local*` events are issued by the cache's own processor; `Remote*`
+/// events are induced at every other cache by a peer's local event;
+/// `Evict` is a capacity/conflict victimization of a *valid* line;
+/// `IoInvalidate` models DMA and copyout writes that invalidate every
+/// cached copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// The local processor reads the block.
+    LocalRead,
+    /// The local processor writes the block.
+    LocalWrite,
+    /// Another cache's processor reads the block.
+    RemoteRead,
+    /// Another cache's processor writes the block.
+    RemoteWrite,
+    /// The cache evicts its (valid) copy of the block.
+    Evict,
+    /// A DMA or copyout write invalidates every cached copy.
+    IoInvalidate,
+}
+
+impl Event {
+    /// Every event, in table order.
+    pub const ALL: [Event; 6] = [
+        Event::LocalRead,
+        Event::LocalWrite,
+        Event::RemoteRead,
+        Event::RemoteWrite,
+        Event::Evict,
+        Event::IoInvalidate,
+    ];
+}
+
+/// The memory-system side effect a transition demands.
+///
+/// The simulators translate these into cache-structure mutations; the
+/// model checker translates them into ghost-state updates of the shared
+/// L2 / backing memory, which is how the non-inclusion and data-loss
+/// invariants are phrased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// No data movement (e.g. a remote event this cache ignores).
+    None,
+    /// Local access satisfied by the cache's own copy.
+    Hit,
+    /// Local miss: fill from a peer, the next level, or memory.
+    Fill,
+    /// Local write: every peer copy and any stale next-level copy is
+    /// invalidated.
+    InvalidateSharers,
+    /// This cache supplies its (owned) data to the requester.
+    SupplyToPeer,
+    /// Dirty victim: the data must be written back to the next level.
+    WritebackVictim,
+    /// Clean victim installed in the next level (non-inclusive victim
+    /// path of the single-chip hierarchy).
+    InstallVictim,
+    /// Copy dropped because a device overwrote the block.
+    Invalidate,
+}
+
+/// One guarded row of a protocol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition<S: 'static> {
+    /// State the cache holds the block in before the event.
+    pub from: S,
+    /// The observed event.
+    pub event: Event,
+    /// State after the event.
+    pub to: S,
+    /// Required memory-system side effect.
+    pub action: Action,
+}
+
+/// A complete protocol description: states, transitions, and the
+/// explicitly-impossible `(state, event)` pairs.
+#[derive(Debug)]
+pub struct ProtocolSpec<S: 'static> {
+    /// Human-readable protocol name.
+    pub name: &'static str,
+    /// Every per-cache state, `initial` first.
+    pub states: &'static [S],
+    /// State of a block a cache has never loaded.
+    pub initial: S,
+    /// Every legal transition.
+    pub transitions: &'static [Transition<S>],
+    /// `(state, event)` pairs that must never occur in any reachable
+    /// execution (the checker proves this; the engine panics on them).
+    pub impossible: &'static [(S, Event)],
+}
+
+impl<S: ProtocolState> ProtocolSpec<S> {
+    /// Looks up the transition for `(state, event)`, or `None` if the
+    /// pair is declared impossible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is neither handled nor declared impossible —
+    /// a malformed table. (`tempstream-checker` verifies totality
+    /// statically, so a released table never panics here.)
+    pub fn transition(&self, state: S, event: Event) -> Option<&'static Transition<S>> {
+        if let Some(t) = self
+            .transitions
+            .iter()
+            .find(|t| t.from == state && t.event == event)
+        {
+            return Some(t);
+        }
+        assert!(
+            self.impossible.contains(&(state, event)),
+            "{} table hole: ({state:?}, {event:?}) is neither handled nor declared impossible",
+            self.name
+        );
+        None
+    }
+}
+
+/// Behavior every per-cache protocol state exposes to the generic engine
+/// and checker.
+pub trait ProtocolState: Copy + Eq + Hash + fmt::Debug + 'static {
+    /// The cache holds a usable copy (any state but Invalid).
+    fn is_valid(self) -> bool;
+    /// The cache is responsible for the latest data (M or O).
+    fn is_owner(self) -> bool;
+    /// The cache may write without a bus transaction (M).
+    fn is_writable(self) -> bool;
+    /// Dense index of the state within `ProtocolSpec::states`.
+    fn index(self) -> usize;
+}
+
+/// MSI per-node states of the multi-chip protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsiState {
+    /// Not present in the node's hierarchy.
+    I,
+    /// Clean shared copy, consistent with memory.
+    S,
+    /// Modified: the only copy; memory is stale.
+    M,
+}
+
+impl ProtocolState for MsiState {
+    fn is_valid(self) -> bool {
+        self != MsiState::I
+    }
+    fn is_owner(self) -> bool {
+        self == MsiState::M
+    }
+    fn is_writable(self) -> bool {
+        self == MsiState::M
+    }
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// MOSI per-core L1 states of the single-chip (Piranha-style) protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosiState {
+    /// Not present in this core's L1.
+    I,
+    /// Clean shared copy.
+    S,
+    /// Owned: dirty, shared; this L1 supplies peer reads.
+    O,
+    /// Modified: dirty, exclusive.
+    M,
+}
+
+impl ProtocolState for MosiState {
+    fn is_valid(self) -> bool {
+        self != MosiState::I
+    }
+    fn is_owner(self) -> bool {
+        matches!(self, MosiState::O | MosiState::M)
+    }
+    fn is_writable(self) -> bool {
+        self == MosiState::M
+    }
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+use Action::{Fill, Hit, InstallVictim, InvalidateSharers, SupplyToPeer, WritebackVictim};
+
+macro_rules! t {
+    ($from:expr, $ev:ident, $to:expr, $act:expr) => {
+        Transition {
+            from: $from,
+            event: Event::$ev,
+            to: $to,
+            action: $act,
+        }
+    };
+}
+
+/// The multi-chip MSI write-invalidate protocol (paper §3), node
+/// granularity: one state per 16-node hierarchy (L1+L2 inclusive).
+///
+/// A remote read of a Modified line downgrades it to Shared and writes
+/// the data back, so Shared copies are always memory-consistent.
+pub static MSI: ProtocolSpec<MsiState> = {
+    use MsiState::{I, M, S};
+    ProtocolSpec {
+        name: "MSI",
+        states: &[I, S, M],
+        initial: I,
+        transitions: &[
+            t!(I, LocalRead, S, Fill),
+            t!(S, LocalRead, S, Hit),
+            t!(M, LocalRead, M, Hit),
+            t!(I, LocalWrite, M, InvalidateSharers),
+            t!(S, LocalWrite, M, InvalidateSharers),
+            t!(M, LocalWrite, M, Hit),
+            t!(I, RemoteRead, I, Action::None),
+            t!(S, RemoteRead, S, Action::None),
+            t!(M, RemoteRead, S, SupplyToPeer),
+            t!(I, RemoteWrite, I, Action::None),
+            t!(S, RemoteWrite, I, Action::Invalidate),
+            t!(M, RemoteWrite, I, SupplyToPeer),
+            t!(S, Evict, I, Action::None),
+            t!(M, Evict, I, WritebackVictim),
+            t!(I, IoInvalidate, I, Action::None),
+            t!(S, IoInvalidate, I, Action::Invalidate),
+            t!(M, IoInvalidate, I, Action::Invalidate),
+        ],
+        impossible: &[(I, Event::Evict)],
+    }
+};
+
+/// The single-chip MOSI intra-chip protocol modeled on Piranha (paper
+/// §3), core granularity: one state per L1; the shared L2 is the next
+/// level.
+///
+/// A dirty line is supplied core-to-core on a peer read (M → O at the
+/// owner); victims — clean or dirty — are installed into the
+/// non-inclusive L2.
+pub static MOSI: ProtocolSpec<MosiState> = {
+    use MosiState::{I, M, O, S};
+    ProtocolSpec {
+        name: "MOSI",
+        states: &[I, S, O, M],
+        initial: I,
+        transitions: &[
+            t!(I, LocalRead, S, Fill),
+            t!(S, LocalRead, S, Hit),
+            t!(O, LocalRead, O, Hit),
+            t!(M, LocalRead, M, Hit),
+            t!(I, LocalWrite, M, InvalidateSharers),
+            t!(S, LocalWrite, M, InvalidateSharers),
+            t!(O, LocalWrite, M, InvalidateSharers),
+            t!(M, LocalWrite, M, Hit),
+            t!(I, RemoteRead, I, Action::None),
+            t!(S, RemoteRead, S, Action::None),
+            t!(O, RemoteRead, O, SupplyToPeer),
+            t!(M, RemoteRead, O, SupplyToPeer),
+            t!(I, RemoteWrite, I, Action::None),
+            t!(S, RemoteWrite, I, Action::Invalidate),
+            t!(O, RemoteWrite, I, SupplyToPeer),
+            t!(M, RemoteWrite, I, SupplyToPeer),
+            t!(S, Evict, I, InstallVictim),
+            t!(O, Evict, I, WritebackVictim),
+            t!(M, Evict, I, WritebackVictim),
+            t!(I, IoInvalidate, I, Action::None),
+            t!(S, IoInvalidate, I, Action::Invalidate),
+            t!(O, IoInvalidate, I, Action::Invalidate),
+            t!(M, IoInvalidate, I, Action::Invalidate),
+        ],
+        impossible: &[(I, Event::Evict)],
+    }
+};
+
+/// Result of applying a local event: the local transition taken plus the
+/// peers whose copies the event invalidated.
+#[derive(Debug)]
+pub struct ApplyOutcome<S: 'static> {
+    /// The transition the acting cache took.
+    pub local: &'static Transition<S>,
+    /// Peers that went from valid to invalid (the simulator must drop
+    /// their cached lines).
+    pub invalidated: Vec<u32>,
+    /// The peer that supplied the data, if any (it held M or O).
+    pub supplier: Option<u32>,
+}
+
+/// Table-driven tracker of one protocol's per-block, per-cache states.
+///
+/// The engine is the *only* component that advances coherence state in
+/// the simulators; every step is a table lookup, so the imperative
+/// simulators cannot diverge from the checked tables.
+#[derive(Debug)]
+pub struct ProtocolEngine<S: ProtocolState> {
+    spec: &'static ProtocolSpec<S>,
+    agents: u32,
+    /// Per-block agent states; absent entry = all agents in `initial`.
+    /// Entries whose agents are all invalid are dropped to keep the map
+    /// bounded by live sharing, not footprint.
+    states: HashMap<Block, Vec<S>>,
+}
+
+impl<S: ProtocolState> ProtocolEngine<S> {
+    /// Creates an engine for `agents` caches, all blocks Invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is zero or greater than 32.
+    pub fn new(spec: &'static ProtocolSpec<S>, agents: u32) -> Self {
+        assert!((1..=32).contains(&agents), "agent count must be in 1..=32");
+        ProtocolEngine {
+            spec,
+            agents,
+            states: HashMap::new(),
+        }
+    }
+
+    /// The protocol table this engine runs.
+    pub fn spec(&self) -> &'static ProtocolSpec<S> {
+        self.spec
+    }
+
+    /// The state `agent` holds `block` in.
+    pub fn state(&self, agent: u32, block: Block) -> S {
+        debug_assert!(agent < self.agents);
+        self.states
+            .get(&block)
+            .map_or(self.spec.initial, |v| v[agent as usize])
+    }
+
+    /// The agent owning the block (M or O state), if any.
+    pub fn owner(&self, block: Block) -> Option<u32> {
+        let v = self.states.get(&block)?;
+        v.iter().position(|s| s.is_owner()).map(|i| i as u32)
+    }
+
+    /// Whether any agent other than `agent` holds a valid copy.
+    pub fn other_valid(&self, agent: u32, block: Block) -> bool {
+        self.states.get(&block).is_some_and(|v| {
+            v.iter()
+                .enumerate()
+                .any(|(i, s)| i as u32 != agent && s.is_valid())
+        })
+    }
+
+    /// Number of distinct blocks with at least one valid copy.
+    pub fn live_blocks(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Applies `event` at `agent` and the induced remote event at every
+    /// other agent, all by table lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table declares any implied `(state, event)` pair
+    /// impossible — i.e. the simulator drove the protocol into a state
+    /// the tables forbid.
+    pub fn apply(&mut self, agent: u32, block: Block, event: Event) -> ApplyOutcome<S> {
+        debug_assert!(agent < self.agents);
+        let remote = match event {
+            Event::LocalRead => Some(Event::RemoteRead),
+            Event::LocalWrite => Some(Event::RemoteWrite),
+            Event::Evict | Event::IoInvalidate => None,
+            Event::RemoteRead | Event::RemoteWrite => {
+                panic!("remote events are induced, not applied directly")
+            }
+        };
+        let agents = self.agents as usize;
+        let v = self
+            .states
+            .entry(block)
+            .or_insert_with(|| vec![self.spec.initial; agents]);
+        let local = self
+            .spec
+            .transition(v[agent as usize], event)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{}: ({:?}, {event:?}) at agent {agent} is declared impossible",
+                    self.spec.name, v[agent as usize]
+                )
+            });
+        v[agent as usize] = local.to;
+        let mut invalidated = Vec::new();
+        let mut supplier = None;
+        if let Some(remote) = remote {
+            for (i, s) in v.iter_mut().enumerate() {
+                if i as u32 == agent {
+                    continue;
+                }
+                let t = self
+                    .spec
+                    .transition(*s, remote)
+                    .expect("remote events must be total over all states");
+                if t.action == Action::SupplyToPeer {
+                    debug_assert!(supplier.is_none(), "two suppliers for one block");
+                    supplier = Some(i as u32);
+                }
+                if s.is_valid() && !t.to.is_valid() {
+                    invalidated.push(i as u32);
+                }
+                *s = t.to;
+            }
+        }
+        if v.iter().all(|s| !s.is_valid()) {
+            self.states.remove(&block);
+        }
+        ApplyOutcome {
+            local,
+            invalidated,
+            supplier,
+        }
+    }
+
+    /// Applies an [`Event::IoInvalidate`] to every agent, returning the
+    /// agents that held valid copies.
+    pub fn apply_io_invalidate(&mut self, block: Block) -> Vec<u32> {
+        let Some(v) = self.states.get_mut(&block) else {
+            return Vec::new();
+        };
+        let mut dropped = Vec::new();
+        for (i, s) in v.iter_mut().enumerate() {
+            let t = self
+                .spec
+                .transition(*s, Event::IoInvalidate)
+                .expect("IoInvalidate must be total over all states");
+            if s.is_valid() && !t.to.is_valid() {
+                dropped.push(i as u32);
+            }
+            *s = t.to;
+        }
+        if v.iter().all(|s| !s.is_valid()) {
+            self.states.remove(&block);
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: Block = Block::new(7);
+
+    #[test]
+    fn tables_are_total() {
+        for s in MSI.states {
+            for e in Event::ALL {
+                let handled = MSI.transitions.iter().any(|t| t.from == *s && t.event == e);
+                let imp = MSI.impossible.contains(&(*s, e));
+                assert!(handled ^ imp, "MSI ({s:?}, {e:?}) coverage");
+            }
+        }
+        for s in MOSI.states {
+            for e in Event::ALL {
+                let handled = MOSI
+                    .transitions
+                    .iter()
+                    .any(|t| t.from == *s && t.event == e);
+                let imp = MOSI.impossible.contains(&(*s, e));
+                assert!(handled ^ imp, "MOSI ({s:?}, {e:?}) coverage");
+            }
+        }
+    }
+
+    #[test]
+    fn msi_write_invalidates_sharers() {
+        let mut e = ProtocolEngine::new(&MSI, 4);
+        e.apply(0, B, Event::LocalRead);
+        e.apply(1, B, Event::LocalRead);
+        let out = e.apply(2, B, Event::LocalWrite);
+        assert_eq!(out.invalidated, vec![0, 1]);
+        assert_eq!(e.state(2, B), MsiState::M);
+        assert_eq!(e.owner(B), Some(2));
+    }
+
+    #[test]
+    fn mosi_peer_read_downgrades_owner() {
+        let mut e = ProtocolEngine::new(&MOSI, 4);
+        e.apply(0, B, Event::LocalWrite);
+        assert_eq!(e.state(0, B), MosiState::M);
+        let out = e.apply(1, B, Event::LocalRead);
+        assert_eq!(out.supplier, Some(0));
+        assert_eq!(e.state(0, B), MosiState::O);
+        assert_eq!(e.state(1, B), MosiState::S);
+        assert_eq!(e.owner(B), Some(0));
+    }
+
+    #[test]
+    fn owner_eviction_clears_ownership() {
+        let mut e = ProtocolEngine::new(&MOSI, 2);
+        e.apply(0, B, Event::LocalWrite);
+        let out = e.apply(0, B, Event::Evict);
+        assert_eq!(out.local.action, Action::WritebackVictim);
+        assert_eq!(e.owner(B), None);
+        assert_eq!(e.state(0, B), MosiState::I);
+    }
+
+    #[test]
+    fn all_invalid_entries_are_dropped() {
+        let mut e = ProtocolEngine::new(&MOSI, 2);
+        e.apply(0, B, Event::LocalRead);
+        assert_eq!(e.live_blocks(), 1);
+        e.apply(0, B, Event::Evict);
+        assert_eq!(e.live_blocks(), 0, "all-invalid block must be dropped");
+        assert_eq!(e.apply_io_invalidate(B), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn io_invalidate_drops_every_copy() {
+        let mut e = ProtocolEngine::new(&MSI, 3);
+        e.apply(0, B, Event::LocalRead);
+        e.apply(1, B, Event::LocalRead);
+        assert_eq!(e.apply_io_invalidate(B), vec![0, 1]);
+        assert_eq!(e.live_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn evicting_invalid_line_panics() {
+        let mut e = ProtocolEngine::new(&MSI, 2);
+        e.apply(0, B, Event::Evict);
+    }
+}

@@ -5,6 +5,13 @@
 //! its owner's L1 and is supplied core-to-core on a peer read; the hierarchy
 //! is non-inclusive (L1 victims are installed into the L2).
 //!
+//! All coherence-state transitions are driven by the declarative
+//! [`MOSI`] table through a [`ProtocolEngine`]: the simulator feeds
+//! events, acts on the returned [`Action`]s (who to invalidate, who
+//! supplies, whether a victim writes back), and `debug_assert!`s that the
+//! cache structures agree with the table-tracked states. The same table
+//! is model-checked exhaustively by `tempstream-checker`.
+//!
 //! The simulator produces the paper's two traces at once:
 //!
 //! - **off-chip** misses — L1+L2 misses, classified at *chip* granularity
@@ -17,7 +24,7 @@
 //!   trace, mirroring Figure 1 (right)'s "Off-chip" segment.
 
 use crate::history::HistoryTracker;
-use std::collections::HashMap;
+use crate::protocol::{Action, Event, MosiState, ProtocolEngine, ProtocolState, MOSI};
 use tempstream_cache::{CacheConfig, SetAssocCache};
 use tempstream_trace::{
     AccessKind, Block, IntraChipClass, MemoryAccess, MissClass, MissRecord, MissTrace,
@@ -84,8 +91,11 @@ pub struct SingleChipSim {
     config: SingleChipConfig,
     l1s: Vec<SetAssocCache<()>>,
     l2: SetAssocCache<()>,
-    /// Core whose L1 holds the block dirty (MOSI M or O state).
-    owner: HashMap<Block, u32>,
+    /// Per-core MOSI states, advanced exclusively by the declarative
+    /// [`MOSI`] table. Ownership (M/O) queries replace the old ad-hoc
+    /// `owner` map, so stale-owner bugs are structurally impossible: the
+    /// engine observes every eviction and invalidation as an event.
+    engine: ProtocolEngine<MosiState>,
     /// Chip-granularity history (off-chip classification).
     chip_history: HistoryTracker,
     /// Core-granularity history (intra-chip cause classification).
@@ -111,7 +121,7 @@ impl SingleChipSim {
                 .map(|_| SetAssocCache::new(config.l1))
                 .collect(),
             l2: SetAssocCache::new(config.l2),
-            owner: HashMap::new(),
+            engine: ProtocolEngine::new(&MOSI, config.cores),
             chip_history: HistoryTracker::new(1),
             core_history: HistoryTracker::new(config.cores),
             off_chip: MissTrace::new(config.cores),
@@ -130,6 +140,15 @@ impl SingleChipSim {
     /// The system configuration.
     pub fn config(&self) -> &SingleChipConfig {
         &self.config
+    }
+
+    /// The core whose L1 owns `block` (MOSI M or O state), if any.
+    ///
+    /// Exposed for invariant-driven tests: the returned core's L1 always
+    /// contains the block (the engine sees every eviction as an event, so
+    /// ownership can never go stale).
+    pub fn owner(&self, block: Block) -> Option<u32> {
+        self.engine.owner(block)
     }
 
     /// Simulates one memory access.
@@ -177,25 +196,34 @@ impl SingleChipSim {
         let core = a.cpu.raw();
         debug_assert!((core as usize) < self.l1s.len(), "core {core} out of range");
         if self.l1s[core as usize].touch(block).is_some() {
+            // Differential hook: an L1 hit must be a table-level Hit.
+            let out = self.engine.apply(core, block, Event::LocalRead);
+            debug_assert_eq!(out.local.action, Action::Hit, "L1 hit in invalid state");
             self.record_reads(core, block);
             return;
         }
+        // Differential hook: L1 residency and table state agree.
+        debug_assert!(
+            !self.engine.state(core, block).is_valid(),
+            "L1 miss while the table holds a valid state"
+        );
 
         // L1 miss: classify the cause at core granularity, then find the
-        // responder.
+        // responder from the protocol state.
         let cause = self.core_history.classify_read(core, block);
         let coherence_cause = cause == MissClass::Coherence;
 
-        let peer_owner = self
-            .owner
-            .get(&block)
-            .copied()
-            .filter(|&o| o != core && self.l1s[o as usize].contains(block));
+        let peer_owner = self.engine.owner(block);
+        debug_assert!(
+            peer_owner.is_none_or(|o| o != core && self.l1s[o as usize].contains(block)),
+            "stale owner: table owner's L1 does not hold the block"
+        );
         let in_l2 = self.l2.touch(block).is_some();
-        let clean_peer = !in_l2
-            && peer_owner.is_none()
-            && (0..self.config.cores)
-                .any(|c| c != core && self.l1s[c as usize].contains(block));
+        debug_assert!(
+            !(in_l2 && peer_owner.is_some_and(|o| self.engine.state(o, block).is_writable())),
+            "L2 holds a copy of an M-state block"
+        );
+        let clean_peer = !in_l2 && peer_owner.is_none() && self.engine.other_valid(core, block);
 
         let on_chip = peer_owner.is_some() || in_l2 || clean_peer;
         let intra_class = if !on_chip {
@@ -240,6 +268,14 @@ impl SingleChipSim {
             self.l2.insert(block, ());
         }
 
+        // Table step: requester I -> S; a dirty peer (if any) supplies the
+        // data and downgrades M -> O.
+        let out = self.engine.apply(core, block, Event::LocalRead);
+        debug_assert_eq!(out.local.action, Action::Fill);
+        debug_assert_eq!(
+            out.supplier, peer_owner,
+            "table supplier disagrees with the responder used for classification"
+        );
         // Fill the requesting L1 (data came from a peer, the L2, or
         // memory); install the L1 victim into the non-inclusive L2.
         self.fill_l1(core, block);
@@ -249,11 +285,18 @@ impl SingleChipSim {
     fn fill_l1(&mut self, core: u32, block: Block) {
         if let Some((victim, ())) = self.l1s[core as usize].insert(block, ()) {
             // Non-inclusive hierarchy: L1 victims are installed in the L2.
-            // A dirty victim (this core owns it) is written back; ownership
-            // moves to the L2 (plain data in our model).
-            if self.owner.get(&victim) == Some(&core) {
-                self.owner.remove(&victim);
-            }
+            // The table decides what the eviction means: a dirty victim
+            // (M/O) is written back — ownership moves to the L2 (plain
+            // data in our model) — and a clean one is a victim-cache
+            // install.
+            let out = self.engine.apply(core, victim, Event::Evict);
+            debug_assert!(
+                matches!(
+                    out.local.action,
+                    Action::WritebackVictim | Action::InstallVictim
+                ),
+                "eviction of a valid line must write back or install"
+            );
             if self.l2.peek_mut(victim).is_none() {
                 self.l2.insert(victim, ());
             }
@@ -261,29 +304,49 @@ impl SingleChipSim {
     }
 
     fn write(&mut self, core: u32, block: Block) {
-        // Invalidate every other L1 copy; the writer's L1 takes the block
-        // in M state. The L2 copy is stale after the write: ownership lives
-        // in the L1 (non-inclusive), so drop it.
-        for c in 0..self.config.cores {
-            if c != core {
-                self.l1s[c as usize].invalidate(block);
-            }
-        }
-        self.l2.invalidate(block);
+        // Write-allocate: bring the line into the writer's L1 first (the
+        // victim eviction is a table event of its own).
         if self.l1s[core as usize].touch(block).is_none() {
             self.fill_l1(core, block);
         }
-        self.owner.insert(block, core);
+        // Table step: writer -> M; every valid peer copy is invalidated.
+        let out = self.engine.apply(core, block, Event::LocalWrite);
+        for c in &out.invalidated {
+            self.l1s[*c as usize].invalidate(block);
+        }
+        match out.local.action {
+            Action::InvalidateSharers => {
+                // The L2 copy (if any) is stale after the write: ownership
+                // lives in the L1 (non-inclusive), so drop it.
+                self.l2.invalidate(block);
+            }
+            Action::Hit => {
+                // Write hit in M: the invariant "M implies no L2 copy"
+                // makes the L2 invalidate unnecessary.
+                debug_assert!(
+                    !self.l2.contains(block),
+                    "M-state write hit while the L2 holds a copy"
+                );
+            }
+            other => debug_assert!(false, "unexpected write action {other:?}"),
+        }
+        // Differential hook: peers the table did not invalidate must not
+        // hold the block.
+        debug_assert!((0..self.config.cores).all(|c| {
+            c == core || out.invalidated.contains(&c) || !self.l1s[c as usize].contains(block)
+        }));
         self.chip_history.record_write(0, block);
         self.core_history.record_write(core, block);
     }
 
     fn invalidate_chip(&mut self, block: Block) {
-        for c in 0..self.config.cores {
+        for c in self.engine.apply_io_invalidate(block) {
             self.l1s[c as usize].invalidate(block);
         }
         self.l2.invalidate(block);
-        self.owner.remove(&block);
+        // Differential hook: after an I/O invalidate no L1 may hold the
+        // block.
+        debug_assert!((0..self.config.cores).all(|c| !self.l1s[c as usize].contains(block)));
     }
 }
 
@@ -466,5 +529,28 @@ mod tests {
         let t = sim.finish(5000);
         assert_eq!(t.off_chip.instructions(), 5000);
         assert_eq!(t.intra_chip.instructions(), 5000);
+    }
+
+    #[test]
+    fn owner_is_never_stale_after_evictions() {
+        // Regression for the stale-owner audit: drive enough traffic to
+        // evict owning lines repeatedly; the table-tracked owner must
+        // always point at an L1 that actually holds the block.
+        let mut sim = SingleChipSim::new(SingleChipConfig::small(2));
+        for i in 0..2000u64 {
+            let cpu = (i % 2) as u32;
+            let addr = (i * 131 % 500) * 64;
+            if i % 5 == 0 {
+                sim.access(&write(cpu, addr));
+            } else {
+                sim.access(&read(cpu, addr));
+            }
+            // The owner query itself debug_asserts L1 residency inside
+            // read(); here we check the exposed accessor directly.
+            let block = Block::new(addr / 64);
+            if let Some(o) = sim.owner(block) {
+                assert!((o as usize) < 2);
+            }
+        }
     }
 }

@@ -1,7 +1,6 @@
 //! Distribution helpers for Figure 4: a weighted stream-length CDF and a
 //! log-decade-binned reuse-distance PDF.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Reuse distances beyond this are dropped, as in the paper ("such
@@ -10,7 +9,7 @@ pub const REUSE_TRUNCATION: u64 = 10_000_000;
 
 /// A cumulative distribution of stream lengths, weighted by each length's
 /// total miss contribution (Figure 4, left).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LengthCdf {
     weights: BTreeMap<u64, u64>,
     total: u64,
@@ -38,11 +37,7 @@ impl LengthCdf {
         if self.total == 0 {
             return 0.0;
         }
-        let below: u64 = self
-            .weights
-            .range(..=len)
-            .map(|(_, w)| *w)
-            .sum();
+        let below: u64 = self.weights.range(..=len).map(|(_, w)| *w).sum();
         below as f64 / self.total as f64
     }
 
@@ -98,7 +93,7 @@ impl LengthCdf {
 
 /// A probability density over reuse distances, log-decade binned (Figure
 /// 4, right: bins 1, 10, 10^2, ..., 10^7).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ReuseDistancePdf {
     /// `bins[k]` holds weight for distances in `[10^k, 10^(k+1))`;
     /// distance 0 lands in bin 0.

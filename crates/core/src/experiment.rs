@@ -215,7 +215,10 @@ impl Experiment {
             breakdown: MissClassBreakdown::of_trace(&sc_traces.off_chip),
             total_misses: sc_traces.off_chip.len(),
             streams: analyze_stream_results(
-                cap(sc_traces.off_chip.records(), self.config.max_analysis_misses),
+                cap(
+                    sc_traces.off_chip.records(),
+                    self.config.max_analysis_misses,
+                ),
                 sc_traces.off_chip.num_cpus(),
                 &sc_symbols,
                 workload,
@@ -256,7 +259,8 @@ impl Experiment {
         workload: Workload,
         scale: Scale,
     ) -> (MissTrace<tempstream_trace::MissClass>, SymbolTable) {
-        let mut session = WorkloadSession::new(workload, self.config.multi_chip.nodes, self.config.seed);
+        let mut session =
+            WorkloadSession::new(workload, self.config.multi_chip.nodes, self.config.seed);
         let mut sim = MultiChipSim::new(self.config.multi_chip);
         sim.set_recording(false);
         session.run(&mut sim, scale.warmup_ops);
@@ -269,7 +273,10 @@ impl Experiment {
         &self,
         workload: Workload,
         scale: Scale,
-    ) -> (tempstream_coherence::single_chip::SingleChipTraces, SymbolTable) {
+    ) -> (
+        tempstream_coherence::single_chip::SingleChipTraces,
+        SymbolTable,
+    ) {
         let mut session =
             WorkloadSession::new(workload, self.config.single_chip.cores, self.config.seed);
         let mut sim = SingleChipSim::new(self.config.single_chip);

@@ -8,13 +8,12 @@
 //! temporal stream". This module produces that per-function view.
 
 use crate::streams::StreamLabel;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{FunctionId, MissCategory, SymbolTable};
 
 /// Per-function miss and stream counts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FunctionRow {
     /// The function.
     pub function: FunctionId,
@@ -40,7 +39,7 @@ impl FunctionRow {
 }
 
 /// A per-function origin table, sorted by miss count descending.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FunctionTable {
     rows: Vec<FunctionRow>,
     total_misses: u64,
@@ -58,7 +57,11 @@ impl FunctionTable {
         labels: &[StreamLabel],
         symbols: &SymbolTable,
     ) -> Self {
-        assert_eq!(records.len(), labels.len(), "labels must align with records");
+        assert_eq!(
+            records.len(),
+            labels.len(),
+            "labels must align with records"
+        );
         let mut counts: HashMap<FunctionId, (u64, u64)> = HashMap::new();
         for (r, &label) in records.iter().zip(labels) {
             let e = counts.entry(r.function).or_insert((0, 0));

@@ -7,12 +7,11 @@
 //! category *and* in a temporal stream — the two columns of Tables 3-5.
 
 use crate::streams::StreamLabel;
-use serde::{Deserialize, Serialize};
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{AppClass, MissCategory, SymbolTable};
 
 /// One row of an origin table.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OriginRow {
     /// The category.
     pub category: MissCategory,
@@ -53,7 +52,7 @@ impl OriginRow {
 }
 
 /// An origin table for one workload/context pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OriginTable {
     /// Application class (selects the category row set).
     pub app_class: AppClass,
@@ -76,7 +75,11 @@ impl OriginTable {
         symbols: &SymbolTable,
         app_class: AppClass,
     ) -> Self {
-        assert_eq!(records.len(), labels.len(), "labels must align with records");
+        assert_eq!(
+            records.len(),
+            labels.len(),
+            "labels must align with records"
+        );
         let categories = MissCategory::for_app(app_class);
         let index_of = |c: MissCategory| categories.iter().position(|&x| x == c);
         let mut rows: Vec<OriginRow> = categories
@@ -139,7 +142,12 @@ mod tests {
         let mut sym = SymbolTable::new();
         let f_copy = sym.intern("memcpy", MissCategory::BulkMemoryCopy);
         let f_poll = sym.intern("poll", MissCategory::SystemCall);
-        let records = vec![record(f_copy), record(f_copy), record(f_poll), record(f_poll)];
+        let records = vec![
+            record(f_copy),
+            record(f_copy),
+            record(f_poll),
+            record(f_poll),
+        ];
         let labels = vec![
             StreamLabel::NewStream,
             StreamLabel::RecurringStream,

@@ -3,12 +3,11 @@
 
 use crate::distribution::{LengthCdf, ReuseDistancePdf};
 use crate::origins::OriginTable;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tempstream_trace::{IntraChipClass, MissClass, MissTrace};
 
 /// Figure 1 (left): off-chip read misses per 1000 instructions by class.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MissClassBreakdown {
     counts: [u64; 4],
     instructions: u64,
@@ -35,7 +34,10 @@ impl MissClassBreakdown {
 
     /// Misses of `class`.
     pub fn count(&self, class: MissClass) -> u64 {
-        let i = MissClass::ALL.iter().position(|&c| c == class).expect("in ALL");
+        let i = MissClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("in ALL");
         self.counts[i]
     }
 
@@ -89,7 +91,7 @@ impl fmt::Display for MissClassBreakdown {
 
 /// Figure 1 (right): intra-chip L1 misses per 1000 instructions by cause
 /// and responder.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IntraClassBreakdown {
     counts: [u64; 4],
     instructions: u64,
@@ -172,7 +174,7 @@ impl fmt::Display for IntraClassBreakdown {
 }
 
 /// Figure 2: fraction of misses in temporal streams.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StreamFractionReport {
     /// Misses outside any stream.
     pub non_repetitive: u64,
@@ -223,7 +225,7 @@ impl fmt::Display for StreamFractionReport {
 }
 
 /// Figure 3: joint strided × repetitive breakdown.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StrideJointReport {
     /// Not in a stream, not strided.
     pub non_repetitive_non_strided: u64,
@@ -303,7 +305,12 @@ pub fn format_reuse_pdf(pdf: &ReuseDistancePdf) -> String {
     use fmt::Write;
     let mut s = String::new();
     for (decade, frac) in pdf.decades() {
-        let _ = writeln!(s, "    dist ~10^{}: {:>5.1}%", decade.ilog10(), frac * 100.0);
+        let _ = writeln!(
+            s,
+            "    dist ~10^{}: {:>5.1}%",
+            decade.ilog10(),
+            frac * 100.0
+        );
     }
     let _ = writeln!(
         s,

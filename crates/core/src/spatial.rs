@@ -249,8 +249,7 @@ mod tests {
     fn strided_scan_has_dense_recurring_patterns() {
         // A full-region scan repeated with the same trigger: dense pattern,
         // predicted on recurrence.
-        let scan: Vec<MissRecord<MissClass>> =
-            (0..REGION_BLOCKS).map(|b| rec(b, 7)).collect();
+        let scan: Vec<MissRecord<MissClass>> = (0..REGION_BLOCKS).map(|b| rec(b, 7)).collect();
         let mut records = scan.clone();
         records.extend(filler(1, GENERATION_GAP + 10));
         records.extend(scan);

@@ -197,11 +197,7 @@ impl StreamAnalysis {
 }
 
 /// Marks `rule` and every rule reachable from it as seen.
-fn mark_seen(
-    grammar: &tempstream_sequitur::Grammar,
-    rule: RuleId,
-    seen: &mut [bool],
-) {
+fn mark_seen(grammar: &tempstream_sequitur::Grammar, rule: RuleId, seen: &mut [bool]) {
     let mut stack = vec![rule];
     while let Some(r) = stack.pop() {
         if seen[r.index()] {
@@ -323,9 +319,7 @@ mod tests {
     fn nested_rule_first_emission_counts_as_new() {
         // "abab" then later "ab" alone: the "ab" rule was already emitted
         // inside the bigger stream, so its standalone occurrence recurs.
-        let a = StreamAnalysis::of_trace(&seq(&[
-            1, 2, 1, 2, 5, 1, 2, 1, 2, 6, 1, 2,
-        ]));
+        let a = StreamAnalysis::of_trace(&seq(&[1, 2, 1, 2, 5, 1, 2, 1, 2, 6, 1, 2]));
         // The final [1,2] occurrence must be Recurring, not New.
         let last = a.occurrences().last().unwrap();
         assert_eq!(last.start, 10);

@@ -74,7 +74,7 @@ impl TemporalPrefetcher {
             index: HashMap::new(),
             capacity: 4_000_000,
             policy,
-        engines: Vec::new(),
+            engines: Vec::new(),
         }
     }
 
@@ -100,7 +100,8 @@ impl TemporalPrefetcher {
 impl Prefetcher for TemporalPrefetcher {
     fn on_miss(&mut self, cpu: CpuId, block: Block) -> Vec<Block> {
         if self.engines.len() <= cpu.index() {
-            self.engines.resize(cpu.index() + 1, StreamEngine::default());
+            self.engines
+                .resize(cpu.index() + 1, StreamEngine::default());
         }
 
         // Locate the previous occurrence before logging this miss.
@@ -203,7 +204,7 @@ mod tests {
             p.on_miss(c0(), b(x));
         }
         p.on_miss(c0(), b(1000)); // break
-        // Second occurrence: the engine keeps supplying as we follow.
+                                  // Second occurrence: the engine keeps supplying as we follow.
         let mut covered = 0;
         let mut predicted: std::collections::HashSet<Block> = Default::default();
         for &x in &stream {
@@ -230,7 +231,10 @@ mod tests {
         // keep issuing along the stale path.
         p.on_miss(c0(), b(1));
         let out = p.on_miss(c0(), b(777));
-        assert!(out.is_empty(), "divergent miss must stop the engine: {out:?}");
+        assert!(
+            out.is_empty(),
+            "divergent miss must stop the engine: {out:?}"
+        );
     }
 
     #[test]

@@ -126,9 +126,9 @@ impl Sequitur {
                 let n = &self.nodes[cur as usize];
                 body.push(match n.payload {
                     Payload::Terminal(t) => GrammarSymbol::Terminal(t),
-                    Payload::NonTerminal(rid) => GrammarSymbol::Rule(
-                        mapping[rid as usize].expect("reference to dead rule"),
-                    ),
+                    Payload::NonTerminal(rid) => {
+                        GrammarSymbol::Rule(mapping[rid as usize].expect("reference to dead rule"))
+                    }
                     Payload::Guard(_) => unreachable!("guard inside rule body"),
                 });
                 cur = n.next;
@@ -457,7 +457,10 @@ impl Sequitur {
                 cur = n.next;
                 pos += 1;
                 body_len += 1;
-                assert!(body_len <= self.nodes.len(), "cycle without guard in rule {rid}");
+                assert!(
+                    body_len <= self.nodes.len(),
+                    "cycle without guard in rule {rid}"
+                );
             }
             assert!(
                 rid == 0 || body_len >= 2,
@@ -595,6 +598,9 @@ mod tests {
             b.push(x);
         }
         assert_eq!(a.input_len(), b.input_len());
-        assert_eq!(a.into_grammar().reconstruct(), b.into_grammar().reconstruct());
+        assert_eq!(
+            a.into_grammar().reconstruct(),
+            b.into_grammar().reconstruct()
+        );
     }
 }

@@ -236,10 +236,7 @@ mod tests {
         let depth = 50;
         let mut bodies = Vec::new();
         for i in 0..depth {
-            bodies.push(vec![
-                Rule(RuleId::new(i + 1)),
-                Rule(RuleId::new(i + 1)),
-            ]);
+            bodies.push(vec![Rule(RuleId::new(i + 1)), Rule(RuleId::new(i + 1))]);
         }
         bodies.push(vec![Terminal(1), Terminal(2)]);
         // Hierarchy above is not a valid SEQUITUR output (root reused), but
@@ -252,10 +249,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cyclic")]
     fn cycle_detected() {
-        Grammar::from_bodies(vec![
-            vec![Rule(RuleId::new(1))],
-            vec![Rule(RuleId::new(1))],
-        ]);
+        Grammar::from_bodies(vec![vec![Rule(RuleId::new(1))], vec![Rule(RuleId::new(1))]]);
     }
 
     #[test]

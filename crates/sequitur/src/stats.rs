@@ -140,9 +140,13 @@ mod tests {
 
     #[test]
     fn high_compression_on_periodic_input() {
-        let input: Vec<u64> = [7u64, 8, 9, 10].repeat(64).to_vec();
+        let input: Vec<u64> = [7u64, 8, 9, 10].repeat(64);
         let s = stats_of(&input);
-        assert!(s.compression_ratio() > 5.0, "ratio {:.2}", s.compression_ratio());
+        assert!(
+            s.compression_ratio() > 5.0,
+            "ratio {:.2}",
+            s.compression_ratio()
+        );
         assert!(s.max_depth >= 2);
     }
 

@@ -1,45 +1,66 @@
-//! Property-based tests for the SEQUITUR implementation.
+//! Randomized property tests for the SEQUITUR implementation.
 //!
 //! The lossless-reconstruction property plus the two grammar invariants
 //! (digram uniqueness, rule utility) fully characterize a correct SEQUITUR;
 //! small alphabets maximize repetition and stress the reduction machinery.
+//! Inputs come from the in-tree seeded PRNG, so every run checks the same
+//! deterministic corpus.
 
-use proptest::prelude::*;
 use tempstream_sequitur::{GrammarSymbol, RuleId, Sequitur};
+use tempstream_trace::rng::SmallRng;
 
-proptest! {
-    /// Reconstruction is lossless for arbitrary inputs over a tiny alphabet
-    /// (alphabet size 2-4 forces heavy rule churn, including runs and
-    /// overlapping digrams).
-    #[test]
-    fn reconstruct_tiny_alphabet(input in proptest::collection::vec(0u64..3, 0..400)) {
+fn gen_input(rng: &mut SmallRng, alphabet: u64, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen_range(0..alphabet)).collect()
+}
+
+/// Reconstruction is lossless for arbitrary inputs over a tiny alphabet
+/// (alphabet size 2-4 forces heavy rule churn, including runs and
+/// overlapping digrams).
+#[test]
+fn reconstruct_tiny_alphabet() {
+    let mut rng = SmallRng::seed_from_u64(0x5e91);
+    for _ in 0..256 {
+        let input = gen_input(&mut rng, 3, 400);
         let mut s = Sequitur::new();
         s.extend(input.iter().copied());
-        prop_assert_eq!(s.into_grammar().reconstruct(), input);
+        assert_eq!(s.into_grammar().reconstruct(), input);
     }
+}
 
-    /// Reconstruction is lossless for a mid-size alphabet.
-    #[test]
-    fn reconstruct_mid_alphabet(input in proptest::collection::vec(0u64..50, 0..600)) {
+/// Reconstruction is lossless for a mid-size alphabet.
+#[test]
+fn reconstruct_mid_alphabet() {
+    let mut rng = SmallRng::seed_from_u64(0x5e92);
+    for _ in 0..128 {
+        let input = gen_input(&mut rng, 50, 600);
         let mut s = Sequitur::new();
         s.extend(input.iter().copied());
-        prop_assert_eq!(s.into_grammar().reconstruct(), input);
+        assert_eq!(s.into_grammar().reconstruct(), input);
     }
+}
 
-    /// Both grammar invariants hold after every single push.
-    #[test]
-    fn invariants_after_every_push(input in proptest::collection::vec(0u64..4, 0..120)) {
+/// Both grammar invariants hold after every single push.
+#[test]
+fn invariants_after_every_push() {
+    let mut rng = SmallRng::seed_from_u64(0x5e93);
+    for _ in 0..128 {
+        let input = gen_input(&mut rng, 4, 120);
         let mut s = Sequitur::new();
         for x in input {
             s.push(x);
             s.verify_invariants();
         }
     }
+}
 
-    /// Every non-root rule expands to at least two symbols and is referenced
-    /// at least twice in the final grammar.
-    #[test]
-    fn final_rules_are_useful(input in proptest::collection::vec(0u64..5, 0..300)) {
+/// Every non-root rule expands to at least two symbols and is referenced
+/// at least twice in the final grammar.
+#[test]
+fn final_rules_are_useful() {
+    let mut rng = SmallRng::seed_from_u64(0x5e94);
+    for _ in 0..256 {
+        let input = gen_input(&mut rng, 5, 300);
         let mut s = Sequitur::new();
         s.extend(input.iter().copied());
         let g = s.into_grammar();
@@ -47,47 +68,58 @@ proptest! {
         for r in g.rule_ids() {
             for sym in g.rule_body(r) {
                 if let GrammarSymbol::Rule(sub) = sym {
-                    prop_assert!(!sub.is_root(), "root referenced from a body");
+                    assert!(!sub.is_root(), "root referenced from a body");
                     refs[sub.index()] += 1;
                 }
             }
         }
         for r in g.rule_ids().skip(1) {
-            prop_assert!(g.rule_body(r).len() >= 2, "rule {r} body too short");
-            prop_assert!(g.expansion_len(r) >= 2, "rule {r} expands to < 2");
-            prop_assert!(refs[r.index()] >= 2, "rule {r} used {} times", refs[r.index()]);
+            assert!(g.rule_body(r).len() >= 2, "rule {r} body too short");
+            assert!(g.expansion_len(r) >= 2, "rule {r} expands to < 2");
+            assert!(
+                refs[r.index()] >= 2,
+                "rule {r} used {} times",
+                refs[r.index()]
+            );
         }
     }
+}
 
-    /// Pushing a sequence twice yields a grammar whose root contains a rule
-    /// covering the repetition (compression actually happens).
-    #[test]
-    fn doubled_sequence_compresses(
-        base in proptest::collection::vec(0u64..1000, 2..100),
-    ) {
+/// Pushing a sequence twice yields a grammar whose root contains a rule
+/// covering the repetition (compression actually happens).
+#[test]
+fn doubled_sequence_compresses() {
+    let mut rng = SmallRng::seed_from_u64(0x5e95);
+    for _ in 0..256 {
+        let len = rng.gen_range(2..100usize);
+        let base: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000)).collect();
         let mut s = Sequitur::new();
         s.extend(base.iter().copied());
         s.extend(base.iter().copied());
         let g = s.into_grammar();
-        prop_assert!(
+        assert!(
             g.rule_count() >= 2,
             "doubled sequence of len {} produced no rules",
             base.len()
         );
         let mut out = g.reconstruct();
         let second = out.split_off(base.len());
-        prop_assert_eq!(&out, &base);
-        prop_assert_eq!(&second, &base);
+        assert_eq!(&out, &base);
+        assert_eq!(&second, &base);
     }
+}
 
-    /// The root expansion length always equals the input length.
-    #[test]
-    fn root_length_matches_input(input in proptest::collection::vec(0u64..8, 0..500)) {
+/// The root expansion length always equals the input length.
+#[test]
+fn root_length_matches_input() {
+    let mut rng = SmallRng::seed_from_u64(0x5e96);
+    for _ in 0..256 {
+        let input = gen_input(&mut rng, 8, 500);
         let mut s = Sequitur::new();
         s.extend(input.iter().copied());
         let expected = s.input_len();
         let g = s.into_grammar();
-        prop_assert_eq!(g.expansion_len(RuleId::ROOT), expected);
+        assert_eq!(g.expansion_len(RuleId::ROOT), expected);
     }
 }
 
@@ -122,8 +154,7 @@ fn regression_corpus() {
 /// digram operations without pathological memory use.
 #[test]
 fn long_random_walk() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xfeed);
+    let mut rng = SmallRng::seed_from_u64(0xfeed);
     let input: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..16)).collect();
     let mut s = Sequitur::with_capacity(input.len());
     s.extend(input.iter().copied());

@@ -2,14 +2,13 @@
 
 use crate::addr::{Address, Block};
 use crate::ids::{CpuId, FunctionId, ThreadId};
-use serde::{Deserialize, Serialize};
 
 /// The kind of a memory access.
 ///
 /// The paper traces *read* misses only, but writes, DMA transfers, and
 /// Solaris `default_copyout`-style non-allocating stores all update coherence
 /// state and drive the miss classification, so the generators emit them too.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// An ordinary processor load.
     Read,
@@ -40,7 +39,7 @@ impl AccessKind {
 /// stack at each miss and picks the innermost recognizable function); the
 /// symbol table maps it to a Table-2
 /// [`MissCategory`](crate::category::MissCategory).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryAccess {
     /// Byte address accessed.
     pub addr: Address,
@@ -75,12 +74,24 @@ impl MemoryAccess {
 
     /// Convenience constructor for a read on thread 0 of `cpu`.
     pub fn read(addr: Address, cpu: CpuId, function: FunctionId) -> Self {
-        Self::new(addr, AccessKind::Read, cpu, ThreadId::new(cpu.raw()), function)
+        Self::new(
+            addr,
+            AccessKind::Read,
+            cpu,
+            ThreadId::new(cpu.raw()),
+            function,
+        )
     }
 
     /// Convenience constructor for a write on thread 0 of `cpu`.
     pub fn write(addr: Address, cpu: CpuId, function: FunctionId) -> Self {
-        Self::new(addr, AccessKind::Write, cpu, ThreadId::new(cpu.raw()), function)
+        Self::new(
+            addr,
+            AccessKind::Write,
+            cpu,
+            ThreadId::new(cpu.raw()),
+            function,
+        )
     }
 
     /// The cache block this access touches.

@@ -5,7 +5,6 @@
 //! newtypes keep the two granularities from being confused:
 //! [`Address`] is a byte address, [`Block`] is a cache-block (line) address.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Cache-block size in bytes. Fixed at 64 B, as in the paper's systems.
@@ -18,9 +17,7 @@ pub const PAGE_BYTES: u64 = 4096;
 pub const BLOCKS_PER_PAGE: u64 = PAGE_BYTES / BLOCK_BYTES;
 
 /// A byte-granularity physical address.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Address(u64);
 
 impl Address {
@@ -81,9 +78,7 @@ impl From<u64> for Address {
 ///
 /// Miss traces and all temporal-stream analysis operate at block granularity,
 /// matching the paper (streams are sequences of *block* addresses).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Block(u64);
 
 impl Block {

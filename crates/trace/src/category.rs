@@ -7,7 +7,6 @@
 //! - [`MissCategory`]: the application/OS code module the missing function
 //!   belongs to (paper Table 2), used for the §5 origin analysis.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// "4 C's"-style classification of an off-chip read miss (paper §4.1).
@@ -17,7 +16,7 @@ use std::fmt;
 /// this CPU last read it is `IoCoherence`; else a block written by another
 /// processor since this CPU last read it is `Coherence`; everything else is
 /// `Replacement` (capacity or conflict; with 16-way L2s, mostly capacity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MissClass {
     /// First access ever to the cache block.
     Compulsory,
@@ -57,7 +56,7 @@ impl fmt::Display for MissClass {
 
 /// Classification of an intra-chip (L1) miss in the single-chip system by
 /// cause and responder (paper Figure 1, right).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum IntraChipClass {
     /// Coherence miss satisfied by a peer L1 holding the block dirty.
     CoherencePeerL1,
@@ -96,7 +95,7 @@ impl fmt::Display for IntraChipClass {
 }
 
 /// The three commercial application classes studied by the paper (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AppClass {
     /// SPECweb99 on Apache or Zeus.
     Web,
@@ -120,7 +119,7 @@ impl fmt::Display for AppClass {
 ///
 /// Cross-application categories apply to every workload; the web- and
 /// DB2-specific categories apply only to the corresponding [`AppClass`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MissCategory {
     /// Functions that could not be tied to any module.
     Uncategorized,
@@ -258,9 +257,7 @@ impl MissCategory {
     /// The paper's Table-2 description of the category.
     pub fn description(self) -> &'static str {
         match self {
-            MissCategory::Uncategorized => {
-                "Functions that could not be tied to a known module."
-            }
+            MissCategory::Uncategorized => "Functions that could not be tied to a known module.",
             MissCategory::BulkMemoryCopy => {
                 "Kernel and user memory copy functions such as memcpy, bcopy, \
                  __align_cpy_1, and default_copyout (which copies DMA'd I/O \
@@ -308,9 +305,7 @@ impl MissCategory {
                 "The Perl_pp_* primitive operations making up perl's control \
                  flow graph (Perl_pp_const, Perl_pp_print, ...)."
             }
-            MissCategory::CgiPerlOther => {
-                "Other perl functionality not readily identifiable."
-            }
+            MissCategory::CgiPerlOther => "Other perl functionality not readily identifiable.",
             MissCategory::KernelBlockDevice => {
                 "Functions managing I/O to block devices such as disks."
             }
@@ -388,7 +383,10 @@ mod tests {
     #[test]
     fn miss_class_labels() {
         assert_eq!(MissClass::Coherence.to_string(), "Coherence");
-        assert_eq!(IntraChipClass::CoherencePeerL1.to_string(), "Coherence:Peer-L1");
+        assert_eq!(
+            IntraChipClass::CoherencePeerL1.to_string(),
+            "Coherence:Peer-L1"
+        );
         assert_eq!(MissClass::ALL.len(), 4);
         assert_eq!(IntraChipClass::ALL.len(), 4);
     }

@@ -1,6 +1,5 @@
 //! Identifier newtypes for CPUs, threads and functions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_newtype {
@@ -8,7 +7,6 @@ macro_rules! id_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(u32);
 

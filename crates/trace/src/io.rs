@@ -34,7 +34,12 @@ pub enum ReadTraceError {
     /// Unsupported format version.
     BadVersion(u16),
     /// The class tag does not match the requested trace type.
-    ClassMismatch { expected: u8, found: u8 },
+    ClassMismatch {
+        /// Tag the caller's trace type requires.
+        expected: u8,
+        /// Tag found in the stream header.
+        found: u8,
+    },
     /// A record contained an invalid class byte.
     BadClass(u8),
 }

@@ -31,6 +31,7 @@ pub mod category;
 pub mod ids;
 pub mod io;
 pub mod miss;
+pub mod rng;
 pub mod sink;
 pub mod stats;
 pub mod symbol;

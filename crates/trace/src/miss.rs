@@ -8,13 +8,12 @@
 use crate::addr::Block;
 use crate::category::{IntraChipClass, MissClass};
 use crate::ids::{CpuId, FunctionId, ThreadId};
-use serde::{Deserialize, Serialize};
 
 /// One classified read miss.
 ///
 /// The classification type `C` is [`MissClass`] for off-chip traces and
 /// [`IntraChipClass`] for intra-chip traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MissRecord<C> {
     /// The missing cache block.
     pub block: Block,
@@ -35,7 +34,7 @@ pub type OffChipMiss = MissRecord<MissClass>;
 pub type IntraChipMiss = MissRecord<IntraChipClass>;
 
 /// An ordered trace of classified read misses.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MissTrace<C> {
     records: Vec<MissRecord<C>>,
     instructions: u64,

@@ -5,12 +5,11 @@
 
 use crate::addr::{Block, BLOCK_BYTES};
 use crate::miss::MissTrace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// One-pass summary of a miss trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceStats {
     /// Total misses.
     pub misses: u64,

@@ -7,7 +7,6 @@
 
 use crate::category::MissCategory;
 use crate::ids::FunctionId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An interning table mapping function names to [`FunctionId`]s and each
@@ -24,7 +23,7 @@ use std::collections::HashMap;
 /// assert_eq!(t.category(f), MissCategory::CgiPerlInput);
 /// assert_eq!(t.intern("Perl_sv_gets", MissCategory::CgiPerlInput), f);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
     names: Vec<String>,
     categories: Vec<MissCategory>,
@@ -90,9 +89,11 @@ impl SymbolTable {
 
     /// Iterates over `(id, name, category)` triples in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &str, MissCategory)> + '_ {
-        self.names.iter().zip(&self.categories).enumerate().map(
-            |(i, (name, &cat))| (FunctionId::new(i as u32), name.as_str(), cat),
-        )
+        self.names
+            .iter()
+            .zip(&self.categories)
+            .enumerate()
+            .map(|(i, (name, &cat))| (FunctionId::new(i as u32), name.as_str(), cat))
     }
 
     /// All function ids assigned to `category`.

@@ -10,8 +10,7 @@
 
 use crate::emitter::Emitter;
 use crate::layout::AddressSpace;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
 
 /// Keys per leaf node.
@@ -137,7 +136,7 @@ impl BPlusTree {
     fn visit_node(&self, em: &mut Emitter<'_>, node: u32, key: u64) {
         let a = self.nodes[node as usize].addr;
         em.read(a); // header block
-        // Binary search lands in one of the key blocks.
+                    // Binary search lands in one of the key blocks.
         let blk = 1 + (key % (NODE_BYTES / BLOCK_BYTES - 1));
         em.read(a.offset(blk * BLOCK_BYTES));
         em.work(25);
@@ -240,7 +239,6 @@ impl BPlusTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempstream_trace::MemoryAccess;
 
     fn setup(keys: u64) -> (BPlusTree, SymbolTable) {
@@ -248,10 +246,7 @@ mod tests {
         sym.intern("root", MissCategory::Uncategorized);
         let mut space = AddressSpace::new();
         let mut rng = SmallRng::seed_from_u64(11);
-        (
-            BPlusTree::build(keys, &mut sym, &mut space, &mut rng),
-            sym,
-        )
+        (BPlusTree::build(keys, &mut sym, &mut space, &mut rng), sym)
     }
 
     #[test]
@@ -331,7 +326,9 @@ mod tests {
         let mut em = Emitter::new(&mut a);
         let mut rng = SmallRng::seed_from_u64(3);
         t.insert(&mut em, 17, &mut rng);
-        assert!(a.iter().any(|x| x.kind == tempstream_trace::AccessKind::Write));
+        assert!(a
+            .iter()
+            .any(|x| x.kind == tempstream_trace::AccessKind::Write));
         assert_eq!(sym.name(a[0].function), "sqliInsert");
         for x in &a {
             assert_eq!(sym.category(x.function), MissCategory::Db2IndexPageTuple);

@@ -54,11 +54,7 @@ impl BufferPool {
     /// # Panics
     ///
     /// Panics if `num_frames == 0`.
-    pub fn new(
-        num_frames: u32,
-        symbols: &mut SymbolTable,
-        space: &mut AddressSpace,
-    ) -> Self {
+    pub fn new(num_frames: u32, symbols: &mut SymbolTable, space: &mut AddressSpace) -> Self {
         Self::with_staging(num_frames, DEFAULT_STAGING_RING, symbols, space)
     }
 
@@ -306,18 +302,16 @@ mod tests {
     #[test]
     fn staging_buffers_rotate() {
         let (mut p, copy, mut disk, _) = setup(8);
-        let staging_of_fault = |p: &mut BufferPool,
-                                copy: &CopyEngine,
-                                disk: &mut BlockDev,
-                                page: u64| {
-            let mut a: Vec<tempstream_trace::MemoryAccess> = Vec::new();
-            let mut em = Emitter::new(&mut a);
-            p.get_page(&mut em, copy, disk, page);
-            a.iter()
-                .find(|x| x.kind == tempstream_trace::AccessKind::DmaWrite)
-                .unwrap()
-                .addr
-        };
+        let staging_of_fault =
+            |p: &mut BufferPool, copy: &CopyEngine, disk: &mut BlockDev, page: u64| {
+                let mut a: Vec<tempstream_trace::MemoryAccess> = Vec::new();
+                let mut em = Emitter::new(&mut a);
+                p.get_page(&mut em, copy, disk, page);
+                a.iter()
+                    .find(|x| x.kind == tempstream_trace::AccessKind::DmaWrite)
+                    .unwrap()
+                    .addr
+            };
         let s1 = staging_of_fault(&mut p, &copy, &mut disk, 100);
         let s2 = staging_of_fault(&mut p, &copy, &mut disk, 101);
         assert_ne!(s1, s2, "staging ring must rotate (no immediate reuse)");

@@ -8,7 +8,7 @@
 
 use crate::emitter::Emitter;
 use crate::layout::AddressSpace;
-use rand::rngs::SmallRng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
 
 #[derive(Debug)]
@@ -126,7 +126,6 @@ impl PlanInterpreter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempstream_trace::MemoryAccess;
 
     fn setup() -> (PlanInterpreter, SymbolTable) {

@@ -9,8 +9,7 @@
 
 use crate::emitter::Emitter;
 use crate::layout::AddressSpace;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
 
 /// The shared active-transaction table.
@@ -184,7 +183,6 @@ impl Db2Ipc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempstream_trace::MemoryAccess;
 
     fn setup() -> (TransactionTable, RequestControl, Db2Ipc, SymbolTable) {

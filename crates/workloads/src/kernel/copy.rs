@@ -123,11 +123,12 @@ mod tests {
         let mut out: Vec<MemoryAccess> = Vec::new();
         let mut em = Emitter::new(&mut out);
         e.copyout(&mut em, Address::new(0x10000), Address::new(0x20000), 128);
-        assert!(out
-            .iter()
-            .filter(|a| a.kind == AccessKind::CopyoutWrite)
-            .count()
-            == 2);
+        assert!(
+            out.iter()
+                .filter(|a| a.kind == AccessKind::CopyoutWrite)
+                .count()
+                == 2
+        );
         assert_eq!(sym.name(out[1].function), "default_copyout");
         assert_eq!(sym.category(out[1].function), MissCategory::BulkMemoryCopy);
     }

@@ -9,7 +9,7 @@
 use crate::emitter::Emitter;
 use crate::kernel::KernelConfig;
 use crate::layout::AddressSpace;
-use rand::rngs::SmallRng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
 
 /// Bytes per packet (Ethernet-ish MTU).
@@ -125,7 +125,6 @@ impl IpStack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempstream_trace::MemoryAccess;
 
     fn setup() -> (IpStack, SymbolTable) {

@@ -33,11 +33,7 @@ pub struct MmuModel {
 
 impl MmuModel {
     /// Lays out the hashed page table (4 MB) and kernel stacks.
-    pub fn new(
-        config: &KernelConfig,
-        symbols: &mut SymbolTable,
-        space: &mut AddressSpace,
-    ) -> Self {
+    pub fn new(config: &KernelConfig, symbols: &mut SymbolTable, space: &mut AddressSpace) -> Self {
         // 16 MB of hash buckets: translation walks regularly miss the L2,
         // as they do on the paper's systems (large page working sets).
         let buckets = 262_144u64;

@@ -15,7 +15,7 @@ pub mod sync;
 pub mod syscall;
 
 use crate::layout::AddressSpace;
-use rand::rngs::SmallRng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::SymbolTable;
 
 pub use blockdev::BlockDev;

@@ -38,11 +38,7 @@ pub struct Scheduler {
 impl Scheduler {
     /// Lays out dispatcher structures for `config.num_cpus` processors and
     /// `config.num_threads` kernel threads.
-    pub fn new(
-        config: &KernelConfig,
-        symbols: &mut SymbolTable,
-        space: &mut AddressSpace,
-    ) -> Self {
+    pub fn new(config: &KernelConfig, symbols: &mut SymbolTable, space: &mut AddressSpace) -> Self {
         let mut region = space.region(
             "dispatcher",
             u64::from(config.num_cpus) * 128 + u64::from(config.num_threads) * 128 + 4096,

@@ -56,11 +56,7 @@ pub struct StreamsSubsystem {
 
 impl StreamsSubsystem {
     /// Lays out `config.num_streams_channels` channels.
-    pub fn new(
-        config: &KernelConfig,
-        symbols: &mut SymbolTable,
-        space: &mut AddressSpace,
-    ) -> Self {
+    pub fn new(config: &KernelConfig, symbols: &mut SymbolTable, space: &mut AddressSpace) -> Self {
         let channels = config.num_streams_channels.max(1);
         let per_queue = 2 + u64::from(MSGS_PER_POOL) * 2; // blocks
         let mut region = space.region(
@@ -138,13 +134,7 @@ impl StreamsSubsystem {
 
     /// `strread` + `getq`: dequeue up to `max` messages. Returns the
     /// descriptor addresses read.
-    pub fn get(
-        &mut self,
-        em: &mut Emitter<'_>,
-        ch: ChannelId,
-        dir: Dir,
-        max: u32,
-    ) -> Vec<Address> {
+    pub fn get(&mut self, em: &mut Emitter<'_>, ch: ChannelId, dir: Dir, max: u32) -> Vec<Address> {
         let qi = self.queue_index(ch, dir);
         let (f_strread, f_getq) = (self.f_strread, self.f_getq);
         let q = &mut self.queues[qi];

@@ -7,8 +7,8 @@
 //! that are repeatedly walked in the same order.
 
 use crate::emitter::Emitter;
-use crate::layout::{AddressSpace, Region};
 use crate::kernel::KernelConfig;
+use crate::layout::{AddressSpace, Region};
 use std::collections::VecDeque;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, ThreadId};
 
@@ -38,11 +38,7 @@ pub struct SyncPrimitives {
 
 impl SyncPrimitives {
     /// Lays out the mutex/condvar tables and sleep-queue nodes.
-    pub fn new(
-        config: &KernelConfig,
-        symbols: &mut SymbolTable,
-        space: &mut AddressSpace,
-    ) -> Self {
+    pub fn new(config: &KernelConfig, symbols: &mut SymbolTable, space: &mut AddressSpace) -> Self {
         let mut region: Region = space.region(
             "sync",
             u64::from(config.num_mutexes + config.num_condvars + config.num_threads) * 64 + 4096,
@@ -135,7 +131,7 @@ impl SyncPrimitives {
     /// head. Returns the woken thread id, if any.
     pub fn cv_signal(&mut self, em: &mut Emitter<'_>, cv: CondvarId) -> Option<ThreadId> {
         let cv_addr = self.cv_addrs[cv.0 as usize];
-        
+
         em.in_function(self.f_cv_signal, |em| {
             em.read(cv_addr);
             if let Some(first) = self.waiters[cv.0 as usize].pop_front() {
@@ -158,7 +154,6 @@ impl SyncPrimitives {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempstream_trace::MemoryAccess;
 
     fn setup() -> (SyncPrimitives, SymbolTable) {
@@ -166,7 +161,7 @@ mod tests {
         sym.intern("root", MissCategory::Uncategorized);
         let mut space = AddressSpace::new();
         let cfg = KernelConfig::default();
-        let _ = rand::rngs::SmallRng::seed_from_u64(0);
+        let _ = tempstream_trace::rng::SmallRng::seed_from_u64(0);
         (SyncPrimitives::new(&cfg, &mut sym, &mut space), sym)
     }
 
@@ -224,7 +219,10 @@ mod tests {
         let mut em = Emitter::new(&mut a);
         s.cv_wait(&mut em, s.condvar(0), ThreadId::new(0));
         for acc in &a {
-            assert_eq!(sym.category(acc.function), MissCategory::KernelSynchronization);
+            assert_eq!(
+                sym.category(acc.function),
+                MissCategory::KernelSynchronization
+            );
         }
     }
 }

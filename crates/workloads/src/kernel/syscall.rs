@@ -8,8 +8,7 @@
 use crate::emitter::Emitter;
 use crate::kernel::KernelConfig;
 use crate::layout::AddressSpace;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
 
 /// A process handle for syscall purposes.
@@ -161,7 +160,6 @@ impl SyscallModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempstream_trace::MemoryAccess;
 
     fn setup() -> (SyscallModel, SymbolTable) {

@@ -8,8 +8,7 @@
 //! non-contiguous (B+-tree nodes, perl op nodes), which is what defeats
 //! stride prefetchers in the paper's motivating examples.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Address, BLOCK_BYTES, PAGE_BYTES};
 
 /// A named, contiguous range of the synthetic address space.
@@ -43,7 +42,11 @@ impl Region {
     ///
     /// Panics if `offset >= size`.
     pub fn addr(&self, offset: u64) -> Address {
-        assert!(offset < self.size, "offset {offset} outside region {}", self.name);
+        assert!(
+            offset < self.size,
+            "offset {offset} outside region {}",
+            self.name
+        );
         Address::new(self.base + offset)
     }
 
@@ -74,7 +77,11 @@ impl Region {
     /// blocks) and keeps allocation O(1).
     pub fn alloc_scattered(&self, rng: &mut SmallRng, bytes: u64) -> Address {
         let aligned = bytes.div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
-        assert!(aligned <= self.size, "object larger than region {}", self.name);
+        assert!(
+            aligned <= self.size,
+            "object larger than region {}",
+            self.name
+        );
         let max_block = (self.size - aligned) / BLOCK_BYTES;
         let off = rng.gen_range(0..=max_block) * BLOCK_BYTES;
         Address::new(self.base + off)
@@ -126,7 +133,6 @@ impl AddressSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn regions_do_not_overlap() {

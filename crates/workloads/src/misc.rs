@@ -10,8 +10,7 @@
 
 use crate::emitter::Emitter;
 use crate::layout::AddressSpace;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES};
 
 /// A pool of miscellaneous activity under one Table-2 category.
@@ -42,8 +41,14 @@ impl MiscPool {
         chain_len: usize,
         cold_bytes: u64,
     ) -> Self {
-        assert!(chain_count > 0 && chain_len > 0, "pool needs at least one chain");
-        let hot = space.region("misc-hot", (chain_count * chain_len) as u64 * 4 * BLOCK_BYTES);
+        assert!(
+            chain_count > 0 && chain_len > 0,
+            "pool needs at least one chain"
+        );
+        let hot = space.region(
+            "misc-hot",
+            (chain_count * chain_len) as u64 * 4 * BLOCK_BYTES,
+        );
         let chains = (0..chain_count)
             .map(|_| {
                 (0..chain_len)
@@ -109,7 +114,6 @@ impl MiscPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempstream_trace::MemoryAccess;
 
     fn setup() -> (MiscPool, SymbolTable, SmallRng) {

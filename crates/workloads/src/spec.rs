@@ -1,12 +1,11 @@
 //! Application parameters (the paper's Table 1) and their scaled-down
 //! model equivalents.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tempstream_trace::AppClass;
 
 /// One row of Table 1, plus the model's scaled substitution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadSpec {
     /// Short workload name ("Apache", "Qry1", ...).
     pub name: &'static str,
@@ -21,7 +20,11 @@ pub struct WorkloadSpec {
 
 impl fmt::Display for WorkloadSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:<8} {:<5} {}", self.name, self.app_class, self.paper_config)
+        write!(
+            f,
+            "{:<8} {:<5} {}",
+            self.name, self.app_class, self.paper_config
+        )
     }
 }
 
@@ -80,7 +83,10 @@ mod tests {
         let t = table1();
         assert_eq!(t.len(), 6);
         assert_eq!(t.iter().filter(|s| s.app_class == AppClass::Web).count(), 2);
-        assert_eq!(t.iter().filter(|s| s.app_class == AppClass::Oltp).count(), 1);
+        assert_eq!(
+            t.iter().filter(|s| s.app_class == AppClass::Oltp).count(),
+            1
+        );
         assert_eq!(t.iter().filter(|s| s.app_class == AppClass::Dss).count(), 3);
     }
 

@@ -8,8 +8,7 @@
 
 use crate::emitter::Emitter;
 use crate::layout::AddressSpace;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES, PAGE_BYTES};
 
 /// The server flavor, matching Table 1's two web configurations.
@@ -116,17 +115,13 @@ impl WebServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempstream_trace::MemoryAccess;
 
     fn setup(flavor: ServerFlavor) -> (WebServer, SymbolTable) {
         let mut sym = SymbolTable::new();
         sym.intern("root", MissCategory::Uncategorized);
         let mut space = AddressSpace::new();
-        (
-            WebServer::new(flavor, 1024, 256, &mut sym, &mut space),
-            sym,
-        )
+        (WebServer::new(flavor, 1024, 256, &mut sym, &mut space), sym)
     }
 
     #[test]

@@ -12,8 +12,7 @@ use crate::emitter::Emitter;
 use crate::kernel::{Kernel, KernelConfig};
 use crate::layout::AddressSpace;
 use crate::misc::MiscPool;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{CpuId, MissCategory, SymbolTable, ThreadId, PAGE_BYTES};
 
 /// Fact-table pages (64 MB).
@@ -81,7 +80,8 @@ impl DssApp {
         let fact = HeapTable::new(0, FACT_PAGES, symbols);
         let dim = HeapTable::new(FACT_PAGES, DIM_PAGES, symbols);
         let dim_index = BPlusTree::build(DIM_PAGES * 64, symbols, &mut space, &mut rng);
-        let pool = BufferPool::with_staging_reuse(POOL_FRAMES, STAGING_SLOTS, 30, symbols, &mut space);
+        let pool =
+            BufferPool::with_staging_reuse(POOL_FRAMES, STAGING_SLOTS, 30, symbols, &mut space);
         let interp = PlanInterpreter::new(3, 64, symbols, &mut space, &mut rng);
         let db2_other = MiscPool::new(
             "sqlo_dss",

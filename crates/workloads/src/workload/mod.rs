@@ -187,9 +187,12 @@ impl WorkloadSession {
                 seed,
                 &mut symbols,
             )),
-            Workload::Zeus => {
-                AppInner::Web(WebApp::new(ServerFlavor::Zeus, num_cpus, seed, &mut symbols))
-            }
+            Workload::Zeus => AppInner::Web(WebApp::new(
+                ServerFlavor::Zeus,
+                num_cpus,
+                seed,
+                &mut symbols,
+            )),
             Workload::Oltp => AppInner::Oltp(OltpApp::new(num_cpus, seed, &mut symbols)),
             Workload::DssQ1 => {
                 AppInner::Dss(DssApp::new(DssQuery::Q1, num_cpus, seed, &mut symbols))
@@ -283,8 +286,7 @@ mod tests {
             s.run(&mut out, 64);
             assert!(out.iter().all(|a| a.cpu.raw() < cpus), "{cpus} cpus");
             if cpus > 1 {
-                let used: std::collections::HashSet<_> =
-                    out.iter().map(|a| a.cpu.raw()).collect();
+                let used: std::collections::HashSet<_> = out.iter().map(|a| a.cpu.raw()).collect();
                 assert!(used.len() > 1, "work must spread across cpus");
             }
         }
@@ -323,7 +325,10 @@ mod tests {
     #[test]
     fn names_and_classes() {
         assert_eq!(Workload::Oltp.name(), "DB2");
-        assert_eq!(Workload::DssQ17.app_class(), tempstream_trace::AppClass::Dss);
+        assert_eq!(
+            Workload::DssQ17.app_class(),
+            tempstream_trace::AppClass::Dss
+        );
         assert_eq!(Workload::ALL.len(), 6);
         for w in Workload::ALL {
             let _ = w.spec();

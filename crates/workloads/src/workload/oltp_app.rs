@@ -17,8 +17,7 @@ use crate::emitter::Emitter;
 use crate::kernel::{Kernel, KernelConfig};
 use crate::layout::AddressSpace;
 use crate::misc::MiscPool;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{CpuId, MissCategory, SymbolTable, ThreadId};
 
 /// Client connections (Table 1: 64 clients).
@@ -87,7 +86,8 @@ impl OltpApp {
         let kern = Kernel::new(&config, symbols, &mut space, &mut rng);
         let index = BPlusTree::build(INDEX_KEYS, symbols, &mut space, &mut rng);
         let table = HeapTable::new(0, DATA_PAGES, symbols);
-        let pool = BufferPool::with_staging_reuse(POOL_FRAMES, STAGING_SLOTS, 25, symbols, &mut space);
+        let pool =
+            BufferPool::with_staging_reuse(POOL_FRAMES, STAGING_SLOTS, 25, symbols, &mut space);
         let interp = PlanInterpreter::new(8, 48, symbols, &mut space, &mut rng);
         let txns = TransactionTable::new(CLIENTS, symbols, &mut space);
         let reqctl = RequestControl::new(CLIENTS, symbols, &mut space);

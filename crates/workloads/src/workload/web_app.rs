@@ -16,8 +16,7 @@ use crate::layout::AddressSpace;
 use crate::misc::MiscPool;
 use crate::web::http::{ServerFlavor, WebServer};
 use crate::web::perl::PerlEngine;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{
     Address, CpuId, MissCategory, SymbolTable, ThreadId, BLOCK_BYTES, PAGE_BYTES,
 };
@@ -46,12 +45,7 @@ pub struct WebApp {
 }
 
 impl WebApp {
-    pub fn new(
-        flavor: ServerFlavor,
-        num_cpus: u32,
-        seed: u64,
-        symbols: &mut SymbolTable,
-    ) -> Self {
+    pub fn new(flavor: ServerFlavor, num_cpus: u32, seed: u64, symbols: &mut SymbolTable) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EB0_57EB);
         let mut space = AddressSpace::new();
         let config = KernelConfig {
@@ -93,7 +87,9 @@ impl WebApp {
             .map(|_| rx_region.alloc(RX_SLOTS * PAGE_BYTES))
             .collect();
         let mut user_region = space.region("user-io", u64::from(num_cpus) * 2 * PAGE_BYTES);
-        let user_bufs = (0..num_cpus).map(|_| user_region.alloc(2 * PAGE_BYTES)).collect();
+        let user_bufs = (0..num_cpus)
+            .map(|_| user_region.alloc(2 * PAGE_BYTES))
+            .collect();
         WebApp {
             kern,
             server,
@@ -230,7 +226,8 @@ impl WebApp {
         drop(descs);
 
         // The perl process runs on another CPU (its own process context).
-        let perl_cpu = CpuId::new(((op + 1 + u64::from(proc_idx)) % u64::from(self.num_cpus)) as u32);
+        let perl_cpu =
+            CpuId::new(((op + 1 + u64::from(proc_idx)) % u64::from(self.num_cpus)) as u32);
         let perl_thread = ThreadId::new(128 + proc_idx);
         em.set_context(perl_cpu, perl_thread);
         self.kern.sched.enqueue(em, perl_cpu, perl_thread);
@@ -239,7 +236,9 @@ impl WebApp {
         self.kern.streams.put(em, ch, Dir::Down, 1);
         self.kern.streams.get(em, ch, Dir::Down, 2);
         self.kern.syscalls.sys_read(em, perl_proc, 0);
-        self.kern.mmu.translate(em, perl_cpu, self.perl.input_buffer(proc_idx));
+        self.kern
+            .mmu
+            .translate(em, perl_cpu, self.perl.input_buffer(proc_idx));
         self.perl.sv_gets(em, proc_idx, 512);
         self.perl.run_script(em, proc_idx, conn % 3);
         for _ in 0..2 {

@@ -104,10 +104,7 @@ fn dss_scan_partitions_are_disjoint_across_cpus() {
     for i in 0..4 {
         for j in i + 1..4 {
             let overlap = per_cpu[i].intersection(&per_cpu[j]).count();
-            assert_eq!(
-                overlap, 0,
-                "cpu{i} and cpu{j} share {overlap} DMA blocks"
-            );
+            assert_eq!(overlap, 0, "cpu{i} and cpu{j} share {overlap} DMA blocks");
         }
     }
 }
@@ -167,7 +164,10 @@ fn reads_dominate_the_access_mix() {
     // emit more reads than stores.
     for w in Workload::ALL {
         let (accesses, _) = collect(w, 4, 120);
-        let reads = accesses.iter().filter(|a| a.kind == AccessKind::Read).count();
+        let reads = accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Read)
+            .count();
         let writes = accesses
             .iter()
             .filter(|a| a.kind == AccessKind::Write)

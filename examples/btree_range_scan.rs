@@ -10,11 +10,10 @@
 //! cargo run --release --example btree_range_scan
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use tempstream_coherence::{MultiChipConfig, MultiChipSim};
 use tempstream_core::streams::StreamAnalysis;
 use tempstream_core::stride::StrideDetector;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{CpuId, SymbolTable, ThreadId};
 use tempstream_workloads::db::BPlusTree;
 use tempstream_workloads::{AddressSpace, Emitter};
@@ -55,9 +54,7 @@ fn main() {
 
     let analysis = StreamAnalysis::of_trace(&trace);
     let (non, new, rec) = analysis.label_counts();
-    println!(
-        "stream labels: {non} non-repetitive, {new} new-stream, {rec} recurring"
-    );
+    println!("stream labels: {non} non-repetitive, {new} new-stream, {rec} recurring");
     println!(
         "the overlapping scan repeats the leaf sequence: {:.1}% of misses \
          are in temporal streams",

@@ -18,8 +18,7 @@ fn main() {
     let workload = match args
         .iter()
         .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("oltp")
+        .map_or("oltp", String::as_str)
     {
         "apache" => Workload::Apache,
         "zeus" => Workload::Zeus,
@@ -67,9 +66,15 @@ fn main() {
     }
 
     println!("\n-- Figure 4 (left): stream length CDF (multi-chip)");
-    print!("{}", format_length_cdf(&results.multi_chip.streams.length_cdf));
+    print!(
+        "{}",
+        format_length_cdf(&results.multi_chip.streams.length_cdf)
+    );
     println!("-- Figure 4 (right): reuse distance PDF (multi-chip)");
-    print!("{}", format_reuse_pdf(&results.multi_chip.streams.reuse_pdf));
+    print!(
+        "{}",
+        format_reuse_pdf(&results.multi_chip.streams.reuse_pdf)
+    );
 
     println!("\n-- Stream origins (Tables 3-5 layout), multi-chip:");
     print!(

@@ -10,10 +10,9 @@
 //! cargo run --release --example scheduler_streams
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tempstream_coherence::{MultiChipConfig, MultiChipSim};
 use tempstream_core::streams::StreamAnalysis;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{CpuId, MissCategory, SymbolTable, ThreadId};
 use tempstream_workloads::kernel::{KernelConfig, Scheduler};
 use tempstream_workloads::{AddressSpace, Emitter};

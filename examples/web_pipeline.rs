@@ -41,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  wrote {} ({} bytes)", path.display(), bytes);
 
     // Phase 3: reload and analyze offline.
-    let reloaded: MissTrace<IntraChipClass> =
-        read_trace(BufReader::new(File::open(&path)?))?;
+    let reloaded: MissTrace<IntraChipClass> = read_trace(BufReader::new(File::open(&path)?))?;
     assert_eq!(reloaded.len(), traces.intra_chip.len());
     let analysis = StreamAnalysis::of_trace(&reloaded);
     println!(

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c80c562a21dca62d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-c80c562a21dca62d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

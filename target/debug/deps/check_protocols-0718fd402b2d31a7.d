@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-0718fd402b2d31a7.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/check_protocols-0718fd402b2d31a7: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-663a13dde0241bb4.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/check_protocols-663a13dde0241bb4: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composition-d8ab6ccd03cc7fe9.d: crates/workloads/tests/composition.rs
+
+/root/repo/target/debug/deps/composition-d8ab6ccd03cc7fe9: crates/workloads/tests/composition.rs
+
+crates/workloads/tests/composition.rs:

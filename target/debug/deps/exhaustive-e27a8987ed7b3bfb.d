@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-e27a8987ed7b3bfb.d: crates/checker/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-e27a8987ed7b3bfb: crates/checker/tests/exhaustive.rs
+
+crates/checker/tests/exhaustive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-422ebcb4bcb18b54.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-422ebcb4bcb18b54: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

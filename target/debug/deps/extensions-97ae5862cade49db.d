@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-97ae5862cade49db.d: crates/core/../../tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-97ae5862cade49db.rmeta: crates/core/../../tests/extensions.rs Cargo.toml
+
+crates/core/../../tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

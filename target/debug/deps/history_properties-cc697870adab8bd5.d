@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/history_properties-cc697870adab8bd5.d: crates/coherence/tests/history_properties.rs
+
+/root/repo/target/debug/deps/history_properties-cc697870adab8bd5: crates/coherence/tests/history_properties.rs
+
+crates/coherence/tests/history_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-6ea1a2d37ac450ce.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-6ea1a2d37ac450ce: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

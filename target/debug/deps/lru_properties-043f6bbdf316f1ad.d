@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lru_properties-043f6bbdf316f1ad.d: crates/cache/tests/lru_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblru_properties-043f6bbdf316f1ad.rmeta: crates/cache/tests/lru_properties.rs Cargo.toml
+
+crates/cache/tests/lru_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

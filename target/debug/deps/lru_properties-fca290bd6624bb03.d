@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lru_properties-fca290bd6624bb03.d: crates/cache/tests/lru_properties.rs
+
+/root/repo/target/debug/deps/lru_properties-fca290bd6624bb03: crates/cache/tests/lru_properties.rs
+
+crates/cache/tests/lru_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-ff6498bf7bdb2073.d: crates/core/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-ff6498bf7bdb2073: crates/core/../../tests/paper_shapes.rs
+
+crates/core/../../tests/paper_shapes.rs:

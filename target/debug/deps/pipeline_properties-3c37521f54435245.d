@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_properties-3c37521f54435245.d: crates/core/../../tests/pipeline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_properties-3c37521f54435245.rmeta: crates/core/../../tests/pipeline_properties.rs Cargo.toml
+
+crates/core/../../tests/pipeline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-efc70646c10ae19a.d: crates/core/../../tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-efc70646c10ae19a: crates/core/../../tests/pipeline_properties.rs
+
+crates/core/../../tests/pipeline_properties.rs:

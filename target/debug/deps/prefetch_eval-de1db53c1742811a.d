@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-de1db53c1742811a.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-de1db53c1742811a: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

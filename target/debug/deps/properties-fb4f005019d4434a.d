@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fb4f005019d4434a.d: crates/sequitur/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fb4f005019d4434a: crates/sequitur/tests/properties.rs
+
+crates/sequitur/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_properties-e6f8a7b716e00bb6.d: crates/coherence/tests/protocol_properties.rs
+
+/root/repo/target/debug/deps/protocol_properties-e6f8a7b716e00bb6: crates/coherence/tests/protocol_properties.rs
+
+crates/coherence/tests/protocol_properties.rs:

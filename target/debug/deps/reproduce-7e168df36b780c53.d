@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-7e168df36b780c53.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-7e168df36b780c53: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

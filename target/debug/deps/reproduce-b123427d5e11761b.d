@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-b123427d5e11761b.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-b123427d5e11761b: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

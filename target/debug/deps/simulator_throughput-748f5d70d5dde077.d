@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_throughput-748f5d70d5dde077.d: crates/bench/benches/simulator_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_throughput-748f5d70d5dde077.rmeta: crates/bench/benches/simulator_throughput.rs Cargo.toml
+
+crates/bench/benches/simulator_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_bench-0f061e22faae37dd.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-0f061e22faae37dd.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-0f061e22faae37dd.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tempstream_bench-e49f08a987a15426.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tempstream_bench-e49f08a987a15426: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

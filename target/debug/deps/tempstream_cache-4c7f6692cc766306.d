@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tempstream_cache-4c7f6692cc766306.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libtempstream_cache-4c7f6692cc766306.rlib: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libtempstream_cache-4c7f6692cc766306.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

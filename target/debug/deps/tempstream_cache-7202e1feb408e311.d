@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_cache-7202e1feb408e311.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/tempstream_cache-7202e1feb408e311: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_checker-60cdcb3fd1124861.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+/root/repo/target/debug/deps/tempstream_checker-60cdcb3fd1124861: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+crates/checker/src/lib.rs:
+crates/checker/src/bfs.rs:
+crates/checker/src/mosi.rs:
+crates/checker/src/msi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tempstream_coherence-230f72c0d38a481f.d: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/debug/deps/tempstream_coherence-230f72c0d38a481f: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/history.rs:
+crates/coherence/src/multi_chip.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/single_chip.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tempstream_coherence-f24d7fe1afc058c2.d: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/debug/deps/libtempstream_coherence-f24d7fe1afc058c2.rlib: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/debug/deps/libtempstream_coherence-f24d7fe1afc058c2.rmeta: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/history.rs:
+crates/coherence/src/multi_chip.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/single_chip.rs:

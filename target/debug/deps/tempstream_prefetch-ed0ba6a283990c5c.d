@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tempstream_prefetch-ed0ba6a283990c5c.d: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+/root/repo/target/debug/deps/libtempstream_prefetch-ed0ba6a283990c5c.rlib: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+/root/repo/target/debug/deps/libtempstream_prefetch-ed0ba6a283990c5c.rmeta: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/eval.rs:
+crates/prefetch/src/markov.rs:
+crates/prefetch/src/stride.rs:
+crates/prefetch/src/temporal.rs:

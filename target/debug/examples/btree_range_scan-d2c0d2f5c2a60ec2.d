@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btree_range_scan-d2c0d2f5c2a60ec2.d: crates/core/../../examples/btree_range_scan.rs
+
+/root/repo/target/debug/examples/btree_range_scan-d2c0d2f5c2a60ec2: crates/core/../../examples/btree_range_scan.rs
+
+crates/core/../../examples/btree_range_scan.rs:

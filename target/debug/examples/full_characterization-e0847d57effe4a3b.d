@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_characterization-e0847d57effe4a3b.d: crates/core/../../examples/full_characterization.rs
+
+/root/repo/target/debug/examples/full_characterization-e0847d57effe4a3b: crates/core/../../examples/full_characterization.rs
+
+crates/core/../../examples/full_characterization.rs:

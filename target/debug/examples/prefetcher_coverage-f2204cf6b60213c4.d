@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetcher_coverage-f2204cf6b60213c4.d: crates/core/../../examples/prefetcher_coverage.rs
+
+/root/repo/target/debug/examples/prefetcher_coverage-f2204cf6b60213c4: crates/core/../../examples/prefetcher_coverage.rs
+
+crates/core/../../examples/prefetcher_coverage.rs:

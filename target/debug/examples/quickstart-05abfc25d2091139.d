@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-05abfc25d2091139.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-05abfc25d2091139: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_streams-71d636c96363ad58.d: crates/core/../../examples/scheduler_streams.rs
+
+/root/repo/target/debug/examples/scheduler_streams-71d636c96363ad58: crates/core/../../examples/scheduler_streams.rs
+
+crates/core/../../examples/scheduler_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_pipeline-d9d938c8ce7d371d.d: crates/core/../../examples/web_pipeline.rs
+
+/root/repo/target/debug/examples/web_pipeline-d9d938c8ce7d371d: crates/core/../../examples/web_pipeline.rs
+
+crates/core/../../examples/web_pipeline.rs:

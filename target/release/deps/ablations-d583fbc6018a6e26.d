@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-d583fbc6018a6e26.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-d583fbc6018a6e26: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

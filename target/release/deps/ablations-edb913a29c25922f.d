@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-edb913a29c25922f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-edb913a29c25922f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_protocols-2f9801b355799bfa.d: crates/checker/src/main.rs
+
+/root/repo/target/release/deps/check_protocols-2f9801b355799bfa: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

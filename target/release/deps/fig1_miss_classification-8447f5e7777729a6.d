@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_miss_classification-8447f5e7777729a6.d: crates/bench/benches/fig1_miss_classification.rs
+
+/root/repo/target/release/deps/fig1_miss_classification-8447f5e7777729a6: crates/bench/benches/fig1_miss_classification.rs
+
+crates/bench/benches/fig1_miss_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_stream_fraction-4b574b9274a14e30.d: crates/bench/benches/fig2_stream_fraction.rs
+
+/root/repo/target/release/deps/fig2_stream_fraction-4b574b9274a14e30: crates/bench/benches/fig2_stream_fraction.rs
+
+crates/bench/benches/fig2_stream_fraction.rs:

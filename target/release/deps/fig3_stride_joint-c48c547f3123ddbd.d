@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_stride_joint-c48c547f3123ddbd.d: crates/bench/benches/fig3_stride_joint.rs
+
+/root/repo/target/release/deps/fig3_stride_joint-c48c547f3123ddbd: crates/bench/benches/fig3_stride_joint.rs
+
+crates/bench/benches/fig3_stride_joint.rs:

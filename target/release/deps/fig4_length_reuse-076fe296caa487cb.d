@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_length_reuse-076fe296caa487cb.d: crates/bench/benches/fig4_length_reuse.rs
+
+/root/repo/target/release/deps/fig4_length_reuse-076fe296caa487cb: crates/bench/benches/fig4_length_reuse.rs
+
+crates/bench/benches/fig4_length_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-0b0b6e33272bbe34.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-0b0b6e33272bbe34: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-62861a068e1984dc.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-62861a068e1984dc: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

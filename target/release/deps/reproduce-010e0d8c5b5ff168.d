@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-010e0d8c5b5ff168.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-010e0d8c5b5ff168: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

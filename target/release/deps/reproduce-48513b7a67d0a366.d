@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-48513b7a67d0a366.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-48513b7a67d0a366: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sequitur_throughput-90e6f1f2f180c2a3.d: crates/bench/benches/sequitur_throughput.rs
+
+/root/repo/target/release/deps/sequitur_throughput-90e6f1f2f180c2a3: crates/bench/benches/sequitur_throughput.rs
+
+crates/bench/benches/sequitur_throughput.rs:

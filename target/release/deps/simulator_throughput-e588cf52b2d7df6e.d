@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_throughput-e588cf52b2d7df6e.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/release/deps/simulator_throughput-e588cf52b2d7df6e: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_origins-7fe182eb4ba2ccae.d: crates/bench/benches/tables_origins.rs
+
+/root/repo/target/release/deps/tables_origins-7fe182eb4ba2ccae: crates/bench/benches/tables_origins.rs
+
+crates/bench/benches/tables_origins.rs:

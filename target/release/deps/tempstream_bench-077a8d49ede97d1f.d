@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/tempstream_bench-077a8d49ede97d1f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/tempstream_bench-077a8d49ede97d1f: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tempstream_bench-5f689fa9815d7e75.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-5f689fa9815d7e75.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-5f689fa9815d7e75.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

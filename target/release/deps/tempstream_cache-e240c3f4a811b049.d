@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tempstream_cache-e240c3f4a811b049.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/tempstream_cache-e240c3f4a811b049: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

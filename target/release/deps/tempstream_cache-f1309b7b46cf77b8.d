@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tempstream_cache-f1309b7b46cf77b8.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libtempstream_cache-f1309b7b46cf77b8.rlib: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libtempstream_cache-f1309b7b46cf77b8.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

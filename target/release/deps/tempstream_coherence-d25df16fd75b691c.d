@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tempstream_coherence-d25df16fd75b691c.d: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/release/deps/libtempstream_coherence-d25df16fd75b691c.rlib: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/release/deps/libtempstream_coherence-d25df16fd75b691c.rmeta: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/history.rs:
+crates/coherence/src/multi_chip.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/single_chip.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tempstream_coherence-d4e1c1c811d07658.d: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/release/deps/tempstream_coherence-d4e1c1c811d07658: crates/coherence/src/lib.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/single_chip.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/history.rs:
+crates/coherence/src/multi_chip.rs:
+crates/coherence/src/single_chip.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tempstream_core-2f63441a5e5dc8a1.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+/root/repo/target/release/deps/tempstream_core-2f63441a5e5dc8a1: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distribution.rs:
+crates/core/src/experiment.rs:
+crates/core/src/functions.rs:
+crates/core/src/origins.rs:
+crates/core/src/report.rs:
+crates/core/src/spatial.rs:
+crates/core/src/streams.rs:
+crates/core/src/stride.rs:

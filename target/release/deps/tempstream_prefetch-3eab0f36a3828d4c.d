@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tempstream_prefetch-3eab0f36a3828d4c.d: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+/root/repo/target/release/deps/tempstream_prefetch-3eab0f36a3828d4c: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/eval.rs:
+crates/prefetch/src/markov.rs:
+crates/prefetch/src/stride.rs:
+crates/prefetch/src/temporal.rs:

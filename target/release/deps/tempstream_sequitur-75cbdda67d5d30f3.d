@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tempstream_sequitur-75cbdda67d5d30f3.d: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+/root/repo/target/release/deps/tempstream_sequitur-75cbdda67d5d30f3: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/builder.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/stats.rs:

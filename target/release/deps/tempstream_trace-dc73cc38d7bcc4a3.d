@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tempstream_trace-dc73cc38d7bcc4a3.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs
+
+/root/repo/target/release/deps/tempstream_trace-dc73cc38d7bcc4a3: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/addr.rs:
+crates/trace/src/category.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/io.rs:
+crates/trace/src/miss.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/symbol.rs:

@@ -60,7 +60,10 @@ fn replay_depth_monotonicity() {
     let d1 = coverage(&mut TemporalPrefetcher::fixed(1), &trace);
     let d8 = coverage(&mut TemporalPrefetcher::fixed(8), &trace);
     let adaptive = coverage(&mut TemporalPrefetcher::adaptive(4, 32), &trace);
-    assert!(d8 >= d1, "depth 8 ({d8:.3}) must not lose to depth 1 ({d1:.3})");
+    assert!(
+        d8 >= d1,
+        "depth 8 ({d8:.3}) must not lose to depth 1 ({d1:.3})"
+    );
     assert!(
         adaptive >= d8 * 0.9,
         "adaptive ({adaptive:.3}) must be competitive with fixed-8 ({d8:.3})"

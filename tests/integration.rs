@@ -209,5 +209,8 @@ fn run_all_covers_six_workloads() {
     let all = Experiment::new(cfg).run_all();
     assert_eq!(all.len(), 6);
     let names: Vec<_> = all.iter().map(|r| r.workload.name()).collect();
-    assert_eq!(names, vec!["Apache", "Zeus", "DB2", "Qry1", "Qry2", "Qry17"]);
+    assert_eq!(
+        names,
+        vec!["Apache", "Zeus", "DB2", "Qry1", "Qry2", "Qry17"]
+    );
 }

@@ -106,8 +106,7 @@ fn stream_fraction_ordering_across_classes() {
 fn dss_scan_is_one_touch() {
     let r = run(Workload::DssQ1);
     let b = &r.single_chip.breakdown;
-    let one_touch =
-        b.fraction(MissClass::Compulsory) + b.fraction(MissClass::IoCoherence);
+    let one_touch = b.fraction(MissClass::Compulsory) + b.fraction(MissClass::IoCoherence);
     assert!(
         one_touch > 0.5,
         "Q1 compulsory+I/O share too small: {one_touch:.3}"
@@ -129,7 +128,10 @@ fn dss_is_strided_web_is_not() {
         .stride_joint
         .strided_fraction();
     assert!(dss > 0.3, "DSS strided fraction too small: {dss:.3}");
-    assert!(web < dss, "web ({web:.3}) must be less strided than DSS ({dss:.3})");
+    assert!(
+        web < dss,
+        "web ({web:.3}) must be less strided than DSS ({dss:.3})"
+    );
 }
 
 /// §4.4 / Figure 4: streams are long — the weighted median exceeds the

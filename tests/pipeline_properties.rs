@@ -1,11 +1,12 @@
-//! Property-based tests over the analysis pipeline, validated against
+//! Randomized property tests over the analysis pipeline, validated against
 //! brute-force reference implementations on randomly generated miss
-//! traces.
+//! traces. Inputs come from the in-tree seeded PRNG, so every run checks
+//! the same deterministic corpus.
 
-use proptest::prelude::*;
 use tempstream_core::streams::{StreamAnalysis, StreamLabel};
 use tempstream_core::stride::{StrideDetector, MAX_STRIDE, MIN_RUN};
 use tempstream_trace::miss::MissRecord;
+use tempstream_trace::rng::SmallRng;
 use tempstream_trace::{Block, CpuId, FunctionId, MissClass, MissTrace, ThreadId};
 
 fn trace_from(blocks: &[(u64, u8)]) -> MissTrace<MissClass> {
@@ -21,6 +22,14 @@ fn trace_from(blocks: &[(u64, u8)]) -> MissTrace<MissClass> {
         });
     }
     t
+}
+
+/// Generates a random `(block, cpu)` sequence.
+fn gen_blocks(rng: &mut SmallRng, block_span: u64, cpus: u8, max_len: usize) -> Vec<(u64, u8)> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| (rng.gen_range(0..block_span), rng.gen_range(0..cpus)))
+        .collect()
 }
 
 /// Brute-force stride reference mirroring the detector's contract: runs of
@@ -57,82 +66,85 @@ fn reference_strided(blocks: &[(u64, u8)]) -> Vec<bool> {
     out
 }
 
-proptest! {
-    /// Labels always align one-to-one with the trace and partition it.
-    #[test]
-    fn labels_partition_trace(
-        blocks in proptest::collection::vec((0u64..12, 0u8..3), 0..250),
-    ) {
+/// Labels always align one-to-one with the trace and partition it.
+#[test]
+fn labels_partition_trace() {
+    let mut rng = SmallRng::seed_from_u64(0x11a1);
+    for _ in 0..128 {
+        let blocks = gen_blocks(&mut rng, 12, 3, 250);
         let t = trace_from(&blocks);
         let a = StreamAnalysis::of_trace(&t);
-        prop_assert_eq!(a.labels().len(), t.len());
+        assert_eq!(a.labels().len(), t.len());
         let (non, new, rec) = a.label_counts();
-        prop_assert_eq!(non + new + rec, t.len() as u64);
-        prop_assert!(a.stream_fraction() >= 0.0 && a.stream_fraction() <= 1.0);
+        assert_eq!(non + new + rec, t.len() as u64);
+        assert!(a.stream_fraction() >= 0.0 && a.stream_fraction() <= 1.0);
     }
+}
 
-    /// Occurrences tile exactly the positions labeled as stream misses,
-    /// without overlap.
-    #[test]
-    fn occurrences_tile_stream_positions(
-        blocks in proptest::collection::vec((0u64..8, 0u8..2), 0..250),
-    ) {
+/// Occurrences tile exactly the positions labeled as stream misses,
+/// without overlap.
+#[test]
+fn occurrences_tile_stream_positions() {
+    let mut rng = SmallRng::seed_from_u64(0x11a2);
+    for _ in 0..128 {
+        let blocks = gen_blocks(&mut rng, 8, 2, 250);
         let t = trace_from(&blocks);
         let a = StreamAnalysis::of_trace(&t);
         let mut covered = vec![false; t.len()];
         for occ in a.occurrences() {
-            prop_assert!(occ.len >= 2, "streams are >= 2 misses");
+            assert!(occ.len >= 2, "streams are >= 2 misses");
             let span = occ.start..occ.start + occ.len as usize;
             for (i, c) in covered[span.clone()].iter_mut().enumerate() {
-                prop_assert!(!*c, "overlapping occurrences at {}", occ.start + i);
+                assert!(!*c, "overlapping occurrences at {}", occ.start + i);
                 *c = true;
-                prop_assert_ne!(
-                    a.labels()[occ.start + i],
-                    StreamLabel::NonRepetitive
-                );
+                assert_ne!(a.labels()[occ.start + i], StreamLabel::NonRepetitive);
             }
         }
         for ((i, &cov), &label) in covered.iter().enumerate().zip(a.labels()) {
-            prop_assert_eq!(
+            assert_eq!(
                 cov,
                 label != StreamLabel::NonRepetitive,
-                "position {} label/occurrence mismatch", i
+                "position {i} label/occurrence mismatch"
             );
         }
     }
+}
 
-    /// New occurrences carry no reuse distance; repeats always do.
-    #[test]
-    fn first_occurrence_is_new(
-        blocks in proptest::collection::vec((0u64..6, 0u8..2), 0..200),
-    ) {
+/// New occurrences carry no reuse distance; repeats always do.
+#[test]
+fn first_occurrence_is_new() {
+    let mut rng = SmallRng::seed_from_u64(0x11a3);
+    for _ in 0..128 {
+        let blocks = gen_blocks(&mut rng, 6, 2, 200);
         let t = trace_from(&blocks);
         let a = StreamAnalysis::of_trace(&t);
         let mut seen = std::collections::HashSet::new();
         for occ in a.occurrences() {
             if seen.insert(occ.rule) {
                 if occ.new {
-                    prop_assert_eq!(occ.reuse_distance, None);
+                    assert_eq!(occ.reuse_distance, None);
                 }
             } else {
-                prop_assert!(!occ.new, "repeat occurrence flagged new");
-                prop_assert!(occ.reuse_distance.is_some());
+                assert!(!occ.new, "repeat occurrence flagged new");
+                assert!(occ.reuse_distance.is_some());
             }
         }
     }
+}
 
-    /// Reuse distance never exceeds the total misses between occurrences.
-    #[test]
-    fn reuse_distance_bounded(
-        blocks in proptest::collection::vec((0u64..6, 0u8..3), 0..200),
-    ) {
+/// Reuse distance never exceeds the total misses between occurrences.
+#[test]
+fn reuse_distance_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x11a4);
+    for _ in 0..128 {
+        let blocks = gen_blocks(&mut rng, 6, 3, 200);
         let t = trace_from(&blocks);
         let a = StreamAnalysis::of_trace(&t);
         let mut last_end: std::collections::HashMap<_, usize> = Default::default();
         for occ in a.occurrences() {
             if let Some(d) = occ.reuse_distance {
                 let prev_end = last_end[&occ.rule];
-                prop_assert!(
+                assert!(
                     (d as usize) <= occ.start - prev_end,
                     "distance {} exceeds gap {}",
                     d,
@@ -142,53 +154,61 @@ proptest! {
             last_end.insert(occ.rule, occ.start + occ.len as usize);
         }
     }
+}
 
-    /// Stride detector agrees with the brute-force reference.
-    #[test]
-    fn stride_matches_reference(
-        blocks in proptest::collection::vec((0u64..40, 0u8..2), 0..120),
-    ) {
+/// Stride detector agrees with the brute-force reference.
+#[test]
+fn stride_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x11a5);
+    for _ in 0..256 {
+        let blocks = gen_blocks(&mut rng, 40, 2, 120);
         let t = trace_from(&blocks);
         let d = StrideDetector::of_trace(&t);
         let reference = reference_strided(&blocks);
-        prop_assert_eq!(d.flags(), &reference[..]);
+        assert_eq!(d.flags(), &reference[..]);
     }
+}
 
-    /// A doubled random sequence is mostly covered by streams.
-    #[test]
-    fn doubled_trace_is_repetitive(
-        base in proptest::collection::vec(0u64..1000, 4..80),
-    ) {
-        let doubled: Vec<(u64, u8)> =
-            base.iter().chain(base.iter()).map(|&b| (b, 0)).collect();
+/// A doubled random sequence is mostly covered by streams.
+#[test]
+fn doubled_trace_is_repetitive() {
+    let mut rng = SmallRng::seed_from_u64(0x11a6);
+    for _ in 0..128 {
+        let len = rng.gen_range(4..80usize);
+        let base: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000)).collect();
+        let doubled: Vec<(u64, u8)> = base.iter().chain(base.iter()).map(|&b| (b, 0)).collect();
         let t = trace_from(&doubled);
         let a = StreamAnalysis::of_trace(&t);
-        prop_assert!(
+        assert!(
             a.stream_fraction() > 0.5,
             "doubled sequence only {:.2} in streams",
             a.stream_fraction()
         );
     }
+}
 
-    /// Single-occurrence content yields no recurring labels.
-    #[test]
-    fn unique_blocks_never_recur(n in 1usize..200) {
+/// Single-occurrence content yields no recurring labels.
+#[test]
+fn unique_blocks_never_recur() {
+    for n in [1usize, 2, 3, 7, 50, 199] {
         let blocks: Vec<(u64, u8)> = (0..n as u64).map(|b| (b * 7 + 1, 0)).collect();
         let t = trace_from(&blocks);
         let a = StreamAnalysis::of_trace(&t);
         let (_, _, rec) = a.label_counts();
-        prop_assert_eq!(rec, 0);
+        assert_eq!(rec, 0);
     }
+}
 
-    /// Length CDF total weight equals the stream-labeled miss count.
-    #[test]
-    fn length_cdf_weight_matches_labels(
-        blocks in proptest::collection::vec((0u64..10, 0u8..2), 0..250),
-    ) {
+/// Length CDF total weight equals the stream-labeled miss count.
+#[test]
+fn length_cdf_weight_matches_labels() {
+    let mut rng = SmallRng::seed_from_u64(0x11a7);
+    for _ in 0..128 {
+        let blocks = gen_blocks(&mut rng, 10, 2, 250);
         let t = trace_from(&blocks);
         let a = StreamAnalysis::of_trace(&t);
         let (_, new, rec) = a.label_counts();
-        prop_assert_eq!(a.length_cdf().total_weight(), new + rec);
+        assert_eq!(a.length_cdf().total_weight(), new + rec);
     }
 }
 
@@ -220,5 +240,9 @@ fn reuse_distance_first_processor_rule() {
         .filter(|o| o.len == 2 && t.records()[o.start].block == Block::new(100))
         .collect();
     assert_eq!(occ.len(), 2);
-    assert_eq!(occ[1].reuse_distance, Some(3), "three cpu0 misses intervene");
+    assert_eq!(
+        occ[1].reuse_distance,
+        Some(3),
+        "three cpu0 misses intervene"
+    );
 }
