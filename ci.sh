@@ -4,6 +4,8 @@
 #   2. clippy, warnings denied (workspace lint set in Cargo.toml)
 #   3. exhaustive protocol model check (tables proved before simulation)
 #   4. tier-1 build + test suite
+#   5. determinism gate: the parallel pipeline must be byte-identical
+#      to the serial runner
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,5 +22,17 @@ cargo run -q -p tempstream-checker --bin check-protocols
 echo "== tier-1: build + tests =="
 cargo build --release
 cargo test -q
+
+echo "== determinism gate: reproduce --jobs 1 vs --jobs 4 =="
+# The lint gate above already covers every workspace crate (including
+# tempstream-runtime, picked up by the crates/* glob); here the release
+# binary must emit byte-identical stdout at any worker count. Summaries
+# and progress go to stderr by design so stdout can be diffed.
+det_dir=$(mktemp -d)
+trap 'rm -rf "$det_dir"' EXIT
+./target/release/reproduce all --quick --jobs 1 >"$det_dir/jobs1.out" 2>/dev/null
+./target/release/reproduce all --quick --jobs 4 >"$det_dir/jobs4.out" 2>/dev/null
+diff "$det_dir/jobs1.out" "$det_dir/jobs4.out" \
+  || { echo "determinism gate FAILED: --jobs 4 output differs from --jobs 1"; exit 1; }
 
 echo "CI OK"

@@ -2,47 +2,123 @@
 //!
 //! ```text
 //! reproduce [all|table1|table2|fig1|fig2|fig3|fig4|table3|table4|table5]
-//!           [--quick] [--seed N]
+//!           [--quick] [--seed N] [--jobs N]
 //! ```
 //!
 //! `--quick` runs reduced systems and smoke-scale workloads (seconds);
 //! the default runs the paper configuration (16-node DSM + 4-core CMP,
-//! 64 KB L1 / 8 MB L2) at full measurement scale.
+//! 64 KB L1 / 8 MB L2) at full measurement scale. `--jobs N` runs the
+//! pipeline on N worker threads via `tempstream-runtime` (default: the
+//! host's available parallelism); results are bit-identical to
+//! `--jobs 1`, and the per-stage summary goes to stderr so stdout can
+//! be diffed across job counts.
 
 use std::collections::HashMap;
 use std::time::Instant;
 use tempstream_core::experiment::{Experiment, ExperimentConfig, WorkloadResults};
 use tempstream_core::functions::format_function_table;
 use tempstream_core::report::{format_length_cdf, format_origin_table, format_reuse_pdf};
-use tempstream_trace::{AppClass, IntraChipClass, MissCategory, MissClass};
+use tempstream_runtime::RuntimeConfig;
+use tempstream_trace::{IntraChipClass, MissCategory, MissClass};
 use tempstream_workloads::{spec, Workload};
+
+/// Parsed command line: flags first, then one positional command.
+struct Options {
+    quick: bool,
+    seed: Option<u64>,
+    jobs: usize,
+    cmd: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut quick = false;
+    let mut seed = None;
+    let mut jobs = None;
+    let mut positionals = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid --seed value: {v}"))?,
+                );
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs requires a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid --jobs value: {v}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = Some(n);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other => positionals.push(other.to_string()),
+        }
+    }
+    if positionals.len() > 1 {
+        return Err(format!(
+            "expected at most one command, got: {}",
+            positionals.join(" ")
+        ));
+    }
+    Ok(Options {
+        quick,
+        seed,
+        jobs: jobs.unwrap_or_else(RuntimeConfig::default_workers),
+        cmd: positionals.pop().unwrap_or_else(|| "all".to_string()),
+    })
+}
+
+/// The workloads a command touches through the [`Runner`] cache, for
+/// parallel prefetching. `None` means the command runs no workloads (or
+/// manages its own, like `spatial` and `stability`).
+fn workload_set(cmd: &str) -> Option<Vec<Workload>> {
+    match cmd {
+        "all" | "fig1" | "fig2" | "fig3" | "fig4" | "stats" | "functions" => {
+            Some(Workload::ALL.to_vec())
+        }
+        "table3" => Some(vec![Workload::Apache, Workload::Zeus]),
+        "table4" => Some(vec![Workload::Oltp]),
+        "table5" => Some(vec![Workload::DssQ1, Workload::DssQ2, Workload::DssQ17]),
+        _ => None,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok());
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != seed.map(|_| ""))
-        .map(String::as_str)
-        .filter(|s| s.parse::<u64>().is_err())
-        .unwrap_or("all");
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: reproduce [command] [--quick] [--seed N] [--jobs N]\n\
+                 commands: all table1 table2 fig1 fig2 fig3 fig4 table3 table4 table5 stats functions spatial stability"
+            );
+            std::process::exit(2);
+        }
+    };
 
-    let mut cfg = if quick {
+    let mut cfg = if opts.quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::paper()
     };
-    if let Some(s) = seed {
+    if let Some(s) = opts.seed {
         cfg = cfg.with_seed(s);
     }
 
-    let mut runner = Runner::new(cfg);
-    match cmd {
+    let mut runner = Runner::new(cfg, opts.jobs);
+    if opts.jobs > 1 {
+        if let Some(set) = workload_set(&opts.cmd) {
+            runner.prefetch(&set);
+        }
+    }
+    match opts.cmd.as_str() {
         "table1" => print_table1(),
         "table2" => print_table2(),
         "fig1" => print_fig1(&mut runner),
@@ -81,31 +157,73 @@ fn main() {
 
 /// Caches per-workload results so `all` runs each workload once.
 struct Runner {
+    cfg: ExperimentConfig,
     experiment: Experiment,
+    jobs: usize,
     cache: HashMap<Workload, WorkloadResults>,
 }
 
 impl Runner {
-    fn new(cfg: ExperimentConfig) -> Self {
+    fn new(cfg: ExperimentConfig, jobs: usize) -> Self {
         Runner {
+            cfg,
             experiment: Experiment::new(cfg),
+            jobs,
             cache: HashMap::new(),
         }
     }
 
-    fn results(&mut self, w: Workload) -> &WorkloadResults {
-        if !self.cache.contains_key(&w) {
-            let t = Instant::now();
-            eprintln!("[reproduce] running {w} ...");
-            let r = self.experiment.run_workload(w);
+    /// Runs every uncached workload in `workloads` through the parallel
+    /// pipeline in one batch, so independent workloads overlap.
+    fn prefetch(&mut self, workloads: &[Workload]) {
+        let missing: Vec<Workload> = workloads
+            .iter()
+            .copied()
+            .filter(|w| !self.cache.contains_key(w))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        eprintln!(
+            "[reproduce] running {} workloads on {} worker threads ...",
+            missing.len(),
+            self.jobs
+        );
+        let (results, summary) = tempstream_runtime::run_workloads(
+            &self.cfg,
+            RuntimeConfig::with_workers(self.jobs),
+            &missing,
+        );
+        for r in results {
             eprintln!(
-                "[reproduce] {w}: mc={} sc={} intra={} misses in {:.1}s",
+                "[reproduce] {}: mc={} sc={} intra={} misses",
+                r.workload,
                 r.multi_chip.total_misses,
                 r.single_chip.total_misses,
-                r.intra_chip.total_misses,
-                t.elapsed().as_secs_f64()
+                r.intra_chip.total_misses
             );
-            self.cache.insert(w, r);
+            self.cache.insert(r.workload, r);
+        }
+        eprintln!("{summary}");
+    }
+
+    fn results(&mut self, w: Workload) -> &WorkloadResults {
+        if !self.cache.contains_key(&w) {
+            if self.jobs > 1 {
+                self.prefetch(&[w]);
+            } else {
+                let t = Instant::now();
+                eprintln!("[reproduce] running {w} ...");
+                let r = self.experiment.run_workload(w);
+                eprintln!(
+                    "[reproduce] {w}: mc={} sc={} intra={} misses in {:.1}s",
+                    r.multi_chip.total_misses,
+                    r.single_chip.total_misses,
+                    r.intra_chip.total_misses,
+                    t.elapsed().as_secs_f64()
+                );
+                self.cache.insert(w, r);
+            }
         }
         &self.cache[&w]
     }
@@ -273,15 +391,7 @@ fn print_spatial(cfg: &ExperimentConfig) {
     );
     for w in Workload::ALL {
         // Re-collect traces (cheaper than caching records in Runner).
-        let scale = cfg.scale_override.unwrap_or_else(|| w.default_scale());
-        let mut session =
-            tempstream_workloads::WorkloadSession::new(w, cfg.multi_chip.nodes, cfg.seed);
-        let mut sim = tempstream_coherence::MultiChipSim::new(cfg.multi_chip);
-        sim.set_recording(false);
-        session.run(&mut sim, scale.warmup_ops);
-        sim.set_recording(true);
-        session.run(&mut sim, scale.ops);
-        let trace = sim.finish(1);
+        let (trace, _) = tempstream_core::stages::collect_multi_chip(cfg, w);
         let a = SpatialAnalysis::of_trace(&trace);
         println!(
             "{:<8} {:>12} {:>13.1}% {:>15.1}% {:>14.1}",
@@ -408,8 +518,3 @@ fn print_table5(r: &mut Runner) {
         &[Workload::DssQ1, Workload::DssQ2, Workload::DssQ17],
     );
 }
-
-// Silence the unused warning for AppClass (used implicitly via origin
-// tables' app classes in output).
-#[allow(dead_code)]
-fn _app(_: AppClass) {}

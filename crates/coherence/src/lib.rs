@@ -38,3 +38,13 @@ pub use protocol::{
     Transition, MOSI, MSI,
 };
 pub use single_chip::{SingleChipConfig, SingleChipSim};
+
+// The parallel runtime runs simulators on pool workers; keep the bounds
+// checked here so a non-Send field is caught at its source.
+tempstream_trace::assert_send_sync!(
+    MultiChipConfig,
+    MultiChipSim,
+    SingleChipConfig,
+    SingleChipSim,
+    single_chip::SingleChipTraces,
+);

@@ -7,6 +7,11 @@
 //! before tracing), records the measured phase, and runs the stream,
 //! stride, distribution, and origin analyses over the three resulting
 //! traces (multi-chip off-chip, single-chip off-chip, intra-chip).
+//!
+//! The runner itself is a thin serial composition of the pure stage
+//! functions in [`crate::stages`]; the `tempstream-runtime` crate
+//! composes the same stages into a parallel job DAG and is required to
+//! produce bit-identical results.
 
 use crate::distribution::{LengthCdf, ReuseDistancePdf};
 use crate::functions::FunctionTable;
@@ -14,12 +19,10 @@ use crate::origins::OriginTable;
 use crate::report::{
     IntraClassBreakdown, MissClassBreakdown, StreamFractionReport, StrideJointReport,
 };
-use crate::streams::{StreamAnalysis, StreamLabel};
-use crate::stride::StrideDetector;
-use tempstream_coherence::{MultiChipConfig, MultiChipSim, SingleChipConfig, SingleChipSim};
-use tempstream_trace::miss::MissRecord;
+use crate::stages;
+use tempstream_coherence::{MultiChipConfig, SingleChipConfig};
 use tempstream_trace::{MissTrace, SymbolTable};
-use tempstream_workloads::{Scale, Workload, WorkloadSession};
+use tempstream_workloads::{Scale, Workload};
 
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +36,9 @@ pub struct ExperimentConfig {
     /// Overrides each workload's default scale when set.
     pub scale_override: Option<Scale>,
     /// Cap on the misses fed to the SEQUITUR analysis (memory bound);
-    /// class breakdowns always use the full trace.
+    /// class breakdowns always use the full trace. The parallel
+    /// executor also spills traces larger than this to disk between the
+    /// simulate and analyze stages.
     pub max_analysis_misses: usize,
 }
 
@@ -98,43 +103,6 @@ pub struct StreamResults {
     pub analyzed_misses: usize,
 }
 
-fn analyze_stream_results<C: Copy>(
-    records: &[MissRecord<C>],
-    num_cpus: u32,
-    symbols: &SymbolTable,
-    workload: Workload,
-) -> StreamResults {
-    let analysis = StreamAnalysis::of_records(records, num_cpus);
-    let strides = StrideDetector::of_records(records, num_cpus);
-    let (non, new, rec) = analysis.label_counts();
-    let mut joint = StrideJointReport::default();
-    for (label, &strided) in analysis.labels().iter().zip(strides.flags()) {
-        let repetitive = *label != StreamLabel::NonRepetitive;
-        match (repetitive, strided) {
-            (false, false) => joint.non_repetitive_non_strided += 1,
-            (false, true) => joint.non_repetitive_strided += 1,
-            (true, false) => joint.repetitive_non_strided += 1,
-            (true, true) => joint.repetitive_strided += 1,
-        }
-    }
-    let origins = OriginTable::build(records, analysis.labels(), symbols, workload.app_class());
-    let functions = FunctionTable::build(records, analysis.labels(), symbols);
-    StreamResults {
-        stream_fraction: StreamFractionReport {
-            non_repetitive: non,
-            new_stream: new,
-            recurring_stream: rec,
-        },
-        stride_joint: joint,
-        length_cdf: analysis.length_cdf(),
-        reuse_pdf: analysis.reuse_distance_pdf(),
-        origins,
-        functions,
-        distinct_streams: analysis.distinct_streams(),
-        analyzed_misses: records.len(),
-    }
-}
-
 /// Results for one off-chip context (multi-chip or single-chip).
 #[derive(Debug, Clone)]
 pub struct OffChipResults {
@@ -170,7 +138,7 @@ pub struct WorkloadResults {
     pub intra_chip: IntraChipResults,
 }
 
-/// The experiment runner.
+/// The serial experiment runner.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     config: ExperimentConfig,
@@ -190,60 +158,7 @@ impl Experiment {
     /// Runs one workload through both systems and analyzes all three
     /// contexts.
     pub fn run_workload(&self, workload: Workload) -> WorkloadResults {
-        let scale = self
-            .config
-            .scale_override
-            .unwrap_or_else(|| workload.default_scale());
-
-        // Multi-chip system.
-        let (mc_trace, mc_symbols) = self.collect_multi_chip(workload, scale);
-        let multi_chip = OffChipResults {
-            breakdown: MissClassBreakdown::of_trace(&mc_trace),
-            total_misses: mc_trace.len(),
-            streams: analyze_stream_results(
-                cap(mc_trace.records(), self.config.max_analysis_misses),
-                mc_trace.num_cpus(),
-                &mc_symbols,
-                workload,
-            ),
-        };
-        drop(mc_trace);
-
-        // Single-chip system (off-chip + intra-chip from one run).
-        let (sc_traces, sc_symbols) = self.collect_single_chip(workload, scale);
-        let single_chip = OffChipResults {
-            breakdown: MissClassBreakdown::of_trace(&sc_traces.off_chip),
-            total_misses: sc_traces.off_chip.len(),
-            streams: analyze_stream_results(
-                cap(
-                    sc_traces.off_chip.records(),
-                    self.config.max_analysis_misses,
-                ),
-                sc_traces.off_chip.num_cpus(),
-                &sc_symbols,
-                workload,
-            ),
-        };
-        let intra_chip = IntraChipResults {
-            breakdown: IntraClassBreakdown::of_trace(&sc_traces.intra_chip),
-            total_misses: sc_traces.intra_chip.len(),
-            streams: analyze_stream_results(
-                cap(
-                    sc_traces.intra_chip.records(),
-                    self.config.max_analysis_misses,
-                ),
-                sc_traces.intra_chip.num_cpus(),
-                &sc_symbols,
-                workload,
-            ),
-        };
-
-        WorkloadResults {
-            workload,
-            multi_chip,
-            single_chip,
-            intra_chip,
-        }
+        stages::run_workload_serial(&self.config, workload)
     }
 
     /// Runs every workload.
@@ -254,42 +169,15 @@ impl Experiment {
             .collect()
     }
 
-    fn collect_multi_chip(
+    /// Collects the multi-chip trace for one workload (used by the
+    /// spatial-analysis command; analyses normally go through
+    /// [`Experiment::run_workload`]).
+    pub fn collect_multi_chip(
         &self,
         workload: Workload,
-        scale: Scale,
     ) -> (MissTrace<tempstream_trace::MissClass>, SymbolTable) {
-        let mut session =
-            WorkloadSession::new(workload, self.config.multi_chip.nodes, self.config.seed);
-        let mut sim = MultiChipSim::new(self.config.multi_chip);
-        sim.set_recording(false);
-        session.run(&mut sim, scale.warmup_ops);
-        sim.set_recording(true);
-        let stats = session.run(&mut sim, scale.ops);
-        (sim.finish(stats.instructions), session.into_symbols())
+        stages::collect_multi_chip(&self.config, workload)
     }
-
-    fn collect_single_chip(
-        &self,
-        workload: Workload,
-        scale: Scale,
-    ) -> (
-        tempstream_coherence::single_chip::SingleChipTraces,
-        SymbolTable,
-    ) {
-        let mut session =
-            WorkloadSession::new(workload, self.config.single_chip.cores, self.config.seed);
-        let mut sim = SingleChipSim::new(self.config.single_chip);
-        sim.set_recording(false);
-        session.run(&mut sim, scale.warmup_ops);
-        sim.set_recording(true);
-        let stats = session.run(&mut sim, scale.ops);
-        (sim.finish(stats.instructions), session.into_symbols())
-    }
-}
-
-fn cap<C>(records: &[MissRecord<C>], max: usize) -> &[MissRecord<C>] {
-    &records[..records.len().min(max)]
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 //! - [`report`] — typed report structures with `Display` impls that print
 //!   the paper's figures and tables;
 //! - [`experiment`] — the end-to-end runner: workload × system context →
-//!   full characterization.
+//!   full characterization;
+//! - [`stages`] — the pure emit/simulate/analyze stage functions behind
+//!   the runner, shared with the parallel `tempstream-runtime` executor.
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@ pub mod functions;
 pub mod origins;
 pub mod report;
 pub mod spatial;
+pub mod stages;
 pub mod streams;
 pub mod stride;
 

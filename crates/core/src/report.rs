@@ -174,7 +174,7 @@ impl fmt::Display for IntraClassBreakdown {
 }
 
 /// Figure 2: fraction of misses in temporal streams.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamFractionReport {
     /// Misses outside any stream.
     pub non_repetitive: u64,
@@ -225,7 +225,7 @@ impl fmt::Display for StreamFractionReport {
 }
 
 /// Figure 3: joint strided × repetitive breakdown.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StrideJointReport {
     /// Not in a stream, not strided.
     pub non_repetitive_non_strided: u64,

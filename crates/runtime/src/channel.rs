@@ -1,0 +1,251 @@
+//! A bounded multi-producer / multi-consumer channel.
+//!
+//! The pipeline's emit stage streams access batches to its simulate
+//! stage through one of these; the bound is what gives the executor
+//! backpressure — a fast generator blocks once `capacity` batches are
+//! in flight instead of ballooning RSS. Built on `Mutex` + `Condvar`
+//! (the workspace is registry-dependency-free and forbids `unsafe`).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    max_depth: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// The sending half of a bounded channel; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a bounded channel; cloneable.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone;
+/// carries the unsent value back to the caller.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Creates a bounded channel holding at most `capacity` in-flight items
+/// (clamped to at least 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            max_depth: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value inside [`SendError`] if every receiver has been
+    /// dropped (now or while blocked).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.chan.capacity {
+                state.queue.push_back(value);
+                let depth = state.queue.len();
+                if depth > state.max_depth {
+                    state.max_depth = depth;
+                }
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.chan.not_full.wait(state).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next value, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and every sender
+    /// has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.chan.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// High-water mark of in-flight items over the channel's lifetime.
+    pub fn max_depth(&self) -> usize {
+        self.chan.state.lock().expect("channel poisoned").max_depth
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().expect("channel poisoned").receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake receivers so they observe disconnection.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            // Wake blocked senders so they observe disconnection.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receivers_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn capacity_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        let sent = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                    sent.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // The producer can run at most `capacity` ahead of the consumer.
+            for i in 0..100 {
+                assert_eq!(rx.recv(), Ok(i));
+                assert!(sent.load(Ordering::SeqCst) <= i + 1 + 2);
+            }
+        });
+        assert!(rx.max_depth() <= 2, "bound violated: {}", rx.max_depth());
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || tx.send(1));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(h.join().unwrap().is_err());
+        });
+    }
+
+    #[test]
+    fn multi_consumer_partitions_items() {
+        let (tx, rx) = bounded(4);
+        let rx2 = rx.clone();
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let t = &total;
+            s.spawn(move || {
+                while let Ok(v) = rx.recv() {
+                    t.fetch_add(v, Ordering::SeqCst);
+                }
+            });
+            s.spawn(move || {
+                while let Ok(v) = rx2.recv() {
+                    t.fetch_add(v, Ordering::SeqCst);
+                }
+            });
+            for i in 1..=100usize {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 5050);
+    }
+}

@@ -1,0 +1,120 @@
+//! A work-stealing double-ended job queue.
+//!
+//! Each pool worker owns one `WorkDeque` and treats its back as a LIFO
+//! stack: newly spawned jobs are pushed and popped at the back, which
+//! keeps a worker on the most recently produced (cache-hot, most
+//! dependent) work. Thieves take from the *front* — the oldest jobs —
+//! which are the coarsest-grained and cheapest to migrate. This is the
+//! classic Chase–Lev discipline, implemented here over a mutex (the
+//! workspace forbids `unsafe`); jobs in this runtime are whole pipeline
+//! stages, so queue operations are nowhere near the contention point.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A mutex-based work-stealing deque.
+///
+/// The owner pushes and pops at the back; thieves steal from the front.
+#[derive(Debug, Default)]
+pub struct WorkDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+    max_depth: AtomicUsize,
+}
+
+impl<T> WorkDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        WorkDeque {
+            inner: Mutex::new(VecDeque::new()),
+            max_depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pushes a job at the owner end.
+    pub fn push(&self, item: T) {
+        let mut q = self.inner.lock().expect("deque poisoned");
+        q.push_back(item);
+        self.max_depth.fetch_max(q.len(), Ordering::Relaxed);
+    }
+
+    /// Pops the most recently pushed job (owner end, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Steals the oldest job (thief end, FIFO).
+    pub fn steal(&self) -> Option<T> {
+        self.inner.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// Returns `true` when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue depth over the deque's lifetime.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = WorkDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), Some(1), "thief takes oldest");
+        assert_eq!(d.pop(), Some(3), "owner takes newest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn depth_high_water_mark() {
+        let d = WorkDeque::new();
+        for i in 0..5 {
+            d.push(i);
+        }
+        d.pop();
+        d.pop();
+        d.push(9);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.max_depth(), 5);
+    }
+
+    #[test]
+    fn concurrent_steals_never_duplicate() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let d = WorkDeque::new();
+        const N: u64 = 10_000;
+        for i in 0..N {
+            d.push(i);
+        }
+        let sum = AtomicU64::new(0);
+        let taken = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(v) = d.steal() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), N);
+        assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-stage timing and queue-depth metrics for a pipeline run.
+//!
+//! Every job records its stage and busy time into a shared
+//! [`RunMetrics`] (atomics only — no lock on the job completion path);
+//! at the end of a run the executor folds in queue high-water marks and
+//! spill counters and renders a [`RunSummary`]. The summary goes to
+//! stderr so the determinism gate can diff stdout byte-for-byte.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// The pipeline stage a job belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Workload generation (access emission).
+    Emit,
+    /// Memory-system simulation (trace collection).
+    Simulate,
+    /// Trace analyses (streams / strides / origins / functions).
+    Analyze,
+    /// Ordinal-keyed merge of analysis partials.
+    Reduce,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 4] = [Stage::Emit, Stage::Simulate, Stage::Analyze, Stage::Reduce];
+
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Emit => "emit",
+            Stage::Simulate => "simulate",
+            Stage::Analyze => "analyze",
+            Stage::Reduce => "reduce",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Emit => 0,
+            Stage::Simulate => 1,
+            Stage::Analyze => 2,
+            Stage::Reduce => 3,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StageClock {
+    jobs: AtomicUsize,
+    busy_nanos: AtomicU64,
+    max_job_nanos: AtomicU64,
+}
+
+/// Shared metric sinks for one pipeline run.
+#[derive(Debug, Default)]
+pub struct RunMetrics {
+    stages: [StageClock; 4],
+    max_channel_depth: AtomicUsize,
+}
+
+impl RunMetrics {
+    /// Creates a zeroed metrics sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished job of `stage` that ran for `busy`.
+    pub fn record(&self, stage: Stage, busy: Duration) {
+        let clock = &self.stages[stage.index()];
+        let nanos = busy.as_nanos().min(u128::from(u64::MAX)) as u64;
+        clock.jobs.fetch_add(1, Ordering::Relaxed);
+        clock.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        clock.max_job_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Folds one emit→simulate channel's depth high-water mark into the
+    /// run-wide maximum.
+    pub fn note_channel_depth(&self, depth: usize) {
+        self.max_channel_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Runs `f` and records its wall time against `stage`.
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record(stage, start.elapsed());
+        out
+    }
+
+    /// Snapshots the per-stage counters into a summary.
+    pub fn summarize(
+        &self,
+        workers: usize,
+        wall: Duration,
+        max_injector_depth: usize,
+        max_deque_depth: usize,
+        spilled_traces: usize,
+        spilled_bytes: u64,
+    ) -> RunSummary {
+        let stages = Stage::ALL.map(|s| {
+            let c = &self.stages[s.index()];
+            StageSummary {
+                stage: s,
+                jobs: c.jobs.load(Ordering::Relaxed),
+                busy: Duration::from_nanos(c.busy_nanos.load(Ordering::Relaxed)),
+                max_job: Duration::from_nanos(c.max_job_nanos.load(Ordering::Relaxed)),
+            }
+        });
+        RunSummary {
+            workers,
+            wall,
+            stages,
+            max_injector_depth,
+            max_deque_depth,
+            max_channel_depth: self.max_channel_depth.load(Ordering::Relaxed),
+            spilled_traces,
+            spilled_bytes,
+        }
+    }
+}
+
+/// Aggregate timing for one stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSummary {
+    /// The stage.
+    pub stage: Stage,
+    /// Jobs that ran in this stage.
+    pub jobs: usize,
+    /// Total busy time across all jobs (can exceed wall time when the
+    /// stage ran on several workers at once).
+    pub busy: Duration,
+    /// Longest single job.
+    pub max_job: Duration,
+}
+
+/// Everything the executor reports about one run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// End-to-end wall-clock time of the run.
+    pub wall: Duration,
+    /// Per-stage aggregates, in pipeline order.
+    pub stages: [StageSummary; 4],
+    /// Injector-queue depth high-water mark.
+    pub max_injector_depth: usize,
+    /// Worker-deque depth high-water mark.
+    pub max_deque_depth: usize,
+    /// Emit→simulate channel depth high-water mark (in batches).
+    pub max_channel_depth: usize,
+    /// Traces paged out to disk.
+    pub spilled_traces: usize,
+    /// Bytes written to spill files.
+    pub spilled_bytes: u64,
+}
+
+impl RunSummary {
+    /// Total busy time across all stages.
+    pub fn total_busy(&self) -> Duration {
+        self.stages.iter().map(|s| s.busy).sum()
+    }
+
+    /// Busy-time / (wall × workers): 1.0 means every worker was busy
+    /// for the whole run. Emit time runs on companion threads, so the
+    /// ratio can exceed 1.0.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.workers as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.total_busy().as_secs_f64() / denom
+        }
+    }
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline summary: {} workers, wall {:.2}s, utilization {:.2}",
+            self.workers,
+            self.wall.as_secs_f64(),
+            self.utilization()
+        )?;
+        writeln!(
+            f,
+            "  {:<10} {:>6} {:>10} {:>10}",
+            "stage", "jobs", "busy (s)", "max job(s)"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<10} {:>6} {:>10.2} {:>10.2}",
+                s.stage.name(),
+                s.jobs,
+                s.busy.as_secs_f64(),
+                s.max_job.as_secs_f64()
+            )?;
+        }
+        writeln!(
+            f,
+            "  queue depth: injector max {}, worker deque max {}, emit channel max {}",
+            self.max_injector_depth, self.max_deque_depth, self.max_channel_depth
+        )?;
+        write!(
+            f,
+            "  spill store: {} traces, {:.1} MiB",
+            self.spilled_traces,
+            self.spilled_bytes as f64 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_stage() {
+        let m = RunMetrics::new();
+        m.record(Stage::Emit, Duration::from_millis(5));
+        m.record(Stage::Emit, Duration::from_millis(7));
+        m.record(Stage::Analyze, Duration::from_millis(11));
+        m.note_channel_depth(3);
+        m.note_channel_depth(2);
+        let s = m.summarize(4, Duration::from_millis(20), 9, 5, 1, 2048);
+        assert_eq!(s.stages[0].jobs, 2);
+        assert_eq!(s.stages[0].busy, Duration::from_millis(12));
+        assert_eq!(s.stages[0].max_job, Duration::from_millis(7));
+        assert_eq!(s.stages[2].jobs, 1);
+        assert_eq!(s.stages[1].jobs, 0);
+        assert_eq!(s.max_channel_depth, 3);
+        assert_eq!(s.spilled_traces, 1);
+        assert!(s.utilization() > 0.0);
+    }
+
+    #[test]
+    fn summary_renders_every_stage() {
+        let m = RunMetrics::new();
+        m.time(Stage::Reduce, || {
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        let text = m
+            .summarize(2, Duration::from_millis(2), 0, 0, 0, 0)
+            .to_string();
+        for stage in Stage::ALL {
+            assert!(text.contains(stage.name()), "missing {}", stage.name());
+        }
+        assert!(text.contains("spill store"));
+    }
+}

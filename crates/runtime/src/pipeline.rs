@@ -1,0 +1,695 @@
+//! The reproduction as a DAG of typed jobs on the work-stealing pool.
+//!
+//! Per workload × system context, the DAG is:
+//!
+//! ```text
+//! Emit(workload) ──bounded channel──▶ Simulate(context) ──▶ Analyze(Streams) ──▶ Analyze(Origins)
+//!                                            │                    │          └─▶ Analyze(Functions)
+//!                                            │                    └─(labels)
+//!                                            └──────────────────▶ Analyze(Strides)
+//! ```
+//!
+//! and a final ordinal-keyed **Reduce** merges every partial into
+//! [`WorkloadResults`]. Emit jobs run on companion threads paired with
+//! their simulate consumer (never on pool workers — a blocked producer
+//! must not occupy a worker, which keeps any worker count ≥ 1
+//! deadlock-free); everything downstream is a pool job, spawned the
+//! moment its inputs exist.
+//!
+//! **Determinism:** every job is a pure function from
+//! [`crate::spill::SharedTrace`] inputs produced by the deterministic
+//! emit/simulate stages of `tempstream_core::stages`, every partial is
+//! filed under its [`JobSpec`] ordinal key, and the reducer walks keys
+//! in ascending order — so the assembled results are bit-identical to
+//! the serial runner for any worker count and any scheduling order.
+
+use crate::channel::{bounded, Sender};
+use crate::metrics::{RunMetrics, RunSummary, Stage};
+use crate::pool::{self, Worker};
+use crate::spill::{SharedTrace, TraceStore};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tempstream_coherence::{MultiChipSim, SingleChipSim};
+use tempstream_core::experiment::{
+    ExperimentConfig, IntraChipResults, OffChipResults, WorkloadResults,
+};
+use tempstream_core::report::{IntraClassBreakdown, MissClassBreakdown};
+use tempstream_core::stages::{self, EmitOutput, PhasedSink, StreamsPartial};
+use tempstream_core::streams::StreamLabel;
+use tempstream_trace::io::TraceClass;
+use tempstream_trace::sink::AccessSink;
+use tempstream_trace::{MemoryAccess, SymbolTable};
+use tempstream_workloads::Workload;
+
+/// One of the three analysis contexts of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Context {
+    /// Off-chip misses of the 16-node DSM.
+    MultiChip,
+    /// Off-chip misses of the 4-core CMP.
+    SingleChip,
+    /// On-chip-satisfied L1 misses of the CMP.
+    IntraChip,
+}
+
+impl Context {
+    fn index(self) -> usize {
+        match self {
+            Context::MultiChip => 0,
+            Context::SingleChip => 1,
+            Context::IntraChip => 2,
+        }
+    }
+}
+
+/// One of the four per-context analysis jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnalysisKind {
+    /// SEQUITUR stream labeling and label-derived reports.
+    Streams,
+    /// Constant-stride run detection.
+    Strides,
+    /// Code-module attribution (Tables 3-5).
+    Origins,
+    /// Per-function attribution.
+    Functions,
+}
+
+/// A typed job of the reproduction DAG.
+///
+/// The derived `Ord` is the reduction order: partial results are filed
+/// under their spec and merged in ascending key order, which is what
+/// makes the reduction independent of scheduling order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JobSpec {
+    /// Drive one workload's access stream into a bounded channel.
+    Emit {
+        /// Ordinal of the workload in the run's workload list.
+        workload: usize,
+        /// The consuming simulation context (`IntraChip` never appears:
+        /// the single-chip emit feeds both CMP contexts).
+        context: Context,
+    },
+    /// Consume an access stream into a memory-system simulator.
+    Simulate {
+        /// Ordinal of the workload in the run's workload list.
+        workload: usize,
+        /// The simulation context being produced.
+        context: Context,
+    },
+    /// Run one pure analysis over a collected trace.
+    Analyze {
+        /// Ordinal of the workload in the run's workload list.
+        workload: usize,
+        /// The trace context being analyzed.
+        context: Context,
+        /// Which analysis.
+        kind: AnalysisKind,
+    },
+    /// Merge one workload's partials into its final results.
+    Reduce {
+        /// Ordinal of the workload in the run's workload list.
+        workload: usize,
+    },
+}
+
+impl JobSpec {
+    /// The pipeline stage this job belongs to.
+    pub fn stage(self) -> Stage {
+        match self {
+            JobSpec::Emit { .. } => Stage::Emit,
+            JobSpec::Simulate { .. } => Stage::Simulate,
+            JobSpec::Analyze { .. } => Stage::Analyze,
+            JobSpec::Reduce { .. } => Stage::Reduce,
+        }
+    }
+}
+
+/// Executor parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Accesses per emit→simulate channel batch.
+    pub batch_size: usize,
+    /// Batches in flight per emit→simulate channel (the backpressure
+    /// bound).
+    pub channel_capacity: usize,
+    /// Record-count threshold above which collected traces spill to
+    /// disk; defaults to the experiment's `max_analysis_misses`.
+    pub spill_threshold: Option<usize>,
+}
+
+impl RuntimeConfig {
+    /// A configuration with `workers` threads and default streaming
+    /// parameters.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig {
+            workers: workers.max(1),
+            batch_size: 4096,
+            channel_capacity: 8,
+            spill_threshold: None,
+        }
+    }
+
+    /// The host's available parallelism (the `--jobs` default).
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// What the emit stage streams to its simulate consumer.
+enum EmitMsg {
+    /// A batch of accesses (warmup or measured — the boundary is the
+    /// `BeginMeasurement` marker).
+    Batch(Vec<MemoryAccess>),
+    /// The warmup/measurement boundary.
+    BeginMeasurement,
+    /// End of stream: measured instruction count and the symbol table.
+    Done(Box<EmitOutput>),
+}
+
+/// An [`AccessSink`] that batches accesses into a bounded channel.
+struct ChannelSink {
+    tx: Sender<EmitMsg>,
+    buf: Vec<MemoryAccess>,
+    batch_size: usize,
+}
+
+impl ChannelSink {
+    fn new(tx: Sender<EmitMsg>, batch_size: usize) -> Self {
+        ChannelSink {
+            tx,
+            buf: Vec::with_capacity(batch_size),
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch_size));
+            // A dropped receiver means the simulate job died; emission
+            // continues into the void and the pool surfaces its panic.
+            let _ = self.tx.send(EmitMsg::Batch(batch));
+        }
+    }
+
+    fn finish(mut self, out: EmitOutput) {
+        self.flush();
+        let _ = self.tx.send(EmitMsg::Done(Box::new(out)));
+    }
+}
+
+impl AccessSink for ChannelSink {
+    fn access(&mut self, access: &MemoryAccess) {
+        self.buf.push(*access);
+        if self.buf.len() >= self.batch_size {
+            self.flush();
+        }
+    }
+}
+
+impl PhasedSink for ChannelSink {
+    fn begin_measurement(&mut self) {
+        self.flush();
+        let _ = self.tx.send(EmitMsg::BeginMeasurement);
+    }
+}
+
+/// A write-once slot for one partial result.
+struct Cell<T>(Mutex<Option<T>>);
+
+impl<T> Cell<T> {
+    fn new() -> Self {
+        Cell(Mutex::new(None))
+    }
+
+    fn set(&self, value: T) {
+        let prev = self.0.lock().expect("cell poisoned").replace(value);
+        assert!(prev.is_none(), "partial result produced twice");
+    }
+
+    fn take(&self) -> T {
+        self.0
+            .lock()
+            .expect("cell poisoned")
+            .take()
+            .expect("partial result missing at reduction")
+    }
+}
+
+/// The simulate stage's contribution for one context: full-trace class
+/// breakdown and the total miss count.
+enum BreakdownPartial {
+    OffChip(MissClassBreakdown),
+    IntraChip(IntraClassBreakdown),
+}
+
+struct CollectedPartial {
+    breakdown: BreakdownPartial,
+    total_misses: usize,
+}
+
+/// All partials for one (workload, context) pair, filled in by jobs and
+/// drained by the key-ordered reducer.
+struct ContextSlot {
+    collected: Cell<CollectedPartial>,
+    streams: Cell<StreamsPartial>,
+    flags: Cell<Vec<bool>>,
+    origins: Cell<tempstream_core::origins::OriginTable>,
+    functions: Cell<tempstream_core::functions::FunctionTable>,
+}
+
+impl ContextSlot {
+    fn new() -> Self {
+        ContextSlot {
+            collected: Cell::new(),
+            streams: Cell::new(),
+            flags: Cell::new(),
+            origins: Cell::new(),
+            functions: Cell::new(),
+        }
+    }
+}
+
+struct WorkloadSlots {
+    contexts: [ContextSlot; 3],
+}
+
+impl WorkloadSlots {
+    fn new() -> Self {
+        WorkloadSlots {
+            contexts: [ContextSlot::new(), ContextSlot::new(), ContextSlot::new()],
+        }
+    }
+
+    fn context(&self, c: Context) -> &ContextSlot {
+        &self.contexts[c.index()]
+    }
+}
+
+/// Runs `workloads` through the full pipeline on `rt.workers` threads.
+///
+/// Returns the per-workload results **in input order** (bit-identical
+/// to [`tempstream_core::Experiment::run_workload`] on each) plus the
+/// run's per-stage summary.
+///
+/// # Panics
+///
+/// Panics if the spill directory cannot be created or written, or if a
+/// workload/simulator stage panics (the first panic is re-raised after
+/// the pool drains).
+pub fn run_workloads(
+    cfg: &ExperimentConfig,
+    rt: RuntimeConfig,
+    workloads: &[Workload],
+) -> (Vec<WorkloadResults>, RunSummary) {
+    let start = Instant::now();
+    let store = TraceStore::new(rt.spill_threshold.unwrap_or(cfg.max_analysis_misses))
+        .expect("failed to create spill directory");
+    let metrics = RunMetrics::new();
+    let slots: Vec<WorkloadSlots> = workloads.iter().map(|_| WorkloadSlots::new()).collect();
+
+    let (injector_depth, deque_depth) = pool::scope(rt.workers, |p| {
+        let cfg = *cfg;
+        let (slots, store, metrics) = (&slots, &store, &metrics);
+        for (ordinal, &workload) in workloads.iter().enumerate() {
+            p.spawn(move |w| {
+                simulate_multi_chip(w, &cfg, rt, workload, ordinal, slots, store, metrics);
+            });
+            p.spawn(move |w| {
+                simulate_single_chip(w, &cfg, rt, workload, ordinal, slots, store, metrics);
+            });
+        }
+        p.join();
+        (p.injector_max_depth(), p.worker_max_depth())
+    });
+
+    // Ordinal-keyed reduction: walk JobSpec::Reduce keys in ascending
+    // order; every partial is taken from its slot, never from arrival
+    // order.
+    let results = metrics.time(Stage::Reduce, || {
+        workloads
+            .iter()
+            .enumerate()
+            .map(|(ordinal, &workload)| reduce_workload(workload, &slots[ordinal]))
+            .collect::<Vec<_>>()
+    });
+
+    let summary = metrics.summarize(
+        rt.workers,
+        start.elapsed(),
+        injector_depth,
+        deque_depth,
+        store.spilled_traces(),
+        store.spilled_bytes(),
+    );
+    (results, summary)
+}
+
+/// Convenience: the full paper workload list.
+pub fn run_all(cfg: &ExperimentConfig, rt: RuntimeConfig) -> (Vec<WorkloadResults>, RunSummary) {
+    run_workloads(cfg, rt, &Workload::ALL)
+}
+
+/// Runs the emit companion thread and drains its channel into `sim`
+/// (any [`PhasedSink`]), returning the emit output once the stream
+/// ends.
+fn pump_emit_into<S: PhasedSink>(
+    sim: &mut S,
+    rt: RuntimeConfig,
+    workload: Workload,
+    num_cpus: u32,
+    seed: u64,
+    scale: tempstream_workloads::Scale,
+    metrics: &RunMetrics,
+) -> EmitOutput {
+    let (tx, rx) = bounded::<EmitMsg>(rt.channel_capacity);
+    std::thread::scope(|es| {
+        es.spawn(move || {
+            let t0 = Instant::now();
+            let mut sink = ChannelSink::new(tx, rt.batch_size);
+            let out = stages::emit_workload(workload, num_cpus, seed, scale, &mut sink);
+            sink.finish(out);
+            metrics.record(Stage::Emit, t0.elapsed());
+        });
+        let mut done = None;
+        loop {
+            match rx.recv() {
+                Ok(EmitMsg::Batch(batch)) => {
+                    for a in &batch {
+                        sim.access(a);
+                    }
+                }
+                Ok(EmitMsg::BeginMeasurement) => sim.begin_measurement(),
+                Ok(EmitMsg::Done(out)) => done = Some(*out),
+                Err(_) => break,
+            }
+        }
+        metrics.note_channel_depth(rx.max_depth());
+        done.expect("emit stream ended without a Done message")
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_multi_chip<'env>(
+    w: &Worker<'_, 'env>,
+    cfg: &ExperimentConfig,
+    rt: RuntimeConfig,
+    workload: Workload,
+    ordinal: usize,
+    slots: &'env [WorkloadSlots],
+    store: &'env TraceStore,
+    metrics: &'env RunMetrics,
+) {
+    let t0 = Instant::now();
+    let scale = stages::scale_for(cfg, workload);
+    let mut sim = MultiChipSim::new(cfg.multi_chip);
+    sim.set_recording(false);
+    let out = pump_emit_into(
+        &mut sim,
+        rt,
+        workload,
+        cfg.multi_chip.nodes,
+        cfg.seed,
+        scale,
+        metrics,
+    );
+    let trace = sim.finish(out.instructions);
+    let slot = slots[ordinal].context(Context::MultiChip);
+    slot.collected.set(CollectedPartial {
+        breakdown: BreakdownPartial::OffChip(MissClassBreakdown::of_trace(&trace)),
+        total_misses: trace.len(),
+    });
+    let shared = Arc::new(store.put(trace).expect("spill write failed"));
+    let symbols = Arc::new(out.symbols);
+    metrics.record(Stage::Simulate, t0.elapsed());
+    spawn_analyses(
+        w,
+        ordinal,
+        Context::MultiChip,
+        workload,
+        cfg.max_analysis_misses,
+        shared,
+        symbols,
+        slots,
+        metrics,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_single_chip<'env>(
+    w: &Worker<'_, 'env>,
+    cfg: &ExperimentConfig,
+    rt: RuntimeConfig,
+    workload: Workload,
+    ordinal: usize,
+    slots: &'env [WorkloadSlots],
+    store: &'env TraceStore,
+    metrics: &'env RunMetrics,
+) {
+    let t0 = Instant::now();
+    let scale = stages::scale_for(cfg, workload);
+    let mut sim = SingleChipSim::new(cfg.single_chip);
+    sim.set_recording(false);
+    let out = pump_emit_into(
+        &mut sim,
+        rt,
+        workload,
+        cfg.single_chip.cores,
+        cfg.seed,
+        scale,
+        metrics,
+    );
+    let traces = sim.finish(out.instructions);
+    let symbols = Arc::new(out.symbols);
+
+    let off_slot = slots[ordinal].context(Context::SingleChip);
+    off_slot.collected.set(CollectedPartial {
+        breakdown: BreakdownPartial::OffChip(MissClassBreakdown::of_trace(&traces.off_chip)),
+        total_misses: traces.off_chip.len(),
+    });
+    let intra_slot = slots[ordinal].context(Context::IntraChip);
+    intra_slot.collected.set(CollectedPartial {
+        breakdown: BreakdownPartial::IntraChip(IntraClassBreakdown::of_trace(&traces.intra_chip)),
+        total_misses: traces.intra_chip.len(),
+    });
+
+    let off_shared = Arc::new(store.put(traces.off_chip).expect("spill write failed"));
+    let intra_shared = Arc::new(store.put(traces.intra_chip).expect("spill write failed"));
+    metrics.record(Stage::Simulate, t0.elapsed());
+
+    spawn_analyses(
+        w,
+        ordinal,
+        Context::SingleChip,
+        workload,
+        cfg.max_analysis_misses,
+        off_shared,
+        symbols.clone(),
+        slots,
+        metrics,
+    );
+    spawn_analyses(
+        w,
+        ordinal,
+        Context::IntraChip,
+        workload,
+        cfg.max_analysis_misses,
+        intra_shared,
+        symbols,
+        slots,
+        metrics,
+    );
+}
+
+/// Spawns the four analysis jobs for one collected context. `Streams`
+/// spawns `Origins` and `Functions` the moment the labels exist;
+/// `Strides` is independent.
+#[allow(clippy::too_many_arguments)]
+fn spawn_analyses<'env, C>(
+    w: &Worker<'_, 'env>,
+    ordinal: usize,
+    context: Context,
+    workload: Workload,
+    max_analysis_misses: usize,
+    shared: Arc<SharedTrace<C>>,
+    symbols: Arc<SymbolTable>,
+    slots: &'env [WorkloadSlots],
+    metrics: &'env RunMetrics,
+) where
+    C: TraceClass + Send + Sync + 'static,
+{
+    let slot = slots[ordinal].context(context);
+
+    {
+        let shared = shared.clone();
+        w.spawn(move |w2| {
+            metrics.time(Stage::Analyze, || {
+                let trace = shared.trace();
+                let records = stages::cap(trace.records(), max_analysis_misses);
+                let partial = stages::analyze_streams(records, trace.num_cpus());
+                let labels: Arc<Vec<StreamLabel>> = Arc::new(partial.labels.clone());
+                slot.streams.set(partial);
+
+                let (sh, sy, lb) = (shared.clone(), symbols.clone(), labels.clone());
+                w2.spawn(move |_| {
+                    metrics.time(Stage::Analyze, || {
+                        let records = stages::cap(sh.trace().records(), max_analysis_misses);
+                        slot.origins
+                            .set(stages::analyze_origins(records, &lb, &sy, workload));
+                    });
+                });
+                let (sh, sy) = (shared.clone(), symbols.clone());
+                w2.spawn(move |_| {
+                    metrics.time(Stage::Analyze, || {
+                        let records = stages::cap(sh.trace().records(), max_analysis_misses);
+                        slot.functions
+                            .set(stages::analyze_functions(records, &labels, &sy));
+                    });
+                });
+            });
+        });
+    }
+
+    w.spawn(move |_| {
+        metrics.time(Stage::Analyze, || {
+            let trace = shared.trace();
+            let records = stages::cap(trace.records(), max_analysis_misses);
+            slot.flags
+                .set(stages::analyze_strides(records, trace.num_cpus()));
+        });
+    });
+}
+
+/// Merges one workload's partials, in ascending context order.
+fn reduce_workload(workload: Workload, slots: &WorkloadSlots) -> WorkloadResults {
+    let off = |context: Context| {
+        let slot = slots.context(context);
+        let collected = slot.collected.take();
+        let BreakdownPartial::OffChip(breakdown) = collected.breakdown else {
+            panic!("off-chip context carried an intra-chip breakdown");
+        };
+        let streams = slot.streams.take();
+        let analyzed = streams.labels.len();
+        OffChipResults {
+            breakdown,
+            total_misses: collected.total_misses,
+            streams: stages::assemble_stream_results(
+                streams,
+                &slot.flags.take(),
+                slot.origins.take(),
+                slot.functions.take(),
+                analyzed,
+            ),
+        }
+    };
+    let multi_chip = off(Context::MultiChip);
+    let single_chip = off(Context::SingleChip);
+
+    let slot = slots.context(Context::IntraChip);
+    let collected = slot.collected.take();
+    let BreakdownPartial::IntraChip(breakdown) = collected.breakdown else {
+        panic!("intra-chip context carried an off-chip breakdown");
+    };
+    let streams = slot.streams.take();
+    let analyzed = streams.labels.len();
+    let intra_chip = IntraChipResults {
+        breakdown,
+        total_misses: collected.total_misses,
+        streams: stages::assemble_stream_results(
+            streams,
+            &slot.flags.take(),
+            slot.origins.take(),
+            slot.functions.take(),
+            analyzed,
+        ),
+    };
+
+    WorkloadResults {
+        workload,
+        multi_chip,
+        single_chip,
+        intra_chip,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_core::Experiment;
+
+    fn digest(results: &[WorkloadResults]) -> String {
+        // Debug formatting round-trips every counter and every f64
+        // exactly (shortest-roundtrip), so string equality here is
+        // bit-identity of the result structures.
+        format!("{results:#?}")
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_worker_count() {
+        let cfg = ExperimentConfig::quick();
+        let workloads = [Workload::Apache, Workload::DssQ2];
+        let serial: Vec<_> = workloads
+            .iter()
+            .map(|&w| Experiment::new(cfg).run_workload(w))
+            .collect();
+        let expected = digest(&serial);
+        for workers in [1, 2, 4] {
+            let (got, summary) =
+                run_workloads(&cfg, RuntimeConfig::with_workers(workers), &workloads);
+            assert_eq!(
+                digest(&got),
+                expected,
+                "results diverged with {workers} workers"
+            );
+            assert_eq!(summary.workers, workers);
+            assert!(summary.stages[0].jobs > 0, "no emit jobs recorded");
+            assert!(summary.stages[2].jobs > 0, "no analyze jobs recorded");
+        }
+    }
+
+    #[test]
+    fn forced_spill_is_transparent() {
+        let cfg = ExperimentConfig::quick();
+        let workloads = [Workload::Oltp];
+        let expected = digest(&[Experiment::new(cfg).run_workload(Workload::Oltp)]);
+        let mut rt = RuntimeConfig::with_workers(2);
+        rt.spill_threshold = Some(0); // every trace pages out
+        let (got, summary) = run_workloads(&cfg, rt, &workloads);
+        assert_eq!(digest(&got), expected, "spill round-trip changed results");
+        assert_eq!(summary.spilled_traces, 3, "all three contexts must spill");
+        assert!(summary.spilled_bytes > 0);
+    }
+
+    #[test]
+    fn job_spec_orders_by_ordinal_key() {
+        let a = JobSpec::Analyze {
+            workload: 0,
+            context: Context::MultiChip,
+            kind: AnalysisKind::Streams,
+        };
+        let b = JobSpec::Analyze {
+            workload: 0,
+            context: Context::SingleChip,
+            kind: AnalysisKind::Streams,
+        };
+        let c = JobSpec::Reduce { workload: 1 };
+        assert!(a < b && b < c);
+        assert_eq!(a.stage(), Stage::Analyze);
+        assert_eq!(c.stage(), Stage::Reduce);
+    }
+
+    #[test]
+    fn summary_reports_pipeline_shape() {
+        let cfg = ExperimentConfig::quick();
+        let (_, summary) = run_workloads(&cfg, RuntimeConfig::with_workers(2), &[Workload::Zeus]);
+        // 2 simulate jobs (mc + sc), 2 emit companions, 12 analyze jobs
+        // (3 contexts × 4 analyses), 1 reduce call.
+        assert_eq!(summary.stages[0].jobs, 2, "emit jobs");
+        assert_eq!(summary.stages[1].jobs, 2, "simulate jobs");
+        assert_eq!(summary.stages[2].jobs, 12, "analyze jobs");
+        assert_eq!(summary.stages[3].jobs, 1, "reduce batches");
+        assert!(summary.wall.as_nanos() > 0);
+    }
+}

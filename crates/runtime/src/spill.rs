@@ -1,0 +1,229 @@
+//! Spill-to-disk storage for miss traces between pipeline stages.
+//!
+//! The simulate stage can finish long before the analyze stages drain a
+//! trace, and a full-scale run holds several multi-million-record
+//! traces at once. A [`TraceStore`] keeps small traces in memory but
+//! pages traces larger than its threshold out to disk in the existing
+//! `TSMT` binary format (`tempstream_trace::io`), so peak RSS stays
+//! bounded by the analysis cap rather than by total trace volume.
+//! [`SharedTrace`] lazily reloads a spilled trace the first time an
+//! analyze job touches it and caches it for the context's remaining
+//! jobs; dropping the last handle frees the memory again.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use tempstream_trace::io::{read_trace, write_trace, TraceClass};
+use tempstream_trace::MissTrace;
+
+/// A directory of spilled traces, removed on drop.
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+    threshold: usize,
+    next_id: AtomicU64,
+    spilled_traces: AtomicUsize,
+    spilled_bytes: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates a store that spills traces holding more than `threshold`
+    /// records. The backing directory lives under the system temp dir
+    /// and is deleted when the store drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from creating the backing directory.
+    pub fn new(threshold: usize) -> std::io::Result<Self> {
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("tempstream-spill-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        Ok(TraceStore {
+            dir,
+            threshold,
+            next_id: AtomicU64::new(0),
+            spilled_traces: AtomicUsize::new(0),
+            spilled_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Record-count threshold above which a trace spills to disk.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Stores `trace`, spilling it to disk when it exceeds the
+    /// threshold; the returned [`SharedTrace`] reloads it on demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from writing the spill file.
+    pub fn put<C: TraceClass>(&self, trace: MissTrace<C>) -> std::io::Result<SharedTrace<C>> {
+        if trace.len() <= self.threshold {
+            return Ok(SharedTrace::in_memory(trace));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("t{id}.tsmt"));
+        let file = File::create(&path)?;
+        let mut w = BufWriter::new(file);
+        write_trace(&trace, &mut w)?;
+        std::io::Write::flush(&mut w)?;
+        let bytes = w.get_ref().metadata().map_or(0, |m| m.len());
+        self.spilled_traces.fetch_add(1, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(SharedTrace::on_disk(path))
+    }
+
+    /// Number of traces spilled to disk so far.
+    pub fn spilled_traces(&self) -> usize {
+        self.spilled_traces.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written to spill files so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TraceStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A trace held either in memory or in a spill file, loaded lazily and
+/// at most once; cheap to share across analyze jobs behind an `Arc`.
+#[derive(Debug)]
+pub struct SharedTrace<C: TraceClass> {
+    spill_path: Option<PathBuf>,
+    cache: OnceLock<MissTrace<C>>,
+}
+
+impl<C: TraceClass> SharedTrace<C> {
+    fn in_memory(trace: MissTrace<C>) -> Self {
+        let cache = OnceLock::new();
+        let _ = cache.set(trace);
+        SharedTrace {
+            spill_path: None,
+            cache,
+        }
+    }
+
+    fn on_disk(path: PathBuf) -> Self {
+        SharedTrace {
+            spill_path: Some(path),
+            cache: OnceLock::new(),
+        }
+    }
+
+    /// Returns `true` when the trace lives in a spill file that has not
+    /// been reloaded yet.
+    pub fn is_spilled(&self) -> bool {
+        self.spill_path.is_some() && self.cache.get().is_none()
+    }
+
+    /// The trace, reloading it from the spill file on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill file cannot be read back — the store owns the
+    /// file for the run's lifetime, so this only happens on real I/O
+    /// failure, which is fatal to the experiment anyway.
+    pub fn trace(&self) -> &MissTrace<C> {
+        self.cache.get_or_init(|| {
+            let path = self
+                .spill_path
+                .as_ref()
+                .expect("in-memory SharedTrace always has a cached trace");
+            let file = File::open(path)
+                .unwrap_or_else(|e| panic!("spill file {} vanished: {e}", path.display()));
+            read_trace(BufReader::new(file))
+                .unwrap_or_else(|e| panic!("spill file {} corrupt: {e}", path.display()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::miss::MissRecord;
+    use tempstream_trace::{Block, CpuId, FunctionId, MissClass, ThreadId};
+
+    fn trace_of(len: usize) -> MissTrace<MissClass> {
+        let mut t = MissTrace::new(4);
+        t.set_instructions(777);
+        for i in 0..len {
+            t.push(MissRecord {
+                block: Block::new(i as u64 * 11),
+                cpu: CpuId::new((i % 4) as u32),
+                thread: ThreadId::new(i as u32),
+                function: FunctionId::new((i % 5) as u32),
+                class: MissClass::from_byte((i % 4) as u8).unwrap(),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn small_traces_stay_in_memory() {
+        let store = TraceStore::new(100).unwrap();
+        let shared = store.put(trace_of(50)).unwrap();
+        assert!(!shared.is_spilled());
+        assert_eq!(store.spilled_traces(), 0);
+        assert_eq!(shared.trace().len(), 50);
+    }
+
+    #[test]
+    fn large_traces_spill_and_reload_identically() {
+        let store = TraceStore::new(100).unwrap();
+        let original = trace_of(500);
+        let records: Vec<_> = original.records().to_vec();
+        let shared = store.put(original).unwrap();
+        assert!(shared.is_spilled(), "trace above threshold must page out");
+        assert_eq!(store.spilled_traces(), 1);
+        assert!(store.spilled_bytes() > 0);
+
+        let loaded = shared.trace();
+        assert_eq!(loaded.records(), &records[..]);
+        assert_eq!(loaded.instructions(), 777);
+        assert_eq!(loaded.num_cpus(), 4);
+        assert!(!shared.is_spilled(), "reload caches the trace");
+        // Second access hits the cache, not the file.
+        assert_eq!(shared.trace().len(), 500);
+    }
+
+    #[test]
+    fn store_drop_removes_spill_dir() {
+        let dir;
+        {
+            let store = TraceStore::new(0).unwrap();
+            let shared = store.put(trace_of(10)).unwrap();
+            assert!(shared.is_spilled());
+            dir = store.dir.clone();
+            assert!(dir.exists());
+            let _ = shared.trace();
+        }
+        assert!(!dir.exists(), "spill dir must be cleaned up");
+    }
+
+    #[test]
+    fn concurrent_puts_get_distinct_files() {
+        let store = TraceStore::new(0).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let st = &store;
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        let shared = st.put(trace_of(20)).unwrap();
+                        assert_eq!(shared.trace().len(), 20);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.spilled_traces(), 32);
+    }
+}

@@ -42,6 +42,13 @@ pub enum ReadTraceError {
     },
     /// A record contained an invalid class byte.
     BadClass(u8),
+    /// The stream ended before the header's record count was satisfied.
+    TruncatedRecords {
+        /// Records promised by the header.
+        expected: u64,
+        /// Records actually present before the stream ended.
+        read: u64,
+    },
 }
 
 impl fmt::Display for ReadTraceError {
@@ -55,6 +62,10 @@ impl fmt::Display for ReadTraceError {
                 "trace class tag {found} does not match requested type (tag {expected})"
             ),
             ReadTraceError::BadClass(b) => write!(f, "invalid class byte {b} in record"),
+            ReadTraceError::TruncatedRecords { expected, read } => write!(
+                f,
+                "trace truncated: header promised {expected} records, found {read}"
+            ),
         }
     }
 }
@@ -200,12 +211,28 @@ pub fn read_trace<C: TraceClass, R: Read>(mut reader: R) -> Result<MissTrace<C>,
     let count = read_u64(&mut reader)?;
     let mut trace = MissTrace::new(num_cpus);
     trace.set_instructions(instructions);
-    for _ in 0..count {
-        let block = Block::new(read_u64(&mut reader)?);
-        let cpu = CpuId::new(read_u32(&mut reader)?);
-        let thread = ThreadId::new(read_u32(&mut reader)?);
-        let function = FunctionId::new(read_u32(&mut reader)?);
-        let class_byte = read_u8(&mut reader)?;
+    // Within the record region, premature EOF means the header's count and
+    // the payload disagree — report that as `TruncatedRecords` rather than
+    // a bare I/O error so callers can distinguish corruption from a broken
+    // pipe elsewhere.
+    let truncated = |read: u64| {
+        move |e: std::io::Error| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ReadTraceError::TruncatedRecords {
+                    expected: count,
+                    read,
+                }
+            } else {
+                ReadTraceError::Io(e)
+            }
+        }
+    };
+    for i in 0..count {
+        let block = Block::new(read_u64(&mut reader).map_err(truncated(i))?);
+        let cpu = CpuId::new(read_u32(&mut reader).map_err(truncated(i))?);
+        let thread = ThreadId::new(read_u32(&mut reader).map_err(truncated(i))?);
+        let function = FunctionId::new(read_u32(&mut reader).map_err(truncated(i))?);
+        let class_byte = read_u8(&mut reader).map_err(truncated(i))?;
         let class = C::from_byte(class_byte).ok_or(ReadTraceError::BadClass(class_byte))?;
         trace.push(MissRecord {
             block,
@@ -337,11 +364,28 @@ mod tests {
     }
 
     #[test]
-    fn truncated_input_is_io_error() {
+    fn truncated_records_are_distinguished() {
         let t = sample_trace();
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).unwrap();
         buf.truncate(buf.len() - 5);
+        let err = read_trace::<MissClass, _>(&buf[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            ReadTraceError::TruncatedRecords {
+                expected: 100,
+                read: 99
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_io_error() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        // Cut inside the fixed-size header, before any record bytes.
+        buf.truncate(10);
         let err = read_trace::<MissClass, _>(&buf[..]).unwrap_err();
         assert!(matches!(err, ReadTraceError::Io(_)));
     }

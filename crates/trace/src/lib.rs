@@ -35,6 +35,7 @@ pub mod rng;
 pub mod sink;
 pub mod stats;
 pub mod symbol;
+pub mod threading;
 
 /// Convenient re-exports of the types used by nearly every downstream crate.
 pub mod prelude {

@@ -1,0 +1,50 @@
+//! Compile-time thread-safety assertions.
+//!
+//! The parallel runtime moves traces, records, symbol tables and whole
+//! workload sessions across worker threads. A stray `Rc` or `RefCell`
+//! added deep inside a workload model would silently make those types
+//! `!Send` and break the parallel path at its use site, far from the
+//! offending field. [`assert_send_sync!`] turns that into a compile
+//! error at the type's home crate instead: each crate asserts the
+//! bounds for the types it exports to the runtime.
+
+/// Asserts at compile time that each listed type is `Send + Sync`.
+///
+/// Expands to a dead `const` item, so it costs nothing at runtime and
+/// works in any item position:
+///
+/// ```
+/// use tempstream_trace::assert_send_sync;
+///
+/// struct Shared(Vec<u64>);
+/// assert_send_sync!(Shared, Vec<Shared>);
+/// ```
+///
+/// A type that is not `Send + Sync` fails to compile:
+///
+/// ```compile_fail
+/// use tempstream_trace::assert_send_sync;
+///
+/// struct NotSync(std::rc::Rc<u8>);
+/// assert_send_sync!(NotSync);
+/// ```
+#[macro_export]
+macro_rules! assert_send_sync {
+    ($($ty:ty),+ $(,)?) => {
+        const _: fn() = || {
+            fn assert_bounds<T: Send + Sync>() {}
+            $(assert_bounds::<$ty>();)+
+        };
+    };
+}
+
+// The trace-layer types the runtime ships between threads.
+assert_send_sync!(
+    crate::access::MemoryAccess,
+    crate::miss::MissRecord<crate::category::MissClass>,
+    crate::miss::MissRecord<crate::category::IntraChipClass>,
+    crate::miss::MissTrace<crate::category::MissClass>,
+    crate::miss::MissTrace<crate::category::IntraChipClass>,
+    crate::symbol::SymbolTable,
+    crate::io::ReadTraceError,
+);

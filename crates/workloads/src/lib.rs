@@ -41,3 +41,8 @@ pub use emitter::Emitter;
 pub use layout::{AddressSpace, Region};
 pub use spec::WorkloadSpec;
 pub use workload::{DriveResult, RunStats, Scale, Workload, WorkloadSession};
+
+// The parallel runtime moves sessions onto emit companion threads; keep
+// the bounds checked here so a non-Send field is caught at its source,
+// not at a distant spawn site.
+tempstream_trace::assert_send_sync!(Workload, Scale, WorkloadSession);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-5a769ba41e1bbae6.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-5a769ba41e1bbae6: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

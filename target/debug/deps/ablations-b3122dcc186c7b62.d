@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b3122dcc186c7b62.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b3122dcc186c7b62: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_miss_classification-0c0b0ded2114d850.d: crates/bench/benches/fig1_miss_classification.rs
+
+/root/repo/target/debug/deps/fig1_miss_classification-0c0b0ded2114d850: crates/bench/benches/fig1_miss_classification.rs
+
+crates/bench/benches/fig1_miss_classification.rs:

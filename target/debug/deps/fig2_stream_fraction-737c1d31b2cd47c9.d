@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_stream_fraction-737c1d31b2cd47c9.d: crates/bench/benches/fig2_stream_fraction.rs
+
+/root/repo/target/debug/deps/fig2_stream_fraction-737c1d31b2cd47c9: crates/bench/benches/fig2_stream_fraction.rs
+
+crates/bench/benches/fig2_stream_fraction.rs:

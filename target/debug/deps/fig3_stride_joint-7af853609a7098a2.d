@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_stride_joint-7af853609a7098a2.d: crates/bench/benches/fig3_stride_joint.rs
+
+/root/repo/target/debug/deps/fig3_stride_joint-7af853609a7098a2: crates/bench/benches/fig3_stride_joint.rs
+
+crates/bench/benches/fig3_stride_joint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_length_reuse-1a087cc71f899c17.d: crates/bench/benches/fig4_length_reuse.rs
+
+/root/repo/target/debug/deps/fig4_length_reuse-1a087cc71f899c17: crates/bench/benches/fig4_length_reuse.rs
+
+crates/bench/benches/fig4_length_reuse.rs:

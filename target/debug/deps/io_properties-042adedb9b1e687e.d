@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_properties-042adedb9b1e687e.d: crates/trace/tests/io_properties.rs
+
+/root/repo/target/debug/deps/io_properties-042adedb9b1e687e: crates/trace/tests/io_properties.rs
+
+crates/trace/tests/io_properties.rs:

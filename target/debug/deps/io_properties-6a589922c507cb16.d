@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_properties-6a589922c507cb16.d: crates/trace/tests/io_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_properties-6a589922c507cb16.rmeta: crates/trace/tests/io_properties.rs Cargo.toml
+
+crates/trace/tests/io_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

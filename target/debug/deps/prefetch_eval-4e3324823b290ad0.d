@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-4e3324823b290ad0.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-4e3324823b290ad0: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-ae38f748a0c60be3.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-ae38f748a0c60be3: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-8c7146e072af235c.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-8c7146e072af235c: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

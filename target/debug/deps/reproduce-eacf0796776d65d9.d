@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-eacf0796776d65d9.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-eacf0796776d65d9: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

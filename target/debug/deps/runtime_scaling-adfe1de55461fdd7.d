@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_scaling-adfe1de55461fdd7.d: crates/bench/benches/runtime_scaling.rs
+
+/root/repo/target/debug/deps/runtime_scaling-adfe1de55461fdd7: crates/bench/benches/runtime_scaling.rs
+
+crates/bench/benches/runtime_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequitur_throughput-5c2e767337ccf0f8.d: crates/bench/benches/sequitur_throughput.rs
+
+/root/repo/target/debug/deps/sequitur_throughput-5c2e767337ccf0f8: crates/bench/benches/sequitur_throughput.rs
+
+crates/bench/benches/sequitur_throughput.rs:

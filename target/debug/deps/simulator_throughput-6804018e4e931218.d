@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_throughput-6804018e4e931218.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/debug/deps/simulator_throughput-6804018e4e931218: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_origins-b09115255ac5be57.d: crates/bench/benches/tables_origins.rs
+
+/root/repo/target/debug/deps/tables_origins-b09115255ac5be57: crates/bench/benches/tables_origins.rs
+
+crates/bench/benches/tables_origins.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tempstream_bench-4b8e5fdba9129aa9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tempstream_bench-4b8e5fdba9129aa9: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

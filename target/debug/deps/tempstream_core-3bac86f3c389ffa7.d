@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/tempstream_core-3bac86f3c389ffa7.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+/root/repo/target/debug/deps/tempstream_core-3bac86f3c389ffa7.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
 
-/root/repo/target/debug/deps/tempstream_core-3bac86f3c389ffa7: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+/root/repo/target/debug/deps/tempstream_core-3bac86f3c389ffa7: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
 
 crates/core/src/lib.rs:
 crates/core/src/distribution.rs:
@@ -9,5 +9,6 @@ crates/core/src/functions.rs:
 crates/core/src/origins.rs:
 crates/core/src/report.rs:
 crates/core/src/spatial.rs:
+crates/core/src/stages.rs:
 crates/core/src/streams.rs:
 crates/core/src/stride.rs:

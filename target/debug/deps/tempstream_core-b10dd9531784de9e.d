@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/tempstream_core-b10dd9531784de9e.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+/root/repo/target/debug/deps/tempstream_core-b10dd9531784de9e.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
 
-/root/repo/target/debug/deps/libtempstream_core-b10dd9531784de9e.rlib: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+/root/repo/target/debug/deps/libtempstream_core-b10dd9531784de9e.rlib: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
 
-/root/repo/target/debug/deps/libtempstream_core-b10dd9531784de9e.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+/root/repo/target/debug/deps/libtempstream_core-b10dd9531784de9e.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
 
 crates/core/src/lib.rs:
 crates/core/src/distribution.rs:
@@ -11,5 +11,6 @@ crates/core/src/functions.rs:
 crates/core/src/origins.rs:
 crates/core/src/report.rs:
 crates/core/src/spatial.rs:
+crates/core/src/stages.rs:
 crates/core/src/streams.rs:
 crates/core/src/stride.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/tempstream_core-dbe29fa16aec6b14.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs Cargo.toml
+/root/repo/target/debug/deps/tempstream_core-dbe29fa16aec6b14.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtempstream_core-dbe29fa16aec6b14.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs Cargo.toml
+/root/repo/target/debug/deps/libtempstream_core-dbe29fa16aec6b14.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/distribution.rs:
@@ -9,6 +9,7 @@ crates/core/src/functions.rs:
 crates/core/src/origins.rs:
 crates/core/src/report.rs:
 crates/core/src/spatial.rs:
+crates/core/src/stages.rs:
 crates/core/src/streams.rs:
 crates/core/src/stride.rs:
 Cargo.toml:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/tempstream_trace-561739f7a3614c7a.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs Cargo.toml
+/root/repo/target/debug/deps/tempstream_trace-561739f7a3614c7a.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtempstream_trace-561739f7a3614c7a.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs Cargo.toml
+/root/repo/target/debug/deps/libtempstream_trace-561739f7a3614c7a.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs Cargo.toml
 
 crates/trace/src/lib.rs:
 crates/trace/src/access.rs:
@@ -13,6 +13,7 @@ crates/trace/src/rng.rs:
 crates/trace/src/sink.rs:
 crates/trace/src/stats.rs:
 crates/trace/src/symbol.rs:
+crates/trace/src/threading.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

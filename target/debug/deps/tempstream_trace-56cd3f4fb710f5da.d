@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/tempstream_trace-56cd3f4fb710f5da.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs
+/root/repo/target/debug/deps/tempstream_trace-56cd3f4fb710f5da.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs
 
-/root/repo/target/debug/deps/tempstream_trace-56cd3f4fb710f5da: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs
+/root/repo/target/debug/deps/tempstream_trace-56cd3f4fb710f5da: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs
 
 crates/trace/src/lib.rs:
 crates/trace/src/access.rs:
@@ -13,3 +13,4 @@ crates/trace/src/rng.rs:
 crates/trace/src/sink.rs:
 crates/trace/src/stats.rs:
 crates/trace/src/symbol.rs:
+crates/trace/src/threading.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/tempstream_trace-7529bf64cd1a22f1.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs
+/root/repo/target/debug/deps/tempstream_trace-7529bf64cd1a22f1.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs
 
-/root/repo/target/debug/deps/libtempstream_trace-7529bf64cd1a22f1.rlib: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs
+/root/repo/target/debug/deps/libtempstream_trace-7529bf64cd1a22f1.rlib: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs
 
-/root/repo/target/debug/deps/libtempstream_trace-7529bf64cd1a22f1.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs
+/root/repo/target/debug/deps/libtempstream_trace-7529bf64cd1a22f1.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs
 
 crates/trace/src/lib.rs:
 crates/trace/src/access.rs:
@@ -15,3 +15,4 @@ crates/trace/src/rng.rs:
 crates/trace/src/sink.rs:
 crates/trace/src/stats.rs:
 crates/trace/src/symbol.rs:
+crates/trace/src/threading.rs:

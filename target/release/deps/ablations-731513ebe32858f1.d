@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-731513ebe32858f1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-731513ebe32858f1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-2dc03fc558b7b2d8.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-2dc03fc558b7b2d8: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-38ab15d217e862c0.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-38ab15d217e862c0: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

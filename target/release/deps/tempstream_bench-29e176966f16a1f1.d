@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tempstream_bench-29e176966f16a1f1.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-29e176966f16a1f1.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-29e176966f16a1f1.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/tempstream_core-450183da95dd4e79.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+/root/repo/target/release/deps/tempstream_core-450183da95dd4e79.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
 
-/root/repo/target/release/deps/libtempstream_core-450183da95dd4e79.rlib: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+/root/repo/target/release/deps/libtempstream_core-450183da95dd4e79.rlib: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
 
-/root/repo/target/release/deps/libtempstream_core-450183da95dd4e79.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/streams.rs crates/core/src/stride.rs
+/root/repo/target/release/deps/libtempstream_core-450183da95dd4e79.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
 
 crates/core/src/lib.rs:
 crates/core/src/distribution.rs:
@@ -11,5 +11,6 @@ crates/core/src/functions.rs:
 crates/core/src/origins.rs:
 crates/core/src/report.rs:
 crates/core/src/spatial.rs:
+crates/core/src/stages.rs:
 crates/core/src/streams.rs:
 crates/core/src/stride.rs:
