@@ -6,6 +6,8 @@
 #   4. tier-1 build + test suite
 #   5. determinism gate: the parallel pipeline must be byte-identical
 #      to the serial runner
+#   6. metrics gate: --metrics-json emits valid JSON with the expected
+#      top-level keys and leaves stdout untouched
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,5 +36,19 @@ trap 'rm -rf "$det_dir"' EXIT
 ./target/release/reproduce all --quick --jobs 4 >"$det_dir/jobs4.out" 2>/dev/null
 diff "$det_dir/jobs1.out" "$det_dir/jobs4.out" \
   || { echo "determinism gate FAILED: --jobs 4 output differs from --jobs 1"; exit 1; }
+
+echo "== metrics gate: --metrics-json =="
+# The flag must write parseable JSON with the documented top-level keys
+# while stdout stays byte-identical to a plain run.
+./target/release/reproduce fig2 --quick --jobs 2 >"$det_dir/plain.out" 2>/dev/null
+./target/release/reproduce fig2 --quick --jobs 2 --metrics-json "$det_dir/metrics.json" \
+  >"$det_dir/flagged.out" 2>/dev/null
+diff "$det_dir/plain.out" "$det_dir/flagged.out" \
+  || { echo "metrics gate FAILED: --metrics-json changed stdout"; exit 1; }
+jq -e 'has("meta") and has("metrics") and has("runtime")' "$det_dir/metrics.json" >/dev/null \
+  || { echo "metrics gate FAILED: missing top-level keys"; exit 1; }
+jq -e '(.metrics.spans | has("stage")) and (.metrics.counters | has("sim")) and (.metrics.gauges | has("sequitur"))' \
+  "$det_dir/metrics.json" >/dev/null \
+  || { echo "metrics gate FAILED: registry missing stage/sim/sequitur sections"; exit 1; }
 
 echo "CI OK"

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [all|table1|table2|fig1|fig2|fig3|fig4|table3|table4|table5]
-//!           [--quick] [--seed N] [--jobs N]
+//!           [--quick] [--seed N] [--jobs N] [--metrics-json PATH]
 //! ```
 //!
 //! `--quick` runs reduced systems and smoke-scale workloads (seconds);
@@ -11,14 +11,18 @@
 //! pipeline on N worker threads via `tempstream-runtime` (default: the
 //! host's available parallelism); results are bit-identical to
 //! `--jobs 1`, and the per-stage summary goes to stderr so stdout can
-//! be diffed across job counts.
+//! be diffed across job counts. `--metrics-json PATH` additionally
+//! writes the run's observability registry (stage spans, simulator
+//! miss-class counters, SEQUITUR grammar stats) as JSON to PATH —
+//! stdout stays byte-identical with or without the flag.
 
 use std::collections::HashMap;
 use std::time::Instant;
 use tempstream_core::experiment::{Experiment, ExperimentConfig, WorkloadResults};
 use tempstream_core::functions::format_function_table;
 use tempstream_core::report::{format_length_cdf, format_origin_table, format_reuse_pdf};
-use tempstream_runtime::RuntimeConfig;
+use tempstream_obsv::{frac, json::Json};
+use tempstream_runtime::{RunSummary, RuntimeConfig};
 use tempstream_trace::{IntraChipClass, MissCategory, MissClass};
 use tempstream_workloads::{spec, Workload};
 
@@ -27,6 +31,7 @@ struct Options {
     quick: bool,
     seed: Option<u64>,
     jobs: usize,
+    metrics_json: Option<String>,
     cmd: String,
 }
 
@@ -34,6 +39,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut quick = false;
     let mut seed = None;
     let mut jobs = None;
+    let mut metrics_json = None;
     let mut positionals = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -56,6 +62,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 jobs = Some(n);
             }
+            "--metrics-json" => {
+                let v = it.next().ok_or("--metrics-json requires a path")?;
+                metrics_json = Some(v.clone());
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
             other => positionals.push(other.to_string()),
         }
@@ -70,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         quick,
         seed,
         jobs: jobs.unwrap_or_else(RuntimeConfig::default_workers),
+        metrics_json,
         cmd: positionals.pop().unwrap_or_else(|| "all".to_string()),
     })
 }
@@ -96,7 +107,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [command] [--quick] [--seed N] [--jobs N]\n\
+                "usage: reproduce [command] [--quick] [--seed N] [--jobs N] [--metrics-json PATH]\n\
                  commands: all table1 table2 fig1 fig2 fig3 fig4 table3 table4 table5 stats functions spatial stability"
             );
             std::process::exit(2);
@@ -153,6 +164,62 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    if let Some(path) = &opts.metrics_json {
+        if let Err(e) = write_metrics_json(path, &opts, runner.last_summary.as_ref()) {
+            eprintln!("error: could not write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[reproduce] metrics written to {path}");
+    }
+}
+
+/// Serializes the global observability registry (plus run metadata and,
+/// for parallel runs, the pipeline summary) to `path`.
+fn write_metrics_json(
+    path: &str,
+    opts: &Options,
+    summary: Option<&RunSummary>,
+) -> std::io::Result<()> {
+    let mut meta = Json::obj();
+    meta.set("command", Json::Str(opts.cmd.clone()));
+    meta.set("quick", Json::Bool(opts.quick));
+    meta.set("jobs", Json::UInt(opts.jobs as u64));
+    if let Some(s) = opts.seed {
+        meta.set("seed", Json::UInt(s));
+    }
+
+    let mut doc = Json::obj();
+    doc.set("meta", meta);
+    doc.set("metrics", tempstream_obsv::global().snapshot());
+    doc.set(
+        "runtime",
+        summary.map_or(Json::Null, |s| {
+            let mut r = Json::obj();
+            r.set("workers", Json::UInt(s.workers as u64));
+            r.set("wall_secs", Json::Float(s.wall.as_secs_f64()));
+            r.set("utilization", Json::Float(s.utilization()));
+            let mut stages = Json::obj();
+            for st in &s.stages {
+                let mut o = Json::obj();
+                o.set("jobs", Json::UInt(st.jobs as u64));
+                o.set("busy_secs", Json::Float(st.busy.as_secs_f64()));
+                o.set("max_job_secs", Json::Float(st.max_job.as_secs_f64()));
+                stages.set(st.stage.name(), o);
+            }
+            r.set("stages", stages);
+            r.set(
+                "max_injector_depth",
+                Json::UInt(s.max_injector_depth as u64),
+            );
+            r.set("max_deque_depth", Json::UInt(s.max_deque_depth as u64));
+            r.set("max_channel_depth", Json::UInt(s.max_channel_depth as u64));
+            r.set("spilled_traces", Json::UInt(s.spilled_traces as u64));
+            r.set("spilled_bytes", Json::UInt(s.spilled_bytes));
+            r
+        }),
+    );
+    std::fs::write(path, doc.render() + "\n")
 }
 
 /// Caches per-workload results so `all` runs each workload once.
@@ -161,6 +228,7 @@ struct Runner {
     experiment: Experiment,
     jobs: usize,
     cache: HashMap<Workload, WorkloadResults>,
+    last_summary: Option<RunSummary>,
 }
 
 impl Runner {
@@ -170,6 +238,7 @@ impl Runner {
             experiment: Experiment::new(cfg),
             jobs,
             cache: HashMap::new(),
+            last_summary: None,
         }
     }
 
@@ -205,6 +274,7 @@ impl Runner {
             self.cache.insert(r.workload, r);
         }
         eprintln!("{summary}");
+        self.last_summary = Some(summary);
     }
 
     fn results(&mut self, w: Workload) -> &WorkloadResults {
@@ -320,14 +390,14 @@ fn print_fig2(r: &mut Runner) {
         "workload", "context", "non-repetitive", "new stream", "recurring stream"
     );
     for_each_context(r, |w, ctx, s| {
-        let t = s.stream_fraction.total().max(1) as f64;
+        let t = s.stream_fraction.total();
         println!(
             "{:<8} {:<12} {:>14.1}% {:>11.1}% {:>17.1}%",
             w.name(),
             ctx,
-            s.stream_fraction.non_repetitive as f64 * 100.0 / t,
-            s.stream_fraction.new_stream as f64 * 100.0 / t,
-            s.stream_fraction.recurring_stream as f64 * 100.0 / t
+            frac(s.stream_fraction.non_repetitive * 100, t),
+            frac(s.stream_fraction.new_stream * 100, t),
+            frac(s.stream_fraction.recurring_stream * 100, t)
         );
     });
 }
@@ -340,15 +410,15 @@ fn print_fig3(r: &mut Runner) {
     );
     for_each_context(r, |w, ctx, s| {
         let j = &s.stride_joint;
-        let t = j.total().max(1) as f64;
+        let t = j.total();
         println!(
             "{:<8} {:<12} {:>12.1}% {:>12.1}% {:>12.1}% {:>12.1}%",
             w.name(),
             ctx,
-            j.repetitive_strided as f64 * 100.0 / t,
-            j.repetitive_non_strided as f64 * 100.0 / t,
-            j.non_repetitive_strided as f64 * 100.0 / t,
-            j.non_repetitive_non_strided as f64 * 100.0 / t
+            frac(j.repetitive_strided * 100, t),
+            frac(j.repetitive_non_strided * 100, t),
+            frac(j.non_repetitive_strided * 100, t),
+            frac(j.non_repetitive_non_strided * 100, t)
         );
     });
 }

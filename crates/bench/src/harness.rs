@@ -12,9 +12,15 @@
 //! with elements/second derived from [`Throughput::Elements`] when set.
 //! They are indicative, not statistically rigorous; the point of keeping
 //! the benches alive is catching order-of-magnitude regressions.
+//!
+//! Besides the console table, each group writes its results to
+//! `BENCH_<group>.json` in the working directory (set
+//! `TEMPSTREAM_BENCH_DIR` to redirect) so runs can be archived and
+//! diffed mechanically.
 
 use std::hint::black_box;
 use std::time::Instant;
+use tempstream_obsv::json::Json;
 
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
@@ -26,9 +32,35 @@ impl Criterion {
         println!("\ngroup {name}");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size: 10,
             throughput: None,
+            results: Vec::new(),
         }
+    }
+}
+
+/// One finished benchmark's numbers, as written to `BENCH_<group>.json`.
+#[derive(Debug)]
+struct BenchResult {
+    name: String,
+    median_ns: u64,
+    elements: Option<u64>,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("name", Json::Str(self.name.clone()));
+        o.set("median_ns", Json::UInt(self.median_ns));
+        if let Some(n) = self.elements {
+            o.set("elements", Json::UInt(n));
+            o.set(
+                "elements_per_sec",
+                Json::Float(n as f64 * 1e9 / self.median_ns.max(1) as f64),
+            );
+        }
+        o
     }
 }
 
@@ -43,8 +75,10 @@ pub enum Throughput {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -85,11 +119,40 @@ impl BenchmarkGroup<'_> {
             _ => format!("{name:<40} {median:>12} ns/iter"),
         };
         println!("  {line}");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: median.min(u128::from(u64::MAX)) as u64,
+            elements: self.throughput.map(|Throughput::Elements(n)| n),
+        });
         self
     }
 
-    /// Ends the group (prints nothing; provided for API parity).
-    pub fn finish(&mut self) {}
+    /// Ends the group, writing `BENCH_<group>.json` (console output is
+    /// unchanged; the file lands in `TEMPSTREAM_BENCH_DIR` or the
+    /// working directory).
+    pub fn finish(&mut self) {
+        let mut doc = Json::obj();
+        doc.set("group", Json::Str(self.name.clone()));
+        doc.set("sample_size", Json::UInt(self.sample_size as u64));
+        doc.set(
+            "results",
+            Json::Arr(self.results.iter().map(BenchResult::to_json).collect()),
+        );
+        let file = format!(
+            "BENCH_{}.json",
+            self.name.replace(
+                |c: char| !c.is_ascii_alphanumeric() && c != '_' && c != '-',
+                "_"
+            )
+        );
+        let path = match std::env::var_os("TEMPSTREAM_BENCH_DIR") {
+            Some(dir) => std::path::PathBuf::from(dir).join(file),
+            None => std::path::PathBuf::from(file),
+        };
+        if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
+            eprintln!("warning: could not write {} ({e})", path.display());
+        }
+    }
 }
 
 /// Passed to the measured closure; times the inner workload.
@@ -136,7 +199,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_function_runs_closure() {
+    fn bench_function_runs_closure_and_writes_json() {
+        let dir = std::env::temp_dir().join(format!("tempstream-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("TEMPSTREAM_BENCH_DIR", &dir);
+
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("selftest");
         let mut runs = 0u32;
@@ -149,5 +216,15 @@ mod tests {
         g.finish();
         // warmup + 3 samples
         assert_eq!(runs, 4);
+
+        let text = std::fs::read_to_string(dir.join("BENCH_selftest.json")).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("group").and_then(Json::as_str), Some("selftest"));
+        let Some(Json::Arr(results)) = doc.get("results") else {
+            panic!("results array missing");
+        };
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("elements").and_then(Json::as_u64), Some(10));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,11 +26,13 @@
 //! a cache-independent [`history::HistoryTracker`]; see
 //! [`MissClass`](tempstream_trace::MissClass) for the rules.
 
+pub mod events;
 pub mod history;
 pub mod multi_chip;
 pub mod protocol;
 pub mod single_chip;
 
+pub use events::CoherenceEvents;
 pub use history::HistoryTracker;
 pub use multi_chip::{MultiChipConfig, MultiChipSim};
 pub use protocol::{

@@ -13,9 +13,11 @@
 //! the simulator `debug_assert!`s at every step. The same table is
 //! model-checked exhaustively by `tempstream-checker`.
 
+use crate::events::CoherenceEvents;
 use crate::history::HistoryTracker;
 use crate::protocol::{Action, Event, MsiState, ProtocolEngine, ProtocolState, MSI};
 use tempstream_cache::{CacheConfig, SetAssocCache};
+use tempstream_obsv::Registry;
 use tempstream_trace::{AccessKind, Block, MemoryAccess, MissClass, MissRecord, MissTrace};
 
 /// Configuration of the multi-chip system.
@@ -84,6 +86,7 @@ pub struct MultiChipSim {
     engine: ProtocolEngine<MsiState>,
     trace: MissTrace<MissClass>,
     recording: bool,
+    events: CoherenceEvents,
 }
 
 impl MultiChipSim {
@@ -108,6 +111,7 @@ impl MultiChipSim {
             engine: ProtocolEngine::new(&MSI, config.nodes),
             trace: MissTrace::new(config.nodes),
             recording: true,
+            events: CoherenceEvents::default(),
             config,
         }
     }
@@ -127,6 +131,42 @@ impl MultiChipSim {
     /// Number of off-chip read misses recorded so far.
     pub fn miss_count(&self) -> usize {
         self.trace.len()
+    }
+
+    /// Protocol-activity counts accumulated so far.
+    pub fn events(&self) -> CoherenceEvents {
+        self.events
+    }
+
+    /// Exports miss-class counters, protocol-event counters, and cache
+    /// occupancy gauges into `registry` under `prefix` (e.g.
+    /// `sim/apache/multi_chip`). Call before [`finish`](Self::finish).
+    pub fn export_obsv(&self, registry: &Registry, prefix: &str) {
+        let mut counts = [0u64; 4];
+        for r in self.trace.records() {
+            let i = MissClass::ALL
+                .iter()
+                .position(|&c| c == r.class)
+                .expect("class in ALL");
+            counts[i] += 1;
+        }
+        for (class, n) in MissClass::ALL.iter().zip(counts) {
+            registry
+                .counter(&format!("{prefix}/miss_class/{class:?}"))
+                .add(n);
+        }
+        registry
+            .counter(&format!("{prefix}/misses"))
+            .add(self.trace.len() as u64);
+        self.events.export(registry, prefix);
+        let l1: u64 = self.nodes.iter().map(|n| n.l1.len() as u64).sum();
+        let l2: u64 = self.nodes.iter().map(|n| n.l2.len() as u64).sum();
+        registry
+            .gauge(&format!("{prefix}/occupancy/l1_blocks"))
+            .set(l1);
+        registry
+            .gauge(&format!("{prefix}/occupancy/l2_blocks"))
+            .set(l2);
     }
 
     /// Simulates one memory access.
@@ -211,6 +251,9 @@ impl MultiChipSim {
                 .is_none_or(|s| self.nodes[s as usize].l2.contains(block)),
             "supplier node does not hold the block"
         );
+        if out.supplier.is_some() {
+            self.events.supplies += 1;
+        }
         self.fill_node(n, block);
         self.history.record_read(a.cpu.raw(), block);
     }
@@ -226,6 +269,9 @@ impl MultiChipSim {
                 matches!(out.local.action, Action::None | Action::WritebackVictim),
                 "L2 eviction of a valid line is silent (S) or a writeback (M)"
             );
+            if out.local.action == Action::WritebackVictim {
+                self.events.writebacks += 1;
+            }
         }
         // The L1 victim (if any) remains in the inclusive L2.
         self.nodes[n].l1.insert(block, ());
@@ -234,6 +280,7 @@ impl MultiChipSim {
     fn write(&mut self, node_id: u32, block: Block) {
         // Table step: writer -> M; every valid remote copy is invalidated.
         let out = self.engine.apply(node_id, block, Event::LocalWrite);
+        self.events.invalidations += out.invalidated.len() as u64;
         for r in &out.invalidated {
             self.nodes[*r as usize].l1.invalidate(block);
             self.nodes[*r as usize].l2.invalidate(block);
@@ -272,6 +319,7 @@ impl MultiChipSim {
     }
 
     fn invalidate_all(&mut self, block: Block) {
+        self.events.io_invalidates += 1;
         for r in self.engine.apply_io_invalidate(block) {
             self.nodes[r as usize].l1.invalidate(block);
             self.nodes[r as usize].l2.invalidate(block);

@@ -23,9 +23,11 @@
 //!   L2 appears in the intra-chip trace as `Off-chip` *and* in the off-chip
 //!   trace, mirroring Figure 1 (right)'s "Off-chip" segment.
 
+use crate::events::CoherenceEvents;
 use crate::history::HistoryTracker;
 use crate::protocol::{Action, Event, MosiState, ProtocolEngine, ProtocolState, MOSI};
 use tempstream_cache::{CacheConfig, SetAssocCache};
+use tempstream_obsv::Registry;
 use tempstream_trace::{
     AccessKind, Block, IntraChipClass, MemoryAccess, MissClass, MissRecord, MissTrace,
 };
@@ -103,6 +105,7 @@ pub struct SingleChipSim {
     off_chip: MissTrace<MissClass>,
     intra_chip: MissTrace<IntraChipClass>,
     recording: bool,
+    events: CoherenceEvents,
 }
 
 impl SingleChipSim {
@@ -127,6 +130,7 @@ impl SingleChipSim {
             off_chip: MissTrace::new(config.cores),
             intra_chip: MissTrace::new(config.cores),
             recording: true,
+            events: CoherenceEvents::default(),
             config,
         }
     }
@@ -149,6 +153,58 @@ impl SingleChipSim {
     /// ownership can never go stale).
     pub fn owner(&self, block: Block) -> Option<u32> {
         self.engine.owner(block)
+    }
+
+    /// Protocol-activity counts accumulated so far.
+    pub fn events(&self) -> CoherenceEvents {
+        self.events
+    }
+
+    /// Exports miss-class counters (both traces), protocol-event
+    /// counters, and cache occupancy gauges into `registry` under
+    /// `prefix` (e.g. `sim/apache/single_chip`). Call before
+    /// [`finish`](Self::finish).
+    pub fn export_obsv(&self, registry: &Registry, prefix: &str) {
+        let mut off = [0u64; 4];
+        for r in self.off_chip.records() {
+            let i = MissClass::ALL
+                .iter()
+                .position(|&c| c == r.class)
+                .expect("class in ALL");
+            off[i] += 1;
+        }
+        for (class, n) in MissClass::ALL.iter().zip(off) {
+            registry
+                .counter(&format!("{prefix}/miss_class/{class:?}"))
+                .add(n);
+        }
+        let mut intra = [0u64; 4];
+        for r in self.intra_chip.records() {
+            let i = IntraChipClass::ALL
+                .iter()
+                .position(|&c| c == r.class)
+                .expect("class in ALL");
+            intra[i] += 1;
+        }
+        for (class, n) in IntraChipClass::ALL.iter().zip(intra) {
+            registry
+                .counter(&format!("{prefix}/intra_class/{class:?}"))
+                .add(n);
+        }
+        registry
+            .counter(&format!("{prefix}/misses"))
+            .add(self.off_chip.len() as u64);
+        registry
+            .counter(&format!("{prefix}/intra_misses"))
+            .add(self.intra_chip.len() as u64);
+        self.events.export(registry, prefix);
+        let l1: u64 = self.l1s.iter().map(|c| c.len() as u64).sum();
+        registry
+            .gauge(&format!("{prefix}/occupancy/l1_blocks"))
+            .set(l1);
+        registry
+            .gauge(&format!("{prefix}/occupancy/l2_blocks"))
+            .set(self.l2.len() as u64);
     }
 
     /// Simulates one memory access.
@@ -276,6 +332,9 @@ impl SingleChipSim {
             out.supplier, peer_owner,
             "table supplier disagrees with the responder used for classification"
         );
+        if out.supplier.is_some() {
+            self.events.supplies += 1;
+        }
         // Fill the requesting L1 (data came from a peer, the L2, or
         // memory); install the L1 victim into the non-inclusive L2.
         self.fill_l1(core, block);
@@ -297,6 +356,9 @@ impl SingleChipSim {
                 ),
                 "eviction of a valid line must write back or install"
             );
+            if out.local.action == Action::WritebackVictim {
+                self.events.writebacks += 1;
+            }
             if self.l2.peek_mut(victim).is_none() {
                 self.l2.insert(victim, ());
             }
@@ -311,6 +373,7 @@ impl SingleChipSim {
         }
         // Table step: writer -> M; every valid peer copy is invalidated.
         let out = self.engine.apply(core, block, Event::LocalWrite);
+        self.events.invalidations += out.invalidated.len() as u64;
         for c in &out.invalidated {
             self.l1s[*c as usize].invalidate(block);
         }
@@ -340,6 +403,7 @@ impl SingleChipSim {
     }
 
     fn invalidate_chip(&mut self, block: Block) {
+        self.events.io_invalidates += 1;
         for c in self.engine.apply_io_invalidate(block) {
             self.l1s[c as usize].invalidate(block);
         }

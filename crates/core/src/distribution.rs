@@ -2,6 +2,7 @@
 //! log-decade-binned reuse-distance PDF.
 
 use std::collections::BTreeMap;
+use tempstream_obsv::frac;
 
 /// Reuse distances beyond this are dropped, as in the paper ("such
 /// distances ... are unlikely to be exploited by prefetching").
@@ -34,11 +35,8 @@ impl LengthCdf {
 
     /// The cumulative fraction of weight at lengths `<= len`.
     pub fn cumulative_at(&self, len: u64) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
         let below: u64 = self.weights.range(..=len).map(|(_, w)| *w).sum();
-        below as f64 / self.total as f64
+        frac(below, self.total)
     }
 
     /// The weighted percentile length: smallest length with cumulative
@@ -139,14 +137,7 @@ impl ReuseDistancePdf {
     /// `(10, f1)`, ..., `(10^7, f7)`.
     pub fn decades(&self) -> Vec<(u64, f64)> {
         (0..8)
-            .map(|k| {
-                let frac = if self.total == 0 {
-                    0.0
-                } else {
-                    self.bins[k] as f64 / self.total as f64
-                };
-                (10u64.pow(k as u32), frac)
-            })
+            .map(|k| (10u64.pow(k as u32), frac(self.bins[k], self.total)))
             .collect()
     }
 
@@ -168,16 +159,13 @@ impl ReuseDistancePdf {
     ///
     /// `bound` is rounded down to a decade boundary.
     pub fn fraction_below(&self, bound: u64) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
         let cutoff = if bound == 0 {
             0
         } else {
             ((bound as f64).log10().floor() as usize).min(8)
         };
         let below: u64 = self.bins[..cutoff].iter().sum();
-        below as f64 / self.total as f64
+        frac(below, self.total)
     }
 }
 

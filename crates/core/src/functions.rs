@@ -9,6 +9,7 @@
 
 use crate::streams::StreamLabel;
 use std::collections::HashMap;
+use tempstream_obsv::frac;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{FunctionId, MissCategory, SymbolTable};
 
@@ -30,11 +31,7 @@ pub struct FunctionRow {
 impl FunctionRow {
     /// Within-function stream fraction.
     pub fn stream_fraction(&self) -> f64 {
-        if self.misses == 0 {
-            0.0
-        } else {
-            self.misses_in_streams as f64 / self.misses as f64
-        }
+        frac(self.misses_in_streams, self.misses)
     }
 }
 
@@ -123,16 +120,13 @@ impl FunctionTable {
     /// Combined miss share of all functions whose names start with
     /// `prefix` (e.g. `disp` for the dispatcher family).
     pub fn share_of_prefix(&self, prefix: &str) -> f64 {
-        if self.total_misses == 0 {
-            return 0.0;
-        }
         let n: u64 = self
             .rows
             .iter()
             .filter(|r| r.name.starts_with(prefix))
             .map(|r| r.misses)
             .sum();
-        n as f64 / self.total_misses as f64
+        frac(n, self.total_misses)
     }
 }
 
@@ -151,7 +145,7 @@ pub fn format_function_table(table: &FunctionTable, n: usize) -> String {
             "  {:<28} {:<34} {:>8.1}% {:>9.1}%",
             row.name,
             row.category.label(),
-            row.misses as f64 * 100.0 / table.total_misses().max(1) as f64,
+            frac(row.misses * 100, table.total_misses()),
             row.stream_fraction() * 100.0
         );
     }

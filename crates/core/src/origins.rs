@@ -7,6 +7,7 @@
 //! category *and* in a temporal stream — the two columns of Tables 3-5.
 
 use crate::streams::StreamLabel;
+use tempstream_obsv::frac;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{AppClass, MissCategory, SymbolTable};
 
@@ -24,30 +25,18 @@ pub struct OriginRow {
 impl OriginRow {
     /// Share of all misses (`% misses` column), given the trace total.
     pub fn miss_share(&self, total: u64) -> f64 {
-        if total == 0 {
-            0.0
-        } else {
-            self.misses as f64 / total as f64
-        }
+        frac(self.misses, total)
     }
 
     /// Share of all misses that are in this category and in streams
     /// (`% in streams` column), given the trace total.
     pub fn stream_share(&self, total: u64) -> f64 {
-        if total == 0 {
-            0.0
-        } else {
-            self.misses_in_streams as f64 / total as f64
-        }
+        frac(self.misses_in_streams, total)
     }
 
     /// Within-category stream fraction.
     pub fn stream_fraction(&self) -> f64 {
-        if self.misses == 0 {
-            0.0
-        } else {
-            self.misses_in_streams as f64 / self.misses as f64
-        }
+        frac(self.misses_in_streams, self.misses)
     }
 }
 
@@ -109,11 +98,8 @@ impl OriginTable {
 
     /// Overall fraction of misses in streams (the tables' bottom line).
     pub fn overall_stream_fraction(&self) -> f64 {
-        if self.total_misses == 0 {
-            return 0.0;
-        }
         let in_streams: u64 = self.rows.iter().map(|r| r.misses_in_streams).sum();
-        in_streams as f64 / self.total_misses as f64
+        frac(in_streams, self.total_misses)
     }
 
     /// The row for `category`, if present in this app class's row set.

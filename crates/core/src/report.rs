@@ -4,6 +4,7 @@
 use crate::distribution::{LengthCdf, ReuseDistancePdf};
 use crate::origins::OriginTable;
 use std::fmt;
+use tempstream_obsv::frac;
 use tempstream_trace::{IntraChipClass, MissClass, MissTrace};
 
 /// Figure 1 (left): off-chip read misses per 1000 instructions by class.
@@ -43,29 +44,17 @@ impl MissClassBreakdown {
 
     /// Misses of `class` per 1000 instructions.
     pub fn mpki(&self, class: MissClass) -> f64 {
-        if self.instructions == 0 {
-            0.0
-        } else {
-            self.count(class) as f64 * 1000.0 / self.instructions as f64
-        }
+        frac(self.count(class) * 1000, self.instructions)
     }
 
     /// All misses per 1000 instructions.
     pub fn total_mpki(&self) -> f64 {
-        if self.instructions == 0 {
-            0.0
-        } else {
-            self.total as f64 * 1000.0 / self.instructions as f64
-        }
+        frac(self.total * 1000, self.instructions)
     }
 
     /// Fraction of misses with `class`.
     pub fn fraction(&self, class: MissClass) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.count(class) as f64 / self.total as f64
-        }
+        frac(self.count(class), self.total)
     }
 
     /// Total misses.
@@ -127,20 +116,12 @@ impl IntraClassBreakdown {
 
     /// Misses of `class` per 1000 instructions.
     pub fn mpki(&self, class: IntraChipClass) -> f64 {
-        if self.instructions == 0 {
-            0.0
-        } else {
-            self.count(class) as f64 * 1000.0 / self.instructions as f64
-        }
+        frac(self.count(class) * 1000, self.instructions)
     }
 
     /// Fraction of misses with `class`.
     pub fn fraction(&self, class: IntraChipClass) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.count(class) as f64 / self.total as f64
-        }
+        frac(self.count(class), self.total)
     }
 
     /// Total misses.
@@ -150,11 +131,7 @@ impl IntraClassBreakdown {
 
     /// All misses per 1000 instructions.
     pub fn total_mpki(&self) -> f64 {
-        if self.instructions == 0 {
-            0.0
-        } else {
-            self.total as f64 * 1000.0 / self.instructions as f64
-        }
+        frac(self.total * 1000, self.instructions)
     }
 }
 
@@ -192,34 +169,24 @@ impl StreamFractionReport {
 
     /// Fraction in streams (new + recurring).
     pub fn in_streams(&self) -> f64 {
-        let t = self.total();
-        if t == 0 {
-            0.0
-        } else {
-            (self.new_stream + self.recurring_stream) as f64 / t as f64
-        }
+        frac(self.new_stream + self.recurring_stream, self.total())
     }
 
     /// Fraction in recurring occurrences only.
     pub fn recurring_fraction(&self) -> f64 {
-        let t = self.total();
-        if t == 0 {
-            0.0
-        } else {
-            self.recurring_stream as f64 / t as f64
-        }
+        frac(self.recurring_stream, self.total())
     }
 }
 
 impl fmt::Display for StreamFractionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let t = self.total().max(1) as f64;
+        let t = self.total();
         write!(
             f,
             "non-repetitive {:>5.1}% | new stream {:>5.1}% | recurring stream {:>5.1}%",
-            self.non_repetitive as f64 * 100.0 / t,
-            self.new_stream as f64 * 100.0 / t,
-            self.recurring_stream as f64 * 100.0 / t
+            frac(self.non_repetitive * 100, t),
+            frac(self.new_stream * 100, t),
+            frac(self.recurring_stream * 100, t)
         )
     }
 }
@@ -248,39 +215,35 @@ impl StrideJointReport {
 
     /// Fraction that is strided (either repetitiveness).
     pub fn strided_fraction(&self) -> f64 {
-        let t = self.total();
-        if t == 0 {
-            0.0
-        } else {
-            (self.non_repetitive_strided + self.repetitive_strided) as f64 / t as f64
-        }
+        frac(
+            self.non_repetitive_strided + self.repetitive_strided,
+            self.total(),
+        )
     }
 
     /// Fraction that is repetitive (either stride behaviour).
     pub fn repetitive_fraction(&self) -> f64 {
-        let t = self.total();
-        if t == 0 {
-            0.0
-        } else {
-            (self.repetitive_non_strided + self.repetitive_strided) as f64 / t as f64
-        }
+        frac(
+            self.repetitive_non_strided + self.repetitive_strided,
+            self.total(),
+        )
     }
 }
 
 impl fmt::Display for StrideJointReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let t = self.total().max(1) as f64;
+        let t = self.total();
         writeln!(
             f,
             "  repetitive   : strided {:>5.1}%  non-strided {:>5.1}%",
-            self.repetitive_strided as f64 * 100.0 / t,
-            self.repetitive_non_strided as f64 * 100.0 / t
+            frac(self.repetitive_strided * 100, t),
+            frac(self.repetitive_non_strided * 100, t)
         )?;
         write!(
             f,
             "  non-repetitive: strided {:>5.1}%  non-strided {:>5.1}%",
-            self.non_repetitive_strided as f64 * 100.0 / t,
-            self.non_repetitive_non_strided as f64 * 100.0 / t
+            frac(self.non_repetitive_strided * 100, t),
+            frac(self.non_repetitive_non_strided * 100, t)
         )
     }
 }

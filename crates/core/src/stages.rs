@@ -88,14 +88,16 @@ pub fn emit_workload<S: PhasedSink>(
     scale: Scale,
     sink: &mut S,
 ) -> EmitOutput {
-    let mut session = WorkloadSession::new(workload, num_cpus, seed);
-    session.run(sink, scale.warmup_ops);
-    sink.begin_measurement();
-    let stats = session.run(sink, scale.ops);
-    EmitOutput {
-        instructions: stats.instructions,
-        symbols: session.into_symbols(),
-    }
+    tempstream_obsv::global().time("stage/emit", || {
+        let mut session = WorkloadSession::new(workload, num_cpus, seed);
+        session.run(sink, scale.warmup_ops);
+        sink.begin_measurement();
+        let stats = session.run(sink, scale.ops);
+        EmitOutput {
+            instructions: stats.instructions,
+            symbols: session.into_symbols(),
+        }
+    })
 }
 
 /// Fused emit+simulate stage for the multi-chip system: collects the
@@ -104,11 +106,17 @@ pub fn collect_multi_chip(
     cfg: &ExperimentConfig,
     workload: Workload,
 ) -> (MissTrace<MissClass>, SymbolTable) {
-    let scale = scale_for(cfg, workload);
-    let mut sim = MultiChipSim::new(cfg.multi_chip);
-    sim.set_recording(false);
-    let out = emit_workload(workload, cfg.multi_chip.nodes, cfg.seed, scale, &mut sim);
-    (sim.finish(out.instructions), out.symbols)
+    tempstream_obsv::global().time("stage/simulate/multi_chip", || {
+        let scale = scale_for(cfg, workload);
+        let mut sim = MultiChipSim::new(cfg.multi_chip);
+        sim.set_recording(false);
+        let out = emit_workload(workload, cfg.multi_chip.nodes, cfg.seed, scale, &mut sim);
+        sim.export_obsv(
+            tempstream_obsv::global(),
+            &format!("sim/{}/multi_chip", workload.name()),
+        );
+        (sim.finish(out.instructions), out.symbols)
+    })
 }
 
 /// Fused emit+simulate stage for the single-chip system: collects the
@@ -117,11 +125,17 @@ pub fn collect_single_chip(
     cfg: &ExperimentConfig,
     workload: Workload,
 ) -> (SingleChipTraces, SymbolTable) {
-    let scale = scale_for(cfg, workload);
-    let mut sim = SingleChipSim::new(cfg.single_chip);
-    sim.set_recording(false);
-    let out = emit_workload(workload, cfg.single_chip.cores, cfg.seed, scale, &mut sim);
-    (sim.finish(out.instructions), out.symbols)
+    tempstream_obsv::global().time("stage/simulate/single_chip", || {
+        let scale = scale_for(cfg, workload);
+        let mut sim = SingleChipSim::new(cfg.single_chip);
+        sim.set_recording(false);
+        let out = emit_workload(workload, cfg.single_chip.cores, cfg.seed, scale, &mut sim);
+        sim.export_obsv(
+            tempstream_obsv::global(),
+            &format!("sim/{}/single_chip", workload.name()),
+        );
+        (sim.finish(out.instructions), out.symbols)
+    })
 }
 
 /// Truncates `records` to at most `max` entries (the SEQUITUR memory
@@ -164,7 +178,9 @@ pub struct StreamsPartial {
 
 /// Stream-analysis stage: SEQUITUR labeling plus the label-only reports.
 pub fn analyze_streams<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> StreamsPartial {
-    let analysis = StreamAnalysis::of_records(records, num_cpus);
+    let analysis = tempstream_obsv::global().time("stage/analyze/streams", || {
+        StreamAnalysis::of_records(records, num_cpus)
+    });
     let (non, new, rec) = analysis.label_counts();
     StreamsPartial {
         stream_fraction: StreamFractionReport {
@@ -181,9 +197,11 @@ pub fn analyze_streams<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> Str
 
 /// Stride-analysis stage: per-miss constant-stride flags.
 pub fn analyze_strides<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> Vec<bool> {
-    StrideDetector::of_records(records, num_cpus)
-        .flags()
-        .to_vec()
+    tempstream_obsv::global().time("stage/analyze/strides", || {
+        StrideDetector::of_records(records, num_cpus)
+            .flags()
+            .to_vec()
+    })
 }
 
 /// Origin-attribution stage (Tables 3-5).
@@ -193,7 +211,9 @@ pub fn analyze_origins<C: Copy>(
     symbols: &SymbolTable,
     workload: Workload,
 ) -> OriginTable {
-    OriginTable::build(records, labels, symbols, workload.app_class())
+    tempstream_obsv::global().time("stage/analyze/origins", || {
+        OriginTable::build(records, labels, symbols, workload.app_class())
+    })
 }
 
 /// Per-function attribution stage (§5 narrative).
@@ -202,7 +222,9 @@ pub fn analyze_functions<C: Copy>(
     labels: &[StreamLabel],
     symbols: &SymbolTable,
 ) -> FunctionTable {
-    FunctionTable::build(records, labels, symbols)
+    tempstream_obsv::global().time("stage/analyze/functions", || {
+        FunctionTable::build(records, labels, symbols)
+    })
 }
 
 /// Reduction: assembles the full [`StreamResults`] from the stage
@@ -215,17 +237,19 @@ pub fn assemble_stream_results(
     functions: FunctionTable,
     analyzed_misses: usize,
 ) -> StreamResults {
-    let stride_joint = joint_breakdown(&streams.labels, flags);
-    StreamResults {
-        stream_fraction: streams.stream_fraction,
-        stride_joint,
-        length_cdf: streams.length_cdf,
-        reuse_pdf: streams.reuse_pdf,
-        origins,
-        functions,
-        distinct_streams: streams.distinct_streams,
-        analyzed_misses,
-    }
+    tempstream_obsv::global().time("stage/reduce", || {
+        let stride_joint = joint_breakdown(&streams.labels, flags);
+        StreamResults {
+            stream_fraction: streams.stream_fraction,
+            stride_joint,
+            length_cdf: streams.length_cdf,
+            reuse_pdf: streams.reuse_pdf,
+            origins,
+            functions,
+            distinct_streams: streams.distinct_streams,
+            analyzed_misses,
+        }
+    })
 }
 
 /// Composed analyze stage over one (possibly capped) record slice.

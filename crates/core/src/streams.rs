@@ -60,12 +60,28 @@ impl StreamAnalysis {
 
     /// Analyzes a raw record slice.
     pub fn of_records<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> Self {
-        // 1. Grammar inference over the block sequence.
+        let registry = tempstream_obsv::global();
+        // 1. Grammar inference over the block sequence. The push loop is
+        // the grammar-inference hot path: its span plus the symbol
+        // counter give push throughput, and the builder-size gauges
+        // capture the peak index/arena footprint.
         let mut seq = Sequitur::with_capacity(records.len());
-        for r in records {
-            seq.push(r.block.raw());
-        }
+        registry.time("sequitur/push", || {
+            for r in records {
+                seq.push(r.block.raw());
+            }
+        });
+        registry
+            .counter("sequitur/pushed_symbols")
+            .add(records.len() as u64);
+        registry
+            .gauge("sequitur/digram_index")
+            .set_max(seq.digram_index_len() as u64);
+        registry
+            .gauge("sequitur/node_arena")
+            .set_max(seq.node_arena_len() as u64);
         let grammar = seq.into_grammar();
+        tempstream_sequitur::GrammarStats::of(&grammar).export(registry, "sequitur");
 
         // 2. Root walk: label positions, collect occurrences, measure
         // reuse distances with per-cpu miss counters.
@@ -118,6 +134,15 @@ impl StreamAnalysis {
             }
         }
         debug_assert_eq!(pos, records.len(), "root walk must cover the trace");
+
+        let len_hist = registry.histogram("streams/occurrence_len");
+        let reuse_hist = registry.histogram("streams/reuse_distance");
+        for occ in &occurrences {
+            len_hist.record(occ.len);
+            if let Some(d) = occ.reuse_distance {
+                reuse_hist.record(d);
+            }
+        }
 
         StreamAnalysis {
             labels,

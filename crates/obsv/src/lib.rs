@@ -1,0 +1,83 @@
+//! Structured observability for the tempstream workspace.
+//!
+//! The paper's evaluation is entirely quantitative — miss-class
+//! breakdowns, stream fractions, length CDFs — so every layer of the
+//! reproduction needs a uniform way to export numbers that a machine
+//! can track across runs. This crate provides that layer without any
+//! external dependency:
+//!
+//! - [`Registry`]: named [`Counter`]s, [`Gauge`]s, log2-scaled
+//!   [`Histogram`]s, and [`SpanStat`] timers. Handles are `Arc`-backed
+//!   atomics, so recording on a hot path is lock-free; only
+//!   registration takes a mutex. A process-wide registry is available
+//!   via [`global()`]; components that need scoped metrics (the
+//!   pipeline executor) construct their own.
+//! - [`Json`]: a stable in-tree JSON value with a serializer (and a
+//!   small parser for tests and CI gates). `/`-separated metric names
+//!   nest into an object tree in [`Registry::snapshot`].
+//! - [`frac`] / [`fracf`]: the workspace's shared NaN-safe division
+//!   helpers. Every report-facing fraction routes through these so no
+//!   analysis can emit `NaN` or `inf`, even on an empty trace.
+
+pub mod json;
+pub mod registry;
+
+pub use json::{Json, ParseError};
+pub use registry::{global, Counter, Gauge, Histogram, Registry, SpanStat};
+
+/// `num / den` as `f64`, returning `0.0` when `den == 0`.
+///
+/// This is the single guard for every "fraction of misses" style
+/// statistic in the workspace: an empty trace yields `0.0`, never
+/// `NaN`.
+pub fn frac(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// `num / den` for floats, returning `0.0` when the quotient would not
+/// be finite (zero, non-finite, or subnormal-overflow denominators).
+pub fn fracf(num: f64, den: f64) -> f64 {
+    let q = num / den;
+    if q.is_finite() {
+        q
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frac_guards_zero_denominator() {
+        assert_eq!(frac(0, 0), 0.0);
+        assert_eq!(frac(5, 0), 0.0);
+        assert_eq!(frac(1, 4), 0.25);
+        assert_eq!(frac(3, 3), 1.0);
+    }
+
+    #[test]
+    fn fracf_guards_non_finite_quotients() {
+        assert_eq!(fracf(1.0, 0.0), 0.0);
+        assert_eq!(fracf(0.0, 0.0), 0.0);
+        assert_eq!(fracf(f64::INFINITY, 2.0), 0.0);
+        assert_eq!(fracf(1.0, f64::NAN), 0.0);
+        assert_eq!(fracf(1.0, 2.0), 0.5);
+        assert_eq!(fracf(-3.0, 2.0), -1.5);
+    }
+
+    #[test]
+    fn frac_matches_unguarded_division_when_nonzero() {
+        // The bugfix sweep replaces `x as f64 / total.max(1) as f64`
+        // with `frac(x, total)`; for total > 0 the two must agree
+        // bit-for-bit so report text stays byte-identical.
+        for (x, total) in [(0u64, 1u64), (1, 3), (7, 7), (123_456, 999_999)] {
+            assert_eq!(frac(x, total), x as f64 / total as f64);
+        }
+    }
+}

@@ -1,14 +1,16 @@
 //! Per-stage timing and queue-depth metrics for a pipeline run.
 //!
 //! Every job records its stage and busy time into a shared
-//! [`RunMetrics`] (atomics only — no lock on the job completion path);
-//! at the end of a run the executor folds in queue high-water marks and
-//! spill counters and renders a [`RunSummary`]. The summary goes to
-//! stderr so the determinism gate can diff stdout byte-for-byte.
+//! [`RunMetrics`] — a thin facade over a per-run
+//! [`tempstream_obsv::Registry`] whose span/gauge handles are atomics,
+//! so the job completion path stays lock-free; at the end of a run the
+//! executor folds in queue high-water marks and spill counters and
+//! renders a [`RunSummary`]. The summary goes to stderr so the
+//! determinism gate can diff stdout byte-for-byte.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
+use tempstream_obsv::{fracf, Gauge, Registry, SpanStat};
 
 /// The pipeline stage a job belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,39 +49,53 @@ impl Stage {
     }
 }
 
-#[derive(Debug, Default)]
-struct StageClock {
-    jobs: AtomicUsize,
-    busy_nanos: AtomicU64,
-    max_job_nanos: AtomicU64,
+/// Shared metric sinks for one pipeline run.
+///
+/// Internally a private [`Registry`] with one span per stage (keyed
+/// `stage/<name>`) and a `channel_depth/max` gauge — per-run so
+/// concurrent pipelines never mix counters, and snapshot-able for the
+/// metrics JSON export.
+#[derive(Debug)]
+pub struct RunMetrics {
+    registry: Registry,
+    stages: [SpanStat; 4],
+    max_channel_depth: Gauge,
 }
 
-/// Shared metric sinks for one pipeline run.
-#[derive(Debug, Default)]
-pub struct RunMetrics {
-    stages: [StageClock; 4],
-    max_channel_depth: AtomicUsize,
+impl Default for RunMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RunMetrics {
     /// Creates a zeroed metrics sink.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        let stages = Stage::ALL.map(|s| registry.span(&format!("stage/{}", s.name())));
+        let max_channel_depth = registry.gauge("channel_depth/max");
+        RunMetrics {
+            registry,
+            stages,
+            max_channel_depth,
+        }
+    }
+
+    /// The per-run registry backing the stage spans; snapshot it for
+    /// structured export.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Records one finished job of `stage` that ran for `busy`.
     pub fn record(&self, stage: Stage, busy: Duration) {
-        let clock = &self.stages[stage.index()];
-        let nanos = busy.as_nanos().min(u128::from(u64::MAX)) as u64;
-        clock.jobs.fetch_add(1, Ordering::Relaxed);
-        clock.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
-        clock.max_job_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.stages[stage.index()].record(busy);
     }
 
     /// Folds one emit→simulate channel's depth high-water mark into the
     /// run-wide maximum.
     pub fn note_channel_depth(&self, depth: usize) {
-        self.max_channel_depth.fetch_max(depth, Ordering::Relaxed);
+        self.max_channel_depth.set_max(depth as u64);
     }
 
     /// Runs `f` and records its wall time against `stage`.
@@ -101,12 +117,12 @@ impl RunMetrics {
         spilled_bytes: u64,
     ) -> RunSummary {
         let stages = Stage::ALL.map(|s| {
-            let c = &self.stages[s.index()];
+            let span = &self.stages[s.index()];
             StageSummary {
                 stage: s,
-                jobs: c.jobs.load(Ordering::Relaxed),
-                busy: Duration::from_nanos(c.busy_nanos.load(Ordering::Relaxed)),
-                max_job: Duration::from_nanos(c.max_job_nanos.load(Ordering::Relaxed)),
+                jobs: span.count() as usize,
+                busy: span.total(),
+                max_job: span.max(),
             }
         });
         RunSummary {
@@ -115,7 +131,7 @@ impl RunMetrics {
             stages,
             max_injector_depth,
             max_deque_depth,
-            max_channel_depth: self.max_channel_depth.load(Ordering::Relaxed),
+            max_channel_depth: self.max_channel_depth.get() as usize,
             spilled_traces,
             spilled_bytes,
         }
@@ -167,12 +183,10 @@ impl RunSummary {
     /// for the whole run. Emit time runs on companion threads, so the
     /// ratio can exceed 1.0.
     pub fn utilization(&self) -> f64 {
-        let denom = self.wall.as_secs_f64() * self.workers as f64;
-        if denom == 0.0 {
-            0.0
-        } else {
-            self.total_busy().as_secs_f64() / denom
-        }
+        fracf(
+            self.total_busy().as_secs_f64(),
+            self.wall.as_secs_f64() * self.workers as f64,
+        )
     }
 }
 

@@ -296,9 +296,12 @@ impl WorkloadSlots {
 ///
 /// # Panics
 ///
-/// Panics if the spill directory cannot be created or written, or if a
+/// Panics if the spill directory cannot be created, or if a
 /// workload/simulator stage panics (the first panic is re-raised after
-/// the pool drains).
+/// the pool drains). Spill write or reload failures do not abort the
+/// run: writes fall back to keeping the trace in memory, and a spill
+/// file lost mid-run degrades that context to an empty trace with a
+/// warning on stderr.
 pub fn run_workloads(
     cfg: &ExperimentConfig,
     rt: RuntimeConfig,
@@ -415,13 +418,17 @@ fn simulate_multi_chip<'env>(
         scale,
         metrics,
     );
+    sim.export_obsv(
+        tempstream_obsv::global(),
+        &format!("sim/{}/multi_chip", workload.name()),
+    );
     let trace = sim.finish(out.instructions);
     let slot = slots[ordinal].context(Context::MultiChip);
     slot.collected.set(CollectedPartial {
         breakdown: BreakdownPartial::OffChip(MissClassBreakdown::of_trace(&trace)),
         total_misses: trace.len(),
     });
-    let shared = Arc::new(store.put(trace).expect("spill write failed"));
+    let shared = Arc::new(store.put(trace));
     let symbols = Arc::new(out.symbols);
     metrics.record(Stage::Simulate, t0.elapsed());
     spawn_analyses(
@@ -461,6 +468,10 @@ fn simulate_single_chip<'env>(
         scale,
         metrics,
     );
+    sim.export_obsv(
+        tempstream_obsv::global(),
+        &format!("sim/{}/single_chip", workload.name()),
+    );
     let traces = sim.finish(out.instructions);
     let symbols = Arc::new(out.symbols);
 
@@ -475,8 +486,8 @@ fn simulate_single_chip<'env>(
         total_misses: traces.intra_chip.len(),
     });
 
-    let off_shared = Arc::new(store.put(traces.off_chip).expect("spill write failed"));
-    let intra_shared = Arc::new(store.put(traces.intra_chip).expect("spill write failed"));
+    let off_shared = Arc::new(store.put(traces.off_chip));
+    let intra_shared = Arc::new(store.put(traces.intra_chip));
     metrics.record(Stage::Simulate, t0.elapsed());
 
     spawn_analyses(
@@ -526,7 +537,7 @@ fn spawn_analyses<'env, C>(
         let shared = shared.clone();
         w.spawn(move |w2| {
             metrics.time(Stage::Analyze, || {
-                let trace = shared.trace();
+                let trace = shared.trace_or_empty();
                 let records = stages::cap(trace.records(), max_analysis_misses);
                 let partial = stages::analyze_streams(records, trace.num_cpus());
                 let labels: Arc<Vec<StreamLabel>> = Arc::new(partial.labels.clone());
@@ -535,7 +546,8 @@ fn spawn_analyses<'env, C>(
                 let (sh, sy, lb) = (shared.clone(), symbols.clone(), labels.clone());
                 w2.spawn(move |_| {
                     metrics.time(Stage::Analyze, || {
-                        let records = stages::cap(sh.trace().records(), max_analysis_misses);
+                        let records =
+                            stages::cap(sh.trace_or_empty().records(), max_analysis_misses);
                         slot.origins
                             .set(stages::analyze_origins(records, &lb, &sy, workload));
                     });
@@ -543,7 +555,8 @@ fn spawn_analyses<'env, C>(
                 let (sh, sy) = (shared.clone(), symbols.clone());
                 w2.spawn(move |_| {
                     metrics.time(Stage::Analyze, || {
-                        let records = stages::cap(sh.trace().records(), max_analysis_misses);
+                        let records =
+                            stages::cap(sh.trace_or_empty().records(), max_analysis_misses);
                         slot.functions
                             .set(stages::analyze_functions(records, &labels, &sy));
                     });
@@ -554,7 +567,7 @@ fn spawn_analyses<'env, C>(
 
     w.spawn(move |_| {
         metrics.time(Stage::Analyze, || {
-            let trace = shared.trace();
+            let trace = shared.trace_or_empty();
             let records = stages::cap(trace.records(), max_analysis_misses);
             slot.flags
                 .set(stages::analyze_strides(records, trace.num_cpus()));

@@ -14,8 +14,8 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
-use tempstream_trace::io::{read_trace, write_trace, TraceClass};
+use std::sync::{Arc, OnceLock};
+use tempstream_trace::io::{read_trace, write_trace, ReadTraceError, TraceClass};
 use tempstream_trace::MissTrace;
 
 /// A directory of spilled traces, removed on drop.
@@ -26,6 +26,7 @@ pub struct TraceStore {
     next_id: AtomicU64,
     spilled_traces: AtomicUsize,
     spilled_bytes: AtomicU64,
+    spill_fallbacks: AtomicUsize,
 }
 
 impl TraceStore {
@@ -48,6 +49,7 @@ impl TraceStore {
             next_id: AtomicU64::new(0),
             spilled_traces: AtomicUsize::new(0),
             spilled_bytes: AtomicU64::new(0),
+            spill_fallbacks: AtomicUsize::new(0),
         })
     }
 
@@ -59,28 +61,56 @@ impl TraceStore {
     /// Stores `trace`, spilling it to disk when it exceeds the
     /// threshold; the returned [`SharedTrace`] reloads it on demand.
     ///
-    /// # Errors
-    ///
-    /// Returns any error from writing the spill file.
-    pub fn put<C: TraceClass>(&self, trace: MissTrace<C>) -> std::io::Result<SharedTrace<C>> {
+    /// Never fails: if the spill file cannot be written (disk full,
+    /// directory removed), the partial file is discarded and the trace
+    /// stays in memory — a pipeline run degrades to higher RSS instead
+    /// of aborting. Such fallbacks are counted in
+    /// [`spill_fallbacks`](Self::spill_fallbacks).
+    pub fn put<C: TraceClass>(&self, trace: MissTrace<C>) -> SharedTrace<C> {
         if trace.len() <= self.threshold {
-            return Ok(SharedTrace::in_memory(trace));
+            return SharedTrace::in_memory(trace);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("t{id}.tsmt"));
-        let file = File::create(&path)?;
+        match self.write_spill(&trace, &path) {
+            Ok(bytes) => {
+                self.spilled_traces.fetch_add(1, Ordering::Relaxed);
+                self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+                SharedTrace::on_disk(path)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: spill write to {} failed ({e}); keeping trace in memory",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                self.spill_fallbacks.fetch_add(1, Ordering::Relaxed);
+                SharedTrace::in_memory(trace)
+            }
+        }
+    }
+
+    fn write_spill<C: TraceClass>(
+        &self,
+        trace: &MissTrace<C>,
+        path: &std::path::Path,
+    ) -> std::io::Result<u64> {
+        let file = File::create(path)?;
         let mut w = BufWriter::new(file);
-        write_trace(&trace, &mut w)?;
+        write_trace(trace, &mut w)?;
         std::io::Write::flush(&mut w)?;
-        let bytes = w.get_ref().metadata().map_or(0, |m| m.len());
-        self.spilled_traces.fetch_add(1, Ordering::Relaxed);
-        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
-        Ok(SharedTrace::on_disk(path))
+        Ok(w.get_ref().metadata().map_or(0, |m| m.len()))
     }
 
     /// Number of traces spilled to disk so far.
     pub fn spilled_traces(&self) -> usize {
         self.spilled_traces.load(Ordering::Relaxed)
+    }
+
+    /// Number of oversized traces kept in memory because their spill
+    /// write failed.
+    pub fn spill_fallbacks(&self) -> usize {
+        self.spill_fallbacks.load(Ordering::Relaxed)
     }
 
     /// Total bytes written to spill files so far.
@@ -100,16 +130,18 @@ impl Drop for TraceStore {
 #[derive(Debug)]
 pub struct SharedTrace<C: TraceClass> {
     spill_path: Option<PathBuf>,
-    cache: OnceLock<MissTrace<C>>,
+    cache: OnceLock<Result<MissTrace<C>, Arc<ReadTraceError>>>,
+    empty: OnceLock<MissTrace<C>>,
 }
 
 impl<C: TraceClass> SharedTrace<C> {
     fn in_memory(trace: MissTrace<C>) -> Self {
         let cache = OnceLock::new();
-        let _ = cache.set(trace);
+        let _ = cache.set(Ok(trace));
         SharedTrace {
             spill_path: None,
             cache,
+            empty: OnceLock::new(),
         }
     }
 
@@ -117,6 +149,7 @@ impl<C: TraceClass> SharedTrace<C> {
         SharedTrace {
             spill_path: Some(path),
             cache: OnceLock::new(),
+            empty: OnceLock::new(),
         }
     }
 
@@ -126,24 +159,60 @@ impl<C: TraceClass> SharedTrace<C> {
         self.spill_path.is_some() && self.cache.get().is_none()
     }
 
-    /// The trace, reloading it from the spill file on first touch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the spill file cannot be read back — the store owns the
-    /// file for the run's lifetime, so this only happens on real I/O
-    /// failure, which is fatal to the experiment anyway.
-    pub fn trace(&self) -> &MissTrace<C> {
+    fn load(&self) -> &Result<MissTrace<C>, Arc<ReadTraceError>> {
         self.cache.get_or_init(|| {
             let path = self
                 .spill_path
                 .as_ref()
                 .expect("in-memory SharedTrace always has a cached trace");
-            let file = File::open(path)
-                .unwrap_or_else(|e| panic!("spill file {} vanished: {e}", path.display()));
-            read_trace(BufReader::new(file))
-                .unwrap_or_else(|e| panic!("spill file {} corrupt: {e}", path.display()))
+            let file = File::open(path).map_err(|e| Arc::new(ReadTraceError::Io(e)))?;
+            read_trace(BufReader::new(file)).map_err(Arc::new)
         })
+    }
+
+    /// The trace, reloading it from the spill file on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) reload error when the spill file vanished or
+    /// is corrupt; every later call returns the same error.
+    pub fn try_trace(&self) -> Result<&MissTrace<C>, Arc<ReadTraceError>> {
+        self.load().as_ref().map_err(Arc::clone)
+    }
+
+    /// The trace, or an empty placeholder when the spill file cannot be
+    /// read back (reported on stderr once per handle). Analyze jobs use
+    /// this so a vanished or corrupt spill file degrades that context's
+    /// results instead of aborting the whole pipeline run.
+    pub fn trace_or_empty(&self) -> &MissTrace<C> {
+        match self.load() {
+            Ok(t) => t,
+            Err(e) => self.empty.get_or_init(|| {
+                let path = self
+                    .spill_path
+                    .as_deref()
+                    .unwrap_or(std::path::Path::new("?"));
+                eprintln!(
+                    "warning: spill reload from {} failed ({e}); analyzing empty trace",
+                    path.display()
+                );
+                MissTrace::new(1)
+            }),
+        }
+    }
+
+    /// The trace, reloading it from the spill file on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill file cannot be read back. Callers that must
+    /// survive reload failure use [`try_trace`](Self::try_trace) or
+    /// [`trace_or_empty`](Self::trace_or_empty) instead.
+    pub fn trace(&self) -> &MissTrace<C> {
+        match self.try_trace() {
+            Ok(t) => t,
+            Err(e) => panic!("spill trace unavailable: {e}"),
+        }
     }
 }
 
@@ -171,7 +240,7 @@ mod tests {
     #[test]
     fn small_traces_stay_in_memory() {
         let store = TraceStore::new(100).unwrap();
-        let shared = store.put(trace_of(50)).unwrap();
+        let shared = store.put(trace_of(50));
         assert!(!shared.is_spilled());
         assert_eq!(store.spilled_traces(), 0);
         assert_eq!(shared.trace().len(), 50);
@@ -182,7 +251,7 @@ mod tests {
         let store = TraceStore::new(100).unwrap();
         let original = trace_of(500);
         let records: Vec<_> = original.records().to_vec();
-        let shared = store.put(original).unwrap();
+        let shared = store.put(original);
         assert!(shared.is_spilled(), "trace above threshold must page out");
         assert_eq!(store.spilled_traces(), 1);
         assert!(store.spilled_bytes() > 0);
@@ -201,13 +270,49 @@ mod tests {
         let dir;
         {
             let store = TraceStore::new(0).unwrap();
-            let shared = store.put(trace_of(10)).unwrap();
+            let shared = store.put(trace_of(10));
             assert!(shared.is_spilled());
             dir = store.dir.clone();
             assert!(dir.exists());
             let _ = shared.trace();
         }
         assert!(!dir.exists(), "spill dir must be cleaned up");
+    }
+
+    #[test]
+    fn write_failure_falls_back_to_memory() {
+        let store = TraceStore::new(0).unwrap();
+        // Removing the backing directory makes every File::create fail.
+        std::fs::remove_dir_all(&store.dir).unwrap();
+        let shared = store.put(trace_of(30));
+        assert!(!shared.is_spilled(), "failed spill must stay in memory");
+        assert_eq!(store.spilled_traces(), 0);
+        assert_eq!(store.spill_fallbacks(), 1);
+        assert_eq!(shared.trace().len(), 30);
+    }
+
+    #[test]
+    fn vanished_spill_file_degrades_to_empty_trace() {
+        let store = TraceStore::new(0).unwrap();
+        let shared = store.put(trace_of(25));
+        assert!(shared.is_spilled());
+        std::fs::remove_file(shared.spill_path.as_ref().unwrap()).unwrap();
+        assert!(shared.try_trace().is_err(), "reload must surface the error");
+        let t = shared.trace_or_empty();
+        assert!(t.is_empty(), "fallback trace must be empty");
+        // The error is cached; later calls agree.
+        assert!(shared.try_trace().is_err());
+        assert!(shared.trace_or_empty().is_empty());
+    }
+
+    #[test]
+    fn corrupt_spill_file_reports_read_error() {
+        let store = TraceStore::new(0).unwrap();
+        let shared = store.put(trace_of(25));
+        std::fs::write(shared.spill_path.as_ref().unwrap(), b"NOPE").unwrap();
+        let err = shared.try_trace().unwrap_err();
+        assert!(matches!(*err, ReadTraceError::BadMagic));
+        assert!(shared.trace_or_empty().is_empty());
     }
 
     #[test]
@@ -218,7 +323,7 @@ mod tests {
                 let st = &store;
                 s.spawn(move || {
                     for _ in 0..8 {
-                        let shared = st.put(trace_of(20)).unwrap();
+                        let shared = st.put(trace_of(20));
                         assert_eq!(shared.trace().len(), 20);
                     }
                 });

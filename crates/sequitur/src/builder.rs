@@ -83,6 +83,28 @@ impl Sequitur {
         self.input_len
     }
 
+    /// Current number of entries in the digram hash index.
+    pub fn digram_index_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Rules ever created (including the root and rules later deleted
+    /// by the utility constraint).
+    pub fn rules_created(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Rules currently alive (including the root).
+    pub fn live_rules(&self) -> usize {
+        self.rules.iter().filter(|r| r.alive).count()
+    }
+
+    /// Size of the symbol-node arena, live and freed slots together —
+    /// the builder's peak memory footprint in nodes.
+    pub fn node_arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Appends one input symbol, restoring both grammar invariants.
     pub fn push(&mut self, symbol: u64) {
         self.input_len += 1;
@@ -587,6 +609,19 @@ mod tests {
         assert_eq!(g.reconstruct(), input);
         // High compression: few root symbols relative to input.
         assert!(g.rule_body(RuleId::ROOT).len() < 50);
+    }
+
+    #[test]
+    fn size_accessors_track_construction() {
+        let mut s = Sequitur::new();
+        assert_eq!(s.digram_index_len(), 0);
+        assert_eq!(s.rules_created(), 1);
+        assert_eq!(s.live_rules(), 1);
+        s.extend([1, 2, 7, 1, 2]);
+        assert!(s.digram_index_len() >= 1);
+        assert_eq!(s.rules_created(), 2);
+        assert_eq!(s.live_rules(), 2);
+        assert!(s.node_arena_len() >= 5);
     }
 
     #[test]

@@ -47,11 +47,31 @@ impl GrammarStats {
 
     /// Compression ratio (input length over grammar size).
     pub fn compression_ratio(&self) -> f64 {
-        if self.grammar_size == 0 {
-            0.0
-        } else {
-            self.input_len as f64 / self.grammar_size as f64
-        }
+        tempstream_obsv::frac(self.input_len, self.grammar_size as u64)
+    }
+
+    /// Writes the summary into `registry` as gauges under `prefix`
+    /// (e.g. `sequitur`). Gauges take the maximum across exports, so
+    /// after a multi-workload run they describe the largest grammar.
+    pub fn export(&self, registry: &tempstream_obsv::Registry, prefix: &str) {
+        registry
+            .gauge(&format!("{prefix}/rules"))
+            .set_max(self.rule_count as u64);
+        registry
+            .gauge(&format!("{prefix}/grammar_size"))
+            .set_max(self.grammar_size as u64);
+        registry
+            .gauge(&format!("{prefix}/input_len"))
+            .set_max(self.input_len);
+        registry
+            .gauge(&format!("{prefix}/max_expansion"))
+            .set_max(self.max_expansion);
+        registry
+            .gauge(&format!("{prefix}/max_depth"))
+            .set_max(u64::from(self.max_depth));
+        registry
+            .gauge(&format!("{prefix}/alphabet"))
+            .set_max(self.alphabet as u64);
     }
 }
 
@@ -163,5 +183,18 @@ mod tests {
         let s = stats_of(&[]);
         assert_eq!(s.input_len, 0);
         assert_eq!(s.compression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn export_populates_registry() {
+        let s = stats_of(&[1, 2, 3, 1, 2, 3]);
+        let r = tempstream_obsv::Registry::new();
+        s.export(&r, "sequitur");
+        assert_eq!(r.gauge("sequitur/input_len").get(), 6);
+        assert!(r.gauge("sequitur/rules").get() >= 2);
+        assert_eq!(r.gauge("sequitur/alphabet").get(), 3);
+        // Gauges keep the maximum across exports.
+        stats_of(&[1, 2]).export(&r, "sequitur");
+        assert_eq!(r.gauge("sequitur/input_len").get(), 6);
     }
 }

@@ -49,6 +49,16 @@ pub enum ReadTraceError {
         /// Records actually present before the stream ended.
         read: u64,
     },
+    /// A record named a CPU outside the header's `num_cpus` range.
+    ///
+    /// Analyses index per-CPU tables by `cpu`, so an out-of-range id in a
+    /// corrupt trace would otherwise panic far from the read site.
+    CpuOutOfRange {
+        /// CPU id found in the record.
+        cpu: u32,
+        /// CPU count promised by the header.
+        num_cpus: u32,
+    },
 }
 
 impl fmt::Display for ReadTraceError {
@@ -65,6 +75,10 @@ impl fmt::Display for ReadTraceError {
             ReadTraceError::TruncatedRecords { expected, read } => write!(
                 f,
                 "trace truncated: header promised {expected} records, found {read}"
+            ),
+            ReadTraceError::CpuOutOfRange { cpu, num_cpus } => write!(
+                f,
+                "record names cpu {cpu} but header promised only {num_cpus} cpus"
             ),
         }
     }
@@ -229,7 +243,14 @@ pub fn read_trace<C: TraceClass, R: Read>(mut reader: R) -> Result<MissTrace<C>,
     };
     for i in 0..count {
         let block = Block::new(read_u64(&mut reader).map_err(truncated(i))?);
-        let cpu = CpuId::new(read_u32(&mut reader).map_err(truncated(i))?);
+        let cpu_raw = read_u32(&mut reader).map_err(truncated(i))?;
+        if cpu_raw >= num_cpus {
+            return Err(ReadTraceError::CpuOutOfRange {
+                cpu: cpu_raw,
+                num_cpus,
+            });
+        }
+        let cpu = CpuId::new(cpu_raw);
         let thread = ThreadId::new(read_u32(&mut reader).map_err(truncated(i))?);
         let function = FunctionId::new(read_u32(&mut reader).map_err(truncated(i))?);
         let class_byte = read_u8(&mut reader).map_err(truncated(i))?;
@@ -388,6 +409,25 @@ mod tests {
         buf.truncate(10);
         let err = read_trace::<MissClass, _>(&buf[..]).unwrap_err();
         assert!(matches!(err, ReadTraceError::Io(_)));
+    }
+
+    #[test]
+    fn out_of_range_cpu_detected() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        // Corrupt the first record's cpu field (header is 27 bytes, cpu
+        // sits after the 8-byte block).
+        let cpu_off = 27 + 8;
+        buf[cpu_off..cpu_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_trace::<MissClass, _>(&buf[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            ReadTraceError::CpuOutOfRange {
+                cpu: u32::MAX,
+                num_cpus: 4
+            }
+        ));
     }
 
     #[test]

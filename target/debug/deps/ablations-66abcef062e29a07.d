@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-66abcef062e29a07.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-66abcef062e29a07: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8111c7a556d7fc9c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-8111c7a556d7fc9c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

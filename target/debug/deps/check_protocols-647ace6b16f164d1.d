@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-647ace6b16f164d1.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/check_protocols-647ace6b16f164d1: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

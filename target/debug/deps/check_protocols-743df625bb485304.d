@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-743df625bb485304.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/check_protocols-743df625bb485304: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

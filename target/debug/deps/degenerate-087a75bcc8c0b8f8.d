@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate-087a75bcc8c0b8f8.d: crates/core/../../tests/degenerate.rs
+
+/root/repo/target/debug/deps/degenerate-087a75bcc8c0b8f8: crates/core/../../tests/degenerate.rs
+
+crates/core/../../tests/degenerate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degenerate-ee68bdc1572542ed.d: crates/core/../../tests/degenerate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegenerate-ee68bdc1572542ed.rmeta: crates/core/../../tests/degenerate.rs Cargo.toml
+
+crates/core/../../tests/degenerate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-a66f28b0386c949c.d: crates/checker/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-a66f28b0386c949c: crates/checker/tests/exhaustive.rs
+
+crates/checker/tests/exhaustive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1acecf25e30448dd.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1acecf25e30448dd: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-f7f9baa64c27ef46.d: crates/core/../../tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-f7f9baa64c27ef46.rmeta: crates/core/../../tests/extensions.rs Cargo.toml
+
+crates/core/../../tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

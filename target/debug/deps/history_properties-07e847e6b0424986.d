@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/history_properties-07e847e6b0424986.d: crates/coherence/tests/history_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistory_properties-07e847e6b0424986.rmeta: crates/coherence/tests/history_properties.rs Cargo.toml
+
+crates/coherence/tests/history_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/history_properties-6de65857b8d87349.d: crates/coherence/tests/history_properties.rs
+
+/root/repo/target/debug/deps/history_properties-6de65857b8d87349: crates/coherence/tests/history_properties.rs
+
+crates/coherence/tests/history_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-a0b30e16ac1733e2.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-a0b30e16ac1733e2: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

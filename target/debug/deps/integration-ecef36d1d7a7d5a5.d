@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-ecef36d1d7a7d5a5.d: crates/core/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-ecef36d1d7a7d5a5.rmeta: crates/core/../../tests/integration.rs Cargo.toml
+
+crates/core/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

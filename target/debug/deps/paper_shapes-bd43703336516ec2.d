@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-bd43703336516ec2.d: crates/core/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-bd43703336516ec2: crates/core/../../tests/paper_shapes.rs
+
+crates/core/../../tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-a315021dc87dbd02.d: crates/core/../../tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-a315021dc87dbd02: crates/core/../../tests/pipeline_properties.rs
+
+crates/core/../../tests/pipeline_properties.rs:

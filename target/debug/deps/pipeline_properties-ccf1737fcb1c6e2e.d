@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_properties-ccf1737fcb1c6e2e.d: crates/core/../../tests/pipeline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_properties-ccf1737fcb1c6e2e.rmeta: crates/core/../../tests/pipeline_properties.rs Cargo.toml
+
+crates/core/../../tests/pipeline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetch_eval-0f5ccd606d062d79.d: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetch_eval-0f5ccd606d062d79.rmeta: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+crates/bench/src/bin/prefetch_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

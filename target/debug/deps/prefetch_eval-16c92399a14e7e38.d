@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-16c92399a14e7e38.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-16c92399a14e7e38: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-8b4e29993921cc07.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-8b4e29993921cc07: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetch_eval-c6008901b66f1f74.d: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetch_eval-c6008901b66f1f74.rmeta: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+crates/bench/src/bin/prefetch_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-725fc9133f6e6d9a.d: crates/sequitur/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-725fc9133f6e6d9a.rmeta: crates/sequitur/tests/properties.rs Cargo.toml
+
+crates/sequitur/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

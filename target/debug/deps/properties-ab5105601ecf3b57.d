@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ab5105601ecf3b57.d: crates/sequitur/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ab5105601ecf3b57: crates/sequitur/tests/properties.rs
+
+crates/sequitur/tests/properties.rs:

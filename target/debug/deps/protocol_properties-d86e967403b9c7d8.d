@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_properties-d86e967403b9c7d8.d: crates/coherence/tests/protocol_properties.rs
+
+/root/repo/target/debug/deps/protocol_properties-d86e967403b9c7d8: crates/coherence/tests/protocol_properties.rs
+
+crates/coherence/tests/protocol_properties.rs:

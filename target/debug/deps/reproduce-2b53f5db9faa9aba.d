@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-2b53f5db9faa9aba.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-2b53f5db9faa9aba: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-56e3d2f075783e39.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-56e3d2f075783e39: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

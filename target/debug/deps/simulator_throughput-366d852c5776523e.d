@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_throughput-366d852c5776523e.d: crates/bench/benches/simulator_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_throughput-366d852c5776523e.rmeta: crates/bench/benches/simulator_throughput.rs Cargo.toml
+
+crates/bench/benches/simulator_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_bench-8dd511c0a17d2695.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-8dd511c0a17d2695.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-8dd511c0a17d2695.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tempstream_bench-b4d653afa71ccda9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tempstream_bench-b4d653afa71ccda9: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

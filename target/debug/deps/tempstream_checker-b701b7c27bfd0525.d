@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tempstream_checker-b701b7c27bfd0525.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+/root/repo/target/debug/deps/libtempstream_checker-b701b7c27bfd0525.rlib: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+/root/repo/target/debug/deps/libtempstream_checker-b701b7c27bfd0525.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+crates/checker/src/lib.rs:
+crates/checker/src/bfs.rs:
+crates/checker/src/mosi.rs:
+crates/checker/src/msi.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tempstream_coherence-be160a0448c413d8.d: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/debug/deps/libtempstream_coherence-be160a0448c413d8.rlib: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/debug/deps/libtempstream_coherence-be160a0448c413d8.rmeta: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/events.rs:
+crates/coherence/src/history.rs:
+crates/coherence/src/multi_chip.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/single_chip.rs:

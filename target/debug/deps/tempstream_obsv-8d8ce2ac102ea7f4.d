@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tempstream_obsv-8d8ce2ac102ea7f4.d: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_obsv-8d8ce2ac102ea7f4.rmeta: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs Cargo.toml
+
+crates/obsv/src/lib.rs:
+crates/obsv/src/json.rs:
+crates/obsv/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

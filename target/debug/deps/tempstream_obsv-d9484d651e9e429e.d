@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tempstream_obsv-d9484d651e9e429e.d: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+/root/repo/target/debug/deps/tempstream_obsv-d9484d651e9e429e: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+crates/obsv/src/lib.rs:
+crates/obsv/src/json.rs:
+crates/obsv/src/registry.rs:

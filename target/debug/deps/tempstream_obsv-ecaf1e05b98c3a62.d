@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tempstream_obsv-ecaf1e05b98c3a62.d: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+/root/repo/target/debug/deps/libtempstream_obsv-ecaf1e05b98c3a62.rlib: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+/root/repo/target/debug/deps/libtempstream_obsv-ecaf1e05b98c3a62.rmeta: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+crates/obsv/src/lib.rs:
+crates/obsv/src/json.rs:
+crates/obsv/src/registry.rs:

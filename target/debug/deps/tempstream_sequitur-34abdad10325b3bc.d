@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_sequitur-34abdad10325b3bc.d: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+/root/repo/target/debug/deps/tempstream_sequitur-34abdad10325b3bc: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/builder.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/stats.rs:

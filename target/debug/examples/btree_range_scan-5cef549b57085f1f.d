@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btree_range_scan-5cef549b57085f1f.d: crates/core/../../examples/btree_range_scan.rs
+
+/root/repo/target/debug/examples/btree_range_scan-5cef549b57085f1f: crates/core/../../examples/btree_range_scan.rs
+
+crates/core/../../examples/btree_range_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_characterization-b9ecb84519aa3e30.d: crates/core/../../examples/full_characterization.rs
+
+/root/repo/target/debug/examples/full_characterization-b9ecb84519aa3e30: crates/core/../../examples/full_characterization.rs
+
+crates/core/../../examples/full_characterization.rs:

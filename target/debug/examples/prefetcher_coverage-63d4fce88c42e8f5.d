@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetcher_coverage-63d4fce88c42e8f5.d: crates/core/../../examples/prefetcher_coverage.rs
+
+/root/repo/target/debug/examples/prefetcher_coverage-63d4fce88c42e8f5: crates/core/../../examples/prefetcher_coverage.rs
+
+crates/core/../../examples/prefetcher_coverage.rs:

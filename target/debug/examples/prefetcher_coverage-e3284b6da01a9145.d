@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/prefetcher_coverage-e3284b6da01a9145.d: crates/core/../../examples/prefetcher_coverage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprefetcher_coverage-e3284b6da01a9145.rmeta: crates/core/../../examples/prefetcher_coverage.rs Cargo.toml
+
+crates/core/../../examples/prefetcher_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

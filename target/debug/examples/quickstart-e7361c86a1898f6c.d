@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e7361c86a1898f6c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e7361c86a1898f6c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

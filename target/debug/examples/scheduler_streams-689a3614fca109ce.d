@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_streams-689a3614fca109ce.d: crates/core/../../examples/scheduler_streams.rs
+
+/root/repo/target/debug/examples/scheduler_streams-689a3614fca109ce: crates/core/../../examples/scheduler_streams.rs
+
+crates/core/../../examples/scheduler_streams.rs:

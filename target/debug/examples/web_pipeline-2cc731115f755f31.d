@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_pipeline-2cc731115f755f31.d: crates/core/../../examples/web_pipeline.rs
+
+/root/repo/target/debug/examples/web_pipeline-2cc731115f755f31: crates/core/../../examples/web_pipeline.rs
+
+crates/core/../../examples/web_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-5d2deab7ba6f15f2.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-5d2deab7ba6f15f2: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

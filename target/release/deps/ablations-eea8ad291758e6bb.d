@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-eea8ad291758e6bb.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-eea8ad291758e6bb: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

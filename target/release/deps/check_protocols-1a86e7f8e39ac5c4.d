@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_protocols-1a86e7f8e39ac5c4.d: crates/checker/src/main.rs
+
+/root/repo/target/release/deps/check_protocols-1a86e7f8e39ac5c4: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

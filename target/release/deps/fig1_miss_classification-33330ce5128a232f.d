@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_miss_classification-33330ce5128a232f.d: crates/bench/benches/fig1_miss_classification.rs
+
+/root/repo/target/release/deps/fig1_miss_classification-33330ce5128a232f: crates/bench/benches/fig1_miss_classification.rs
+
+crates/bench/benches/fig1_miss_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_stream_fraction-a61e32b3db4259da.d: crates/bench/benches/fig2_stream_fraction.rs
+
+/root/repo/target/release/deps/fig2_stream_fraction-a61e32b3db4259da: crates/bench/benches/fig2_stream_fraction.rs
+
+crates/bench/benches/fig2_stream_fraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_stride_joint-4aceb5bf6d3b9771.d: crates/bench/benches/fig3_stride_joint.rs
+
+/root/repo/target/release/deps/fig3_stride_joint-4aceb5bf6d3b9771: crates/bench/benches/fig3_stride_joint.rs
+
+crates/bench/benches/fig3_stride_joint.rs:

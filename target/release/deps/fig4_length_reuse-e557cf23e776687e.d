@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_length_reuse-e557cf23e776687e.d: crates/bench/benches/fig4_length_reuse.rs
+
+/root/repo/target/release/deps/fig4_length_reuse-e557cf23e776687e: crates/bench/benches/fig4_length_reuse.rs
+
+crates/bench/benches/fig4_length_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-1ce4cd61408b128d.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-1ce4cd61408b128d: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

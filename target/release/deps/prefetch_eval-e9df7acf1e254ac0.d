@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-e9df7acf1e254ac0.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-e9df7acf1e254ac0: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-3e8cf2e6491ab556.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-3e8cf2e6491ab556: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-6d911c6246fd41cb.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-6d911c6246fd41cb: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_scaling-d18bd5ecf5b33c69.d: crates/bench/benches/runtime_scaling.rs
+
+/root/repo/target/release/deps/runtime_scaling-d18bd5ecf5b33c69: crates/bench/benches/runtime_scaling.rs
+
+crates/bench/benches/runtime_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sequitur_throughput-78799af396f44492.d: crates/bench/benches/sequitur_throughput.rs
+
+/root/repo/target/release/deps/sequitur_throughput-78799af396f44492: crates/bench/benches/sequitur_throughput.rs
+
+crates/bench/benches/sequitur_throughput.rs:

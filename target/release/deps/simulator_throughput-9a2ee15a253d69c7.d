@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_throughput-9a2ee15a253d69c7.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/release/deps/simulator_throughput-9a2ee15a253d69c7: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_origins-91ebaefa6eca9f07.d: crates/bench/benches/tables_origins.rs
+
+/root/repo/target/release/deps/tables_origins-91ebaefa6eca9f07: crates/bench/benches/tables_origins.rs
+
+crates/bench/benches/tables_origins.rs:

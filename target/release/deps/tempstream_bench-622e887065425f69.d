@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tempstream_bench-622e887065425f69.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-622e887065425f69.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-622e887065425f69.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/tempstream_bench-b36e0f61a31b4e16.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/tempstream_bench-b36e0f61a31b4e16: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

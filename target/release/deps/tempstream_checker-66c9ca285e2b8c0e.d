@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tempstream_checker-66c9ca285e2b8c0e.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+/root/repo/target/release/deps/libtempstream_checker-66c9ca285e2b8c0e.rlib: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+/root/repo/target/release/deps/libtempstream_checker-66c9ca285e2b8c0e.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+crates/checker/src/lib.rs:
+crates/checker/src/bfs.rs:
+crates/checker/src/mosi.rs:
+crates/checker/src/msi.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tempstream_core-9e15872773d1b4a3.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+/root/repo/target/release/deps/libtempstream_core-9e15872773d1b4a3.rlib: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+/root/repo/target/release/deps/libtempstream_core-9e15872773d1b4a3.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distribution.rs:
+crates/core/src/experiment.rs:
+crates/core/src/functions.rs:
+crates/core/src/origins.rs:
+crates/core/src/report.rs:
+crates/core/src/spatial.rs:
+crates/core/src/stages.rs:
+crates/core/src/streams.rs:
+crates/core/src/stride.rs:

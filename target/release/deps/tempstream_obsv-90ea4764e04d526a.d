@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tempstream_obsv-90ea4764e04d526a.d: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+/root/repo/target/release/deps/libtempstream_obsv-90ea4764e04d526a.rlib: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+/root/repo/target/release/deps/libtempstream_obsv-90ea4764e04d526a.rmeta: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+crates/obsv/src/lib.rs:
+crates/obsv/src/json.rs:
+crates/obsv/src/registry.rs:

@@ -1,0 +1,145 @@
+//! Degenerate-input coverage: empty, single-miss, and all-identical-
+//! address traces must flow through every analysis (streams, strides,
+//! origins, functions, class breakdowns) producing finite fractions and
+//! stable report text — never NaN or infinity from a zero denominator.
+
+use tempstream_core::report::{MissClassBreakdown, StreamFractionReport, StrideJointReport};
+use tempstream_core::stages;
+use tempstream_trace::miss::{MissRecord, MissTrace};
+use tempstream_trace::{Block, CpuId, FunctionId, MissCategory, MissClass, SymbolTable, ThreadId};
+use tempstream_workloads::Workload;
+
+fn record(block: u64, cpu: u32, function: u32) -> MissRecord<MissClass> {
+    MissRecord {
+        block: Block::new(block),
+        cpu: CpuId::new(cpu),
+        thread: ThreadId::new(cpu),
+        function: FunctionId::new(function),
+        class: MissClass::Replacement,
+    }
+}
+
+fn symbols() -> SymbolTable {
+    let mut s = SymbolTable::new();
+    s.intern("disp_main", MissCategory::KernelScheduler);
+    s.intern("memcpy", MissCategory::BulkMemoryCopy);
+    s
+}
+
+/// Runs the full composed analysis and asserts every derived fraction
+/// is finite and within [0, 1] (shares can legitimately be 0 on these
+/// inputs, never NaN).
+fn assert_all_finite(records: &[MissRecord<MissClass>], num_cpus: u32) {
+    let syms = symbols();
+    let results = stages::analyze_stream_results(records, num_cpus, &syms, Workload::Apache);
+
+    let sf = &results.stream_fraction;
+    for v in [sf.in_streams(), sf.recurring_fraction()] {
+        assert!(v.is_finite(), "stream fraction not finite: {v}");
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "stream fraction out of range: {v}"
+        );
+    }
+
+    let j = &results.stride_joint;
+    for v in [j.strided_fraction(), j.repetitive_fraction()] {
+        assert!(v.is_finite(), "stride fraction not finite: {v}");
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "stride fraction out of range: {v}"
+        );
+    }
+
+    let v = results.origins.overall_stream_fraction();
+    assert!(
+        v.is_finite() && (0.0..=1.0).contains(&v),
+        "origin fraction: {v}"
+    );
+    for row in results.functions.rows() {
+        let v = row.stream_fraction();
+        assert!(
+            v.is_finite() && (0.0..=1.0).contains(&v),
+            "function fraction: {v}"
+        );
+    }
+    let v = results.functions.share_of_prefix("disp");
+    assert!(
+        v.is_finite() && (0.0..=1.0).contains(&v),
+        "prefix share: {v}"
+    );
+
+    // Rendered reports must never show NaN/inf either.
+    for text in [
+        sf.to_string(),
+        j.to_string(),
+        tempstream_core::report::format_length_cdf(&results.length_cdf),
+        tempstream_core::report::format_reuse_pdf(&results.reuse_pdf),
+        tempstream_core::report::format_origin_table(&results.origins),
+        tempstream_core::functions::format_function_table(&results.functions, 12),
+    ] {
+        assert!(!text.contains("NaN"), "report shows NaN: {text}");
+        assert!(!text.contains("inf"), "report shows inf: {text}");
+    }
+}
+
+#[test]
+fn empty_trace_is_finite_everywhere() {
+    assert_all_finite(&[], 4);
+}
+
+#[test]
+fn single_miss_trace_is_finite_everywhere() {
+    assert_all_finite(&[record(0x40, 0, 0)], 4);
+}
+
+#[test]
+fn all_identical_address_trace_is_finite_everywhere() {
+    let records: Vec<_> = (0..1000).map(|_| record(0x80, 1, 1)).collect();
+    assert_all_finite(&records, 4);
+}
+
+#[test]
+fn empty_breakdown_has_finite_mpki_and_fractions() {
+    let trace: MissTrace<MissClass> = MissTrace::new(4);
+    let b = MissClassBreakdown::of_trace(&trace);
+    assert_eq!(b.total(), 0);
+    assert_eq!(b.total_mpki(), 0.0);
+    for class in MissClass::ALL {
+        assert_eq!(b.mpki(class), 0.0);
+        assert_eq!(b.fraction(class), 0.0);
+    }
+    let text = b.to_string();
+    assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+}
+
+#[test]
+fn empty_reports_render_stable_text() {
+    let sf = StreamFractionReport {
+        non_repetitive: 0,
+        new_stream: 0,
+        recurring_stream: 0,
+    };
+    assert_eq!(
+        sf.to_string(),
+        "non-repetitive   0.0% | new stream   0.0% | recurring stream   0.0%"
+    );
+    assert_eq!(sf.in_streams(), 0.0);
+
+    let j = StrideJointReport::default();
+    assert_eq!(j.strided_fraction(), 0.0);
+    assert_eq!(j.repetitive_fraction(), 0.0);
+    assert!(!j.to_string().contains("NaN"));
+}
+
+#[test]
+fn single_miss_stream_counts_are_consistent() {
+    let syms = symbols();
+    let results = stages::analyze_stream_results(&[record(0x40, 0, 0)], 4, &syms, Workload::Apache);
+    assert_eq!(results.analyzed_misses, 1);
+    assert_eq!(results.stream_fraction.total(), 1);
+    assert_eq!(results.stride_joint.total(), 1);
+    // One miss can never be repetitive.
+    assert_eq!(results.stream_fraction.non_repetitive, 1);
+    assert_eq!(results.stream_fraction.in_streams(), 0.0);
+}
