@@ -8,6 +8,9 @@
 #      to the serial runner
 #   6. metrics gate: --metrics-json emits valid JSON with the expected
 #      top-level keys and leaves stdout untouched
+#   7. perf smoke gate: the parallel pipeline must not be slower than
+#      the serial runner (reduced sample count via
+#      TEMPSTREAM_BENCH_SAMPLES)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,5 +53,23 @@ jq -e 'has("meta") and has("metrics") and has("runtime")' "$det_dir/metrics.json
 jq -e '(.metrics.spans | has("stage")) and (.metrics.counters | has("sim")) and (.metrics.gauges | has("sequitur"))' \
   "$det_dir/metrics.json" >/dev/null \
   || { echo "metrics gate FAILED: registry missing stage/sim/sequitur sections"; exit 1; }
+
+echo "== perf smoke: parallel/4w vs serial =="
+# Three samples keep this a smoke test, not a benchmark: it exists to
+# catch the parallel path regressing back to slower-than-serial, not to
+# measure speedup precisely.
+TEMPSTREAM_BENCH_SAMPLES=3 TEMPSTREAM_BENCH_DIR="$det_dir" \
+  cargo bench -q -p tempstream-bench --bench runtime_scaling >/dev/null
+speedup=$(jq -r '.results[] | select(.name == "parallel/4w") | .speedup_vs_serial' \
+  "$det_dir/BENCH_runtime_scaling.json")
+cores=$(nproc 2>/dev/null || echo 1)
+# With a single CPU, four workers cannot beat serial — physically. The
+# gate then only demands the parallel path stays within 15% of serial
+# (i.e. the scheduling machinery costs little when it cannot help).
+# On multi-core hosts the parallel path must actually win.
+threshold=$([ "$cores" -le 1 ] && echo 0.85 || echo 1.0)
+awk -v s="$speedup" -v t="$threshold" 'BEGIN { exit !(s >= t) }' \
+  || { echo "perf smoke FAILED: parallel/4w speedup $speedup < $threshold (cores: $cores)"; exit 1; }
+echo "parallel/4w speedup vs serial: $speedup (threshold $threshold, cores: $cores)"
 
 echo "CI OK"

@@ -13,7 +13,7 @@ const WORKLOADS: [Workload; 3] = [Workload::Apache, Workload::Oltp, Workload::Ds
 fn runtime_scaling(c: &mut Criterion) {
     let cfg = ExperimentConfig::quick();
     let mut g = c.benchmark_group("runtime_scaling");
-    g.sample_size(10);
+    g.sample_size(10).baseline("serial");
 
     g.bench_function("serial", |b| {
         b.iter(|| {

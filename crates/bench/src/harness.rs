@@ -16,7 +16,12 @@
 //! Besides the console table, each group writes its results to
 //! `BENCH_<group>.json` in the working directory (set
 //! `TEMPSTREAM_BENCH_DIR` to redirect) so runs can be archived and
-//! diffed mechanically.
+//! diffed mechanically. `TEMPSTREAM_BENCH_SAMPLES` overrides every
+//! group's sample count — CI's perf smoke gate uses it to trade
+//! precision for wall-clock. A group may name one benchmark as its
+//! [`baseline`](BenchmarkGroup::baseline); every other result then
+//! carries a `speedup_vs_<baseline>` ratio (>1 means faster than the
+//! baseline) in the JSON.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -33,11 +38,22 @@ impl Criterion {
         BenchmarkGroup {
             _criterion: self,
             name: name.to_string(),
-            sample_size: 10,
+            sample_size: sample_override().unwrap_or(10),
             throughput: None,
+            baseline: None,
             results: Vec::new(),
         }
     }
+}
+
+/// The `TEMPSTREAM_BENCH_SAMPLES` override, if set and parseable.
+fn sample_override() -> Option<usize> {
+    std::env::var("TEMPSTREAM_BENCH_SAMPLES")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 /// One finished benchmark's numbers, as written to `BENCH_<group>.json`.
@@ -49,7 +65,7 @@ struct BenchResult {
 }
 
 impl BenchResult {
-    fn to_json(&self) -> Json {
+    fn to_json(&self, baseline: Option<(&str, u64)>) -> Json {
         let mut o = Json::obj();
         o.set("name", Json::Str(self.name.clone()));
         o.set("median_ns", Json::UInt(self.median_ns));
@@ -59,6 +75,14 @@ impl BenchResult {
                 "elements_per_sec",
                 Json::Float(n as f64 * 1e9 / self.median_ns.max(1) as f64),
             );
+        }
+        if let Some((base_name, base_ns)) = baseline {
+            if self.name != base_name {
+                o.set(
+                    &format!("speedup_vs_{base_name}"),
+                    Json::Float(base_ns as f64 / self.median_ns.max(1) as f64),
+                );
+            }
         }
         o
     }
@@ -78,13 +102,24 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    baseline: Option<String>,
     results: Vec<BenchResult>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. The
+    /// `TEMPSTREAM_BENCH_SAMPLES` environment variable, when set, wins
+    /// over the programmatic value.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = sample_override().unwrap_or(n).max(1);
+        self
+    }
+
+    /// Names the benchmark every other result in this group is compared
+    /// against: the JSON for each non-baseline result gains a
+    /// `speedup_vs_<name>` ratio (baseline median over its median).
+    pub fn baseline<N: std::fmt::Display>(&mut self, name: N) -> &mut Self {
+        self.baseline = Some(name.to_string());
         self
     }
 
@@ -131,12 +166,21 @@ impl BenchmarkGroup<'_> {
     /// unchanged; the file lands in `TEMPSTREAM_BENCH_DIR` or the
     /// working directory).
     pub fn finish(&mut self) {
+        let baseline = self.baseline.as_deref().and_then(|base| {
+            self.results
+                .iter()
+                .find(|r| r.name == base)
+                .map(|r| (base, r.median_ns))
+        });
         let mut doc = Json::obj();
         doc.set("group", Json::Str(self.name.clone()));
         doc.set("sample_size", Json::UInt(self.sample_size as u64));
+        if let Some((base, _)) = baseline {
+            doc.set("baseline", Json::Str(base.to_string()));
+        }
         doc.set(
             "results",
-            Json::Arr(self.results.iter().map(BenchResult::to_json).collect()),
+            Json::Arr(self.results.iter().map(|r| r.to_json(baseline)).collect()),
         );
         let file = format!(
             "BENCH_{}.json",
@@ -198,8 +242,13 @@ pub use crate::{criterion_group, criterion_main};
 mod tests {
     use super::*;
 
+    /// Serializes tests that mutate the `TEMPSTREAM_BENCH_DIR` process
+    /// environment.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bench_function_runs_closure_and_writes_json() {
+        let _env = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join(format!("tempstream-bench-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::env::set_var("TEMPSTREAM_BENCH_DIR", &dir);
@@ -225,6 +274,42 @@ mod tests {
         };
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].get("elements").and_then(Json::as_u64), Some(10));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn baseline_adds_speedup_ratios() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("tempstream-bench-bl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("TEMPSTREAM_BENCH_DIR", &dir);
+
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("speedtest");
+        g.sample_size(2).baseline("slow");
+        g.bench_function("slow", |b| {
+            b.iter(|| std::thread::sleep(std::time::Duration::from_millis(8)));
+        });
+        g.bench_function("fast", |b| {
+            b.iter(|| std::thread::sleep(std::time::Duration::from_millis(1)));
+        });
+        g.finish();
+
+        let text = std::fs::read_to_string(dir.join("BENCH_speedtest.json")).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("baseline").and_then(Json::as_str), Some("slow"));
+        let Some(Json::Arr(results)) = doc.get("results") else {
+            panic!("results array missing");
+        };
+        assert!(
+            results[0].get("speedup_vs_slow").is_none(),
+            "baseline must not report a self-speedup"
+        );
+        let speedup = results[1]
+            .get("speedup_vs_slow")
+            .and_then(Json::as_f64)
+            .expect("non-baseline result must report speedup_vs_slow");
+        assert!(speedup > 1.0, "8ms baseline / 1ms sample, got {speedup}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,7 +13,7 @@
 //!   is why non-I/O coherence misses never appear off chip in a CMP;
 //! - single-chip intra-chip classification: one agent per core.
 
-use std::collections::HashMap;
+use tempstream_fxhash::FxHashMap;
 use tempstream_trace::{Block, MissClass};
 
 /// The most recent writer of a block.
@@ -41,10 +41,16 @@ struct BlockHistory {
 }
 
 /// Tracks per-block read/write history and classifies read misses.
+///
+/// The block map is consulted on *every* simulated access (hits
+/// included), so it hashes with the in-tree seedless
+/// [`FxHashMap`] — block numbers are simulator-generated, never
+/// attacker-controlled, and the map is only ever probed by key, never
+/// iterated, so hash order cannot leak into results.
 #[derive(Debug, Clone)]
 pub struct HistoryTracker {
     num_agents: u32,
-    blocks: HashMap<Block, BlockHistory>,
+    blocks: FxHashMap<Block, BlockHistory>,
 }
 
 impl HistoryTracker {
@@ -61,7 +67,7 @@ impl HistoryTracker {
         );
         HistoryTracker {
             num_agents,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 

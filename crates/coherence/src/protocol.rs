@@ -27,9 +27,9 @@
 //! assert_eq!(t.to, MosiState::O);
 //! ```
 
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use tempstream_fxhash::FxHashMap;
 use tempstream_trace::Block;
 
 /// Coherence events, from the perspective of one cache and one block.
@@ -332,7 +332,7 @@ pub struct ProtocolEngine<S: ProtocolState> {
     /// Per-block agent states; absent entry = all agents in `initial`.
     /// Entries whose agents are all invalid are dropped to keep the map
     /// bounded by live sharing, not footprint.
-    states: HashMap<Block, Vec<S>>,
+    states: FxHashMap<Block, Vec<S>>,
 }
 
 impl<S: ProtocolState> ProtocolEngine<S> {
@@ -346,7 +346,7 @@ impl<S: ProtocolState> ProtocolEngine<S> {
         ProtocolEngine {
             spec,
             agents,
-            states: HashMap::new(),
+            states: FxHashMap::default(),
         }
     }
 

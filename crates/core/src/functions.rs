@@ -8,7 +8,6 @@
 //! temporal stream". This module produces that per-function view.
 
 use crate::streams::StreamLabel;
-use std::collections::HashMap;
 use tempstream_obsv::frac;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{FunctionId, MissCategory, SymbolTable};
@@ -59,9 +58,17 @@ impl FunctionTable {
             labels.len(),
             "labels must align with records"
         );
-        let mut counts: HashMap<FunctionId, (u64, u64)> = HashMap::new();
+        // Interned function ids are dense (0..symbols.len()), so a
+        // direct-indexed table replaces the former per-record hash-map
+        // probe; ids beyond the symbol table (untracked functions) grow
+        // it on demand.
+        let mut counts: Vec<(u64, u64)> = vec![(0, 0); symbols.len()];
         for (r, &label) in records.iter().zip(labels) {
-            let e = counts.entry(r.function).or_insert((0, 0));
+            let idx = r.function.index();
+            if idx >= counts.len() {
+                counts.resize(idx + 1, (0, 0));
+            }
+            let e = &mut counts[idx];
             e.0 += 1;
             if label != StreamLabel::NonRepetitive {
                 e.1 += 1;
@@ -69,12 +76,17 @@ impl FunctionTable {
         }
         let mut rows: Vec<FunctionRow> = counts
             .into_iter()
-            .map(|(function, (misses, in_streams))| FunctionRow {
-                function,
-                name: symbols.name(function).to_owned(),
-                category: symbols.category(function),
-                misses,
-                misses_in_streams: in_streams,
+            .enumerate()
+            .filter(|&(_, (misses, _))| misses > 0)
+            .map(|(i, (misses, in_streams))| {
+                let function = FunctionId::new(u32::try_from(i).expect("function id overflow"));
+                FunctionRow {
+                    function,
+                    name: symbols.name(function).to_owned(),
+                    category: symbols.category(function),
+                    misses,
+                    misses_in_streams: in_streams,
+                }
             })
             .collect();
         rows.sort_by(|a, b| b.misses.cmp(&a.misses).then(a.name.cmp(&b.name)));

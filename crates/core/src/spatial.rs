@@ -15,7 +15,7 @@
 //!   trigger signature — (trigger function, trigger offset), the SMS
 //!   (PC, offset) analogue — equals its pattern.
 
-use std::collections::HashMap;
+use tempstream_fxhash::FxHashMap;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{FunctionId, MissTrace};
 
@@ -59,8 +59,8 @@ impl SpatialAnalysis {
 
     /// Analyzes a record slice.
     pub fn of_records<C: Copy>(records: &[MissRecord<C>]) -> Self {
-        let mut open: HashMap<u64, OpenGeneration> = HashMap::new();
-        let mut last_pattern: HashMap<Signature, u64> = HashMap::new();
+        let mut open: FxHashMap<u64, OpenGeneration> = FxHashMap::default();
+        let mut last_pattern: FxHashMap<Signature, u64> = FxHashMap::default();
         let mut out = SpatialAnalysis {
             total_misses: records.len() as u64,
             ..Default::default()
@@ -94,24 +94,31 @@ impl SpatialAnalysis {
             );
             // Bound the open set: sweep anything stale.
             if open.len() > 1 << 16 {
-                let stale: Vec<u64> = open
+                let mut stale: Vec<u64> = open
                     .iter()
                     .filter(|(_, g)| pos - g.last_touch > GENERATION_GAP)
                     .map(|(&k, _)| k)
                     .collect();
+                // Close in region order: same-signature generations
+                // closing in map iteration order would make `predicted`
+                // depend on the hasher.
+                stale.sort_unstable();
                 for k in stale {
                     let g = open.remove(&k).expect("present");
                     out.close(g, &mut last_pattern);
                 }
             }
         }
-        for (_, g) in open.drain() {
+        let mut remaining: Vec<u64> = open.keys().copied().collect();
+        remaining.sort_unstable();
+        for k in remaining {
+            let g = open.remove(&k).expect("present");
             out.close(g, &mut last_pattern);
         }
         out
     }
 
-    fn close(&mut self, g: OpenGeneration, last: &mut HashMap<Signature, u64>) {
+    fn close(&mut self, g: OpenGeneration, last: &mut FxHashMap<Signature, u64>) {
         self.generations += 1;
         let blocks = g.pattern.count_ones() as u64;
         self.blocks_touched += blocks;

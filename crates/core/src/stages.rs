@@ -32,6 +32,7 @@ use crate::report::{
 };
 use crate::streams::{StreamAnalysis, StreamLabel};
 use crate::stride::StrideDetector;
+use std::sync::Arc;
 use tempstream_coherence::single_chip::SingleChipTraces;
 use tempstream_coherence::{MultiChipSim, SingleChipSim};
 use tempstream_trace::miss::MissRecord;
@@ -167,7 +168,9 @@ pub struct StreamsPartial {
     /// Figure 2 segments.
     pub stream_fraction: StreamFractionReport,
     /// Per-miss labels, in trace order (input to the join/origin jobs).
-    pub labels: Vec<StreamLabel>,
+    /// Behind an `Arc` so the parallel executor can hand the label
+    /// vector to several analyze jobs without copying ~10⁶ entries.
+    pub labels: Arc<Vec<StreamLabel>>,
     /// Figure 4 (left).
     pub length_cdf: LengthCdf,
     /// Figure 4 (right).
@@ -188,7 +191,7 @@ pub fn analyze_streams<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> Str
             new_stream: new,
             recurring_stream: rec,
         },
-        labels: analysis.labels().to_vec(),
+        labels: Arc::new(analysis.labels().to_vec()),
         length_cdf: analysis.length_cdf(),
         reuse_pdf: analysis.reuse_distance_pdf(),
         distinct_streams: analysis.distinct_streams(),

@@ -85,17 +85,27 @@ impl StreamAnalysis {
 
         // 2. Root walk: label positions, collect occurrences, measure
         // reuse distances with per-cpu miss counters.
+        let root_body = grammar.rule_body(RuleId::ROOT);
         let mut labels = vec![StreamLabel::NonRepetitive; records.len()];
-        let mut occurrences = Vec::new();
+        // Root-level rule references bound the occurrence count, so one
+        // reservation covers the whole walk.
+        let mut occurrences = Vec::with_capacity(
+            root_body
+                .iter()
+                .filter(|s| matches!(s, GrammarSymbol::Rule(_)))
+                .count(),
+        );
         // seen[r]: rule r's expansion has already been emitted somewhere.
         let mut seen = vec![false; grammar.rule_count()];
+        // Scratch stack for mark_seen, reused across occurrences.
+        let mut seen_stack: Vec<RuleId> = Vec::new();
         // last_occ[r]: (cpu of last occurrence, that cpu's miss count at
         // the occurrence's end).
         let mut last_occ: Vec<Option<(u32, u64)>> = vec![None; grammar.rule_count()];
         let mut cpu_counts = vec![0u64; num_cpus.max(1) as usize];
         let mut pos = 0usize;
 
-        for sym in grammar.rule_body(RuleId::ROOT) {
+        for sym in root_body {
             match *sym {
                 GrammarSymbol::Terminal(_) => {
                     cpu_counts[records[pos].cpu.index()] += 1;
@@ -105,7 +115,7 @@ impl StreamAnalysis {
                     let len = grammar.expansion_len(rule);
                     let new = !seen[rule.index()];
                     if new {
-                        mark_seen(&grammar, rule, &mut seen);
+                        mark_seen(&grammar, rule, &mut seen, &mut seen_stack);
                     }
                     let occ_cpu = records[pos].cpu.raw();
                     let reuse_distance = last_occ[rule.index()]
@@ -221,9 +231,17 @@ impl StreamAnalysis {
     }
 }
 
-/// Marks `rule` and every rule reachable from it as seen.
-fn mark_seen(grammar: &tempstream_sequitur::Grammar, rule: RuleId, seen: &mut [bool]) {
-    let mut stack = vec![rule];
+/// Marks `rule` and every rule reachable from it as seen. `stack` is
+/// caller-provided scratch (left empty on return) so the root walk does
+/// not allocate per occurrence.
+fn mark_seen(
+    grammar: &tempstream_sequitur::Grammar,
+    rule: RuleId,
+    seen: &mut [bool],
+    stack: &mut Vec<RuleId>,
+) {
+    debug_assert!(stack.is_empty());
+    stack.push(rule);
     while let Some(r) = stack.pop() {
         if seen[r.index()] {
             continue;

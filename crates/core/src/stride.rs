@@ -30,6 +30,13 @@ struct CpuState {
     last_block: Option<Block>,
     last_delta: Option<i64>,
     last_index: usize,
+    /// Trace indices of the current candidate run's first misses. Only
+    /// a run's confirmation (at [`MIN_RUN`] members) marks earlier
+    /// misses retroactively; past that point each new member is marked
+    /// directly, so [`MIN_RUN`] inline slots replace an unbounded
+    /// per-cpu heap buffer.
+    run: [usize; MIN_RUN],
+    run_len: usize,
 }
 
 impl StrideDetector {
@@ -42,35 +49,37 @@ impl StrideDetector {
     pub fn of_records<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> Self {
         let mut strided = vec![false; records.len()];
         let mut states = vec![CpuState::default(); num_cpus.max(1) as usize];
-        // Per-cpu indices of the current candidate run's misses.
-        let mut runs: Vec<Vec<usize>> = vec![Vec::new(); num_cpus.max(1) as usize];
 
         for (i, r) in records.iter().enumerate() {
             let c = r.cpu.index();
             let st = &mut states[c];
-            let run = &mut runs[c];
             let delta = st.last_block.map(|lb| r.block.stride_from(lb));
             let usable = |d: i64| d != 0 && d.abs() <= MAX_STRIDE;
             let continues = matches!((delta, st.last_delta),
                 (Some(d), Some(ld)) if d == ld && usable(d));
             if continues {
-                run.push(i);
-                if run.len() == MIN_RUN {
-                    // Mark the whole run (earlier members retroactively).
-                    for &j in run.iter() {
-                        strided[j] = true;
-                    }
-                } else if run.len() > MIN_RUN {
+                if st.run_len >= MIN_RUN {
                     strided[i] = true;
+                } else {
+                    st.run[st.run_len] = i;
+                    st.run_len += 1;
+                    if st.run_len == MIN_RUN {
+                        // Mark the whole run (earlier members
+                        // retroactively).
+                        for &j in &st.run[..MIN_RUN] {
+                            strided[j] = true;
+                        }
+                    }
                 }
             } else {
                 // This miss may begin a new run seeded by the previous
                 // miss on the same cpu.
-                run.clear();
+                st.run_len = 0;
                 if let Some(d) = delta {
                     if usable(d) {
-                        run.push(st.last_index);
-                        run.push(i);
+                        st.run[0] = st.last_index;
+                        st.run[1] = i;
+                        st.run_len = 2;
                     }
                 }
             }

@@ -9,7 +9,8 @@
 //! - accuracy = covered misses / issued prefetches.
 
 use crate::Prefetcher;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+use tempstream_fxhash::FxHashSet;
 use tempstream_trace::miss::MissRecord;
 
 /// Result of one evaluation run.
@@ -64,7 +65,7 @@ pub fn evaluate<C: Copy>(
     records: &[MissRecord<C>],
     buffer_capacity: usize,
 ) -> Evaluation {
-    let mut buffer: HashSet<tempstream_trace::Block> = HashSet::new();
+    let mut buffer: FxHashSet<tempstream_trace::Block> = FxHashSet::default();
     let mut order: VecDeque<tempstream_trace::Block> = VecDeque::new();
     let mut e = Evaluation {
         total: 0,

@@ -6,14 +6,14 @@
 //! streams generalize to arbitrary-length sequences.
 
 use crate::Prefetcher;
-use std::collections::HashMap;
+use tempstream_fxhash::FxHashMap;
 use tempstream_trace::{Block, CpuId};
 
 /// The Markov prefetcher.
 #[derive(Debug, Clone)]
 pub struct MarkovPrefetcher {
     /// block -> up to `ways` successors, most recent first.
-    table: HashMap<Block, Vec<Block>>,
+    table: FxHashMap<Block, Vec<Block>>,
     ways: usize,
     max_entries: usize,
     last: Option<Block>,
@@ -30,7 +30,7 @@ impl MarkovPrefetcher {
     pub fn new(ways: usize, max_entries: usize) -> Self {
         assert!(ways > 0 && max_entries > 0, "degenerate markov table");
         MarkovPrefetcher {
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             ways,
             max_entries,
             last: None,

@@ -15,7 +15,7 @@
 //!   temporal streaming's stream engines do.
 
 use crate::Prefetcher;
-use std::collections::HashMap;
+use tempstream_fxhash::FxHashMap;
 use tempstream_trace::{Block, CpuId};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +39,7 @@ struct StreamEngine {
 pub struct TemporalPrefetcher {
     log: Vec<Block>,
     /// block -> most recent log index.
-    index: HashMap<Block, usize>,
+    index: FxHashMap<Block, usize>,
     capacity: usize,
     policy: Policy,
     engines: Vec<StreamEngine>,
@@ -71,7 +71,7 @@ impl TemporalPrefetcher {
     fn with_policy(policy: Policy) -> Self {
         TemporalPrefetcher {
             log: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             capacity: 4_000_000,
             policy,
             engines: Vec::new(),

@@ -114,6 +114,34 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Receives every queued value into `buf` under a single lock
+    /// acquisition, blocking while the channel is empty.
+    ///
+    /// Returns the number of values appended. Draining the whole queue
+    /// per lock amortizes the mutex hand-off that a `recv`-per-item
+    /// loop pays, and wakes *all* blocked senders at once since up to
+    /// `capacity` slots just opened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and every sender
+    /// has been dropped.
+    pub fn recv_many(&self, buf: &mut Vec<T>) -> Result<usize, RecvError> {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        loop {
+            if !state.queue.is_empty() {
+                let n = state.queue.len();
+                buf.extend(state.queue.drain(..));
+                self.chan.not_full.notify_all();
+                return Ok(n);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.chan.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
     /// High-water mark of in-flight items over the channel's lifetime.
     pub fn max_depth(&self) -> usize {
         self.chan.state.lock().expect("channel poisoned").max_depth
@@ -221,6 +249,146 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
             drop(rx);
             assert!(h.join().unwrap().is_err());
+        });
+    }
+
+    #[test]
+    fn recv_many_drains_queue_in_order() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_many(&mut buf), Ok(5));
+        assert_eq!(buf, vec![0, 1, 2, 3, 4]);
+        // Appends, never clears: caller owns the buffer lifecycle.
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_many(&mut buf), Ok(1));
+        assert_eq!(buf, vec![0, 1, 2, 3, 4, 9]);
+    }
+
+    #[test]
+    fn recv_many_errors_after_senders_drop() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.send(1).unwrap();
+        drop(tx);
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_many(&mut buf), Ok(1));
+        assert_eq!(rx.recv_many(&mut buf), Err(RecvError));
+        assert_eq!(buf, vec![1]);
+    }
+
+    #[test]
+    fn recv_many_wakes_all_blocked_senders() {
+        // Four producers block on a full capacity-2 channel; one drain
+        // must free every slot and wake them all, not just one.
+        let (tx, rx) = bounded(2);
+        let produced = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let tx = tx.clone();
+                let produced = &produced;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        tx.send(t * 1000 + i).unwrap();
+                        produced.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            drop(tx);
+            let mut buf = Vec::new();
+            while rx.recv_many(&mut buf).is_ok() {}
+            assert_eq!(buf.len(), 200);
+        });
+        assert_eq!(produced.load(Ordering::SeqCst), 200);
+        assert!(rx.max_depth() <= 2, "bound violated: {}", rx.max_depth());
+    }
+
+    #[test]
+    fn mpmc_contended_delivers_each_item_exactly_once() {
+        // 4 producers × 4 consumers over a tiny buffer: every item is
+        // delivered to exactly one consumer (sum check), the capacity
+        // bound holds throughout, and every side observes disconnect.
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 250;
+        let (tx, rx) = bounded(3);
+        let received = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        tx.send(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..CONSUMERS {
+                let rx = rx.clone();
+                let received = &received;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        mine.push(v);
+                    }
+                    received.lock().unwrap().extend(mine);
+                });
+            }
+        });
+        let mut all = received.lock().unwrap().clone();
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER);
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected, "items lost or duplicated under contention");
+        assert!(rx.max_depth() <= 3, "bound violated: {}", rx.max_depth());
+    }
+
+    #[test]
+    fn per_sender_fifo_survives_contention() {
+        // MPMC makes no global ordering promise, but each producer's
+        // items must still arrive in that producer's send order.
+        let (tx, rx) = bounded(2);
+        std::thread::scope(|s| {
+            for p in 0..3usize {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send((p, i)).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut next = [0usize; 3];
+            let mut buf = Vec::new();
+            while rx.recv_many(&mut buf).is_ok() {
+                for (p, i) in buf.drain(..) {
+                    assert_eq!(i, next[p], "producer {p} items reordered");
+                    next[p] += 1;
+                }
+            }
+            assert_eq!(next, [100, 100, 100]);
+        });
+    }
+
+    #[test]
+    fn receiver_drop_unblocks_every_contending_sender() {
+        // Several senders blocked on a full channel must all error out
+        // when the last receiver goes away, not deadlock.
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let tx = tx.clone();
+                    s.spawn(move || tx.send(1))
+                })
+                .collect();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            for h in handles {
+                assert!(h.join().unwrap().is_err(), "blocked sender must error");
+            }
         });
     }
 

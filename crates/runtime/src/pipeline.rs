@@ -10,11 +10,21 @@
 //! ```
 //!
 //! and a final ordinal-keyed **Reduce** merges every partial into
-//! [`WorkloadResults`]. Emit jobs run on companion threads paired with
-//! their simulate consumer (never on pool workers — a blocked producer
-//! must not occupy a worker, which keeps any worker count ≥ 1
-//! deadlock-free); everything downstream is a pool job, spawned the
-//! moment its inputs exist.
+//! [`WorkloadResults`].
+//!
+//! By default the emit stage is **fused** into its simulate job — the
+//! same single-threaded collect the serial runner uses — because
+//! streaming ~10⁶ accesses through a channel costs one full copy of the
+//! stream plus a thread hand-off per batch, which on hosts with few
+//! cores (or exactly one) turns "parallelism" into a slowdown. The
+//! real concurrency win is *across* workloads and contexts, which the
+//! pool already exploits. Setting
+//! [`RuntimeConfig::pipelined_emit`] restores the streaming split: emit
+//! jobs then run on companion threads paired with their simulate
+//! consumer (never on pool workers — a blocked producer must not occupy
+//! a worker, which keeps any worker count ≥ 1 deadlock-free).
+//! Everything downstream is a pool job, spawned the moment its inputs
+//! exist.
 //!
 //! **Determinism:** every job is a pure function from
 //! [`crate::spill::SharedTrace`] inputs produced by the deterministic
@@ -125,12 +135,30 @@ impl JobSpec {
     }
 }
 
+/// Target bytes of access stream per emit→simulate channel hand-off.
+///
+/// Each transfer pays one mutex acquisition and (on a sleeping
+/// consumer) one condvar wake; 256 KB per hand-off amortizes that to
+/// well under one lock operation per thousand accesses while staying
+/// comfortably inside L2 on the consumer side.
+const BATCH_TARGET_BYTES: usize = 256 * 1024;
+
 /// Executor parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeConfig {
-    /// Worker threads (clamped to at least 1).
+    /// Requested worker threads (clamped to at least 1). The pool never
+    /// spawns more threads than the host's available parallelism —
+    /// oversubscription only costs context switches — so this is an
+    /// upper bound, reported as-is in the run summary.
     pub workers: usize,
-    /// Accesses per emit→simulate channel batch.
+    /// Run emit stages on companion threads streaming batches through a
+    /// bounded channel, instead of fusing emit into the simulate job
+    /// (the default). Fusion removes a full copy of the access stream
+    /// and the per-batch thread hand-off; the split only pays off when
+    /// idle cores outnumber the runnable simulate/analyze jobs.
+    pub pipelined_emit: bool,
+    /// Accesses per emit→simulate channel batch (pipelined mode only);
+    /// defaults to [`BATCH_TARGET_BYTES`] worth of accesses.
     pub batch_size: usize,
     /// Batches in flight per emit→simulate channel (the backpressure
     /// bound).
@@ -146,7 +174,8 @@ impl RuntimeConfig {
     pub fn with_workers(workers: usize) -> Self {
         RuntimeConfig {
             workers: workers.max(1),
-            batch_size: 4096,
+            pipelined_emit: false,
+            batch_size: (BATCH_TARGET_BYTES / std::mem::size_of::<MemoryAccess>()).max(1),
             channel_capacity: 8,
             spill_threshold: None,
         }
@@ -288,7 +317,8 @@ impl WorkloadSlots {
     }
 }
 
-/// Runs `workloads` through the full pipeline on `rt.workers` threads.
+/// Runs `workloads` through the full pipeline on up to `rt.workers`
+/// threads (never more than the host's available parallelism).
 ///
 /// Returns the per-workload results **in input order** (bit-identical
 /// to [`tempstream_core::Experiment::run_workload`] on each) plus the
@@ -313,7 +343,14 @@ pub fn run_workloads(
     let metrics = RunMetrics::new();
     let slots: Vec<WorkloadSlots> = workloads.iter().map(|_| WorkloadSlots::new()).collect();
 
-    let (injector_depth, deque_depth) = pool::scope(rt.workers, |p| {
+    // Oversubscribing the hardware only adds context-switch and
+    // cache-eviction cost: pipeline jobs are CPU-bound (spill I/O and
+    // pipelined emit run on their own OS threads), so a worker thread
+    // beyond the core count has nothing to overlap with. The pool gets
+    // at most one thread per available core, whatever was requested;
+    // results are bit-identical at any thread count either way.
+    let threads = rt.workers.min(RuntimeConfig::default_workers());
+    let (injector_depth, deque_depth) = pool::scope(threads, |p| {
         let cfg = *cfg;
         let (slots, store, metrics) = (&slots, &store, &metrics);
         for (ordinal, &workload) in workloads.iter().enumerate() {
@@ -339,6 +376,9 @@ pub fn run_workloads(
             .collect::<Vec<_>>()
     });
 
+    // Spill writes run on the store's background thread; wait for the
+    // queue to drain so the summary counters are exact.
+    store.flush();
     let summary = metrics.summarize(
         rt.workers,
         start.elapsed(),
@@ -377,16 +417,22 @@ fn pump_emit_into<S: PhasedSink>(
             metrics.record(Stage::Emit, t0.elapsed());
         });
         let mut done = None;
-        loop {
-            match rx.recv() {
-                Ok(EmitMsg::Batch(batch)) => {
-                    for a in &batch {
-                        sim.access(a);
+        // Drain every queued message per lock acquisition: with large
+        // batches the channel lock is already cold, but recv_many also
+        // frees all capacity slots at once so a blocked producer wakes
+        // exactly once per drain instead of once per message.
+        let mut pending = Vec::new();
+        while rx.recv_many(&mut pending).is_ok() {
+            for msg in pending.drain(..) {
+                match msg {
+                    EmitMsg::Batch(batch) => {
+                        for a in &batch {
+                            sim.access(a);
+                        }
                     }
+                    EmitMsg::BeginMeasurement => sim.begin_measurement(),
+                    EmitMsg::Done(out) => done = Some(*out),
                 }
-                Ok(EmitMsg::BeginMeasurement) => sim.begin_measurement(),
-                Ok(EmitMsg::Done(out)) => done = Some(*out),
-                Err(_) => break,
             }
         }
         metrics.note_channel_depth(rx.max_depth());
@@ -406,30 +452,38 @@ fn simulate_multi_chip<'env>(
     metrics: &'env RunMetrics,
 ) {
     let t0 = Instant::now();
-    let scale = stages::scale_for(cfg, workload);
-    let mut sim = MultiChipSim::new(cfg.multi_chip);
-    sim.set_recording(false);
-    let out = pump_emit_into(
-        &mut sim,
-        rt,
-        workload,
-        cfg.multi_chip.nodes,
-        cfg.seed,
-        scale,
-        metrics,
-    );
-    sim.export_obsv(
-        tempstream_obsv::global(),
-        &format!("sim/{}/multi_chip", workload.name()),
-    );
-    let trace = sim.finish(out.instructions);
+    let (mut trace, symbols) = if rt.pipelined_emit {
+        let scale = stages::scale_for(cfg, workload);
+        let mut sim = MultiChipSim::new(cfg.multi_chip);
+        sim.set_recording(false);
+        let out = pump_emit_into(
+            &mut sim,
+            rt,
+            workload,
+            cfg.multi_chip.nodes,
+            cfg.seed,
+            scale,
+            metrics,
+        );
+        sim.export_obsv(
+            tempstream_obsv::global(),
+            &format!("sim/{}/multi_chip", workload.name()),
+        );
+        (sim.finish(out.instructions), out.symbols)
+    } else {
+        stages::collect_multi_chip(cfg, workload)
+    };
     let slot = slots[ordinal].context(Context::MultiChip);
     slot.collected.set(CollectedPartial {
         breakdown: BreakdownPartial::OffChip(MissClassBreakdown::of_trace(&trace)),
         total_misses: trace.len(),
     });
+    // Everything downstream reads at most the analysis cap; dropping
+    // the excess now (breakdown and total are already banked) shrinks
+    // both RSS and any spill write.
+    trace.truncate(cfg.max_analysis_misses);
     let shared = Arc::new(store.put(trace));
-    let symbols = Arc::new(out.symbols);
+    let symbols = Arc::new(symbols);
     metrics.record(Stage::Simulate, t0.elapsed());
     spawn_analyses(
         w,
@@ -456,24 +510,28 @@ fn simulate_single_chip<'env>(
     metrics: &'env RunMetrics,
 ) {
     let t0 = Instant::now();
-    let scale = stages::scale_for(cfg, workload);
-    let mut sim = SingleChipSim::new(cfg.single_chip);
-    sim.set_recording(false);
-    let out = pump_emit_into(
-        &mut sim,
-        rt,
-        workload,
-        cfg.single_chip.cores,
-        cfg.seed,
-        scale,
-        metrics,
-    );
-    sim.export_obsv(
-        tempstream_obsv::global(),
-        &format!("sim/{}/single_chip", workload.name()),
-    );
-    let traces = sim.finish(out.instructions);
-    let symbols = Arc::new(out.symbols);
+    let (mut traces, symbols) = if rt.pipelined_emit {
+        let scale = stages::scale_for(cfg, workload);
+        let mut sim = SingleChipSim::new(cfg.single_chip);
+        sim.set_recording(false);
+        let out = pump_emit_into(
+            &mut sim,
+            rt,
+            workload,
+            cfg.single_chip.cores,
+            cfg.seed,
+            scale,
+            metrics,
+        );
+        sim.export_obsv(
+            tempstream_obsv::global(),
+            &format!("sim/{}/single_chip", workload.name()),
+        );
+        (sim.finish(out.instructions), out.symbols)
+    } else {
+        stages::collect_single_chip(cfg, workload)
+    };
+    let symbols = Arc::new(symbols);
 
     let off_slot = slots[ordinal].context(Context::SingleChip);
     off_slot.collected.set(CollectedPartial {
@@ -486,6 +544,10 @@ fn simulate_single_chip<'env>(
         total_misses: traces.intra_chip.len(),
     });
 
+    // See `simulate_multi_chip`: downstream jobs only read the capped
+    // prefix, so shed the excess before storing.
+    traces.off_chip.truncate(cfg.max_analysis_misses);
+    traces.intra_chip.truncate(cfg.max_analysis_misses);
     let off_shared = Arc::new(store.put(traces.off_chip));
     let intra_shared = Arc::new(store.put(traces.intra_chip));
     metrics.record(Stage::Simulate, t0.elapsed());
@@ -540,7 +602,10 @@ fn spawn_analyses<'env, C>(
                 let trace = shared.trace_or_empty();
                 let records = stages::cap(trace.records(), max_analysis_misses);
                 let partial = stages::analyze_streams(records, trace.num_cpus());
-                let labels: Arc<Vec<StreamLabel>> = Arc::new(partial.labels.clone());
+                // The partial shares its label vector behind an Arc, so
+                // handing labels to the origin/function jobs is a
+                // refcount bump, not a copy of ~10⁶ entries.
+                let labels: Arc<Vec<StreamLabel>> = partial.labels.clone();
                 slot.streams.set(partial);
 
                 let (sh, sy, lb) = (shared.clone(), symbols.clone(), labels.clone());
@@ -648,17 +713,22 @@ mod tests {
             .map(|&w| Experiment::new(cfg).run_workload(w))
             .collect();
         let expected = digest(&serial);
-        for workers in [1, 2, 4] {
-            let (got, summary) =
-                run_workloads(&cfg, RuntimeConfig::with_workers(workers), &workloads);
-            assert_eq!(
-                digest(&got),
-                expected,
-                "results diverged with {workers} workers"
-            );
-            assert_eq!(summary.workers, workers);
-            assert!(summary.stages[0].jobs > 0, "no emit jobs recorded");
-            assert!(summary.stages[2].jobs > 0, "no analyze jobs recorded");
+        for pipelined in [false, true] {
+            for workers in [1, 2, 4] {
+                let mut rt = RuntimeConfig::with_workers(workers);
+                rt.pipelined_emit = pipelined;
+                let (got, summary) = run_workloads(&cfg, rt, &workloads);
+                assert_eq!(
+                    digest(&got),
+                    expected,
+                    "results diverged with {workers} workers (pipelined: {pipelined})"
+                );
+                assert_eq!(summary.workers, workers);
+                if pipelined {
+                    assert!(summary.stages[0].jobs > 0, "no emit jobs recorded");
+                }
+                assert!(summary.stages[2].jobs > 0, "no analyze jobs recorded");
+            }
         }
     }
 
@@ -696,7 +766,9 @@ mod tests {
     #[test]
     fn summary_reports_pipeline_shape() {
         let cfg = ExperimentConfig::quick();
-        let (_, summary) = run_workloads(&cfg, RuntimeConfig::with_workers(2), &[Workload::Zeus]);
+        let mut rt = RuntimeConfig::with_workers(2);
+        rt.pipelined_emit = true;
+        let (_, summary) = run_workloads(&cfg, rt, &[Workload::Zeus]);
         // 2 simulate jobs (mc + sc), 2 emit companions, 12 analyze jobs
         // (3 contexts × 4 analyses), 1 reduce call.
         assert_eq!(summary.stages[0].jobs, 2, "emit jobs");
@@ -704,5 +776,17 @@ mod tests {
         assert_eq!(summary.stages[2].jobs, 12, "analyze jobs");
         assert_eq!(summary.stages[3].jobs, 1, "reduce batches");
         assert!(summary.wall.as_nanos() > 0);
+    }
+
+    #[test]
+    fn fused_emit_records_no_emit_jobs() {
+        // The default mode fuses emit into simulate; the stage summary
+        // reflects the collapsed shape.
+        let cfg = ExperimentConfig::quick();
+        let (_, summary) = run_workloads(&cfg, RuntimeConfig::with_workers(2), &[Workload::Zeus]);
+        assert_eq!(summary.stages[0].jobs, 0, "fused mode has no emit jobs");
+        assert_eq!(summary.stages[1].jobs, 2, "simulate jobs");
+        assert_eq!(summary.stages[2].jobs, 12, "analyze jobs");
+        assert_eq!(summary.stages[3].jobs, 1, "reduce batches");
     }
 }

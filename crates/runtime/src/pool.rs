@@ -72,15 +72,15 @@ impl<'env> Pool<'env> {
     }
 
     fn spawn_onto(&self, deque: &WorkDeque<Job<'env>>, job: Job<'env>) {
-        {
-            let mut state = self.sync.lock().expect("pool poisoned");
-            state.pending += 1;
-        }
+        // One lock acquisition covers both the pending bump and the
+        // notify: pushing while the lock is held pairs with the
+        // sleeper's check-then-wait — a sleeper holding the lock either
+        // sees the pushed job or is on the condvar before this notify
+        // fires. (The deque has its own internal lock; the nesting
+        // order pool-then-deque is used nowhere else, so no deadlock.)
+        let mut state = self.sync.lock().expect("pool poisoned");
+        state.pending += 1;
         deque.push(job);
-        // Lock-then-notify pairs with the sleeper's check-then-wait: a
-        // sleeper holding the lock either sees the pushed job or is on
-        // the condvar before this notify fires.
-        let _guard = self.sync.lock().expect("pool poisoned");
         self.work_ready.notify_one();
     }
 

@@ -6,33 +6,97 @@
 //! pages traces larger than its threshold out to disk in the existing
 //! `TSMT` binary format (`tempstream_trace::io`), so peak RSS stays
 //! bounded by the analysis cap rather than by total trace volume.
-//! [`SharedTrace`] lazily reloads a spilled trace the first time an
-//! analyze job touches it and caches it for the context's remaining
-//! jobs; dropping the last handle frees the memory again.
+//!
+//! Spill writes happen on a dedicated writer thread: [`TraceStore::put`]
+//! enqueues the serialization and returns immediately, so a simulate
+//! worker never stalls on disk I/O. While the write is in flight the
+//! trace stays readable in memory; once it lands, the resident copy is
+//! dropped (unless an analyze job already claimed it). [`SharedTrace`]
+//! lazily reloads a spilled trace the first time an analyze job touches
+//! it and caches it for the context's remaining jobs; dropping the last
+//! handle frees the memory again. [`TraceStore::flush`] waits for every
+//! queued write, which pins down the spill counters before reporting.
 
+use crate::channel::{self, Sender};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use tempstream_trace::io::{read_trace, write_trace, ReadTraceError, TraceClass};
 use tempstream_trace::MissTrace;
 
-/// A directory of spilled traces, removed on drop.
-#[derive(Debug)]
-pub struct TraceStore {
-    dir: PathBuf,
-    threshold: usize,
-    next_id: AtomicU64,
+/// A queued spill write, run on the writer thread.
+type SpillJob = Box<dyn FnOnce() + Send>;
+
+/// Bound on queued spill jobs; a simulate stage that outruns the disk
+/// this far blocks in [`TraceStore::put`] rather than queueing without
+/// limit. (The traces themselves are held by their [`SharedTrace`]s
+/// either way; this only bounds the job queue.)
+const WRITER_QUEUE_DEPTH: usize = 8;
+
+/// Spill statistics, shared between the store and its writer thread.
+#[derive(Debug, Default)]
+struct SpillCounters {
     spilled_traces: AtomicUsize,
     spilled_bytes: AtomicU64,
     spill_fallbacks: AtomicUsize,
 }
 
+/// Count of in-flight spill writes, with a condvar for [`TraceStore::flush`].
+#[derive(Debug, Default)]
+struct PendingWrites {
+    count: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl PendingWrites {
+    fn begin(&self) {
+        *self.count.lock().expect("pending poisoned") += 1;
+    }
+
+    fn end(&self) {
+        let mut n = self.count.lock().expect("pending poisoned");
+        *n -= 1;
+        if *n == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn wait_drained(&self) {
+        let mut n = self.count.lock().expect("pending poisoned");
+        while *n > 0 {
+            n = self.drained.wait(n).expect("pending poisoned");
+        }
+    }
+}
+
+/// A directory of spilled traces, removed on drop.
+pub struct TraceStore {
+    dir: PathBuf,
+    threshold: usize,
+    next_id: AtomicU64,
+    counters: Arc<SpillCounters>,
+    pending: Arc<PendingWrites>,
+    tx: Option<Sender<SpillJob>>,
+    writer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("dir", &self.dir)
+            .field("threshold", &self.threshold)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
 impl TraceStore {
     /// Creates a store that spills traces holding more than `threshold`
     /// records. The backing directory lives under the system temp dir
-    /// and is deleted when the store drops.
+    /// and is deleted when the store drops; the drop also joins the
+    /// writer thread, so every queued spill completes first.
     ///
     /// # Errors
     ///
@@ -43,13 +107,22 @@ impl TraceStore {
         let dir =
             std::env::temp_dir().join(format!("tempstream-spill-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&dir)?;
+        let (tx, rx) = channel::bounded::<SpillJob>(WRITER_QUEUE_DEPTH);
+        let writer = std::thread::Builder::new()
+            .name("tempstream-spill".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })?;
         Ok(TraceStore {
             dir,
             threshold,
             next_id: AtomicU64::new(0),
-            spilled_traces: AtomicUsize::new(0),
-            spilled_bytes: AtomicU64::new(0),
-            spill_fallbacks: AtomicUsize::new(0),
+            counters: Arc::new(SpillCounters::default()),
+            pending: Arc::new(PendingWrites::default()),
+            tx: Some(tx),
+            writer: Some(writer),
         })
     }
 
@@ -58,115 +131,190 @@ impl TraceStore {
         self.threshold
     }
 
-    /// Stores `trace`, spilling it to disk when it exceeds the
-    /// threshold; the returned [`SharedTrace`] reloads it on demand.
+    /// Stores `trace`, scheduling a spill to disk when it exceeds the
+    /// threshold; the returned [`SharedTrace`] reads from memory while
+    /// the write is in flight and reloads from disk afterwards.
     ///
     /// Never fails: if the spill file cannot be written (disk full,
     /// directory removed), the partial file is discarded and the trace
     /// stays in memory — a pipeline run degrades to higher RSS instead
     /// of aborting. Such fallbacks are counted in
     /// [`spill_fallbacks`](Self::spill_fallbacks).
-    pub fn put<C: TraceClass>(&self, trace: MissTrace<C>) -> SharedTrace<C> {
+    pub fn put<C>(&self, trace: MissTrace<C>) -> SharedTrace<C>
+    where
+        C: TraceClass + Send + Sync + 'static,
+    {
         if trace.len() <= self.threshold {
-            return SharedTrace::in_memory(trace);
+            return SharedTrace::resident(trace);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("t{id}.tsmt"));
-        match self.write_spill(&trace, &path) {
-            Ok(bytes) => {
-                self.spilled_traces.fetch_add(1, Ordering::Relaxed);
-                self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
-                SharedTrace::on_disk(path)
+        let trace = Arc::new(trace);
+        let shared = SharedTrace::writing(trace.clone(), path.clone());
+        let inner = Arc::clone(&shared.inner);
+        let counters = Arc::clone(&self.counters);
+        let pending = Arc::clone(&self.pending);
+        pending.begin();
+        let job: SpillJob = Box::new(move || {
+            match write_spill(&trace, &path) {
+                Ok(bytes) => {
+                    counters.spilled_traces.fetch_add(1, Ordering::Relaxed);
+                    counters.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    *inner.state.lock().expect("spill state poisoned") = SpillState::OnDisk;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: spill write to {} failed ({e}); keeping trace in memory",
+                        path.display()
+                    );
+                    let _ = std::fs::remove_file(&path);
+                    counters.spill_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    *inner.state.lock().expect("spill state poisoned") =
+                        SpillState::Resident(trace);
+                }
             }
-            Err(e) => {
-                eprintln!(
-                    "warning: spill write to {} failed ({e}); keeping trace in memory",
-                    path.display()
-                );
-                let _ = std::fs::remove_file(&path);
-                self.spill_fallbacks.fetch_add(1, Ordering::Relaxed);
-                SharedTrace::in_memory(trace)
-            }
+            pending.end();
+        });
+        let tx = self.tx.as_ref().expect("writer alive while store exists");
+        if let Err(channel::SendError(job)) = tx.send(job) {
+            // The writer thread died (it only exits when the store
+            // drops); run the spill inline so nothing is lost.
+            job();
         }
+        shared
     }
 
-    fn write_spill<C: TraceClass>(
-        &self,
-        trace: &MissTrace<C>,
-        path: &std::path::Path,
-    ) -> std::io::Result<u64> {
-        let file = File::create(path)?;
-        let mut w = BufWriter::new(file);
-        write_trace(trace, &mut w)?;
-        std::io::Write::flush(&mut w)?;
-        Ok(w.get_ref().metadata().map_or(0, |m| m.len()))
+    /// Blocks until every queued spill write has completed, pinning
+    /// down [`spilled_traces`](Self::spilled_traces) and friends.
+    pub fn flush(&self) {
+        self.pending.wait_drained();
     }
 
-    /// Number of traces spilled to disk so far.
+    /// Number of traces spilled to disk so far (spills still queued on
+    /// the writer thread are not yet counted; [`flush`](Self::flush)
+    /// first for an exact figure).
     pub fn spilled_traces(&self) -> usize {
-        self.spilled_traces.load(Ordering::Relaxed)
+        self.counters.spilled_traces.load(Ordering::Relaxed)
     }
 
     /// Number of oversized traces kept in memory because their spill
     /// write failed.
     pub fn spill_fallbacks(&self) -> usize {
-        self.spill_fallbacks.load(Ordering::Relaxed)
+        self.counters.spill_fallbacks.load(Ordering::Relaxed)
     }
 
     /// Total bytes written to spill files so far.
     pub fn spilled_bytes(&self) -> u64 {
-        self.spilled_bytes.load(Ordering::Relaxed)
+        self.counters.spilled_bytes.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for TraceStore {
     fn drop(&mut self) {
+        // Closing the channel lets the writer drain its queue and exit;
+        // joining before the directory goes away guarantees no write
+        // races the removal.
+        drop(self.tx.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
         let _ = std::fs::remove_dir_all(&self.dir);
     }
+}
+
+fn write_spill<C: TraceClass>(
+    trace: &MissTrace<C>,
+    path: &std::path::Path,
+) -> std::io::Result<u64> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write_trace(trace, &mut w)?;
+    std::io::Write::flush(&mut w)?;
+    Ok(w.get_ref().metadata().map_or(0, |m| m.len()))
+}
+
+/// Where a stored trace currently lives.
+#[derive(Debug)]
+enum SpillState<C> {
+    /// Spill write in flight on the writer thread; the trace is still
+    /// resident and readable without touching disk.
+    Writing(Arc<MissTrace<C>>),
+    /// Kept in memory: under the spill threshold, or the spill write
+    /// failed.
+    Resident(Arc<MissTrace<C>>),
+    /// Landed in the spill file; reload on demand.
+    OnDisk,
 }
 
 /// A trace held either in memory or in a spill file, loaded lazily and
 /// at most once; cheap to share across analyze jobs behind an `Arc`.
 #[derive(Debug)]
 pub struct SharedTrace<C: TraceClass> {
+    inner: Arc<Shared<C>>,
     spill_path: Option<PathBuf>,
-    cache: OnceLock<Result<MissTrace<C>, Arc<ReadTraceError>>>,
+    cache: OnceLock<Result<Arc<MissTrace<C>>, Arc<ReadTraceError>>>,
     empty: OnceLock<MissTrace<C>>,
 }
 
+/// The slice of [`SharedTrace`] the writer thread transitions.
+#[derive(Debug)]
+struct Shared<C> {
+    state: Mutex<SpillState<C>>,
+}
+
 impl<C: TraceClass> SharedTrace<C> {
-    fn in_memory(trace: MissTrace<C>) -> Self {
+    fn resident(trace: MissTrace<C>) -> Self {
+        let trace = Arc::new(trace);
         let cache = OnceLock::new();
-        let _ = cache.set(Ok(trace));
+        let _ = cache.set(Ok(trace.clone()));
         SharedTrace {
+            inner: Arc::new(Shared {
+                state: Mutex::new(SpillState::Resident(trace)),
+            }),
             spill_path: None,
             cache,
             empty: OnceLock::new(),
         }
     }
 
-    fn on_disk(path: PathBuf) -> Self {
+    fn writing(trace: Arc<MissTrace<C>>, path: PathBuf) -> Self {
         SharedTrace {
+            inner: Arc::new(Shared {
+                state: Mutex::new(SpillState::Writing(trace)),
+            }),
             spill_path: Some(path),
             cache: OnceLock::new(),
             empty: OnceLock::new(),
         }
     }
 
-    /// Returns `true` when the trace lives in a spill file that has not
-    /// been reloaded yet.
+    /// Returns `true` when the trace lives only in its spill file: the
+    /// background write has landed and no reader has reloaded it yet.
     pub fn is_spilled(&self) -> bool {
-        self.spill_path.is_some() && self.cache.get().is_none()
+        self.cache.get().is_none()
+            && matches!(
+                *self.inner.state.lock().expect("spill state poisoned"),
+                SpillState::OnDisk
+            )
     }
 
-    fn load(&self) -> &Result<MissTrace<C>, Arc<ReadTraceError>> {
+    fn load(&self) -> &Result<Arc<MissTrace<C>>, Arc<ReadTraceError>> {
         self.cache.get_or_init(|| {
-            let path = self
-                .spill_path
-                .as_ref()
-                .expect("in-memory SharedTrace always has a cached trace");
-            let file = File::open(path).map_err(|e| Arc::new(ReadTraceError::Io(e)))?;
-            read_trace(BufReader::new(file)).map_err(Arc::new)
+            let state = self.inner.state.lock().expect("spill state poisoned");
+            match &*state {
+                SpillState::Writing(t) | SpillState::Resident(t) => Ok(t.clone()),
+                SpillState::OnDisk => {
+                    drop(state);
+                    let path = self
+                        .spill_path
+                        .as_ref()
+                        .expect("on-disk trace always has a spill path");
+                    let file = File::open(path).map_err(|e| Arc::new(ReadTraceError::Io(e)))?;
+                    read_trace(BufReader::new(file))
+                        .map(Arc::new)
+                        .map_err(Arc::new)
+                }
+            }
         })
     }
 
@@ -177,7 +325,10 @@ impl<C: TraceClass> SharedTrace<C> {
     /// Returns the (cached) reload error when the spill file vanished or
     /// is corrupt; every later call returns the same error.
     pub fn try_trace(&self) -> Result<&MissTrace<C>, Arc<ReadTraceError>> {
-        self.load().as_ref().map_err(Arc::clone)
+        match self.load() {
+            Ok(t) => Ok(t),
+            Err(e) => Err(Arc::clone(e)),
+        }
     }
 
     /// The trace, or an empty placeholder when the spill file cannot be
@@ -242,6 +393,7 @@ mod tests {
         let store = TraceStore::new(100).unwrap();
         let shared = store.put(trace_of(50));
         assert!(!shared.is_spilled());
+        store.flush();
         assert_eq!(store.spilled_traces(), 0);
         assert_eq!(shared.trace().len(), 50);
     }
@@ -252,6 +404,7 @@ mod tests {
         let original = trace_of(500);
         let records: Vec<_> = original.records().to_vec();
         let shared = store.put(original);
+        store.flush();
         assert!(shared.is_spilled(), "trace above threshold must page out");
         assert_eq!(store.spilled_traces(), 1);
         assert!(store.spilled_bytes() > 0);
@@ -266,11 +419,25 @@ mod tests {
     }
 
     #[test]
+    fn trace_is_readable_while_write_is_in_flight() {
+        // A reader that races the background write claims the resident
+        // copy instead of waiting for the file.
+        let store = TraceStore::new(0).unwrap();
+        let shared = store.put(trace_of(40));
+        assert_eq!(shared.trace().len(), 40);
+        store.flush();
+        // The claim is cached, so the handle never counts as spilled.
+        assert!(!shared.is_spilled());
+        assert_eq!(store.spilled_traces(), 1, "the spill still lands on disk");
+    }
+
+    #[test]
     fn store_drop_removes_spill_dir() {
         let dir;
         {
             let store = TraceStore::new(0).unwrap();
             let shared = store.put(trace_of(10));
+            store.flush();
             assert!(shared.is_spilled());
             dir = store.dir.clone();
             assert!(dir.exists());
@@ -285,6 +452,7 @@ mod tests {
         // Removing the backing directory makes every File::create fail.
         std::fs::remove_dir_all(&store.dir).unwrap();
         let shared = store.put(trace_of(30));
+        store.flush();
         assert!(!shared.is_spilled(), "failed spill must stay in memory");
         assert_eq!(store.spilled_traces(), 0);
         assert_eq!(store.spill_fallbacks(), 1);
@@ -295,6 +463,7 @@ mod tests {
     fn vanished_spill_file_degrades_to_empty_trace() {
         let store = TraceStore::new(0).unwrap();
         let shared = store.put(trace_of(25));
+        store.flush();
         assert!(shared.is_spilled());
         std::fs::remove_file(shared.spill_path.as_ref().unwrap()).unwrap();
         assert!(shared.try_trace().is_err(), "reload must surface the error");
@@ -309,6 +478,7 @@ mod tests {
     fn corrupt_spill_file_reports_read_error() {
         let store = TraceStore::new(0).unwrap();
         let shared = store.put(trace_of(25));
+        store.flush();
         std::fs::write(shared.spill_path.as_ref().unwrap(), b"NOPE").unwrap();
         let err = shared.try_trace().unwrap_err();
         assert!(matches!(*err, ReadTraceError::BadMagic));
@@ -329,6 +499,24 @@ mod tests {
                 });
             }
         });
+        store.flush();
         assert_eq!(store.spilled_traces(), 32);
+    }
+
+    #[test]
+    fn flush_pins_counters_after_many_queued_spills() {
+        // More puts than the writer queue depth: put() applies
+        // backpressure rather than dropping, and flush() observes every
+        // completed write.
+        let store = TraceStore::new(0).unwrap();
+        let handles: Vec<_> = (0..3 * WRITER_QUEUE_DEPTH)
+            .map(|_| store.put(trace_of(15)))
+            .collect();
+        store.flush();
+        assert_eq!(store.spilled_traces(), 3 * WRITER_QUEUE_DEPTH);
+        for h in &handles {
+            assert!(h.is_spilled());
+            assert_eq!(h.trace().len(), 15);
+        }
     }
 }

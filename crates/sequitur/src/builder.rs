@@ -7,6 +7,8 @@
 
 use crate::grammar::{Grammar, GrammarSymbol, RuleId};
 use std::collections::HashMap;
+use std::hash::BuildHasher;
+use tempstream_fxhash::{FxBuildHasher, FxHashMap};
 
 type NodeId = u32;
 const NIL: NodeId = u32::MAX;
@@ -46,27 +48,28 @@ struct RuleData {
 /// Feed the input with [`push`](Sequitur::push), then call
 /// [`into_grammar`](Sequitur::into_grammar) to obtain the final, immutable
 /// [`Grammar`].
+///
+/// The digram index defaults to the in-tree seedless
+/// [`FxBuildHasher`]: digram keys are simulator-generated integers (never
+/// attacker-controlled), the index is probed on every pushed symbol, and
+/// a seedless hash keeps index behavior identical across processes. The
+/// hasher is a type parameter only so differential tests can pin the
+/// grammar against a [`std::collections::hash_map::RandomState`] build —
+/// the produced grammar never depends on hash order (see
+/// [`with_hasher`](Sequitur::with_hasher)).
 #[derive(Debug, Clone, Default)]
-pub struct Sequitur {
+pub struct Sequitur<H: BuildHasher = FxBuildHasher> {
     nodes: Vec<Node>,
     free: Vec<NodeId>,
     rules: Vec<RuleData>,
-    index: HashMap<DigramKey, NodeId>,
+    index: HashMap<DigramKey, NodeId, H>,
     input_len: u64,
 }
 
 impl Sequitur {
     /// Creates a builder with an empty root rule.
     pub fn new() -> Self {
-        let mut s = Sequitur {
-            nodes: Vec::new(),
-            free: Vec::new(),
-            rules: Vec::new(),
-            index: HashMap::new(),
-            input_len: 0,
-        };
-        s.new_rule(); // rule 0 = root
-        s
+        Self::with_hasher()
     }
 
     /// Creates a builder with node capacity preallocated for an input of
@@ -77,7 +80,30 @@ impl Sequitur {
         s.index.reserve(len);
         s
     }
+}
 
+impl<H: BuildHasher + Default> Sequitur<H> {
+    /// Creates a builder whose digram index hashes with `H`.
+    ///
+    /// The grammar SEQUITUR produces is a function of the input alone —
+    /// the index only answers exact-match digram lookups, never drives
+    /// iteration — so any two hashers must yield identical grammars.
+    /// Differential tests instantiate this with `RandomState` to prove
+    /// the default [`FxBuildHasher`] swap changed nothing.
+    pub fn with_hasher() -> Self {
+        let mut s = Sequitur {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rules: Vec::new(),
+            index: HashMap::default(),
+            input_len: 0,
+        };
+        s.new_rule(); // rule 0 = root
+        s
+    }
+}
+
+impl<H: BuildHasher> Sequitur<H> {
     /// Number of symbols pushed so far.
     pub fn input_len(&self) -> u64 {
         self.input_len
@@ -427,7 +453,7 @@ impl Sequitur {
     ///
     /// Panics with a description of the first violated invariant.
     pub fn verify_invariants(&self) {
-        let mut digrams_seen: HashMap<DigramKey, (usize, usize)> = HashMap::new();
+        let mut digrams_seen: FxHashMap<DigramKey, (usize, usize)> = FxHashMap::default();
         let mut refcounts: Vec<u32> = vec![0; self.rules.len()];
 
         for (rid, rule) in self.rules.iter().enumerate() {

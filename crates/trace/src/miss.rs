@@ -87,6 +87,15 @@ impl<C: Copy> MissTrace<C> {
         &self.records
     }
 
+    /// Keeps only the first `len` misses, dropping the rest (no-op when
+    /// the trace is already at most `len` long). The instruction count
+    /// is left untouched: it describes the collection window, not the
+    /// retained prefix.
+    pub fn truncate(&mut self, len: usize) {
+        self.records.truncate(len);
+        self.records.shrink_to_fit();
+    }
+
     /// Iterates over miss records in trace order.
     pub fn iter(&self) -> std::slice::Iter<'_, MissRecord<C>> {
         self.records.iter()
@@ -210,6 +219,21 @@ mod tests {
         }
         let seq: Vec<u64> = t.block_sequence().iter().map(|b| b.raw()).collect();
         assert_eq!(seq, vec![5, 3, 5, 9]);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix_and_instructions() {
+        let mut t = MissTrace::new(1);
+        for b in 0..10u64 {
+            t.push(rec(b, 0, MC::Compulsory));
+        }
+        t.set_instructions(5000);
+        t.truncate(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records()[2].block.raw(), 2);
+        assert_eq!(t.instructions(), 5000);
+        t.truncate(100); // longer than the trace: no-op
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::emitter::Emitter;
 use crate::kernel::{BlockDev, CopyEngine};
 use crate::layout::AddressSpace;
-use std::collections::HashMap;
+use tempstream_fxhash::FxHashMap;
 use tempstream_trace::{Address, FunctionId, MissCategory, SymbolTable, BLOCK_BYTES, PAGE_BYTES};
 
 /// Default staging buffers in the filesystem cache ring. Large enough
@@ -36,7 +36,7 @@ pub struct BufferPool {
     staging_reuse_percent: u32,
     hot_staging_cursor: u64,
     /// page id -> frame index.
-    map: HashMap<u64, u32>,
+    map: FxHashMap<u64, u32>,
     /// frame index -> (page id, dirty).
     frame_state: Vec<Option<(u64, bool)>>,
     clock: u32,
@@ -104,7 +104,7 @@ impl BufferPool {
             staging_cursor: 0,
             staging_reuse_percent,
             hot_staging_cursor: 0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             frame_state: vec![None; num_frames as usize],
             clock: 0,
             faults: 0,

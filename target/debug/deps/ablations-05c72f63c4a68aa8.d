@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-05c72f63c4a68aa8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-05c72f63c4a68aa8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

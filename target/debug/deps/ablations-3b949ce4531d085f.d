@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3b949ce4531d085f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-3b949ce4531d085f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

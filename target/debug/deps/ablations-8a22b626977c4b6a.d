@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8a22b626977c4b6a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-8a22b626977c4b6a.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b97e265588a457e4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-b97e265588a457e4.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

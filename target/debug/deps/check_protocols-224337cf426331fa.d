@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-224337cf426331fa.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/check_protocols-224337cf426331fa: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

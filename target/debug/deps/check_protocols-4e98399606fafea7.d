@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-4e98399606fafea7.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/libcheck_protocols-4e98399606fafea7.rmeta: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

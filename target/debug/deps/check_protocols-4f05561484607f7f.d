@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_protocols-4f05561484607f7f.d: crates/checker/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_protocols-4f05561484607f7f.rmeta: crates/checker/src/main.rs Cargo.toml
+
+crates/checker/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

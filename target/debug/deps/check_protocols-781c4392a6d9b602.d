@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-781c4392a6d9b602.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/check_protocols-781c4392a6d9b602: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_protocols-a6f824635304144c.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/libcheck_protocols-a6f824635304144c.rmeta: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

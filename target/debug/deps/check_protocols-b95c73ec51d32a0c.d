@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_protocols-b95c73ec51d32a0c.d: crates/checker/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_protocols-b95c73ec51d32a0c.rmeta: crates/checker/src/main.rs Cargo.toml
+
+crates/checker/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composition-2c0a7b5673a1e4bd.d: crates/workloads/tests/composition.rs
+
+/root/repo/target/debug/deps/composition-2c0a7b5673a1e4bd: crates/workloads/tests/composition.rs
+
+crates/workloads/tests/composition.rs:

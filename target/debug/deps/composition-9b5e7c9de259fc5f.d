@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composition-9b5e7c9de259fc5f.d: crates/workloads/tests/composition.rs
+
+/root/repo/target/debug/deps/libcomposition-9b5e7c9de259fc5f.rmeta: crates/workloads/tests/composition.rs
+
+crates/workloads/tests/composition.rs:

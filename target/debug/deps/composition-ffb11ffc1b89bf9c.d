@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/composition-ffb11ffc1b89bf9c.d: crates/workloads/tests/composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomposition-ffb11ffc1b89bf9c.rmeta: crates/workloads/tests/composition.rs Cargo.toml
+
+crates/workloads/tests/composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate-401ba9ad52eb20e6.d: crates/core/../../tests/degenerate.rs
+
+/root/repo/target/debug/deps/degenerate-401ba9ad52eb20e6: crates/core/../../tests/degenerate.rs
+
+crates/core/../../tests/degenerate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate-8d341db208a0817e.d: crates/core/../../tests/degenerate.rs
+
+/root/repo/target/debug/deps/libdegenerate-8d341db208a0817e.rmeta: crates/core/../../tests/degenerate.rs
+
+crates/core/../../tests/degenerate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degenerate-969dd685fb2f9310.d: crates/core/../../tests/degenerate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegenerate-969dd685fb2f9310.rmeta: crates/core/../../tests/degenerate.rs Cargo.toml
+
+crates/core/../../tests/degenerate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate-ec03c166003b3a41.d: crates/core/../../tests/degenerate.rs
+
+/root/repo/target/debug/deps/degenerate-ec03c166003b3a41: crates/core/../../tests/degenerate.rs
+
+crates/core/../../tests/degenerate.rs:

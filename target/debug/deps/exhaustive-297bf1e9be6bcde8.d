@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exhaustive-297bf1e9be6bcde8.d: crates/checker/tests/exhaustive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhaustive-297bf1e9be6bcde8.rmeta: crates/checker/tests/exhaustive.rs Cargo.toml
+
+crates/checker/tests/exhaustive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-9198030e82b3edf3.d: crates/checker/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/libexhaustive-9198030e82b3edf3.rmeta: crates/checker/tests/exhaustive.rs
+
+crates/checker/tests/exhaustive.rs:

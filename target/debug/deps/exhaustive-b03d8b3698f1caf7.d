@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-b03d8b3698f1caf7.d: crates/checker/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-b03d8b3698f1caf7: crates/checker/tests/exhaustive.rs
+
+crates/checker/tests/exhaustive.rs:

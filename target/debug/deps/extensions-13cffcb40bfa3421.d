@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-13cffcb40bfa3421.d: crates/core/../../tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-13cffcb40bfa3421.rmeta: crates/core/../../tests/extensions.rs Cargo.toml
+
+crates/core/../../tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-4f1ecdd52b60dbf6.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-4f1ecdd52b60dbf6.rmeta: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-61babb74deb29edb.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-61babb74deb29edb: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-aca2a67e1fc25ac6.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-aca2a67e1fc25ac6: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_miss_classification-cd5e00ec4bd5a509.d: crates/bench/benches/fig1_miss_classification.rs
+
+/root/repo/target/debug/deps/libfig1_miss_classification-cd5e00ec4bd5a509.rmeta: crates/bench/benches/fig1_miss_classification.rs
+
+crates/bench/benches/fig1_miss_classification.rs:

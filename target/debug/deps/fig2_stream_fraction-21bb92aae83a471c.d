@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_stream_fraction-21bb92aae83a471c.d: crates/bench/benches/fig2_stream_fraction.rs
+
+/root/repo/target/debug/deps/libfig2_stream_fraction-21bb92aae83a471c.rmeta: crates/bench/benches/fig2_stream_fraction.rs
+
+crates/bench/benches/fig2_stream_fraction.rs:

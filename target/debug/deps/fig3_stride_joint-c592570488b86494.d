@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_stride_joint-c592570488b86494.d: crates/bench/benches/fig3_stride_joint.rs
+
+/root/repo/target/debug/deps/libfig3_stride_joint-c592570488b86494.rmeta: crates/bench/benches/fig3_stride_joint.rs
+
+crates/bench/benches/fig3_stride_joint.rs:

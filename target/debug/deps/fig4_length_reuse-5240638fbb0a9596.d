@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_length_reuse-5240638fbb0a9596.d: crates/bench/benches/fig4_length_reuse.rs
+
+/root/repo/target/debug/deps/libfig4_length_reuse-5240638fbb0a9596.rmeta: crates/bench/benches/fig4_length_reuse.rs
+
+crates/bench/benches/fig4_length_reuse.rs:

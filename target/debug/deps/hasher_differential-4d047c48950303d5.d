@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hasher_differential-4d047c48950303d5.d: crates/sequitur/tests/hasher_differential.rs
+
+/root/repo/target/debug/deps/libhasher_differential-4d047c48950303d5.rmeta: crates/sequitur/tests/hasher_differential.rs
+
+crates/sequitur/tests/hasher_differential.rs:

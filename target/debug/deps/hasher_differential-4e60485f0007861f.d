@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hasher_differential-4e60485f0007861f.d: crates/sequitur/tests/hasher_differential.rs
+
+/root/repo/target/debug/deps/hasher_differential-4e60485f0007861f: crates/sequitur/tests/hasher_differential.rs
+
+crates/sequitur/tests/hasher_differential.rs:

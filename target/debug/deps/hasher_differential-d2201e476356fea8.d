@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hasher_differential-d2201e476356fea8.d: crates/sequitur/tests/hasher_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasher_differential-d2201e476356fea8.rmeta: crates/sequitur/tests/hasher_differential.rs Cargo.toml
+
+crates/sequitur/tests/hasher_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

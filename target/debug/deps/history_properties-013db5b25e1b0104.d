@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/history_properties-013db5b25e1b0104.d: crates/coherence/tests/history_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistory_properties-013db5b25e1b0104.rmeta: crates/coherence/tests/history_properties.rs Cargo.toml
+
+crates/coherence/tests/history_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

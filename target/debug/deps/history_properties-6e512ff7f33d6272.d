@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/history_properties-6e512ff7f33d6272.d: crates/coherence/tests/history_properties.rs
+
+/root/repo/target/debug/deps/history_properties-6e512ff7f33d6272: crates/coherence/tests/history_properties.rs
+
+crates/coherence/tests/history_properties.rs:

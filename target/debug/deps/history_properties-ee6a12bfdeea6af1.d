@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/history_properties-ee6a12bfdeea6af1.d: crates/coherence/tests/history_properties.rs
+
+/root/repo/target/debug/deps/libhistory_properties-ee6a12bfdeea6af1.rmeta: crates/coherence/tests/history_properties.rs
+
+crates/coherence/tests/history_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-008a70bd7ec5c3b2.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-008a70bd7ec5c3b2: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-33ef7cc59c81c1c7.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-33ef7cc59c81c1c7.rmeta: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-84b46f694118e770.d: crates/core/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-84b46f694118e770.rmeta: crates/core/../../tests/integration.rs Cargo.toml
+
+crates/core/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

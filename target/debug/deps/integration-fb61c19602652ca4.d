@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-fb61c19602652ca4.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-fb61c19602652ca4: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

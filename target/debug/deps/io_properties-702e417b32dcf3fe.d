@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_properties-702e417b32dcf3fe.d: crates/trace/tests/io_properties.rs
+
+/root/repo/target/debug/deps/libio_properties-702e417b32dcf3fe.rmeta: crates/trace/tests/io_properties.rs
+
+crates/trace/tests/io_properties.rs:

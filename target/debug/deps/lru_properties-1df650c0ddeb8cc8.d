@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lru_properties-1df650c0ddeb8cc8.d: crates/cache/tests/lru_properties.rs
+
+/root/repo/target/debug/deps/liblru_properties-1df650c0ddeb8cc8.rmeta: crates/cache/tests/lru_properties.rs
+
+crates/cache/tests/lru_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-20f69f477a2d3ff9.d: crates/core/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/libpaper_shapes-20f69f477a2d3ff9.rmeta: crates/core/../../tests/paper_shapes.rs
+
+crates/core/../../tests/paper_shapes.rs:

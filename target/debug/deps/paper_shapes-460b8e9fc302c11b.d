@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-460b8e9fc302c11b.d: crates/core/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-460b8e9fc302c11b: crates/core/../../tests/paper_shapes.rs
+
+crates/core/../../tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-4faac69432a4c985.d: crates/core/../../tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-4faac69432a4c985.rmeta: crates/core/../../tests/paper_shapes.rs Cargo.toml
+
+crates/core/../../tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-a9ef3cafd97c8a48.d: crates/core/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-a9ef3cafd97c8a48: crates/core/../../tests/paper_shapes.rs
+
+crates/core/../../tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_properties-8144defe7200372d.d: crates/core/../../tests/pipeline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_properties-8144defe7200372d.rmeta: crates/core/../../tests/pipeline_properties.rs Cargo.toml
+
+crates/core/../../tests/pipeline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

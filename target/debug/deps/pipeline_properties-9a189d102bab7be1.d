@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-9a189d102bab7be1.d: crates/core/../../tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/libpipeline_properties-9a189d102bab7be1.rmeta: crates/core/../../tests/pipeline_properties.rs
+
+crates/core/../../tests/pipeline_properties.rs:

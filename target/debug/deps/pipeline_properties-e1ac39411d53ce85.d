@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-e1ac39411d53ce85.d: crates/core/../../tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-e1ac39411d53ce85: crates/core/../../tests/pipeline_properties.rs
+
+crates/core/../../tests/pipeline_properties.rs:

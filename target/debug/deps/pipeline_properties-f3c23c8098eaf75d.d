@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-f3c23c8098eaf75d.d: crates/core/../../tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-f3c23c8098eaf75d: crates/core/../../tests/pipeline_properties.rs
+
+crates/core/../../tests/pipeline_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-0af22e7a48f83bd8.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-0af22e7a48f83bd8: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-759b1cc9fff2abd2.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-759b1cc9fff2abd2: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

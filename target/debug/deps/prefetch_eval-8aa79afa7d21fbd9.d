@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-8aa79afa7d21fbd9.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/libprefetch_eval-8aa79afa7d21fbd9.rmeta: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-fdb7c257894b1ce3.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/libprefetch_eval-fdb7c257894b1ce3.rmeta: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

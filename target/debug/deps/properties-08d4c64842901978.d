@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-08d4c64842901978.d: crates/sequitur/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-08d4c64842901978: crates/sequitur/tests/properties.rs
+
+crates/sequitur/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-31d65b69685189fd.d: crates/sequitur/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-31d65b69685189fd.rmeta: crates/sequitur/tests/properties.rs
+
+crates/sequitur/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4a84cbe76710fb94.d: crates/sequitur/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4a84cbe76710fb94.rmeta: crates/sequitur/tests/properties.rs Cargo.toml
+
+crates/sequitur/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_properties-964119fa31db45bf.d: crates/coherence/tests/protocol_properties.rs
+
+/root/repo/target/debug/deps/libprotocol_properties-964119fa31db45bf.rmeta: crates/coherence/tests/protocol_properties.rs
+
+crates/coherence/tests/protocol_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_properties-ad6d8bfa45fc5fa7.d: crates/coherence/tests/protocol_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_properties-ad6d8bfa45fc5fa7.rmeta: crates/coherence/tests/protocol_properties.rs Cargo.toml
+
+crates/coherence/tests/protocol_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

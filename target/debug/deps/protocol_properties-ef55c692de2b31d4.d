@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_properties-ef55c692de2b31d4.d: crates/coherence/tests/protocol_properties.rs
+
+/root/repo/target/debug/deps/protocol_properties-ef55c692de2b31d4: crates/coherence/tests/protocol_properties.rs
+
+crates/coherence/tests/protocol_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-2159107d2e7717b7.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-2159107d2e7717b7: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

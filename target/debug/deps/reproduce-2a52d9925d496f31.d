@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-2a52d9925d496f31.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-2a52d9925d496f31.rmeta: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-4624ce1f73079c2a.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-4624ce1f73079c2a.rmeta: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

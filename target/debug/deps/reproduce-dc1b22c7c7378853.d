@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-dc1b22c7c7378853.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-dc1b22c7c7378853: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

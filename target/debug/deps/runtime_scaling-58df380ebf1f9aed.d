@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_scaling-58df380ebf1f9aed.d: crates/bench/benches/runtime_scaling.rs
+
+/root/repo/target/debug/deps/libruntime_scaling-58df380ebf1f9aed.rmeta: crates/bench/benches/runtime_scaling.rs
+
+crates/bench/benches/runtime_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequitur_throughput-7f5729e37576adfd.d: crates/bench/benches/sequitur_throughput.rs
+
+/root/repo/target/debug/deps/libsequitur_throughput-7f5729e37576adfd.rmeta: crates/bench/benches/sequitur_throughput.rs
+
+crates/bench/benches/sequitur_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_throughput-9d5d79007da60d46.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/debug/deps/libsimulator_throughput-9d5d79007da60d46.rmeta: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

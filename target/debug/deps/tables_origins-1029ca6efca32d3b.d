@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_origins-1029ca6efca32d3b.d: crates/bench/benches/tables_origins.rs
+
+/root/repo/target/debug/deps/libtables_origins-1029ca6efca32d3b.rmeta: crates/bench/benches/tables_origins.rs
+
+crates/bench/benches/tables_origins.rs:

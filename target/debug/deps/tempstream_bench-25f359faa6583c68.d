@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tempstream_bench-25f359faa6583c68.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tempstream_bench-25f359faa6583c68: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

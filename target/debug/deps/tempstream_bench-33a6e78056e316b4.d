@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tempstream_bench-33a6e78056e316b4.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-33a6e78056e316b4.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

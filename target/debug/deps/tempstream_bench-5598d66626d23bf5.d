@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tempstream_bench-5598d66626d23bf5.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-5598d66626d23bf5.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_bench-cdaf32c558baf794.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-cdaf32c558baf794.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-cdaf32c558baf794.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_cache-3a2a8a64a6ad41e4.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libtempstream_cache-3a2a8a64a6ad41e4.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

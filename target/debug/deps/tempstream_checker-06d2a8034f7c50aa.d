@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_checker-06d2a8034f7c50aa.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+/root/repo/target/debug/deps/libtempstream_checker-06d2a8034f7c50aa.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+crates/checker/src/lib.rs:
+crates/checker/src/bfs.rs:
+crates/checker/src/mosi.rs:
+crates/checker/src/msi.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_checker-31fb8f1d9dec5e17.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+/root/repo/target/debug/deps/libtempstream_checker-31fb8f1d9dec5e17.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+
+crates/checker/src/lib.rs:
+crates/checker/src/bfs.rs:
+crates/checker/src/mosi.rs:
+crates/checker/src/msi.rs:

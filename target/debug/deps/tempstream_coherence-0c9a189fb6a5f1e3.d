@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tempstream_coherence-0c9a189fb6a5f1e3.d: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_coherence-0c9a189fb6a5f1e3.rmeta: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs Cargo.toml
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/events.rs:
+crates/coherence/src/history.rs:
+crates/coherence/src/multi_chip.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/single_chip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tempstream_coherence-35f3502ae3176af0.d: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/debug/deps/tempstream_coherence-35f3502ae3176af0: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/events.rs:
+crates/coherence/src/history.rs:
+crates/coherence/src/multi_chip.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/single_chip.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tempstream_core-4808bc25b55f343f.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_core-4808bc25b55f343f.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/distribution.rs:
+crates/core/src/experiment.rs:
+crates/core/src/functions.rs:
+crates/core/src/origins.rs:
+crates/core/src/report.rs:
+crates/core/src/spatial.rs:
+crates/core/src/stages.rs:
+crates/core/src/streams.rs:
+crates/core/src/stride.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tempstream_core-99389430f63a38ad.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+/root/repo/target/debug/deps/libtempstream_core-99389430f63a38ad.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distribution.rs:
+crates/core/src/experiment.rs:
+crates/core/src/functions.rs:
+crates/core/src/origins.rs:
+crates/core/src/report.rs:
+crates/core/src/spatial.rs:
+crates/core/src/stages.rs:
+crates/core/src/streams.rs:
+crates/core/src/stride.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tempstream_fxhash-12d5d58ba33a50a5.d: crates/fxhash/src/lib.rs
+
+/root/repo/target/debug/deps/libtempstream_fxhash-12d5d58ba33a50a5.rmeta: crates/fxhash/src/lib.rs
+
+crates/fxhash/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tempstream_fxhash-6523370405614deb.d: crates/fxhash/src/lib.rs
+
+/root/repo/target/debug/deps/libtempstream_fxhash-6523370405614deb.rlib: crates/fxhash/src/lib.rs
+
+/root/repo/target/debug/deps/libtempstream_fxhash-6523370405614deb.rmeta: crates/fxhash/src/lib.rs
+
+crates/fxhash/src/lib.rs:

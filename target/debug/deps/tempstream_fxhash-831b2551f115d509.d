@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tempstream_fxhash-831b2551f115d509.d: crates/fxhash/src/lib.rs
+
+/root/repo/target/debug/deps/libtempstream_fxhash-831b2551f115d509.rmeta: crates/fxhash/src/lib.rs
+
+crates/fxhash/src/lib.rs:

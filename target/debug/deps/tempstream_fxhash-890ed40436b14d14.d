@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tempstream_fxhash-890ed40436b14d14.d: crates/fxhash/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_fxhash-890ed40436b14d14.rmeta: crates/fxhash/src/lib.rs Cargo.toml
+
+crates/fxhash/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tempstream_fxhash-e5fdf143b6b2c035.d: crates/fxhash/src/lib.rs
+
+/root/repo/target/debug/deps/tempstream_fxhash-e5fdf143b6b2c035: crates/fxhash/src/lib.rs
+
+crates/fxhash/src/lib.rs:

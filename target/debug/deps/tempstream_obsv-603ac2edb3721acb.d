@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tempstream_obsv-603ac2edb3721acb.d: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+/root/repo/target/debug/deps/libtempstream_obsv-603ac2edb3721acb.rmeta: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+crates/obsv/src/lib.rs:
+crates/obsv/src/json.rs:
+crates/obsv/src/registry.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tempstream_obsv-ec7d4c3c5596677c.d: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+/root/repo/target/debug/deps/libtempstream_obsv-ec7d4c3c5596677c.rmeta: crates/obsv/src/lib.rs crates/obsv/src/json.rs crates/obsv/src/registry.rs
+
+crates/obsv/src/lib.rs:
+crates/obsv/src/json.rs:
+crates/obsv/src/registry.rs:

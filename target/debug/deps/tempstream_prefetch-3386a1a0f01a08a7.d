@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tempstream_prefetch-3386a1a0f01a08a7.d: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+/root/repo/target/debug/deps/libtempstream_prefetch-3386a1a0f01a08a7.rmeta: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/eval.rs:
+crates/prefetch/src/markov.rs:
+crates/prefetch/src/stride.rs:
+crates/prefetch/src/temporal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tempstream_prefetch-8ae8793234e7dcbd.d: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+/root/repo/target/debug/deps/libtempstream_prefetch-8ae8793234e7dcbd.rmeta: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/eval.rs:
+crates/prefetch/src/markov.rs:
+crates/prefetch/src/stride.rs:
+crates/prefetch/src/temporal.rs:

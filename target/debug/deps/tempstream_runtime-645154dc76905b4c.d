@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tempstream_runtime-645154dc76905b4c.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_runtime-645154dc76905b4c.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/metrics.rs:
+crates/runtime/src/pipeline.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/spill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

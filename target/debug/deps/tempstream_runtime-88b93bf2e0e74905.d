@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tempstream_runtime-88b93bf2e0e74905.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+
+/root/repo/target/debug/deps/libtempstream_runtime-88b93bf2e0e74905.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/metrics.rs:
+crates/runtime/src/pipeline.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/spill.rs:

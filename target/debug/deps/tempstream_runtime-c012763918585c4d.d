@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tempstream_runtime-c012763918585c4d.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+
+/root/repo/target/debug/deps/tempstream_runtime-c012763918585c4d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/metrics.rs:
+crates/runtime/src/pipeline.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/spill.rs:

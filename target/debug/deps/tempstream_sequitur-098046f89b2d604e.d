@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_sequitur-098046f89b2d604e.d: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+/root/repo/target/debug/deps/tempstream_sequitur-098046f89b2d604e: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/builder.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tempstream_sequitur-56c51cba3dcaa52b.d: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+/root/repo/target/debug/deps/libtempstream_sequitur-56c51cba3dcaa52b.rlib: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+/root/repo/target/debug/deps/libtempstream_sequitur-56c51cba3dcaa52b.rmeta: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/builder.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tempstream_sequitur-dbfbdc6c7829558f.d: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_sequitur-dbfbdc6c7829558f.rmeta: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs Cargo.toml
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/builder.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

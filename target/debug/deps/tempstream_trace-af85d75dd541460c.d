@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tempstream_trace-af85d75dd541460c.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs
+
+/root/repo/target/debug/deps/libtempstream_trace-af85d75dd541460c.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/category.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/miss.rs crates/trace/src/rng.rs crates/trace/src/sink.rs crates/trace/src/stats.rs crates/trace/src/symbol.rs crates/trace/src/threading.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/addr.rs:
+crates/trace/src/category.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/io.rs:
+crates/trace/src/miss.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/symbol.rs:
+crates/trace/src/threading.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btree_range_scan-0fc1ea98a6c02d51.d: crates/core/../../examples/btree_range_scan.rs
+
+/root/repo/target/debug/examples/libbtree_range_scan-0fc1ea98a6c02d51.rmeta: crates/core/../../examples/btree_range_scan.rs
+
+crates/core/../../examples/btree_range_scan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/btree_range_scan-67f00210b0aa2934.d: crates/core/../../examples/btree_range_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbtree_range_scan-67f00210b0aa2934.rmeta: crates/core/../../examples/btree_range_scan.rs Cargo.toml
+
+crates/core/../../examples/btree_range_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btree_range_scan-9c125b35c931a0b8.d: crates/core/../../examples/btree_range_scan.rs
+
+/root/repo/target/debug/examples/btree_range_scan-9c125b35c931a0b8: crates/core/../../examples/btree_range_scan.rs
+
+crates/core/../../examples/btree_range_scan.rs:

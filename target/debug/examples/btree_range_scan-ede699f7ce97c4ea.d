@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btree_range_scan-ede699f7ce97c4ea.d: crates/core/../../examples/btree_range_scan.rs
+
+/root/repo/target/debug/examples/btree_range_scan-ede699f7ce97c4ea: crates/core/../../examples/btree_range_scan.rs
+
+crates/core/../../examples/btree_range_scan.rs:

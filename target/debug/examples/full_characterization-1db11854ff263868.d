@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_characterization-1db11854ff263868.d: crates/core/../../examples/full_characterization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_characterization-1db11854ff263868.rmeta: crates/core/../../examples/full_characterization.rs Cargo.toml
+
+crates/core/../../examples/full_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_characterization-5a8d1ae123a3b8d4.d: crates/core/../../examples/full_characterization.rs
+
+/root/repo/target/debug/examples/full_characterization-5a8d1ae123a3b8d4: crates/core/../../examples/full_characterization.rs
+
+crates/core/../../examples/full_characterization.rs:

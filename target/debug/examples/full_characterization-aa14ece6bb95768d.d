@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_characterization-aa14ece6bb95768d.d: crates/core/../../examples/full_characterization.rs
+
+/root/repo/target/debug/examples/full_characterization-aa14ece6bb95768d: crates/core/../../examples/full_characterization.rs
+
+crates/core/../../examples/full_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_characterization-ae98d4e81778635d.d: crates/core/../../examples/full_characterization.rs
+
+/root/repo/target/debug/examples/libfull_characterization-ae98d4e81778635d.rmeta: crates/core/../../examples/full_characterization.rs
+
+crates/core/../../examples/full_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetcher_coverage-6a3d3535be339a67.d: crates/core/../../examples/prefetcher_coverage.rs
+
+/root/repo/target/debug/examples/prefetcher_coverage-6a3d3535be339a67: crates/core/../../examples/prefetcher_coverage.rs
+
+crates/core/../../examples/prefetcher_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetcher_coverage-6b9b67f17d7ecf45.d: crates/core/../../examples/prefetcher_coverage.rs
+
+/root/repo/target/debug/examples/prefetcher_coverage-6b9b67f17d7ecf45: crates/core/../../examples/prefetcher_coverage.rs
+
+crates/core/../../examples/prefetcher_coverage.rs:

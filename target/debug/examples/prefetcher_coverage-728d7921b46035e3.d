@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/prefetcher_coverage-728d7921b46035e3.d: crates/core/../../examples/prefetcher_coverage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprefetcher_coverage-728d7921b46035e3.rmeta: crates/core/../../examples/prefetcher_coverage.rs Cargo.toml
+
+crates/core/../../examples/prefetcher_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetcher_coverage-e61b21746715fd88.d: crates/core/../../examples/prefetcher_coverage.rs
+
+/root/repo/target/debug/examples/libprefetcher_coverage-e61b21746715fd88.rmeta: crates/core/../../examples/prefetcher_coverage.rs
+
+crates/core/../../examples/prefetcher_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-9efdbb2b29368530.d: crates/runtime/examples/probe.rs
+
+/root/repo/target/debug/examples/probe-9efdbb2b29368530: crates/runtime/examples/probe.rs
+
+crates/runtime/examples/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-e55db57813019508.d: crates/runtime/examples/probe.rs
+
+/root/repo/target/debug/examples/libprobe-e55db57813019508.rmeta: crates/runtime/examples/probe.rs
+
+crates/runtime/examples/probe.rs:

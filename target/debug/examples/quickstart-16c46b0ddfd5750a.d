@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-16c46b0ddfd5750a.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-16c46b0ddfd5750a: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

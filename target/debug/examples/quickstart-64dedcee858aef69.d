@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-64dedcee858aef69.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-64dedcee858aef69.rmeta: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e436597d4764a5fe.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e436597d4764a5fe: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_streams-194439e3fad05fd3.d: crates/core/../../examples/scheduler_streams.rs
+
+/root/repo/target/debug/examples/scheduler_streams-194439e3fad05fd3: crates/core/../../examples/scheduler_streams.rs
+
+crates/core/../../examples/scheduler_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_streams-420caa8a1bd9deea.d: crates/core/../../examples/scheduler_streams.rs
+
+/root/repo/target/debug/examples/scheduler_streams-420caa8a1bd9deea: crates/core/../../examples/scheduler_streams.rs
+
+crates/core/../../examples/scheduler_streams.rs:

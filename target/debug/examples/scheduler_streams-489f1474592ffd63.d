@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_streams-489f1474592ffd63.d: crates/core/../../examples/scheduler_streams.rs
+
+/root/repo/target/debug/examples/libscheduler_streams-489f1474592ffd63.rmeta: crates/core/../../examples/scheduler_streams.rs
+
+crates/core/../../examples/scheduler_streams.rs:

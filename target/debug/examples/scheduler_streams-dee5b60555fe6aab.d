@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduler_streams-dee5b60555fe6aab.d: crates/core/../../examples/scheduler_streams.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduler_streams-dee5b60555fe6aab.rmeta: crates/core/../../examples/scheduler_streams.rs Cargo.toml
+
+crates/core/../../examples/scheduler_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_pipeline-3bfedd4cef9daa7a.d: crates/core/../../examples/web_pipeline.rs
+
+/root/repo/target/debug/examples/libweb_pipeline-3bfedd4cef9daa7a.rmeta: crates/core/../../examples/web_pipeline.rs
+
+crates/core/../../examples/web_pipeline.rs:

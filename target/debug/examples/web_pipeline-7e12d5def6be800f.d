@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_pipeline-7e12d5def6be800f.d: crates/core/../../examples/web_pipeline.rs
+
+/root/repo/target/debug/examples/web_pipeline-7e12d5def6be800f: crates/core/../../examples/web_pipeline.rs
+
+crates/core/../../examples/web_pipeline.rs:

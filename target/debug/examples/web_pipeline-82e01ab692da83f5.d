@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/web_pipeline-82e01ab692da83f5.d: crates/core/../../examples/web_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweb_pipeline-82e01ab692da83f5.rmeta: crates/core/../../examples/web_pipeline.rs Cargo.toml
+
+crates/core/../../examples/web_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

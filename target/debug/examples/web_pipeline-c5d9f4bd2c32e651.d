@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_pipeline-c5d9f4bd2c32e651.d: crates/core/../../examples/web_pipeline.rs
+
+/root/repo/target/debug/examples/web_pipeline-c5d9f4bd2c32e651: crates/core/../../examples/web_pipeline.rs
+
+crates/core/../../examples/web_pipeline.rs:

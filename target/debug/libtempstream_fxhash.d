@@ -1,0 +1,1 @@
+/root/repo/target/debug/libtempstream_fxhash.rlib: /root/repo/crates/fxhash/src/lib.rs

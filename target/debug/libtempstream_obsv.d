@@ -1,0 +1,1 @@
+/root/repo/target/debug/libtempstream_obsv.rlib: /root/repo/crates/obsv/src/json.rs /root/repo/crates/obsv/src/lib.rs /root/repo/crates/obsv/src/registry.rs

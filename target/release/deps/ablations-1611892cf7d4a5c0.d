@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1611892cf7d4a5c0.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1611892cf7d4a5c0: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

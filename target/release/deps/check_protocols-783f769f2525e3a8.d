@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_protocols-783f769f2525e3a8.d: crates/checker/src/main.rs
+
+/root/repo/target/release/deps/check_protocols-783f769f2525e3a8: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

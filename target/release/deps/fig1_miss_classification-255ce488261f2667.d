@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_miss_classification-255ce488261f2667.d: crates/bench/benches/fig1_miss_classification.rs
+
+/root/repo/target/release/deps/fig1_miss_classification-255ce488261f2667: crates/bench/benches/fig1_miss_classification.rs
+
+crates/bench/benches/fig1_miss_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_stream_fraction-f772a66315330c4b.d: crates/bench/benches/fig2_stream_fraction.rs
+
+/root/repo/target/release/deps/fig2_stream_fraction-f772a66315330c4b: crates/bench/benches/fig2_stream_fraction.rs
+
+crates/bench/benches/fig2_stream_fraction.rs:

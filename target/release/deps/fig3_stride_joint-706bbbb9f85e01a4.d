@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_stride_joint-706bbbb9f85e01a4.d: crates/bench/benches/fig3_stride_joint.rs
+
+/root/repo/target/release/deps/fig3_stride_joint-706bbbb9f85e01a4: crates/bench/benches/fig3_stride_joint.rs
+
+crates/bench/benches/fig3_stride_joint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_length_reuse-a54e9cd105320388.d: crates/bench/benches/fig4_length_reuse.rs
+
+/root/repo/target/release/deps/fig4_length_reuse-a54e9cd105320388: crates/bench/benches/fig4_length_reuse.rs
+
+crates/bench/benches/fig4_length_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-bcf9ece1ca575e78.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-bcf9ece1ca575e78: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

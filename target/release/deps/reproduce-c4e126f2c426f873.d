@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-c4e126f2c426f873.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-c4e126f2c426f873: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

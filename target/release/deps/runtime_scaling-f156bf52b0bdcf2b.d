@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_scaling-f156bf52b0bdcf2b.d: crates/bench/benches/runtime_scaling.rs
+
+/root/repo/target/release/deps/runtime_scaling-f156bf52b0bdcf2b: crates/bench/benches/runtime_scaling.rs
+
+crates/bench/benches/runtime_scaling.rs:

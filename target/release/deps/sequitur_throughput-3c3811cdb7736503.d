@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sequitur_throughput-3c3811cdb7736503.d: crates/bench/benches/sequitur_throughput.rs
+
+/root/repo/target/release/deps/sequitur_throughput-3c3811cdb7736503: crates/bench/benches/sequitur_throughput.rs
+
+crates/bench/benches/sequitur_throughput.rs:

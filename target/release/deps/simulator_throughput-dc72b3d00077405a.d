@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_throughput-dc72b3d00077405a.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/release/deps/simulator_throughput-dc72b3d00077405a: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

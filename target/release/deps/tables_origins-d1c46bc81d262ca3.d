@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_origins-d1c46bc81d262ca3.d: crates/bench/benches/tables_origins.rs
+
+/root/repo/target/release/deps/tables_origins-d1c46bc81d262ca3: crates/bench/benches/tables_origins.rs
+
+crates/bench/benches/tables_origins.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tempstream_coherence-5da6d57dd63f1714.d: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/release/deps/libtempstream_coherence-5da6d57dd63f1714.rlib: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+/root/repo/target/release/deps/libtempstream_coherence-5da6d57dd63f1714.rmeta: crates/coherence/src/lib.rs crates/coherence/src/events.rs crates/coherence/src/history.rs crates/coherence/src/multi_chip.rs crates/coherence/src/protocol.rs crates/coherence/src/single_chip.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/events.rs:
+crates/coherence/src/history.rs:
+crates/coherence/src/multi_chip.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/single_chip.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tempstream_core-8c997017abe01b0d.d: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+/root/repo/target/release/deps/libtempstream_core-8c997017abe01b0d.rlib: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+/root/repo/target/release/deps/libtempstream_core-8c997017abe01b0d.rmeta: crates/core/src/lib.rs crates/core/src/distribution.rs crates/core/src/experiment.rs crates/core/src/functions.rs crates/core/src/origins.rs crates/core/src/report.rs crates/core/src/spatial.rs crates/core/src/stages.rs crates/core/src/streams.rs crates/core/src/stride.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distribution.rs:
+crates/core/src/experiment.rs:
+crates/core/src/functions.rs:
+crates/core/src/origins.rs:
+crates/core/src/report.rs:
+crates/core/src/spatial.rs:
+crates/core/src/stages.rs:
+crates/core/src/streams.rs:
+crates/core/src/stride.rs:

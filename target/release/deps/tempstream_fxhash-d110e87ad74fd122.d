@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tempstream_fxhash-d110e87ad74fd122.d: crates/fxhash/src/lib.rs
+
+/root/repo/target/release/deps/libtempstream_fxhash-d110e87ad74fd122.rlib: crates/fxhash/src/lib.rs
+
+/root/repo/target/release/deps/libtempstream_fxhash-d110e87ad74fd122.rmeta: crates/fxhash/src/lib.rs
+
+crates/fxhash/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tempstream_prefetch-a416197ad4ca3298.d: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+/root/repo/target/release/deps/libtempstream_prefetch-a416197ad4ca3298.rlib: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+/root/repo/target/release/deps/libtempstream_prefetch-a416197ad4ca3298.rmeta: crates/prefetch/src/lib.rs crates/prefetch/src/eval.rs crates/prefetch/src/markov.rs crates/prefetch/src/stride.rs crates/prefetch/src/temporal.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/eval.rs:
+crates/prefetch/src/markov.rs:
+crates/prefetch/src/stride.rs:
+crates/prefetch/src/temporal.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tempstream_sequitur-bdbe96939bd6bdd0.d: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+/root/repo/target/release/deps/libtempstream_sequitur-bdbe96939bd6bdd0.rlib: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+/root/repo/target/release/deps/libtempstream_sequitur-bdbe96939bd6bdd0.rmeta: crates/sequitur/src/lib.rs crates/sequitur/src/builder.rs crates/sequitur/src/grammar.rs crates/sequitur/src/stats.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/builder.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/stats.rs:

@@ -1,0 +1,34 @@
+/root/repo/target/release/deps/tempstream_workloads-1714682d36348b06.d: crates/workloads/src/lib.rs crates/workloads/src/db/mod.rs crates/workloads/src/db/btree.rs crates/workloads/src/db/bufpool.rs crates/workloads/src/db/interp.rs crates/workloads/src/db/log.rs crates/workloads/src/db/table.rs crates/workloads/src/db/txn.rs crates/workloads/src/emitter.rs crates/workloads/src/kernel/mod.rs crates/workloads/src/kernel/blockdev.rs crates/workloads/src/kernel/copy.rs crates/workloads/src/kernel/ip.rs crates/workloads/src/kernel/mmu.rs crates/workloads/src/kernel/sched.rs crates/workloads/src/kernel/streams_ipc.rs crates/workloads/src/kernel/sync.rs crates/workloads/src/kernel/syscall.rs crates/workloads/src/layout.rs crates/workloads/src/misc.rs crates/workloads/src/spec.rs crates/workloads/src/web/mod.rs crates/workloads/src/web/http.rs crates/workloads/src/web/perl.rs crates/workloads/src/workload/mod.rs crates/workloads/src/workload/dss_app.rs crates/workloads/src/workload/oltp_app.rs crates/workloads/src/workload/web_app.rs
+
+/root/repo/target/release/deps/libtempstream_workloads-1714682d36348b06.rlib: crates/workloads/src/lib.rs crates/workloads/src/db/mod.rs crates/workloads/src/db/btree.rs crates/workloads/src/db/bufpool.rs crates/workloads/src/db/interp.rs crates/workloads/src/db/log.rs crates/workloads/src/db/table.rs crates/workloads/src/db/txn.rs crates/workloads/src/emitter.rs crates/workloads/src/kernel/mod.rs crates/workloads/src/kernel/blockdev.rs crates/workloads/src/kernel/copy.rs crates/workloads/src/kernel/ip.rs crates/workloads/src/kernel/mmu.rs crates/workloads/src/kernel/sched.rs crates/workloads/src/kernel/streams_ipc.rs crates/workloads/src/kernel/sync.rs crates/workloads/src/kernel/syscall.rs crates/workloads/src/layout.rs crates/workloads/src/misc.rs crates/workloads/src/spec.rs crates/workloads/src/web/mod.rs crates/workloads/src/web/http.rs crates/workloads/src/web/perl.rs crates/workloads/src/workload/mod.rs crates/workloads/src/workload/dss_app.rs crates/workloads/src/workload/oltp_app.rs crates/workloads/src/workload/web_app.rs
+
+/root/repo/target/release/deps/libtempstream_workloads-1714682d36348b06.rmeta: crates/workloads/src/lib.rs crates/workloads/src/db/mod.rs crates/workloads/src/db/btree.rs crates/workloads/src/db/bufpool.rs crates/workloads/src/db/interp.rs crates/workloads/src/db/log.rs crates/workloads/src/db/table.rs crates/workloads/src/db/txn.rs crates/workloads/src/emitter.rs crates/workloads/src/kernel/mod.rs crates/workloads/src/kernel/blockdev.rs crates/workloads/src/kernel/copy.rs crates/workloads/src/kernel/ip.rs crates/workloads/src/kernel/mmu.rs crates/workloads/src/kernel/sched.rs crates/workloads/src/kernel/streams_ipc.rs crates/workloads/src/kernel/sync.rs crates/workloads/src/kernel/syscall.rs crates/workloads/src/layout.rs crates/workloads/src/misc.rs crates/workloads/src/spec.rs crates/workloads/src/web/mod.rs crates/workloads/src/web/http.rs crates/workloads/src/web/perl.rs crates/workloads/src/workload/mod.rs crates/workloads/src/workload/dss_app.rs crates/workloads/src/workload/oltp_app.rs crates/workloads/src/workload/web_app.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/db/mod.rs:
+crates/workloads/src/db/btree.rs:
+crates/workloads/src/db/bufpool.rs:
+crates/workloads/src/db/interp.rs:
+crates/workloads/src/db/log.rs:
+crates/workloads/src/db/table.rs:
+crates/workloads/src/db/txn.rs:
+crates/workloads/src/emitter.rs:
+crates/workloads/src/kernel/mod.rs:
+crates/workloads/src/kernel/blockdev.rs:
+crates/workloads/src/kernel/copy.rs:
+crates/workloads/src/kernel/ip.rs:
+crates/workloads/src/kernel/mmu.rs:
+crates/workloads/src/kernel/sched.rs:
+crates/workloads/src/kernel/streams_ipc.rs:
+crates/workloads/src/kernel/sync.rs:
+crates/workloads/src/kernel/syscall.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/misc.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/web/mod.rs:
+crates/workloads/src/web/http.rs:
+crates/workloads/src/web/perl.rs:
+crates/workloads/src/workload/mod.rs:
+crates/workloads/src/workload/dss_app.rs:
+crates/workloads/src/workload/oltp_app.rs:
+crates/workloads/src/workload/web_app.rs:

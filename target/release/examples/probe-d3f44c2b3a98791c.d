@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-d3f44c2b3a98791c.d: crates/runtime/examples/probe.rs
+
+/root/repo/target/release/examples/probe-d3f44c2b3a98791c: crates/runtime/examples/probe.rs
+
+crates/runtime/examples/probe.rs:
