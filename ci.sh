@@ -2,17 +2,34 @@
 # CI gate for the tempstream workspace. Runs entirely offline:
 #   1. formatting check
 #   2. clippy, warnings denied (workspace lint set in Cargo.toml)
-#   3. exhaustive protocol model check (tables proved before simulation)
-#   4. tier-1 build + test suite
-#   5. determinism gate: the parallel pipeline must be byte-identical
+#   3. source lint: runtime synchronization must go through the sync
+#      shim (schedule-checker soundness), stages never read the clock
+#   4. exhaustive protocol model check (tables proved before simulation)
+#   5. schedule model check: bounded-preemption + seeded-random
+#      exploration of the runtime primitives, plus the mutation gate
+#      (the checker must still CATCH an injected lost notify_one)
+#   6. tier-1 build + test suite
+#   7. determinism gate: the parallel pipeline must be byte-identical
 #      to the serial runner
-#   6. metrics gate: --metrics-json emits valid JSON with the expected
+#   8. metrics gate: --metrics-json emits valid JSON with the expected
 #      top-level keys and leaves stdout untouched
-#   7. perf smoke gate: the parallel pipeline must not be slower than
+#   9. perf smoke gate: the parallel pipeline must not be slower than
 #      the serial runner (reduced sample count via
 #      TEMPSTREAM_BENCH_SAMPLES)
+#
+# Opt-in: `./ci.sh --sanitize` appends a sanitizer stage (TSan with an
+# instrumented std, or Miri, whichever toolchain components exist;
+# prints a visible SKIP when neither can run offline).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=1 ;;
+    *) echo "ci.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== fmt =="
 cargo fmt --all --check
@@ -20,9 +37,21 @@ cargo fmt --all --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== lint-sources: sync-shim discipline =="
+cargo run -q -p tempstream-checker --bin lint-sources
+
 echo "== protocol model check =="
 cargo test -q -p tempstream-checker
 cargo run -q -p tempstream-checker --bin check-protocols
+
+echo "== schedule model check =="
+# Exhaustive bounded-preemption DFS + seeded random sweeps over the
+# closed models of channel/deque/pool/spill; any counterexample prints
+# a minimal replayable schedule. The time box degrades the random
+# sweeps, never the exhaustive 2-thread proofs.
+cargo run -q --release -p tempstream-schedcheck --bin check-schedules -- --budget-secs 120
+# Mutation gate: the checker must still catch a dropped notify_one.
+cargo run -q --release -p tempstream-schedcheck --bin check-schedules -- --expect-mutation
 
 echo "== tier-1: build + tests =="
 cargo build --release
@@ -71,5 +100,31 @@ threshold=$([ "$cores" -le 1 ] && echo 0.85 || echo 1.0)
 awk -v s="$speedup" -v t="$threshold" 'BEGIN { exit !(s >= t) }' \
   || { echo "perf smoke FAILED: parallel/4w speedup $speedup < $threshold (cores: $cores)"; exit 1; }
 echo "parallel/4w speedup vs serial: $speedup (threshold $threshold, cores: $cores)"
+
+if [ "$SANITIZE" = "1" ]; then
+  echo "== sanitize (opt-in) =="
+  # TSan needs every crate instrumented, including std (-Zbuild-std,
+  # which needs the nightly rust-src component); an uninstrumented std
+  # hides its futex-based Mutex/Condvar from TSan and floods false
+  # positives. Miri is the fallback. Both probes degrade to a VISIBLE
+  # skip so an offline container never fails CI for missing tooling.
+  host=$(rustc -vV | awk '/^host:/ { print $2 }')
+  if rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+     && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q '^rust-src.*(installed)'; then
+    echo "sanitize: ThreadSanitizer (nightly, instrumented std, $host)"
+    RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+      CARGO_TARGET_DIR=target/tsan \
+      cargo +nightly test -q -p tempstream-runtime --lib \
+        -Zbuild-std --target "$host"
+  elif cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "sanitize: Miri (nightly)"
+    cargo +nightly miri test -q -p tempstream-runtime --lib
+  else
+    echo "sanitize: SKIPPED — needs nightly with rust-src (TSan) or the"
+    echo "          miri component; neither is installed and this CI runs"
+    echo "          offline. Install one and re-run ./ci.sh --sanitize."
+  fi
+fi
 
 echo "CI OK"

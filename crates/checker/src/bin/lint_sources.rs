@@ -1,0 +1,42 @@
+//! `lint-sources`: the sync-shim discipline gate.
+//!
+//! Scans the workspace (see [`tempstream_checker::lint`]) and exits
+//! non-zero listing every direct `std::sync`/`std::thread` primitive
+//! used in `crates/runtime/src/` outside the sync shim, and every
+//! `Instant::now` inside the pure pipeline stages.
+//!
+//! ```text
+//! lint-sources [REPO_ROOT]
+//! ```
+//!
+//! `REPO_ROOT` defaults to the current directory (`ci.sh` runs it from
+//! the workspace root).
+
+use std::path::PathBuf;
+use tempstream_checker::lint;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let findings = match lint::lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint-sources: cannot read tree at {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("lint-sources: clean (runtime uses the sync shim; stages never read the clock)");
+        return;
+    }
+    for finding in &findings {
+        eprintln!("{finding}");
+    }
+    eprintln!(
+        "lint-sources: {} finding(s). Route runtime synchronization through \
+         `crate::sync` so the schedule checker can see it.",
+        findings.len()
+    );
+    std::process::exit(1);
+}

@@ -42,6 +42,7 @@
 use std::fmt;
 
 pub mod bfs;
+pub mod lint;
 pub mod mosi;
 pub mod msi;
 

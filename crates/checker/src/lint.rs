@@ -1,0 +1,325 @@
+//! Source lint enforcing the runtime's sync-shim discipline.
+//!
+//! The schedule checker (`tempstream-schedcheck`) is only sound if the
+//! runtime routes **every** blocking or ordering operation through the
+//! [`tempstream_runtime::sync`] shim — a `std::sync::Mutex` acquired
+//! directly is invisible to the cooperative scheduler and silently
+//! shrinks the explored interleaving space. This lint closes that hole
+//! statically: it scans `crates/runtime/src/` and fails on direct use
+//! of `std::sync::Mutex`, `std::sync::Condvar`, `std::sync::atomic`,
+//! or `std::thread::{spawn,scope,Builder}` anywhere outside
+//!
+//! * the shim itself (`crates/runtime/src/sync/`), which is the one
+//!   place allowed to touch the real primitives, and
+//! * `#[cfg(test)]` blocks, where tests may freely use OS threads to
+//!   exercise the shim from outside.
+//!
+//! It also forbids `Instant::now` in `crates/core/src/stages.rs`: the
+//! pipeline stages must stay deterministic pure functions, and wall
+//!-clock reads there would leak nondeterminism into the reproduction
+//! gate (timing belongs to `runtime::metrics`).
+//!
+//! The scan is deliberately a token scan, not a parse: line comments
+//! are stripped, `#[cfg(test)] mod … { … }` regions are skipped by
+//! brace counting, and the remaining text is searched for the
+//! forbidden tokens. That is crude but exactly as strict as needed —
+//! an evasion would have to be deliberate, and the point of the lint
+//! is catching *accidental* regressions to raw `std` primitives.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One forbidden token found outside an exempt region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The forbidden token that matched.
+    pub token: &'static str,
+    /// The offending line, comment-stripped and trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: forbidden `{}` outside the sync shim: {}",
+            self.file, self.line, self.token, self.excerpt
+        )
+    }
+}
+
+/// Tokens the runtime may only use inside `sync/` (or under
+/// `#[cfg(test)]`). `std::sync::Arc` and `std::sync::OnceLock` are
+/// deliberately absent: neither is a scheduling decision point.
+const RUNTIME_FORBIDDEN: &[&str] = &[
+    "std::sync::Mutex",
+    "std::sync::Condvar",
+    "std::sync::atomic",
+    "std::thread::spawn",
+    "std::thread::scope",
+    "std::thread::Builder",
+];
+
+/// Grouped-import members that smuggle the same primitives in via
+/// `use std::sync::{…}`.
+const RUNTIME_FORBIDDEN_GROUPED: &[&str] = &["Mutex", "Condvar", "atomic"];
+
+/// Tokens forbidden in the pure pipeline stages.
+const STAGES_FORBIDDEN: &[&str] = &["Instant::now"];
+
+/// Strips a line comment (`//`, `///`, `//!`) from one line.
+///
+/// Naive about `//` inside string literals; acceptable for a lint
+/// whose job is catching accidental imports, which never hide there.
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+fn net_braces(code: &str) -> i32 {
+    let mut n = 0i32;
+    for c in code.chars() {
+        match c {
+            '{' => n += 1,
+            '}' => n -= 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Scans one source file for `tokens`, skipping line comments and
+/// `#[cfg(test)]`-attributed brace blocks.
+fn scan(rel_path: &str, source: &str, tokens: &[&'static str], grouped: bool) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    // After seeing `#[cfg(test)]`, the next brace block is exempt.
+    let mut pending_cfg_test = false;
+    let mut test_depth: i32 = 0;
+    let mut in_test_block = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let code = strip_line_comment(raw);
+        if in_test_block {
+            test_depth += net_braces(code);
+            if test_depth <= 0 {
+                in_test_block = false;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            let opened = net_braces(code);
+            if opened > 0 {
+                pending_cfg_test = false;
+                in_test_block = true;
+                test_depth = opened;
+            } else if !code.trim().is_empty() {
+                // An attribute line (e.g. `#[allow(…)]`) between the
+                // cfg and the block keeps the exemption pending.
+                if !code.trim_start().starts_with("#[") {
+                    pending_cfg_test = false;
+                }
+            }
+            if in_test_block {
+                continue;
+            }
+        }
+        for token in tokens {
+            if code.contains(token) {
+                findings.push(LintFinding {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    token,
+                    excerpt: code.trim().to_string(),
+                });
+            }
+        }
+        if grouped {
+            if let Some(pos) = code.find("std::sync::{") {
+                let group = &code[pos + "std::sync::{".len()..];
+                let group = group.split('}').next().unwrap_or(group);
+                for member in RUNTIME_FORBIDDEN_GROUPED {
+                    if group
+                        .split(',')
+                        .any(|item| item.split_whitespace().next() == Some(member))
+                    {
+                        findings.push(LintFinding {
+                            file: rel_path.to_string(),
+                            line: idx + 1,
+                            token: "std::sync::{…}",
+                            excerpt: code.trim().to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Lints one file by its repo-relative path (`/`-separated).
+///
+/// * under `crates/runtime/src/` but not `crates/runtime/src/sync/`:
+///   the raw-primitive scan;
+/// * `crates/core/src/stages.rs`: the wall-clock scan;
+/// * anything else: exempt.
+pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintFinding> {
+    let normalized = rel_path.replace('\\', "/");
+    if normalized.starts_with("crates/runtime/src/")
+        && !normalized.starts_with("crates/runtime/src/sync/")
+        && normalized.ends_with(".rs")
+    {
+        return scan(&normalized, source, RUNTIME_FORBIDDEN, true);
+    }
+    if normalized == "crates/core/src/stages.rs" {
+        return scan(&normalized, source, STAGES_FORBIDDEN, false);
+    }
+    Vec::new()
+}
+
+fn walk(dir: &Path, files: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole tree rooted at `repo_root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree; lint findings are the
+/// `Ok` payload, not errors.
+pub fn lint_tree(repo_root: &Path) -> io::Result<Vec<LintFinding>> {
+    let mut files = Vec::new();
+    let runtime_src = repo_root.join("crates/runtime/src");
+    if runtime_src.is_dir() {
+        walk(&runtime_src, &mut files)?;
+    }
+    let stages = repo_root.join("crates/core/src/stages.rs");
+    if stages.is_file() {
+        files.push(stages);
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        findings.extend(lint_file(&rel, &source));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RUNTIME_PATH: &str = "crates/runtime/src/widget.rs";
+
+    #[test]
+    fn direct_mutex_in_runtime_fails() {
+        // The acceptance-criterion case: synthetic std::sync::Mutex
+        // use attributed to crates/runtime/ must be flagged.
+        let src = "use std::sync::Mutex;\nfn f() { let m = Mutex::new(0); }\n";
+        let findings = lint_file(RUNTIME_PATH, src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].token, "std::sync::Mutex");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn grouped_import_is_caught() {
+        let src = "use std::sync::{Arc, Mutex};\n";
+        let findings = lint_file(RUNTIME_PATH, src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].token, "std::sync::{…}");
+        // …but Arc/OnceLock alone stay allowed.
+        assert!(lint_file(RUNTIME_PATH, "use std::sync::{Arc, OnceLock};\n").is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_and_atomics_are_caught() {
+        for src in [
+            "fn f() { std::thread::spawn(|| {}); }\n",
+            "use std::sync::atomic::AtomicUsize;\n",
+            "fn f() { std::thread::scope(|s| {}); }\n",
+            "let b = std::thread::Builder::new();\n",
+        ] {
+            assert_eq!(lint_file(RUNTIME_PATH, src).len(), 1, "missed: {src}");
+        }
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "pub fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   use std::sync::Mutex;\n\
+                   \x20   fn g() { std::thread::spawn(|| {}); }\n\
+                   }\n";
+        assert!(lint_file(RUNTIME_PATH, src).is_empty());
+        // …and code AFTER the test block is scanned again.
+        let trailing = format!("{src}use std::sync::Condvar;\n");
+        let findings = lint_file(RUNTIME_PATH, &trailing);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].token, "std::sync::Condvar");
+    }
+
+    #[test]
+    fn comments_and_shim_paths_are_exempt() {
+        let commented = "// plain std::sync::Mutex in prose\n//! and std::thread::spawn docs\n";
+        assert!(lint_file(RUNTIME_PATH, commented).is_empty());
+        let shim = "use std::sync::{Mutex, Condvar};\nuse std::sync::atomic::AtomicUsize;\n";
+        assert!(lint_file("crates/runtime/src/sync/mod.rs", shim).is_empty());
+        assert!(lint_file("crates/runtime/src/sync/sched.rs", shim).is_empty());
+        // Other crates are out of scope entirely.
+        assert!(lint_file("crates/core/src/streams.rs", shim).is_empty());
+    }
+
+    #[test]
+    fn instant_now_in_stages_fails() {
+        let src = "fn t() { let t0 = std::time::Instant::now(); }\n";
+        let findings = lint_file("crates/core/src/stages.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].token, "Instant::now");
+        // The same code is fine elsewhere in core.
+        assert!(lint_file("crates/core/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn real_tree_is_clean() {
+        // The actual repo must pass its own lint: the whole runtime
+        // goes through the shim, stages never read the clock.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = lint_tree(&root).expect("tree readable");
+        assert!(
+            findings.is_empty(),
+            "lint-sources findings:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

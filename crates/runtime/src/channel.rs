@@ -3,12 +3,14 @@
 //! The pipeline's emit stage streams access batches to its simulate
 //! stage through one of these; the bound is what gives the executor
 //! backpressure — a fast generator blocks once `capacity` batches are
-//! in flight instead of ballooning RSS. Built on `Mutex` + `Condvar`
-//! (the workspace is registry-dependency-free and forbids `unsafe`).
+//! in flight instead of ballooning RSS. Built on the [`crate::sync`]
+//! `Mutex` + `Condvar` shims (the workspace is registry-dependency-free
+//! and forbids `unsafe`), which is what lets `tempstream-schedcheck`
+//! model-check this channel's interleavings.
 
+use crate::sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
 
 struct State<T> {
     queue: VecDeque<T>,
@@ -74,7 +76,7 @@ impl<T> Sender<T> {
     /// Returns the value inside [`SendError`] if every receiver has been
     /// dropped (now or while blocked).
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut state = self.chan.state.lock().expect("channel poisoned");
+        let mut state = self.chan.state.lock();
         loop {
             if state.receivers == 0 {
                 return Err(SendError(value));
@@ -88,7 +90,7 @@ impl<T> Sender<T> {
                 self.chan.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.chan.not_full.wait(state).expect("channel poisoned");
+            state = self.chan.not_full.wait(state);
         }
     }
 }
@@ -101,7 +103,7 @@ impl<T> Receiver<T> {
     /// Returns [`RecvError`] once the channel is empty and every sender
     /// has been dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut state = self.chan.state.lock().expect("channel poisoned");
+        let mut state = self.chan.state.lock();
         loop {
             if let Some(v) = state.queue.pop_front() {
                 self.chan.not_full.notify_one();
@@ -110,7 +112,7 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvError);
             }
-            state = self.chan.not_empty.wait(state).expect("channel poisoned");
+            state = self.chan.not_empty.wait(state);
         }
     }
 
@@ -127,7 +129,7 @@ impl<T> Receiver<T> {
     /// Returns [`RecvError`] once the channel is empty and every sender
     /// has been dropped.
     pub fn recv_many(&self, buf: &mut Vec<T>) -> Result<usize, RecvError> {
-        let mut state = self.chan.state.lock().expect("channel poisoned");
+        let mut state = self.chan.state.lock();
         loop {
             if !state.queue.is_empty() {
                 let n = state.queue.len();
@@ -138,19 +140,19 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvError);
             }
-            state = self.chan.not_empty.wait(state).expect("channel poisoned");
+            state = self.chan.not_empty.wait(state);
         }
     }
 
     /// High-water mark of in-flight items over the channel's lifetime.
     pub fn max_depth(&self) -> usize {
-        self.chan.state.lock().expect("channel poisoned").max_depth
+        self.chan.state.lock().max_depth
     }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.chan.state.lock().expect("channel poisoned").senders += 1;
+        self.chan.state.lock().senders += 1;
         Sender {
             chan: self.chan.clone(),
         }
@@ -159,7 +161,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.chan.state.lock().expect("channel poisoned").receivers += 1;
+        self.chan.state.lock().receivers += 1;
         Receiver {
             chan: self.chan.clone(),
         }
@@ -168,7 +170,7 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.chan.state.lock().expect("channel poisoned");
+        let mut state = self.chan.state.lock();
         state.senders -= 1;
         if state.senders == 0 {
             // Wake receivers so they observe disconnection.
@@ -179,7 +181,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut state = self.chan.state.lock().expect("channel poisoned");
+        let mut state = self.chan.state.lock();
         state.receivers -= 1;
         if state.receivers == 0 {
             // Wake blocked senders so they observe disconnection.
@@ -332,11 +334,11 @@ mod tests {
                     while let Ok(v) = rx.recv() {
                         mine.push(v);
                     }
-                    received.lock().unwrap().extend(mine);
+                    received.lock().extend(mine);
                 });
             }
         });
-        let mut all = received.lock().unwrap().clone();
+        let mut all = received.lock().clone();
         assert_eq!(all.len(), PRODUCERS * PER_PRODUCER);
         all.sort_unstable();
         let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();

@@ -9,9 +9,9 @@
 //! workspace forbids `unsafe`); jobs in this runtime are whole pipeline
 //! stages, so queue operations are nowhere near the contention point.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// A mutex-based work-stealing deque.
 ///
@@ -33,24 +33,24 @@ impl<T> WorkDeque<T> {
 
     /// Pushes a job at the owner end.
     pub fn push(&self, item: T) {
-        let mut q = self.inner.lock().expect("deque poisoned");
+        let mut q = self.inner.lock();
         q.push_back(item);
         self.max_depth.fetch_max(q.len(), Ordering::Relaxed);
     }
 
     /// Pops the most recently pushed job (owner end, LIFO).
     pub fn pop(&self) -> Option<T> {
-        self.inner.lock().expect("deque poisoned").pop_back()
+        self.inner.lock().pop_back()
     }
 
     /// Steals the oldest job (thief end, FIFO).
     pub fn steal(&self) -> Option<T> {
-        self.inner.lock().expect("deque poisoned").pop_front()
+        self.inner.lock().pop_front()
     }
 
     /// Number of queued jobs.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("deque poisoned").len()
+        self.inner.lock().len()
     }
 
     /// Returns `true` when no jobs are queued.

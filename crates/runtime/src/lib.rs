@@ -19,6 +19,10 @@
 //! * [`metrics`] — per-stage wall-clock and queue-depth accounting.
 //! * [`pipeline`] — the reproduction DAG itself and its ordinal-keyed
 //!   deterministic reduction.
+//! * [`sync`] — the synchronization shim every other module goes
+//!   through: `std` delegation in normal builds, and (behind the
+//!   `schedcheck` feature) the cooperative scheduler that lets
+//!   `tempstream-schedcheck` model-check the executor's interleavings.
 //!
 //! The headline guarantee: [`pipeline::run_workloads`] returns results
 //! **bit-identical** to the serial runner for any worker count. See the
@@ -30,6 +34,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod pool;
 pub mod spill;
+pub mod sync;
 
 pub use metrics::{RunMetrics, RunSummary, Stage};
 pub use pipeline::{run_all, run_workloads, AnalysisKind, Context, JobSpec, RuntimeConfig};

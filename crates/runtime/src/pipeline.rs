@@ -37,7 +37,7 @@ use crate::channel::{bounded, Sender};
 use crate::metrics::{RunMetrics, RunSummary, Stage};
 use crate::pool::{self, Worker};
 use crate::spill::{SharedTrace, TraceStore};
-use std::sync::{Arc, Mutex};
+use crate::sync::{thread, Arc, Mutex};
 use std::time::Instant;
 use tempstream_coherence::{MultiChipSim, SingleChipSim};
 use tempstream_core::experiment::{
@@ -183,7 +183,7 @@ impl RuntimeConfig {
 
     /// The host's available parallelism (the `--jobs` default).
     pub fn default_workers() -> usize {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     }
 }
 
@@ -254,14 +254,13 @@ impl<T> Cell<T> {
     }
 
     fn set(&self, value: T) {
-        let prev = self.0.lock().expect("cell poisoned").replace(value);
+        let prev = self.0.lock().replace(value);
         assert!(prev.is_none(), "partial result produced twice");
     }
 
     fn take(&self) -> T {
         self.0
             .lock()
-            .expect("cell poisoned")
             .take()
             .expect("partial result missing at reduction")
     }
@@ -408,14 +407,14 @@ fn pump_emit_into<S: PhasedSink>(
     metrics: &RunMetrics,
 ) -> EmitOutput {
     let (tx, rx) = bounded::<EmitMsg>(rt.channel_capacity);
-    std::thread::scope(|es| {
-        es.spawn(move || {
-            let t0 = Instant::now();
-            let mut sink = ChannelSink::new(tx, rt.batch_size);
-            let out = stages::emit_workload(workload, num_cpus, seed, scale, &mut sink);
-            sink.finish(out);
-            metrics.record(Stage::Emit, t0.elapsed());
-        });
+    let emitter: thread::ScopedTask<'_> = Box::new(move || {
+        let t0 = Instant::now();
+        let mut sink = ChannelSink::new(tx, rt.batch_size);
+        let out = stages::emit_workload(workload, num_cpus, seed, scale, &mut sink);
+        sink.finish(out);
+        metrics.record(Stage::Emit, t0.elapsed());
+    });
+    thread::scope_with(vec![emitter], || {
         let mut done = None;
         // Drain every queued message per lock acquisition: with large
         // batches the channel lock is already cold, but recv_many also

@@ -14,8 +14,9 @@
 //! on the thread that called [`scope`] once the pool drains.
 
 use crate::deque::WorkDeque;
+use crate::sync::thread::{self, ScopedTask};
+use crate::sync::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
-use std::sync::{Condvar, Mutex};
 
 type Job<'env> = Box<dyn for<'w> FnOnce(&'w Worker<'w, 'env>) + Send + 'env>;
 
@@ -78,7 +79,7 @@ impl<'env> Pool<'env> {
         // sees the pushed job or is on the condvar before this notify
         // fires. (The deque has its own internal lock; the nesting
         // order pool-then-deque is used nowhere else, so no deadlock.)
-        let mut state = self.sync.lock().expect("pool poisoned");
+        let mut state = self.sync.lock();
         state.pending += 1;
         deque.push(job);
         self.work_ready.notify_one();
@@ -87,9 +88,9 @@ impl<'env> Pool<'env> {
     /// Blocks until every spawned job (including jobs spawned by jobs)
     /// has finished.
     pub fn join(&self) {
-        let mut state = self.sync.lock().expect("pool poisoned");
+        let mut state = self.sync.lock();
         while state.pending > 0 {
-            state = self.quiesced.wait(state).expect("pool poisoned");
+            state = self.quiesced.wait(state);
         }
     }
 
@@ -124,7 +125,7 @@ impl<'env> Pool<'env> {
     }
 
     fn finish_job(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
-        let mut state = self.sync.lock().expect("pool poisoned");
+        let mut state = self.sync.lock();
         state.pending -= 1;
         if state.panic.is_none() {
             if let Some(p) = panic {
@@ -144,7 +145,7 @@ impl<'env> Pool<'env> {
                 self.finish_job(outcome.err());
                 continue;
             }
-            let state = self.sync.lock().expect("pool poisoned");
+            let state = self.sync.lock();
             // Re-check under the lock: a spawner that pushed before we
             // acquired the lock is visible now; one that pushes after
             // will notify after we are on the condvar.
@@ -154,7 +155,7 @@ impl<'env> Pool<'env> {
             if state.shutdown {
                 return;
             }
-            drop(self.work_ready.wait(state).expect("pool poisoned"));
+            drop(self.work_ready.wait(state));
         }
     }
 
@@ -163,13 +164,13 @@ impl<'env> Pool<'env> {
     }
 
     fn shutdown(&self) {
-        let mut state = self.sync.lock().expect("pool poisoned");
+        let mut state = self.sync.lock();
         state.shutdown = true;
         self.work_ready.notify_all();
     }
 
     fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
-        self.sync.lock().expect("pool poisoned").panic.take()
+        self.sync.lock().panic.take()
     }
 }
 
@@ -202,11 +203,13 @@ impl<'pool, 'env> Worker<'pool, 'env> {
 /// remaining jobs have run.
 pub fn scope<'env, T>(workers: usize, f: impl FnOnce(&Pool<'env>) -> T) -> T {
     let pool = Pool::new(workers.max(1));
-    let out = std::thread::scope(|s| {
-        for i in 0..pool.workers() {
+    let tasks: Vec<ScopedTask<'_>> = (0..pool.workers())
+        .map(|i| {
             let p = &pool;
-            s.spawn(move || p.worker_loop(i));
-        }
+            Box::new(move || p.worker_loop(i)) as ScopedTask<'_>
+        })
+        .collect();
+    let out = thread::scope_with(tasks, || {
         let out = f(&pool);
         pool.join();
         pool.shutdown();
@@ -270,7 +273,7 @@ mod tests {
                 for _ in 0..64 {
                     w.spawn(move |w2| {
                         std::thread::sleep(std::time::Duration::from_micros(200));
-                        seen.lock().unwrap().insert(w2.index());
+                        seen.lock().insert(w2.index());
                     });
                 }
             });
@@ -278,7 +281,7 @@ mod tests {
         // Not guaranteed deterministically, but with 64 sleeping jobs and
         // 4 workers a single worker executing all of them would require
         // every steal to fail; accept >= 1 and record depth instead.
-        assert!(!seen.lock().unwrap().is_empty());
+        assert!(!seen.lock().is_empty());
     }
 
     #[test]

@@ -18,11 +18,11 @@
 //! queued write, which pins down the spill counters before reporting.
 
 use crate::channel::{self, Sender};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex, OnceLock};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use tempstream_trace::io::{read_trace, write_trace, ReadTraceError, TraceClass};
 use tempstream_trace::MissTrace;
 
@@ -52,11 +52,11 @@ struct PendingWrites {
 
 impl PendingWrites {
     fn begin(&self) {
-        *self.count.lock().expect("pending poisoned") += 1;
+        *self.count.lock() += 1;
     }
 
     fn end(&self) {
-        let mut n = self.count.lock().expect("pending poisoned");
+        let mut n = self.count.lock();
         *n -= 1;
         if *n == 0 {
             self.drained.notify_all();
@@ -64,9 +64,9 @@ impl PendingWrites {
     }
 
     fn wait_drained(&self) {
-        let mut n = self.count.lock().expect("pending poisoned");
+        let mut n = self.count.lock();
         while *n > 0 {
-            n = self.drained.wait(n).expect("pending poisoned");
+            n = self.drained.wait(n);
         }
     }
 }
@@ -79,7 +79,7 @@ pub struct TraceStore {
     counters: Arc<SpillCounters>,
     pending: Arc<PendingWrites>,
     tx: Option<Sender<SpillJob>>,
-    writer: Option<std::thread::JoinHandle<()>>,
+    writer: Option<thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for TraceStore {
@@ -108,7 +108,7 @@ impl TraceStore {
             std::env::temp_dir().join(format!("tempstream-spill-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&dir)?;
         let (tx, rx) = channel::bounded::<SpillJob>(WRITER_QUEUE_DEPTH);
-        let writer = std::thread::Builder::new()
+        let writer = thread::Builder::new()
             .name("tempstream-spill".into())
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
@@ -160,7 +160,7 @@ impl TraceStore {
                 Ok(bytes) => {
                     counters.spilled_traces.fetch_add(1, Ordering::Relaxed);
                     counters.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    *inner.state.lock().expect("spill state poisoned") = SpillState::OnDisk;
+                    *inner.state.lock() = SpillState::OnDisk;
                 }
                 Err(e) => {
                     eprintln!(
@@ -169,8 +169,7 @@ impl TraceStore {
                     );
                     let _ = std::fs::remove_file(&path);
                     counters.spill_fallbacks.fetch_add(1, Ordering::Relaxed);
-                    *inner.state.lock().expect("spill state poisoned") =
-                        SpillState::Resident(trace);
+                    *inner.state.lock() = SpillState::Resident(trace);
                 }
             }
             pending.end();
@@ -291,16 +290,21 @@ impl<C: TraceClass> SharedTrace<C> {
     /// Returns `true` when the trace lives only in its spill file: the
     /// background write has landed and no reader has reloaded it yet.
     pub fn is_spilled(&self) -> bool {
-        self.cache.get().is_none()
-            && matches!(
-                *self.inner.state.lock().expect("spill state poisoned"),
-                SpillState::OnDisk
-            )
+        self.cache.get().is_none() && matches!(*self.inner.state.lock(), SpillState::OnDisk)
     }
 
     fn load(&self) -> &Result<Arc<MissTrace<C>>, Arc<ReadTraceError>> {
-        self.cache.get_or_init(|| {
-            let state = self.inner.state.lock().expect("spill state poisoned");
+        // Resolve *outside* `OnceLock::get_or_init`, then publish with
+        // `set` (first writer wins). `get_or_init` would block any
+        // concurrent caller on the initializing thread — a dependency
+        // that is invisible to the schedcheck scheduler and that the
+        // model checker would misreport as a deadlock. Racing readers
+        // may both read the spill file; only one result is kept.
+        if let Some(v) = self.cache.get() {
+            return v;
+        }
+        let resolved = {
+            let state = self.inner.state.lock();
             match &*state {
                 SpillState::Writing(t) | SpillState::Resident(t) => Ok(t.clone()),
                 SpillState::OnDisk => {
@@ -309,13 +313,18 @@ impl<C: TraceClass> SharedTrace<C> {
                         .spill_path
                         .as_ref()
                         .expect("on-disk trace always has a spill path");
-                    let file = File::open(path).map_err(|e| Arc::new(ReadTraceError::Io(e)))?;
-                    read_trace(BufReader::new(file))
-                        .map(Arc::new)
-                        .map_err(Arc::new)
+                    File::open(path)
+                        .map_err(|e| Arc::new(ReadTraceError::Io(e)))
+                        .and_then(|file| {
+                            read_trace(BufReader::new(file))
+                                .map(Arc::new)
+                                .map_err(Arc::new)
+                        })
                 }
             }
-        })
+        };
+        let _ = self.cache.set(resolved);
+        self.cache.get().expect("cache just populated")
     }
 
     /// The trace, reloading it from the spill file on first touch.

@@ -1,0 +1,1057 @@
+//! The cooperative schedule-exploring scheduler behind the `schedcheck`
+//! feature.
+//!
+//! A model-checking *execution* runs a closed concurrent model (a
+//! closure that spawns threads and exercises the runtime's
+//! synchronization primitives through the [`super`] shim) under a
+//! scheduler that serializes everything: virtual threads live on real
+//! OS threads, but exactly one runs at a time, and every potential
+//! interleaving point — mutex acquire/release, condvar wait/notify,
+//! non-relaxed atomics, spawn, join — hands control back to a
+//! controller that picks the next thread to run. Because the model only
+//! communicates through shimmed primitives, its behavior is a
+//! deterministic function of that decision sequence, which makes
+//! schedules **replayable**: a failure is reported as the exact list of
+//! choices (plus the seed, for random runs) that reaches it.
+//!
+//! Two exploration strategies are provided, following the systematic
+//! concurrency-testing literature (CHESS-style iterative context
+//! bounding, PCT-style randomized scheduling):
+//!
+//! * [`explore_dfs`] — exhaustive enumeration of all schedules with at
+//!   most `max_preemptions` preemptive context switches, searched
+//!   best-first by preemption count so the first counterexample found
+//!   is minimal in preemptions;
+//! * [`explore_random`] — seeded uniform-random scheduling for models
+//!   whose bounded space is too large to exhaust; the same seed always
+//!   reproduces the same schedule byte-for-byte.
+//!
+//! Failures detected: **deadlock** (every live thread blocked — which
+//! is also how a lost wakeup or a dropped `notify_one` manifests),
+//! **panic** (a model assertion fired), and a decision-count limit
+//! (livelock guard). Each produces a [`Counterexample`] carrying the
+//! replayable [`Schedule`] and a human-readable decision trace.
+//!
+//! # Model rules
+//!
+//! Model closures must create all shared state *inside* the closure
+//! (primitives are tagged with the execution that created them;
+//! untagged primitives fall back to raw `std` behavior, which the
+//! scheduler cannot see), must be deterministic apart from scheduling
+//! (no wall-clock reads, no ambient randomness), and should stay small:
+//! 2–4 threads and a few dozen operations keep exhaustive exploration
+//! in the thousands of executions.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard, PoisonError,
+};
+use tempstream_trace::rng::SplitMix64;
+
+/// Panic payload used to unwind virtual threads when an execution
+/// aborts (counterexample found). Never escapes: every virtual-thread
+/// entry point catches and swallows it.
+struct AbortToken;
+
+thread_local! {
+    static CONTEXT: RefCell<Option<VCtx>> = const { RefCell::new(None) };
+    static SILENCED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses panic
+/// output from threads currently running inside an execution: model
+/// assertion failures and abort unwinds are expected events during
+/// exploration and are reported through [`Counterexample`] instead.
+fn install_quiet_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SILENCED.with(Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Identity of a shim object (mutex or condvar) within one execution.
+pub(crate) struct ObjectTag {
+    exec_id: u64,
+    pub(crate) index: usize,
+}
+
+/// A virtual thread's handle to its execution: the shared scheduler
+/// plus this thread's id.
+#[derive(Clone)]
+pub(crate) struct VCtx {
+    exec: Arc<ExecInner>,
+    me: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Turn {
+    Controller,
+    Thread(usize),
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    name: String,
+    /// Label of the operation the thread last yielded at.
+    at: String,
+}
+
+/// What kind of nondeterministic choice a decision resolved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DecisionKind {
+    /// Which runnable thread runs next.
+    Schedule,
+    /// Which condvar waiter a `notify_one` wakes.
+    Wakeup,
+}
+
+struct DecisionRecord {
+    kind: DecisionKind,
+    /// Thread ids eligible at this decision.
+    enabled: Vec<u32>,
+    /// Index into `enabled` that was taken.
+    chosen: u32,
+    /// Index into `enabled` of the previously-running thread, when it
+    /// was still eligible (choosing it costs no preemption).
+    current_index: Option<u32>,
+    /// Cumulative preemptions on the path before this decision.
+    preemptions_before: u32,
+    desc: String,
+}
+
+enum Policy {
+    /// Prefer the currently-running thread (non-preemptive baseline);
+    /// used as the DFS default continuation and for pure replays.
+    Run,
+    /// Seeded uniform-random choice.
+    Random(SplitMix64),
+}
+
+struct Strategy {
+    prefix: Vec<u32>,
+    policy: Policy,
+}
+
+struct SchedState {
+    turn: Turn,
+    aborted: bool,
+    current: usize,
+    threads: Vec<ThreadState>,
+    mutex_owners: Vec<Option<usize>>,
+    condvars: usize,
+    log: Vec<DecisionRecord>,
+    preemptions: u32,
+    strategy: Strategy,
+    failure: Option<(FailureKind, String)>,
+    max_decisions: usize,
+}
+
+pub(crate) struct ExecInner {
+    id: u64,
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+fn lock_state(exec: &ExecInner) -> StdGuard<'_, SchedState> {
+    exec.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The calling thread's execution context, if it is a virtual thread.
+pub(crate) fn current() -> Option<VCtx> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// The context, but only when `tag` belongs to the same execution.
+pub(crate) fn active_context(tag: Option<&ObjectTag>) -> Option<VCtx> {
+    let tag = tag?;
+    let ctx = current()?;
+    (ctx.exec.id == tag.exec_id).then_some(ctx)
+}
+
+/// Whether `tag` was registered by `ctx`'s execution.
+pub(crate) fn same_execution(ctx: &VCtx, tag: &ObjectTag) -> bool {
+    ctx.exec.id == tag.exec_id
+}
+
+/// The execution a context belongs to.
+pub(crate) fn execution_of(ctx: &VCtx) -> Arc<ExecInner> {
+    Arc::clone(&ctx.exec)
+}
+
+/// Registers a new shim mutex with the active execution, if any.
+pub(crate) fn register_mutex() -> Option<ObjectTag> {
+    current().map(|ctx| {
+        let mut st = lock_state(&ctx.exec);
+        st.mutex_owners.push(None);
+        ObjectTag {
+            exec_id: ctx.exec.id,
+            index: st.mutex_owners.len() - 1,
+        }
+    })
+}
+
+/// Registers a new shim condvar with the active execution, if any.
+pub(crate) fn register_condvar() -> Option<ObjectTag> {
+    current().map(|ctx| {
+        let mut st = lock_state(&ctx.exec);
+        let index = st.condvars;
+        st.condvars += 1;
+        ObjectTag {
+            exec_id: ctx.exec.id,
+            index,
+        }
+    })
+}
+
+/// Registers a new virtual thread (runnable, not yet started) and
+/// returns its id.
+pub(crate) fn register_thread(ctx: &VCtx, name: &str) -> usize {
+    let mut st = lock_state(&ctx.exec);
+    st.threads.push(ThreadState {
+        status: Status::Runnable,
+        name: name.to_string(),
+        at: "spawned".to_string(),
+    });
+    st.threads.len() - 1
+}
+
+/// Parks the calling virtual thread until the controller grants it the
+/// turn. Returns the reacquired state guard and `false` when the
+/// execution aborted instead.
+fn park<'a>(
+    exec: &'a ExecInner,
+    me: usize,
+    mut st: StdGuard<'a, SchedState>,
+) -> (StdGuard<'a, SchedState>, bool) {
+    exec.cv.notify_all();
+    loop {
+        if st.aborted {
+            return (st, false);
+        }
+        if st.turn == Turn::Thread(me) {
+            return (st, true);
+        }
+        st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Shared exit path for virtual ops that observe an abort: threads that
+/// are already unwinding degrade to plain `std` behavior (so `Drop`
+/// impls never double-panic); everything else unwinds with the abort
+/// token.
+fn degraded() -> bool {
+    if std::thread::panicking() {
+        false
+    } else {
+        panic::panic_any(AbortToken)
+    }
+}
+
+/// Unwinds the current virtual thread as part of an execution abort.
+pub(crate) fn abort_unwind() -> ! {
+    panic::panic_any(AbortToken)
+}
+
+/// A scheduling point: hands the turn to the controller and blocks
+/// until rescheduled. No-op outside an execution.
+pub(crate) fn yield_if_active(label: &str) {
+    if let Some(ctx) = current() {
+        yield_point(&ctx, label);
+    }
+}
+
+fn yield_point(ctx: &VCtx, label: &str) {
+    let exec = &ctx.exec;
+    let mut st = lock_state(exec);
+    if st.aborted {
+        drop(st);
+        let _ = degraded();
+        return;
+    }
+    st.threads[ctx.me].at = label.to_string();
+    st.turn = Turn::Controller;
+    let (st, ok) = park(exec, ctx.me, st);
+    drop(st);
+    if !ok {
+        let _ = degraded();
+    }
+}
+
+/// Virtually acquires mutex `idx`. Returns `true` when acquired (the
+/// caller may then take the real lock uncontended) or `false` when the
+/// execution aborted and the caller should degrade to plain `std`.
+pub(crate) fn mutex_lock(ctx: &VCtx, idx: usize) -> bool {
+    let exec = &ctx.exec;
+    loop {
+        let st = lock_state(exec);
+        if st.aborted {
+            drop(st);
+            return degraded();
+        }
+        let mut st = {
+            let mut st = st;
+            st.threads[ctx.me].at = format!("mutex#{idx}.lock");
+            st.turn = Turn::Controller;
+            let (st, ok) = park(exec, ctx.me, st);
+            if !ok {
+                drop(st);
+                return degraded();
+            }
+            st
+        };
+        if st.mutex_owners[idx].is_none() {
+            st.mutex_owners[idx] = Some(ctx.me);
+            return true;
+        }
+        // Held by someone else: block until an unlock wakes us, then
+        // retry (contenders barge in scheduler-chosen order, exactly
+        // like an OS mutex).
+        st.threads[ctx.me].status = Status::BlockedMutex(idx);
+        st.threads[ctx.me].at = format!("mutex#{idx}.blocked");
+        st.turn = Turn::Controller;
+        let (st, ok) = park(exec, ctx.me, st);
+        drop(st);
+        if !ok {
+            return degraded();
+        }
+    }
+}
+
+fn wake_mutex_waiters(st: &mut SchedState, idx: usize) {
+    for t in &mut st.threads {
+        if t.status == Status::BlockedMutex(idx) {
+            t.status = Status::Runnable;
+        }
+    }
+}
+
+/// Virtually releases mutex `idx`, waking every contender, and yields.
+pub(crate) fn mutex_unlock(ctx: &VCtx, idx: usize) {
+    let exec = &ctx.exec;
+    let mut st = lock_state(exec);
+    if st.aborted {
+        drop(st);
+        let _ = degraded();
+        return;
+    }
+    st.mutex_owners[idx] = None;
+    wake_mutex_waiters(&mut st, idx);
+    drop(st);
+    yield_point(ctx, &format!("mutex#{idx}.unlock"));
+}
+
+/// Virtually waits on condvar `cv`: releases mutex `midx`, parks until
+/// a notify picks this thread, then reacquires the mutex. Returns
+/// `false` when the execution aborted (caller degrades).
+pub(crate) fn condvar_wait(ctx: &VCtx, cv: usize, midx: usize) -> bool {
+    let exec = &ctx.exec;
+    {
+        let mut st = lock_state(exec);
+        if st.aborted {
+            drop(st);
+            return degraded();
+        }
+        // Release the mutex and wake contenders; no separate scheduling
+        // point is needed — the turn is handed over right here.
+        st.mutex_owners[midx] = None;
+        wake_mutex_waiters(&mut st, midx);
+        st.threads[ctx.me].status = Status::BlockedCondvar(cv);
+        st.threads[ctx.me].at = format!("condvar#{cv}.wait");
+        st.turn = Turn::Controller;
+        let (st, ok) = park(exec, ctx.me, st);
+        drop(st);
+        if !ok {
+            return degraded();
+        }
+    }
+    mutex_lock(ctx, midx)
+}
+
+/// Virtually notifies condvar `cv`. `notify_one` with several waiters
+/// is a recorded nondeterministic choice (the woken thread is
+/// scheduler-picked); with none it is lost, like a real condvar.
+pub(crate) fn condvar_notify(ctx: &VCtx, cv: usize, all: bool) {
+    let exec = &ctx.exec;
+    let mut st = lock_state(exec);
+    if st.aborted {
+        drop(st);
+        let _ = degraded();
+        return;
+    }
+    let waiters: Vec<u32> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::BlockedCondvar(cv))
+        .map(|(i, _)| i as u32)
+        .collect();
+    if waiters.is_empty() {
+        return;
+    }
+    if all {
+        for &w in &waiters {
+            st.threads[w as usize].status = Status::Runnable;
+        }
+        return;
+    }
+    let wi = if waiters.len() == 1 {
+        0
+    } else {
+        let desc = format!("t{} condvar#{cv}.notify_one", ctx.me);
+        choose(&mut st, DecisionKind::Wakeup, waiters.clone(), None, desc)
+    };
+    let w = waiters[wi] as usize;
+    st.threads[w].status = Status::Runnable;
+}
+
+/// Blocks (in scheduler space) until virtual thread `vid` finishes.
+pub(crate) fn join(ctx: &VCtx, vid: usize) {
+    let exec = &ctx.exec;
+    let mut st = lock_state(exec);
+    if st.threads[vid].status == Status::Finished {
+        return;
+    }
+    if st.aborted {
+        drop(st);
+        if std::thread::panicking() {
+            return;
+        }
+        panic::panic_any(AbortToken);
+    }
+    st.threads[ctx.me].status = Status::BlockedJoin(vid);
+    st.threads[ctx.me].at = format!("join t{vid}");
+    st.turn = Turn::Controller;
+    let (st, ok) = park(exec, ctx.me, st);
+    drop(st);
+    if !ok && !std::thread::panicking() {
+        panic::panic_any(AbortToken);
+    }
+}
+
+/// Entry point of every virtual thread: adopts the execution context,
+/// waits for its first grant, runs `f`, and reports the outcome. All
+/// panics are contained here — model assertions become the execution's
+/// failure, abort tokens are swallowed.
+pub(crate) fn vthread_main<F: FnOnce()>(exec: Arc<ExecInner>, me: usize, f: F) {
+    install_quiet_hook();
+    let prev_silenced = SILENCED.with(|s| s.replace(true));
+    let prev_ctx = CONTEXT.with(|c| {
+        c.replace(Some(VCtx {
+            exec: Arc::clone(&exec),
+            me,
+        }))
+    });
+    let ready = {
+        let st = lock_state(&exec);
+        let (st, ok) = park(&exec, me, st);
+        drop(st);
+        ok
+    };
+    if ready {
+        if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+            if !p.is::<AbortToken>() {
+                let mut st = lock_state(&exec);
+                if st.failure.is_none() {
+                    st.failure = Some((FailureKind::Panic, payload_message(p.as_ref())));
+                }
+                st.aborted = true;
+            }
+        }
+    } else {
+        // Aborted before ever running: tear the closure's captures down
+        // outside the execution context so their drops use plain `std`.
+        CONTEXT.with(|c| *c.borrow_mut() = None);
+        let _ = panic::catch_unwind(AssertUnwindSafe(move || drop(f)));
+    }
+    {
+        let mut st = lock_state(&exec);
+        st.threads[me].status = Status::Finished;
+        st.threads[me].at = "finished".to_string();
+        for t in &mut st.threads {
+            if t.status == Status::BlockedJoin(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        st.turn = Turn::Controller;
+    }
+    exec.cv.notify_all();
+    CONTEXT.with(|c| *c.borrow_mut() = prev_ctx);
+    SILENCED.with(|s| s.set(prev_silenced));
+}
+
+fn payload_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Resolves one nondeterministic choice: replays the forced prefix
+/// first, then asks the policy. Returns the index into `enabled`.
+fn choose(
+    st: &mut SchedState,
+    kind: DecisionKind,
+    enabled: Vec<u32>,
+    current_index: Option<u32>,
+    desc: String,
+) -> usize {
+    let n = st.log.len();
+    let pick = if n < st.strategy.prefix.len() {
+        let p = st.strategy.prefix[n] as usize;
+        if p >= enabled.len() {
+            if st.failure.is_none() {
+                st.failure = Some((
+                    FailureKind::Divergence,
+                    format!(
+                        "replay diverged at decision {n}: choice {p} of {} enabled \
+                         (is the model deterministic?)",
+                        enabled.len()
+                    ),
+                ));
+            }
+            st.aborted = true;
+            0
+        } else {
+            p
+        }
+    } else {
+        match &mut st.strategy.policy {
+            Policy::Run => current_index.map_or(0, |c| c as usize),
+            Policy::Random(rng) => (rng.next_u64() % enabled.len() as u64) as usize,
+        }
+    };
+    let preemptions_before = st.preemptions;
+    if kind == DecisionKind::Schedule {
+        if let Some(cur) = current_index {
+            if pick != cur as usize {
+                st.preemptions += 1;
+            }
+        }
+    }
+    st.log.push(DecisionRecord {
+        kind,
+        chosen: pick as u32,
+        enabled,
+        current_index,
+        preemptions_before,
+        desc,
+    });
+    pick
+}
+
+fn describe_blocked(st: &SchedState) -> String {
+    let mut parts = Vec::new();
+    for (i, t) in st.threads.iter().enumerate() {
+        let what = match t.status {
+            Status::Runnable | Status::Finished => continue,
+            Status::BlockedMutex(m) => format!("mutex#{m}"),
+            Status::BlockedCondvar(c) => format!("condvar#{c} (lost wakeup?)"),
+            Status::BlockedJoin(j) => format!("join of t{j}"),
+        };
+        parts.push(format!("t{i}({}) waiting on {what}", t.name));
+    }
+    format!("every live thread is blocked: {}", parts.join("; "))
+}
+
+/// The controller: runs on the exploring thread, granting the turn to
+/// one runnable virtual thread at a time until the execution finishes,
+/// deadlocks, or aborts.
+fn controller(exec: &ExecInner) {
+    let mut st = lock_state(exec);
+    loop {
+        while st.turn != Turn::Controller && !st.aborted {
+            st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.aborted {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                return;
+            }
+            exec.cv.notify_all();
+            st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            continue;
+        }
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            return;
+        }
+        let enabled: Vec<u32> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i as u32)
+            .collect();
+        if enabled.is_empty() {
+            let detail = describe_blocked(&st);
+            if st.failure.is_none() {
+                st.failure = Some((FailureKind::Deadlock, detail));
+            }
+            st.aborted = true;
+            exec.cv.notify_all();
+            continue;
+        }
+        if st.log.len() >= st.max_decisions {
+            if st.failure.is_none() {
+                st.failure = Some((
+                    FailureKind::DecisionLimit,
+                    format!(
+                        "exceeded {} scheduling decisions (livelock, or raise max_decisions)",
+                        st.max_decisions
+                    ),
+                ));
+            }
+            st.aborted = true;
+            exec.cv.notify_all();
+            continue;
+        }
+        let current_index = enabled
+            .iter()
+            .position(|&t| t as usize == st.current)
+            .map(|i| i as u32);
+        let desc = format!("t{}@{}", st.current, st.threads[st.current].at);
+        let pick = choose(
+            &mut st,
+            DecisionKind::Schedule,
+            enabled.clone(),
+            current_index,
+            desc,
+        );
+        if st.aborted {
+            exec.cv.notify_all();
+            continue;
+        }
+        let tid = enabled[pick] as usize;
+        st.current = tid;
+        st.turn = Turn::Thread(tid);
+        exec.cv.notify_all();
+    }
+}
+
+struct RunOutcome {
+    log: Vec<DecisionRecord>,
+    failure: Option<(FailureKind, String)>,
+}
+
+/// Runs the model once under `strategy` and collects the decision log.
+fn run_one<F: Fn() + Sync>(strategy: Strategy, max_decisions: usize, model: &F) -> RunOutcome {
+    install_quiet_hook();
+    static EXEC_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let exec = Arc::new(ExecInner {
+        id: EXEC_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        state: StdMutex::new(SchedState {
+            turn: Turn::Controller,
+            aborted: false,
+            current: 0,
+            threads: vec![ThreadState {
+                status: Status::Runnable,
+                name: "main".to_string(),
+                at: "start".to_string(),
+            }],
+            mutex_owners: Vec::new(),
+            condvars: 0,
+            log: Vec::new(),
+            preemptions: 0,
+            strategy,
+            failure: None,
+            max_decisions,
+        }),
+        cv: StdCondvar::new(),
+    });
+    std::thread::scope(|s| {
+        let e = Arc::clone(&exec);
+        s.spawn(move || vthread_main(e, 0, model));
+        controller(&exec);
+    });
+    let mut st = lock_state(&exec);
+    RunOutcome {
+        log: std::mem::take(&mut st.log),
+        failure: st.failure.take(),
+    }
+}
+
+fn render_trace(log: &[DecisionRecord]) -> Vec<String> {
+    log.iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let picked = d.enabled[d.chosen as usize];
+            let kind = match d.kind {
+                DecisionKind::Schedule => "run",
+                DecisionKind::Wakeup => "wake",
+            };
+            format!(
+                "{i:>4}: after {} -> {kind} t{picked} (choice {} of {:?}, {} preemptions)",
+                d.desc, d.chosen, d.enabled, d.preemptions_before
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Public exploration API
+// ---------------------------------------------------------------------
+
+/// A replayable schedule: the decision sequence of one execution, plus
+/// the seed when it came from a random run.
+///
+/// The text form is `seed=<u64 or -> choices=<comma-separated>`; see
+/// [`Schedule::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Seed of the random run that produced this schedule, if any.
+    pub seed: Option<u64>,
+    /// Chosen alternative (index into the enabled set) at each decision.
+    pub choices: Vec<u32>,
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.seed {
+            Some(s) => write!(f, "seed={s} ")?,
+            None => write!(f, "seed=- ")?,
+        }
+        write!(f, "choices=")?;
+        for (i, c) in self.choices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Schedule {
+    /// Parses the [`Display`](fmt::Display) form back into a schedule.
+    pub fn parse(text: &str) -> Option<Schedule> {
+        let mut seed = None;
+        let mut choices = None;
+        for part in text.split_whitespace() {
+            if let Some(s) = part.strip_prefix("seed=") {
+                seed = Some(if s == "-" {
+                    None
+                } else {
+                    Some(s.parse().ok()?)
+                });
+            } else if let Some(c) = part.strip_prefix("choices=") {
+                choices = Some(if c.is_empty() {
+                    Vec::new()
+                } else {
+                    c.split(',')
+                        .map(str::parse)
+                        .collect::<Result<Vec<u32>, _>>()
+                        .ok()?
+                });
+            }
+        }
+        Some(Schedule {
+            seed: seed?,
+            choices: choices?,
+        })
+    }
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every live thread was blocked (includes lost wakeups).
+    Deadlock,
+    /// A model assertion (or any other panic) fired.
+    Panic,
+    /// The per-execution decision limit was exceeded (livelock guard).
+    DecisionLimit,
+    /// A replayed schedule no longer matched the model's decisions.
+    Divergence,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Panic => "panic",
+            FailureKind::DecisionLimit => "decision limit",
+            FailureKind::Divergence => "replay divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failing execution: what went wrong, the exact schedule that
+/// reaches it, and a human-readable decision trace.
+#[derive(Debug)]
+pub struct Counterexample {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Failure specifics (blocked-thread list, panic message, ...).
+    pub detail: String,
+    /// Minimal replayable schedule (decision trace + seed).
+    pub schedule: Schedule,
+    /// Rendered decision-by-decision trace.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample: {} — {}", self.kind, self.detail)?;
+        writeln!(f, "  replay: {}", self.schedule)?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exploration statistics of a completed (or capped) search.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreStats {
+    /// Executions (distinct schedules) run.
+    pub executions: usize,
+    /// Total scheduling decisions across all executions.
+    pub decisions: u64,
+    /// `true` when the execution budget ran out before the bounded
+    /// space was exhausted.
+    pub capped: bool,
+    /// The preemption bound the search ran under.
+    pub max_preemptions: u32,
+}
+
+/// Options for [`explore_dfs`].
+#[derive(Debug, Clone, Copy)]
+pub struct DfsOptions {
+    /// Preemption bound: schedules with more preemptive context
+    /// switches than this are not explored (CHESS-style context
+    /// bounding — most concurrency bugs hide at very small bounds).
+    pub max_preemptions: u32,
+    /// Execution budget; the search reports `capped` when it runs out.
+    pub max_executions: usize,
+    /// Per-execution decision limit (livelock guard).
+    pub max_decisions: usize,
+}
+
+impl Default for DfsOptions {
+    fn default() -> Self {
+        DfsOptions {
+            max_preemptions: 2,
+            max_executions: 20_000,
+            max_decisions: 20_000,
+        }
+    }
+}
+
+/// Systematically explores every schedule of `model` with at most
+/// `max_preemptions` preemptions, best-first by preemption count, so
+/// the first counterexample returned is minimal in preemptions.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] found.
+pub fn explore_dfs<F: Fn() + Sync>(
+    opts: &DfsOptions,
+    model: &F,
+) -> Result<ExploreStats, Box<Counterexample>> {
+    let mut stats = ExploreStats {
+        executions: 0,
+        decisions: 0,
+        capped: false,
+        max_preemptions: opts.max_preemptions,
+    };
+    // Frontier ordered by (preemptions, depth): uniform-cost search over
+    // forced-choice prefixes.
+    let mut frontier: BinaryHeap<Reverse<(u32, usize, Vec<u32>)>> = BinaryHeap::new();
+    frontier.push(Reverse((0, 0, Vec::new())));
+    while let Some(Reverse((_cost, _depth, prefix))) = frontier.pop() {
+        if stats.executions >= opts.max_executions {
+            stats.capped = true;
+            break;
+        }
+        stats.executions += 1;
+        let plen = prefix.len();
+        let out = run_one(
+            Strategy {
+                prefix,
+                policy: Policy::Run,
+            },
+            opts.max_decisions,
+            model,
+        );
+        let log = match out.failure {
+            None => out.log,
+            Some((kind, detail)) => {
+                return Err(Box::new(Counterexample {
+                    kind,
+                    detail,
+                    schedule: Schedule {
+                        seed: None,
+                        choices: out.log.iter().map(|d| d.chosen).collect(),
+                    },
+                    trace: render_trace(&out.log),
+                }))
+            }
+        };
+        stats.decisions += log.len() as u64;
+        // Branch on every untaken alternative past the forced prefix.
+        for i in plen..log.len() {
+            let d = &log[i];
+            for alt in 0..d.enabled.len() as u32 {
+                if alt == d.chosen {
+                    continue;
+                }
+                let preempt = match (d.kind, d.current_index) {
+                    (DecisionKind::Schedule, Some(cur)) if alt != cur => 1,
+                    _ => 0,
+                };
+                let cost = d.preemptions_before + preempt;
+                if cost > opts.max_preemptions {
+                    continue;
+                }
+                let mut p: Vec<u32> = log[..i].iter().map(|r| r.chosen).collect();
+                p.push(alt);
+                let depth = p.len();
+                frontier.push(Reverse((cost, depth, p)));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Options for [`explore_random`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomOptions {
+    /// Number of random executions to run.
+    pub runs: usize,
+    /// Master seed; per-run seeds are derived from it, and a failing
+    /// run's own seed is reported in its [`Schedule`].
+    pub seed: u64,
+    /// Per-execution decision limit (livelock guard).
+    pub max_decisions: usize,
+}
+
+impl Default for RandomOptions {
+    fn default() -> Self {
+        RandomOptions {
+            runs: 256,
+            seed: 0x7e6d_7374_7265_616d,
+            max_decisions: 20_000,
+        }
+    }
+}
+
+/// Runs `model` under `runs` independent seeded-random schedules.
+/// Fully deterministic: the same options always explore the same
+/// schedules.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] found.
+pub fn explore_random<F: Fn() + Sync>(
+    opts: &RandomOptions,
+    model: &F,
+) -> Result<ExploreStats, Box<Counterexample>> {
+    let mut stats = ExploreStats {
+        executions: 0,
+        decisions: 0,
+        capped: false,
+        max_preemptions: 0,
+    };
+    let mut mix = SplitMix64::new(opts.seed);
+    for _ in 0..opts.runs {
+        let seed = mix.next_u64();
+        stats.executions += 1;
+        let report = run_random(seed, opts.max_decisions, model);
+        stats.decisions += report.schedule.choices.len() as u64;
+        if let Some(cx) = report.counterexample {
+            return Err(cx);
+        }
+    }
+    Ok(stats)
+}
+
+/// One execution's outcome: the schedule it took, its decision trace,
+/// and the counterexample if it failed.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The schedule the execution followed (replayable).
+    pub schedule: Schedule,
+    /// Rendered decision-by-decision trace.
+    pub trace: Vec<String>,
+    /// The failure, when the execution did not pass.
+    pub counterexample: Option<Box<Counterexample>>,
+}
+
+fn report_of(seed: Option<u64>, out: RunOutcome) -> RunReport {
+    let schedule = Schedule {
+        seed,
+        choices: out.log.iter().map(|d| d.chosen).collect(),
+    };
+    let trace = render_trace(&out.log);
+    let counterexample = out.failure.map(|(kind, detail)| {
+        Box::new(Counterexample {
+            kind,
+            detail,
+            schedule: schedule.clone(),
+            trace: trace.clone(),
+        })
+    });
+    RunReport {
+        schedule,
+        trace,
+        counterexample,
+    }
+}
+
+/// Runs `model` once under the seeded-random policy.
+pub fn run_random<F: Fn() + Sync>(seed: u64, max_decisions: usize, model: &F) -> RunReport {
+    let out = run_one(
+        Strategy {
+            prefix: Vec::new(),
+            policy: Policy::Random(SplitMix64::new(seed)),
+        },
+        max_decisions,
+        model,
+    );
+    report_of(Some(seed), out)
+}
+
+/// Replays `schedule` against `model`: forced choices first, then the
+/// schedule's own policy (seeded random, or prefer-current) for any
+/// decisions past the recorded ones.
+pub fn run_with_schedule<F: Fn() + Sync>(
+    schedule: &Schedule,
+    max_decisions: usize,
+    model: &F,
+) -> RunReport {
+    let policy = match schedule.seed {
+        Some(s) => Policy::Random(SplitMix64::new(s)),
+        None => Policy::Run,
+    };
+    let out = run_one(
+        Strategy {
+            prefix: schedule.choices.clone(),
+            policy,
+        },
+        max_decisions,
+        model,
+    );
+    report_of(schedule.seed, out)
+}

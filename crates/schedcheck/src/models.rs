@@ -1,0 +1,217 @@
+//! The closed models the checker explores.
+//!
+//! Each model is a small deterministic multi-threaded program built
+//! entirely on runtime primitives, with its correctness properties
+//! stated as assertions:
+//!
+//! * **channel** models — per-producer FIFO, no lost or duplicated
+//!   items, receivers drain everything queued after the last sender
+//!   drops, and blocked senders observe a closed receiver instead of
+//!   hanging;
+//! * **deque** models — no job is lost or duplicated across concurrent
+//!   owner pops and thief steals, owner order is LIFO, thief order is
+//!   FIFO;
+//! * **pool** models — every spawned job (including jobs spawned by
+//!   jobs) runs exactly once and the pool shuts down cleanly;
+//! * **spill** models — a trace is readable while its background write
+//!   is in flight (`Writing → OnDisk` never loses the data), and
+//!   `flush()` pins the spill counters.
+//!
+//! Deadlock-freedom and lost-wakeup-freedom need no assertions: the
+//! scheduler itself reports any execution where every live thread
+//! blocks.
+
+use tempstream_runtime::channel;
+use tempstream_runtime::deque::WorkDeque;
+use tempstream_runtime::pool;
+use tempstream_runtime::spill::TraceStore;
+use tempstream_runtime::sync::atomic::{AtomicUsize, Ordering};
+use tempstream_runtime::sync::{thread, Arc};
+use tempstream_trace::io::TraceClass;
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::{Block, CpuId, FunctionId, MissClass, MissTrace, ThreadId};
+
+/// A single producer streams three items through a capacity-1 channel
+/// and hangs up; the consumer must drain exactly `[0, 1, 2]` in order.
+pub fn channel_spsc_close() {
+    let (tx, rx) = channel::bounded::<u32>(1);
+    let producer = thread::spawn(move || {
+        for i in 0..3 {
+            tx.send(i).expect("receiver alive for the whole stream");
+        }
+    });
+    let mut got = Vec::new();
+    while let Ok(v) = rx.recv() {
+        got.push(v);
+    }
+    producer.join().expect("producer clean");
+    assert_eq!(got, [0, 1, 2], "items lost, duplicated, or reordered");
+}
+
+/// A sender blocked on a full channel must error out — not hang — once
+/// the only receiver drops.
+pub fn channel_receiver_drop() {
+    let (tx, rx) = channel::bounded::<u32>(1);
+    tx.send(0).expect("receiver alive");
+    let sender = thread::spawn(move || tx.send(1));
+    drop(rx);
+    let result = sender.join().expect("sender clean");
+    assert!(result.is_err(), "send must observe the closed receiver");
+}
+
+/// `recv_many` must hand back everything queued, in order, and then
+/// report disconnection once the producer hangs up.
+pub fn channel_recv_many_drains() {
+    let (tx, rx) = channel::bounded::<u32>(4);
+    let producer = thread::spawn(move || {
+        for i in 0..3 {
+            tx.send(i).expect("receiver alive");
+        }
+    });
+    let mut buf = Vec::new();
+    while rx.recv_many(&mut buf).is_ok() {}
+    producer.join().expect("producer clean");
+    assert_eq!(buf, [0, 1, 2], "drain lost, duplicated, or reordered items");
+}
+
+/// Two producers race two items each through a capacity-1 channel into
+/// one consumer: every item arrives exactly once and each producer's
+/// items stay in that producer's send order.
+pub fn channel_mpmc_2p1c() {
+    let (tx, rx) = channel::bounded::<(usize, u32)>(1);
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                for i in 0..2 {
+                    tx.send((p, i)).expect("receiver alive");
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut next = [0u32; 2];
+    let mut received = 0;
+    while let Ok((p, i)) = rx.recv() {
+        assert_eq!(i, next[p], "producer {p} items reordered");
+        next[p] += 1;
+        received += 1;
+    }
+    for h in producers {
+        h.join().expect("producer clean");
+    }
+    assert_eq!(received, 4, "items lost or duplicated");
+}
+
+/// An owner popping (LIFO) races a thief stealing (FIFO) over four
+/// queued jobs: the union is exactly the original set, the owner's
+/// sequence strictly decreases, the thief's strictly increases.
+pub fn deque_steal_race() {
+    let deque = Arc::new(WorkDeque::new());
+    for i in 0..4u32 {
+        deque.push(i);
+    }
+    let d = Arc::clone(&deque);
+    let thief = thread::spawn(move || {
+        let mut stolen = Vec::new();
+        while let Some(v) = d.steal() {
+            stolen.push(v);
+        }
+        stolen
+    });
+    let mut popped = Vec::new();
+    while let Some(v) = deque.pop() {
+        popped.push(v);
+    }
+    let stolen = thief.join().expect("thief clean");
+    let mut all = popped.clone();
+    all.extend(&stolen);
+    all.sort_unstable();
+    assert_eq!(all, [0, 1, 2, 3], "jobs lost or duplicated across steals");
+    assert!(
+        popped.windows(2).all(|w| w[0] > w[1]),
+        "owner must pop LIFO: {popped:?}"
+    );
+    assert!(
+        stolen.windows(2).all(|w| w[0] < w[1]),
+        "thief must steal FIFO: {stolen:?}"
+    );
+}
+
+fn pool_model(workers: usize, jobs: usize) {
+    let ran = AtomicUsize::new(0);
+    pool::scope(workers, |p| {
+        for _ in 0..jobs {
+            p.spawn(|w| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                // A dependent job exercises the worker-deque path.
+                w.spawn(|_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }
+    });
+    // `scope` returning at all is the clean-shutdown property; the
+    // count is exactly-once execution.
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        2 * jobs,
+        "jobs lost or duplicated"
+    );
+}
+
+/// One worker, two injector jobs each spawning a dependent job: all
+/// four run exactly once and the pool quiesces and shuts down.
+pub fn pool_single_worker() {
+    pool_model(1, 2);
+}
+
+/// Two workers, two fan-out jobs: adds the steal path and the
+/// worker-vs-worker wakeup races.
+pub fn pool_two_workers() {
+    pool_model(2, 2);
+}
+
+fn tiny_trace(len: usize) -> MissTrace<MissClass> {
+    let mut t = MissTrace::new(2);
+    t.set_instructions(99);
+    for i in 0..len {
+        t.push(MissRecord {
+            block: Block::new(i as u64 * 7),
+            cpu: CpuId::new((i % 2) as u32),
+            thread: ThreadId::new(i as u32),
+            function: FunctionId::new(0),
+            class: MissClass::from_byte((i % 4) as u8).unwrap(),
+        });
+    }
+    t
+}
+
+/// A spilling `put` races `flush` and the drop-join of the writer
+/// thread: the trace stays readable while the write is in flight
+/// (`Writing → OnDisk` is never a window of unreadability) and after
+/// `flush` the spill counter is pinned at exactly one.
+pub fn spill_flush_pins_counters() {
+    let store = TraceStore::new(0).expect("spill dir");
+    let shared = store.put(tiny_trace(6));
+    // Readable at every point of the write's lifetime.
+    assert_eq!(shared.trace_or_empty().len(), 6, "in-flight trace lost");
+    store.flush();
+    assert_eq!(store.spilled_traces(), 1, "flush must pin the counter");
+    assert_eq!(store.spill_fallbacks(), 0);
+    drop(store);
+}
+
+/// A reader thread races the background spill write and `flush`: in
+/// every interleaving it sees the full trace, whether it claims the
+/// resident copy or reloads the landed file.
+pub fn spill_concurrent_reader() {
+    let store = TraceStore::new(0).expect("spill dir");
+    let shared = Arc::new(store.put(tiny_trace(5)));
+    let reader_view = Arc::clone(&shared);
+    let reader = thread::spawn(move || reader_view.trace_or_empty().len());
+    store.flush();
+    assert_eq!(reader.join().expect("reader clean"), 5, "reader lost data");
+    assert_eq!(shared.trace_or_empty().len(), 5);
+    assert_eq!(store.spilled_traces(), 1);
+}

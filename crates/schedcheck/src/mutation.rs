@@ -1,0 +1,72 @@
+//! The mutation test: a deliberately broken primitive the checker must
+//! catch.
+//!
+//! [`LossyQueue`] is a minimal condvar-guarded queue with an injectable
+//! bug: when constructed lossy, `push` skips its `notify_one`. The
+//! classic lost-wakeup schedule — consumer checks the queue, finds it
+//! empty, and parks; producer then pushes without notifying — deadlocks
+//! the consumer forever. [`lossy_model`] must therefore fail
+//! exploration (it does, with one preemption), while [`control_model`]
+//! — the same program with the notify intact — must pass at the same
+//! bound. Together they prove the checker discriminates real lost
+//! wakeups rather than passing everything or flagging anything.
+
+use tempstream_runtime::sync::{thread, Arc, Condvar, Mutex};
+
+/// A one-condvar queue whose `push` can be built to drop its wakeup.
+pub struct LossyQueue {
+    items: Mutex<Vec<u32>>,
+    ready: Condvar,
+    lose_notify: bool,
+}
+
+impl LossyQueue {
+    /// Creates the queue; `lose_notify` injects the lost-wakeup bug.
+    pub fn new(lose_notify: bool) -> Self {
+        LossyQueue {
+            items: Mutex::new(Vec::new()),
+            ready: Condvar::new(),
+            lose_notify,
+        }
+    }
+
+    /// Appends `value`, waking a waiting consumer — unless this queue
+    /// was built lossy, in which case the wakeup is silently dropped.
+    pub fn push(&self, value: u32) {
+        let mut items = self.items.lock();
+        items.push(value);
+        if !self.lose_notify {
+            self.ready.notify_one();
+        }
+    }
+
+    /// Blocks until an item is available and takes it.
+    pub fn pop_blocking(&self) -> u32 {
+        let mut items = self.items.lock();
+        loop {
+            if let Some(v) = items.pop() {
+                return v;
+            }
+            items = self.ready.wait(items);
+        }
+    }
+}
+
+fn queue_model(lose_notify: bool) {
+    let queue = Arc::new(LossyQueue::new(lose_notify));
+    let consumer_queue = Arc::clone(&queue);
+    let consumer = thread::spawn(move || consumer_queue.pop_blocking());
+    queue.push(7);
+    assert_eq!(consumer.join().expect("consumer clean"), 7);
+}
+
+/// The broken queue: exploration MUST find the lost-wakeup deadlock
+/// (consumer parks first, push never notifies).
+pub fn lossy_model() {
+    queue_model(true);
+}
+
+/// The correct queue: exploration must find nothing at the same bound.
+pub fn control_model() {
+    queue_model(false);
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-4c1848c9d0f324ed.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-4c1848c9d0f324ed: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

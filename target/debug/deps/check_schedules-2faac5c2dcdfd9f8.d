@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_schedules-2faac5c2dcdfd9f8.d: crates/schedcheck/src/main.rs
+
+/root/repo/target/debug/deps/check_schedules-2faac5c2dcdfd9f8: crates/schedcheck/src/main.rs
+
+crates/schedcheck/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_schedules-7c89dd84677c2e31.d: crates/schedcheck/src/main.rs
+
+/root/repo/target/debug/deps/check_schedules-7c89dd84677c2e31: crates/schedcheck/src/main.rs
+
+crates/schedcheck/src/main.rs:

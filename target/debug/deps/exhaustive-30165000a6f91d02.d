@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-30165000a6f91d02.d: crates/checker/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-30165000a6f91d02: crates/checker/tests/exhaustive.rs
+
+crates/checker/tests/exhaustive.rs:

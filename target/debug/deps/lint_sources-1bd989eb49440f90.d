@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_sources-1bd989eb49440f90.d: crates/checker/src/bin/lint_sources.rs
+
+/root/repo/target/debug/deps/lint_sources-1bd989eb49440f90: crates/checker/src/bin/lint_sources.rs
+
+crates/checker/src/bin/lint_sources.rs:

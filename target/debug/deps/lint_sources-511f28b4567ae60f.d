@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_sources-511f28b4567ae60f.d: crates/checker/src/bin/lint_sources.rs
+
+/root/repo/target/debug/deps/lint_sources-511f28b4567ae60f: crates/checker/src/bin/lint_sources.rs
+
+crates/checker/src/bin/lint_sources.rs:

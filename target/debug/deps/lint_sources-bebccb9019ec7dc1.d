@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint_sources-bebccb9019ec7dc1.d: crates/checker/src/bin/lint_sources.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_sources-bebccb9019ec7dc1.rmeta: crates/checker/src/bin/lint_sources.rs Cargo.toml
+
+crates/checker/src/bin/lint_sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

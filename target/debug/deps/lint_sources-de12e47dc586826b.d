@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint_sources-de12e47dc586826b.d: crates/checker/src/bin/lint_sources.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_sources-de12e47dc586826b.rmeta: crates/checker/src/bin/lint_sources.rs Cargo.toml
+
+crates/checker/src/bin/lint_sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-b6da639385d695a5.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-b6da639385d695a5: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

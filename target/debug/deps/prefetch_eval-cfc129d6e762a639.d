@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetch_eval-cfc129d6e762a639.d: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetch_eval-cfc129d6e762a639.rmeta: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+crates/bench/src/bin/prefetch_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-9ddc33326eca6c82.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-9ddc33326eca6c82: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

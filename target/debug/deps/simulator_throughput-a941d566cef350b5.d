@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_throughput-a941d566cef350b5.d: crates/bench/benches/simulator_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_throughput-a941d566cef350b5.rmeta: crates/bench/benches/simulator_throughput.rs Cargo.toml
+
+crates/bench/benches/simulator_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

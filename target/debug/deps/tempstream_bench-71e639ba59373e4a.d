@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tempstream_bench-71e639ba59373e4a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tempstream_bench-71e639ba59373e4a: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_bench-b1adae1f9fee8f7b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-b1adae1f9fee8f7b.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-b1adae1f9fee8f7b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,8 +1,11 @@
-/root/repo/target/debug/deps/tempstream_checker-172d9ccf95310fc0.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+/root/repo/target/debug/deps/tempstream_checker-172d9ccf95310fc0.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
 
-/root/repo/target/debug/deps/tempstream_checker-172d9ccf95310fc0: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+/root/repo/target/debug/deps/tempstream_checker-172d9ccf95310fc0: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
 
 crates/checker/src/lib.rs:
 crates/checker/src/bfs.rs:
+crates/checker/src/lint.rs:
 crates/checker/src/mosi.rs:
 crates/checker/src/msi.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/checker

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/tempstream_checker-2ba8d92addd1adc0.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+/root/repo/target/debug/deps/tempstream_checker-2ba8d92addd1adc0.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
 
-/root/repo/target/debug/deps/libtempstream_checker-2ba8d92addd1adc0.rlib: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+/root/repo/target/debug/deps/libtempstream_checker-2ba8d92addd1adc0.rlib: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
 
-/root/repo/target/debug/deps/libtempstream_checker-2ba8d92addd1adc0.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+/root/repo/target/debug/deps/libtempstream_checker-2ba8d92addd1adc0.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
 
 crates/checker/src/lib.rs:
 crates/checker/src/bfs.rs:
+crates/checker/src/lint.rs:
 crates/checker/src/mosi.rs:
 crates/checker/src/msi.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/tempstream_checker-32e3e3027413d8d2.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs Cargo.toml
+/root/repo/target/debug/deps/tempstream_checker-32e3e3027413d8d2.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtempstream_checker-32e3e3027413d8d2.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs Cargo.toml
+/root/repo/target/debug/deps/libtempstream_checker-32e3e3027413d8d2.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs Cargo.toml
 
 crates/checker/src/lib.rs:
 crates/checker/src/bfs.rs:
+crates/checker/src/lint.rs:
 crates/checker/src/mosi.rs:
 crates/checker/src/msi.rs:
 Cargo.toml:

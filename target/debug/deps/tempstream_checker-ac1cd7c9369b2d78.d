@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/tempstream_checker-ac1cd7c9369b2d78.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs Cargo.toml
+/root/repo/target/debug/deps/tempstream_checker-ac1cd7c9369b2d78.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtempstream_checker-ac1cd7c9369b2d78.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs Cargo.toml
+/root/repo/target/debug/deps/libtempstream_checker-ac1cd7c9369b2d78.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs Cargo.toml
 
 crates/checker/src/lib.rs:
 crates/checker/src/bfs.rs:
+crates/checker/src/lint.rs:
 crates/checker/src/mosi.rs:
 crates/checker/src/msi.rs:
 Cargo.toml:
 
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/checker
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tempstream_runtime-5cdc190a2abae174.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/sched.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
+
+/root/repo/target/debug/deps/tempstream_runtime-5cdc190a2abae174: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/sched.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/metrics.rs:
+crates/runtime/src/pipeline.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/spill.rs:
+crates/runtime/src/sync/mod.rs:
+crates/runtime/src/sync/sched.rs:
+crates/runtime/src/sync/atomic.rs:
+crates/runtime/src/sync/thread.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/tempstream_runtime-63b0c796be51bd36.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/sched.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_runtime-63b0c796be51bd36.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/sched.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/metrics.rs:
+crates/runtime/src/pipeline.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/spill.rs:
+crates/runtime/src/sync/mod.rs:
+crates/runtime/src/sync/sched.rs:
+crates/runtime/src/sync/atomic.rs:
+crates/runtime/src/sync/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/tempstream_runtime-c012763918585c4d.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+/root/repo/target/debug/deps/tempstream_runtime-c012763918585c4d.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
 
-/root/repo/target/debug/deps/tempstream_runtime-c012763918585c4d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+/root/repo/target/debug/deps/tempstream_runtime-c012763918585c4d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/channel.rs:
@@ -9,3 +9,6 @@ crates/runtime/src/metrics.rs:
 crates/runtime/src/pipeline.rs:
 crates/runtime/src/pool.rs:
 crates/runtime/src/spill.rs:
+crates/runtime/src/sync/mod.rs:
+crates/runtime/src/sync/atomic.rs:
+crates/runtime/src/sync/thread.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tempstream_schedcheck-0f01939bd79bfe7f.d: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_schedcheck-0f01939bd79bfe7f.rmeta: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs Cargo.toml
+
+crates/schedcheck/src/lib.rs:
+crates/schedcheck/src/models.rs:
+crates/schedcheck/src/mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tempstream_schedcheck-bd6c9955dfd2efff.d: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+/root/repo/target/debug/deps/libtempstream_schedcheck-bd6c9955dfd2efff.rlib: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+/root/repo/target/debug/deps/libtempstream_schedcheck-bd6c9955dfd2efff.rmeta: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+crates/schedcheck/src/lib.rs:
+crates/schedcheck/src/models.rs:
+crates/schedcheck/src/mutation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tempstream_schedcheck-cead70757d29f00a.d: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+/root/repo/target/debug/deps/tempstream_schedcheck-cead70757d29f00a: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+crates/schedcheck/src/lib.rs:
+crates/schedcheck/src/models.rs:
+crates/schedcheck/src/mutation.rs:

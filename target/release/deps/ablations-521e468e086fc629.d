@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-521e468e086fc629.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-521e468e086fc629: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

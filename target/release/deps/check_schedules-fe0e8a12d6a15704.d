@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_schedules-fe0e8a12d6a15704.d: crates/schedcheck/src/main.rs
+
+/root/repo/target/release/deps/check_schedules-fe0e8a12d6a15704: crates/schedcheck/src/main.rs
+
+crates/schedcheck/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lint_sources-500e15d406b21027.d: crates/checker/src/bin/lint_sources.rs
+
+/root/repo/target/release/deps/lint_sources-500e15d406b21027: crates/checker/src/bin/lint_sources.rs
+
+crates/checker/src/bin/lint_sources.rs:

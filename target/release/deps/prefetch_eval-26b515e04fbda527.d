@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-26b515e04fbda527.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-26b515e04fbda527: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

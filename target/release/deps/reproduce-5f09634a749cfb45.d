@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-5f09634a749cfb45.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-5f09634a749cfb45: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tempstream_bench-2fcc8947f5e63d74.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-2fcc8947f5e63d74.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-2fcc8947f5e63d74.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/tempstream_checker-039ba7cce3d1b770.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+/root/repo/target/release/deps/tempstream_checker-039ba7cce3d1b770.d: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
 
-/root/repo/target/release/deps/libtempstream_checker-039ba7cce3d1b770.rlib: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+/root/repo/target/release/deps/libtempstream_checker-039ba7cce3d1b770.rlib: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
 
-/root/repo/target/release/deps/libtempstream_checker-039ba7cce3d1b770.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
+/root/repo/target/release/deps/libtempstream_checker-039ba7cce3d1b770.rmeta: crates/checker/src/lib.rs crates/checker/src/bfs.rs crates/checker/src/lint.rs crates/checker/src/mosi.rs crates/checker/src/msi.rs
 
 crates/checker/src/lib.rs:
 crates/checker/src/bfs.rs:
+crates/checker/src/lint.rs:
 crates/checker/src/mosi.rs:
 crates/checker/src/msi.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/tempstream_runtime-323ab73ba30bb5d5.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+/root/repo/target/release/deps/tempstream_runtime-323ab73ba30bb5d5.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
 
-/root/repo/target/release/deps/libtempstream_runtime-323ab73ba30bb5d5.rlib: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+/root/repo/target/release/deps/libtempstream_runtime-323ab73ba30bb5d5.rlib: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
 
-/root/repo/target/release/deps/libtempstream_runtime-323ab73ba30bb5d5.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs
+/root/repo/target/release/deps/libtempstream_runtime-323ab73ba30bb5d5.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/channel.rs:
@@ -11,3 +11,6 @@ crates/runtime/src/metrics.rs:
 crates/runtime/src/pipeline.rs:
 crates/runtime/src/pool.rs:
 crates/runtime/src/spill.rs:
+crates/runtime/src/sync/mod.rs:
+crates/runtime/src/sync/atomic.rs:
+crates/runtime/src/sync/thread.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/tempstream_runtime-87328ae2c8677780.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/sched.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
+
+/root/repo/target/release/deps/libtempstream_runtime-87328ae2c8677780.rlib: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/sched.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
+
+/root/repo/target/release/deps/libtempstream_runtime-87328ae2c8677780.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/sched.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/metrics.rs:
+crates/runtime/src/pipeline.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/spill.rs:
+crates/runtime/src/sync/mod.rs:
+crates/runtime/src/sync/sched.rs:
+crates/runtime/src/sync/atomic.rs:
+crates/runtime/src/sync/thread.rs:
