@@ -13,9 +13,14 @@
 #      to the serial runner
 #   8. metrics gate: --metrics-json emits valid JSON with the expected
 #      top-level keys and leaves stdout untouched
-#   9. perf smoke gate: the parallel pipeline must not be slower than
+#   9. serve soak gate: a live server on loopback, driven by the
+#      in-tree load generator with --verify (online answers must match
+#      the offline batch comparator bit-exactly); the metrics snapshot
+#      must show zero dropped frames, and the server must drain cleanly
+#  10. perf smoke gate: the parallel pipeline must not be slower than
 #      the serial runner (reduced sample count via
-#      TEMPSTREAM_BENCH_SAMPLES)
+#      TEMPSTREAM_BENCH_SAMPLES), plus the serve ingest bench emitting
+#      BENCH_serve.json at 1/2/4 shards
 #
 # Opt-in: `./ci.sh --sanitize` appends a sanitizer stage (TSan with an
 # instrumented std, or Miri, whichever toolchain components exist;
@@ -83,6 +88,37 @@ jq -e '(.metrics.spans | has("stage")) and (.metrics.counters | has("sim")) and 
   "$det_dir/metrics.json" >/dev/null \
   || { echo "metrics gate FAILED: registry missing stage/sim/sequitur sections"; exit 1; }
 
+echo "== serve soak: loopback ingest + verify + drain =="
+# A real server process on an ephemeral loopback port, a real client.
+# serve-load --verify recomputes the answers offline (same shard hash,
+# same batch stages) and fails on any mismatch; one connection makes
+# the check bit-exact. The snapshot then proves flow control did its
+# job: every frame accepted or refused with Busy, none dropped.
+./target/release/serve --shards 2 >"$det_dir/serve.out" 2>"$det_dir/serve.err" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr=$(awk '/^LISTENING /{ print $2 }' "$det_dir/serve.out")
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -n "$serve_addr" ] \
+  || { echo "serve soak FAILED: server never printed LISTENING"; cat "$det_dir/serve.err"; kill "$serve_pid" 2>/dev/null; exit 1; }
+./target/release/serve-load --addr "$serve_addr" --shards 2 --verify \
+    --bytes 262144 --batch 256 --metrics-out "$det_dir/serve_metrics.json" --shutdown >/dev/null \
+  || { echo "serve soak FAILED: serve-load exited non-zero"; kill "$serve_pid" 2>/dev/null; exit 1; }
+wait "$serve_pid" \
+  || { echo "serve soak FAILED: server exited non-zero"; exit 1; }
+grep -q '^DRAINED$' "$det_dir/serve.out" \
+  || { echo "serve soak FAILED: server never reported a clean drain"; exit 1; }
+jq -e '.verify == "exact"
+       and .metrics.counters.serve.frames.dropped == 0
+       and .metrics.counters.serve.records.ingested > 0
+       and .metrics.counters.serve.records.ingested == .metrics.counters.serve.records.applied' \
+    "$det_dir/serve_metrics.json" >/dev/null \
+  || { echo "serve soak FAILED: metrics snapshot rejected"; jq . "$det_dir/serve_metrics.json"; exit 1; }
+echo "serve soak: exact verify, $(jq -r '.metrics.counters.serve.records.ingested' "$det_dir/serve_metrics.json") records, 0 dropped frames, clean drain"
+
 echo "== perf smoke: parallel/4w vs serial =="
 # Three samples keep this a smoke test, not a benchmark: it exists to
 # catch the parallel path regressing back to slower-than-serial, not to
@@ -100,6 +136,15 @@ threshold=$([ "$cores" -le 1 ] && echo 0.85 || echo 1.0)
 awk -v s="$speedup" -v t="$threshold" 'BEGIN { exit !(s >= t) }' \
   || { echo "perf smoke FAILED: parallel/4w speedup $speedup < $threshold (cores: $cores)"; exit 1; }
 echo "parallel/4w speedup vs serial: $speedup (threshold $threshold, cores: $cores)"
+
+# Serve ingest throughput at 1/2/4 shards. No speedup threshold — a
+# single client connection is round-trip bound, so sharding buys little
+# on loopback — but all three configurations must complete and report.
+TEMPSTREAM_BENCH_SAMPLES=3 TEMPSTREAM_BENCH_DIR="$det_dir" \
+  cargo bench -q -p tempstream-bench --bench serve_ingest >/dev/null
+jq -e '.results | length == 3' "$det_dir/BENCH_serve.json" >/dev/null \
+  || { echo "perf smoke FAILED: BENCH_serve.json incomplete"; exit 1; }
+echo "serve ingest: $(jq -r '.results[] | "\(.name) \(.elements_per_sec | floor) rec/s"' "$det_dir/BENCH_serve.json" | paste -sd, -)"
 
 if [ "$SANITIZE" = "1" ]; then
   echo "== sanitize (opt-in) =="

@@ -1,0 +1,86 @@
+//! End-to-end server ingest throughput: a loopback `tempstream-serve`
+//! instance at 1, 2, and 4 shards, fed a fixed seeded record set over
+//! one TCP connection with acknowledged batches. Each sample covers
+//! the whole lifecycle — bind, ingest, drain, shutdown — so the number
+//! is what a client actually observes, and the 1-shard run is the
+//! baseline the JSON speedup ratios are measured against.
+
+use std::hint::black_box;
+use std::net::TcpStream;
+
+use tempstream_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
+use tempstream_serve::wire::{read_frame, write_frame, Frame};
+use tempstream_serve::{Server, ServerConfig};
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::rng::SplitMix64;
+use tempstream_trace::{Block, CpuId, FunctionId, MissClass, ThreadId};
+
+const RECORDS: usize = 16_384;
+const BATCH: usize = 512;
+
+fn seeded_records(seed: u64, n: usize) -> Vec<MissRecord<MissClass>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| MissRecord {
+            block: Block::new(rng.next_u64() % 4096),
+            cpu: CpuId::new((rng.next_u64() % 4) as u32),
+            thread: ThreadId::new((rng.next_u64() % 8) as u32),
+            function: FunctionId::new((rng.next_u64() % 64) as u32),
+            class: MissClass::Replacement,
+        })
+        .collect()
+}
+
+/// One full server lifecycle: bind, ingest every batch with acks,
+/// drain, shutdown. Returns the applied-record count from a final
+/// coverage query so the work cannot be optimized away.
+fn ingest_once(records: &[MissRecord<MissClass>], shards: usize) -> u64 {
+    let config = ServerConfig {
+        shards,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).ok();
+    for chunk in records.chunks(BATCH) {
+        loop {
+            write_frame(&mut conn, &Frame::Ingest(chunk.to_vec())).expect("send");
+            match read_frame(&mut conn).expect("recv") {
+                Frame::IngestAck(n) => {
+                    assert_eq!(n as usize, chunk.len());
+                    break;
+                }
+                Frame::Busy => std::thread::yield_now(),
+                other => panic!("unexpected ingest reply: {other:?}"),
+            }
+        }
+    }
+    write_frame(&mut conn, &Frame::QueryCoverage).expect("send");
+    let total = match read_frame(&mut conn).expect("recv") {
+        Frame::CoverageReply { total, .. } => total,
+        other => panic!("unexpected coverage reply: {other:?}"),
+    };
+    write_frame(&mut conn, &Frame::Shutdown).expect("send");
+    assert_eq!(read_frame(&mut conn).expect("recv"), Frame::ShutdownAck);
+    handle.join().expect("server thread").expect("server run");
+    total
+}
+
+fn serve_ingest(c: &mut Criterion) {
+    let records = seeded_records(0x5e7e, RECORDS);
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10)
+        .throughput(Throughput::Elements(RECORDS as u64))
+        .baseline("ingest/1shard");
+    for shards in [1usize, 2, 4] {
+        g.bench_function(format!("ingest/{shards}shard"), |b| {
+            b.iter(|| black_box(ingest_once(&records, shards)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, serve_ingest);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! Scans the workspace (see [`tempstream_checker::lint`]) and exits
 //! non-zero listing every direct `std::sync`/`std::thread` primitive
-//! used in `crates/runtime/src/` outside the sync shim, and every
+//! used in `crates/runtime/src/` outside the sync shim or in the
+//! server library (`crates/serve/src/`, binaries exempt), and every
 //! `Instant::now` inside the pure pipeline stages.
 //!
 //! ```text
@@ -27,7 +28,10 @@ fn main() {
         }
     };
     if findings.is_empty() {
-        println!("lint-sources: clean (runtime uses the sync shim; stages never read the clock)");
+        println!(
+            "lint-sources: clean (runtime and serve use the sync shim; \
+             stages never read the clock)"
+        );
         return;
     }
     for finding in &findings {

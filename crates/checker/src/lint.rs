@@ -5,12 +5,18 @@
 //! [`tempstream_runtime::sync`] shim — a `std::sync::Mutex` acquired
 //! directly is invisible to the cooperative scheduler and silently
 //! shrinks the explored interleaving space. This lint closes that hole
-//! statically: it scans `crates/runtime/src/` and fails on direct use
-//! of `std::sync::Mutex`, `std::sync::Condvar`, `std::sync::atomic`,
-//! or `std::thread::{spawn,scope,Builder}` anywhere outside
+//! statically: it scans `crates/runtime/src/` and `crates/serve/src/`
+//! (the server's queue and workers make the same promise, which is what
+//! lets `tempstream-schedcheck` explore the ingest-queue drain
+//! handshake) and fails on direct use of `std::sync::Mutex`,
+//! `std::sync::Condvar`, `std::sync::atomic`, or
+//! `std::thread::{spawn,scope,Builder}` anywhere outside
 //!
 //! * the shim itself (`crates/runtime/src/sync/`), which is the one
-//!   place allowed to touch the real primitives, and
+//!   place allowed to touch the real primitives,
+//! * the server's binaries (`crates/serve/src/bin/`) — the `serve-load`
+//!   client is an external process driving the server over TCP, not
+//!   model-checked code, so it may use OS threads directly — and
 //! * `#[cfg(test)]` blocks, where tests may freely use OS threads to
 //!   exercise the shim from outside.
 //!
@@ -173,12 +179,22 @@ fn scan(rel_path: &str, source: &str, tokens: &[&'static str], grouped: bool) ->
 ///
 /// * under `crates/runtime/src/` but not `crates/runtime/src/sync/`:
 ///   the raw-primitive scan;
+/// * under `crates/serve/src/` but not `crates/serve/src/bin/`: the
+///   same raw-primitive scan (the server library must stay explorable
+///   by the schedule checker; its client/server binaries are external
+///   processes and exempt);
 /// * `crates/core/src/stages.rs`: the wall-clock scan;
 /// * anything else: exempt.
 pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintFinding> {
     let normalized = rel_path.replace('\\', "/");
     if normalized.starts_with("crates/runtime/src/")
         && !normalized.starts_with("crates/runtime/src/sync/")
+        && normalized.ends_with(".rs")
+    {
+        return scan(&normalized, source, RUNTIME_FORBIDDEN, true);
+    }
+    if normalized.starts_with("crates/serve/src/")
+        && !normalized.starts_with("crates/serve/src/bin/")
         && normalized.ends_with(".rs")
     {
         return scan(&normalized, source, RUNTIME_FORBIDDEN, true);
@@ -209,9 +225,11 @@ fn walk(dir: &Path, files: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
 /// `Ok` payload, not errors.
 pub fn lint_tree(repo_root: &Path) -> io::Result<Vec<LintFinding>> {
     let mut files = Vec::new();
-    let runtime_src = repo_root.join("crates/runtime/src");
-    if runtime_src.is_dir() {
-        walk(&runtime_src, &mut files)?;
+    for src in ["crates/runtime/src", "crates/serve/src"] {
+        let dir = repo_root.join(src);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
     }
     let stages = repo_root.join("crates/core/src/stages.rs");
     if stages.is_file() {
@@ -294,6 +312,23 @@ mod tests {
         assert!(lint_file("crates/runtime/src/sync/sched.rs", shim).is_empty());
         // Other crates are out of scope entirely.
         assert!(lint_file("crates/core/src/streams.rs", shim).is_empty());
+    }
+
+    #[test]
+    fn serve_library_is_in_scope_but_its_bins_are_not() {
+        let src = "use std::sync::Mutex;\n";
+        // The server library makes the shim promise…
+        let findings = lint_file("crates/serve/src/queue.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].token, "std::sync::Mutex");
+        assert_eq!(lint_file("crates/serve/src/server.rs", src).len(), 1);
+        // …while the client/server binaries are external processes.
+        assert!(lint_file("crates/serve/src/bin/serve_load.rs", src).is_empty());
+        assert!(lint_file(
+            "crates/serve/src/bin/serve.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n"
+        )
+        .is_empty());
     }
 
     #[test]

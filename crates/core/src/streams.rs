@@ -83,7 +83,38 @@ impl StreamAnalysis {
         let grammar = seq.into_grammar();
         tempstream_sequitur::GrammarStats::of(&grammar).export(registry, "sequitur");
 
-        // 2. Root walk: label positions, collect occurrences, measure
+        let analysis = Self::of_grammar(&grammar, records, num_cpus);
+
+        let len_hist = registry.histogram("streams/occurrence_len");
+        let reuse_hist = registry.histogram("streams/reuse_distance");
+        for occ in &analysis.occurrences {
+            len_hist.record(occ.len);
+            if let Some(d) = occ.reuse_distance {
+                reuse_hist.record(d);
+            }
+        }
+        analysis
+    }
+
+    /// Labels `records` against an already-built grammar over their
+    /// block sequence (step 2 of [`of_records`](Self::of_records),
+    /// without the SEQUITUR push loop or any metrics export).
+    ///
+    /// `tempstream-serve` uses this to answer stream queries from a
+    /// *live* builder: each shard keeps an incremental
+    /// [`Sequitur`] and snapshots it with
+    /// [`Sequitur::grammar`]; because the root walk below is a pure
+    /// function of (grammar, records), the online answer is
+    /// bit-identical to the offline batch path.
+    ///
+    /// `grammar` must derive from exactly the block sequence of
+    /// `records` (debug-asserted by the walk covering the whole slice).
+    pub fn of_grammar<C: Copy>(
+        grammar: &tempstream_sequitur::Grammar,
+        records: &[MissRecord<C>],
+        num_cpus: u32,
+    ) -> Self {
+        // Root walk: label positions, collect occurrences, measure
         // reuse distances with per-cpu miss counters.
         let root_body = grammar.rule_body(RuleId::ROOT);
         let mut labels = vec![StreamLabel::NonRepetitive; records.len()];
@@ -115,7 +146,7 @@ impl StreamAnalysis {
                     let len = grammar.expansion_len(rule);
                     let new = !seen[rule.index()];
                     if new {
-                        mark_seen(&grammar, rule, &mut seen, &mut seen_stack);
+                        mark_seen(grammar, rule, &mut seen, &mut seen_stack);
                     }
                     let occ_cpu = records[pos].cpu.raw();
                     let reuse_distance = last_occ[rule.index()]
@@ -144,15 +175,6 @@ impl StreamAnalysis {
             }
         }
         debug_assert_eq!(pos, records.len(), "root walk must cover the trace");
-
-        let len_hist = registry.histogram("streams/occurrence_len");
-        let reuse_hist = registry.histogram("streams/reuse_distance");
-        for occ in &occurrences {
-            len_hist.record(occ.len);
-            if let Some(d) = occ.reuse_distance {
-                reuse_hist.record(d);
-            }
-        }
 
         StreamAnalysis {
             labels,
@@ -376,6 +398,24 @@ mod tests {
         // One stream of length 3 occurring twice: 6 weighted misses at 3.
         assert_eq!(cdf.total_weight(), 6);
         assert_eq!(cdf.median(), Some(3));
+    }
+
+    #[test]
+    fn of_grammar_on_live_snapshot_matches_batch() {
+        // The serve-crate contract: feed a live builder record by
+        // record, snapshot its grammar, and the root walk must produce
+        // exactly the batch analysis of the same prefix.
+        let t = seq(&[1, 2, 3, 1, 2, 3, 9, 4, 1, 2, 5, 4, 1, 2, 5, 9]);
+        let mut live = Sequitur::new();
+        for (n, r) in t.records().iter().enumerate() {
+            live.push(r.block.raw());
+            let online =
+                StreamAnalysis::of_grammar(&live.grammar(), &t.records()[..=n], t.num_cpus());
+            let batch = StreamAnalysis::of_records(&t.records()[..=n], t.num_cpus());
+            assert_eq!(online.labels(), batch.labels(), "prefix {n}");
+            assert_eq!(online.occurrences(), batch.occurrences(), "prefix {n}");
+            assert_eq!(online.distinct_streams(), batch.distinct_streams());
+        }
     }
 
     #[test]

@@ -66,6 +66,13 @@ impl Json {
         }
     }
 
+    /// Walks a `/`-separated key path through nested objects
+    /// (`snapshot.get_path("counters/serve/frames/dropped")`), mirroring
+    /// the registry's metric-name nesting.
+    pub fn get_path(&self, path: &str) -> Option<&Json> {
+        path.split('/').try_fold(self, Json::get)
+    }
+
     /// The value as a `u64`, if it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
@@ -407,6 +414,22 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn get_path_walks_nested_objects() {
+        let parsed = Json::parse(r#"{"counters":{"serve":{"frames":{"dropped":0}}}}"#).unwrap();
+        assert_eq!(
+            parsed
+                .get_path("counters/serve/frames/dropped")
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert!(parsed.get_path("counters/serve/missing").is_none());
+        assert!(parsed
+            .get_path("counters/serve/frames/dropped/deeper")
+            .is_none());
+        assert_eq!(parsed.get_path("counters"), parsed.get("counters"));
+    }
 
     #[test]
     fn renders_scalars() {

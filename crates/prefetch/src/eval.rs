@@ -58,6 +58,71 @@ impl std::fmt::Display for Evaluation {
     }
 }
 
+/// Incremental form of [`evaluate`]: the same FIFO prefetch-buffer
+/// model, driven one demand miss at a time.
+///
+/// `tempstream-serve` holds one of these per shard and feeds it each
+/// ingested record as it arrives; because [`evaluate`] is reimplemented
+/// on top of [`observe`](OnlineEvaluator::observe), the online
+/// coverage/accuracy answer is bit-identical to an offline batch run
+/// over the same record sequence.
+#[derive(Debug, Clone)]
+pub struct OnlineEvaluator {
+    buffer: FxHashSet<tempstream_trace::Block>,
+    order: VecDeque<tempstream_trace::Block>,
+    capacity: usize,
+    eval: Evaluation,
+}
+
+impl OnlineEvaluator {
+    /// Creates an evaluator with a prefetch buffer of `buffer_capacity`
+    /// blocks.
+    pub fn new(buffer_capacity: usize) -> Self {
+        OnlineEvaluator {
+            buffer: FxHashSet::default(),
+            order: VecDeque::new(),
+            capacity: buffer_capacity,
+            eval: Evaluation {
+                total: 0,
+                covered: 0,
+                issued: 0,
+            },
+        }
+    }
+
+    /// Feeds one demand miss: scores it against the buffer, then lets
+    /// `prefetcher` react and fills the buffer with its predictions.
+    pub fn observe(
+        &mut self,
+        prefetcher: &mut dyn Prefetcher,
+        cpu: tempstream_trace::CpuId,
+        block: tempstream_trace::Block,
+    ) {
+        self.eval.total += 1;
+        if self.buffer.remove(&block) {
+            self.eval.covered += 1;
+            // Leave the stale FIFO entry; it is skipped on eviction.
+        }
+        for p in prefetcher.on_miss(cpu, block) {
+            // Prefetches redundant with the buffer are filtered (as a
+            // cache/MSHR lookup would) and not charged against accuracy.
+            if self.buffer.insert(p) {
+                self.eval.issued += 1;
+                self.order.push_back(p);
+                while self.buffer.len() > self.capacity {
+                    let victim = self.order.pop_front().expect("order tracks buffer");
+                    self.buffer.remove(&victim);
+                }
+            }
+        }
+    }
+
+    /// The figures of merit accumulated so far.
+    pub fn snapshot(&self) -> Evaluation {
+        self.eval
+    }
+}
+
 /// Evaluates `prefetcher` over `records` with a prefetch buffer of
 /// `buffer_capacity` blocks.
 pub fn evaluate<C: Copy>(
@@ -65,33 +130,11 @@ pub fn evaluate<C: Copy>(
     records: &[MissRecord<C>],
     buffer_capacity: usize,
 ) -> Evaluation {
-    let mut buffer: FxHashSet<tempstream_trace::Block> = FxHashSet::default();
-    let mut order: VecDeque<tempstream_trace::Block> = VecDeque::new();
-    let mut e = Evaluation {
-        total: 0,
-        covered: 0,
-        issued: 0,
-    };
+    let mut online = OnlineEvaluator::new(buffer_capacity);
     for r in records {
-        e.total += 1;
-        if buffer.remove(&r.block) {
-            e.covered += 1;
-            // Leave the stale FIFO entry; it is skipped on eviction.
-        }
-        for p in prefetcher.on_miss(r.cpu, r.block) {
-            // Prefetches redundant with the buffer are filtered (as a
-            // cache/MSHR lookup would) and not charged against accuracy.
-            if buffer.insert(p) {
-                e.issued += 1;
-                order.push_back(p);
-                while buffer.len() > buffer_capacity {
-                    let victim = order.pop_front().expect("order tracks buffer");
-                    buffer.remove(&victim);
-                }
-            }
-        }
+        online.observe(prefetcher, r.cpu, r.block);
     }
-    e
+    online.snapshot()
 }
 
 #[cfg(test)]
@@ -167,6 +210,25 @@ mod tests {
         let e_big = evaluate(&mut big, &r, 256);
         let e_small = evaluate(&mut small, &r, 4);
         assert!(e_big.covered > e_small.covered);
+    }
+
+    #[test]
+    fn online_evaluator_is_bit_identical_to_batch() {
+        let pattern: Vec<u64> = (0..64).map(|i| i * 131 % 509).collect();
+        let mut blocks = pattern.clone();
+        blocks.push(9999);
+        blocks.extend(&pattern);
+        blocks.extend(&pattern);
+        let r = records(&blocks);
+        let mut batch_p = TemporalPrefetcher::adaptive(2, 8);
+        let batch = evaluate(&mut batch_p, &r, 32);
+        let mut online_p = TemporalPrefetcher::adaptive(2, 8);
+        let mut online = OnlineEvaluator::new(32);
+        for rec in &r {
+            online.observe(&mut online_p, rec.cpu, rec.block);
+        }
+        assert_eq!(online.snapshot(), batch);
+        assert!(batch.covered > 0, "test must exercise coverage");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod prelude {
     pub use crate::Prefetcher;
 }
 
-pub use eval::{evaluate, Evaluation};
+pub use eval::{evaluate, Evaluation, OnlineEvaluator};
 pub use markov::MarkovPrefetcher;
 pub use stride::StridePrefetcher;
 pub use temporal::TemporalPrefetcher;

@@ -156,11 +156,39 @@ pub fn all_models() -> Vec<ModelSpec> {
             model: models::spill_concurrent_reader,
         },
         ModelSpec {
+            name: "serve_ingest_drain",
+            threads: 2,
+            dfs: dfs(2),
+            random: random(64),
+            model: models::serve_ingest_drain,
+        },
+        ModelSpec {
+            name: "serve_try_push_admission",
+            threads: 2,
+            dfs: dfs(2),
+            random: random(64),
+            model: models::serve_try_push_admission,
+        },
+        ModelSpec {
+            name: "serve_drain_control",
+            threads: 3,
+            dfs: dfs(1),
+            random: random(128),
+            model: models::serve_drain_control,
+        },
+        ModelSpec {
             name: "mutation_control",
             threads: 2,
             dfs: dfs(2),
             random: random(64),
             model: mutation::control_model,
+        },
+        ModelSpec {
+            name: "serve_mutation_control",
+            threads: 2,
+            dfs: dfs(2),
+            random: random(64),
+            model: mutation::serve_drain_control_model,
         },
     ]
 }
@@ -282,6 +310,52 @@ mod tests {
         let parsed = Schedule::parse(&text).expect("schedule text must parse");
         assert_eq!(parsed, cx.schedule);
         let replay = run_with_schedule(&parsed, 50_000, &(mutation::lossy_model as fn()));
+        let rcx = replay
+            .counterexample
+            .expect("replaying the schedule must reproduce the failure");
+        assert_eq!(rcx.kind, FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn serve_queue_models_are_exhausted_clean() {
+        // The server's ingest queue under the same microscope as the
+        // runtime channel: blocking push + drain, try_push admission,
+        // and the two-consumer drain race all exhaust their bounded
+        // schedule space with zero counterexamples.
+        for name in [
+            "serve_ingest_drain",
+            "serve_try_push_admission",
+            "serve_drain_control",
+        ] {
+            let spec = find_model(name).unwrap();
+            let report = check_model(&spec, None, Some(16))
+                .unwrap_or_else(|cx| panic!("model {name} failed:\n{cx}"));
+            assert!(!report.dfs.capped, "{name}: DFS budget too small");
+            assert!(
+                report.dfs.executions > 1,
+                "{name}: exhaustive search explored nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_lossy_drain_is_caught_as_deadlock() {
+        // Drop the drain handshake's notify_all and the consumer that
+        // parks after finishing the backlog sleeps forever — the
+        // checker must find that schedule and it must replay.
+        let opts = sched::DfsOptions {
+            max_preemptions: 2,
+            max_executions: 60_000,
+            max_decisions: 50_000,
+        };
+        let cx = sched::explore_dfs(&opts, &(mutation::serve_drain_lossy_model as fn()))
+            .expect_err("lost drain wakeup must produce a counterexample");
+        assert_eq!(cx.kind, FailureKind::Deadlock, "expected a lost wakeup");
+        let replay = run_with_schedule(
+            &cx.schedule,
+            50_000,
+            &(mutation::serve_drain_lossy_model as fn()),
+        );
         let rcx = replay
             .counterexample
             .expect("replaying the schedule must reproduce the failure");

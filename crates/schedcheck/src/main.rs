@@ -19,8 +19,8 @@
 //! * `--replay S` — replay a failure schedule printed by an earlier
 //!   run and show its decision trace.
 //! * `--expect-mutation` — verify the checker still CATCHES the
-//!   injected lost-`notify_one` bug (exits non-zero if it no longer
-//!   does).
+//!   injected bugs — the lost-`notify_one` queue and the server ingest
+//!   queue's lost drain wakeup (exits non-zero if it no longer does).
 
 use std::time::Instant;
 use tempstream_runtime::sync::sched::{self, Schedule};
@@ -107,24 +107,33 @@ fn run_expect_mutation() -> i32 {
         max_executions: 60_000,
         max_decisions: 50_000,
     };
-    match sched::explore_dfs(
-        &opts,
-        &(tempstream_schedcheck::mutation::lossy_model as fn()),
-    ) {
-        Err(cx) => {
-            println!("mutation: lost notify_one CAUGHT as expected ({})", cx.kind);
-            println!("  minimal replayable schedule: {}", cx.schedule);
-            0
-        }
-        Ok(stats) => {
-            eprintln!(
-                "mutation: checker FAILED to catch the lost notify_one \
-                 ({} executions explored) — the checker itself has regressed",
-                stats.executions
-            );
-            1
+    let mutants: [(&str, fn()); 2] = [
+        (
+            "lost notify_one",
+            tempstream_schedcheck::mutation::lossy_model,
+        ),
+        (
+            "serve lost drain wakeup",
+            tempstream_schedcheck::mutation::serve_drain_lossy_model,
+        ),
+    ];
+    for (what, model) in mutants {
+        match sched::explore_dfs(&opts, &model) {
+            Err(cx) => {
+                println!("mutation: {what} CAUGHT as expected ({})", cx.kind);
+                println!("  minimal replayable schedule: {}", cx.schedule);
+            }
+            Ok(stats) => {
+                eprintln!(
+                    "mutation: checker FAILED to catch the {what} \
+                     ({} executions explored) — the checker itself has regressed",
+                    stats.executions
+                );
+                return 1;
+            }
         }
     }
+    0
 }
 
 fn check_one(spec: &ModelSpec, seed: Option<u64>, dfs_only: bool) -> Result<(), i32> {

@@ -15,7 +15,11 @@
 //!   jobs) runs exactly once and the pool shuts down cleanly;
 //! * **spill** models — a trace is readable while its background write
 //!   is in flight (`Writing → OnDisk` never loses the data), and
-//!   `flush()` pins the spill counters.
+//!   `flush()` pins the spill counters;
+//! * **serve** models — the server's bounded [`IngestQueue`]: blocking
+//!   and non-blocking pushes racing a consumer lose nothing the queue
+//!   accepted, and the drain handshake delivers the whole backlog to
+//!   every racing popper before all of them observe the close.
 //!
 //! Deadlock-freedom and lost-wakeup-freedom need no assertions: the
 //! scheduler itself reports any execution where every live thread
@@ -27,6 +31,7 @@ use tempstream_runtime::pool;
 use tempstream_runtime::spill::TraceStore;
 use tempstream_runtime::sync::atomic::{AtomicUsize, Ordering};
 use tempstream_runtime::sync::{thread, Arc};
+use tempstream_serve::queue::IngestQueue;
 use tempstream_trace::io::TraceClass;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{Block, CpuId, FunctionId, MissClass, MissTrace, ThreadId};
@@ -214,4 +219,83 @@ pub fn spill_concurrent_reader() {
     assert_eq!(reader.join().expect("reader clean"), 5, "reader lost data");
     assert_eq!(shared.trace_or_empty().len(), 5);
     assert_eq!(store.spilled_traces(), 1);
+}
+
+// --- serve ingest-queue models --------------------------------------------
+
+/// A producer streams three items through the server's capacity-1
+/// ingest queue with *blocking* pushes (the router's backpressure
+/// path), then drains; the consumer must receive exactly `[0, 1, 2]`
+/// in order and then observe the close. Exercises both condvars — a
+/// popper waiting for items and a pusher waiting for space — in every
+/// ≤2-preemption schedule.
+pub fn serve_ingest_drain() {
+    let queue = Arc::new(IngestQueue::new(1));
+    let producer_queue = Arc::clone(&queue);
+    let producer = thread::spawn(move || {
+        for i in 0..3u32 {
+            producer_queue.push(i).expect("never draining mid-stream");
+        }
+        producer_queue.drain();
+    });
+    let mut got = Vec::new();
+    while let Some(v) = queue.pop() {
+        got.push(v);
+    }
+    producer.join().expect("producer clean");
+    assert_eq!(got, [0, 1, 2], "items lost, duplicated, or reordered");
+    assert!(queue.pop().is_none(), "drained queue stays closed");
+}
+
+/// The admission path: `try_push` against a racing consumer never
+/// blocks and never lies — whatever set of items it reports accepted
+/// is exactly what the consumer receives, in order, regardless of how
+/// `Full` refusals interleave with pops.
+pub fn serve_try_push_admission() {
+    let queue = Arc::new(IngestQueue::new(1));
+    let producer_queue = Arc::clone(&queue);
+    let producer = thread::spawn(move || {
+        let mut accepted = Vec::new();
+        for i in 0..3u32 {
+            if producer_queue.try_push(i).is_ok() {
+                accepted.push(i);
+            }
+        }
+        producer_queue.drain();
+        accepted
+    });
+    let mut got = Vec::new();
+    while let Some(v) = queue.pop() {
+        got.push(v);
+    }
+    let accepted = producer.join().expect("producer clean");
+    assert_eq!(got, accepted, "delivered set must equal the accepted set");
+}
+
+/// Two consumers race the drain handshake: every queued item is
+/// delivered to exactly one consumer before both observe the close
+/// (`drain`'s `notify_all` must reach every parked popper).
+pub fn serve_drain_control() {
+    let queue = Arc::new(IngestQueue::new(2));
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let q = Arc::clone(&queue);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    queue.push(0u32).expect("accepting");
+    queue.push(1u32).expect("accepting");
+    queue.drain();
+    let mut all: Vec<u32> = consumers
+        .into_iter()
+        .flat_map(|c| c.join().expect("consumer clean"))
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, [0, 1], "each item delivered exactly once");
 }

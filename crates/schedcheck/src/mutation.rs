@@ -1,4 +1,4 @@
-//! The mutation test: a deliberately broken primitive the checker must
+//! The mutation tests: deliberately broken primitives the checker must
 //! catch.
 //!
 //! [`LossyQueue`] is a minimal condvar-guarded queue with an injectable
@@ -10,8 +10,17 @@
 //! — the same program with the notify intact — must pass at the same
 //! bound. Together they prove the checker discriminates real lost
 //! wakeups rather than passing everything or flagging anything.
+//!
+//! [`serve_drain_lossy_model`] is the same gate aimed at the server's
+//! ingest queue: `IngestQueue::new_lossy_for_modelcheck` builds a queue
+//! whose `drain` flips the draining flag but drops its `notify_all`, so
+//! a consumer parked waiting for work never learns the queue closed —
+//! the exact bug the drain handshake's wakeup exists to prevent.
+//! [`serve_drain_control_model`] runs the identical program on the
+//! correct queue and must pass.
 
 use tempstream_runtime::sync::{thread, Arc, Condvar, Mutex};
+use tempstream_serve::queue::IngestQueue;
 
 /// A one-condvar queue whose `push` can be built to drop its wakeup.
 pub struct LossyQueue {
@@ -69,4 +78,38 @@ pub fn lossy_model() {
 /// The correct queue: exploration must find nothing at the same bound.
 pub fn control_model() {
     queue_model(false);
+}
+
+fn serve_drain_model(lossy: bool) {
+    let queue = Arc::new(if lossy {
+        IngestQueue::new_lossy_for_modelcheck(1)
+    } else {
+        IngestQueue::new(1)
+    });
+    let consumer_queue = Arc::clone(&queue);
+    let consumer = thread::spawn(move || {
+        let mut drained = 0u32;
+        while consumer_queue.pop().is_some() {
+            drained += 1;
+        }
+        drained
+    });
+    queue.try_push(7u32).expect("empty queue accepts");
+    queue.drain();
+    let drained = consumer.join().expect("consumer clean");
+    assert_eq!(drained, 1, "backlog must be delivered before close");
+}
+
+/// The server's ingest queue with its drain wakeup dropped: in the
+/// schedule where the consumer finishes the backlog and parks before
+/// `drain` runs, nothing ever wakes it — exploration MUST report the
+/// deadlock.
+pub fn serve_drain_lossy_model() {
+    serve_drain_model(true);
+}
+
+/// The correct ingest queue under the identical program: clean at the
+/// same bound.
+pub fn serve_drain_control_model() {
+    serve_drain_model(false);
 }

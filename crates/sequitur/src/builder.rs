@@ -154,6 +154,18 @@ impl<H: BuildHasher> Sequitur<H> {
     /// Consumes the builder and produces the final immutable grammar with
     /// contiguously renumbered rules (root first).
     pub fn into_grammar(self) -> Grammar {
+        self.grammar()
+    }
+
+    /// Snapshots the current grammar without consuming the builder, with
+    /// contiguously renumbered rules (root first).
+    ///
+    /// This is what lets `tempstream-serve` answer stream queries from a
+    /// live, still-growing builder: the snapshot over the first `n`
+    /// pushed symbols is identical to `into_grammar()` on a fresh
+    /// builder fed the same `n` symbols, because SEQUITUR is an online
+    /// algorithm whose state depends only on the input prefix.
+    pub fn grammar(&self) -> Grammar {
         // Map live internal rule ids -> contiguous output ids, root first.
         let mut mapping: Vec<Option<RuleId>> = vec![None; self.rules.len()];
         let mut next = 0usize;
@@ -663,5 +675,37 @@ mod tests {
             a.into_grammar().reconstruct(),
             b.into_grammar().reconstruct()
         );
+    }
+
+    #[test]
+    fn live_snapshot_matches_fresh_builder_per_prefix() {
+        // The serve-crate contract: grammar() over the first n symbols
+        // equals into_grammar() of a fresh builder fed the same prefix.
+        let pattern = [7u64, 3, 7, 3, 9, 7, 3, 1, 2, 1, 2];
+        let input: Vec<u64> = pattern.iter().cycle().take(120).copied().collect();
+        let mut live = Sequitur::new();
+        for (n, &sym) in input.iter().enumerate() {
+            live.push(sym);
+            if n % 17 == 0 {
+                let snap = live.grammar();
+                let mut fresh = Sequitur::new();
+                fresh.extend(input[..=n].iter().copied());
+                let batch = fresh.into_grammar();
+                assert_eq!(snap.reconstruct(), input[..=n]);
+                assert_eq!(snap.rule_count(), batch.rule_count(), "prefix {n}");
+                for r in 0..snap.rule_count() {
+                    assert_eq!(
+                        snap.rule_body(RuleId::new(r)),
+                        batch.rule_body(RuleId::new(r)),
+                        "prefix {n} rule {r}"
+                    );
+                }
+            }
+        }
+        // And the final snapshot equals the consuming conversion.
+        let snap = live.grammar();
+        let whole = live.into_grammar();
+        assert_eq!(snap.rule_count(), whole.rule_count());
+        assert_eq!(snap.reconstruct(), whole.reconstruct());
     }
 }

@@ -1,0 +1,89 @@
+//! `serve`: the ingest/query server binary.
+//!
+//! Binds a TCP listener, prints `LISTENING <addr>` on stdout (the soak
+//! gate in `ci.sh` polls for that line), and serves until a client
+//! sends a `Shutdown` frame and the drain completes.
+
+use std::io::Write;
+use std::process::ExitCode;
+use tempstream_serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--shards N] \
+     [--router-queue N] [--shard-queue N] [--max-conns N] [--max-retained N]";
+
+fn parse_args() -> Result<(String, ServerConfig), String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = take("--addr")?,
+            "--shards" => config.shards = parse_num(&take("--shards")?, "--shards")?,
+            "--router-queue" => {
+                config.router_queue_capacity =
+                    parse_num(&take("--router-queue")?, "--router-queue")?;
+            }
+            "--shard-queue" => {
+                config.shard_queue_capacity = parse_num(&take("--shard-queue")?, "--shard-queue")?;
+            }
+            "--max-conns" => {
+                config.max_connections = parse_num(&take("--max-conns")?, "--max-conns")?;
+            }
+            "--max-retained" => {
+                config.shard.max_retained = parse_num(&take("--max-retained")?, "--max-retained")?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if config.shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    Ok((addr, config))
+}
+
+fn parse_num(s: &str, what: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{what}: not a number: {s}"))
+}
+
+fn main() -> ExitCode {
+    let (addr, config) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => {
+            // The soak gate greps for this exact line; keep it stable.
+            println!("LISTENING {local}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("serve: local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("DRAINED");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! `serve-load`: the in-tree load generator and verification client.
+//!
+//! Replays a seeded workload trace over N connections against a
+//! running `serve` instance, retrying `Busy` backpressure replies with
+//! exponential backoff and recording per-frame ingest latency in an
+//! obsv histogram. With `--verify` it then queries the server and
+//! checks the answers against the offline batch comparator
+//! ([`tempstream_serve::offline::expected`]); with a single connection
+//! the check is **bit-exact**, with several it checks the
+//! order-independent answers (totals and top origins). Emits a JSON
+//! summary (client latency + the server's full metrics snapshot) on
+//! stdout and optionally to `--metrics-out`.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tempstream_core::ExperimentConfig;
+use tempstream_obsv::{Json, Registry};
+use tempstream_serve::offline;
+use tempstream_serve::wire::{read_frame, write_frame, Frame};
+use tempstream_serve::ShardConfig;
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::MissClass;
+use tempstream_workloads::Workload;
+
+const USAGE: &str = "usage: serve-load --addr HOST:PORT [--workload NAME] [--seed N] \
+     [--connections N] [--batch N] [--bytes N] [--shards N] [--top N] \
+     [--verify] [--shutdown] [--metrics-out PATH]";
+
+/// Encoded bytes per record on the wire (header excluded).
+const RECORD_BYTES: usize = tempstream_trace::io::RECORD_BYTES;
+
+struct Args {
+    addr: String,
+    workload: Workload,
+    seed: u64,
+    connections: usize,
+    batch: usize,
+    bytes: usize,
+    shards: usize,
+    top: u16,
+    verify: bool,
+    shutdown: bool,
+    metrics_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        addr: String::new(),
+        workload: Workload::Apache,
+        seed: 7,
+        connections: 1,
+        batch: 256,
+        bytes: 256 * 1024,
+        shards: 1,
+        top: 8,
+        verify: false,
+        shutdown: false,
+        metrics_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => out.addr = take("--addr")?,
+            "--workload" => {
+                let name = take("--workload")?;
+                out.workload = Workload::ALL
+                    .into_iter()
+                    .find(|w| w.name().eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| format!("unknown workload {name}"))?;
+            }
+            "--seed" => out.seed = parse_num(&take("--seed")?, "--seed")? as u64,
+            "--connections" => {
+                out.connections = parse_num(&take("--connections")?, "--connections")?;
+            }
+            "--batch" => out.batch = parse_num(&take("--batch")?, "--batch")?,
+            "--bytes" => out.bytes = parse_num(&take("--bytes")?, "--bytes")?,
+            "--shards" => out.shards = parse_num(&take("--shards")?, "--shards")?,
+            "--top" => out.top = parse_num(&take("--top")?, "--top")? as u16,
+            "--verify" => out.verify = true,
+            "--shutdown" => out.shutdown = true,
+            "--metrics-out" => out.metrics_out = Some(take("--metrics-out")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if out.addr.is_empty() {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    if out.connections == 0 || out.batch == 0 {
+        return Err("--connections and --batch must be at least 1".to_string());
+    }
+    Ok(out)
+}
+
+fn parse_num(s: &str, what: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{what}: not a number: {s}"))
+}
+
+/// One request/reply exchange (the protocol is strictly half-duplex
+/// per connection, so a blocking read per request is exact).
+fn call(stream: &mut TcpStream, request: &Frame) -> Result<Frame, String> {
+    write_frame(&mut *stream, request).map_err(|e| format!("send: {e}"))?;
+    read_frame(&mut *stream).map_err(|e| format!("recv: {e}"))
+}
+
+/// Replays `batches` on one connection, retrying Busy with backoff.
+/// Returns the number of busy retries, or an error string.
+fn run_connection(
+    addr: &str,
+    batches: &[Vec<MissRecord<MissClass>>],
+    latency: &tempstream_obsv::Histogram,
+) -> Result<u64, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut retries = 0u64;
+    for batch in batches {
+        let frame = Frame::Ingest(batch.clone());
+        let mut backoff = Duration::from_millis(1);
+        loop {
+            let start = Instant::now();
+            match call(&mut stream, &frame)? {
+                Frame::IngestAck(n) if n as usize == batch.len() => {
+                    latency.record(start.elapsed().as_micros() as u64);
+                    break;
+                }
+                Frame::IngestAck(n) => {
+                    return Err(format!("short ack: {n} of {}", batch.len()));
+                }
+                Frame::Busy => {
+                    retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(100));
+                }
+                Frame::Error { code, message } => {
+                    return Err(format!("server error {code}: {message}"));
+                }
+                other => return Err(format!("unexpected ingest reply: {other:?}")),
+            }
+        }
+    }
+    Ok(retries)
+}
+
+fn mismatch(what: &str, got: impl std::fmt::Debug, want: impl std::fmt::Debug) -> String {
+    format!("verify mismatch: {what}: got {got:?}, want {want:?}")
+}
+
+/// Queries the server and checks against the offline comparator.
+fn verify(
+    stream: &mut TcpStream,
+    sent: &[MissRecord<MissClass>],
+    args: &Args,
+    exact: bool,
+) -> Result<(), String> {
+    let want = offline::expected(sent, args.shards, ShardConfig::default(), args.top as usize);
+    let streams = match call(stream, &Frame::QueryStreamFraction)? {
+        Frame::StreamFractionReply {
+            non_repetitive,
+            new_stream,
+            recurring_stream,
+            distinct_streams,
+        } => (
+            non_repetitive,
+            new_stream,
+            recurring_stream,
+            distinct_streams,
+        ),
+        other => return Err(format!("unexpected streams reply: {other:?}")),
+    };
+    let coverage = match call(stream, &Frame::QueryCoverage)? {
+        Frame::CoverageReply {
+            total,
+            covered,
+            issued,
+        } => (total, covered, issued),
+        other => return Err(format!("unexpected coverage reply: {other:?}")),
+    };
+    let top = match call(stream, &Frame::QueryTopOrigins(args.top))? {
+        Frame::TopOriginsReply(rows) => rows,
+        other => return Err(format!("unexpected top-origins reply: {other:?}")),
+    };
+    if exact {
+        let got = (streams.0, streams.1, streams.2, streams.3);
+        let want_streams = (
+            want.streams.non_repetitive,
+            want.streams.new_stream,
+            want.streams.recurring_stream,
+            want.streams.distinct_streams,
+        );
+        if got != want_streams {
+            return Err(mismatch("stream fraction", got, want_streams));
+        }
+        let want_cov = (
+            want.coverage.total,
+            want.coverage.covered,
+            want.coverage.issued,
+        );
+        if coverage != want_cov {
+            return Err(mismatch("coverage", coverage, want_cov));
+        }
+    } else {
+        // Interleaved connections: per-shard arrival order is not the
+        // trace order, so only order-independent answers are pinned.
+        let got_total = streams.0 + streams.1 + streams.2;
+        let want_total =
+            want.streams.non_repetitive + want.streams.new_stream + want.streams.recurring_stream;
+        if got_total != want_total {
+            return Err(mismatch("labeled miss total", got_total, want_total));
+        }
+        if coverage.0 != want.coverage.total {
+            return Err(mismatch("coverage total", coverage.0, want.coverage.total));
+        }
+    }
+    if top != want.top_origins {
+        return Err(mismatch("top origins", &top, &want.top_origins));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // Seeded workload replay: simulate once, then cycle the trace to
+    // fill the byte budget.
+    let cfg = ExperimentConfig::quick().with_seed(args.seed);
+    let (trace, _symbols) = tempstream_core::stages::collect_multi_chip(&cfg, args.workload);
+    if trace.is_empty() {
+        return Err("workload produced an empty trace".to_string());
+    }
+    let total_records = (args.bytes / RECORD_BYTES).max(1);
+    let source = trace.records();
+    let sent: Vec<MissRecord<MissClass>> = (0..total_records)
+        .map(|i| source[i % source.len()])
+        .collect();
+    let batches: Vec<Vec<MissRecord<MissClass>>> = sent
+        .chunks(args.batch)
+        .map(<[MissRecord<MissClass>]>::to_vec)
+        .collect();
+
+    // Round-robin batch assignment across connections.
+    let mut per_conn: Vec<Vec<Vec<MissRecord<MissClass>>>> = vec![Vec::new(); args.connections];
+    for (i, batch) in batches.iter().enumerate() {
+        per_conn[i % args.connections].push(batch.clone());
+    }
+
+    let registry = Registry::new();
+    let latency = registry.histogram("load/ingest_latency_us");
+    let started = Instant::now();
+    let busy_retries: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_conn
+            .iter()
+            .map(|batches| {
+                let latency = latency.clone();
+                let addr = args.addr.as_str();
+                scope.spawn(move || run_connection(addr, batches, &latency))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread panicked"))
+            .sum::<Result<u64, String>>()
+    })?;
+    let elapsed = started.elapsed();
+
+    let mut control = TcpStream::connect(&args.addr).map_err(|e| format!("connect: {e}"))?;
+    let verify_mode = if !args.verify {
+        "skipped"
+    } else if args.connections == 1 {
+        verify(&mut control, &sent, &args, true)?;
+        "exact"
+    } else {
+        verify(&mut control, &sent, &args, false)?;
+        "totals"
+    };
+
+    let metrics = match call(&mut control, &Frame::QueryMetricsSnapshot)? {
+        Frame::MetricsReply(json) => {
+            Json::parse(&json).map_err(|e| format!("bad metrics snapshot json: {e:?}"))?
+        }
+        other => return Err(format!("unexpected metrics reply: {other:?}")),
+    };
+
+    if args.shutdown {
+        match call(&mut control, &Frame::Shutdown)? {
+            Frame::ShutdownAck => {}
+            other => return Err(format!("unexpected shutdown reply: {other:?}")),
+        }
+    }
+
+    let mut summary = Json::obj();
+    summary.set("verify", Json::Str(verify_mode.to_string()));
+    summary.set("workload", Json::Str(args.workload.name().to_string()));
+    summary.set("connections", Json::UInt(args.connections as u64));
+    summary.set("sent_records", Json::UInt(sent.len() as u64));
+    summary.set("sent_bytes", Json::UInt((sent.len() * RECORD_BYTES) as u64));
+    summary.set("busy_retries", Json::UInt(busy_retries));
+    summary.set("elapsed_us", Json::UInt(elapsed.as_micros() as u64));
+    summary.set(
+        "records_per_sec",
+        Json::Float(sent.len() as f64 / elapsed.as_secs_f64().max(1e-9)),
+    );
+    summary.set("load", registry.snapshot());
+    summary.set("metrics", metrics);
+    let rendered = summary.render();
+    println!("{rendered}");
+    if let Some(path) = &args.metrics_out {
+        let mut file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        file.write_all(rendered.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("serve-load: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! An online ingest/query server that runs the paper's
+//! characterization as a live service.
+//!
+//! The batch pipeline in `tempstream-core` answers "what fraction of
+//! misses are temporal streams?" after a whole trace is on disk. This
+//! crate answers the same questions *while the trace happens*: clients
+//! stream miss records over a length-prefixed binary protocol
+//! ([`wire`]), a router shards them by block-address hash across
+//! per-shard workers running **incremental** stream detection and the
+//! temporal prefetch engine ([`shard`]), and query frames are answered
+//! from per-shard state merged on demand ([`server`]).
+//!
+//! The headline property is **bit-identity with the offline batch
+//! stages**: because SEQUITUR is an online algorithm, a grammar
+//! snapshot over an ingest prefix equals the batch grammar of that
+//! prefix, so the server's answers match
+//! [`offline::expected`] — the same records pushed through
+//! `tempstream_core::stages` per partition — exactly, not
+//! approximately. The loopback tests and the `serve-load --verify`
+//! client enforce this.
+//!
+//! Flow control is explicit everywhere: ingest admission happens at a
+//! single bounded queue ([`queue::IngestQueue`]) whose overflow
+//! surfaces to the client as a `Busy` frame, and shutdown is a
+//! drain-then-ack handshake that never drops an acked record. All
+//! synchronization goes through the [`tempstream_runtime::sync`] shim,
+//! so the queue and handshake are exercised by the schedule checker
+//! (`tempstream-schedcheck`) as closed models, including a mutation
+//! that drops the drain signal.
+
+pub mod offline;
+pub mod queue;
+pub mod server;
+pub mod shard;
+pub mod wire;
+
+pub use server::{Server, ServerConfig};
+pub use shard::ShardConfig;

@@ -1,0 +1,150 @@
+//! Offline replica of the server's answers, for bit-exact verification.
+//!
+//! [`expected`] partitions a record slice with the *same* hash routing
+//! the server's router uses ([`shard_of`]), batch-analyzes each
+//! partition with the repo's offline stages
+//! ([`tempstream_core::stages::analyze_streams`] and
+//! [`tempstream_prefetch::evaluate`]), and merges with the *same*
+//! `merge_*` functions the server's query path calls. Any ingest-order
+//! preserving server must therefore answer queries bit-identically to
+//! this function — the loopback tests and `serve-load --verify` assert
+//! exactly that.
+
+use crate::shard::{
+    merge_coverage_counts, merge_stream_counts, merge_top_origins, shard_of, CoverageCounts,
+    ShardConfig, StreamCounts,
+};
+use tempstream_fxhash::FxHashMap;
+use tempstream_prefetch::TemporalPrefetcher;
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::MissClass;
+
+/// The full answer set the server exposes, computed offline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expected {
+    /// Merged stream-fraction counts.
+    pub streams: StreamCounts,
+    /// Merged prefetch coverage counters.
+    pub coverage: CoverageCounts,
+    /// Global top origins, `(function id, miss count)`.
+    pub top_origins: Vec<(u32, u64)>,
+}
+
+/// Computes what a `shards`-way server must answer after ingesting
+/// `records` in order, using batch (non-incremental) analysis per
+/// partition.
+pub fn expected(
+    records: &[MissRecord<MissClass>],
+    shards: usize,
+    config: ShardConfig,
+    top_n: usize,
+) -> Expected {
+    let mut partitions: Vec<Vec<MissRecord<MissClass>>> = vec![Vec::new(); shards.max(1)];
+    for r in records {
+        partitions[shard_of(r.block.raw(), shards.max(1))].push(*r);
+    }
+
+    let mut streams = Vec::new();
+    let mut coverage = Vec::new();
+    let mut origin_maps: Vec<FxHashMap<u32, u64>> = Vec::new();
+    for part in &partitions {
+        // Stream analysis sees only the retained prefix (the per-shard
+        // cap); coverage and origins see every record.
+        let retained = tempstream_core::stages::cap(part, config.max_retained);
+        let num_cpus = part.iter().map(|r| r.cpu.raw()).max().unwrap_or(0) + 1;
+        let partial = tempstream_core::stages::analyze_streams(retained, num_cpus);
+        streams.push(StreamCounts {
+            non_repetitive: partial.stream_fraction.non_repetitive,
+            new_stream: partial.stream_fraction.new_stream,
+            recurring_stream: partial.stream_fraction.recurring_stream,
+            distinct_streams: partial.distinct_streams as u64,
+        });
+
+        let mut prefetcher = TemporalPrefetcher::adaptive(config.burst, config.max_ahead)
+            .with_log_capacity(config.log_capacity);
+        let eval = tempstream_prefetch::evaluate(&mut prefetcher, part, config.buffer_capacity);
+        coverage.push(CoverageCounts {
+            total: eval.total,
+            covered: eval.covered,
+            issued: eval.issued,
+        });
+
+        let mut origins: FxHashMap<u32, u64> = FxHashMap::default();
+        for r in part {
+            *origins.entry(r.function.raw()).or_insert(0) += 1;
+        }
+        origin_maps.push(origins);
+    }
+
+    Expected {
+        streams: merge_stream_counts(streams),
+        coverage: merge_coverage_counts(coverage),
+        top_origins: merge_top_origins(origin_maps.iter(), top_n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardState;
+    use tempstream_trace::{Block, CpuId, FunctionId, ThreadId};
+
+    fn seeded_records(n: usize) -> Vec<MissRecord<MissClass>> {
+        let mut rng = tempstream_trace::rng::SplitMix64::new(0x5eed_cafe);
+        (0..n)
+            .map(|_| {
+                let block = rng.next_u64() % 97;
+                MissRecord {
+                    block: Block::new(block),
+                    cpu: CpuId::new((rng.next_u64() % 4) as u32),
+                    thread: ThreadId::new((rng.next_u64() % 8) as u32),
+                    function: FunctionId::new((rng.next_u64() % 13) as u32),
+                    class: MissClass::Replacement,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_online_matches_offline_expected() {
+        let records = seeded_records(600);
+        let config = ShardConfig::default();
+        for shards in [1usize, 2, 4] {
+            let mut states: Vec<ShardState> =
+                (0..shards).map(|_| ShardState::new(config)).collect();
+            for r in &records {
+                states[shard_of(r.block.raw(), shards)].apply(r);
+            }
+            let online_streams = merge_stream_counts(states.iter().map(ShardState::stream_counts));
+            let online_cov = merge_coverage_counts(states.iter().map(ShardState::coverage_counts));
+            let online_top = merge_top_origins(states.iter().map(ShardState::origin_counts), 8);
+
+            let want = expected(&records, shards, config, 8);
+            assert_eq!(online_streams, want.streams, "shards={shards}");
+            assert_eq!(online_cov, want.coverage, "shards={shards}");
+            assert_eq!(online_top, want.top_origins, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn one_shard_equals_whole_trace_batch() {
+        let records = seeded_records(400);
+        let config = ShardConfig::default();
+        let want = expected(&records, 1, config, 4);
+        let num_cpus = records.iter().map(|r| r.cpu.raw()).max().unwrap_or(0) + 1;
+        let partial = tempstream_core::stages::analyze_streams(&records, num_cpus);
+        assert_eq!(
+            want.streams.non_repetitive,
+            partial.stream_fraction.non_repetitive
+        );
+        assert_eq!(want.streams.new_stream, partial.stream_fraction.new_stream);
+        assert_eq!(
+            want.streams.recurring_stream,
+            partial.stream_fraction.recurring_stream
+        );
+        assert_eq!(
+            want.streams.distinct_streams,
+            partial.distinct_streams as u64
+        );
+    }
+}

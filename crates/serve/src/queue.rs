@@ -1,0 +1,248 @@
+//! The bounded ingest queue and its drain handshake.
+//!
+//! Connection handlers admit work with a non-blocking
+//! [`try_push`](IngestQueue::try_push) — a full queue surfaces as
+//! [`PushError::Full`], which the server answers with a `Busy` frame
+//! instead of buffering without bound. The router and shard workers
+//! block in [`pop`](IngestQueue::pop) until work arrives or the queue
+//! is drained: [`drain`](IngestQueue::drain) marks the queue closed and
+//! wakes every sleeper, after which `pop` hands out the remaining items
+//! and then returns `None` — the worker's signal to finish and report.
+//!
+//! All synchronization goes through the [`tempstream_runtime::sync`]
+//! shim, so the whole handshake is explorable by the schedule checker;
+//! `tempstream-schedcheck` registers closed models over this exact type
+//! (`serve_ingest_drain`, `serve_try_push_admission`,
+//! `serve_drain_control`) plus a mutation
+//! ([`IngestQueue::new_lossy_for_modelcheck`]) proving a dropped drain
+//! signal is caught as a deadlock.
+
+use std::collections::VecDeque;
+use tempstream_runtime::sync::{Condvar, Mutex};
+
+/// Why a [`IngestQueue::try_push`] was refused; the item comes back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (backpressure — reply `Busy`).
+    Full(T),
+    /// The queue is draining and accepts no new work.
+    Draining(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    draining: bool,
+    max_depth: usize,
+}
+
+/// A bounded MPMC queue with an explicit drain signal.
+#[derive(Debug)]
+pub struct IngestQueue<T> {
+    state: Mutex<State<T>>,
+    /// Poppers wait here for items (or the drain signal).
+    ready: Condvar,
+    /// Blocked pushers wait here for space (or the drain signal).
+    space: Condvar,
+    capacity: usize,
+    /// Injected bug for the schedule checker's mutation gate: when set,
+    /// `drain` flips the flag but "loses" its wakeup.
+    lossy_drain: bool,
+}
+
+impl<T> IngestQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        IngestQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                draining: false,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            lossy_drain: false,
+        }
+    }
+
+    /// Creates a queue whose `drain` drops its `notify_all` — the
+    /// schedule checker's mutation gate proves this lost signal is
+    /// caught as a deadlock. Never use outside model checking.
+    #[doc(hidden)]
+    pub fn new_lossy_for_modelcheck(capacity: usize) -> Self {
+        let mut q = Self::new(capacity);
+        q.lossy_drain = true;
+        q
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.state.lock().max_depth
+    }
+
+    /// Non-blocking admission: enqueues `item` unless the queue is full
+    /// or draining.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity (the backpressure signal),
+    /// [`PushError::Draining`] after [`drain`](IngestQueue::drain); both
+    /// return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock();
+        if state.draining {
+            return Err(PushError::Draining(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        state.max_depth = state.max_depth.max(state.items.len());
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space instead of refusing.
+    ///
+    /// The router uses this on the per-shard queues — its own inbound
+    /// queue is the admission point, so propagating backpressure by
+    /// blocking here is what slows intake down.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Draining`] if the queue drains while waiting.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock();
+        loop {
+            if state.draining {
+                return Err(PushError::Draining(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                state.max_depth = state.max_depth.max(state.items.len());
+                drop(state);
+                self.ready.notify_one();
+                return Ok(());
+            }
+            state = self.space.wait(state);
+        }
+    }
+
+    /// Blocking pop: the next item, or `None` once the queue is drained
+    /// *and* empty (every queued item is always delivered first).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if state.draining {
+                return None;
+            }
+            state = self.ready.wait(state);
+        }
+    }
+
+    /// Marks the queue draining and wakes every waiter: pushers see
+    /// `Draining`, poppers finish the backlog and then get `None`.
+    pub fn drain(&self) {
+        let mut state = self.state.lock();
+        state.draining = true;
+        drop(state);
+        if !self.lossy_drain {
+            self.ready.notify_all();
+            self.space.notify_all();
+        }
+    }
+
+    /// True once [`drain`](IngestQueue::drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().draining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_depth_tracking() {
+        let q = IngestQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_push(9), Err(PushError::Full(9)));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.max_depth(), 4);
+        q.drain();
+        assert_eq!(q.try_push(9), Err(PushError::Draining(9)));
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, [0, 1, 2, 3]);
+        assert!(q.pop().is_none(), "drained queue stays closed");
+    }
+
+    #[test]
+    fn drain_wakes_blocked_consumers() {
+        let q = Arc::new(IngestQueue::<u32>::new(2));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..10 {
+            // Blocking push so the tiny capacity exercises waiting.
+            q.push(i).unwrap();
+        }
+        q.drain();
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocking_push_observes_drain() {
+        let q = Arc::new(IngestQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(1))
+        };
+        // Give the pusher a chance to park, then drain without popping.
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.drain();
+        assert_eq!(pusher.join().unwrap(), Err(PushError::Draining(1)));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+    }
+}

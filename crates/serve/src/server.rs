@@ -1,0 +1,563 @@
+//! The TCP server: acceptor, router, shard workers, and queries.
+//!
+//! Thread layout (all on one [`tempstream_runtime::pool::scope`]):
+//!
+//! ```text
+//! acceptor (scope body) ──spawns──▶ connection handlers (≤ max_connections)
+//!                                        │ try_push whole ingest frames
+//!                                        ▼
+//!                                   router queue (bounded — the admission point)
+//!                                        │ router worker splits by fxhash(block)
+//!                                        ▼
+//!                                   per-shard queues (bounded, blocking push)
+//!                                        │ shard workers apply incrementally
+//!                                        ▼
+//!                                   per-shard ShardState (behind shim Mutex)
+//! ```
+//!
+//! Backpressure: connection handlers never block on ingest — a full
+//! router queue surfaces as a `Busy` reply and the records are *not*
+//! counted. The router's blocking pushes propagate shard-side pressure
+//! back to the single admission point. Nothing buffers without bound.
+//!
+//! Read-your-writes: every acked record bumps `Progress::enqueued`
+//! under the progress lock *in the same critical section as the queue
+//! push*; shard workers bump `applied` after mutating their state.
+//! A query first waits until `applied >= enqueued-at-entry`, then locks
+//! all shards (index order) for a consistent cut — so any answer
+//! reflects at least every record acked before the query was sent.
+//!
+//! Shutdown: a `Shutdown` frame marks the lifecycle `Draining`, drains
+//! the router queue, and wakes the acceptor with a loopback connect.
+//! The router forwards its backlog, drains the shard queues, collects
+//! one done-token per shard worker over a
+//! [`tempstream_runtime::channel::bounded`] channel, and flips the
+//! lifecycle to `Drained`; the shutdown connection then answers
+//! `ShutdownAck`. No acked record is ever dropped on shutdown.
+//!
+//! All synchronization lives in the [`tempstream_runtime::sync`] shim
+//! (enforced by `tempstream-checker`'s `lint-sources` gate).
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::queue::{IngestQueue, PushError};
+use crate::shard::{
+    merge_coverage_counts, merge_stream_counts, merge_top_origins, shard_of, ShardConfig,
+    ShardState,
+};
+use crate::wire::{write_frame, Frame, FrameAssembler, ERR_BAD_FRAME, ERR_DRAINING};
+use tempstream_obsv::{Counter, Registry};
+use tempstream_runtime::sync::{Arc, Condvar, Mutex};
+use tempstream_runtime::{channel, pool};
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::MissClass;
+
+/// How long a connection handler sleeps in `read` before re-checking
+/// the drain flag.
+const READ_POLL: Duration = Duration::from_millis(20);
+
+/// Server-wide tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of analysis shards (and shard worker threads).
+    pub shards: usize,
+    /// Per-shard analysis parameters.
+    pub shard: ShardConfig,
+    /// Ingest-frame capacity of the router (admission) queue.
+    pub router_queue_capacity: usize,
+    /// Sub-batch capacity of each per-shard queue.
+    pub shard_queue_capacity: usize,
+    /// Concurrent connections; excess accepts get `Busy` and close.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 1,
+            shard: ShardConfig::default(),
+            router_queue_capacity: 64,
+            shard_queue_capacity: 64,
+            max_connections: 32,
+        }
+    }
+}
+
+/// Lifecycle of the server, driven by the `Shutdown` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Draining,
+    Drained,
+}
+
+#[derive(Debug, Default)]
+struct Progress {
+    /// Records admitted past the router queue (and acked).
+    enqueued: u64,
+    /// Records applied to shard state.
+    applied: u64,
+}
+
+#[derive(Debug, Default)]
+struct Conns {
+    active: usize,
+    peak: usize,
+}
+
+/// Counter handles bumped on the hot paths (cheap `Arc` clones; the
+/// registry map lock is taken once here, not per event).
+struct Metrics {
+    frames_received: Counter,
+    frames_busy: Counter,
+    frames_errors: Counter,
+    frames_dropped: Counter,
+    records_ingested: Counter,
+    records_applied: Counter,
+    records_rejected: Counter,
+    conn_accepted: Counter,
+    conn_rejected: Counter,
+    queries: Counter,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Self {
+        Metrics {
+            frames_received: registry.counter("serve/frames/received"),
+            frames_busy: registry.counter("serve/frames/busy"),
+            frames_errors: registry.counter("serve/frames/errors"),
+            frames_dropped: registry.counter("serve/frames/dropped"),
+            records_ingested: registry.counter("serve/records/ingested"),
+            records_applied: registry.counter("serve/records/applied"),
+            records_rejected: registry.counter("serve/records/rejected"),
+            conn_accepted: registry.counter("serve/conn/accepted"),
+            conn_rejected: registry.counter("serve/conn/rejected"),
+            queries: registry.counter("serve/queries"),
+        }
+    }
+}
+
+/// Everything the worker threads share by reference.
+struct Shared {
+    local_addr: SocketAddr,
+    registry: Arc<Registry>,
+    metrics: Metrics,
+    router_queue: IngestQueue<Vec<MissRecord<MissClass>>>,
+    shard_queues: Vec<IngestQueue<Vec<MissRecord<MissClass>>>>,
+    shard_states: Vec<Mutex<ShardState>>,
+    progress: Mutex<Progress>,
+    applied_cv: Condvar,
+    lifecycle: Mutex<Phase>,
+    drained_cv: Condvar,
+    conns: Mutex<Conns>,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        *self.lifecycle.lock() != Phase::Running
+    }
+
+    /// Idempotent entry into the drain phase.
+    fn begin_drain(&self) {
+        {
+            let mut phase = self.lifecycle.lock();
+            if *phase == Phase::Running {
+                *phase = Phase::Draining;
+            }
+        }
+        self.router_queue.drain();
+        // Wake the acceptor blocked in `accept` so it can observe the
+        // phase change; the throwaway connection is dropped unserved.
+        drop(TcpStream::connect(self.local_addr));
+    }
+
+    fn wait_drained(&self) {
+        let mut phase = self.lifecycle.lock();
+        while *phase != Phase::Drained {
+            phase = self.drained_cv.wait(phase);
+        }
+    }
+
+    /// Blocks until every record acked so far is applied to shard
+    /// state (read-your-writes for queries).
+    fn wait_applied(&self) {
+        let mut p = self.progress.lock();
+        let target = p.enqueued;
+        while p.applied < target {
+            p = self.applied_cv.wait(p);
+        }
+    }
+
+    /// Waits out in-flight ingest, then locks every shard (index
+    /// order) and merges with `f` — a consistent cut across shards.
+    fn with_consistent_cut<T>(&self, f: impl FnOnce(&[ShardGuard<'_>]) -> T) -> T {
+        self.wait_applied();
+        let guards: Vec<ShardGuard<'_>> = self.shard_states.iter().map(Mutex::lock).collect();
+        f(&guards)
+    }
+
+    fn handle_frame(&self, frame: Frame, stream: &mut TcpStream) -> std::io::Result<bool> {
+        self.metrics.frames_received.inc();
+        match frame {
+            Frame::Ingest(records) => {
+                let n = records.len() as u64;
+                let reply = {
+                    // Push and ack-count in one critical section so
+                    // `applied` can never outrun `enqueued`.
+                    let mut p = self.progress.lock();
+                    match self.router_queue.try_push(records) {
+                        Ok(()) => {
+                            p.enqueued += n;
+                            self.metrics.records_ingested.add(n);
+                            Frame::IngestAck(n as u32)
+                        }
+                        Err(PushError::Full(_)) => {
+                            self.metrics.frames_busy.inc();
+                            self.metrics.records_rejected.add(n);
+                            Frame::Busy
+                        }
+                        Err(PushError::Draining(_)) => {
+                            self.metrics.frames_errors.inc();
+                            Frame::Error {
+                                code: ERR_DRAINING,
+                                message: "server is draining".to_string(),
+                            }
+                        }
+                    }
+                };
+                write_frame(&mut *stream, &reply)?;
+                Ok(true)
+            }
+            Frame::QueryStreamFraction => {
+                self.metrics.queries.inc();
+                let counts = self.with_consistent_cut(|shards| {
+                    merge_stream_counts(shards.iter().map(|s| s.stream_counts()))
+                });
+                write_frame(
+                    &mut *stream,
+                    &Frame::StreamFractionReply {
+                        non_repetitive: counts.non_repetitive,
+                        new_stream: counts.new_stream,
+                        recurring_stream: counts.recurring_stream,
+                        distinct_streams: counts.distinct_streams,
+                    },
+                )?;
+                Ok(true)
+            }
+            Frame::QueryCoverage => {
+                self.metrics.queries.inc();
+                let cov = self.with_consistent_cut(|shards| {
+                    merge_coverage_counts(shards.iter().map(|s| s.coverage_counts()))
+                });
+                write_frame(
+                    &mut *stream,
+                    &Frame::CoverageReply {
+                        total: cov.total,
+                        covered: cov.covered,
+                        issued: cov.issued,
+                    },
+                )?;
+                Ok(true)
+            }
+            Frame::QueryTopOrigins(n) => {
+                self.metrics.queries.inc();
+                let rows = self.with_consistent_cut(|shards| {
+                    merge_top_origins(shards.iter().map(|s| s.origin_counts()), n as usize)
+                });
+                write_frame(&mut *stream, &Frame::TopOriginsReply(rows))?;
+                Ok(true)
+            }
+            Frame::QueryMetricsSnapshot => {
+                self.metrics.queries.inc();
+                self.export_gauges();
+                let json = self.registry.snapshot().render();
+                write_frame(&mut *stream, &Frame::MetricsReply(json))?;
+                Ok(true)
+            }
+            Frame::Shutdown => {
+                self.begin_drain();
+                self.wait_drained();
+                write_frame(&mut *stream, &Frame::ShutdownAck)?;
+                Ok(false)
+            }
+            // Reply-direction frames are never valid requests.
+            Frame::IngestAck(_)
+            | Frame::Busy
+            | Frame::StreamFractionReply { .. }
+            | Frame::CoverageReply { .. }
+            | Frame::TopOriginsReply(_)
+            | Frame::MetricsReply(_)
+            | Frame::ShutdownAck
+            | Frame::Error { .. } => {
+                self.metrics.frames_errors.inc();
+                write_frame(
+                    &mut *stream,
+                    &Frame::Error {
+                        code: ERR_BAD_FRAME,
+                        message: "reply-direction frame sent as request".to_string(),
+                    },
+                )?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Publishes point-in-time gauges right before a snapshot.
+    fn export_gauges(&self) {
+        self.registry
+            .gauge("serve/queue/router/max_depth")
+            .set(self.router_queue.max_depth() as u64);
+        for (i, q) in self.shard_queues.iter().enumerate() {
+            self.registry
+                .gauge(&format!("serve/queue/shard{i}/max_depth"))
+                .set(q.max_depth() as u64);
+        }
+        let conns = self.conns.lock();
+        self.registry
+            .gauge("serve/conn/active")
+            .set(conns.active as u64);
+        self.registry
+            .gauge("serve/conn/peak")
+            .set(conns.peak as u64);
+        let mut applied = 0u64;
+        let mut overflow = 0u64;
+        for state in &self.shard_states {
+            let s = state.lock();
+            applied += s.ingested();
+            overflow += s.overflow();
+        }
+        self.registry.gauge("serve/records/in_state").set(applied);
+        self.registry.gauge("serve/records/overflow").set(overflow);
+    }
+}
+
+type ShardGuard<'a> = tempstream_runtime::sync::MutexGuard<'a, ShardState>;
+
+/// One connection: assemble frames, dispatch, poll the drain flag.
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut asm = FrameAssembler::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match asm.next_frame() {
+                Ok(Some(frame)) => match shared.handle_frame(frame, &mut stream) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => return,
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    // Decode failure: the stream offset can no longer
+                    // be trusted. Report and tear down.
+                    shared.metrics.frames_errors.inc();
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Error {
+                            code: ERR_BAD_FRAME,
+                            message: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => asm.push_bytes(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll: leave once the server drains and no
+                // partial frame is pending.
+                if shared.is_draining() && asm.is_idle() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Router worker: splits admitted ingest frames across shard queues,
+/// then runs the drain handshake (see the module docs).
+fn run_router(shared: &Shared, done_rx: &channel::Receiver<()>) {
+    let shards = shared.shard_queues.len();
+    while let Some(batch) = shared.router_queue.pop() {
+        if shards == 1 {
+            if shared.shard_queues[0].push(batch).is_err() {
+                shared.metrics.frames_dropped.inc();
+            }
+            continue;
+        }
+        let mut per: Vec<Vec<MissRecord<MissClass>>> = vec![Vec::new(); shards];
+        for r in batch {
+            per[shard_of(r.block.raw(), shards)].push(r);
+        }
+        for (i, sub) in per.into_iter().enumerate() {
+            if !sub.is_empty() && shared.shard_queues[i].push(sub).is_err() {
+                // Unreachable by construction (only the router drains
+                // shard queues, after its own queue closes); counted
+                // so the soak gate would catch a regression.
+                shared.metrics.frames_dropped.inc();
+            }
+        }
+    }
+    // Router queue closed and fully forwarded: close the shard queues
+    // and wait for each worker's done token.
+    for q in &shared.shard_queues {
+        q.drain();
+    }
+    for _ in 0..shards {
+        let _ = done_rx.recv();
+    }
+    let mut phase = shared.lifecycle.lock();
+    *phase = Phase::Drained;
+    drop(phase);
+    shared.drained_cv.notify_all();
+}
+
+/// Shard worker: applies routed sub-batches to this shard's state.
+fn run_shard(shared: &Shared, index: usize, done_tx: &channel::Sender<()>) {
+    while let Some(batch) = shared.shard_queues[index].pop() {
+        let n = batch.len() as u64;
+        {
+            let mut state = shared.shard_states[index].lock();
+            for r in &batch {
+                state.apply(r);
+            }
+        }
+        shared.metrics.records_applied.add(n);
+        let mut p = shared.progress.lock();
+        p.applied += n;
+        drop(p);
+        shared.applied_cv.notify_all();
+    }
+    let _ = done_tx.send(());
+}
+
+/// A bound-but-not-yet-running ingest/query server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Any `TcpListener::bind` failure.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+            registry: Arc::new(Registry::new()),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Any `TcpListener::local_addr` failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's metric registry (exported in full by the
+    /// `QueryMetricsSnapshot` frame).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Serves until a client sends `Shutdown` and the drain completes.
+    ///
+    /// Blocks the calling thread; run it from a dedicated thread (or
+    /// process, as the `serve` binary does) and drive it over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on listener-level I/O errors (bind address lost,
+    /// local_addr unavailable); per-connection errors are contained.
+    pub fn run(self) -> std::io::Result<()> {
+        let config = self.config;
+        let shards = config.shards.max(1);
+        let local_addr = self.listener.local_addr()?;
+        let shared = Shared {
+            local_addr,
+            registry: Arc::clone(&self.registry),
+            metrics: Metrics::new(&self.registry),
+            router_queue: IngestQueue::new(config.router_queue_capacity),
+            shard_queues: (0..shards)
+                .map(|_| IngestQueue::new(config.shard_queue_capacity))
+                .collect(),
+            shard_states: (0..shards)
+                .map(|_| Mutex::new(ShardState::new(config.shard)))
+                .collect(),
+            progress: Mutex::new(Progress::default()),
+            applied_cv: Condvar::new(),
+            lifecycle: Mutex::new(Phase::Running),
+            drained_cv: Condvar::new(),
+            conns: Mutex::new(Conns::default()),
+        };
+        let shared = &shared;
+        let listener = &self.listener;
+        // One lane per long-lived job: shard workers + router +
+        // connection handlers. Jobs never exceed lanes, so no
+        // long-running job can starve another.
+        let workers = shards + 1 + config.max_connections;
+        pool::scope(workers, move |p| {
+            let (done_tx, done_rx) = channel::bounded::<()>(shards);
+            for index in 0..shards {
+                let done_tx = done_tx.clone();
+                p.spawn(move |_| run_shard(shared, index, &done_tx));
+            }
+            drop(done_tx);
+            p.spawn(move |_| run_router(shared, &done_rx));
+
+            loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _peer)) => stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                };
+                if shared.is_draining() {
+                    // Woken by begin_drain's loopback connect (or a
+                    // late client); stop accepting.
+                    break;
+                }
+                let admitted = {
+                    let mut conns = shared.conns.lock();
+                    if conns.active >= config.max_connections {
+                        false
+                    } else {
+                        conns.active += 1;
+                        conns.peak = conns.peak.max(conns.active);
+                        true
+                    }
+                };
+                if admitted {
+                    shared.metrics.conn_accepted.inc();
+                    p.spawn(move |_| {
+                        handle_conn(shared, stream);
+                        let mut conns = shared.conns.lock();
+                        conns.active -= 1;
+                    });
+                } else {
+                    shared.metrics.conn_rejected.inc();
+                    let mut stream = stream;
+                    let _ = write_frame(&mut stream, &Frame::Busy);
+                }
+            }
+        });
+        Ok(())
+    }
+}

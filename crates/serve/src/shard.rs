@@ -1,0 +1,333 @@
+//! Per-shard analysis state and the merge of per-shard answers.
+//!
+//! Each shard owns an **incremental** copy of the characterization
+//! pipeline: a live SEQUITUR builder (stream detection), an
+//! [`OnlineEvaluator`] driving the temporal prefetch engine
+//! (coverage/accuracy), and a per-function origin counter. Records are
+//! routed to shards by [`shard_of`] — a seedless Fx hash of the block
+//! address, so the same trace always shards the same way in any
+//! process, which is what makes the offline comparator
+//! ([`crate::offline`]) bit-exact.
+//!
+//! Queries snapshot a shard under its lock and merge across shards with
+//! the `merge_*` functions below; the offline batch path reuses the
+//! same merge functions, so online and offline answers can only differ
+//! if a *per-shard* answer differs — and those are pinned to the batch
+//! stages by construction ([`Sequitur::grammar`] snapshots equal
+//! `into_grammar`, [`StreamAnalysis::of_grammar`] is the batch root
+//! walk, [`OnlineEvaluator`] is the batch buffer model).
+
+use std::hash::{BuildHasher, Hasher};
+use tempstream_core::streams::StreamAnalysis;
+use tempstream_fxhash::{FxBuildHasher, FxHashMap};
+use tempstream_prefetch::{OnlineEvaluator, TemporalPrefetcher};
+use tempstream_sequitur::Sequitur;
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::MissClass;
+
+/// Analysis parameters every shard runs with. The load generator's
+/// `--verify` mode and the loopback tests construct the offline
+/// comparator from the same values, so defaults changing can never
+/// silently diverge the two paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// FIFO prefetch-buffer capacity (blocks) for the evaluation model.
+    pub buffer_capacity: usize,
+    /// Temporal prefetcher burst size (blocks fetched per trigger).
+    pub burst: u32,
+    /// Temporal prefetcher adaptive look-ahead cap.
+    pub max_ahead: u32,
+    /// Miss-log capacity of the temporal engine.
+    pub log_capacity: usize,
+    /// Records retained for SEQUITUR analysis per shard; ingest beyond
+    /// this still counts toward coverage and origins but no longer
+    /// grows the grammar (the batch pipeline's `max_analysis_misses`
+    /// cap, applied per shard).
+    pub max_retained: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            buffer_capacity: 512,
+            burst: 2,
+            max_ahead: 8,
+            log_capacity: 1 << 20,
+            max_retained: 1 << 20,
+        }
+    }
+}
+
+/// Routes a block address to a shard: seedless Fx hash, modulo `shards`.
+pub fn shard_of(block: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut hasher = FxBuildHasher::default().build_hasher();
+    hasher.write_u64(block);
+    (hasher.finish() % shards as u64) as usize
+}
+
+/// Merged stream-fraction counts (the online form of the batch
+/// `StreamFractionReport` plus the distinct-stream total).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamCounts {
+    /// Misses outside any repeated sequence.
+    pub non_repetitive: u64,
+    /// Misses in first occurrences.
+    pub new_stream: u64,
+    /// Misses in later occurrences.
+    pub recurring_stream: u64,
+    /// Distinct streams (summed over shards).
+    pub distinct_streams: u64,
+}
+
+impl StreamCounts {
+    /// All analyzed misses.
+    pub fn total(&self) -> u64 {
+        self.non_repetitive + self.new_stream + self.recurring_stream
+    }
+}
+
+/// Merged prefetch-evaluation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageCounts {
+    /// Demand misses observed.
+    pub total: u64,
+    /// Misses covered by the prefetch buffer.
+    pub covered: u64,
+    /// Prefetches issued.
+    pub issued: u64,
+}
+
+/// One shard's live analysis state.
+#[derive(Debug)]
+pub struct ShardState {
+    config: ShardConfig,
+    seq: Sequitur,
+    /// Records retained for grammar queries, in shard-arrival order.
+    records: Vec<MissRecord<MissClass>>,
+    /// Highest cpu id seen (drives the root walk's per-cpu counters).
+    max_cpu: u32,
+    prefetcher: TemporalPrefetcher,
+    eval: OnlineEvaluator,
+    origin_counts: FxHashMap<u32, u64>,
+    /// Every record ever routed here, retained or not.
+    ingested: u64,
+    /// Records past `max_retained` (analyzed for coverage/origins only).
+    overflow: u64,
+}
+
+impl ShardState {
+    /// Creates an empty shard.
+    pub fn new(config: ShardConfig) -> Self {
+        ShardState {
+            config,
+            seq: Sequitur::new(),
+            records: Vec::new(),
+            max_cpu: 0,
+            prefetcher: TemporalPrefetcher::adaptive(config.burst, config.max_ahead)
+                .with_log_capacity(config.log_capacity),
+            eval: OnlineEvaluator::new(config.buffer_capacity),
+            origin_counts: FxHashMap::default(),
+            ingested: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Ingests one record: feeds the prefetch evaluation and origin
+    /// counts always, and the SEQUITUR builder until the retention cap.
+    pub fn apply(&mut self, record: &MissRecord<MissClass>) {
+        self.ingested += 1;
+        self.max_cpu = self.max_cpu.max(record.cpu.raw());
+        *self.origin_counts.entry(record.function.raw()).or_insert(0) += 1;
+        self.eval
+            .observe(&mut self.prefetcher, record.cpu, record.block);
+        if self.records.len() < self.config.max_retained {
+            self.seq.push(record.block.raw());
+            self.records.push(*record);
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Records ever routed to this shard.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Records past the retention cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Stream counts from a grammar snapshot of the live builder —
+    /// bit-identical to batch-analyzing this shard's retained records.
+    pub fn stream_counts(&self) -> StreamCounts {
+        let grammar = self.seq.grammar();
+        let analysis = StreamAnalysis::of_grammar(&grammar, &self.records, self.max_cpu + 1);
+        let (non, new, rec) = analysis.label_counts();
+        StreamCounts {
+            non_repetitive: non,
+            new_stream: new,
+            recurring_stream: rec,
+            distinct_streams: analysis.distinct_streams() as u64,
+        }
+    }
+
+    /// Prefetch coverage counters accumulated so far.
+    pub fn coverage_counts(&self) -> CoverageCounts {
+        let e = self.eval.snapshot();
+        CoverageCounts {
+            total: e.total,
+            covered: e.covered,
+            issued: e.issued,
+        }
+    }
+
+    /// Per-function miss counts (shared reference; merge with
+    /// [`merge_top_origins`]).
+    pub fn origin_counts(&self) -> &FxHashMap<u32, u64> {
+        &self.origin_counts
+    }
+}
+
+/// Sums per-shard stream counts.
+pub fn merge_stream_counts<I: IntoIterator<Item = StreamCounts>>(parts: I) -> StreamCounts {
+    parts
+        .into_iter()
+        .fold(StreamCounts::default(), |a, b| StreamCounts {
+            non_repetitive: a.non_repetitive + b.non_repetitive,
+            new_stream: a.new_stream + b.new_stream,
+            recurring_stream: a.recurring_stream + b.recurring_stream,
+            distinct_streams: a.distinct_streams + b.distinct_streams,
+        })
+}
+
+/// Sums per-shard coverage counters.
+pub fn merge_coverage_counts<I: IntoIterator<Item = CoverageCounts>>(parts: I) -> CoverageCounts {
+    parts
+        .into_iter()
+        .fold(CoverageCounts::default(), |a, b| CoverageCounts {
+            total: a.total + b.total,
+            covered: a.covered + b.covered,
+            issued: a.issued + b.issued,
+        })
+}
+
+/// Merges per-shard origin maps into the global top-`n` list, ordered
+/// by count descending with function id ascending as the tiebreak (a
+/// total order, so the answer never depends on shard iteration order).
+pub fn merge_top_origins<'a, I>(maps: I, n: usize) -> Vec<(u32, u64)>
+where
+    I: IntoIterator<Item = &'a FxHashMap<u32, u64>>,
+{
+    let mut merged: FxHashMap<u32, u64> = FxHashMap::default();
+    for map in maps {
+        for (&function, &count) in map {
+            *merged.entry(function).or_insert(0) += count;
+        }
+    }
+    let mut rows: Vec<(u32, u64)> = merged.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempstream_trace::{Block, CpuId, FunctionId, ThreadId};
+
+    fn record(block: u64, cpu: u32, function: u32) -> MissRecord<MissClass> {
+        MissRecord {
+            block: Block::new(block),
+            cpu: CpuId::new(cpu),
+            thread: ThreadId::new(cpu),
+            function: FunctionId::new(function),
+            class: MissClass::Replacement,
+        }
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for block in 0..500u64 {
+                let s = shard_of(block, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(block, shards), "stable per (block, shards)");
+            }
+        }
+        // All shards actually receive traffic.
+        let mut hit = vec![false; 4];
+        for block in 0..500u64 {
+            hit[shard_of(block, 4)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some shard never selected: {hit:?}");
+    }
+
+    #[test]
+    fn incremental_shard_matches_batch_stages() {
+        let blocks = [1u64, 2, 3, 1, 2, 3, 9, 4, 1, 2, 5, 4, 1, 2, 5, 9];
+        let records: Vec<_> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| record(b, (i % 2) as u32, (b % 3) as u32))
+            .collect();
+        let cfg = ShardConfig::default();
+        let mut shard = ShardState::new(cfg);
+        for r in &records {
+            shard.apply(r);
+        }
+        let partial = tempstream_core::stages::analyze_streams(&records, 2);
+        let online = shard.stream_counts();
+        assert_eq!(
+            online.non_repetitive,
+            partial.stream_fraction.non_repetitive
+        );
+        assert_eq!(online.new_stream, partial.stream_fraction.new_stream);
+        assert_eq!(
+            online.recurring_stream,
+            partial.stream_fraction.recurring_stream
+        );
+        assert_eq!(online.distinct_streams, partial.distinct_streams as u64);
+
+        let mut batch_prefetcher = TemporalPrefetcher::adaptive(cfg.burst, cfg.max_ahead)
+            .with_log_capacity(cfg.log_capacity);
+        let batch =
+            tempstream_prefetch::evaluate(&mut batch_prefetcher, &records, cfg.buffer_capacity);
+        let cov = shard.coverage_counts();
+        assert_eq!(
+            (cov.total, cov.covered, cov.issued),
+            (batch.total, batch.covered, batch.issued)
+        );
+    }
+
+    #[test]
+    fn retention_cap_freezes_grammar_not_coverage() {
+        let cfg = ShardConfig {
+            max_retained: 4,
+            ..ShardConfig::default()
+        };
+        let mut shard = ShardState::new(cfg);
+        for i in 0..10u64 {
+            shard.apply(&record(i % 3, 0, 0));
+        }
+        assert_eq!(shard.ingested(), 10);
+        assert_eq!(shard.overflow(), 6);
+        assert_eq!(shard.stream_counts().total(), 4, "grammar capped");
+        assert_eq!(shard.coverage_counts().total, 10, "coverage uncapped");
+    }
+
+    #[test]
+    fn top_origins_merge_is_ordered_and_total() {
+        let mut a = FxHashMap::default();
+        a.insert(1u32, 5u64);
+        a.insert(2, 3);
+        let mut b = FxHashMap::default();
+        b.insert(2u32, 2u64);
+        b.insert(3, 5);
+        let rows = merge_top_origins([&a, &b], 3);
+        // count desc, then function asc: 1→5, 2→5, 3→5 all tie on count.
+        assert_eq!(rows, vec![(1, 5), (2, 5), (3, 5)]);
+        assert_eq!(merge_top_origins([&a, &b], 2), vec![(1, 5), (2, 5)]);
+    }
+}

@@ -1,0 +1,510 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame on the wire is:
+//!
+//! ```text
+//! len      u32 LE      length of everything after this field
+//! version  u8          currently 1
+//! type     u8          frame discriminant (see Frame)
+//! payload  len-6 bytes type-specific
+//! crc      u32 LE      CRC-32/IEEE over version + type + payload
+//! ```
+//!
+//! Ingest payloads carry runs of records in the *same* 21-byte encoding
+//! the `trace::io` spill format uses ([`tempstream_trace::io::encode_record`]),
+//! so a trace collected offline replays over the wire byte-for-byte.
+//!
+//! Robustness contract (exercised by `tests/wire_properties.rs`): a
+//! malformed, truncated, oversized, or checksum-corrupted frame never
+//! panics the decoder — it surfaces as a [`WireError`], which the
+//! server answers with an [`Frame::Error`] reply before closing the
+//! connection.
+
+use std::io::{Read, Write};
+use tempstream_trace::io::{decode_record, encode_record, ReadTraceError, RECORD_BYTES};
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::MissClass;
+
+/// Protocol version byte carried by every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on `len`: bounds the allocation a hostile or corrupt
+/// length prefix can drive (1 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Maximum records per ingest frame.
+pub const MAX_BATCH_RECORDS: usize = 32_768;
+
+/// Frame overhead after the length prefix: version + type + crc.
+const ENVELOPE_BYTES: usize = 1 + 1 + 4;
+
+/// Error code carried by [`Frame::Error`]: the peer sent a frame that
+/// failed to decode.
+pub const ERR_BAD_FRAME: u16 = 1;
+/// Error code: the server is draining and rejects new ingest.
+pub const ERR_DRAINING: u16 = 2;
+
+/// One protocol frame, client→server requests and server→client
+/// replies together (the discriminant ranges keep them disjoint).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A batch of miss records to ingest (client→server).
+    Ingest(Vec<MissRecord<MissClass>>),
+    /// Ask for the merged stream-fraction counts (client→server).
+    QueryStreamFraction,
+    /// Ask for the merged prefetch coverage/accuracy (client→server).
+    QueryCoverage,
+    /// Ask for the top-N miss-origin functions (client→server).
+    QueryTopOrigins(u16),
+    /// Ask for the full obsv registry snapshot (client→server).
+    QueryMetricsSnapshot,
+    /// Begin drain-then-shutdown (client→server).
+    Shutdown,
+    /// Ingest accepted; payload echoes the record count (server→client).
+    IngestAck(u32),
+    /// Ingest rejected for backpressure; retry later (server→client).
+    Busy,
+    /// Merged stream-fraction counts (server→client).
+    StreamFractionReply {
+        /// Misses outside any repeated sequence.
+        non_repetitive: u64,
+        /// Misses in a stream's first occurrence.
+        new_stream: u64,
+        /// Misses in later occurrences.
+        recurring_stream: u64,
+        /// Distinct streams summed over shards.
+        distinct_streams: u64,
+    },
+    /// Merged prefetch evaluation counters (server→client).
+    CoverageReply {
+        /// Demand misses observed.
+        total: u64,
+        /// Misses covered by the prefetch buffer.
+        covered: u64,
+        /// Prefetches issued.
+        issued: u64,
+    },
+    /// Top origins as (function id, miss count), count-descending
+    /// (server→client).
+    TopOriginsReply(Vec<(u32, u64)>),
+    /// Full obsv registry snapshot as JSON text (server→client).
+    MetricsReply(String),
+    /// Drain complete, server is exiting (server→client).
+    ShutdownAck,
+    /// Protocol-level failure; the server closes after sending this
+    /// (server→client).
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// The peer closed the stream mid-frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`] (or is shorter
+    /// than the envelope).
+    BadLength(u32),
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// The CRC trailer does not match the frame body.
+    BadChecksum,
+    /// Unknown frame type byte.
+    UnknownType(u8),
+    /// The payload does not parse for its frame type.
+    Malformed(&'static str),
+    /// An ingest record failed to decode.
+    BadRecord(ReadTraceError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Truncated => write!(f, "stream closed mid-frame"),
+            WireError::BadLength(n) => write!(f, "frame length {n} outside protocol bounds"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::BadRecord(e) => write!(f, "bad record in ingest frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// --- CRC-32/IEEE ----------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32/IEEE (the zlib polynomial) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ u32::MAX
+}
+
+// --- encoding -------------------------------------------------------------
+
+const T_INGEST: u8 = 0;
+const T_QUERY_STREAMS: u8 = 1;
+const T_QUERY_COVERAGE: u8 = 2;
+const T_QUERY_TOP_ORIGINS: u8 = 3;
+const T_QUERY_METRICS: u8 = 4;
+const T_SHUTDOWN: u8 = 5;
+const T_INGEST_ACK: u8 = 16;
+const T_BUSY: u8 = 17;
+const T_STREAMS_REPLY: u8 = 18;
+const T_COVERAGE_REPLY: u8 = 19;
+const T_TOP_ORIGINS_REPLY: u8 = 20;
+const T_METRICS_REPLY: u8 = 21;
+const T_SHUTDOWN_ACK: u8 = 22;
+const T_ERROR: u8 = 23;
+
+fn frame_type(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Ingest(_) => T_INGEST,
+        Frame::QueryStreamFraction => T_QUERY_STREAMS,
+        Frame::QueryCoverage => T_QUERY_COVERAGE,
+        Frame::QueryTopOrigins(_) => T_QUERY_TOP_ORIGINS,
+        Frame::QueryMetricsSnapshot => T_QUERY_METRICS,
+        Frame::Shutdown => T_SHUTDOWN,
+        Frame::IngestAck(_) => T_INGEST_ACK,
+        Frame::Busy => T_BUSY,
+        Frame::StreamFractionReply { .. } => T_STREAMS_REPLY,
+        Frame::CoverageReply { .. } => T_COVERAGE_REPLY,
+        Frame::TopOriginsReply(_) => T_TOP_ORIGINS_REPLY,
+        Frame::MetricsReply(_) => T_METRICS_REPLY,
+        Frame::ShutdownAck => T_SHUTDOWN_ACK,
+        Frame::Error { .. } => T_ERROR,
+    }
+}
+
+fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Ingest(records) => {
+            assert!(
+                records.len() <= MAX_BATCH_RECORDS,
+                "ingest batch over MAX_BATCH_RECORDS; split before encoding"
+            );
+            out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+            for r in records {
+                encode_record(r, out);
+            }
+        }
+        Frame::QueryTopOrigins(n) => out.extend_from_slice(&n.to_le_bytes()),
+        Frame::IngestAck(n) => out.extend_from_slice(&n.to_le_bytes()),
+        Frame::StreamFractionReply {
+            non_repetitive,
+            new_stream,
+            recurring_stream,
+            distinct_streams,
+        } => {
+            out.extend_from_slice(&non_repetitive.to_le_bytes());
+            out.extend_from_slice(&new_stream.to_le_bytes());
+            out.extend_from_slice(&recurring_stream.to_le_bytes());
+            out.extend_from_slice(&distinct_streams.to_le_bytes());
+        }
+        Frame::CoverageReply {
+            total,
+            covered,
+            issued,
+        } => {
+            out.extend_from_slice(&total.to_le_bytes());
+            out.extend_from_slice(&covered.to_le_bytes());
+            out.extend_from_slice(&issued.to_le_bytes());
+        }
+        Frame::TopOriginsReply(rows) => {
+            out.extend_from_slice(&(rows.len() as u16).to_le_bytes());
+            for (function, count) in rows {
+                out.extend_from_slice(&function.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        Frame::MetricsReply(json) => out.extend_from_slice(json.as_bytes()),
+        Frame::Error { code, message } => {
+            out.extend_from_slice(&code.to_le_bytes());
+            out.extend_from_slice(message.as_bytes());
+        }
+        Frame::QueryStreamFraction
+        | Frame::QueryCoverage
+        | Frame::QueryMetricsSnapshot
+        | Frame::Shutdown
+        | Frame::Busy
+        | Frame::ShutdownAck => {}
+    }
+}
+
+/// Encodes `frame` (length prefix, envelope, payload, CRC) into `out`.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0]); // length back-patched below
+    out.push(PROTOCOL_VERSION);
+    out.push(frame_type(frame));
+    encode_payload(frame, out);
+    let body_len = out.len() - start - 4;
+    let crc = crc32(&out[start + 4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    let len = u32::try_from(body_len + 4).expect("frame fits u32");
+    assert!(
+        (len as usize) <= MAX_FRAME_BYTES,
+        "encoded frame exceeds MAX_FRAME_BYTES"
+    );
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Encodes and writes one frame to `writer`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_frame<W: Write>(mut writer: W, frame: &Frame) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(64);
+    encode_frame(frame, &mut buf);
+    writer.write_all(&buf)
+}
+
+// --- decoding -------------------------------------------------------------
+
+fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    // body = version + type + payload + crc; length already validated.
+    let crc_off = body.len() - 4;
+    let expect = u32::from_le_bytes(body[crc_off..].try_into().expect("4B crc"));
+    if crc32(&body[..crc_off]) != expect {
+        return Err(WireError::BadChecksum);
+    }
+    if body[0] != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(body[0]));
+    }
+    let payload = &body[2..crc_off];
+    let need = |n: usize, what: &'static str| {
+        if payload.len() == n {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(what))
+        }
+    };
+    let u16_at = |off: usize| u16::from_le_bytes(payload[off..off + 2].try_into().expect("2B"));
+    let u32_at = |off: usize| u32::from_le_bytes(payload[off..off + 4].try_into().expect("4B"));
+    let u64_at = |off: usize| u64::from_le_bytes(payload[off..off + 8].try_into().expect("8B"));
+    match body[1] {
+        T_INGEST => {
+            if payload.len() < 4 {
+                return Err(WireError::Malformed("ingest header short"));
+            }
+            let count = u32_at(0) as usize;
+            if count > MAX_BATCH_RECORDS {
+                return Err(WireError::Malformed("ingest batch over record cap"));
+            }
+            if payload.len() != 4 + count * RECORD_BYTES {
+                return Err(WireError::Malformed("ingest length/count mismatch"));
+            }
+            let mut records = Vec::with_capacity(count);
+            for rec in payload[4..].chunks_exact(RECORD_BYTES) {
+                records.push(decode_record::<MissClass>(rec).map_err(WireError::BadRecord)?);
+            }
+            Ok(Frame::Ingest(records))
+        }
+        T_QUERY_STREAMS => need(0, "query takes no payload").map(|()| Frame::QueryStreamFraction),
+        T_QUERY_COVERAGE => need(0, "query takes no payload").map(|()| Frame::QueryCoverage),
+        T_QUERY_TOP_ORIGINS => {
+            need(2, "top-origins takes u16 n").map(|()| Frame::QueryTopOrigins(u16_at(0)))
+        }
+        T_QUERY_METRICS => need(0, "query takes no payload").map(|()| Frame::QueryMetricsSnapshot),
+        T_SHUTDOWN => need(0, "shutdown takes no payload").map(|()| Frame::Shutdown),
+        T_INGEST_ACK => need(4, "ack takes u32 count").map(|()| Frame::IngestAck(u32_at(0))),
+        T_BUSY => need(0, "busy takes no payload").map(|()| Frame::Busy),
+        T_STREAMS_REPLY => {
+            need(32, "streams reply takes 4×u64").map(|()| Frame::StreamFractionReply {
+                non_repetitive: u64_at(0),
+                new_stream: u64_at(8),
+                recurring_stream: u64_at(16),
+                distinct_streams: u64_at(24),
+            })
+        }
+        T_COVERAGE_REPLY => need(24, "coverage reply takes 3×u64").map(|()| Frame::CoverageReply {
+            total: u64_at(0),
+            covered: u64_at(8),
+            issued: u64_at(16),
+        }),
+        T_TOP_ORIGINS_REPLY => {
+            if payload.len() < 2 {
+                return Err(WireError::Malformed("top-origins header short"));
+            }
+            let n = u16_at(0) as usize;
+            if payload.len() != 2 + n * 12 {
+                return Err(WireError::Malformed("top-origins length/count mismatch"));
+            }
+            let rows = (0..n)
+                .map(|i| (u32_at(2 + i * 12), u64_at(2 + i * 12 + 4)))
+                .collect();
+            Ok(Frame::TopOriginsReply(rows))
+        }
+        T_METRICS_REPLY => String::from_utf8(payload.to_vec())
+            .map(Frame::MetricsReply)
+            .map_err(|_| WireError::Malformed("metrics reply not utf-8")),
+        T_SHUTDOWN_ACK => need(0, "shutdown ack takes no payload").map(|()| Frame::ShutdownAck),
+        T_ERROR => {
+            if payload.len() < 2 {
+                return Err(WireError::Malformed("error frame short"));
+            }
+            let message = String::from_utf8(payload[2..].to_vec())
+                .map_err(|_| WireError::Malformed("error message not utf-8"))?;
+            Ok(Frame::Error {
+                code: u16_at(0),
+                message,
+            })
+        }
+        other => Err(WireError::UnknownType(other)),
+    }
+}
+
+/// Incremental frame parser: feed it raw bytes as they arrive, pull
+/// complete frames out.
+///
+/// This is the only decode path — the blocking [`read_frame`] is built
+/// on it — so the property tests that throw corrupt, truncated, and
+/// oversized byte streams at the assembler cover the server's decoder
+/// exactly.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    consumed: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        // Compact lazily: drop consumed bytes before growing.
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when no partial frame is buffered (safe point to close an
+    /// idle connection).
+    pub fn is_idle(&self) -> bool {
+        self.buf.len() == self.consumed
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the buffered bytes cannot be a
+    /// valid frame; the connection should be torn down (the stream
+    /// offset can no longer be trusted).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4B len"));
+        if (len as usize) < ENVELOPE_BYTES || len as usize > MAX_FRAME_BYTES {
+            return Err(WireError::BadLength(len));
+        }
+        if pending.len() < 4 + len as usize {
+            return Ok(None);
+        }
+        let body = &pending[4..4 + len as usize];
+        let frame = decode_body(body)?;
+        self.consumed += 4 + len as usize;
+        Ok(Some(frame))
+    }
+}
+
+/// Reads one complete frame from a blocking reader.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the stream ends cleanly mid-frame (or
+/// before one starts); any other [`WireError`] as produced by the
+/// decoder.
+pub fn read_frame<R: Read>(mut reader: R) -> Result<Frame, WireError> {
+    let mut asm = FrameAssembler::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = asm.next_frame()? {
+            return Ok(frame);
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => asm.push_bytes(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn assembler_handles_split_delivery() {
+        let mut bytes = Vec::new();
+        encode_frame(&Frame::QueryCoverage, &mut bytes);
+        encode_frame(&Frame::IngestAck(7), &mut bytes);
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            asm.push_bytes(std::slice::from_ref(b));
+            while let Some(f) = asm.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec![Frame::QueryCoverage, Frame::IngestAck(7)]);
+        assert!(asm.is_idle());
+    }
+}

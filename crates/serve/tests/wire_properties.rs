@@ -1,0 +1,231 @@
+//! Property tests for the wire protocol: round-trips, corruption,
+//! truncation, and hostile length prefixes. The decoder's contract is
+//! that no byte stream — however malformed — panics it; bad input
+//! surfaces as a `WireError`.
+
+use tempstream_serve::wire::{
+    crc32, encode_frame, read_frame, Frame, FrameAssembler, WireError, MAX_BATCH_RECORDS,
+    MAX_FRAME_BYTES,
+};
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::rng::SplitMix64;
+use tempstream_trace::{Block, CpuId, FunctionId, MissClass, ThreadId};
+
+fn seeded_records(seed: u64, n: usize) -> Vec<MissRecord<MissClass>> {
+    let mut rng = SplitMix64::new(seed);
+    let classes = MissClass::ALL;
+    (0..n)
+        .map(|_| MissRecord {
+            block: Block::new(rng.next_u64()),
+            cpu: CpuId::new((rng.next_u64() % 64) as u32),
+            thread: ThreadId::new((rng.next_u64() % 1024) as u32),
+            function: FunctionId::new((rng.next_u64() % 4096) as u32),
+            class: classes[(rng.next_u64() % 4) as usize],
+        })
+        .collect()
+}
+
+fn sample_frames() -> Vec<Frame> {
+    vec![
+        Frame::Ingest(Vec::new()),
+        Frame::Ingest(seeded_records(1, 1)),
+        Frame::Ingest(seeded_records(2, 257)),
+        Frame::QueryStreamFraction,
+        Frame::QueryCoverage,
+        Frame::QueryTopOrigins(0),
+        Frame::QueryTopOrigins(u16::MAX),
+        Frame::QueryMetricsSnapshot,
+        Frame::Shutdown,
+        Frame::IngestAck(0),
+        Frame::IngestAck(u32::MAX),
+        Frame::Busy,
+        Frame::StreamFractionReply {
+            non_repetitive: u64::MAX,
+            new_stream: 0,
+            recurring_stream: 1,
+            distinct_streams: 42,
+        },
+        Frame::CoverageReply {
+            total: 3,
+            covered: 2,
+            issued: u64::MAX,
+        },
+        Frame::TopOriginsReply(Vec::new()),
+        Frame::TopOriginsReply(vec![(7, 9), (u32::MAX, u64::MAX)]),
+        Frame::MetricsReply(String::new()),
+        Frame::MetricsReply("{\"counters\":{}}".to_string()),
+        Frame::ShutdownAck,
+        Frame::Error {
+            code: 2,
+            message: "drainiñg ünïcode".to_string(),
+        },
+    ]
+}
+
+fn decode_one(bytes: &[u8]) -> Result<Option<Frame>, WireError> {
+    let mut asm = FrameAssembler::new();
+    asm.push_bytes(bytes);
+    asm.next_frame()
+}
+
+#[test]
+fn every_frame_round_trips() {
+    for frame in sample_frames() {
+        let mut bytes = Vec::new();
+        encode_frame(&frame, &mut bytes);
+        let got = decode_one(&bytes)
+            .unwrap_or_else(|e| panic!("decode {frame:?}: {e}"))
+            .expect("complete frame");
+        assert_eq!(got, frame);
+        // And through the blocking reader.
+        let via_reader = read_frame(&bytes[..]).expect("read_frame");
+        assert_eq!(via_reader, frame);
+    }
+}
+
+#[test]
+fn back_to_back_frames_share_a_stream() {
+    let frames = sample_frames();
+    let mut bytes = Vec::new();
+    for f in &frames {
+        encode_frame(f, &mut bytes);
+    }
+    let mut asm = FrameAssembler::new();
+    asm.push_bytes(&bytes);
+    let mut got = Vec::new();
+    while let Some(f) = asm.next_frame().expect("valid stream") {
+        got.push(f);
+    }
+    assert_eq!(got, frames);
+    assert!(asm.is_idle());
+}
+
+#[test]
+fn single_byte_corruption_never_panics_and_never_forges_a_frame() {
+    for frame in sample_frames() {
+        let mut bytes = Vec::new();
+        encode_frame(&frame, &mut bytes);
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                match decode_one(&corrupt) {
+                    // A corrupted length prefix may ask for more bytes
+                    // (Ok(None)); anything else decodable must fail.
+                    Ok(None) | Err(_) => {}
+                    Ok(Some(got)) => {
+                        assert_ne!(
+                            got, frame,
+                            "corruption at byte {pos} (^{flip:#x}) forged the original frame"
+                        );
+                        // Only a length-prefix corruption can re-frame
+                        // the stream; the CRC pins the body bytes.
+                        assert!(pos < 4, "body corruption at {pos} decoded to {got:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_incomplete_or_an_error() {
+    for frame in sample_frames() {
+        let mut bytes = Vec::new();
+        encode_frame(&frame, &mut bytes);
+        for cut in 0..bytes.len() {
+            match decode_one(&bytes[..cut]) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(got)) => panic!("prefix {cut}/{} decoded to {got:?}", bytes.len()),
+            }
+            // The blocking reader reports a clean mid-frame close.
+            match read_frame(&bytes[..cut]) {
+                Err(WireError::Truncated) => {}
+                Err(other) => panic!("prefix {cut}: unexpected {other}"),
+                Ok(got) => panic!("prefix {cut} read {got:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_buffering() {
+    for len in [
+        MAX_FRAME_BYTES as u32 + 1,
+        u32::MAX,
+        0, // shorter than the envelope
+        1,
+        5,
+    ] {
+        let mut asm = FrameAssembler::new();
+        asm.push_bytes(&len.to_le_bytes());
+        match asm.next_frame() {
+            Err(WireError::BadLength(got)) => assert_eq!(got, len),
+            other => panic!("len {len}: expected BadLength, got {other:?}"),
+        }
+    }
+}
+
+/// Rewrites the CRC trailer so the corruption under test is the only
+/// defect in the frame.
+fn fix_crc(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let crc = crc32(&bytes[4..n - 4]);
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn ingest_count_mismatch_is_malformed() {
+    let mut bytes = Vec::new();
+    encode_frame(&Frame::Ingest(seeded_records(3, 2)), &mut bytes);
+    // Claim 3 records while carrying 2.
+    bytes[6..10].copy_from_slice(&3u32.to_le_bytes());
+    fix_crc(&mut bytes);
+    match decode_one(&bytes) {
+        Err(WireError::Malformed(what)) => assert!(what.contains("length/count"), "{what}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn ingest_over_record_cap_is_malformed() {
+    let mut bytes = Vec::new();
+    encode_frame(&Frame::Ingest(seeded_records(4, 1)), &mut bytes);
+    bytes[6..10].copy_from_slice(&((MAX_BATCH_RECORDS as u32) + 1).to_le_bytes());
+    fix_crc(&mut bytes);
+    match decode_one(&bytes) {
+        Err(WireError::Malformed(what)) => assert!(what.contains("record cap"), "{what}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_type_and_version_are_rejected() {
+    let mut bytes = Vec::new();
+    encode_frame(&Frame::Busy, &mut bytes);
+    let mut wrong_type = bytes.clone();
+    wrong_type[5] = 99;
+    fix_crc(&mut wrong_type);
+    assert!(matches!(
+        decode_one(&wrong_type),
+        Err(WireError::UnknownType(99))
+    ));
+    let mut wrong_version = bytes.clone();
+    wrong_version[4] = 9;
+    fix_crc(&mut wrong_version);
+    assert!(matches!(
+        decode_one(&wrong_version),
+        Err(WireError::BadVersion(9))
+    ));
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = SplitMix64::new(0xbad_b17e5);
+    for _ in 0..2000 {
+        let n = (rng.next_u64() % 64) as usize;
+        let garbage: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let _ = decode_one(&garbage); // must not panic
+        let _ = read_frame(&garbage[..]);
+    }
+}

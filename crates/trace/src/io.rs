@@ -26,7 +26,11 @@ const VERSION: u16 = 1;
 
 /// Encoded bytes per record: block (8) + cpu (4) + thread (4) +
 /// function (4) + class (1).
-const RECORD_BYTES: usize = 21;
+///
+/// Public because the record encoding is shared with the
+/// `tempstream-serve` wire protocol, whose ingest frames carry runs of
+/// records in exactly this layout.
+pub const RECORD_BYTES: usize = 21;
 
 /// Records decoded per bulk read in [`read_trace`] (~688 KB chunks).
 /// Bounded so a hostile header count cannot drive the allocation.
@@ -174,6 +178,48 @@ impl TraceClass for IntraChipClass {
     }
 }
 
+/// Appends one record to `buf` in the fixed [`RECORD_BYTES`]-byte
+/// little-endian layout (`block u64, cpu u32, thread u32, function u32,
+/// class u8`).
+///
+/// This is the single encoding used by both the trace files written by
+/// [`write_trace`] and the `tempstream-serve` ingest frames.
+pub fn encode_record<C: TraceClass>(record: &MissRecord<C>, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&record.block.raw().to_le_bytes());
+    buf.extend_from_slice(&record.cpu.raw().to_le_bytes());
+    buf.extend_from_slice(&record.thread.raw().to_le_bytes());
+    buf.extend_from_slice(&record.function.raw().to_le_bytes());
+    buf.push(record.class.to_byte());
+}
+
+/// Decodes one record from exactly [`RECORD_BYTES`] bytes previously
+/// produced by [`encode_record`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::BadClass`] when the class byte is invalid
+/// for `C`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() != RECORD_BYTES`; callers frame records into
+/// fixed-size chunks before decoding.
+pub fn decode_record<C: TraceClass>(bytes: &[u8]) -> Result<MissRecord<C>, ReadTraceError> {
+    assert_eq!(bytes.len(), RECORD_BYTES, "record must be {RECORD_BYTES}B");
+    let field = |lo: usize, hi: usize| -> [u8; 4] { bytes[lo..hi].try_into().expect("4B field") };
+    let class_byte = bytes[RECORD_BYTES - 1];
+    let class = C::from_byte(class_byte).ok_or(ReadTraceError::BadClass(class_byte))?;
+    Ok(MissRecord {
+        block: Block::new(u64::from_le_bytes(
+            bytes[0..8].try_into().expect("8-byte field"),
+        )),
+        cpu: CpuId::new(u32::from_le_bytes(field(8, 12))),
+        thread: ThreadId::new(u32::from_le_bytes(field(12, 16))),
+        function: FunctionId::new(u32::from_le_bytes(field(16, 20))),
+        class,
+    })
+}
+
 /// Writes `trace` to `writer` in the binary trace format.
 ///
 /// # Errors
@@ -191,11 +237,7 @@ pub fn write_trace<C: TraceClass, W: Write>(
     writer.write_all(&(trace.len() as u64).to_le_bytes())?;
     let mut buf = Vec::with_capacity(trace.len().min(1 << 16) * RECORD_BYTES);
     for r in trace.records() {
-        buf.extend_from_slice(&r.block.raw().to_le_bytes());
-        buf.extend_from_slice(&r.cpu.raw().to_le_bytes());
-        buf.extend_from_slice(&r.thread.raw().to_le_bytes());
-        buf.extend_from_slice(&r.function.raw().to_le_bytes());
-        buf.push(r.class.to_byte());
+        encode_record(r, &mut buf);
         if buf.len() >= 1 << 20 {
             writer.write_all(&buf)?;
             buf.clear();
@@ -240,9 +282,6 @@ pub fn read_trace<C: TraceClass, R: Read>(mut reader: R) -> Result<MissTrace<C>,
     // reported as `TruncatedRecords` (with `read` = whole records
     // present) rather than a bare I/O error so callers can distinguish
     // corruption from a broken pipe elsewhere.
-    let field = |rec: &[u8], lo: usize, hi: usize| -> [u8; 4] {
-        rec[lo..hi].try_into().expect("4-byte field")
-    };
     let mut chunk = vec![0u8; count.min(CHUNK_RECORDS) as usize * RECORD_BYTES];
     let mut read_done: u64 = 0;
     while read_done < count {
@@ -250,25 +289,14 @@ pub fn read_trace<C: TraceClass, R: Read>(mut reader: R) -> Result<MissTrace<C>,
         let (got, io_err) = fill(&mut reader, &mut chunk[..want]);
         let whole = got / RECORD_BYTES;
         for rec in chunk[..whole * RECORD_BYTES].chunks_exact(RECORD_BYTES) {
-            let block = Block::new(u64::from_le_bytes(
-                rec[0..8].try_into().expect("8-byte field"),
-            ));
-            let cpu_raw = u32::from_le_bytes(field(rec, 8, 12));
-            if cpu_raw >= num_cpus {
+            let record = decode_record::<C>(rec)?;
+            if record.cpu.raw() >= num_cpus {
                 return Err(ReadTraceError::CpuOutOfRange {
-                    cpu: cpu_raw,
+                    cpu: record.cpu.raw(),
                     num_cpus,
                 });
             }
-            let class_byte = rec[RECORD_BYTES - 1];
-            let class = C::from_byte(class_byte).ok_or(ReadTraceError::BadClass(class_byte))?;
-            trace.push(MissRecord {
-                block,
-                cpu: CpuId::new(cpu_raw),
-                thread: ThreadId::new(u32::from_le_bytes(field(rec, 12, 16))),
-                function: FunctionId::new(u32::from_le_bytes(field(rec, 16, 20))),
-                class,
-            });
+            trace.push(record);
         }
         read_done += whole as u64;
         if got < want {
@@ -492,6 +520,22 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 101);
         assert!(text.lines().nth(1).unwrap().contains(",0,"));
+    }
+
+    #[test]
+    fn record_codec_roundtrip_and_bad_class() {
+        for r in sample_trace().records() {
+            let mut buf = Vec::new();
+            encode_record(r, &mut buf);
+            assert_eq!(buf.len(), RECORD_BYTES);
+            assert_eq!(&decode_record::<MissClass>(&buf).unwrap(), r);
+        }
+        let mut buf = vec![0u8; RECORD_BYTES];
+        buf[RECORD_BYTES - 1] = 99;
+        assert!(matches!(
+            decode_record::<MissClass>(&buf),
+            Err(ReadTraceError::BadClass(99))
+        ));
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-27780c01e537114d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-27780c01e537114d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-2a6745a8c0702c7c.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-2a6745a8c0702c7c.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_schedules-32c7aae365c43c73.d: crates/schedcheck/src/main.rs
+
+/root/repo/target/debug/deps/check_schedules-32c7aae365c43c73: crates/schedcheck/src/main.rs
+
+crates/schedcheck/src/main.rs:

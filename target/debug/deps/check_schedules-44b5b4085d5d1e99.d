@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_schedules-44b5b4085d5d1e99.d: crates/schedcheck/src/main.rs
+
+/root/repo/target/debug/deps/check_schedules-44b5b4085d5d1e99: crates/schedcheck/src/main.rs
+
+crates/schedcheck/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_schedules-bad514c1c36ebf63.d: crates/schedcheck/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_schedules-bad514c1c36ebf63.rmeta: crates/schedcheck/src/main.rs Cargo.toml
+
+crates/schedcheck/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_miss_classification-916fbc7ff39e3b9b.d: crates/bench/benches/fig1_miss_classification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_miss_classification-916fbc7ff39e3b9b.rmeta: crates/bench/benches/fig1_miss_classification.rs Cargo.toml
+
+crates/bench/benches/fig1_miss_classification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

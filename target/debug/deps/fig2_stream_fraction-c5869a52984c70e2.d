@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_stream_fraction-c5869a52984c70e2.d: crates/bench/benches/fig2_stream_fraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_stream_fraction-c5869a52984c70e2.rmeta: crates/bench/benches/fig2_stream_fraction.rs Cargo.toml
+
+crates/bench/benches/fig2_stream_fraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

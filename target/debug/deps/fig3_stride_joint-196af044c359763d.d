@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_stride_joint-196af044c359763d.d: crates/bench/benches/fig3_stride_joint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_stride_joint-196af044c359763d.rmeta: crates/bench/benches/fig3_stride_joint.rs Cargo.toml
+
+crates/bench/benches/fig3_stride_joint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_length_reuse-a330aaac16d54383.d: crates/bench/benches/fig4_length_reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_length_reuse-a330aaac16d54383.rmeta: crates/bench/benches/fig4_length_reuse.rs Cargo.toml
+
+crates/bench/benches/fig4_length_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback-3c2cccad1e92f5f4.d: crates/serve/tests/loopback.rs
+
+/root/repo/target/debug/deps/loopback-3c2cccad1e92f5f4: crates/serve/tests/loopback.rs
+
+crates/serve/tests/loopback.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loopback-aab6519a055c356e.d: crates/serve/tests/loopback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloopback-aab6519a055c356e.rmeta: crates/serve/tests/loopback.rs Cargo.toml
+
+crates/serve/tests/loopback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback-c19443e796d82d7b.d: crates/serve/tests/loopback.rs
+
+/root/repo/target/debug/deps/loopback-c19443e796d82d7b: crates/serve/tests/loopback.rs
+
+crates/serve/tests/loopback.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetch_eval-53e62ba17800627a.d: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetch_eval-53e62ba17800627a.rmeta: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+crates/bench/src/bin/prefetch_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

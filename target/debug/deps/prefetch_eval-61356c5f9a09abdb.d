@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetch_eval-61356c5f9a09abdb.d: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetch_eval-61356c5f9a09abdb.rmeta: crates/bench/src/bin/prefetch_eval.rs Cargo.toml
+
+crates/bench/src/bin/prefetch_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

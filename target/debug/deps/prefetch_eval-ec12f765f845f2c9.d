@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_eval-ec12f765f845f2c9.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/debug/deps/prefetch_eval-ec12f765f845f2c9: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-454902ad8af7724d.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-454902ad8af7724d: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

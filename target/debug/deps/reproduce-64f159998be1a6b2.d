@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-64f159998be1a6b2.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-64f159998be1a6b2: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

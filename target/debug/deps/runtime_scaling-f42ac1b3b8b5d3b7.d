@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_scaling-f42ac1b3b8b5d3b7.d: crates/bench/benches/runtime_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_scaling-f42ac1b3b8b5d3b7.rmeta: crates/bench/benches/runtime_scaling.rs Cargo.toml
+
+crates/bench/benches/runtime_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sequitur_throughput-06b7373dfd08f85e.d: crates/bench/benches/sequitur_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsequitur_throughput-06b7373dfd08f85e.rmeta: crates/bench/benches/sequitur_throughput.rs Cargo.toml
+
+crates/bench/benches/sequitur_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve-2dca920143a78aba.d: crates/serve/src/bin/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve-2dca920143a78aba.rmeta: crates/serve/src/bin/serve.rs Cargo.toml
+
+crates/serve/src/bin/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-9655df4dffec92cc.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/debug/deps/serve-9655df4dffec92cc: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-b37c55c74ff36111.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/debug/deps/serve-b37c55c74ff36111: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

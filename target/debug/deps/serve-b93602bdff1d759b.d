@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-b93602bdff1d759b.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/debug/deps/serve-b93602bdff1d759b: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

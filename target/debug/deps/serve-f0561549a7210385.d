@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-f0561549a7210385.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/debug/deps/serve-f0561549a7210385: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_ingest-90a24cee6ad4043b.d: crates/bench/benches/serve_ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_ingest-90a24cee6ad4043b.rmeta: crates/bench/benches/serve_ingest.rs Cargo.toml
+
+crates/bench/benches/serve_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

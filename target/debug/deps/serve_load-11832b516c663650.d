@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_load-11832b516c663650.d: crates/serve/src/bin/serve_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_load-11832b516c663650.rmeta: crates/serve/src/bin/serve_load.rs Cargo.toml
+
+crates/serve/src/bin/serve_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_load-8887b718387f4244.d: crates/serve/src/bin/serve_load.rs
+
+/root/repo/target/debug/deps/serve_load-8887b718387f4244: crates/serve/src/bin/serve_load.rs
+
+crates/serve/src/bin/serve_load.rs:

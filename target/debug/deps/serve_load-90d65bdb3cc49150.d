@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_load-90d65bdb3cc49150.d: crates/serve/src/bin/serve_load.rs
+
+/root/repo/target/debug/deps/serve_load-90d65bdb3cc49150: crates/serve/src/bin/serve_load.rs
+
+crates/serve/src/bin/serve_load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_load-f1d19421144f831e.d: crates/serve/src/bin/serve_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_load-f1d19421144f831e.rmeta: crates/serve/src/bin/serve_load.rs Cargo.toml
+
+crates/serve/src/bin/serve_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

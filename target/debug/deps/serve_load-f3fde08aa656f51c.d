@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_load-f3fde08aa656f51c.d: crates/serve/src/bin/serve_load.rs
+
+/root/repo/target/debug/deps/serve_load-f3fde08aa656f51c: crates/serve/src/bin/serve_load.rs
+
+crates/serve/src/bin/serve_load.rs:

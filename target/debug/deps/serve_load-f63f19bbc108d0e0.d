@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_load-f63f19bbc108d0e0.d: crates/serve/src/bin/serve_load.rs
+
+/root/repo/target/debug/deps/serve_load-f63f19bbc108d0e0: crates/serve/src/bin/serve_load.rs
+
+crates/serve/src/bin/serve_load.rs:

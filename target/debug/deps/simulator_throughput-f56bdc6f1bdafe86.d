@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_throughput-f56bdc6f1bdafe86.d: crates/bench/benches/simulator_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_throughput-f56bdc6f1bdafe86.rmeta: crates/bench/benches/simulator_throughput.rs Cargo.toml
+
+crates/bench/benches/simulator_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

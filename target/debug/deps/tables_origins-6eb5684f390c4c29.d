@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables_origins-6eb5684f390c4c29.d: crates/bench/benches/tables_origins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables_origins-6eb5684f390c4c29.rmeta: crates/bench/benches/tables_origins.rs Cargo.toml
+
+crates/bench/benches/tables_origins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tempstream_bench-e03fc8a291ee835b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tempstream_bench-e03fc8a291ee835b: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tempstream_bench-fb4ac67d845499c1.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-fb4ac67d845499c1.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtempstream_bench-fb4ac67d845499c1.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/tempstream_runtime-645154dc76905b4c.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs Cargo.toml
+/root/repo/target/debug/deps/tempstream_runtime-645154dc76905b4c.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtempstream_runtime-645154dc76905b4c.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs Cargo.toml
+/root/repo/target/debug/deps/libtempstream_runtime-645154dc76905b4c.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/deque.rs crates/runtime/src/metrics.rs crates/runtime/src/pipeline.rs crates/runtime/src/pool.rs crates/runtime/src/spill.rs crates/runtime/src/sync/mod.rs crates/runtime/src/sync/atomic.rs crates/runtime/src/sync/thread.rs Cargo.toml
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/channel.rs:
@@ -9,6 +9,9 @@ crates/runtime/src/metrics.rs:
 crates/runtime/src/pipeline.rs:
 crates/runtime/src/pool.rs:
 crates/runtime/src/spill.rs:
+crates/runtime/src/sync/mod.rs:
+crates/runtime/src/sync/atomic.rs:
+crates/runtime/src/sync/thread.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tempstream_schedcheck-52df6fd8bd415947.d: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+/root/repo/target/debug/deps/libtempstream_schedcheck-52df6fd8bd415947.rlib: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+/root/repo/target/debug/deps/libtempstream_schedcheck-52df6fd8bd415947.rmeta: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+crates/schedcheck/src/lib.rs:
+crates/schedcheck/src/models.rs:
+crates/schedcheck/src/mutation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tempstream_schedcheck-580a1b02afa9fe3a.d: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_schedcheck-580a1b02afa9fe3a.rmeta: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs Cargo.toml
+
+crates/schedcheck/src/lib.rs:
+crates/schedcheck/src/models.rs:
+crates/schedcheck/src/mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

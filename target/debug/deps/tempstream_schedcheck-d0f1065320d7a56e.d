@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tempstream_schedcheck-d0f1065320d7a56e.d: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+/root/repo/target/debug/deps/tempstream_schedcheck-d0f1065320d7a56e: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+crates/schedcheck/src/lib.rs:
+crates/schedcheck/src/models.rs:
+crates/schedcheck/src/mutation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tempstream_schedcheck-ebe7e209a5b18f54.d: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_schedcheck-ebe7e209a5b18f54.rmeta: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs Cargo.toml
+
+crates/schedcheck/src/lib.rs:
+crates/schedcheck/src/models.rs:
+crates/schedcheck/src/mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

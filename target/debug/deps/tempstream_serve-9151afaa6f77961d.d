@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tempstream_serve-9151afaa6f77961d.d: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+/root/repo/target/debug/deps/libtempstream_serve-9151afaa6f77961d.rlib: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+/root/repo/target/debug/deps/libtempstream_serve-9151afaa6f77961d.rmeta: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/offline.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/shard.rs:
+crates/serve/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tempstream_serve-a88ffa5502e610a4.d: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+/root/repo/target/debug/deps/tempstream_serve-a88ffa5502e610a4: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/offline.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/shard.rs:
+crates/serve/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tempstream_serve-b8793599caf2fe57.d: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+/root/repo/target/debug/deps/libtempstream_serve-b8793599caf2fe57.rlib: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+/root/repo/target/debug/deps/libtempstream_serve-b8793599caf2fe57.rmeta: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/offline.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/shard.rs:
+crates/serve/src/wire.rs:

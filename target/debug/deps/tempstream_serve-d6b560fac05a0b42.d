@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tempstream_serve-d6b560fac05a0b42.d: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtempstream_serve-d6b560fac05a0b42.rmeta: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/offline.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/shard.rs:
+crates/serve/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tempstream_serve-f076d2382c6109e7.d: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+/root/repo/target/debug/deps/tempstream_serve-f076d2382c6109e7: crates/serve/src/lib.rs crates/serve/src/offline.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/shard.rs crates/serve/src/wire.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/offline.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/shard.rs:
+crates/serve/src/wire.rs:

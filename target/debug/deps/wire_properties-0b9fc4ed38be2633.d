@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_properties-0b9fc4ed38be2633.d: crates/serve/tests/wire_properties.rs
+
+/root/repo/target/debug/deps/wire_properties-0b9fc4ed38be2633: crates/serve/tests/wire_properties.rs
+
+crates/serve/tests/wire_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_properties-5f6d133c1d2626d0.d: crates/serve/tests/wire_properties.rs
+
+/root/repo/target/debug/deps/wire_properties-5f6d133c1d2626d0: crates/serve/tests/wire_properties.rs
+
+crates/serve/tests/wire_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_properties-9622002eaae1852e.d: crates/serve/tests/wire_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_properties-9622002eaae1852e.rmeta: crates/serve/tests/wire_properties.rs Cargo.toml
+
+crates/serve/tests/wire_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-12f53ea9f5ea16a0.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-12f53ea9f5ea16a0: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-dd5ac6fa1d5154be.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-dd5ac6fa1d5154be: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_schedules-aa4c10976304abd6.d: crates/schedcheck/src/main.rs
+
+/root/repo/target/release/deps/check_schedules-aa4c10976304abd6: crates/schedcheck/src/main.rs
+
+crates/schedcheck/src/main.rs:

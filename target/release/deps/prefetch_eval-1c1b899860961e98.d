@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-1c1b899860961e98.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-1c1b899860961e98: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prefetch_eval-d7b2cd3ab811014b.d: crates/bench/src/bin/prefetch_eval.rs
+
+/root/repo/target/release/deps/prefetch_eval-d7b2cd3ab811014b: crates/bench/src/bin/prefetch_eval.rs
+
+crates/bench/src/bin/prefetch_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-10c891bedd8f23ed.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-10c891bedd8f23ed: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

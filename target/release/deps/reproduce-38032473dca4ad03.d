@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-38032473dca4ad03.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-38032473dca4ad03: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

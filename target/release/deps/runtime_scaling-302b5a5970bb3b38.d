@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_scaling-302b5a5970bb3b38.d: crates/bench/benches/runtime_scaling.rs
+
+/root/repo/target/release/deps/runtime_scaling-302b5a5970bb3b38: crates/bench/benches/runtime_scaling.rs
+
+crates/bench/benches/runtime_scaling.rs:

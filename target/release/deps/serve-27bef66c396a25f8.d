@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve-27bef66c396a25f8.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/release/deps/serve-27bef66c396a25f8: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve-fd156994732b43d7.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/release/deps/serve-fd156994732b43d7: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_ingest-63683e5b85e63ce7.d: crates/bench/benches/serve_ingest.rs
+
+/root/repo/target/release/deps/serve_ingest-63683e5b85e63ce7: crates/bench/benches/serve_ingest.rs
+
+crates/bench/benches/serve_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_load-86859e945a5ee319.d: crates/serve/src/bin/serve_load.rs
+
+/root/repo/target/release/deps/serve_load-86859e945a5ee319: crates/serve/src/bin/serve_load.rs
+
+crates/serve/src/bin/serve_load.rs:

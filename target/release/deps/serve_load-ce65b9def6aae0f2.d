@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_load-ce65b9def6aae0f2.d: crates/serve/src/bin/serve_load.rs
+
+/root/repo/target/release/deps/serve_load-ce65b9def6aae0f2: crates/serve/src/bin/serve_load.rs
+
+crates/serve/src/bin/serve_load.rs:

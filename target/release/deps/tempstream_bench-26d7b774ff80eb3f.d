@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tempstream_bench-26d7b774ff80eb3f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-26d7b774ff80eb3f.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtempstream_bench-26d7b774ff80eb3f.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

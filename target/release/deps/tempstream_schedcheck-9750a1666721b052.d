@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tempstream_schedcheck-9750a1666721b052.d: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+/root/repo/target/release/deps/libtempstream_schedcheck-9750a1666721b052.rlib: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+/root/repo/target/release/deps/libtempstream_schedcheck-9750a1666721b052.rmeta: crates/schedcheck/src/lib.rs crates/schedcheck/src/models.rs crates/schedcheck/src/mutation.rs
+
+crates/schedcheck/src/lib.rs:
+crates/schedcheck/src/models.rs:
+crates/schedcheck/src/mutation.rs:
