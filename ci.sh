@@ -13,10 +13,13 @@
 #      to the serial runner
 #   8. metrics gate: --metrics-json emits valid JSON with the expected
 #      top-level keys and leaves stdout untouched
-#   9. serve soak gate: a live server on loopback, driven by the
+#   9. serve soak gates: a live server on loopback, driven by the
 #      in-tree load generator with --verify (online answers must match
 #      the offline batch comparator bit-exactly); the metrics snapshot
-#      must show zero dropped frames, and the server must drain cleanly
+#      must show zero dropped frames, and the server must drain cleanly.
+#      Run twice: half-duplex v1, then pipelined v2 (--window 8 with
+#      interleaved QueryDelta probes), whose throughput must not fall
+#      below the single-in-flight baseline
 #  10. perf smoke gate: the parallel pipeline must not be slower than
 #      the serial runner (reduced sample count via
 #      TEMPSTREAM_BENCH_SAMPLES), plus the serve ingest bench emitting
@@ -118,6 +121,50 @@ jq -e '.verify == "exact"
     "$det_dir/serve_metrics.json" >/dev/null \
   || { echo "serve soak FAILED: metrics snapshot rejected"; jq . "$det_dir/serve_metrics.json"; exit 1; }
 echo "serve soak: exact verify, $(jq -r '.metrics.counters.serve.records.ingested' "$det_dir/serve_metrics.json") records, 0 dropped frames, clean drain"
+base_rps=$(jq -r '.records_per_sec' "$det_dir/serve_metrics.json")
+
+echo "== serve soak: pipelined window=8 + incremental deltas =="
+# Same soak over protocol v2: eight frames in flight on one connection
+# with QueryDelta probes interleaved. Verification is still bit-exact
+# (the client reconstructs the ack order and telescopes the deltas
+# against the offline comparator), and pipelining must not be slower
+# than the single-in-flight baseline above — that throughput win is the
+# point of the feature. On a single CPU there is no idle round-trip
+# time for pipelining to hide, and the delta probes' consistent-cut
+# stalls cost real work, so — like the perf smoke gate below — the
+# single-core form of the gate only demands the pipelined path stays
+# within 20% of the baseline instead of beating it.
+./target/release/serve --shards 2 >"$det_dir/serve8.out" 2>"$det_dir/serve8.err" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr=$(awk '/^LISTENING /{ print $2 }' "$det_dir/serve8.out")
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -n "$serve_addr" ] \
+  || { echo "pipelined soak FAILED: server never printed LISTENING"; cat "$det_dir/serve8.err"; kill "$serve_pid" 2>/dev/null; exit 1; }
+./target/release/serve-load --addr "$serve_addr" --shards 2 --verify --window 8 \
+    --bytes 262144 --batch 256 --metrics-out "$det_dir/serve8_metrics.json" --shutdown >/dev/null \
+  || { echo "pipelined soak FAILED: serve-load exited non-zero"; kill "$serve_pid" 2>/dev/null; exit 1; }
+wait "$serve_pid" \
+  || { echo "pipelined soak FAILED: server exited non-zero"; exit 1; }
+grep -q '^DRAINED$' "$det_dir/serve8.out" \
+  || { echo "pipelined soak FAILED: server never reported a clean drain"; exit 1; }
+jq -e '.verify == "exact"
+       and .window == 8
+       and .delta_queries > 0
+       and .metrics.counters.serve.frames.dropped == 0
+       and .metrics.counters.serve.records.ingested > 0
+       and .metrics.counters.serve.records.ingested == .metrics.counters.serve.records.applied' \
+    "$det_dir/serve8_metrics.json" >/dev/null \
+  || { echo "pipelined soak FAILED: metrics snapshot rejected"; jq . "$det_dir/serve8_metrics.json"; exit 1; }
+pipe_rps=$(jq -r '.records_per_sec' "$det_dir/serve8_metrics.json")
+cores=$(nproc 2>/dev/null || echo 1)
+rps_factor=$([ "$cores" -le 1 ] && echo 0.8 || echo 1.0)
+awk -v p="$pipe_rps" -v b="$base_rps" -v f="$rps_factor" 'BEGIN { exit !(p >= b * f) }' \
+  || { echo "pipelined soak FAILED: window=8 throughput $pipe_rps rec/s < ${rps_factor}x window=1 baseline $base_rps rec/s (cores: $cores)"; exit 1; }
+echo "pipelined soak: exact verify, $(jq -r '.delta_queries' "$det_dir/serve8_metrics.json") delta queries, $pipe_rps rec/s (baseline $base_rps, factor $rps_factor), clean drain"
 
 echo "== perf smoke: parallel/4w vs serial =="
 # Three samples keep this a smoke test, not a benchmark: it exists to

@@ -177,6 +177,20 @@ pub fn all_models() -> Vec<ModelSpec> {
             model: models::serve_drain_control,
         },
         ModelSpec {
+            name: "serve_reply_fifo",
+            threads: 2,
+            dfs: dfs(2),
+            random: random(64),
+            model: models::serve_reply_fifo,
+        },
+        ModelSpec {
+            name: "serve_reply_writer_exit",
+            threads: 2,
+            dfs: dfs(2),
+            random: random(64),
+            model: models::serve_reply_writer_exit,
+        },
+        ModelSpec {
             name: "mutation_control",
             threads: 2,
             dfs: dfs(2),
@@ -189,6 +203,13 @@ pub fn all_models() -> Vec<ModelSpec> {
             dfs: dfs(2),
             random: random(64),
             model: mutation::serve_drain_control_model,
+        },
+        ModelSpec {
+            name: "serve_reply_mutation_control",
+            threads: 2,
+            dfs: dfs(2),
+            random: random(64),
+            model: mutation::serve_reply_close_control_model,
         },
     ]
 }
@@ -318,14 +339,17 @@ mod tests {
 
     #[test]
     fn serve_queue_models_are_exhausted_clean() {
-        // The server's ingest queue under the same microscope as the
-        // runtime channel: blocking push + drain, try_push admission,
-        // and the two-consumer drain race all exhaust their bounded
-        // schedule space with zero counterexamples.
+        // The server's queues under the same microscope as the runtime
+        // channel: blocking push + drain, try_push admission, the
+        // two-consumer drain race, and the per-connection reply queue
+        // (pipelined FIFO + writer-exit close) all exhaust their
+        // bounded schedule space with zero counterexamples.
         for name in [
             "serve_ingest_drain",
             "serve_try_push_admission",
             "serve_drain_control",
+            "serve_reply_fifo",
+            "serve_reply_writer_exit",
         ] {
             let spec = find_model(name).unwrap();
             let report = check_model(&spec, None, Some(16))
@@ -355,6 +379,30 @@ mod tests {
             &cx.schedule,
             50_000,
             &(mutation::serve_drain_lossy_model as fn()),
+        );
+        let rcx = replay
+            .counterexample
+            .expect("replaying the schedule must reproduce the failure");
+        assert_eq!(rcx.kind, FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn serve_reply_lossy_close_is_caught_as_deadlock() {
+        // Drop the reply queue's close notify_all and a reader parked
+        // waiting for space never learns the writer died — the checker
+        // must find that schedule and it must replay.
+        let opts = sched::DfsOptions {
+            max_preemptions: 2,
+            max_executions: 60_000,
+            max_decisions: 50_000,
+        };
+        let cx = sched::explore_dfs(&opts, &(mutation::serve_reply_close_lossy_model as fn()))
+            .expect_err("lost close wakeup must produce a counterexample");
+        assert_eq!(cx.kind, FailureKind::Deadlock, "expected a lost wakeup");
+        let replay = run_with_schedule(
+            &cx.schedule,
+            50_000,
+            &(mutation::serve_reply_close_lossy_model as fn()),
         );
         let rcx = replay
             .counterexample

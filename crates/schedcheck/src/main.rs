@@ -19,8 +19,9 @@
 //! * `--replay S` — replay a failure schedule printed by an earlier
 //!   run and show its decision trace.
 //! * `--expect-mutation` — verify the checker still CATCHES the
-//!   injected bugs — the lost-`notify_one` queue and the server ingest
-//!   queue's lost drain wakeup (exits non-zero if it no longer does).
+//!   injected bugs — the lost-`notify_one` queue, the server ingest
+//!   queue's lost drain wakeup, and the per-connection reply queue's
+//!   lost close wakeup (exits non-zero if it no longer does).
 
 use std::time::Instant;
 use tempstream_runtime::sync::sched::{self, Schedule};
@@ -107,7 +108,7 @@ fn run_expect_mutation() -> i32 {
         max_executions: 60_000,
         max_decisions: 50_000,
     };
-    let mutants: [(&str, fn()); 2] = [
+    let mutants: [(&str, fn()); 3] = [
         (
             "lost notify_one",
             tempstream_schedcheck::mutation::lossy_model,
@@ -115,6 +116,10 @@ fn run_expect_mutation() -> i32 {
         (
             "serve lost drain wakeup",
             tempstream_schedcheck::mutation::serve_drain_lossy_model,
+        ),
+        (
+            "serve lost reply-queue close wakeup",
+            tempstream_schedcheck::mutation::serve_reply_close_lossy_model,
         ),
     ];
     for (what, model) in mutants {

@@ -19,7 +19,11 @@
 //! * **serve** models — the server's bounded [`IngestQueue`]: blocking
 //!   and non-blocking pushes racing a consumer lose nothing the queue
 //!   accepted, and the drain handshake delivers the whole backlog to
-//!   every racing popper before all of them observe the close.
+//!   every racing popper before all of them observe the close; the
+//!   per-connection [`ReplyQueue`]: pipelined replies leave in strict
+//!   FIFO dispatch order, and a writer closing the queue under a
+//!   blocked reader bounces the undeliverable reply back instead of
+//!   losing it or hanging.
 //!
 //! Deadlock-freedom and lost-wakeup-freedom need no assertions: the
 //! scheduler itself reports any execution where every live thread
@@ -31,7 +35,7 @@ use tempstream_runtime::pool;
 use tempstream_runtime::spill::TraceStore;
 use tempstream_runtime::sync::atomic::{AtomicUsize, Ordering};
 use tempstream_runtime::sync::{thread, Arc};
-use tempstream_serve::queue::IngestQueue;
+use tempstream_serve::queue::{IngestQueue, ReplyQueue};
 use tempstream_trace::io::TraceClass;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{Block, CpuId, FunctionId, MissClass, MissTrace, ThreadId};
@@ -270,6 +274,65 @@ pub fn serve_try_push_admission() {
     }
     let accepted = producer.join().expect("producer clean");
     assert_eq!(got, accepted, "delivered set must equal the accepted set");
+}
+
+/// The per-connection reply path under pipelining: the reader pushes
+/// three sequenced replies through a capacity-1 [`ReplyQueue`]
+/// (blocking whenever the writer lags — the backpressure path) and
+/// closes; the writer must drain exactly `[0, 1, 2]` in order and then
+/// observe the close. FIFO here *is* the protocol property that lets a
+/// pipelined client match replies to requests by position.
+pub fn serve_reply_fifo() {
+    let queue = Arc::new(ReplyQueue::new(1));
+    let reader_queue = Arc::clone(&queue);
+    let reader = thread::spawn(move || {
+        for i in 0..3u32 {
+            reader_queue.push(i).expect("writer alive for the stream");
+        }
+        reader_queue.close();
+    });
+    let mut got = Vec::new();
+    while let Some(v) = queue.pop() {
+        got.push(v);
+    }
+    reader.join().expect("reader clean");
+    assert_eq!(got, [0, 1, 2], "replies lost, duplicated, or reordered");
+    assert!(queue.pop().is_none(), "closed queue stays closed");
+}
+
+/// The writer-exit race: the socket writer closes the reply queue out
+/// from under a reader mid-push (peer hung up). In every interleaving
+/// each reply is either delivered (still poppable after the close) or
+/// bounced back to the reader — never silently dropped — and whatever
+/// was delivered kept FIFO order. The close waking a parked pusher is
+/// the lost-wakeup property the mutation gate breaks on purpose.
+pub fn serve_reply_writer_exit() {
+    let queue = Arc::new(ReplyQueue::new(1));
+    let reader_queue = Arc::clone(&queue);
+    let reader = thread::spawn(move || {
+        let first = reader_queue.push(0u32);
+        let second = reader_queue.push(1u32);
+        (first, second)
+    });
+    queue.close();
+    let (first, second) = reader.join().expect("reader clean");
+    let mut delivered = Vec::new();
+    while let Some(v) = queue.pop() {
+        delivered.push(v);
+    }
+    assert!(
+        delivered.windows(2).all(|w| w[0] < w[1]),
+        "FIFO violated: {delivered:?}"
+    );
+    let mut all = delivered;
+    if let Err(v) = first {
+        all.push(v);
+    }
+    if let Err(v) = second {
+        all.push(v);
+    }
+    all.sort_unstable();
+    assert_eq!(all, [0, 1], "a reply vanished at writer exit");
 }
 
 /// Two consumers race the drain handshake: every queued item is

@@ -18,9 +18,16 @@
 //! the exact bug the drain handshake's wakeup exists to prevent.
 //! [`serve_drain_control_model`] runs the identical program on the
 //! correct queue and must pass.
+//!
+//! [`serve_reply_close_lossy_model`] does the same for the
+//! per-connection [`ReplyQueue`]: `close` flips the closed flag but
+//! drops both `notify_all`s, so a connection reader parked waiting for
+//! reply-queue space never learns the writer died — the leak the
+//! reader/writer split's close-on-drop guard exists to prevent.
+//! [`serve_reply_close_control_model`] must pass unmutated.
 
 use tempstream_runtime::sync::{thread, Arc, Condvar, Mutex};
-use tempstream_serve::queue::IngestQueue;
+use tempstream_serve::queue::{IngestQueue, ReplyQueue};
 
 /// A one-condvar queue whose `push` can be built to drop its wakeup.
 pub struct LossyQueue {
@@ -112,4 +119,35 @@ pub fn serve_drain_lossy_model() {
 /// same bound.
 pub fn serve_drain_control_model() {
     serve_drain_model(false);
+}
+
+fn serve_reply_close_model(lossy: bool) {
+    let queue = Arc::new(if lossy {
+        ReplyQueue::new_lossy_for_modelcheck(1)
+    } else {
+        ReplyQueue::new(1)
+    });
+    let reader_queue = Arc::clone(&queue);
+    let reader = thread::spawn(move || {
+        // Fill the queue, then block pushing into it.
+        let first = reader_queue.push(0u32);
+        let second = reader_queue.push(1u32);
+        (first, second)
+    });
+    queue.close();
+    let (_, second) = reader.join().expect("reader clean");
+    assert!(second.is_err(), "push must observe the closed queue");
+}
+
+/// The reply queue with its close wakeup dropped: in the schedule
+/// where the reader parks waiting for space before `close` runs,
+/// nothing ever wakes it — exploration MUST report the deadlock.
+pub fn serve_reply_close_lossy_model() {
+    serve_reply_close_model(true);
+}
+
+/// The correct reply queue under the identical program: clean at the
+/// same bound.
+pub fn serve_reply_close_control_model() {
+    serve_reply_close_model(false);
 }

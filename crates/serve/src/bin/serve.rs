@@ -9,7 +9,8 @@ use std::process::ExitCode;
 use tempstream_serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--shards N] \
-     [--router-queue N] [--shard-queue N] [--max-conns N] [--max-retained N]";
+     [--router-queue N] [--shard-queue N] [--max-conns N] [--reply-queue N] \
+     [--max-retained N]";
 
 fn parse_args() -> Result<(String, ServerConfig), String> {
     let mut addr = "127.0.0.1:0".to_string();
@@ -32,6 +33,9 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
             }
             "--max-conns" => {
                 config.max_connections = parse_num(&take("--max-conns")?, "--max-conns")?;
+            }
+            "--reply-queue" => {
+                config.reply_queue_capacity = parse_num(&take("--reply-queue")?, "--reply-queue")?;
             }
             "--max-retained" => {
                 config.shard.max_retained = parse_num(&take("--max-retained")?, "--max-retained")?;

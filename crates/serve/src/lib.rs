@@ -19,14 +19,23 @@
 //! approximately. The loopback tests and the `serve-load --verify`
 //! client enforce this.
 //!
+//! Connections are **pipelined**: protocol v2 tags each request with a
+//! sequence id echoed in its reply, a per-connection reader dispatches
+//! frames back-to-back while a writer drains a bounded reply queue in
+//! FIFO order, and `QueryDelta` answers carry only the counters that
+//! changed since the connection's last consistent cut (a per-shard
+//! version check makes an idle delta query free). Oversized replies
+//! split across continuation frames instead of failing.
+//!
 //! Flow control is explicit everywhere: ingest admission happens at a
 //! single bounded queue ([`queue::IngestQueue`]) whose overflow
-//! surfaces to the client as a `Busy` frame, and shutdown is a
-//! drain-then-ack handshake that never drops an acked record. All
+//! surfaces to the client as a `Busy` frame, per-connection replies
+//! back-pressure through a bounded [`queue::ReplyQueue`], and shutdown
+//! is a drain-then-ack handshake that never drops an acked record. All
 //! synchronization goes through the [`tempstream_runtime::sync`] shim,
-//! so the queue and handshake are exercised by the schedule checker
-//! (`tempstream-schedcheck`) as closed models, including a mutation
-//! that drops the drain signal.
+//! so the queues and handshakes are exercised by the schedule checker
+//! (`tempstream-schedcheck`) as closed models, including mutations
+//! that drop the drain/close signals.
 
 pub mod offline;
 pub mod queue;

@@ -9,13 +9,23 @@
 //! wakes every sleeper, after which `pop` hands out the remaining items
 //! and then returns `None` — the worker's signal to finish and report.
 //!
+//! [`ReplyQueue`] is the per-connection counterpart on the outbound
+//! side: the connection reader pushes reply frames (blocking when the
+//! socket writer falls behind — per-connection backpressure), the
+//! writer pops and sends them, and either side may
+//! [`close`](ReplyQueue::close) the queue when its half of the
+//! connection dies. FIFO delivery here *is* the protocol property that
+//! pipelined replies leave in dispatch order.
+//!
 //! All synchronization goes through the [`tempstream_runtime::sync`]
 //! shim, so the whole handshake is explorable by the schedule checker;
-//! `tempstream-schedcheck` registers closed models over this exact type
-//! (`serve_ingest_drain`, `serve_try_push_admission`,
-//! `serve_drain_control`) plus a mutation
-//! ([`IngestQueue::new_lossy_for_modelcheck`]) proving a dropped drain
-//! signal is caught as a deadlock.
+//! `tempstream-schedcheck` registers closed models over these exact
+//! types (`serve_ingest_drain`, `serve_try_push_admission`,
+//! `serve_drain_control`, `serve_reply_fifo`,
+//! `serve_reply_writer_exit`) plus mutations
+//! ([`IngestQueue::new_lossy_for_modelcheck`],
+//! [`ReplyQueue::new_lossy_for_modelcheck`]) proving a dropped drain or
+//! close signal is caught as a deadlock.
 
 use std::collections::VecDeque;
 use tempstream_runtime::sync::{Condvar, Mutex};
@@ -180,6 +190,143 @@ impl<T> IngestQueue<T> {
     }
 }
 
+#[derive(Debug)]
+struct ReplyState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+}
+
+/// A bounded FIFO reply queue between one connection's reader and its
+/// socket writer.
+///
+/// The reader [`push`](ReplyQueue::push)es each reply as it dispatches
+/// the request, blocking when the writer falls behind (per-connection
+/// backpressure: a slow client throttles only its own pipeline). The
+/// writer [`pop`](ReplyQueue::pop)s in strict FIFO order — replies
+/// leave the connection in exactly the order requests were dispatched,
+/// which is what lets a pipelined client match replies to requests.
+/// Either side [`close`](ReplyQueue::close)s the queue when its half of
+/// the connection ends: pushes then fail (the reader learns the writer
+/// is gone), pops drain the backlog and return `None`.
+#[derive(Debug)]
+pub struct ReplyQueue<T> {
+    state: Mutex<ReplyState<T>>,
+    /// The writer waits here for replies (or the close signal).
+    ready: Condvar,
+    /// A blocked reader waits here for space (or the close signal).
+    space: Condvar,
+    capacity: usize,
+    /// Injected bug for the schedule checker's mutation gate: when set,
+    /// `close` flips the flag but "loses" its wakeup.
+    lossy_close: bool,
+}
+
+impl<T> ReplyQueue<T> {
+    /// Creates a queue holding at most `capacity` replies.
+    pub fn new(capacity: usize) -> Self {
+        ReplyQueue {
+            state: Mutex::new(ReplyState {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            lossy_close: false,
+        }
+    }
+
+    /// Creates a queue whose `close` drops its `notify_all` — the
+    /// schedule checker's mutation gate proves this lost signal is
+    /// caught as a deadlock. Never use outside model checking.
+    #[doc(hidden)]
+    pub fn new_lossy_for_modelcheck(capacity: usize) -> Self {
+        let mut q = Self::new(capacity);
+        q.lossy_close = true;
+        q
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Replies currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.state.lock().max_depth
+    }
+
+    /// True once [`close`](ReplyQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Blocking push: waits for space while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item if the queue is closed — now or while waiting —
+    /// meaning the writer is gone and the reply can never be delivered.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                state.max_depth = state.max_depth.max(state.items.len());
+                drop(state);
+                self.ready.notify_one();
+                return Ok(());
+            }
+            state = self.space.wait(state);
+        }
+    }
+
+    /// Blocking pop: the next reply in FIFO order, or `None` once the
+    /// queue is closed *and* empty (every queued reply is always
+    /// delivered first).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state);
+        }
+    }
+
+    /// Closes the queue (idempotent) and wakes every waiter: pushes
+    /// fail from now on, pops finish the backlog and then get `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        if !self.lossy_close {
+            self.ready.notify_all();
+            self.space.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +391,46 @@ mod tests {
         assert_eq!(pusher.join().unwrap(), Err(PushError::Draining(1)));
         assert_eq!(q.pop(), Some(0));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reply_queue_is_fifo_and_drains_backlog_after_close() {
+        let q = ReplyQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.max_depth(), 4);
+        q.close();
+        assert_eq!(q.push(9), Err(9), "closed queue refuses new replies");
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, [0, 1, 2, 3], "backlog delivered in FIFO order");
+        assert!(q.pop().is_none(), "closed queue stays closed");
+    }
+
+    #[test]
+    fn reply_close_wakes_blocked_pusher() {
+        let q = Arc::new(ReplyQueue::new(1));
+        q.push(0u32).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(1))
+        };
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(1));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reply_close_wakes_blocked_popper() {
+        let q = Arc::new(ReplyQueue::<u32>::new(2));
+        let popper = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
     }
 }

@@ -1,9 +1,16 @@
-//! The TCP server: acceptor, router, shard workers, and queries.
+//! The TCP server: acceptor, per-connection reader/writer pairs,
+//! router, shard workers, and queries.
 //!
 //! Thread layout (all on one [`tempstream_runtime::pool::scope`]):
 //!
 //! ```text
-//! acceptor (scope body) ──spawns──▶ connection handlers (≤ max_connections)
+//! acceptor (scope body) ──spawns──▶ per connection: reader + writer
+//!                                        │ reader decodes back-to-back frames
+//!                                        │ and dispatches without waiting for
+//!                                        │ the previous reply (pipelining);
+//!                                        │ replies go to a bounded ReplyQueue
+//!                                        │ drained FIFO by the writer
+//!                                        │
 //!                                        │ try_push whole ingest frames
 //!                                        ▼
 //!                                   router queue (bounded — the admission point)
@@ -15,10 +22,18 @@
 //!                                   per-shard ShardState (behind shim Mutex)
 //! ```
 //!
-//! Backpressure: connection handlers never block on ingest — a full
-//! router queue surfaces as a `Busy` reply and the records are *not*
-//! counted. The router's blocking pushes propagate shard-side pressure
-//! back to the single admission point. Nothing buffers without bound.
+//! Pipelining: protocol-v2 clients tag requests with a sequence id and
+//! send many frames back-to-back; the reader dispatches each as soon
+//! as it decodes, pushing the reply (with the echoed sequence id) onto
+//! the connection's bounded [`ReplyQueue`]. The writer drains it in
+//! FIFO order, so replies leave in dispatch order — the invariant that
+//! lets the client match replies to requests. A full reply queue
+//! blocks only that connection's reader (per-connection backpressure).
+//!
+//! Backpressure: readers never block on ingest — a full router queue
+//! surfaces as a `Busy` reply and the records are *not* counted. The
+//! router's blocking pushes propagate shard-side pressure back to the
+//! single admission point. Nothing buffers without bound.
 //!
 //! Read-your-writes: every acked record bumps `Progress::enqueued`
 //! under the progress lock *in the same critical section as the queue
@@ -26,6 +41,14 @@
 //! A query first waits until `applied >= enqueued-at-entry`, then locks
 //! all shards (index order) for a consistent cut — so any answer
 //! reflects at least every record acked before the query was sent.
+//! Metrics gauges are exported on the same cut, so a snapshot can never
+//! show `in_state` disagreeing with `applied`.
+//!
+//! Incremental queries: each connection keeps a [`DeltaCursor`] — the
+//! per-shard state versions plus the merged answers of its last cut.
+//! `QueryDelta` takes a consistent cut, re-snapshots **only** the
+//! shards whose version moved, and replies with the change since the
+//! cursor; a cut where nothing moved never walks a grammar at all.
 //!
 //! Shutdown: a `Shutdown` frame marks the lifecycle `Draining`, drains
 //! the router queue, and wakes the acceptor with a loopback connect.
@@ -33,28 +56,36 @@
 //! one done-token per shard worker over a
 //! [`tempstream_runtime::channel::bounded`] channel, and flips the
 //! lifecycle to `Drained`; the shutdown connection then answers
-//! `ShutdownAck`. No acked record is ever dropped on shutdown.
+//! `ShutdownAck`. No acked record is ever dropped on shutdown. The
+//! acceptor answers clients that race the drain with
+//! `Error{ERR_DRAINING}` instead of silently dropping them, and an
+//! acceptor torn down by a listener-level error still enters the drain
+//! handshake so `run` returns instead of deadlocking the workers.
 //!
 //! All synchronization lives in the [`tempstream_runtime::sync`] shim
 //! (enforced by `tempstream-checker`'s `lint-sources` gate).
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::queue::{IngestQueue, PushError};
+use crate::queue::{IngestQueue, PushError, ReplyQueue};
 use crate::shard::{
-    merge_coverage_counts, merge_stream_counts, merge_top_origins, shard_of, ShardConfig,
-    ShardState,
+    merge_coverage_counts, merge_stream_counts, merge_top_origins, shard_of, CoverageCounts,
+    ShardConfig, ShardState, StreamCounts,
 };
-use crate::wire::{write_frame, Frame, FrameAssembler, ERR_BAD_FRAME, ERR_DRAINING};
+use crate::wire::{
+    encode_message, write_frame, DeltaCounts, Frame, Message, MessageAssembler, ERR_BAD_FRAME,
+    ERR_DRAINING, ERR_OVERSIZED,
+};
+use tempstream_fxhash::FxHashMap;
 use tempstream_obsv::{Counter, Registry};
 use tempstream_runtime::sync::{Arc, Condvar, Mutex};
 use tempstream_runtime::{channel, pool};
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::MissClass;
 
-/// How long a connection handler sleeps in `read` before re-checking
+/// How long a connection reader sleeps in `read` before re-checking
 /// the drain flag.
 const READ_POLL: Duration = Duration::from_millis(20);
 
@@ -71,6 +102,17 @@ pub struct ServerConfig {
     pub shard_queue_capacity: usize,
     /// Concurrent connections; excess accepts get `Busy` and close.
     pub max_connections: usize,
+    /// Reply-frame capacity of each connection's writer queue; a full
+    /// queue blocks only that connection's reader.
+    pub reply_queue_capacity: usize,
+    /// Test hook: the first N accepted connections panic their reader
+    /// on the first decoded frame (exercises the slot-release guard).
+    #[doc(hidden)]
+    pub fault_conn_panics: usize,
+    /// Test hook: the acceptor sleeps this long before each `accept`,
+    /// widening the drain window so tests can race it deterministically.
+    #[doc(hidden)]
+    pub fault_accept_hold_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +123,9 @@ impl Default for ServerConfig {
             router_queue_capacity: 64,
             shard_queue_capacity: 64,
             max_connections: 32,
+            reply_queue_capacity: 32,
+            fault_conn_panics: 0,
+            fault_accept_hold_ms: 0,
         }
     }
 }
@@ -139,6 +184,44 @@ impl Metrics {
     }
 }
 
+/// The difference `now - before` as a signed delta (saturating at the
+/// i64 range, unreachable for realistic counter values).
+fn signed_delta(now: u64, before: u64) -> i64 {
+    if now >= before {
+        i64::try_from(now - before).unwrap_or(i64::MAX)
+    } else {
+        i64::try_from(before - now).map_or(i64::MIN, |d| -d)
+    }
+}
+
+/// Per-connection cursor for incremental (`QueryDelta`) answers: the
+/// per-shard snapshot versions of the connection's last consistent cut
+/// plus the merged answers replied at that cut. Owned by the reader —
+/// no locks, no cross-connection state.
+struct DeltaCursor {
+    shard_versions: Vec<u64>,
+    shard_streams: Vec<StreamCounts>,
+    shard_coverage: Vec<CoverageCounts>,
+    last_streams: StreamCounts,
+    last_coverage: CoverageCounts,
+    last_origins: FxHashMap<u32, u64>,
+}
+
+impl DeltaCursor {
+    /// A cursor at the empty cut: version 0 with all-zero answers is
+    /// exactly a fresh shard's state, so the first delta is absolute.
+    fn new(shards: usize) -> Self {
+        DeltaCursor {
+            shard_versions: vec![0; shards],
+            shard_streams: vec![StreamCounts::default(); shards],
+            shard_coverage: vec![CoverageCounts::default(); shards],
+            last_streams: StreamCounts::default(),
+            last_coverage: CoverageCounts::default(),
+            last_origins: FxHashMap::default(),
+        }
+    }
+}
+
 /// Everything the worker threads share by reference.
 struct Shared {
     local_addr: SocketAddr,
@@ -152,6 +235,9 @@ struct Shared {
     lifecycle: Mutex<Phase>,
     drained_cv: Condvar,
     conns: Mutex<Conns>,
+    /// Remaining reader panics to inject (test hook, see
+    /// [`ServerConfig::fault_conn_panics`]).
+    fault_conn_panics: Mutex<usize>,
 }
 
 impl Shared {
@@ -169,7 +255,8 @@ impl Shared {
         }
         self.router_queue.drain();
         // Wake the acceptor blocked in `accept` so it can observe the
-        // phase change; the throwaway connection is dropped unserved.
+        // phase change; the throwaway connection is answered with
+        // ERR_DRAINING (or dropped, if this end closes first).
         drop(TcpStream::connect(self.local_addr));
     }
 
@@ -181,24 +268,29 @@ impl Shared {
     }
 
     /// Blocks until every record acked so far is applied to shard
-    /// state (read-your-writes for queries).
-    fn wait_applied(&self) {
+    /// state (read-your-writes for queries); returns that watermark.
+    fn wait_applied(&self) -> u64 {
         let mut p = self.progress.lock();
         let target = p.enqueued;
         while p.applied < target {
             p = self.applied_cv.wait(p);
         }
+        target
     }
 
     /// Waits out in-flight ingest, then locks every shard (index
     /// order) and merges with `f` — a consistent cut across shards.
-    fn with_consistent_cut<T>(&self, f: impl FnOnce(&[ShardGuard<'_>]) -> T) -> T {
-        self.wait_applied();
+    /// `f` also receives the applied watermark of the cut.
+    fn with_consistent_cut<T>(&self, f: impl FnOnce(u64, &[ShardGuard<'_>]) -> T) -> T {
+        let applied = self.wait_applied();
         let guards: Vec<ShardGuard<'_>> = self.shard_states.iter().map(Mutex::lock).collect();
-        f(&guards)
+        f(applied, &guards)
     }
 
-    fn handle_frame(&self, frame: Frame, stream: &mut TcpStream) -> std::io::Result<bool> {
+    /// Computes the reply for one decoded request. Returns the reply
+    /// frame and whether the connection should keep reading. Never
+    /// touches the socket — delivery belongs to the writer.
+    fn handle_request(&self, frame: Frame, cursor: &mut DeltaCursor) -> (Frame, bool) {
         self.metrics.frames_received.inc();
         match frame {
             Frame::Ingest(records) => {
@@ -227,85 +319,155 @@ impl Shared {
                         }
                     }
                 };
-                write_frame(&mut *stream, &reply)?;
-                Ok(true)
+                (reply, true)
             }
             Frame::QueryStreamFraction => {
                 self.metrics.queries.inc();
-                let counts = self.with_consistent_cut(|shards| {
+                let counts = self.with_consistent_cut(|_applied, shards| {
                     merge_stream_counts(shards.iter().map(|s| s.stream_counts()))
                 });
-                write_frame(
-                    &mut *stream,
-                    &Frame::StreamFractionReply {
+                (
+                    Frame::StreamFractionReply {
                         non_repetitive: counts.non_repetitive,
                         new_stream: counts.new_stream,
                         recurring_stream: counts.recurring_stream,
                         distinct_streams: counts.distinct_streams,
                     },
-                )?;
-                Ok(true)
+                    true,
+                )
             }
             Frame::QueryCoverage => {
                 self.metrics.queries.inc();
-                let cov = self.with_consistent_cut(|shards| {
+                let cov = self.with_consistent_cut(|_applied, shards| {
                     merge_coverage_counts(shards.iter().map(|s| s.coverage_counts()))
                 });
-                write_frame(
-                    &mut *stream,
-                    &Frame::CoverageReply {
+                (
+                    Frame::CoverageReply {
                         total: cov.total,
                         covered: cov.covered,
                         issued: cov.issued,
                     },
-                )?;
-                Ok(true)
+                    true,
+                )
             }
             Frame::QueryTopOrigins(n) => {
                 self.metrics.queries.inc();
-                let rows = self.with_consistent_cut(|shards| {
+                let rows = self.with_consistent_cut(|_applied, shards| {
                     merge_top_origins(shards.iter().map(|s| s.origin_counts()), n as usize)
                 });
-                write_frame(&mut *stream, &Frame::TopOriginsReply(rows))?;
-                Ok(true)
+                (Frame::TopOriginsReply(rows), true)
+            }
+            Frame::QueryDelta => {
+                self.metrics.queries.inc();
+                (Frame::DeltaReply(self.delta_since(cursor)), true)
             }
             Frame::QueryMetricsSnapshot => {
                 self.metrics.queries.inc();
-                self.export_gauges();
-                let json = self.registry.snapshot().render();
-                write_frame(&mut *stream, &Frame::MetricsReply(json))?;
-                Ok(true)
+                // Gauges and the snapshot render on the same cut the
+                // other queries use, so `in_state` can never disagree
+                // with `applied` inside one snapshot.
+                let json = self.with_consistent_cut(|_applied, shards| {
+                    self.export_gauges(shards);
+                    self.registry.snapshot().render()
+                });
+                (Frame::MetricsReply(json), true)
             }
             Frame::Shutdown => {
                 self.begin_drain();
                 self.wait_drained();
-                write_frame(&mut *stream, &Frame::ShutdownAck)?;
-                Ok(false)
+                (Frame::ShutdownAck, false)
             }
-            // Reply-direction frames are never valid requests.
+            // Reply-direction frames are never valid requests. (A
+            // `Partial` never reaches here: the assembler reassembles
+            // or rejects continuation runs before dispatch.)
             Frame::IngestAck(_)
             | Frame::Busy
             | Frame::StreamFractionReply { .. }
             | Frame::CoverageReply { .. }
             | Frame::TopOriginsReply(_)
             | Frame::MetricsReply(_)
+            | Frame::DeltaReply(_)
+            | Frame::Partial { .. }
             | Frame::ShutdownAck
             | Frame::Error { .. } => {
                 self.metrics.frames_errors.inc();
-                write_frame(
-                    &mut *stream,
-                    &Frame::Error {
+                (
+                    Frame::Error {
                         code: ERR_BAD_FRAME,
                         message: "reply-direction frame sent as request".to_string(),
                     },
-                )?;
-                Ok(false)
+                    false,
+                )
             }
         }
     }
 
-    /// Publishes point-in-time gauges right before a snapshot.
-    fn export_gauges(&self) {
+    /// Incremental answer: takes a consistent cut, re-snapshots only
+    /// the shards whose version moved since `cursor`, and returns the
+    /// change relative to the cursor's last answers. A cut where no
+    /// shard moved is answered without walking any grammar.
+    fn delta_since(&self, cursor: &mut DeltaCursor) -> DeltaCounts {
+        self.with_consistent_cut(|applied, shards| {
+            let mut changed = false;
+            for (i, shard) in shards.iter().enumerate() {
+                if cursor.shard_versions[i] != shard.version() {
+                    cursor.shard_streams[i] = shard.stream_counts();
+                    cursor.shard_coverage[i] = shard.coverage_counts();
+                    cursor.shard_versions[i] = shard.version();
+                    changed = true;
+                }
+            }
+            let mut delta = DeltaCounts {
+                applied,
+                ..DeltaCounts::default()
+            };
+            if !changed {
+                return delta;
+            }
+            let streams = merge_stream_counts(cursor.shard_streams.iter().copied());
+            let coverage = merge_coverage_counts(cursor.shard_coverage.iter().copied());
+            delta.non_repetitive =
+                signed_delta(streams.non_repetitive, cursor.last_streams.non_repetitive);
+            delta.new_stream = signed_delta(streams.new_stream, cursor.last_streams.new_stream);
+            delta.recurring_stream = signed_delta(
+                streams.recurring_stream,
+                cursor.last_streams.recurring_stream,
+            );
+            delta.distinct_streams = signed_delta(
+                streams.distinct_streams,
+                cursor.last_streams.distinct_streams,
+            );
+            delta.total = signed_delta(coverage.total, cursor.last_coverage.total);
+            delta.covered = signed_delta(coverage.covered, cursor.last_coverage.covered);
+            delta.issued = signed_delta(coverage.issued, cursor.last_coverage.issued);
+            let mut origins: FxHashMap<u32, u64> = FxHashMap::default();
+            for shard in shards {
+                for (&function, &count) in shard.origin_counts() {
+                    *origins.entry(function).or_insert(0) += count;
+                }
+            }
+            for (&function, &now) in &origins {
+                let before = cursor.last_origins.get(&function).copied().unwrap_or(0);
+                if now != before {
+                    delta.origins.push((function, signed_delta(now, before)));
+                }
+            }
+            // Origin counts are monotone, so a function can never
+            // vanish from the merged map — no removal pass needed.
+            delta
+                .origins
+                .sort_unstable_by_key(|&(function, _)| function);
+            cursor.last_streams = streams;
+            cursor.last_coverage = coverage;
+            cursor.last_origins = origins;
+            delta
+        })
+    }
+
+    /// Publishes point-in-time gauges right before a snapshot; called
+    /// with the shard guards of the consistent cut the snapshot renders
+    /// on (never locks shards itself — that would tear the cut).
+    fn export_gauges(&self, shards: &[ShardGuard<'_>]) {
         self.registry
             .gauge("serve/queue/router/max_depth")
             .set(self.router_queue.max_depth() as u64);
@@ -321,10 +483,10 @@ impl Shared {
         self.registry
             .gauge("serve/conn/peak")
             .set(conns.peak as u64);
+        drop(conns);
         let mut applied = 0u64;
         let mut overflow = 0u64;
-        for state in &self.shard_states {
-            let s = state.lock();
+        for s in shards {
             applied += s.ingested();
             overflow += s.overflow();
         }
@@ -335,33 +497,72 @@ impl Shared {
 
 type ShardGuard<'a> = tempstream_runtime::sync::MutexGuard<'a, ShardState>;
 
-/// One connection: assemble frames, dispatch, poll the drain flag.
-fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+/// The reply stream between one connection's reader and writer: the
+/// echoed sequence id (None for v1 requests) plus the reply frame.
+type ConnReplies = ReplyQueue<(Option<u32>, Frame)>;
+
+/// Frees one connection slot on drop — a drop guard, so a panicking
+/// reader can never leak its slot and shrink capacity permanently.
+struct ConnSlot<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for ConnSlot<'_> {
+    fn drop(&mut self) {
+        self.shared.conns.lock().active -= 1;
+    }
+}
+
+/// Closes the reply queue on drop — even when the reader panics, so
+/// the writer never blocks on a queue nobody will push to again.
+struct CloseOnDrop<'a> {
+    queue: &'a ConnReplies,
+}
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+/// One connection's reader: assemble messages (reassembling v2
+/// continuation frames), dispatch each request as soon as it decodes,
+/// queue the reply, poll the drain flag. Never writes the socket.
+fn handle_conn(shared: &Shared, mut stream: TcpStream, replies: &ConnReplies, fault_panic: bool) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
-    let mut asm = FrameAssembler::new();
+    let mut asm = MessageAssembler::new();
+    let mut cursor = DeltaCursor::new(shared.shard_states.len());
     let mut chunk = [0u8; 16 * 1024];
     loop {
         loop {
-            match asm.next_frame() {
-                Ok(Some(frame)) => match shared.handle_frame(frame, &mut stream) {
-                    Ok(true) => {}
-                    Ok(false) | Err(_) => return,
-                },
+            match asm.next_message() {
+                Ok(Some(Message { seq, frame })) => {
+                    if fault_panic {
+                        panic!("injected connection-handler fault (test hook)");
+                    }
+                    let (reply, keep_going) = shared.handle_request(frame, &mut cursor);
+                    if replies.push((seq, reply)).is_err() {
+                        return; // writer is gone; replies undeliverable
+                    }
+                    if !keep_going {
+                        return;
+                    }
+                }
                 Ok(None) => break,
                 Err(e) => {
                     // Decode failure: the stream offset can no longer
                     // be trusted. Report and tear down.
                     shared.metrics.frames_errors.inc();
-                    let _ = write_frame(
-                        &mut stream,
-                        &Frame::Error {
+                    let _ = replies.push((
+                        None,
+                        Frame::Error {
                             code: ERR_BAD_FRAME,
                             message: e.to_string(),
                         },
-                    );
+                    ));
                     return;
                 }
             }
@@ -373,14 +574,68 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Idle poll: leave once the server drains and no
-                // partial frame is pending.
+                // Idle poll: leave once the writer died (socket error)
+                // or the server drains with no partial frame pending.
+                if replies.is_closed() {
+                    return;
+                }
                 if shared.is_draining() && asm.is_idle() {
                     return;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return,
+        }
+    }
+}
+
+/// One connection's writer: drains the reply queue in FIFO order onto
+/// the socket. A v1 reply too large for a single frame (registry JSON
+/// past the cap) is substituted with `Error{ERR_OVERSIZED}` — the
+/// connection survives; v2 replies split into continuation frames in
+/// `encode_message` instead.
+fn run_conn_writer(shared: &Shared, mut stream: TcpStream, replies: &ConnReplies) {
+    let mut buf = Vec::with_capacity(256);
+    while let Some((seq, frame)) = replies.pop() {
+        buf.clear();
+        if encode_message(seq, &frame, &mut buf).is_err() {
+            shared.metrics.frames_errors.inc();
+            let oversized = Frame::Error {
+                code: ERR_OVERSIZED,
+                message: "reply exceeds the v1 frame cap; retry over protocol v2".to_string(),
+            };
+            buf.clear();
+            if encode_message(seq, &oversized, &mut buf).is_err() {
+                break;
+            }
+        }
+        if stream.write_all(&buf).is_err() {
+            break;
+        }
+    }
+    // Socket failure (or reader exit): unblock the reader's pushes.
+    replies.close();
+}
+
+/// Answers a client accepted during drain — plus every connect already
+/// queued in the accept backlog — with `Error{ERR_DRAINING}` instead
+/// of silently dropping them. Best-effort: the listener goes
+/// non-blocking to sweep the backlog without re-parking the acceptor.
+fn reject_drain_backlog(listener: &TcpListener, first: TcpStream, shared: &Shared) {
+    let reject = |mut s: TcpStream| {
+        shared.metrics.conn_rejected.inc();
+        let _ = write_frame(
+            &mut s,
+            &Frame::Error {
+                code: ERR_DRAINING,
+                message: "server is draining".to_string(),
+            },
+        );
+    };
+    reject(first);
+    if listener.set_nonblocking(true).is_ok() {
+        while let Ok((s, _peer)) = listener.accept() {
+            reject(s);
         }
     }
 }
@@ -456,11 +711,18 @@ impl Server {
     ///
     /// Any `TcpListener::bind` failure.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
-        Ok(Server {
-            listener: TcpListener::bind(addr)?,
+        Ok(Server::from_listener(TcpListener::bind(addr)?, config))
+    }
+
+    /// Wraps an already-bound listener. Callers that need a handle to
+    /// the underlying socket (custom options, fault-injection tests)
+    /// can `try_clone` the listener before handing it over.
+    pub fn from_listener(listener: TcpListener, config: ServerConfig) -> Server {
+        Server {
+            listener,
             config,
             registry: Arc::new(Registry::new()),
-        })
+        }
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -487,6 +749,8 @@ impl Server {
     ///
     /// Fails only on listener-level I/O errors (bind address lost,
     /// local_addr unavailable); per-connection errors are contained.
+    /// A listener-level `accept` error still drains the workers before
+    /// returning, so acked records are applied and `run` terminates.
     pub fn run(self) -> std::io::Result<()> {
         let config = self.config;
         let shards = config.shards.max(1);
@@ -507,13 +771,14 @@ impl Server {
             lifecycle: Mutex::new(Phase::Running),
             drained_cv: Condvar::new(),
             conns: Mutex::new(Conns::default()),
+            fault_conn_panics: Mutex::new(config.fault_conn_panics),
         };
         let shared = &shared;
         let listener = &self.listener;
-        // One lane per long-lived job: shard workers + router +
-        // connection handlers. Jobs never exceed lanes, so no
-        // long-running job can starve another.
-        let workers = shards + 1 + config.max_connections;
+        // One lane per long-lived job: shard workers + router + a
+        // reader and a writer per connection. Jobs never exceed lanes,
+        // so no long-running job can starve another.
+        let workers = shards + 1 + 2 * config.max_connections;
         pool::scope(workers, move |p| {
             let (done_tx, done_rx) = channel::bounded::<()>(shards);
             for index in 0..shards {
@@ -524,14 +789,24 @@ impl Server {
             p.spawn(move |_| run_router(shared, &done_rx));
 
             loop {
+                if config.fault_accept_hold_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(config.fault_accept_hold_ms));
+                }
                 let stream = match listener.accept() {
                     Ok((stream, _peer)) => stream,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(_) => break,
+                    Err(_) => {
+                        // Listener torn down: enter the drain handshake
+                        // so router/shard workers unblock and run()
+                        // returns instead of deadlocking in pop().
+                        shared.begin_drain();
+                        break;
+                    }
                 };
                 if shared.is_draining() {
-                    // Woken by begin_drain's loopback connect (or a
-                    // late client); stop accepting.
+                    // Woken by begin_drain's loopback connect, or a
+                    // client racing the drain: answer, don't ghost.
+                    reject_drain_backlog(listener, stream, shared);
                     break;
                 }
                 let admitted = {
@@ -546,10 +821,27 @@ impl Server {
                 };
                 if admitted {
                     shared.metrics.conn_accepted.inc();
+                    let Ok(write_half) = stream.try_clone() else {
+                        // No writer, no connection; free the slot.
+                        shared.conns.lock().active -= 1;
+                        continue;
+                    };
+                    let fault_panic = {
+                        let mut remaining = shared.fault_conn_panics.lock();
+                        if *remaining > 0 {
+                            *remaining -= 1;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    let replies = Arc::new(ConnReplies::new(config.reply_queue_capacity));
+                    let writer_q = Arc::clone(&replies);
+                    p.spawn(move |_| run_conn_writer(shared, write_half, &writer_q));
                     p.spawn(move |_| {
-                        handle_conn(shared, stream);
-                        let mut conns = shared.conns.lock();
-                        conns.active -= 1;
+                        let _slot = ConnSlot { shared };
+                        let _close = CloseOnDrop { queue: &replies };
+                        handle_conn(shared, stream, &replies, fault_panic);
                     });
                 } else {
                     shared.metrics.conn_rejected.inc();

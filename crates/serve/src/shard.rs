@@ -154,6 +154,14 @@ impl ShardState {
         self.ingested
     }
 
+    /// Monotone state version: advances exactly when observable state
+    /// changes (once per applied record), so per-connection delta
+    /// cursors can skip the expensive grammar walk for shards that have
+    /// not moved since their last consistent cut.
+    pub fn version(&self) -> u64 {
+        self.ingested
+    }
+
     /// Records past the retention cap.
     pub fn overflow(&self) -> u64 {
         self.overflow

@@ -2,12 +2,16 @@
 //! client, and the headline bit-identity property — online answers
 //! equal the offline batch stages over the same records.
 
+use std::collections::{HashMap, VecDeque};
 use std::net::TcpStream;
 use std::thread;
 
 use tempstream_serve::offline;
 use tempstream_serve::shard::ShardConfig;
-use tempstream_serve::wire::{read_frame, write_frame, Frame, ERR_BAD_FRAME};
+use tempstream_serve::wire::{
+    read_frame, read_message, write_frame, write_message, DeltaCounts, Frame, MessageReader,
+    ERR_BAD_FRAME, ERR_DRAINING, ERR_OVERSIZED, MAX_FRAME_BYTES,
+};
 use tempstream_serve::{Server, ServerConfig};
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::rng::SplitMix64;
@@ -295,6 +299,498 @@ fn read_frame_or_query(conn: &mut TcpStream) -> Result<Frame, ()> {
         Ok(Frame::Busy) | Err(_) => Err(()),
         Ok(frame) => Ok(frame),
     }
+}
+
+// --- protocol v2: pipelining + incremental deltas -------------------------
+
+fn signed(n: u64) -> i64 {
+    i64::try_from(n).expect("count fits i64")
+}
+
+/// One v2 request/reply round trip; asserts the reply echoes `seq`.
+fn call_v2(stream: &mut TcpStream, seq: u32, request: &Frame) -> Frame {
+    write_message(&mut *stream, Some(seq), request).expect("send v2");
+    let msg = read_message(&mut *stream).expect("recv v2");
+    assert_eq!(msg.seq, Some(seq), "reply must echo the request seq");
+    msg.frame
+}
+
+fn query_delta(stream: &mut TcpStream, seq: u32) -> DeltaCounts {
+    match call_v2(stream, seq, &Frame::QueryDelta) {
+        Frame::DeltaReply(delta) => delta,
+        other => panic!("unexpected delta reply: {other:?}"),
+    }
+}
+
+/// Telescoping accumulator over a connection's `DeltaReply` stream.
+#[derive(Default)]
+struct DeltaAcc {
+    applied: u64,
+    non_repetitive: i64,
+    new_stream: i64,
+    recurring_stream: i64,
+    distinct_streams: i64,
+    total: i64,
+    covered: i64,
+    issued: i64,
+    origins: HashMap<u32, i64>,
+}
+
+impl DeltaAcc {
+    fn absorb(&mut self, d: &DeltaCounts) {
+        assert!(d.applied >= self.applied, "applied watermark is monotone");
+        self.applied = d.applied;
+        self.non_repetitive += d.non_repetitive;
+        self.new_stream += d.new_stream;
+        self.recurring_stream += d.recurring_stream;
+        self.distinct_streams += d.distinct_streams;
+        self.total += d.total;
+        self.covered += d.covered;
+        self.issued += d.issued;
+        for &(id, delta) in &d.origins {
+            *self.origins.entry(id).or_insert(0) += delta;
+        }
+    }
+}
+
+/// Pipelines `records` over protocol v2 with up to `window` requests in
+/// flight, interleaving a `QueryDelta` every `delta_every` acks.
+/// Returns the records in ack (= admission) order plus the accumulated
+/// deltas, with the final delta already absorbed so the telescoped sums
+/// cover the whole ingest.
+fn ingest_pipelined(
+    conn: &mut TcpStream,
+    records: &[MissRecord<MissClass>],
+    batch: usize,
+    window: usize,
+    delta_every: usize,
+) -> (Vec<MissRecord<MissClass>>, DeltaAcc) {
+    enum Slot {
+        Ingest(u32, usize),
+        Delta(u32),
+    }
+    impl Slot {
+        fn seq(&self) -> u32 {
+            match *self {
+                Slot::Ingest(seq, _) | Slot::Delta(seq) => seq,
+            }
+        }
+    }
+    let batches: Vec<&[MissRecord<MissClass>]> = records.chunks(batch).collect();
+    // Pipelined replies coalesce into shared TCP segments; a one-shot
+    // read_message would drop the extras, so hold a persistent reader.
+    let mut reader = MessageReader::new();
+    let mut pending: VecDeque<usize> = (0..batches.len()).collect();
+    let mut inflight: VecDeque<Slot> = VecDeque::new();
+    let mut acc = DeltaAcc::default();
+    let mut acked: Vec<usize> = Vec::new();
+    let mut seq: u32 = 0;
+    let mut acks_since_delta = 0usize;
+    let next_seq = |slot: &mut u32| {
+        let s = *slot;
+        *slot = slot.wrapping_add(1);
+        s
+    };
+    loop {
+        // Fill the window, preferring a due delta probe over new ingest
+        // so the cursor advances mid-stream, not just at the end.
+        while inflight.len() < window {
+            if acks_since_delta >= delta_every {
+                acks_since_delta = 0;
+                let s = next_seq(&mut seq);
+                write_message(&mut *conn, Some(s), &Frame::QueryDelta).expect("send delta");
+                inflight.push_back(Slot::Delta(s));
+            } else if let Some(idx) = pending.pop_front() {
+                let s = next_seq(&mut seq);
+                write_message(&mut *conn, Some(s), &Frame::Ingest(batches[idx].to_vec()))
+                    .expect("send ingest");
+                inflight.push_back(Slot::Ingest(s, idx));
+            } else {
+                break;
+            }
+        }
+        let Some(slot) = inflight.pop_front() else {
+            break;
+        };
+        let msg = reader.next_from(&mut *conn).expect("pipelined reply");
+        assert_eq!(
+            msg.seq,
+            Some(slot.seq()),
+            "replies come back in FIFO request order: {:?}",
+            msg.frame
+        );
+        match (slot, msg.frame) {
+            (Slot::Ingest(_, idx), Frame::IngestAck(n)) => {
+                assert_eq!(n as usize, batches[idx].len());
+                acked.push(idx);
+                acks_since_delta += 1;
+            }
+            (Slot::Ingest(_, idx), Frame::Busy) => {
+                // Router admission is full: re-queue and back off.
+                pending.push_front(idx);
+                thread::sleep(std::time::Duration::from_millis(1));
+            }
+            (Slot::Delta(_), Frame::DeltaReply(delta)) => acc.absorb(&delta),
+            (slot, other) => {
+                let what = match slot {
+                    Slot::Ingest(..) => "ingest",
+                    Slot::Delta(_) => "delta",
+                };
+                panic!("unexpected {what} reply: {other:?}");
+            }
+        }
+    }
+    // Close the telescope: one final delta covers everything acked
+    // after the last interleaved probe (read through the same
+    // persistent reader in case it still buffers bytes).
+    let final_seq = next_seq(&mut seq);
+    write_message(&mut *conn, Some(final_seq), &Frame::QueryDelta).expect("send final delta");
+    let msg = reader.next_from(&mut *conn).expect("final delta");
+    assert_eq!(msg.seq, Some(final_seq));
+    match msg.frame {
+        Frame::DeltaReply(delta) => acc.absorb(&delta),
+        other => panic!("unexpected final delta reply: {other:?}"),
+    }
+    let effective = acked
+        .iter()
+        .flat_map(|&idx| batches[idx].iter().copied())
+        .collect();
+    (effective, acc)
+}
+
+#[test]
+fn pipelined_and_delta_answers_match_offline_across_shard_counts() {
+    let records = seeded_records(0x9a9a, 2400);
+    for shards in [1usize, 2, 4] {
+        let (addr, handle) = start_server(ServerConfig {
+            shards,
+            ..ServerConfig::default()
+        });
+        let mut conn = TcpStream::connect(&addr).expect("connect");
+        let (effective, acc) = ingest_pipelined(&mut conn, &records, 128, 8, 5);
+        assert_eq!(effective.len(), records.len(), "shards={shards}");
+        assert_eq!(acc.applied, records.len() as u64, "shards={shards}");
+
+        // The offline comparator runs over the ack-order record
+        // sequence (identical to send order on one connection, but
+        // reconstructing it keeps the check honest).
+        let want = offline::expected(&effective, shards, ShardConfig::default(), 8);
+
+        // Absolute v1 queries still work on the same connection, and
+        // the telescoped delta sums equal those absolutes exactly.
+        match call(&mut conn, &Frame::QueryStreamFraction) {
+            Frame::StreamFractionReply {
+                non_repetitive,
+                new_stream,
+                recurring_stream,
+                distinct_streams,
+            } => {
+                assert_eq!(
+                    (
+                        non_repetitive,
+                        new_stream,
+                        recurring_stream,
+                        distinct_streams
+                    ),
+                    (
+                        want.streams.non_repetitive,
+                        want.streams.new_stream,
+                        want.streams.recurring_stream,
+                        want.streams.distinct_streams
+                    ),
+                    "shards={shards}"
+                );
+                assert_eq!(
+                    (
+                        acc.non_repetitive,
+                        acc.new_stream,
+                        acc.recurring_stream,
+                        acc.distinct_streams
+                    ),
+                    (
+                        signed(non_repetitive),
+                        signed(new_stream),
+                        signed(recurring_stream),
+                        signed(distinct_streams)
+                    ),
+                    "shards={shards}: deltas telescope to the absolutes"
+                );
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        match call(&mut conn, &Frame::QueryCoverage) {
+            Frame::CoverageReply {
+                total,
+                covered,
+                issued,
+            } => {
+                assert_eq!(
+                    (acc.total, acc.covered, acc.issued),
+                    (signed(total), signed(covered), signed(issued)),
+                    "shards={shards}"
+                );
+                assert_eq!(total, want.coverage.total, "shards={shards}");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        // Origin deltas sum to a straight per-function recount.
+        let mut want_origins: HashMap<u32, i64> = HashMap::new();
+        for r in &effective {
+            *want_origins.entry(r.function.raw()).or_insert(0) += 1;
+        }
+        let got_origins: HashMap<u32, i64> = acc
+            .origins
+            .iter()
+            .filter(|&(_, &n)| n != 0)
+            .map(|(&id, &n)| (id, n))
+            .collect();
+        assert_eq!(got_origins, want_origins, "shards={shards}");
+
+        // A quiescent connection's next delta is empty, at the same
+        // watermark — the version fast path, observable as a no-op.
+        let quiet = query_delta(&mut conn, 0xFFFF);
+        assert!(quiet.is_empty(), "shards={shards}: {quiet:?}");
+        assert_eq!(quiet.applied, records.len() as u64, "shards={shards}");
+
+        shutdown(&mut conn);
+        handle.join().expect("server thread").expect("server run");
+    }
+}
+
+#[test]
+fn delta_cursors_are_per_connection_and_carry_only_changes() {
+    let records = seeded_records(0xd1f, 1000);
+    let (addr, handle) = start_server(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    });
+    let mut conn1 = TcpStream::connect(&addr).expect("connect 1");
+    let mut conn2 = TcpStream::connect(&addr).expect("connect 2");
+
+    ingest_all(&mut conn1, &records[..500], 100);
+    let want500 = offline::expected(&records[..500], 2, ShardConfig::default(), 8);
+    let want1000 = offline::expected(&records, 2, ShardConfig::default(), 8);
+
+    // First delta on each connection is absolute (fresh cursor), and
+    // both connections see the same consistent cut.
+    let d1a = query_delta(&mut conn1, 1);
+    assert_eq!(d1a.applied, 500);
+    assert_eq!(d1a.non_repetitive, signed(want500.streams.non_repetitive));
+    assert_eq!(
+        d1a.distinct_streams,
+        signed(want500.streams.distinct_streams)
+    );
+    assert_eq!(d1a.total, signed(want500.coverage.total));
+    let d2a = query_delta(&mut conn2, 1);
+    assert_eq!(d2a, d1a, "independent cursors over the same cut agree");
+
+    ingest_all(&mut conn1, &records[500..], 100);
+
+    // Second delta carries only the change since each cursor's cut —
+    // exactly the difference of the offline prefix answers.
+    let d1b = query_delta(&mut conn1, 2);
+    assert_eq!(d1b.applied, 1000);
+    assert_eq!(
+        d1b.non_repetitive,
+        signed(want1000.streams.non_repetitive) - signed(want500.streams.non_repetitive)
+    );
+    assert_eq!(
+        d1b.new_stream,
+        signed(want1000.streams.new_stream) - signed(want500.streams.new_stream)
+    );
+    assert_eq!(
+        d1b.covered,
+        signed(want1000.coverage.covered) - signed(want500.coverage.covered)
+    );
+    let d2b = query_delta(&mut conn2, 2);
+    assert_eq!(d2b, d1b, "same cursor position, same diff");
+
+    // A connection opened late still gets the full absolute picture.
+    let mut conn3 = TcpStream::connect(&addr).expect("connect 3");
+    let d3 = query_delta(&mut conn3, 1);
+    assert_eq!(d3.applied, 1000);
+    assert_eq!(d3.non_repetitive, signed(want1000.streams.non_repetitive));
+    assert_eq!(d3.issued, signed(want1000.coverage.issued));
+
+    shutdown(&mut conn1);
+    handle.join().expect("server thread").expect("server run");
+}
+
+// --- satellite regressions ------------------------------------------------
+
+/// Satellite 1: a metrics registry whose JSON exceeds the 1 MiB frame
+/// cap used to trip `encode_frame`'s assert and kill the connection
+/// thread. Now: v1 clients get `Error{ERR_OVERSIZED}` on a surviving
+/// connection; v2 clients get the full snapshot across continuation
+/// frames.
+#[test]
+fn oversized_metrics_snapshot_errors_on_v1_and_chunks_on_v2() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = Server::from_listener(listener, ServerConfig::default());
+    let registry = server.registry();
+    // Inflate the registry well past MAX_FRAME_BYTES of rendered JSON.
+    for i in 0..24_000 {
+        registry
+            .counter(&format!(
+                "inflate/{i:06}/abcdefghijklmnopqrstuvwxyz0123456789"
+            ))
+            .inc();
+    }
+    let handle = thread::spawn(move || server.run());
+
+    // v1: the reply is substituted with an error frame, and the same
+    // connection keeps working afterwards.
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+    match call(&mut conn, &Frame::QueryMetricsSnapshot) {
+        Frame::Error { code, message } => {
+            assert_eq!(code, ERR_OVERSIZED);
+            assert!(
+                message.contains("v2"),
+                "error should point at v2: {message}"
+            );
+        }
+        other => panic!("expected oversized error, got {other:?}"),
+    }
+    assert!(
+        matches!(
+            call(&mut conn, &Frame::QueryCoverage),
+            Frame::CoverageReply { .. }
+        ),
+        "connection survives an oversized reply"
+    );
+
+    // v2: the snapshot arrives whole, reassembled from continuations.
+    match call_v2(&mut conn, 7, &Frame::QueryMetricsSnapshot) {
+        Frame::MetricsReply(json) => {
+            assert!(
+                json.len() > MAX_FRAME_BYTES,
+                "snapshot big enough to need continuations: {} bytes",
+                json.len()
+            );
+            let parsed = tempstream_obsv::Json::parse(&json).expect("valid JSON");
+            assert!(parsed
+                .get_path("counters/inflate/000000/abcdefghijklmnopqrstuvwxyz0123456789")
+                .is_some());
+        }
+        other => panic!("expected metrics reply, got {other:?}"),
+    }
+
+    shutdown(&mut conn);
+    handle.join().expect("server thread").expect("server run");
+}
+
+/// Satellite 3: a panicking connection handler used to leak its
+/// admission slot (`conns.active` never decremented), wedging a
+/// `max_connections = 1` server forever. The drop guard frees the slot
+/// even on unwind; the parked panic resurfaces when `run` exits.
+#[test]
+fn panicking_connection_handler_frees_its_slot() {
+    let (addr, handle) = start_server(ServerConfig {
+        max_connections: 1,
+        fault_conn_panics: 1,
+        ..ServerConfig::default()
+    });
+    // The first connection trips the injected panic on its first frame;
+    // the server drops the connection without a reply.
+    let mut victim = TcpStream::connect(&addr).expect("connect");
+    write_frame(&mut victim, &Frame::QueryCoverage).expect("send");
+    assert!(
+        read_frame(&mut victim).is_err(),
+        "panicked handler closes the connection unanswered"
+    );
+    drop(victim);
+
+    // The only slot must come back: poll until a new connection is
+    // admitted and answered (pre-fix this loops to exhaustion).
+    let mut last = None;
+    for _ in 0..200 {
+        let mut conn = TcpStream::connect(&addr).expect("connect");
+        match read_frame_or_query(&mut conn) {
+            Ok(frame) => {
+                last = Some((conn, frame));
+                break;
+            }
+            Err(()) => thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+    let (mut conn, frame) = last.expect("slot freed after handler panic");
+    assert!(matches!(frame, Frame::CoverageReply { .. }));
+    shutdown(&mut conn);
+    // The pool re-raises the handler's panic once the drain completes,
+    // so the server thread reports the fault instead of hiding it.
+    assert!(
+        handle.join().is_err(),
+        "injected handler panic resurfaces at run() exit"
+    );
+}
+
+/// Satellite 4 (drain half): a client whose connect races the drain
+/// used to be silently dropped; now it gets `Error{ERR_DRAINING}`.
+#[test]
+fn late_client_racing_the_drain_is_answered_not_ghosted() {
+    // Hold the acceptor for 100ms after each accept so the test can
+    // deterministically land a connect in the drain window.
+    let (addr, handle) = start_server(ServerConfig {
+        fault_accept_hold_ms: 100,
+        ..ServerConfig::default()
+    });
+    let mut controller = TcpStream::connect(&addr).expect("connect");
+    assert!(matches!(
+        call(&mut controller, &Frame::QueryCoverage),
+        Frame::CoverageReply { .. }
+    ));
+    // Park the acceptor in its hold: this connect is accepted (popping
+    // the blocked accept), then the acceptor sleeps before looping.
+    let _opener = TcpStream::connect(&addr).expect("connect opener");
+    // Inside the hold window: start the drain, then race a connect in.
+    write_frame(&mut controller, &Frame::Shutdown).expect("send shutdown");
+    let mut late = TcpStream::connect(&addr).expect("late connect");
+    late.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    match read_frame(&mut late).expect("late client gets an answer") {
+        Frame::Error { code, .. } => assert_eq!(code, ERR_DRAINING),
+        other => panic!("expected draining error, got {other:?}"),
+    }
+    assert_eq!(
+        read_frame(&mut controller).expect("ack"),
+        Frame::ShutdownAck
+    );
+    handle.join().expect("server thread").expect("server run");
+}
+
+/// Satellite 4 (metrics half): the snapshot's gauges are exported on
+/// the same consistent cut as its counters — in-state records equal
+/// applied records exactly, never a torn mid-ingest view.
+#[test]
+fn metrics_snapshot_gauges_sit_on_the_query_cut() {
+    let records = seeded_records(0x4a4a, 2000);
+    let (addr, handle) = start_server(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    });
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+    ingest_all(&mut conn, &records, 100);
+    match call(&mut conn, &Frame::QueryMetricsSnapshot) {
+        Frame::MetricsReply(json) => {
+            let parsed = tempstream_obsv::Json::parse(&json).expect("valid JSON");
+            let at = |path: &str| {
+                parsed
+                    .get_path(path)
+                    .and_then(tempstream_obsv::Json::as_u64)
+                    .unwrap_or_else(|| panic!("missing metric {path}"))
+            };
+            let applied = at("counters/serve/records/applied");
+            let ingested = at("counters/serve/records/ingested");
+            let in_state = at("gauges/serve/records/in_state");
+            assert_eq!(applied, records.len() as u64);
+            assert_eq!(ingested, applied, "cut taken after wait_applied");
+            assert_eq!(in_state, applied, "gauges share the counters' cut");
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    shutdown(&mut conn);
+    handle.join().expect("server thread").expect("server run");
 }
 
 #[test]
