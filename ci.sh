@@ -23,7 +23,8 @@
 #  10. perf smoke gate: the parallel pipeline must not be slower than
 #      the serial runner (reduced sample count via
 #      TEMPSTREAM_BENCH_SAMPLES), plus the serve ingest bench emitting
-#      BENCH_serve.json at 1/2/4 shards
+#      BENCH_serve.json (pipelined 1/2/4-shard runs and the
+#      multi-connection scaling pair, gated core-aware)
 #
 # Opt-in: `./ci.sh --sanitize` appends a sanitizer stage (TSan with an
 # instrumented std, or Miri, whichever toolchain components exist;
@@ -184,14 +185,25 @@ awk -v s="$speedup" -v t="$threshold" 'BEGIN { exit !(s >= t) }' \
   || { echo "perf smoke FAILED: parallel/4w speedup $speedup < $threshold (cores: $cores)"; exit 1; }
 echo "parallel/4w speedup vs serial: $speedup (threshold $threshold, cores: $cores)"
 
-# Serve ingest throughput at 1/2/4 shards. No speedup threshold — a
-# single client connection is round-trip bound, so sharding buys little
-# on loopback — but all three configurations must complete and report.
+# Serve ingest throughput: pipelined single-connection runs at 1/2/4
+# shards plus the multi-connection pair (ingest-mc/{1,4}shard) that
+# reader-side routing exists for. The scaling gate compares the
+# multi-connection pair: on a >=4-core host, 4 shards must beat 1 shard
+# by 1.5x; on fewer cores sharding cannot win, so the gate only demands
+# the 4-shard run stays within 40% of 1 shard (the routing split and
+# extra lanes must not cost real throughput when they cannot help).
 TEMPSTREAM_BENCH_SAMPLES=3 TEMPSTREAM_BENCH_DIR="$det_dir" \
   cargo bench -q -p tempstream-bench --bench serve_ingest >/dev/null
-jq -e '.results | length == 3' "$det_dir/BENCH_serve.json" >/dev/null \
+jq -e '.results | length == 5' "$det_dir/BENCH_serve.json" >/dev/null \
   || { echo "perf smoke FAILED: BENCH_serve.json incomplete"; exit 1; }
+mc1=$(jq -r '.results[] | select(.name == "ingest-mc/1shard") | .elements_per_sec' "$det_dir/BENCH_serve.json")
+mc4=$(jq -r '.results[] | select(.name == "ingest-mc/4shard") | .elements_per_sec' "$det_dir/BENCH_serve.json")
+cores=$(jq -r '.host_cores' "$det_dir/BENCH_serve.json")
+scale_threshold=$([ "$cores" -ge 4 ] && echo 1.5 || echo 0.6)
+awk -v a="$mc4" -v b="$mc1" -v t="$scale_threshold" 'BEGIN { exit !(a >= b * t) }' \
+  || { echo "perf smoke FAILED: ingest-mc/4shard $mc4 rec/s < ${scale_threshold}x ingest-mc/1shard $mc1 rec/s (cores: $cores)"; exit 1; }
 echo "serve ingest: $(jq -r '.results[] | "\(.name) \(.elements_per_sec | floor) rec/s"' "$det_dir/BENCH_serve.json" | paste -sd, -)"
+echo "serve scaling: mc 4shard/1shard = $(awk -v a="$mc4" -v b="$mc1" 'BEGIN { printf "%.2f", a/b }') (threshold $scale_threshold, cores: $cores)"
 
 if [ "$SANITIZE" = "1" ]; then
   echo "== sanitize (opt-in) =="

@@ -175,6 +175,12 @@ impl BenchmarkGroup<'_> {
         let mut doc = Json::obj();
         doc.set("group", Json::Str(self.name.clone()));
         doc.set("sample_size", Json::UInt(self.sample_size as u64));
+        // Scaling numbers are meaningless without the parallelism they
+        // ran under; archive it next to the results (0 = unknown).
+        doc.set(
+            "host_cores",
+            Json::UInt(std::thread::available_parallelism().map_or(0, |n| n.get() as u64)),
+        );
         if let Some((base, _)) = baseline {
             doc.set("baseline", Json::Str(base.to_string()));
         }
@@ -269,6 +275,10 @@ mod tests {
         let text = std::fs::read_to_string(dir.join("BENCH_selftest.json")).unwrap();
         let doc = Json::parse(&text).unwrap();
         assert_eq!(doc.get("group").and_then(Json::as_str), Some("selftest"));
+        assert!(
+            doc.get("host_cores").and_then(Json::as_u64) >= Some(1),
+            "host parallelism is archived with the results"
+        );
         let Some(Json::Arr(results)) = doc.get("results") else {
             panic!("results array missing");
         };

@@ -104,6 +104,20 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hashes a single 64-bit word without constructing a hasher.
+///
+/// Bit-identical to running [`FxHasher`] over exactly one `u64`
+/// (`write_u64` then `finish`): the accumulator starts at zero, so the
+/// rotate-and-XOR fold degenerates to one `wrapping_mul` by [`SEED`].
+/// Hot paths that hash one integer per record (e.g. shard routing)
+/// can call this directly instead of building a hasher per key; the
+/// pinned-hash tests below hold the two paths equal forever.
+#[inline]
+#[must_use]
+pub fn hash_word(word: u64) -> u64 {
+    word.wrapping_mul(SEED)
+}
+
 /// Seedless [`std::hash::BuildHasher`] for [`FxHasher`]; the unit of
 /// determinism — two maps built from it hash identically in any
 /// process.
@@ -152,6 +166,21 @@ mod tests {
         assert_ne!(hs, h0);
         // And a literal pin for one value, guarding SEED/ROTATE edits.
         assert_eq!(fx_hash_of(&42u64), 42u64.wrapping_mul(SEED));
+    }
+
+    /// `hash_word` IS the hasher path for a single u64 — not close,
+    /// equal. Shard routing relies on this to swap the per-record
+    /// hasher construction for one multiply without moving any key.
+    #[test]
+    fn hash_word_equals_single_u64_hasher_path() {
+        for i in (0..2000u64).chain([u64::MAX, u64::MAX - 1, 1 << 63]) {
+            assert_eq!(hash_word(i), fx_hash_of(&i), "word {i}");
+        }
+        let mut rng_state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..2000 {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            assert_eq!(hash_word(rng_state), fx_hash_of(&rng_state));
+        }
     }
 
     #[test]

@@ -156,25 +156,25 @@ pub fn all_models() -> Vec<ModelSpec> {
             model: models::spill_concurrent_reader,
         },
         ModelSpec {
-            name: "serve_ingest_drain",
+            name: "serve_routing_fifo",
             threads: 2,
             dfs: dfs(2),
             random: random(64),
-            model: models::serve_ingest_drain,
+            model: models::serve_routing_fifo,
         },
         ModelSpec {
-            name: "serve_try_push_admission",
+            name: "serve_routing_admission",
             threads: 2,
             dfs: dfs(2),
             random: random(64),
-            model: models::serve_try_push_admission,
+            model: models::serve_routing_admission,
         },
         ModelSpec {
-            name: "serve_drain_control",
+            name: "serve_routing_drain",
             threads: 3,
             dfs: dfs(1),
             random: random(128),
-            model: models::serve_drain_control,
+            model: models::serve_routing_drain,
         },
         ModelSpec {
             name: "serve_reply_fifo",
@@ -340,14 +340,15 @@ mod tests {
     #[test]
     fn serve_queue_models_are_exhausted_clean() {
         // The server's queues under the same microscope as the runtime
-        // channel: blocking push + drain, try_push admission, the
-        // two-consumer drain race, and the per-connection reply queue
-        // (pipelined FIFO + writer-exit close) all exhaust their
-        // bounded schedule space with zero counterexamples.
+        // channel: per-lane FIFO under reader-side routing,
+        // all-or-nothing batch admission, the two-worker drain race,
+        // and the per-connection reply queue (pipelined FIFO +
+        // writer-exit close) all exhaust their bounded schedule space
+        // with zero counterexamples.
         for name in [
-            "serve_ingest_drain",
-            "serve_try_push_admission",
-            "serve_drain_control",
+            "serve_routing_fifo",
+            "serve_routing_admission",
+            "serve_routing_drain",
             "serve_reply_fifo",
             "serve_reply_writer_exit",
         ] {

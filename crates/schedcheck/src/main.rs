@@ -19,8 +19,8 @@
 //! * `--replay S` — replay a failure schedule printed by an earlier
 //!   run and show its decision trace.
 //! * `--expect-mutation` — verify the checker still CATCHES the
-//!   injected bugs — the lost-`notify_one` queue, the server ingest
-//!   queue's lost drain wakeup, and the per-connection reply queue's
+//!   injected bugs — the lost-`notify_one` queue, the server routing
+//!   lanes' lost drain wakeup, and the per-connection reply queue's
 //!   lost close wakeup (exits non-zero if it no longer does).
 
 use std::time::Instant;

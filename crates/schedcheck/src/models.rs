@@ -16,14 +16,15 @@
 //! * **spill** models — a trace is readable while its background write
 //!   is in flight (`Writing → OnDisk` never loses the data), and
 //!   `flush()` pins the spill counters;
-//! * **serve** models — the server's bounded [`IngestQueue`]: blocking
-//!   and non-blocking pushes racing a consumer lose nothing the queue
-//!   accepted, and the drain handshake delivers the whole backlog to
-//!   every racing popper before all of them observe the close; the
-//!   per-connection [`ReplyQueue`]: pipelined replies leave in strict
-//!   FIFO dispatch order, and a writer closing the queue under a
-//!   blocked reader bounces the undeliverable reply back instead of
-//!   losing it or hanging.
+//! * **serve** models — the server's bounded [`ShardQueues`] (the
+//!   reader-side routing lanes): all-or-nothing admission of split
+//!   batches racing lane workers never half-admits a frame and never
+//!   loses anything it accepted, per-lane delivery stays FIFO, and the
+//!   drain handshake delivers every lane's backlog to its worker before
+//!   the workers observe the close; the per-connection [`ReplyQueue`]:
+//!   pipelined replies leave in strict FIFO dispatch order, and a
+//!   writer closing the queue under a blocked reader bounces the
+//!   undeliverable reply back instead of losing it or hanging.
 //!
 //! Deadlock-freedom and lost-wakeup-freedom need no assertions: the
 //! scheduler itself reports any execution where every live thread
@@ -35,7 +36,7 @@ use tempstream_runtime::pool;
 use tempstream_runtime::spill::TraceStore;
 use tempstream_runtime::sync::atomic::{AtomicUsize, Ordering};
 use tempstream_runtime::sync::{thread, Arc};
-use tempstream_serve::queue::{IngestQueue, ReplyQueue};
+use tempstream_serve::queue::{PushError, ReplyQueue, ShardQueues};
 use tempstream_trace::io::TraceClass;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{Block, CpuId, FunctionId, MissClass, MissTrace, ThreadId};
@@ -225,55 +226,83 @@ pub fn spill_concurrent_reader() {
     assert_eq!(store.spilled_traces(), 1);
 }
 
-// --- serve ingest-queue models --------------------------------------------
+// --- serve routing-lane models --------------------------------------------
 
-/// A producer streams three items through the server's capacity-1
-/// ingest queue with *blocking* pushes (the router's backpressure
-/// path), then drains; the consumer must receive exactly `[0, 1, 2]`
-/// in order and then observe the close. Exercises both condvars — a
-/// popper waiting for items and a pusher waiting for space — in every
-/// ≤2-preemption schedule.
-pub fn serve_ingest_drain() {
-    let queue = Arc::new(IngestQueue::new(1));
-    let producer_queue = Arc::clone(&queue);
-    let producer = thread::spawn(move || {
-        for i in 0..3u32 {
-            producer_queue.push(i).expect("never draining mid-stream");
+/// A connection reader streams three split batches onto two routing
+/// lanes while lane 0's worker races it; lane capacity 3 means every
+/// admission succeeds. Lane 0 must deliver exactly `[0, 1, 2]` in push
+/// order and then observe the close; lane 1's backlog survives the
+/// drain intact and ordered. Per-lane FIFO here is what makes
+/// reader-side routing order-equivalent to the old single router.
+pub fn serve_routing_fifo() {
+    let queues = Arc::new(ShardQueues::new(2, 3));
+    let worker_queues = Arc::clone(&queues);
+    let worker = thread::spawn(move || {
+        let mut got = Vec::new();
+        while let Some(batch) = worker_queues.pop(0) {
+            got.extend(batch);
         }
-        producer_queue.drain();
+        got
     });
-    let mut got = Vec::new();
-    while let Some(v) = queue.pop() {
-        got.push(v);
+    for i in 0..3u32 {
+        let mut subs = vec![vec![i], vec![10 + i]];
+        queues
+            .try_push_batches(&mut subs)
+            .expect("capacity 3 admits all three frames");
     }
-    producer.join().expect("producer clean");
-    assert_eq!(got, [0, 1, 2], "items lost, duplicated, or reordered");
-    assert!(queue.pop().is_none(), "drained queue stays closed");
+    queues.drain();
+    let got = worker.join().expect("worker clean");
+    assert_eq!(got, [0, 1, 2], "lane 0 lost, duplicated, or reordered");
+    assert!(queues.pop(0).is_none(), "drained lane stays closed");
+    let mut lane1 = Vec::new();
+    while let Some(batch) = queues.pop(1) {
+        lane1.extend(batch);
+    }
+    assert_eq!(lane1, [10, 11, 12], "lane 1 backlog delivered after drain");
 }
 
-/// The admission path: `try_push` against a racing consumer never
-/// blocks and never lies — whatever set of items it reports accepted
-/// is exactly what the consumer receives, in order, regardless of how
-/// `Full` refusals interleave with pops.
-pub fn serve_try_push_admission() {
-    let queue = Arc::new(IngestQueue::new(1));
-    let producer_queue = Arc::clone(&queue);
-    let producer = thread::spawn(move || {
-        let mut accepted = Vec::new();
-        for i in 0..3u32 {
-            if producer_queue.try_push(i).is_ok() {
-                accepted.push(i);
-            }
+/// The admission path: all-or-nothing `try_push_batches` against a
+/// racing lane worker never blocks, never half-admits, and never lies —
+/// a frame blocked by ANY full lane leaves every lane untouched, and
+/// whatever was reported accepted is exactly what the workers receive.
+pub fn serve_routing_admission() {
+    let queues = Arc::new(ShardQueues::new(2, 1));
+    let worker_queues = Arc::clone(&queues);
+    let worker = thread::spawn(move || {
+        let mut got = Vec::new();
+        while let Some(batch) = worker_queues.pop(0) {
+            got.extend(batch);
         }
-        producer_queue.drain();
-        accepted
+        got
     });
-    let mut got = Vec::new();
-    while let Some(v) = queue.pop() {
-        got.push(v);
+    let mut accepted = vec![1u32];
+    let mut first = vec![vec![1u32], vec![2]];
+    queues
+        .try_push_batches(&mut first)
+        .expect("empty lanes accept");
+    // Nothing pops lane 1, so it stays full: the next split frame must
+    // be refused whole — lane 0 gets nothing even when it has space.
+    let mut second = vec![vec![3u32], vec![4]];
+    assert_eq!(
+        queues.try_push_batches(&mut second),
+        Err(PushError::Full(())),
+        "a full lane must refuse the whole frame"
+    );
+    assert_eq!(second[0], [3], "refused frame keeps its records");
+    // A lane-0-only frame races the worker: accepted or refused, its
+    // fate must match what the worker ends up delivering.
+    let mut third = vec![vec![5u32], Vec::new()];
+    if queues.try_push_batches(&mut third).is_ok() {
+        accepted.push(5);
     }
-    let accepted = producer.join().expect("producer clean");
+    queues.drain();
+    let got = worker.join().expect("worker clean");
     assert_eq!(got, accepted, "delivered set must equal the accepted set");
+    let mut lane1 = Vec::new();
+    while let Some(batch) = queues.pop(1) {
+        lane1.extend(batch);
+    }
+    assert_eq!(lane1, [2], "lane 1 holds exactly the admitted sub-batch");
 }
 
 /// The per-connection reply path under pipelining: the reader pushes
@@ -335,30 +364,32 @@ pub fn serve_reply_writer_exit() {
     assert_eq!(all, [0, 1], "a reply vanished at writer exit");
 }
 
-/// Two consumers race the drain handshake: every queued item is
-/// delivered to exactly one consumer before both observe the close
-/// (`drain`'s `notify_all` must reach every parked popper).
-pub fn serve_drain_control() {
-    let queue = Arc::new(IngestQueue::new(2));
-    let consumers: Vec<_> = (0..2)
-        .map(|_| {
-            let q = Arc::clone(&queue);
+/// Both lane workers race the drain handshake (the server's shutdown
+/// topology in miniature): each worker must receive exactly its lane's
+/// sub-batch before observing the close — `drain`'s per-lane wakeups
+/// must reach every parked worker, and no sub-batch may leak across
+/// lanes or vanish.
+pub fn serve_routing_drain() {
+    let queues = Arc::new(ShardQueues::new(2, 2));
+    let workers: Vec<_> = (0..2)
+        .map(|lane| {
+            let q = Arc::clone(&queues);
             thread::spawn(move || {
                 let mut got = Vec::new();
-                while let Some(v) = q.pop() {
-                    got.push(v);
+                while let Some(batch) = q.pop(lane) {
+                    got.extend(batch);
                 }
                 got
             })
         })
         .collect();
-    queue.push(0u32).expect("accepting");
-    queue.push(1u32).expect("accepting");
-    queue.drain();
-    let mut all: Vec<u32> = consumers
+    let mut subs = vec![vec![0u32], vec![1]];
+    queues.try_push_batches(&mut subs).expect("accepting");
+    queues.drain();
+    let results: Vec<Vec<u32>> = workers
         .into_iter()
-        .flat_map(|c| c.join().expect("consumer clean"))
+        .map(|w| w.join().expect("worker clean"))
         .collect();
-    all.sort_unstable();
-    assert_eq!(all, [0, 1], "each item delivered exactly once");
+    assert_eq!(results[0], [0], "lane 0 worker gets exactly its sub-batch");
+    assert_eq!(results[1], [1], "lane 1 worker gets exactly its sub-batch");
 }

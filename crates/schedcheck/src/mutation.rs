@@ -12,12 +12,12 @@
 //! wakeups rather than passing everything or flagging anything.
 //!
 //! [`serve_drain_lossy_model`] is the same gate aimed at the server's
-//! ingest queue: `IngestQueue::new_lossy_for_modelcheck` builds a queue
-//! whose `drain` flips the draining flag but drops its `notify_all`, so
-//! a consumer parked waiting for work never learns the queue closed —
-//! the exact bug the drain handshake's wakeup exists to prevent.
-//! [`serve_drain_control_model`] runs the identical program on the
-//! correct queue and must pass.
+//! routing lanes: `ShardQueues::new_lossy_for_modelcheck` builds lanes
+//! whose `drain` flips the draining flag but drops its per-lane
+//! wakeups, so a lane worker parked waiting for sub-batches never
+//! learns the queues closed — the exact bug the drain handshake's
+//! wakeup exists to prevent. [`serve_drain_control_model`] runs the
+//! identical program on the correct queues and must pass.
 //!
 //! [`serve_reply_close_lossy_model`] does the same for the
 //! per-connection [`ReplyQueue`]: `close` flips the closed flag but
@@ -27,7 +27,7 @@
 //! [`serve_reply_close_control_model`] must pass unmutated.
 
 use tempstream_runtime::sync::{thread, Arc, Condvar, Mutex};
-use tempstream_serve::queue::{IngestQueue, ReplyQueue};
+use tempstream_serve::queue::{ReplyQueue, ShardQueues};
 
 /// A one-condvar queue whose `push` can be built to drop its wakeup.
 pub struct LossyQueue {
@@ -88,34 +88,37 @@ pub fn control_model() {
 }
 
 fn serve_drain_model(lossy: bool) {
-    let queue = Arc::new(if lossy {
-        IngestQueue::new_lossy_for_modelcheck(1)
+    let queues = Arc::new(if lossy {
+        ShardQueues::new_lossy_for_modelcheck(2, 1)
     } else {
-        IngestQueue::new(1)
+        ShardQueues::new(2, 1)
     });
-    let consumer_queue = Arc::clone(&queue);
-    let consumer = thread::spawn(move || {
+    let worker_queues = Arc::clone(&queues);
+    let worker = thread::spawn(move || {
         let mut drained = 0u32;
-        while consumer_queue.pop().is_some() {
+        while worker_queues.pop(0).is_some() {
             drained += 1;
         }
         drained
     });
-    queue.try_push(7u32).expect("empty queue accepts");
-    queue.drain();
-    let drained = consumer.join().expect("consumer clean");
+    let mut subs = vec![vec![7u32], Vec::new()];
+    queues
+        .try_push_batches(&mut subs)
+        .expect("empty lanes accept");
+    queues.drain();
+    let drained = worker.join().expect("worker clean");
     assert_eq!(drained, 1, "backlog must be delivered before close");
 }
 
-/// The server's ingest queue with its drain wakeup dropped: in the
-/// schedule where the consumer finishes the backlog and parks before
+/// The server's routing lanes with the drain wakeups dropped: in the
+/// schedule where the lane worker finishes the backlog and parks before
 /// `drain` runs, nothing ever wakes it — exploration MUST report the
 /// deadlock.
 pub fn serve_drain_lossy_model() {
     serve_drain_model(true);
 }
 
-/// The correct ingest queue under the identical program: clean at the
+/// The correct routing lanes under the identical program: clean at the
 /// same bound.
 pub fn serve_drain_control_model() {
     serve_drain_model(false);

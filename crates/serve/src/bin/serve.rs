@@ -9,7 +9,7 @@ use std::process::ExitCode;
 use tempstream_serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--shards N] \
-     [--router-queue N] [--shard-queue N] [--max-conns N] [--reply-queue N] \
+     [--shard-queue N] [--max-conns N] [--reply-queue N] \
      [--max-retained N]";
 
 fn parse_args() -> Result<(String, ServerConfig), String> {
@@ -24,10 +24,6 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
         match flag.as_str() {
             "--addr" => addr = take("--addr")?,
             "--shards" => config.shards = parse_num(&take("--shards")?, "--shards")?,
-            "--router-queue" => {
-                config.router_queue_capacity =
-                    parse_num(&take("--router-queue")?, "--router-queue")?;
-            }
             "--shard-queue" => {
                 config.shard_queue_capacity = parse_num(&take("--shard-queue")?, "--shard-queue")?;
             }

@@ -335,7 +335,7 @@ fn run_connection_pipelined(
             (InFlight::Ingest(idx), Frame::Busy) => {
                 retries += 1;
                 pending.push_front(idx);
-                // Let the router drain before refilling the window.
+                // Let the shard lanes drain before refilling the window.
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(Duration::from_millis(100));
             }
@@ -611,7 +611,7 @@ fn run() -> Result<(), String> {
 
     // Effective ingest order: with one pipelined connection, the ack
     // order is the admission order (FIFO replies), so the comparator
-    // runs over the batches in exactly the order the router saw them.
+    // runs over the batches in exactly their admission order.
     let effective: Vec<MissRecord<MissClass>> = if args.connections == 1 && args.window > 1 {
         outcomes[0]
             .acked

@@ -5,10 +5,11 @@
 //! misses are temporal streams?" after a whole trace is on disk. This
 //! crate answers the same questions *while the trace happens*: clients
 //! stream miss records over a length-prefixed binary protocol
-//! ([`wire`]), a router shards them by block-address hash across
-//! per-shard workers running **incremental** stream detection and the
-//! temporal prefetch engine ([`shard`]), and query frames are answered
-//! from per-shard state merged on demand ([`server`]).
+//! ([`wire`]), each connection's reader shards them by block-address
+//! hash straight onto per-shard queues feeding workers that run
+//! **incremental** stream detection and the temporal prefetch engine
+//! ([`shard`]), and query frames are answered from per-shard state
+//! merged on demand ([`server`]).
 //!
 //! The headline property is **bit-identity with the offline batch
 //! stages**: because SEQUITUR is an online algorithm, a grammar
@@ -24,12 +25,16 @@
 //! frames back-to-back while a writer drains a bounded reply queue in
 //! FIFO order, and `QueryDelta` answers carry only the counters that
 //! changed since the connection's last consistent cut (a per-shard
-//! version check makes an idle delta query free). Oversized replies
-//! split across continuation frames instead of failing.
+//! version check makes an idle delta query free, per-shard stream
+//! counts are memoized on that version, and each cursor patches a
+//! cached merged origin table only for the shards that moved).
+//! Oversized replies split across continuation frames instead of
+//! failing.
 //!
-//! Flow control is explicit everywhere: ingest admission happens at a
-//! single bounded queue ([`queue::IngestQueue`]) whose overflow
-//! surfaces to the client as a `Busy` frame, per-connection replies
+//! Flow control is explicit everywhere: ingest admission happens at
+//! the bounded per-shard lanes ([`queue::ShardQueues`]) with
+//! all-or-nothing frame admission whose overflow surfaces to the
+//! client as a `Busy` frame, per-connection replies
 //! back-pressure through a bounded [`queue::ReplyQueue`], and shutdown
 //! is a drain-then-ack handshake that never drops an acked record. All
 //! synchronization goes through the [`tempstream_runtime::sync`] shim,

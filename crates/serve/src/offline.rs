@@ -1,7 +1,7 @@
 //! Offline replica of the server's answers, for bit-exact verification.
 //!
 //! [`expected`] partitions a record slice with the *same* hash routing
-//! the server's router uses ([`shard_of`]), batch-analyzes each
+//! the server's connection readers use ([`shard_of`]), batch-analyzes each
 //! partition with the repo's offline stages
 //! ([`tempstream_core::stages::analyze_streams`] and
 //! [`tempstream_prefetch::evaluate`]), and merges with the *same*
@@ -12,9 +12,8 @@
 
 use crate::shard::{
     merge_coverage_counts, merge_stream_counts, merge_top_origins, shard_of, CoverageCounts,
-    ShardConfig, StreamCounts,
+    OriginTable, ShardConfig, StreamCounts,
 };
-use tempstream_fxhash::FxHashMap;
 use tempstream_prefetch::TemporalPrefetcher;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::MissClass;
@@ -46,7 +45,7 @@ pub fn expected(
 
     let mut streams = Vec::new();
     let mut coverage = Vec::new();
-    let mut origin_maps: Vec<FxHashMap<u32, u64>> = Vec::new();
+    let mut origin_tables: Vec<OriginTable> = Vec::new();
     for part in &partitions {
         // Stream analysis sees only the retained prefix (the per-shard
         // cap); coverage and origins see every record.
@@ -69,17 +68,17 @@ pub fn expected(
             issued: eval.issued,
         });
 
-        let mut origins: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut origins = OriginTable::new();
         for r in part {
-            *origins.entry(r.function.raw()).or_insert(0) += 1;
+            origins.add(r.function.raw(), 1);
         }
-        origin_maps.push(origins);
+        origin_tables.push(origins);
     }
 
     Expected {
         streams: merge_stream_counts(streams),
         coverage: merge_coverage_counts(coverage),
-        top_origins: merge_top_origins(origin_maps.iter(), top_n),
+        top_origins: merge_top_origins(origin_tables.iter(), top_n),
     }
 }
 
@@ -115,7 +114,8 @@ mod tests {
             for r in &records {
                 states[shard_of(r.block.raw(), shards)].apply(r);
             }
-            let online_streams = merge_stream_counts(states.iter().map(ShardState::stream_counts));
+            let online_streams =
+                merge_stream_counts(states.iter_mut().map(ShardState::stream_counts));
             let online_cov = merge_coverage_counts(states.iter().map(ShardState::coverage_counts));
             let online_top = merge_top_origins(states.iter().map(ShardState::origin_counts), 8);
 

@@ -1,13 +1,24 @@
-//! The bounded ingest queue and its drain handshake.
+//! The sharded ingest queues and their drain handshake, plus the
+//! per-connection reply queue.
 //!
-//! Connection handlers admit work with a non-blocking
-//! [`try_push`](IngestQueue::try_push) — a full queue surfaces as
-//! [`PushError::Full`], which the server answers with a `Busy` frame
-//! instead of buffering without bound. The router and shard workers
-//! block in [`pop`](IngestQueue::pop) until work arrives or the queue
-//! is drained: [`drain`](IngestQueue::drain) marks the queue closed and
-//! wakes every sleeper, after which `pop` hands out the remaining items
-//! and then returns `None` — the worker's signal to finish and report.
+//! [`ShardQueues`] is the ingest admission point: one bounded FIFO
+//! lane per shard behind a single mutex. Connection readers split each
+//! decoded batch by shard *themselves* (no router thread) and admit
+//! the whole frame with one non-blocking
+//! [`try_push_batches`](ShardQueues::try_push_batches) — **all lanes
+//! or none**, so a frame is either fully queued (acked) or fully
+//! refused ([`PushError::Full`] surfaces to the client as `Busy`,
+//! [`PushError::Draining`] as an error). Taking every lane under one
+//! lock gives admitted frames a single total order, which is what
+//! preserves per-connection FIFO per shard — the property the offline
+//! bit-identity comparator depends on. Shard workers block in
+//! [`pop`](ShardQueues::pop) on their own lane until work arrives or
+//! the queue is drained: [`drain`](ShardQueues::drain) marks every
+//! lane closed and wakes every sleeper, after which `pop` hands out
+//! the remaining backlog and then returns `None` — the worker's signal
+//! to finish and report. Emptied sub-batch buffers are
+//! [`recycle`](ShardQueues::recycle)d through an internal free list so
+//! the steady-state hot path allocates nothing.
 //!
 //! [`ReplyQueue`] is the per-connection counterpart on the outbound
 //! side: the connection reader pushes reply frames (blocking when the
@@ -20,171 +31,221 @@
 //! All synchronization goes through the [`tempstream_runtime::sync`]
 //! shim, so the whole handshake is explorable by the schedule checker;
 //! `tempstream-schedcheck` registers closed models over these exact
-//! types (`serve_ingest_drain`, `serve_try_push_admission`,
-//! `serve_drain_control`, `serve_reply_fifo`,
+//! types (`serve_routing_fifo`, `serve_routing_admission`,
+//! `serve_routing_drain`, `serve_reply_fifo`,
 //! `serve_reply_writer_exit`) plus mutations
-//! ([`IngestQueue::new_lossy_for_modelcheck`],
+//! ([`ShardQueues::new_lossy_for_modelcheck`],
 //! [`ReplyQueue::new_lossy_for_modelcheck`]) proving a dropped drain or
 //! close signal is caught as a deadlock.
 
 use std::collections::VecDeque;
 use tempstream_runtime::sync::{Condvar, Mutex};
 
-/// Why a [`IngestQueue::try_push`] was refused; the item comes back.
+/// Sub-batch buffers kept on the free list; beyond this, emptied
+/// buffers are simply dropped.
+const FREE_LIST_CAP: usize = 64;
+
+/// Why an admission was refused; the payload (if any) comes back.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PushError<T> {
-    /// The queue is at capacity (backpressure — reply `Busy`).
+    /// A target lane is at capacity (backpressure — reply `Busy`).
     Full(T),
-    /// The queue is draining and accepts no new work.
+    /// The queues are draining and accept no new work.
     Draining(T),
 }
 
 #[derive(Debug)]
-struct State<T> {
-    items: VecDeque<T>,
-    draining: bool,
+struct Lane<T> {
+    items: VecDeque<Vec<T>>,
     max_depth: usize,
 }
 
-/// A bounded MPMC queue with an explicit drain signal.
 #[derive(Debug)]
-pub struct IngestQueue<T> {
-    state: Mutex<State<T>>,
-    /// Poppers wait here for items (or the drain signal).
-    ready: Condvar,
-    /// Blocked pushers wait here for space (or the drain signal).
-    space: Condvar,
+struct SqState<T> {
+    lanes: Vec<Lane<T>>,
+    draining: bool,
+    /// Emptied sub-batch buffers, cleared but with capacity retained.
+    free: Vec<Vec<T>>,
+}
+
+/// Bounded per-shard FIFO lanes with all-or-nothing batch admission
+/// and an explicit drain signal. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct ShardQueues<T> {
+    state: Mutex<SqState<T>>,
+    /// One condvar per lane; that lane's worker waits here for
+    /// sub-batches (or the drain signal). Pushers never wait.
+    ready: Vec<Condvar>,
+    /// Per-lane capacity in sub-batches.
     capacity: usize,
     /// Injected bug for the schedule checker's mutation gate: when set,
-    /// `drain` flips the flag but "loses" its wakeup.
+    /// `drain` flips the flag but "loses" its wakeups.
     lossy_drain: bool,
 }
 
-impl<T> IngestQueue<T> {
-    /// Creates a queue holding at most `capacity` items.
-    pub fn new(capacity: usize) -> Self {
-        IngestQueue {
-            state: Mutex::new(State {
-                items: VecDeque::with_capacity(capacity.min(1024)),
+impl<T> ShardQueues<T> {
+    /// Creates `lanes` lanes, each holding at most `capacity`
+    /// sub-batches.
+    pub fn new(lanes: usize, capacity: usize) -> Self {
+        let lanes = lanes.max(1);
+        ShardQueues {
+            state: Mutex::new(SqState {
+                lanes: (0..lanes)
+                    .map(|_| Lane {
+                        items: VecDeque::with_capacity(capacity.min(1024)),
+                        max_depth: 0,
+                    })
+                    .collect(),
                 draining: false,
-                max_depth: 0,
+                free: Vec::new(),
             }),
-            ready: Condvar::new(),
-            space: Condvar::new(),
+            ready: (0..lanes).map(|_| Condvar::new()).collect(),
             capacity: capacity.max(1),
             lossy_drain: false,
         }
     }
 
-    /// Creates a queue whose `drain` drops its `notify_all` — the
-    /// schedule checker's mutation gate proves this lost signal is
-    /// caught as a deadlock. Never use outside model checking.
+    /// Creates queues whose `drain` drops its wakeups — the schedule
+    /// checker's mutation gate proves this lost signal is caught as a
+    /// deadlock. Never use outside model checking.
     #[doc(hidden)]
-    pub fn new_lossy_for_modelcheck(capacity: usize) -> Self {
-        let mut q = Self::new(capacity);
+    pub fn new_lossy_for_modelcheck(lanes: usize, capacity: usize) -> Self {
+        let mut q = Self::new(lanes, capacity);
         q.lossy_drain = true;
         q
     }
 
-    /// Capacity the queue was built with.
+    /// Number of lanes (= shards).
+    pub fn lanes(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Per-lane capacity the queues were built with.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Items currently queued.
-    pub fn len(&self) -> usize {
-        self.state.lock().items.len()
+    /// Sub-batches currently queued on `lane`.
+    pub fn len(&self, lane: usize) -> usize {
+        self.state.lock().lanes[lane].items.len()
     }
 
-    /// True when nothing is queued.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// True when nothing is queued on `lane`.
+    pub fn is_empty(&self, lane: usize) -> bool {
+        self.len(lane) == 0
     }
 
-    /// High-water mark of the queue depth.
-    pub fn max_depth(&self) -> usize {
-        self.state.lock().max_depth
+    /// High-water mark of `lane`'s depth.
+    pub fn max_depth(&self, lane: usize) -> usize {
+        self.state.lock().lanes[lane].max_depth
     }
 
-    /// Non-blocking admission: enqueues `item` unless the queue is full
-    /// or draining.
+    /// Non-blocking all-or-nothing admission of one split batch.
+    ///
+    /// `subs` must have exactly [`lanes`](ShardQueues::lanes) entries:
+    /// `subs[i]` is the sub-batch destined for lane `i` (empty entries
+    /// are skipped). If every non-empty sub-batch fits its lane, all of
+    /// them are enqueued under one critical section — a single total
+    /// admission order across every pusher — and each moved slot is
+    /// refilled with an empty recycled buffer so the caller's scratch
+    /// keeps its allocations. If *any* target lane is full (or the
+    /// queues are draining) **nothing** is enqueued and `subs` is left
+    /// untouched, so a refused frame can be retried or discarded whole.
     ///
     /// # Errors
     ///
-    /// [`PushError::Full`] at capacity (the backpressure signal),
-    /// [`PushError::Draining`] after [`drain`](IngestQueue::drain); both
-    /// return the item.
-    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+    /// [`PushError::Full`] if any target lane is at capacity (the
+    /// backpressure signal), [`PushError::Draining`] after
+    /// [`drain`](ShardQueues::drain).
+    ///
+    /// # Panics
+    ///
+    /// If `subs.len()` differs from the lane count.
+    pub fn try_push_batches(&self, subs: &mut [Vec<T>]) -> Result<(), PushError<()>> {
+        assert_eq!(subs.len(), self.ready.len(), "one sub-batch per lane");
         let mut state = self.state.lock();
         if state.draining {
-            return Err(PushError::Draining(item));
+            return Err(PushError::Draining(()));
         }
-        if state.items.len() >= self.capacity {
-            return Err(PushError::Full(item));
+        for (i, sub) in subs.iter().enumerate() {
+            if !sub.is_empty() && state.lanes[i].items.len() >= self.capacity {
+                return Err(PushError::Full(()));
+            }
         }
-        state.items.push_back(item);
-        state.max_depth = state.max_depth.max(state.items.len());
+        let mut touched = [false; 64];
+        let mut touched_big = Vec::new();
+        for (i, sub) in subs.iter_mut().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let replacement = state.free.pop().unwrap_or_default();
+            let batch = std::mem::replace(sub, replacement);
+            let lane = &mut state.lanes[i];
+            lane.items.push_back(batch);
+            lane.max_depth = lane.max_depth.max(lane.items.len());
+            if i < touched.len() {
+                touched[i] = true;
+            } else {
+                touched_big.push(i);
+            }
+        }
         drop(state);
-        self.ready.notify_one();
+        for (i, hit) in touched.iter().enumerate().take(self.ready.len()) {
+            if *hit {
+                self.ready[i].notify_one();
+            }
+        }
+        for i in touched_big {
+            self.ready[i].notify_one();
+        }
         Ok(())
     }
 
-    /// Blocking push: waits for space instead of refusing.
-    ///
-    /// The router uses this on the per-shard queues — its own inbound
-    /// queue is the admission point, so propagating backpressure by
-    /// blocking here is what slows intake down.
-    ///
-    /// # Errors
-    ///
-    /// [`PushError::Draining`] if the queue drains while waiting.
-    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+    /// Blocking pop for `lane`'s worker: the next sub-batch, or `None`
+    /// once the queues are drained *and* the lane is empty (every
+    /// queued sub-batch is always delivered first).
+    pub fn pop(&self, lane: usize) -> Option<Vec<T>> {
         let mut state = self.state.lock();
         loop {
-            if state.draining {
-                return Err(PushError::Draining(item));
-            }
-            if state.items.len() < self.capacity {
-                state.items.push_back(item);
-                state.max_depth = state.max_depth.max(state.items.len());
-                drop(state);
-                self.ready.notify_one();
-                return Ok(());
-            }
-            state = self.space.wait(state);
-        }
-    }
-
-    /// Blocking pop: the next item, or `None` once the queue is drained
-    /// *and* empty (every queued item is always delivered first).
-    pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock();
-        loop {
-            if let Some(item) = state.items.pop_front() {
-                drop(state);
-                self.space.notify_one();
-                return Some(item);
+            if let Some(batch) = state.lanes[lane].items.pop_front() {
+                return Some(batch);
             }
             if state.draining {
                 return None;
             }
-            state = self.ready.wait(state);
+            state = self.ready[lane].wait(state);
         }
     }
 
-    /// Marks the queue draining and wakes every waiter: pushers see
-    /// `Draining`, poppers finish the backlog and then get `None`.
+    /// Returns an emptied sub-batch buffer to the free list (capacity
+    /// retained) so future admissions can reuse it instead of
+    /// allocating. Buffers past the free-list cap are dropped.
+    pub fn recycle(&self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut state = self.state.lock();
+        if state.free.len() < FREE_LIST_CAP {
+            state.free.push(buf);
+        }
+    }
+
+    /// Marks every lane draining and wakes every waiter: pushers see
+    /// `Draining`, workers finish their lane's backlog and then get
+    /// `None`.
     pub fn drain(&self) {
         let mut state = self.state.lock();
         state.draining = true;
         drop(state);
         if !self.lossy_drain {
-            self.ready.notify_all();
-            self.space.notify_all();
+            for cv in &self.ready {
+                cv.notify_all();
+            }
         }
     }
 
-    /// True once [`drain`](IngestQueue::drain) has been called.
+    /// True once [`drain`](ShardQueues::drain) has been called.
     pub fn is_draining(&self) -> bool {
         self.state.lock().draining
     }
@@ -333,40 +394,101 @@ mod tests {
     use std::sync::Arc;
     use std::thread;
 
-    #[test]
-    fn fifo_order_and_depth_tracking() {
-        let q = IngestQueue::new(4);
-        for i in 0..4 {
-            q.try_push(i).unwrap();
+    /// Splits `items` into `lanes` sub-batch vectors round-robin.
+    fn split(items: &[u32], lanes: usize) -> Vec<Vec<u32>> {
+        let mut per = vec![Vec::new(); lanes];
+        for (i, &v) in items.iter().enumerate() {
+            per[i % lanes].push(v);
         }
-        assert_eq!(q.try_push(9), Err(PushError::Full(9)));
-        assert_eq!(q.len(), 4);
-        assert_eq!(q.max_depth(), 4);
-        q.drain();
-        assert_eq!(q.try_push(9), Err(PushError::Draining(9)));
-        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
-        assert_eq!(got, [0, 1, 2, 3]);
-        assert!(q.pop().is_none(), "drained queue stays closed");
+        per
     }
 
     #[test]
-    fn drain_wakes_blocked_consumers() {
-        let q = Arc::new(IngestQueue::<u32>::new(2));
-        let handles: Vec<_> = (0..3)
-            .map(|_| {
+    fn per_lane_fifo_and_depth_tracking() {
+        let q = ShardQueues::new(2, 4);
+        for round in 0..3u32 {
+            let mut subs = split(&[round * 2, round * 2 + 1], 2);
+            q.try_push_batches(&mut subs).unwrap();
+            assert!(
+                subs.iter().all(Vec::is_empty),
+                "accepted slots refilled empty"
+            );
+        }
+        assert_eq!(q.len(0), 3);
+        assert_eq!(q.max_depth(1), 3);
+        q.drain();
+        let mut refused = split(&[8, 9], 2);
+        assert_eq!(
+            q.try_push_batches(&mut refused),
+            Err(PushError::Draining(()))
+        );
+        assert_eq!(refused[0], [8], "refused sub-batches left untouched");
+        let lane0: Vec<u32> = std::iter::from_fn(|| q.pop(0)).flatten().collect();
+        let lane1: Vec<u32> = std::iter::from_fn(|| q.pop(1)).flatten().collect();
+        assert_eq!(lane0, [0, 2, 4], "lane 0 FIFO");
+        assert_eq!(lane1, [1, 3, 5], "lane 1 FIFO");
+        assert!(q.pop(0).is_none(), "drained queue stays closed");
+    }
+
+    #[test]
+    fn admission_is_all_lanes_or_none() {
+        let q = ShardQueues::new(2, 1);
+        let mut first = split(&[0, 1], 2);
+        q.try_push_batches(&mut first).unwrap();
+        // Lane 1 is now full: the whole frame must be refused, with
+        // lane 0 receiving nothing even though it has space.
+        let mut second = split(&[2, 3], 2);
+        assert_eq!(q.try_push_batches(&mut second), Err(PushError::Full(())));
+        assert_eq!(second[0], [2], "refused frame keeps its records");
+        assert_eq!(q.len(0), 1, "partial admission must not happen");
+        // Free lane 0; a frame targeting only that lane then goes in
+        // even while lane 1 is still full (empty slots don't count).
+        assert_eq!(q.pop(0), Some(vec![0]));
+        let mut third = vec![vec![4u32], Vec::new()];
+        q.try_push_batches(&mut third).unwrap();
+        q.drain();
+        let lane0: Vec<u32> = std::iter::from_fn(|| q.pop(0)).flatten().collect();
+        assert_eq!(lane0, [4]);
+        let lane1: Vec<u32> = std::iter::from_fn(|| q.pop(1)).flatten().collect();
+        assert_eq!(lane1, [1]);
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_for_accepted_slots() {
+        let q: ShardQueues<u32> = ShardQueues::new(1, 4);
+        let mut buf = Vec::with_capacity(128);
+        buf.push(1u32);
+        buf.clear();
+        let cap = buf.capacity();
+        q.recycle(buf);
+        let mut subs = vec![vec![7u32]];
+        q.try_push_batches(&mut subs).unwrap();
+        assert!(subs[0].is_empty());
+        assert_eq!(
+            subs[0].capacity(),
+            cap,
+            "accepted slot refilled from the free list"
+        );
+    }
+
+    #[test]
+    fn drain_wakes_blocked_lane_workers() {
+        let q = Arc::new(ShardQueues::<u32>::new(2, 8));
+        let handles: Vec<_> = (0..2)
+            .map(|lane| {
                 let q = Arc::clone(&q);
                 thread::spawn(move || {
                     let mut got = Vec::new();
-                    while let Some(v) = q.pop() {
-                        got.push(v);
+                    while let Some(batch) = q.pop(lane) {
+                        got.extend(batch);
                     }
                     got
                 })
             })
             .collect();
-        for i in 0..10 {
-            // Blocking push so the tiny capacity exercises waiting.
-            q.push(i).unwrap();
+        for round in 0..5u32 {
+            let mut subs = split(&[round * 2, round * 2 + 1], 2);
+            q.try_push_batches(&mut subs).unwrap();
         }
         q.drain();
         let mut all: Vec<u32> = handles
@@ -375,22 +497,6 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn blocking_push_observes_drain() {
-        let q = Arc::new(IngestQueue::new(1));
-        q.try_push(0u32).unwrap();
-        let pusher = {
-            let q = Arc::clone(&q);
-            thread::spawn(move || q.push(1))
-        };
-        // Give the pusher a chance to park, then drain without popping.
-        thread::sleep(std::time::Duration::from_millis(10));
-        q.drain();
-        assert_eq!(pusher.join().unwrap(), Err(PushError::Draining(1)));
-        assert_eq!(q.pop(), Some(0));
-        assert_eq!(q.pop(), None);
     }
 
     #[test]

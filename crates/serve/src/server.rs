@@ -1,5 +1,5 @@
 //! The TCP server: acceptor, per-connection reader/writer pairs,
-//! router, shard workers, and queries.
+//! shard workers, and queries.
 //!
 //! Thread layout (all on one [`tempstream_runtime::pool::scope`]):
 //!
@@ -11,12 +11,12 @@
 //!                                        │ replies go to a bounded ReplyQueue
 //!                                        │ drained FIFO by the writer
 //!                                        │
-//!                                        │ try_push whole ingest frames
+//!                                        │ reader splits each ingest frame by
+//!                                        │ fxhash(block) into per-shard scratch
+//!                                        │ and admits all sub-batches at once
 //!                                        ▼
-//!                                   router queue (bounded — the admission point)
-//!                                        │ router worker splits by fxhash(block)
-//!                                        ▼
-//!                                   per-shard queues (bounded, blocking push)
+//!                                   ShardQueues (bounded lanes — the
+//!                                   admission point, one lane per shard)
 //!                                        │ shard workers apply incrementally
 //!                                        ▼
 //!                                   per-shard ShardState (behind shim Mutex)
@@ -30,10 +30,18 @@
 //! lets the client match replies to requests. A full reply queue
 //! blocks only that connection's reader (per-connection backpressure).
 //!
-//! Backpressure: readers never block on ingest — a full router queue
-//! surfaces as a `Busy` reply and the records are *not* counted. The
-//! router's blocking pushes propagate shard-side pressure back to the
-//! single admission point. Nothing buffers without bound.
+//! Ingest routing happens **in the readers**: each connection splits a
+//! decoded batch by [`shard_of`] into a per-connection scratch buffer
+//! and admits the whole frame with one all-or-nothing
+//! [`ShardQueues::try_push_batches`]. Readers never block on ingest — a
+//! full lane surfaces as a `Busy` reply and the records are *not*
+//! counted; all lanes are taken under one lock, so admitted frames get
+//! a single total order (which is why per-connection FIFO per shard
+//! survives N readers pushing concurrently, with no router thread
+//! serializing the split). Applied sub-batch buffers are recycled
+//! through the queues' free list back into reader scratch, so the
+//! steady-state ingest path allocates nothing. Nothing buffers without
+//! bound.
 //!
 //! Read-your-writes: every acked record bumps `Progress::enqueued`
 //! under the progress lock *in the same critical section as the queue
@@ -48,16 +56,19 @@
 //! per-shard state versions plus the merged answers of its last cut.
 //! `QueryDelta` takes a consistent cut, re-snapshots **only** the
 //! shards whose version moved, and replies with the change since the
-//! cursor; a cut where nothing moved never walks a grammar at all.
+//! cursor; a cut where nothing moved never walks a grammar at all. The
+//! cursor also caches a merged origin table patched per changed shard,
+//! so delta probes and `QueryTopOrigins` are O(changed shards), not
+//! O(all shards) — and per-shard `StreamCounts` are version-memoized
+//! inside [`ShardState`], so even a full query only walks the grammars
+//! that actually moved.
 //!
 //! Shutdown: a `Shutdown` frame marks the lifecycle `Draining`, drains
-//! the router queue, and wakes the acceptor with a loopback connect.
-//! The router forwards its backlog, drains the shard queues, collects
-//! one done-token per shard worker over a
-//! [`tempstream_runtime::channel::bounded`] channel, and flips the
-//! lifecycle to `Drained`; the shutdown connection then answers
-//! `ShutdownAck`. No acked record is ever dropped on shutdown. The
-//! acceptor answers clients that race the drain with
+//! the shard queues, and wakes the acceptor with a loopback connect.
+//! Each shard worker finishes its lane's backlog; the last one out
+//! flips the lifecycle to `Drained`, and the shutdown connection then
+//! answers `ShutdownAck`. No acked record is ever dropped on shutdown.
+//! The acceptor answers clients that race the drain with
 //! `Error{ERR_DRAINING}` instead of silently dropping them, and an
 //! acceptor torn down by a listener-level error still enters the drain
 //! handshake so `run` returns instead of deadlocking the workers.
@@ -69,10 +80,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::queue::{IngestQueue, PushError, ReplyQueue};
+use crate::queue::{PushError, ReplyQueue, ShardQueues};
 use crate::shard::{
-    merge_coverage_counts, merge_stream_counts, merge_top_origins, shard_of, CoverageCounts,
-    ShardConfig, ShardState, StreamCounts,
+    merge_coverage_counts, merge_stream_counts, shard_of, CoverageCounts, OriginTable, ShardConfig,
+    ShardState, StreamCounts,
 };
 use crate::wire::{
     encode_message, write_frame, DeltaCounts, Frame, Message, MessageAssembler, ERR_BAD_FRAME,
@@ -80,8 +91,8 @@ use crate::wire::{
 };
 use tempstream_fxhash::FxHashMap;
 use tempstream_obsv::{Counter, Registry};
+use tempstream_runtime::pool;
 use tempstream_runtime::sync::{Arc, Condvar, Mutex};
-use tempstream_runtime::{channel, pool};
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::MissClass;
 
@@ -96,9 +107,7 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Per-shard analysis parameters.
     pub shard: ShardConfig,
-    /// Ingest-frame capacity of the router (admission) queue.
-    pub router_queue_capacity: usize,
-    /// Sub-batch capacity of each per-shard queue.
+    /// Sub-batch capacity of each shard's ingest lane.
     pub shard_queue_capacity: usize,
     /// Concurrent connections; excess accepts get `Busy` and close.
     pub max_connections: usize,
@@ -120,7 +129,6 @@ impl Default for ServerConfig {
         ServerConfig {
             shards: 1,
             shard: ShardConfig::default(),
-            router_queue_capacity: 64,
             shard_queue_capacity: 64,
             max_connections: 32,
             reply_queue_capacity: 32,
@@ -140,7 +148,7 @@ enum Phase {
 
 #[derive(Debug, Default)]
 struct Progress {
-    /// Records admitted past the router queue (and acked).
+    /// Records admitted onto the shard lanes (and acked).
     enqueued: u64,
     /// Records applied to shard state.
     applied: u64,
@@ -158,7 +166,11 @@ struct Metrics {
     frames_received: Counter,
     frames_busy: Counter,
     frames_errors: Counter,
-    frames_dropped: Counter,
+    /// With reader-side routing there is no drop path left between
+    /// admission and a shard lane (admission *is* the lane push), so
+    /// this stays pinned at zero; it remains registered because the
+    /// soak gates assert `frames/dropped == 0` on every snapshot.
+    _frames_dropped: Counter,
     records_ingested: Counter,
     records_applied: Counter,
     records_rejected: Counter,
@@ -173,7 +185,7 @@ impl Metrics {
             frames_received: registry.counter("serve/frames/received"),
             frames_busy: registry.counter("serve/frames/busy"),
             frames_errors: registry.counter("serve/frames/errors"),
-            frames_dropped: registry.counter("serve/frames/dropped"),
+            _frames_dropped: registry.counter("serve/frames/dropped"),
             records_ingested: registry.counter("serve/records/ingested"),
             records_applied: registry.counter("serve/records/applied"),
             records_rejected: registry.counter("serve/records/rejected"),
@@ -204,7 +216,20 @@ struct DeltaCursor {
     shard_coverage: Vec<CoverageCounts>,
     last_streams: StreamCounts,
     last_coverage: CoverageCounts,
-    last_origins: FxHashMap<u32, u64>,
+    /// Origin-side versions, tracked separately from `shard_versions`
+    /// because `QueryTopOrigins` refreshes origins without consuming
+    /// the streams/coverage delta.
+    origin_versions: Vec<u64>,
+    /// Per-shard origin snapshots at `origin_versions`.
+    shard_origins: Vec<OriginTable>,
+    /// The merged origin table across all shards, patched in place for
+    /// shards whose version moved — the ROADMAP follow-up that makes
+    /// hot-shard probes O(changed shards). Serves `QueryTopOrigins`
+    /// directly.
+    merged_origins: OriginTable,
+    /// Signed per-function origin movement accumulated since the last
+    /// `DeltaReply` (survives interleaved `QueryTopOrigins` refreshes).
+    pending_origins: FxHashMap<u32, i64>,
 }
 
 impl DeltaCursor {
@@ -217,7 +242,37 @@ impl DeltaCursor {
             shard_coverage: vec![CoverageCounts::default(); shards],
             last_streams: StreamCounts::default(),
             last_coverage: CoverageCounts::default(),
-            last_origins: FxHashMap::default(),
+            origin_versions: vec![0; shards],
+            shard_origins: (0..shards).map(|_| OriginTable::new()).collect(),
+            merged_origins: OriginTable::new(),
+            pending_origins: FxHashMap::default(),
+        }
+    }
+
+    /// Brings the merged origin table up to the cut held by `shards`:
+    /// for each shard whose version moved since the last refresh, diff
+    /// its table against the cached snapshot and patch the merge (and
+    /// the pending delta) by the difference. Unchanged shards cost one
+    /// version compare. Counts are monotone per shard, so patching by
+    /// the diff is exact — `merged_origins` always equals a fresh
+    /// all-shards merge at this cut.
+    fn refresh_origins(&mut self, shards: &[ShardGuard<'_>]) {
+        for (i, shard) in shards.iter().enumerate() {
+            let version = shard.version();
+            if self.origin_versions[i] == version {
+                continue;
+            }
+            let now = shard.origin_counts();
+            let before = &self.shard_origins[i];
+            for (function, count) in now.iter() {
+                let prev = before.get(function);
+                if count != prev {
+                    self.merged_origins.add(function, count - prev);
+                    *self.pending_origins.entry(function).or_insert(0) += signed_delta(count, prev);
+                }
+            }
+            self.shard_origins[i].copy_from(now);
+            self.origin_versions[i] = version;
         }
     }
 }
@@ -227,13 +282,15 @@ struct Shared {
     local_addr: SocketAddr,
     registry: Arc<Registry>,
     metrics: Metrics,
-    router_queue: IngestQueue<Vec<MissRecord<MissClass>>>,
-    shard_queues: Vec<IngestQueue<Vec<MissRecord<MissClass>>>>,
+    shard_queues: ShardQueues<MissRecord<MissClass>>,
     shard_states: Vec<Mutex<ShardState>>,
     progress: Mutex<Progress>,
     applied_cv: Condvar,
     lifecycle: Mutex<Phase>,
     drained_cv: Condvar,
+    /// Shard workers that have finished their lane; the last one out
+    /// flips the lifecycle to `Drained`.
+    shards_done: Mutex<usize>,
     conns: Mutex<Conns>,
     /// Remaining reader panics to inject (test hook, see
     /// [`ServerConfig::fault_conn_panics`]).
@@ -253,7 +310,7 @@ impl Shared {
                 *phase = Phase::Draining;
             }
         }
-        self.router_queue.drain();
+        self.shard_queues.drain();
         // Wake the acceptor blocked in `accept` so it can observe the
         // phase change; the throwaway connection is answered with
         // ERR_DRAINING (or dropped, if this end closes first).
@@ -280,37 +337,58 @@ impl Shared {
 
     /// Waits out in-flight ingest, then locks every shard (index
     /// order) and merges with `f` — a consistent cut across shards.
-    /// `f` also receives the applied watermark of the cut.
-    fn with_consistent_cut<T>(&self, f: impl FnOnce(u64, &[ShardGuard<'_>]) -> T) -> T {
+    /// `f` also receives the applied watermark of the cut. Guards are
+    /// handed out mutably so queries can hit the per-shard caches.
+    fn with_consistent_cut<T>(&self, f: impl FnOnce(u64, &mut [ShardGuard<'_>]) -> T) -> T {
         let applied = self.wait_applied();
-        let guards: Vec<ShardGuard<'_>> = self.shard_states.iter().map(Mutex::lock).collect();
-        f(applied, &guards)
+        let mut guards: Vec<ShardGuard<'_>> = self.shard_states.iter().map(Mutex::lock).collect();
+        f(applied, &mut guards)
     }
 
     /// Computes the reply for one decoded request. Returns the reply
     /// frame and whether the connection should keep reading. Never
     /// touches the socket — delivery belongs to the writer.
-    fn handle_request(&self, frame: Frame, cursor: &mut DeltaCursor) -> (Frame, bool) {
+    ///
+    /// `scratch` is the connection's routing buffer, one slot per
+    /// shard; it must arrive with every slot empty and is left that
+    /// way (accepted slots are swapped for recycled empties, refused
+    /// ones cleared).
+    fn handle_request(
+        &self,
+        frame: Frame,
+        cursor: &mut DeltaCursor,
+        scratch: &mut [Vec<MissRecord<MissClass>>],
+    ) -> (Frame, bool) {
         self.metrics.frames_received.inc();
         match frame {
-            Frame::Ingest(records) => {
+            Frame::Ingest(mut records) => {
                 let n = records.len() as u64;
+                let lanes = scratch.len();
+                if lanes == 1 {
+                    // Single shard: no hashing, no copying — the frame's
+                    // own Vec becomes the sub-batch.
+                    std::mem::swap(&mut scratch[0], &mut records);
+                } else {
+                    for r in records.drain(..) {
+                        scratch[shard_of(r.block.raw(), lanes)].push(r);
+                    }
+                }
                 let reply = {
                     // Push and ack-count in one critical section so
                     // `applied` can never outrun `enqueued`.
                     let mut p = self.progress.lock();
-                    match self.router_queue.try_push(records) {
+                    match self.shard_queues.try_push_batches(scratch) {
                         Ok(()) => {
                             p.enqueued += n;
                             self.metrics.records_ingested.add(n);
                             Frame::IngestAck(n as u32)
                         }
-                        Err(PushError::Full(_)) => {
+                        Err(PushError::Full(())) => {
                             self.metrics.frames_busy.inc();
                             self.metrics.records_rejected.add(n);
                             Frame::Busy
                         }
-                        Err(PushError::Draining(_)) => {
+                        Err(PushError::Draining(())) => {
                             self.metrics.frames_errors.inc();
                             Frame::Error {
                                 code: ERR_DRAINING,
@@ -319,12 +397,23 @@ impl Shared {
                         }
                     }
                 };
+                if !matches!(reply, Frame::IngestAck(_)) {
+                    // Refused whole: drop the routed records (the client
+                    // retries the frame) but keep the buffers.
+                    for sub in scratch.iter_mut() {
+                        sub.clear();
+                    }
+                }
+                // The decode-side Vec is empty either way; feed it to
+                // the free list so admissions can hand it back to a
+                // scratch slot instead of allocating.
+                self.shard_queues.recycle(records);
                 (reply, true)
             }
             Frame::QueryStreamFraction => {
                 self.metrics.queries.inc();
                 let counts = self.with_consistent_cut(|_applied, shards| {
-                    merge_stream_counts(shards.iter().map(|s| s.stream_counts()))
+                    merge_stream_counts(shards.iter_mut().map(|s| s.stream_counts()))
                 });
                 (
                     Frame::StreamFractionReply {
@@ -352,8 +441,12 @@ impl Shared {
             }
             Frame::QueryTopOrigins(n) => {
                 self.metrics.queries.inc();
+                // Served from the cursor's patched merge: only shards
+                // whose version moved since this connection last looked
+                // are diffed; the top-n sort runs on the cached table.
                 let rows = self.with_consistent_cut(|_applied, shards| {
-                    merge_top_origins(shards.iter().map(|s| s.origin_counts()), n as usize)
+                    cursor.refresh_origins(shards);
+                    cursor.merged_origins.top_n(n as usize)
                 });
                 (Frame::TopOriginsReply(rows), true)
             }
@@ -405,11 +498,13 @@ impl Shared {
     /// Incremental answer: takes a consistent cut, re-snapshots only
     /// the shards whose version moved since `cursor`, and returns the
     /// change relative to the cursor's last answers. A cut where no
-    /// shard moved is answered without walking any grammar.
+    /// shard moved is answered without walking any grammar, and the
+    /// origin delta comes from the cursor's patched merge — never a
+    /// full all-shards rebuild.
     fn delta_since(&self, cursor: &mut DeltaCursor) -> DeltaCounts {
         self.with_consistent_cut(|applied, shards| {
             let mut changed = false;
-            for (i, shard) in shards.iter().enumerate() {
+            for (i, shard) in shards.iter_mut().enumerate() {
                 if cursor.shard_versions[i] != shard.version() {
                     cursor.shard_streams[i] = shard.stream_counts();
                     cursor.shard_coverage[i] = shard.coverage_counts();
@@ -440,26 +535,21 @@ impl Shared {
             delta.total = signed_delta(coverage.total, cursor.last_coverage.total);
             delta.covered = signed_delta(coverage.covered, cursor.last_coverage.covered);
             delta.issued = signed_delta(coverage.issued, cursor.last_coverage.issued);
-            let mut origins: FxHashMap<u32, u64> = FxHashMap::default();
-            for shard in shards {
-                for (&function, &count) in shard.origin_counts() {
-                    *origins.entry(function).or_insert(0) += count;
-                }
-            }
-            for (&function, &now) in &origins {
-                let before = cursor.last_origins.get(&function).copied().unwrap_or(0);
-                if now != before {
-                    delta.origins.push((function, signed_delta(now, before)));
-                }
-            }
+            cursor.refresh_origins(shards);
             // Origin counts are monotone, so a function can never
             // vanish from the merged map — no removal pass needed.
+            delta.origins = cursor
+                .pending_origins
+                .iter()
+                .filter(|&(_, &moved)| moved != 0)
+                .map(|(&function, &moved)| (function, moved))
+                .collect();
             delta
                 .origins
                 .sort_unstable_by_key(|&(function, _)| function);
+            cursor.pending_origins.clear();
             cursor.last_streams = streams;
             cursor.last_coverage = coverage;
-            cursor.last_origins = origins;
             delta
         })
     }
@@ -468,13 +558,10 @@ impl Shared {
     /// with the shard guards of the consistent cut the snapshot renders
     /// on (never locks shards itself — that would tear the cut).
     fn export_gauges(&self, shards: &[ShardGuard<'_>]) {
-        self.registry
-            .gauge("serve/queue/router/max_depth")
-            .set(self.router_queue.max_depth() as u64);
-        for (i, q) in self.shard_queues.iter().enumerate() {
+        for i in 0..self.shard_queues.lanes() {
             self.registry
                 .gauge(&format!("serve/queue/shard{i}/max_depth"))
-                .set(q.max_depth() as u64);
+                .set(self.shard_queues.max_depth(i) as u64);
         }
         let conns = self.conns.lock();
         self.registry
@@ -486,12 +573,19 @@ impl Shared {
         drop(conns);
         let mut applied = 0u64;
         let mut overflow = 0u64;
+        let mut walks = 0u64;
         for s in shards {
             applied += s.ingested();
             overflow += s.overflow();
+            walks += s.grammar_walks();
         }
         self.registry.gauge("serve/records/in_state").set(applied);
         self.registry.gauge("serve/records/overflow").set(overflow);
+        // Grammar root walks = StreamCounts cache misses across shards;
+        // tests assert unchanged shards never move this.
+        self.registry
+            .gauge("serve/analysis/grammar_walks")
+            .set(walks);
     }
 }
 
@@ -526,8 +620,9 @@ impl Drop for CloseOnDrop<'_> {
 }
 
 /// One connection's reader: assemble messages (reassembling v2
-/// continuation frames), dispatch each request as soon as it decodes,
-/// queue the reply, poll the drain flag. Never writes the socket.
+/// continuation frames), dispatch each request as soon as it decodes —
+/// routing ingest frames onto the shard lanes itself — queue the
+/// reply, poll the drain flag. Never writes the socket.
 fn handle_conn(shared: &Shared, mut stream: TcpStream, replies: &ConnReplies, fault_panic: bool) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
@@ -535,6 +630,12 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream, replies: &ConnReplies, fa
     }
     let mut asm = MessageAssembler::new();
     let mut cursor = DeltaCursor::new(shared.shard_states.len());
+    // Per-connection routing scratch, one slot per shard; admission
+    // swaps accepted slots for recycled buffers, so after warm-up the
+    // split allocates nothing.
+    let mut scratch: Vec<Vec<MissRecord<MissClass>>> = (0..shared.shard_queues.lanes())
+        .map(|_| Vec::new())
+        .collect();
     let mut chunk = [0u8; 16 * 1024];
     loop {
         loop {
@@ -543,7 +644,8 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream, replies: &ConnReplies, fa
                     if fault_panic {
                         panic!("injected connection-handler fault (test hook)");
                     }
-                    let (reply, keep_going) = shared.handle_request(frame, &mut cursor);
+                    let (reply, keep_going) =
+                        shared.handle_request(frame, &mut cursor, &mut scratch);
                     if replies.push((seq, reply)).is_err() {
                         return; // writer is gone; replies undeliverable
                     }
@@ -640,47 +742,11 @@ fn reject_drain_backlog(listener: &TcpListener, first: TcpStream, shared: &Share
     }
 }
 
-/// Router worker: splits admitted ingest frames across shard queues,
-/// then runs the drain handshake (see the module docs).
-fn run_router(shared: &Shared, done_rx: &channel::Receiver<()>) {
-    let shards = shared.shard_queues.len();
-    while let Some(batch) = shared.router_queue.pop() {
-        if shards == 1 {
-            if shared.shard_queues[0].push(batch).is_err() {
-                shared.metrics.frames_dropped.inc();
-            }
-            continue;
-        }
-        let mut per: Vec<Vec<MissRecord<MissClass>>> = vec![Vec::new(); shards];
-        for r in batch {
-            per[shard_of(r.block.raw(), shards)].push(r);
-        }
-        for (i, sub) in per.into_iter().enumerate() {
-            if !sub.is_empty() && shared.shard_queues[i].push(sub).is_err() {
-                // Unreachable by construction (only the router drains
-                // shard queues, after its own queue closes); counted
-                // so the soak gate would catch a regression.
-                shared.metrics.frames_dropped.inc();
-            }
-        }
-    }
-    // Router queue closed and fully forwarded: close the shard queues
-    // and wait for each worker's done token.
-    for q in &shared.shard_queues {
-        q.drain();
-    }
-    for _ in 0..shards {
-        let _ = done_rx.recv();
-    }
-    let mut phase = shared.lifecycle.lock();
-    *phase = Phase::Drained;
-    drop(phase);
-    shared.drained_cv.notify_all();
-}
-
-/// Shard worker: applies routed sub-batches to this shard's state.
-fn run_shard(shared: &Shared, index: usize, done_tx: &channel::Sender<()>) {
-    while let Some(batch) = shared.shard_queues[index].pop() {
+/// Shard worker: applies routed sub-batches from this shard's lane to
+/// its state, recycling emptied buffers. The last worker to finish its
+/// lane after a drain flips the lifecycle to `Drained`.
+fn run_shard(shared: &Shared, index: usize) {
+    while let Some(batch) = shared.shard_queues.pop(index) {
         let n = batch.len() as u64;
         {
             let mut state = shared.shard_states[index].lock();
@@ -688,13 +754,25 @@ fn run_shard(shared: &Shared, index: usize, done_tx: &channel::Sender<()>) {
                 state.apply(r);
             }
         }
+        shared.shard_queues.recycle(batch);
         shared.metrics.records_applied.add(n);
         let mut p = shared.progress.lock();
         p.applied += n;
         drop(p);
         shared.applied_cv.notify_all();
     }
-    let _ = done_tx.send(());
+    // Lane closed and fully applied. The last worker out observes the
+    // full count and completes the drain handshake.
+    let mut done = shared.shards_done.lock();
+    *done += 1;
+    let all_done = *done == shared.shard_queues.lanes();
+    drop(done);
+    if all_done {
+        let mut phase = shared.lifecycle.lock();
+        *phase = Phase::Drained;
+        drop(phase);
+        shared.drained_cv.notify_all();
+    }
 }
 
 /// A bound-but-not-yet-running ingest/query server.
@@ -759,10 +837,7 @@ impl Server {
             local_addr,
             registry: Arc::clone(&self.registry),
             metrics: Metrics::new(&self.registry),
-            router_queue: IngestQueue::new(config.router_queue_capacity),
-            shard_queues: (0..shards)
-                .map(|_| IngestQueue::new(config.shard_queue_capacity))
-                .collect(),
+            shard_queues: ShardQueues::new(shards, config.shard_queue_capacity),
             shard_states: (0..shards)
                 .map(|_| Mutex::new(ShardState::new(config.shard)))
                 .collect(),
@@ -770,23 +845,20 @@ impl Server {
             applied_cv: Condvar::new(),
             lifecycle: Mutex::new(Phase::Running),
             drained_cv: Condvar::new(),
+            shards_done: Mutex::new(0),
             conns: Mutex::new(Conns::default()),
             fault_conn_panics: Mutex::new(config.fault_conn_panics),
         };
         let shared = &shared;
         let listener = &self.listener;
-        // One lane per long-lived job: shard workers + router + a
-        // reader and a writer per connection. Jobs never exceed lanes,
-        // so no long-running job can starve another.
-        let workers = shards + 1 + 2 * config.max_connections;
+        // One lane per long-lived job: shard workers + a reader and a
+        // writer per connection. Jobs never exceed lanes, so no
+        // long-running job can starve another.
+        let workers = shards + 2 * config.max_connections;
         pool::scope(workers, move |p| {
-            let (done_tx, done_rx) = channel::bounded::<()>(shards);
             for index in 0..shards {
-                let done_tx = done_tx.clone();
-                p.spawn(move |_| run_shard(shared, index, &done_tx));
+                p.spawn(move |_| run_shard(shared, index));
             }
-            drop(done_tx);
-            p.spawn(move |_| run_router(shared, &done_rx));
 
             loop {
                 if config.fault_accept_hold_ms > 0 {
@@ -797,7 +869,7 @@ impl Server {
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                     Err(_) => {
                         // Listener torn down: enter the drain handshake
-                        // so router/shard workers unblock and run()
+                        // so the shard workers unblock and run()
                         // returns instead of deadlocking in pop().
                         shared.begin_drain();
                         break;

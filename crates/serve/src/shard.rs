@@ -16,10 +16,18 @@
 //! stages by construction ([`Sequitur::grammar`] snapshots equal
 //! `into_grammar`, [`StreamAnalysis::of_grammar`] is the batch root
 //! walk, [`OnlineEvaluator`] is the batch buffer model).
+//!
+//! Two hot-path structures keep queries off the per-record ingest cost:
+//! origin counts live in an [`OriginTable`] (direct-indexed dense array
+//! for the common small function-id range, hashmap spill above it), and
+//! each shard's [`StreamCounts`] — the one answer that requires a full
+//! grammar root walk — is cached keyed by the shard's [`version()`]
+//! so a shard that has not ingested since the last query answers O(1).
+//!
+//! [`version()`]: ShardState::version
 
-use std::hash::{BuildHasher, Hasher};
 use tempstream_core::streams::StreamAnalysis;
-use tempstream_fxhash::{FxBuildHasher, FxHashMap};
+use tempstream_fxhash::FxHashMap;
 use tempstream_prefetch::{OnlineEvaluator, TemporalPrefetcher};
 use tempstream_sequitur::Sequitur;
 use tempstream_trace::miss::MissRecord;
@@ -59,11 +67,108 @@ impl Default for ShardConfig {
 }
 
 /// Routes a block address to a shard: seedless Fx hash, modulo `shards`.
+///
+/// [`tempstream_fxhash::hash_word`] is bit-identical to feeding the
+/// block through a fresh `FxHasher` (the original implementation here)
+/// but costs one multiply instead of a hasher construction per record —
+/// this runs once per ingested record in every connection reader. The
+/// routing-stability property tests pin the exact mapping, since the
+/// offline comparator's bit-exactness depends on it never moving.
+#[inline]
 pub fn shard_of(block: u64, shards: usize) -> usize {
     debug_assert!(shards > 0);
-    let mut hasher = FxBuildHasher::default().build_hasher();
-    hasher.write_u64(block);
-    (hasher.finish() % shards as u64) as usize
+    (tempstream_fxhash::hash_word(block) % shards as u64) as usize
+}
+
+/// Function ids below this are counted in a direct-indexed array; ids
+/// at or above it spill to a hashmap. Real traces use small dense id
+/// spaces, so the spill path exists only to keep hostile ids from
+/// ballooning memory.
+const DENSE_LIMIT: u32 = 1 << 16;
+
+/// Per-function miss counts: a direct-indexed dense table for small
+/// function ids with a hashmap spill for large ones.
+///
+/// `apply` used to pay a hashmap probe per record
+/// (`origin_counts.entry(..)`); for the dense range this is now a
+/// bounds-checked array increment (the PR 4 direct-index pattern). The
+/// table is also the reusable merge target for
+/// [`merge_top_origins`] and the per-cursor origin caches — counts are
+/// monotone non-decreasing per shard, which is what lets delta cursors
+/// patch a cached merge instead of rebuilding it.
+#[derive(Debug, Clone, Default)]
+pub struct OriginTable {
+    /// Counts for function ids `< DENSE_LIMIT`, indexed directly; grown
+    /// on demand to the highest id seen.
+    dense: Vec<u64>,
+    /// Counts for function ids `>= DENSE_LIMIT`.
+    sparse: FxHashMap<u32, u64>,
+}
+
+impl OriginTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to `function`'s count.
+    #[inline]
+    pub fn add(&mut self, function: u32, n: u64) {
+        if function < DENSE_LIMIT {
+            let idx = function as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0);
+            }
+            self.dense[idx] += n;
+        } else {
+            *self.sparse.entry(function).or_insert(0) += n;
+        }
+    }
+
+    /// `function`'s count (zero if never seen).
+    #[inline]
+    pub fn get(&self, function: u32) -> u64 {
+        if function < DENSE_LIMIT {
+            self.dense.get(function as usize).copied().unwrap_or(0)
+        } else {
+            self.sparse.get(&function).copied().unwrap_or(0)
+        }
+    }
+
+    /// True when no function has a nonzero count.
+    pub fn is_empty(&self) -> bool {
+        self.dense.iter().all(|&c| c == 0) && self.sparse.is_empty()
+    }
+
+    /// Iterates nonzero `(function, count)` entries: the dense range in
+    /// ascending id order, then the spill entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(f, &c)| (f as u32, c))
+            .chain(self.sparse.iter().map(|(&f, &c)| (f, c)))
+    }
+
+    /// The top-`n` functions by count descending, function id ascending
+    /// as the tiebreak (a total order, so the answer never depends on
+    /// iteration order).
+    pub fn top_n(&self, n: usize) -> Vec<(u32, u64)> {
+        let mut rows: Vec<(u32, u64)> = self.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Overwrites `self` with `src`'s contents, reusing `self`'s
+    /// allocations — the cursor caches call this once per changed shard
+    /// per delta, so it must not allocate in steady state.
+    pub fn copy_from(&mut self, src: &OriginTable) {
+        self.dense.clear();
+        self.dense.extend_from_slice(&src.dense);
+        self.sparse.clone_from(&src.sparse);
+    }
 }
 
 /// Merged stream-fraction counts (the online form of the batch
@@ -109,11 +214,17 @@ pub struct ShardState {
     max_cpu: u32,
     prefetcher: TemporalPrefetcher,
     eval: OnlineEvaluator,
-    origin_counts: FxHashMap<u32, u64>,
+    origin_counts: OriginTable,
     /// Every record ever routed here, retained or not.
     ingested: u64,
     /// Records past `max_retained` (analyzed for coverage/origins only).
     overflow: u64,
+    /// Stream counts memoized at a version; valid while the shard has
+    /// not ingested past it.
+    streams_cache: Option<(u64, StreamCounts)>,
+    /// Grammar root walks performed (cache misses); exported as a gauge
+    /// so tests can assert unchanged shards answer without walking.
+    walks: u64,
 }
 
 impl ShardState {
@@ -127,9 +238,11 @@ impl ShardState {
             prefetcher: TemporalPrefetcher::adaptive(config.burst, config.max_ahead)
                 .with_log_capacity(config.log_capacity),
             eval: OnlineEvaluator::new(config.buffer_capacity),
-            origin_counts: FxHashMap::default(),
+            origin_counts: OriginTable::new(),
             ingested: 0,
             overflow: 0,
+            streams_cache: None,
+            walks: 0,
         }
     }
 
@@ -138,7 +251,7 @@ impl ShardState {
     pub fn apply(&mut self, record: &MissRecord<MissClass>) {
         self.ingested += 1;
         self.max_cpu = self.max_cpu.max(record.cpu.raw());
-        *self.origin_counts.entry(record.function.raw()).or_insert(0) += 1;
+        self.origin_counts.add(record.function.raw(), 1);
         self.eval
             .observe(&mut self.prefetcher, record.cpu, record.block);
         if self.records.len() < self.config.max_retained {
@@ -156,8 +269,9 @@ impl ShardState {
 
     /// Monotone state version: advances exactly when observable state
     /// changes (once per applied record), so per-connection delta
-    /// cursors can skip the expensive grammar walk for shards that have
-    /// not moved since their last consistent cut.
+    /// cursors and the per-shard [`StreamCounts`] cache can skip the
+    /// expensive grammar walk for shards that have not moved since
+    /// their last consistent cut.
     pub fn version(&self) -> u64 {
         self.ingested
     }
@@ -169,16 +283,37 @@ impl ShardState {
 
     /// Stream counts from a grammar snapshot of the live builder —
     /// bit-identical to batch-analyzing this shard's retained records.
-    pub fn stream_counts(&self) -> StreamCounts {
+    ///
+    /// Memoized on [`version()`](ShardState::version): the root walk
+    /// only runs when the shard has ingested since the previous call,
+    /// so repeated queries against a quiet shard are O(1). The cache
+    /// can never serve a stale answer because `version()` advances on
+    /// every applied record and queries read under the shard lock.
+    pub fn stream_counts(&mut self) -> StreamCounts {
+        if let Some((version, counts)) = self.streams_cache {
+            if version == self.ingested {
+                return counts;
+            }
+        }
         let grammar = self.seq.grammar();
         let analysis = StreamAnalysis::of_grammar(&grammar, &self.records, self.max_cpu + 1);
         let (non, new, rec) = analysis.label_counts();
-        StreamCounts {
+        let counts = StreamCounts {
             non_repetitive: non,
             new_stream: new,
             recurring_stream: rec,
             distinct_streams: analysis.distinct_streams() as u64,
-        }
+        };
+        self.streams_cache = Some((self.ingested, counts));
+        self.walks += 1;
+        counts
+    }
+
+    /// Grammar root walks performed so far — i.e. `stream_counts` cache
+    /// misses. Tests use this to prove version-keyed caching: querying
+    /// a quiet shard must not move it.
+    pub fn grammar_walks(&self) -> u64 {
+        self.walks
     }
 
     /// Prefetch coverage counters accumulated so far.
@@ -193,7 +328,7 @@ impl ShardState {
 
     /// Per-function miss counts (shared reference; merge with
     /// [`merge_top_origins`]).
-    pub fn origin_counts(&self) -> &FxHashMap<u32, u64> {
+    pub fn origin_counts(&self) -> &OriginTable {
         &self.origin_counts
     }
 }
@@ -221,23 +356,20 @@ pub fn merge_coverage_counts<I: IntoIterator<Item = CoverageCounts>>(parts: I) -
         })
 }
 
-/// Merges per-shard origin maps into the global top-`n` list, ordered
+/// Merges per-shard origin tables into the global top-`n` list, ordered
 /// by count descending with function id ascending as the tiebreak (a
 /// total order, so the answer never depends on shard iteration order).
-pub fn merge_top_origins<'a, I>(maps: I, n: usize) -> Vec<(u32, u64)>
+pub fn merge_top_origins<'a, I>(tables: I, n: usize) -> Vec<(u32, u64)>
 where
-    I: IntoIterator<Item = &'a FxHashMap<u32, u64>>,
+    I: IntoIterator<Item = &'a OriginTable>,
 {
-    let mut merged: FxHashMap<u32, u64> = FxHashMap::default();
-    for map in maps {
-        for (&function, &count) in map {
-            *merged.entry(function).or_insert(0) += count;
+    let mut merged = OriginTable::new();
+    for table in tables {
+        for (function, count) in table.iter() {
+            merged.add(function, count);
         }
     }
-    let mut rows: Vec<(u32, u64)> = merged.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    rows.truncate(n);
-    rows
+    merged.top_n(n)
 }
 
 #[cfg(test)]
@@ -326,13 +458,59 @@ mod tests {
     }
 
     #[test]
+    fn stream_counts_cache_is_version_keyed() {
+        let mut shard = ShardState::new(ShardConfig::default());
+        for i in 0..8u64 {
+            shard.apply(&record(i % 3, 0, 0));
+        }
+        assert_eq!(shard.grammar_walks(), 0, "no walk before first query");
+        let first = shard.stream_counts();
+        assert_eq!(shard.grammar_walks(), 1);
+        assert_eq!(shard.stream_counts(), first, "cache hit answers equally");
+        assert_eq!(shard.grammar_walks(), 1, "quiet shard must not re-walk");
+        shard.apply(&record(1, 0, 0));
+        let second = shard.stream_counts();
+        assert_eq!(shard.grammar_walks(), 2, "new version forces a walk");
+        assert_eq!(second.total(), first.total() + 1);
+        // The cached answer equals a from-scratch walk of the same state.
+        shard.streams_cache = None;
+        assert_eq!(shard.stream_counts(), second);
+    }
+
+    #[test]
+    fn origin_table_counts_and_spills() {
+        let mut t = OriginTable::new();
+        assert!(t.is_empty());
+        t.add(3, 2);
+        t.add(3, 1);
+        t.add(0, 5);
+        let huge = DENSE_LIMIT + 17;
+        t.add(huge, 4);
+        assert_eq!(t.get(3), 3);
+        assert_eq!(t.get(0), 5);
+        assert_eq!(t.get(huge), 4);
+        assert_eq!(t.get(1), 0, "unseen dense id");
+        assert_eq!(t.get(DENSE_LIMIT + 1), 0, "unseen sparse id");
+        let mut rows: Vec<_> = t.iter().collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(0, 5), (3, 3), (huge, 4)]);
+
+        let mut copy = OriginTable::new();
+        copy.add(9, 99);
+        copy.copy_from(&t);
+        assert_eq!(copy.get(9), 0, "copy_from overwrites");
+        assert_eq!(copy.get(huge), 4);
+        assert_eq!(copy.top_n(2), vec![(0, 5), (huge, 4)]);
+    }
+
+    #[test]
     fn top_origins_merge_is_ordered_and_total() {
-        let mut a = FxHashMap::default();
-        a.insert(1u32, 5u64);
-        a.insert(2, 3);
-        let mut b = FxHashMap::default();
-        b.insert(2u32, 2u64);
-        b.insert(3, 5);
+        let mut a = OriginTable::new();
+        a.add(1, 5);
+        a.add(2, 3);
+        let mut b = OriginTable::new();
+        b.add(2, 2);
+        b.add(3, 5);
         let rows = merge_top_origins([&a, &b], 3);
         // count desc, then function asc: 1→5, 2→5, 3→5 all tie on count.
         assert_eq!(rows, vec![(1, 5), (2, 5), (3, 5)]);

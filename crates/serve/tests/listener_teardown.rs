@@ -1,7 +1,7 @@
 //! Regression test for the listener-error drain deadlock (satellite of
 //! the pipelining PR): when `accept` fails with a non-transient error,
 //! the acceptor used to `break` without entering the drain handshake,
-//! leaving the router and shard workers parked in `pop()` forever and
+//! leaving the shard workers parked in `pop()` forever and
 //! `Server::run` never returning.
 //!
 //! The listener is broken out from under a *running* server without

@@ -7,7 +7,7 @@ use std::net::TcpStream;
 use std::thread;
 
 use tempstream_serve::offline;
-use tempstream_serve::shard::ShardConfig;
+use tempstream_serve::shard::{shard_of, ShardConfig};
 use tempstream_serve::wire::{
     read_frame, read_message, write_frame, write_message, DeltaCounts, Frame, MessageReader,
     ERR_BAD_FRAME, ERR_DRAINING, ERR_OVERSIZED, MAX_FRAME_BYTES,
@@ -789,6 +789,202 @@ fn metrics_snapshot_gauges_sit_on_the_query_cut() {
         }
         other => panic!("unexpected reply: {other:?}"),
     }
+    shutdown(&mut conn);
+    handle.join().expect("server thread").expect("server run");
+}
+
+// --- version-keyed query caches (PR 9) ------------------------------------
+
+/// Reads the grammar-walk gauge off a metrics snapshot: how many times
+/// any shard actually re-walked its grammar for `StreamCounts`.
+fn grammar_walks(conn: &mut TcpStream) -> u64 {
+    match call(conn, &Frame::QueryMetricsSnapshot) {
+        Frame::MetricsReply(json) => {
+            let parsed = tempstream_obsv::Json::parse(&json).expect("valid JSON");
+            parsed
+                .get_path("gauges/serve/analysis/grammar_walks")
+                .and_then(tempstream_obsv::Json::as_u64)
+                .expect("grammar_walks gauge present")
+        }
+        other => panic!("unexpected metrics reply: {other:?}"),
+    }
+}
+
+/// The version-keyed `StreamCounts` cache and the cursor's patched
+/// origin merge must never serve a stale answer: interleave ingest
+/// phases that move both shards, only shard 0, only shard 1, and both
+/// again, checking every query type against the offline comparator at
+/// each step — including repeated (pure cache-hit) queries.
+#[test]
+fn version_keyed_caches_never_serve_stale_answers_across_phases() {
+    let all = seeded_records(0xcac4e, 1600);
+    let shard0: Vec<_> = all
+        .iter()
+        .copied()
+        .filter(|r| shard_of(r.block.raw(), 2) == 0)
+        .collect();
+    let shard1: Vec<_> = all
+        .iter()
+        .copied()
+        .filter(|r| shard_of(r.block.raw(), 2) == 1)
+        .collect();
+    assert!(shard0.len() >= 100 && shard1.len() >= 100, "both lanes fed");
+
+    let (addr, handle) = start_server(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    });
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+
+    // Phase 1: both shards move. Phase 2: only shard 0 (shard 1's
+    // cached counts must still be served, and still be right).
+    // Phase 3: only shard 1. Phase 4: both again (every cache entry
+    // invalidated at once).
+    let phases: [&[MissRecord<MissClass>]; 4] =
+        [&all[..400], &shard0[..150], &shard1[..150], &all[400..800]];
+    let mut ingested: Vec<MissRecord<MissClass>> = Vec::new();
+    for (phase, batch) in phases.iter().enumerate() {
+        ingest_all(&mut conn, batch, 97);
+        ingested.extend_from_slice(batch);
+        let want = offline::expected(&ingested, 2, ShardConfig::default(), 8);
+        // Ask twice: the first answer may rebuild caches, the second
+        // must be a pure cache hit — both must equal offline.
+        for round in 0..2 {
+            let ctx = format!("phase {phase} round {round}");
+            match call(&mut conn, &Frame::QueryStreamFraction) {
+                Frame::StreamFractionReply {
+                    non_repetitive,
+                    new_stream,
+                    recurring_stream,
+                    distinct_streams,
+                } => assert_eq!(
+                    (
+                        non_repetitive,
+                        new_stream,
+                        recurring_stream,
+                        distinct_streams
+                    ),
+                    (
+                        want.streams.non_repetitive,
+                        want.streams.new_stream,
+                        want.streams.recurring_stream,
+                        want.streams.distinct_streams
+                    ),
+                    "{ctx}"
+                ),
+                other => panic!("{ctx}: unexpected reply: {other:?}"),
+            }
+            match call(&mut conn, &Frame::QueryTopOrigins(8)) {
+                Frame::TopOriginsReply(rows) => assert_eq!(rows, want.top_origins, "{ctx}"),
+                other => panic!("{ctx}: unexpected reply: {other:?}"),
+            }
+            match call(&mut conn, &Frame::QueryCoverage) {
+                Frame::CoverageReply {
+                    total,
+                    covered,
+                    issued,
+                } => assert_eq!(
+                    (total, covered, issued),
+                    (
+                        want.coverage.total,
+                        want.coverage.covered,
+                        want.coverage.issued
+                    ),
+                    "{ctx}"
+                ),
+                other => panic!("{ctx}: unexpected reply: {other:?}"),
+            }
+        }
+        // The cursor delta lands on the same cut, and a second probe
+        // without ingest is empty (nothing stale left to flush).
+        let d = query_delta(&mut conn, phase as u32);
+        assert_eq!(d.applied, ingested.len() as u64, "phase {phase}");
+        let quiet = query_delta(&mut conn, 100 + phase as u32);
+        assert!(quiet.is_empty(), "phase {phase}: {quiet:?}");
+    }
+
+    // A fresh connection (fresh cursor, warm shard caches) sees the
+    // same absolutes the offline comparator does.
+    let want = offline::expected(&ingested, 2, ShardConfig::default(), 8);
+    let mut conn2 = TcpStream::connect(&addr).expect("connect 2");
+    match call(&mut conn2, &Frame::QueryTopOrigins(8)) {
+        Frame::TopOriginsReply(rows) => assert_eq!(rows, want.top_origins),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    shutdown(&mut conn);
+    handle.join().expect("server thread").expect("server run");
+}
+
+/// The tentpole's O(changed shards) claim, asserted via the
+/// `grammar_walks` gauge: delta probes after single-shard ingest walk
+/// exactly one grammar, full queries only walk shards whose version
+/// moved, and repeat queries walk nothing.
+#[test]
+fn delta_probe_walks_only_changed_shards() {
+    let all = seeded_records(0x3a1d, 1200);
+    let shard0: Vec<_> = all
+        .iter()
+        .copied()
+        .filter(|r| shard_of(r.block.raw(), 2) == 0)
+        .collect();
+    let shard1: Vec<_> = all
+        .iter()
+        .copied()
+        .filter(|r| shard_of(r.block.raw(), 2) == 1)
+        .collect();
+    assert!(shard0.len() >= 200 && shard1.len() >= 100, "both lanes fed");
+
+    let (addr, handle) = start_server(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    });
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+
+    // Hot shard 0, idle shard 1: the delta probe re-snapshots only the
+    // shard whose version moved — one walk, not two.
+    ingest_all(&mut conn, &shard0[..100], 50);
+    assert!(!query_delta(&mut conn, 1).is_empty());
+    assert_eq!(
+        grammar_walks(&mut conn),
+        1,
+        "first probe walks shard 0 only"
+    );
+
+    ingest_all(&mut conn, &shard0[100..200], 50);
+    assert!(!query_delta(&mut conn, 2).is_empty());
+    assert_eq!(grammar_walks(&mut conn), 2, "hot-shard probes stay O(1)");
+
+    // A full absolute query touches every shard, but shard 0's counts
+    // are memoized at its current version — only idle shard 1's first
+    // walk happens now.
+    assert!(matches!(
+        call(&mut conn, &Frame::QueryStreamFraction),
+        Frame::StreamFractionReply { .. }
+    ));
+    assert_eq!(grammar_walks(&mut conn), 3, "full query walks only shard 1");
+
+    // Nothing changed: repeats of either query shape walk nothing.
+    assert!(matches!(
+        call(&mut conn, &Frame::QueryStreamFraction),
+        Frame::StreamFractionReply { .. }
+    ));
+    assert!(query_delta(&mut conn, 3).is_empty());
+    assert_eq!(
+        grammar_walks(&mut conn),
+        3,
+        "quiescent queries are walk-free"
+    );
+
+    // Waking the other shard costs exactly one more walk.
+    ingest_all(&mut conn, &shard1[..100], 50);
+    assert!(!query_delta(&mut conn, 4).is_empty());
+    assert_eq!(
+        grammar_walks(&mut conn),
+        4,
+        "shard 1's delta walks shard 1 only"
+    );
+
     shutdown(&mut conn);
     handle.join().expect("server thread").expect("server run");
 }
