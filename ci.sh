@@ -11,16 +11,19 @@
 #   6. tier-1 build + test suite
 #   7. determinism gate: the parallel pipeline must be byte-identical
 #      to the serial runner
-#   8. metrics gate: --metrics-json emits valid JSON with the expected
+#   8. engine differential gate: the unified AnalysisEngine fed
+#      incrementally in interleaved chunks (with snapshots between
+#      chunks) must digest byte-identically to one batch feed
+#   9. metrics gate: --metrics-json emits valid JSON with the expected
 #      top-level keys and leaves stdout untouched
-#   9. serve soak gates: a live server on loopback, driven by the
+#  10. serve soak gates: a live server on loopback, driven by the
 #      in-tree load generator with --verify (online answers must match
 #      the offline batch comparator bit-exactly); the metrics snapshot
 #      must show zero dropped frames, and the server must drain cleanly.
 #      Run twice: half-duplex v1, then pipelined v2 (--window 8 with
 #      interleaved QueryDelta probes), whose throughput must not fall
 #      below the single-in-flight baseline
-#  10. perf smoke gate: the parallel pipeline must not be slower than
+#  11. perf smoke gate: the parallel pipeline must not be slower than
 #      the serial runner (reduced sample count via
 #      TEMPSTREAM_BENCH_SAMPLES), plus the serve ingest bench emitting
 #      BENCH_serve.json (pipelined 1/2/4-shard runs and the
@@ -77,6 +80,21 @@ trap 'rm -rf "$det_dir"' EXIT
 ./target/release/reproduce all --quick --jobs 4 >"$det_dir/jobs4.out" 2>/dev/null
 diff "$det_dir/jobs1.out" "$det_dir/jobs4.out" \
   || { echo "determinism gate FAILED: --jobs 4 output differs from --jobs 1"; exit 1; }
+
+echo "== engine differential gate: incremental vs batch =="
+# The unified AnalysisEngine (core::engine) fed in K interleaved chunks
+# — snapshotting every accessor between chunks, as the online server
+# does — must print a byte-identical digest to one batch feed (K=1).
+# This is what entitles serve::offline to verify the server with the
+# same engine: incremental-vs-batch identity is pinned here, transport
+# correctness there.
+./target/release/engine_diff --chunks 1 >"$det_dir/engine_batch.out"
+for k in 2 7; do
+  ./target/release/engine_diff --chunks "$k" >"$det_dir/engine_k$k.out"
+  diff "$det_dir/engine_batch.out" "$det_dir/engine_k$k.out" \
+    || { echo "engine differential gate FAILED: chunks=$k digest differs from batch"; exit 1; }
+done
+echo "engine differential: chunks {2,7} digests identical to batch"
 
 echo "== metrics gate: --metrics-json =="
 # The flag must write parseable JSON with the documented top-level keys

@@ -3,8 +3,10 @@
 //! Scans the workspace (see [`tempstream_checker::lint`]) and exits
 //! non-zero listing every direct `std::sync`/`std::thread` primitive
 //! used in `crates/runtime/src/` outside the sync shim or in the
-//! server library (`crates/serve/src/`, binaries exempt), and every
-//! `Instant::now` inside the pure pipeline stages.
+//! server library (`crates/serve/src/`, binaries exempt), every
+//! `Instant::now` inside the pure pipeline stages, and every direct
+//! `tempstream_sequitur` reference anywhere in the serve crate —
+//! grammar access goes through `core::engine::AnalysisEngine`.
 //!
 //! ```text
 //! lint-sources [REPO_ROOT]
@@ -30,7 +32,8 @@ fn main() {
     if findings.is_empty() {
         println!(
             "lint-sources: clean (runtime and serve use the sync shim; \
-             stages never read the clock)"
+             stages never read the clock; serve reaches the grammar \
+             only through core::engine)"
         );
         return;
     }

@@ -25,6 +25,14 @@
 //!-clock reads there would leak nondeterminism into the reproduction
 //! gate (timing belongs to `runtime::metrics`).
 //!
+//! A third rule guards the engine boundary: `crates/serve/src/`
+//! (binaries included) must not reach `tempstream_sequitur` — grammar
+//! state belongs to the unified `core::engine::AnalysisEngine`, and the
+//! server goes through it. A shard that touched the grammar directly
+//! could diverge from the offline comparator and from the batch
+//! pipeline, which is exactly the three-way drift the engine refactor
+//! eliminated.
+//!
 //! The scan is deliberately a token scan, not a parse: line comments
 //! are stripped, `#[cfg(test)] mod … { … }` regions are skipped by
 //! brace counting, and the remaining text is searched for the
@@ -54,7 +62,7 @@ impl fmt::Display for LintFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: forbidden `{}` outside the sync shim: {}",
+            "{}:{}: forbidden `{}` outside an exempt region: {}",
             self.file, self.line, self.token, self.excerpt
         )
     }
@@ -78,6 +86,10 @@ const RUNTIME_FORBIDDEN_GROUPED: &[&str] = &["Mutex", "Condvar", "atomic"];
 
 /// Tokens forbidden in the pure pipeline stages.
 const STAGES_FORBIDDEN: &[&str] = &["Instant::now"];
+
+/// Tokens forbidden anywhere in the serve crate (binaries included):
+/// grammar access goes through `core::engine`, never directly.
+const SERVE_FORBIDDEN: &[&str] = &["tempstream_sequitur"];
 
 /// Strips a line comment (`//`, `///`, `//!`) from one line.
 ///
@@ -183,6 +195,9 @@ fn scan(rel_path: &str, source: &str, tokens: &[&'static str], grouped: bool) ->
 ///   same raw-primitive scan (the server library must stay explorable
 ///   by the schedule checker; its client/server binaries are external
 ///   processes and exempt);
+/// * under `crates/serve/src/` *including* `bin/`: the engine-boundary
+///   scan — no direct `tempstream_sequitur` access anywhere in the
+///   serve crate;
 /// * `crates/core/src/stages.rs`: the wall-clock scan;
 /// * anything else: exempt.
 pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintFinding> {
@@ -193,11 +208,14 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintFinding> {
     {
         return scan(&normalized, source, RUNTIME_FORBIDDEN, true);
     }
-    if normalized.starts_with("crates/serve/src/")
-        && !normalized.starts_with("crates/serve/src/bin/")
-        && normalized.ends_with(".rs")
-    {
-        return scan(&normalized, source, RUNTIME_FORBIDDEN, true);
+    if normalized.starts_with("crates/serve/src/") && normalized.ends_with(".rs") {
+        let mut findings = if normalized.starts_with("crates/serve/src/bin/") {
+            Vec::new()
+        } else {
+            scan(&normalized, source, RUNTIME_FORBIDDEN, true)
+        };
+        findings.extend(scan(&normalized, source, SERVE_FORBIDDEN, false));
+        return findings;
     }
     if normalized == "crates/core/src/stages.rs" {
         return scan(&normalized, source, STAGES_FORBIDDEN, false);
@@ -329,6 +347,35 @@ mod tests {
             "fn f() { std::thread::spawn(|| {}); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn serve_cannot_reach_sequitur_directly() {
+        // The engine boundary: grammar state is owned by
+        // `core::engine::AnalysisEngine`; no serve source — library OR
+        // binary — may link `tempstream_sequitur` around it.
+        let src = "use tempstream_sequitur::Sequitur;\n";
+        let findings = lint_file("crates/serve/src/shard.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].token, "tempstream_sequitur");
+        let findings = lint_file(
+            "crates/serve/src/bin/serve.rs",
+            "fn f() { tempstream_sequitur::Sequitur::new(); }\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        // Prose mentions stay fine, and the engine itself is out of
+        // scope — it is the one sanctioned owner of the grammar.
+        assert!(lint_file(
+            "crates/serve/src/offline.rs",
+            "// via tempstream_sequitur\n"
+        )
+        .is_empty());
+        assert!(lint_file("crates/core/src/engine.rs", src).is_empty());
+        // Both rules stack on library files: a raw Mutex AND a direct
+        // grammar import each produce their own finding.
+        let both = "use std::sync::Mutex;\nuse tempstream_sequitur::Grammar;\n";
+        let findings = lint_file("crates/serve/src/queue.rs", both);
+        assert_eq!(findings.len(), 2, "{findings:?}");
     }
 
     #[test]

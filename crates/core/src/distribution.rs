@@ -1,8 +1,8 @@
 //! Distribution helpers for Figure 4: a weighted stream-length CDF and a
 //! log-decade-binned reuse-distance PDF.
 
+use crate::engine::frac;
 use std::collections::BTreeMap;
-use tempstream_obsv::frac;
 
 /// Reuse distances beyond this are dropped, as in the paper ("such
 /// distances ... are unlikely to be exploited by prefetching").

@@ -7,8 +7,8 @@
 //! identified, with just under 99% of its misses repeating a prior
 //! temporal stream". This module produces that per-function view.
 
+use crate::engine::frac;
 use crate::streams::StreamLabel;
-use tempstream_obsv::frac;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{FunctionId, MissCategory, SymbolTable};
 

@@ -23,7 +23,11 @@
 //! - [`experiment`] — the end-to-end runner: workload × system context →
 //!   full characterization;
 //! - [`stages`] — the pure emit/simulate/analyze stage functions behind
-//!   the runner, shared with the parallel `tempstream-runtime` executor.
+//!   the runner, shared with the parallel `tempstream-runtime` executor;
+//! - [`engine`] — the unified incremental [`AnalysisEngine`] all of the
+//!   above analyze on: the batch stages feed it all-then-snapshot, the
+//!   online server (`tempstream-serve`) feeds it record by record, and
+//!   both read the same version-memoized snapshot accessors.
 //!
 //! # Quickstart
 //!
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod distribution;
+pub mod engine;
 pub mod experiment;
 pub mod functions;
 pub mod origins;
@@ -46,6 +51,7 @@ pub mod stages;
 pub mod streams;
 pub mod stride;
 
+pub use engine::AnalysisEngine;
 pub use experiment::{Experiment, ExperimentConfig, WorkloadResults};
 pub use streams::{StreamAnalysis, StreamLabel};
 pub use stride::StrideDetector;

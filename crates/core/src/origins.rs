@@ -6,8 +6,8 @@
 //! of all misses and the share of all misses that are both in this
 //! category *and* in a temporal stream — the two columns of Tables 3-5.
 
+use crate::engine::frac;
 use crate::streams::StreamLabel;
-use tempstream_obsv::frac;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::{AppClass, MissCategory, SymbolTable};
 

@@ -2,9 +2,9 @@
 //! tables as text.
 
 use crate::distribution::{LengthCdf, ReuseDistancePdf};
+use crate::engine::frac;
 use crate::origins::OriginTable;
 use std::fmt;
-use tempstream_obsv::frac;
 use tempstream_trace::{IntraChipClass, MissClass, MissTrace};
 
 /// Figure 1 (left): off-chip read misses per 1000 instructions by class.

@@ -9,7 +9,7 @@
 //! expansion has been emitted before, else *Recurring*.
 
 use crate::distribution::{LengthCdf, ReuseDistancePdf};
-use tempstream_sequitur::{GrammarSymbol, RuleId, Sequitur};
+use tempstream_sequitur::{GrammarSymbol, RuleId};
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::MissTrace;
 
@@ -58,42 +58,13 @@ impl StreamAnalysis {
         Self::of_records(trace.records(), trace.num_cpus())
     }
 
-    /// Analyzes a raw record slice.
+    /// Analyzes a raw record slice: a streams-only
+    /// [`AnalysisEngine`](crate::engine::AnalysisEngine) in
+    /// feed-all-then-snapshot mode (see
+    /// [`crate::engine::batch_stream_analysis`], which also exports the
+    /// grammar-inference metrics).
     pub fn of_records<C: Copy>(records: &[MissRecord<C>], num_cpus: u32) -> Self {
-        let registry = tempstream_obsv::global();
-        // 1. Grammar inference over the block sequence. The push loop is
-        // the grammar-inference hot path: its span plus the symbol
-        // counter give push throughput, and the builder-size gauges
-        // capture the peak index/arena footprint.
-        let mut seq = Sequitur::with_capacity(records.len());
-        registry.time("sequitur/push", || {
-            for r in records {
-                seq.push(r.block.raw());
-            }
-        });
-        registry
-            .counter("sequitur/pushed_symbols")
-            .add(records.len() as u64);
-        registry
-            .gauge("sequitur/digram_index")
-            .set_max(seq.digram_index_len() as u64);
-        registry
-            .gauge("sequitur/node_arena")
-            .set_max(seq.node_arena_len() as u64);
-        let grammar = seq.into_grammar();
-        tempstream_sequitur::GrammarStats::of(&grammar).export(registry, "sequitur");
-
-        let analysis = Self::of_grammar(&grammar, records, num_cpus);
-
-        let len_hist = registry.histogram("streams/occurrence_len");
-        let reuse_hist = registry.histogram("streams/reuse_distance");
-        for occ in &analysis.occurrences {
-            len_hist.record(occ.len);
-            if let Some(d) = occ.reuse_distance {
-                reuse_hist.record(d);
-            }
-        }
-        analysis
+        crate::engine::batch_stream_analysis(records, num_cpus)
     }
 
     /// Labels `records` against an already-built grammar over their
@@ -223,11 +194,8 @@ impl StreamAnalysis {
 
     /// Fraction of misses in temporal streams (new + recurring).
     pub fn stream_fraction(&self) -> f64 {
-        if self.labels.is_empty() {
-            return 0.0;
-        }
         let (_, new, rec) = self.label_counts();
-        (new + rec) as f64 / self.labels.len() as f64
+        crate::engine::frac(new + rec, self.labels.len() as u64)
     }
 
     /// Stream-length distribution weighted by contribution to temporal
@@ -282,6 +250,7 @@ fn mark_seen(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tempstream_sequitur::Sequitur;
     use tempstream_trace::{Block, CpuId, FunctionId, MissClass, ThreadId};
 
     fn trace_of(blocks: &[(u64, u32)]) -> MissTrace<MissClass> {

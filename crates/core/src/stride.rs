@@ -108,11 +108,7 @@ impl StrideDetector {
 
     /// Fraction of misses that are strided.
     pub fn strided_fraction(&self) -> f64 {
-        if self.strided.is_empty() {
-            0.0
-        } else {
-            self.strided_count() as f64 / self.strided.len() as f64
-        }
+        crate::engine::frac(self.strided_count(), self.strided.len() as u64)
     }
 }
 

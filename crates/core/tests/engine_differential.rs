@@ -1,0 +1,212 @@
+//! Engine differential property test: chunked incremental feeding with
+//! interleaved snapshots must be bit-identical to one batch feed.
+//!
+//! This is the property that lets the batch pipeline, the online
+//! server, and the offline comparator all share one
+//! [`AnalysisEngine`]: a SEQUITUR grammar snapshot over an ingest
+//! prefix equals the batch grammar of that prefix, the root walk is a
+//! pure function of (grammar, records), and the engine's version-keyed
+//! memoization may never change an answer — only skip recomputing it.
+
+use tempstream_core::engine::{AnalysisEngine, CoverageCounts, EngineConfig, StreamCounts};
+use tempstream_core::report::StrideJointReport;
+use tempstream_trace::miss::MissRecord;
+use tempstream_trace::rng::SplitMix64;
+use tempstream_trace::{Block, CpuId, FunctionId, MissClass, ThreadId};
+
+fn seeded_records(seed: u64, n: usize, block_universe: u64) -> Vec<MissRecord<MissClass>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| MissRecord {
+            block: Block::new(rng.next_u64() % block_universe),
+            cpu: CpuId::new((rng.next_u64() % 4) as u32),
+            thread: ThreadId::new((rng.next_u64() % 8) as u32),
+            function: FunctionId::new((rng.next_u64() % 13) as u32),
+            class: MissClass::Replacement,
+        })
+        .collect()
+}
+
+/// Everything an engine can answer, captured at one version.
+#[derive(Debug, PartialEq)]
+struct FullSnapshot {
+    version: u64,
+    streams: StreamCounts,
+    coverage: CoverageCounts,
+    joint: StrideJointReport,
+    top_origins: Vec<(u32, u64)>,
+    overflow: u64,
+}
+
+fn snapshot(engine: &mut AnalysisEngine<MissClass>) -> FullSnapshot {
+    FullSnapshot {
+        version: engine.version(),
+        streams: engine.stream_counts(),
+        coverage: engine.coverage(),
+        joint: engine.joint_breakdown(),
+        top_origins: engine.origin_table().top_n(8),
+        overflow: engine.overflow(),
+    }
+}
+
+/// Feeds `records` in `k` chunks, snapshotting after every chunk
+/// (exercising the memoized accessors mid-stream), and returns the
+/// final snapshot.
+fn chunked_feed(records: &[MissRecord<MissClass>], k: usize, config: EngineConfig) -> FullSnapshot {
+    let mut engine: AnalysisEngine<MissClass> = AnalysisEngine::new(config);
+    let chunk = records.len().div_ceil(k).max(1);
+    for c in records.chunks(chunk) {
+        engine.push_record(&c[0]);
+        engine.push_records(&c[1..]);
+        // Mid-stream snapshots must not perturb later answers.
+        let s = snapshot(&mut engine);
+        assert_eq!(s.version, engine.ingested(), "snapshot at the cut");
+        // A second read of the quiet engine is a pure cache hit.
+        let walks = engine.grammar_walks();
+        assert_eq!(snapshot(&mut engine), s, "idempotent snapshot");
+        assert_eq!(engine.grammar_walks(), walks, "quiet re-read walks nothing");
+    }
+    snapshot(&mut engine)
+}
+
+fn batch_feed(records: &[MissRecord<MissClass>], config: EngineConfig) -> FullSnapshot {
+    let mut engine: AnalysisEngine<MissClass> = AnalysisEngine::new(config);
+    engine.push_records(records);
+    snapshot(&mut engine)
+}
+
+#[test]
+fn chunked_feeds_match_batch_feed_at_k_1_2_7() {
+    for (seed, n, universe) in [(0xd1ff_0001u64, 700, 61), (0xd1ff_0002, 1100, 199)] {
+        let records = seeded_records(seed, n, universe);
+        let config = EngineConfig::default();
+        let want = batch_feed(&records, config);
+        for k in [1usize, 2, 7] {
+            assert_eq!(
+                chunked_feed(&records, k, config),
+                want,
+                "seed={seed:#x} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_feeds_match_batch_under_retention_cap() {
+    // The retention cap must trip at the same record regardless of
+    // chunking: grammar frozen, coverage/origins still counting.
+    let records = seeded_records(0xd1ff_0003, 900, 47);
+    let config = EngineConfig {
+        max_retained: 256,
+        ..EngineConfig::default()
+    };
+    let want = batch_feed(&records, config);
+    assert_eq!(want.overflow, (900 - 256) as u64);
+    for k in [2usize, 7] {
+        assert_eq!(chunked_feed(&records, k, config), want, "k={k}");
+    }
+}
+
+#[test]
+fn chunked_snapshots_equal_batch_prefix_snapshots() {
+    // Stronger than final-state equality: *every* mid-stream snapshot
+    // equals a fresh batch feed of exactly that prefix.
+    let records = seeded_records(0xd1ff_0004, 420, 31);
+    let config = EngineConfig::default();
+    let mut engine: AnalysisEngine<MissClass> = AnalysisEngine::new(config);
+    let mut fed = 0usize;
+    for cut in [1usize, 2, 59, 60, 240, 420] {
+        engine.push_records(&records[fed..cut]);
+        fed = cut;
+        assert_eq!(
+            snapshot(&mut engine),
+            batch_feed(&records[..cut], config),
+            "prefix {cut}"
+        );
+    }
+}
+
+#[test]
+fn degenerate_empty_trace() {
+    let config = EngineConfig::default();
+    let mut engine: AnalysisEngine<MissClass> = AnalysisEngine::new(config);
+    let s = snapshot(&mut engine);
+    assert_eq!(s.version, 0);
+    assert_eq!(s.streams, StreamCounts::default());
+    assert_eq!(s.coverage, CoverageCounts::default());
+    assert_eq!(s.joint.total(), 0);
+    assert!(s.top_origins.is_empty());
+    assert_eq!(s, batch_feed(&[], config));
+    // Pushing an empty batch is a no-op at the same version.
+    engine.push_records(&[]);
+    assert_eq!(snapshot(&mut engine), s);
+}
+
+#[test]
+fn degenerate_single_miss() {
+    let records = seeded_records(0xd1ff_0005, 1, 7);
+    let config = EngineConfig::default();
+    let want = batch_feed(&records, config);
+    assert_eq!(want.streams.total(), 1);
+    assert_eq!(want.streams.non_repetitive, 1, "one miss cannot recur");
+    assert_eq!(want.streams.distinct_streams, 0);
+    for k in [1usize, 2, 7] {
+        assert_eq!(chunked_feed(&records, k, config), want, "k={k}");
+    }
+}
+
+#[test]
+fn degenerate_identical_addresses() {
+    // 64 misses to one block: maximally repetitive, single origin.
+    let records: Vec<MissRecord<MissClass>> = (0..64)
+        .map(|i| MissRecord {
+            block: Block::new(42),
+            cpu: CpuId::new(i % 2),
+            thread: ThreadId::new(0),
+            function: FunctionId::new(7),
+            class: MissClass::Replacement,
+        })
+        .collect();
+    let config = EngineConfig::default();
+    let want = batch_feed(&records, config);
+    assert_eq!(want.streams.total(), 64);
+    assert_eq!(
+        want.streams.non_repetitive + want.streams.new_stream + want.streams.recurring_stream,
+        64
+    );
+    assert_eq!(want.top_origins, vec![(7, 64)]);
+    for k in [1usize, 2, 7] {
+        assert_eq!(chunked_feed(&records, k, config), want, "k={k}");
+    }
+}
+
+#[test]
+fn engine_snapshot_matches_batch_stages() {
+    // The engine's answers against the batch pipeline's stage
+    // functions — the cross-consumer identity the server's loopback
+    // tests rely on transitively.
+    let records = seeded_records(0xd1ff_0006, 800, 89);
+    let num_cpus = records.iter().map(|r| r.cpu.raw()).max().unwrap_or(0) + 1;
+    let mut engine: AnalysisEngine<MissClass> = AnalysisEngine::new(EngineConfig::default());
+    engine.push_records(&records);
+
+    let partial = tempstream_core::stages::analyze_streams(&records, num_cpus);
+    let counts = engine.stream_counts();
+    assert_eq!(
+        counts.non_repetitive,
+        partial.stream_fraction.non_repetitive
+    );
+    assert_eq!(counts.new_stream, partial.stream_fraction.new_stream);
+    assert_eq!(
+        counts.recurring_stream,
+        partial.stream_fraction.recurring_stream
+    );
+    assert_eq!(counts.distinct_streams, partial.distinct_streams as u64);
+
+    let flags = tempstream_core::stages::analyze_strides(&records, num_cpus);
+    let want_joint = tempstream_core::stages::joint_breakdown(&partial.labels, &flags);
+    assert_eq!(engine.joint_breakdown(), want_joint);
+
+    let analysis = engine.stream_analysis();
+    assert_eq!(analysis.labels(), partial.labels.as_slice());
+}

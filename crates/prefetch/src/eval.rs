@@ -25,22 +25,15 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    /// Fraction of misses covered.
+    /// Fraction of misses covered (the shared [`tempstream_obsv::frac`]
+    /// zero-denominator guard, like every other report ratio).
     pub fn coverage(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.covered as f64 / self.total as f64
-        }
+        tempstream_obsv::frac(self.covered, self.total)
     }
 
     /// Fraction of issued prefetches that covered a miss.
     pub fn accuracy(&self) -> f64 {
-        if self.issued == 0 {
-            0.0
-        } else {
-            self.covered as f64 / self.issued as f64
-        }
+        tempstream_obsv::frac(self.covered, self.issued)
     }
 }
 

@@ -1,20 +1,31 @@
 //! Offline replica of the server's answers, for bit-exact verification.
 //!
-//! [`expected`] partitions a record slice with the *same* hash routing
-//! the server's connection readers use ([`shard_of`]), batch-analyzes each
-//! partition with the repo's offline stages
-//! ([`tempstream_core::stages::analyze_streams`] and
-//! [`tempstream_prefetch::evaluate`]), and merges with the *same*
-//! `merge_*` functions the server's query path calls. Any ingest-order
-//! preserving server must therefore answer queries bit-identically to
-//! this function — the loopback tests and `serve-load --verify` assert
-//! exactly that.
+//! The [`Comparator`] partitions records with the *same* hash routing
+//! the server's connection readers use ([`shard_of`]), feeds one
+//! [`AnalysisEngine`] per partition (the same engine the server's
+//! shards wrap), and merges with the *same* `merge_*` functions the
+//! server's query path calls. Any ingest-order preserving server must
+//! therefore answer queries bit-identically — the loopback tests and
+//! `serve-load --verify` assert exactly that. The engine itself is
+//! independently pinned incremental-vs-batch by
+//! `crates/core/tests/engine_differential.rs` and the `engine-diff` CI
+//! gate, so this comparator checks what only a comparator can: that
+//! the wire protocol, routing, sharded cut, and merge deliver every
+//! acknowledged record to the right engine exactly once, in order.
+//!
+//! Unlike the pre-engine comparator, which re-analyzed every partition
+//! from scratch per query (O(phases × records) grammar work across a
+//! verification run), the comparator is *stateful*: verification
+//! harnesses construct it once, [`push`](Comparator::push) each record
+//! exactly once as it is acknowledged, and snapshot
+//! [`expected`](Comparator::expected) as often as they like — the
+//! engines' version-keyed memoization makes repeat snapshots of a quiet
+//! partition O(1).
 
 use crate::shard::{
     merge_coverage_counts, merge_stream_counts, merge_top_origins, shard_of, CoverageCounts,
-    OriginTable, ShardConfig, StreamCounts,
+    ShardConfig, ShardState, StreamCounts,
 };
-use tempstream_prefetch::TemporalPrefetcher;
 use tempstream_trace::miss::MissRecord;
 use tempstream_trace::MissClass;
 
@@ -29,63 +40,81 @@ pub struct Expected {
     pub top_origins: Vec<(u32, u64)>,
 }
 
+/// A stateful offline replica of a `shards`-way server: one engine per
+/// partition, fed incrementally, snapshot on demand.
+#[derive(Debug)]
+pub struct Comparator {
+    shards: usize,
+    states: Vec<ShardState>,
+    pushed: u64,
+}
+
+impl Comparator {
+    /// Creates a comparator mirroring a `shards`-way server running
+    /// `config` (zero shards is treated as one, like the server).
+    pub fn new(shards: usize, config: ShardConfig) -> Self {
+        let shards = shards.max(1);
+        Comparator {
+            shards,
+            states: (0..shards).map(|_| ShardState::new(config)).collect(),
+            pushed: 0,
+        }
+    }
+
+    /// Feeds `records` in order, routing each to its partition with the
+    /// server's [`shard_of`]. Call once per acknowledged record —
+    /// never re-push history.
+    pub fn push(&mut self, records: &[MissRecord<MissClass>]) {
+        for r in records {
+            self.states[shard_of(r.block.raw(), self.shards)].apply(r);
+            self.pushed += 1;
+        }
+    }
+
+    /// Records pushed so far. Verification harnesses assert this equals
+    /// the records acknowledged — i.e. each record was analyzed exactly
+    /// once, not once per verification phase.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// What the mirrored server must answer right now.
+    pub fn expected(&mut self, top_n: usize) -> Expected {
+        Expected {
+            streams: merge_stream_counts(self.states.iter_mut().map(ShardState::stream_counts)),
+            coverage: merge_coverage_counts(self.states.iter().map(ShardState::coverage_counts)),
+            top_origins: merge_top_origins(
+                self.states.iter().map(ShardState::origin_counts),
+                top_n,
+            ),
+        }
+    }
+
+    /// Grammar root walks performed across all partitions — the
+    /// comparator-side analogue of the server's
+    /// `serve/analysis/grammar_walks` gauge; tests use it to prove the
+    /// suite no longer rebuilds grammars from scratch per phase.
+    pub fn grammar_walks(&self) -> u64 {
+        self.states.iter().map(ShardState::grammar_walks).sum()
+    }
+}
+
 /// Computes what a `shards`-way server must answer after ingesting
-/// `records` in order, using batch (non-incremental) analysis per
-/// partition.
+/// `records` in order — a one-shot [`Comparator`].
 pub fn expected(
     records: &[MissRecord<MissClass>],
     shards: usize,
     config: ShardConfig,
     top_n: usize,
 ) -> Expected {
-    let mut partitions: Vec<Vec<MissRecord<MissClass>>> = vec![Vec::new(); shards.max(1)];
-    for r in records {
-        partitions[shard_of(r.block.raw(), shards.max(1))].push(*r);
-    }
-
-    let mut streams = Vec::new();
-    let mut coverage = Vec::new();
-    let mut origin_tables: Vec<OriginTable> = Vec::new();
-    for part in &partitions {
-        // Stream analysis sees only the retained prefix (the per-shard
-        // cap); coverage and origins see every record.
-        let retained = tempstream_core::stages::cap(part, config.max_retained);
-        let num_cpus = part.iter().map(|r| r.cpu.raw()).max().unwrap_or(0) + 1;
-        let partial = tempstream_core::stages::analyze_streams(retained, num_cpus);
-        streams.push(StreamCounts {
-            non_repetitive: partial.stream_fraction.non_repetitive,
-            new_stream: partial.stream_fraction.new_stream,
-            recurring_stream: partial.stream_fraction.recurring_stream,
-            distinct_streams: partial.distinct_streams as u64,
-        });
-
-        let mut prefetcher = TemporalPrefetcher::adaptive(config.burst, config.max_ahead)
-            .with_log_capacity(config.log_capacity);
-        let eval = tempstream_prefetch::evaluate(&mut prefetcher, part, config.buffer_capacity);
-        coverage.push(CoverageCounts {
-            total: eval.total,
-            covered: eval.covered,
-            issued: eval.issued,
-        });
-
-        let mut origins = OriginTable::new();
-        for r in part {
-            origins.add(r.function.raw(), 1);
-        }
-        origin_tables.push(origins);
-    }
-
-    Expected {
-        streams: merge_stream_counts(streams),
-        coverage: merge_coverage_counts(coverage),
-        top_origins: merge_top_origins(origin_tables.iter(), top_n),
-    }
+    let mut comparator = Comparator::new(shards, config);
+    comparator.push(records);
+    comparator.expected(top_n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::shard::ShardState;
     use tempstream_trace::{Block, CpuId, FunctionId, ThreadId};
 
     fn seeded_records(n: usize) -> Vec<MissRecord<MissClass>> {
@@ -146,5 +175,36 @@ mod tests {
             want.streams.distinct_streams,
             partial.distinct_streams as u64
         );
+    }
+
+    #[test]
+    fn incremental_snapshots_match_one_shot_expected() {
+        // The stateful comparator fed in phases must answer exactly
+        // like the one-shot function over each prefix, without ever
+        // re-pushing history.
+        let records = seeded_records(500);
+        let config = ShardConfig::default();
+        for shards in [1usize, 2, 4] {
+            let mut comparator = Comparator::new(shards, config);
+            let mut fed = 0usize;
+            for cut in [120usize, 121, 350, 500] {
+                comparator.push(&records[fed..cut]);
+                fed = cut;
+                assert_eq!(comparator.pushed(), cut as u64);
+                assert_eq!(
+                    comparator.expected(8),
+                    expected(&records[..cut], shards, config, 8),
+                    "shards={shards} cut={cut}"
+                );
+            }
+            // Phase count must not multiply grammar work: at most one
+            // walk per (partition, phase) — and none for the repeat
+            // snapshot of an unchanged partition below.
+            let walks = comparator.grammar_walks();
+            assert!(walks <= 4 * shards as u64, "walks={walks}");
+            let again = comparator.expected(8);
+            assert_eq!(comparator.grammar_walks(), walks, "quiet snapshot is O(1)");
+            assert_eq!(again, expected(&records, shards, config, 8));
+        }
     }
 }

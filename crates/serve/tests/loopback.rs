@@ -159,10 +159,15 @@ fn queries_reflect_every_acked_record_mid_stream() {
     let mut conn = TcpStream::connect(&addr).expect("connect");
     // Interleave ingest and queries: after each prefix, the answer
     // must equal the offline result for exactly that prefix
-    // (read-your-writes + SEQUITUR's online property).
+    // (read-your-writes + SEQUITUR's online property). The comparator
+    // is fed the same increments the server is — each record analyzed
+    // once, not once per verification phase.
+    let mut comparator = offline::Comparator::new(2, ShardConfig::default());
     for end in [300usize, 600, 900] {
         ingest_all(&mut conn, &records[end - 300..end], 97);
-        let want = offline::expected(&records[..end], 2, ShardConfig::default(), 4);
+        comparator.push(&records[end - 300..end]);
+        assert_eq!(comparator.pushed(), end as u64, "no record re-pushed");
+        let want = comparator.expected(4);
         match call(&mut conn, &Frame::QueryCoverage) {
             Frame::CoverageReply {
                 total,
@@ -568,8 +573,13 @@ fn delta_cursors_are_per_connection_and_carry_only_changes() {
     let mut conn2 = TcpStream::connect(&addr).expect("connect 2");
 
     ingest_all(&mut conn1, &records[..500], 100);
-    let want500 = offline::expected(&records[..500], 2, ShardConfig::default(), 8);
-    let want1000 = offline::expected(&records, 2, ShardConfig::default(), 8);
+    // One comparator, snapshot at each cut — the 500-record prefix is
+    // analyzed once, not re-analyzed for the 1000-record answer.
+    let mut comparator = offline::Comparator::new(2, ShardConfig::default());
+    comparator.push(&records[..500]);
+    let want500 = comparator.expected(8);
+    comparator.push(&records[500..]);
+    let want1000 = comparator.expected(8);
 
     // First delta on each connection is absolute (fresh cursor), and
     // both connections see the same consistent cut.
@@ -843,10 +853,12 @@ fn version_keyed_caches_never_serve_stale_answers_across_phases() {
     let phases: [&[MissRecord<MissClass>]; 4] =
         [&all[..400], &shard0[..150], &shard1[..150], &all[400..800]];
     let mut ingested: Vec<MissRecord<MissClass>> = Vec::new();
+    let mut comparator = offline::Comparator::new(2, ShardConfig::default());
     for (phase, batch) in phases.iter().enumerate() {
         ingest_all(&mut conn, batch, 97);
         ingested.extend_from_slice(batch);
-        let want = offline::expected(&ingested, 2, ShardConfig::default(), 8);
+        comparator.push(batch);
+        let want = comparator.expected(8);
         // Ask twice: the first answer may rebuild caches, the second
         // must be a pure cache hit — both must equal offline.
         for round in 0..2 {
@@ -903,9 +915,21 @@ fn version_keyed_caches_never_serve_stale_answers_across_phases() {
         assert!(quiet.is_empty(), "phase {phase}: {quiet:?}");
     }
 
+    // The comparator's grammar work is bounded by (partitions ×
+    // phases), not (records × phases): each phase walks at most the
+    // two partition grammars, and phases 2/3 walk only the one that
+    // moved. The old from-scratch comparator rebuilt every grammar
+    // from record zero on every one of the 8 query rounds above.
+    assert_eq!(comparator.pushed(), ingested.len() as u64);
+    assert!(
+        comparator.grammar_walks() <= 2 * phases.len() as u64,
+        "walks={}",
+        comparator.grammar_walks()
+    );
+
     // A fresh connection (fresh cursor, warm shard caches) sees the
     // same absolutes the offline comparator does.
-    let want = offline::expected(&ingested, 2, ShardConfig::default(), 8);
+    let want = comparator.expected(8);
     let mut conn2 = TcpStream::connect(&addr).expect("connect 2");
     match call(&mut conn2, &Frame::QueryTopOrigins(8)) {
         Frame::TopOriginsReply(rows) => assert_eq!(rows, want.top_origins),
